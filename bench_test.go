@@ -1,0 +1,154 @@
+package skipper
+
+import (
+	"io"
+	"testing"
+
+	"skipper/internal/bench"
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/models"
+	"skipper/internal/tensor"
+)
+
+// runExperiment executes one registered paper experiment at Tiny scale.
+// There is one benchmark below for every table and figure in the paper's
+// evaluation section; run a single one with e.g.
+//
+//	go test -bench BenchmarkFig7 -benchtime 1x
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bench.RunConfig{Scale: bench.Tiny, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig 3: motivation — accuracy/memory vs T, tensor breakdown, epoch time vs B.
+func BenchmarkFig3ab_AccuracyMemoryVsTimesteps(b *testing.B)  { runExperiment(b, "fig3ab") }
+func BenchmarkFig3cd_MemoryBreakdownVsTimesteps(b *testing.B) { runExperiment(b, "fig3cd") }
+func BenchmarkFig3ef_EpochTimeVsBatch(b *testing.B)           { runExperiment(b, "fig3ef") }
+
+// Fig 4: ResNet34/ImageNet-surrogate memory breakdown and data parallelism.
+func BenchmarkFig4a_ResNet34Breakdown(b *testing.B) { runExperiment(b, "fig4a") }
+func BenchmarkFig4b_DataParallel(b *testing.B)      { runExperiment(b, "fig4b") }
+
+// Fig 7: peak memory and compute time vs number of checkpoints C.
+func BenchmarkFig7_MemoryVsCheckpoints(b *testing.B) { runExperiment(b, "fig7") }
+
+// Table I: accuracy of 5 networks × 4 training techniques.
+func BenchmarkTable1_AccuracyGrid(b *testing.B) { runExperiment(b, "table1") }
+
+// Figs 8–9: LeNet/DVS-gesture from-scratch curves and accuracy vs T.
+func BenchmarkFig8_FromScratchCurves(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9_AccuracyVsTimesteps(b *testing.B) { runExperiment(b, "fig9") }
+
+// Figs 10–13: the batch sweep (compute overhead, epoch latency, memory,
+// tensor/cache/context breakdown).
+func BenchmarkFig10_ComputeOverhead(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11_EpochLatency(b *testing.B)    { runExperiment(b, "fig11") }
+func BenchmarkFig12_MemoryVsBatch(b *testing.B)   { runExperiment(b, "fig12") }
+func BenchmarkFig13_MemoryBreakdown(b *testing.B) { runExperiment(b, "fig13") }
+
+// Fig 14: timestep scaling under a fixed budget.
+func BenchmarkFig14_TimestepScaling(b *testing.B) { runExperiment(b, "fig14") }
+
+// Fig 15: edge device with budget + swap.
+func BenchmarkFig15_EdgeDevice(b *testing.B) { runExperiment(b, "fig15") }
+
+// Table II / Fig 16: comparison against TBPTT-LBP [28].
+func BenchmarkTable2_VsTBPTTLBP(b *testing.B)       { runExperiment(b, "table2") }
+func BenchmarkFig16_VsTBPTTLBPHorizon(b *testing.B) { runExperiment(b, "fig16") }
+
+// Ablations beyond the paper's grid (Sec. VI-A / VIII design choices).
+func BenchmarkAblationSAMMetric(b *testing.B)      { runExperiment(b, "ablate-sam") }
+func BenchmarkAblationSkipPercentile(b *testing.B) { runExperiment(b, "ablate-p") }
+func BenchmarkAblationSurrogate(b *testing.B)      { runExperiment(b, "ablate-surrogate") }
+
+// --- Kernel and strategy micro-benchmarks ---
+
+func BenchmarkKernelConv2DForward(b *testing.B) {
+	s := tensor.ConvSpec{InChannels: 8, OutChannels: 16, KernelH: 3, KernelW: 3, Stride: 1, Pad: 1}
+	x := tensor.New(4, 8, 16, 16)
+	w := tensor.New(16, 8, 3, 3)
+	bias := tensor.New(16)
+	tensor.NewRNG(1).FillNorm(x, 0, 1)
+	tensor.NewRNG(2).FillNorm(w, 0, 0.1)
+	out := tensor.New(4, 16, 16, 16)
+	col := make([]float32, s.ColBufLen(16, 16))
+	b.SetBytes(x.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2D(out, x, w, bias, s, col)
+	}
+}
+
+func BenchmarkKernelMatMul(b *testing.B) {
+	m, k, n := 64, 256, 64
+	x := tensor.New(m, k)
+	y := tensor.New(k, n)
+	tensor.NewRNG(1).FillNorm(x, 0, 1)
+	tensor.NewRNG(2).FillNorm(y, 0, 1)
+	out := tensor.New(m, n)
+	b.SetBytes(int64(m*k+k*n) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(out, x, y)
+	}
+}
+
+func BenchmarkKernelLIFStep(b *testing.B) {
+	net, err := models.Build("vgg5", models.Options{Width: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(4, 3, 16, 16)
+	tensor.NewRNG(1).FillUniform(x, 0, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardStep(x, nil)
+	}
+}
+
+// benchStrategyBatch times one full train batch under a strategy.
+func benchStrategyBatch(b *testing.B, strat core.Strategy) {
+	b.Helper()
+	const T = 18
+	net, err := models.Build("customnet", models.Options{Width: 0.5, InShape: []int{3, 16, 16}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := dataset.Open("cifar10", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.NewTrainer(net, data, strat, core.Config{T: T, Batch: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	input, labels := data.SpikeBatch(dataset.Train, []int{0, 1, 2, 3}, T)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		if _, err := strat.TrainBatch(tr, input, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrategyBPTT(b *testing.B)       { benchStrategyBatch(b, core.BPTT{}) }
+func BenchmarkStrategyCheckpoint(b *testing.B) { benchStrategyBatch(b, core.Checkpoint{C: 3}) }
+func BenchmarkStrategySkipper(b *testing.B)    { benchStrategyBatch(b, core.Skipper{C: 3, P: 30}) }
+func BenchmarkStrategyTBPTT(b *testing.B)      { benchStrategyBatch(b, core.TBPTT{Window: 6}) }
+
+func BenchmarkAblationPlacement(b *testing.B) { runExperiment(b, "ablate-placement") }
+
+func BenchmarkAblationSpikeCompression(b *testing.B) { runExperiment(b, "ablate-compress") }

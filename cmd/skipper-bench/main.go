@@ -1,0 +1,70 @@
+// Command skipper-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	skipper-bench -list
+//	skipper-bench -exp fig7 [-scale tiny|small|full] [-seed N]
+//	skipper-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"skipper/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale = flag.String("scale", "small", "run scale: tiny | small | full")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments (paper table/figure ids):")
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			fmt.Printf("  %-18s %s\n", id, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nuse -exp <id> (or -exp all) to run one")
+			os.Exit(2)
+		}
+		return
+	}
+
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.RunConfig{Scale: sc, Seed: *seed}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	} else if strings.Contains(*exp, ",") {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		e, err := bench.Get(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("   (%s completed in %s at scale %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), sc)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skipper-bench:", err)
+	os.Exit(1)
+}

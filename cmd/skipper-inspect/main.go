@@ -1,0 +1,103 @@
+// Command skipper-inspect visualises what the Spike Activity Monitor sees:
+// it unrolls a network over a sample batch, prints the per-timestep activity
+// series as a sparkline, previews which timesteps Skipper would skip for a
+// given (C, p), and optionally dumps the full trace as CSV.
+//
+// Example:
+//
+//	skipper-inspect -model lenet -data dvsgesture -T 48 -C 4 -p 50
+//	skipper-inspect -model vgg5 -data cifar10 -T 36 -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skipper/internal/analysis"
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/models"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "lenet", "topology")
+		data  = flag.String("data", "dvsgesture", "dataset")
+		T     = flag.Int("T", 48, "timesteps")
+		C     = flag.Int("C", 4, "checkpoints for the skip preview")
+		p     = flag.Float64("p", 50, "skip percentile for the preview")
+		batch = flag.Int("batch", 4, "samples to trace")
+		width = flag.Float64("width", 0.5, "channel-width multiplier")
+		sam   = flag.String("sam", "spikesum", "SAM metric: spikesum | weighted | membranel2")
+		csv   = flag.String("csv", "", "write the full trace to this CSV file")
+		seed  = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	src, err := dataset.Open(*data, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := models.Build(*model, models.Options{
+		Width: *width, Classes: src.Classes(), InShape: src.InShape(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	metric, err := core.SAMByName(*sam)
+	if err != nil {
+		fatal(err)
+	}
+	idx := make([]int, *batch)
+	for i := range idx {
+		idx[i] = i
+	}
+	input, _ := src.SpikeBatch(dataset.Train, idx, *T)
+	trace := analysis.Run(net, input, metric)
+
+	min, mean, max := trace.ActivityStats()
+	fmt.Printf("%s on %s, T=%d, B=%d, metric=%s\n", *model, src.Name(), *T, *batch, metric.Name())
+	fmt.Printf("activity s_t: min %.1f  mean %.1f  max %.1f\n", min, mean, max)
+	fmt.Printf("  %s\n", trace.Sparkline())
+
+	pre := trace.PreviewSkips(*C, *p)
+	fmt.Printf("skip preview (C=%d, p=%.0f): %d of %d timesteps would be skipped\n",
+		*C, *p, pre.SkipCount, pre.TotalSteps)
+	strip := make([]byte, *T)
+	for t := range strip {
+		if pre.Skipped[t] {
+			strip[t] = '.'
+		} else {
+			strip[t] = '#'
+		}
+	}
+	fmt.Printf("  %s   (# = recomputed, . = skipped)\n", strip)
+	fmt.Println("per-layer mean firing rates:")
+	for l, name := range trace.LayerNames {
+		fmt.Printf("  %-18s %6.3f\n", name, trace.MeanRate(l))
+	}
+	ln := net.StatefulCount()
+	fmt.Printf("Eq.7 bound for this net at T=%d, C=%d: p <= %.0f%%\n", *T, *C, core.MaxSkipPercent(*T, *C, ln))
+	fmt.Printf("event-driven energy: %s\n", analysis.Energy(net, input, analysis.EnergyModel{}))
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteCSV(f, &pre); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *csv)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skipper-inspect:", err)
+	os.Exit(1)
+}

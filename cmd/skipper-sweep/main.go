@@ -1,0 +1,142 @@
+// Command skipper-sweep explores the (C, p, T, B) design space of the
+// checkpointing/skipper techniques for one workload, printing a grid of
+// memory and time measurements plus the Eq. 7 feasibility bound — the tool
+// the paper's Sec. VI-B "rule of thumb" discussion corresponds to.
+//
+// Example:
+//
+//	skipper-sweep -model vgg5 -T 48 -sweep c
+//	skipper-sweep -model lenet -T 36 -sweep p -C 2
+//	skipper-sweep -model vgg5 -sweep t
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "vgg5", "topology")
+		data  = flag.String("data", "cifar10", "dataset")
+		T     = flag.Int("T", 48, "timesteps")
+		C     = flag.Int("C", 4, "checkpoints (fixed during p/t sweeps)")
+		batch = flag.Int("batch", 4, "batch size")
+		width = flag.Float64("width", 0.5, "channel-width multiplier")
+		sweep = flag.String("sweep", "c", "what to sweep: c | p | t | b")
+		seed  = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	src, err := dataset.Open(*data, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	build := func() (*modelsNet, error) {
+		net, err := models.Build(*model, models.Options{Width: *width, Classes: src.Classes(), InShape: src.InShape()})
+		if err != nil {
+			return nil, err
+		}
+		return &modelsNet{net.StatefulCount()}, nil
+	}
+	probe, err := build()
+	if err != nil {
+		fatal(err)
+	}
+	ln := probe.ln
+
+	measure := func(strat core.Strategy, T, B int) (time.Duration, int64, error) {
+		net, err := models.Build(*model, models.Options{Width: *width, Classes: src.Classes(), InShape: src.InShape()})
+		if err != nil {
+			return 0, 0, err
+		}
+		dev := mem.Unlimited()
+		tr, err := core.NewTrainer(net, src, strat, core.Config{T: T, Batch: B, Seed: *seed, Device: dev})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer tr.Close()
+		idx := dataset.Indices(src, dataset.Train, *seed, 0, true)
+		bs := dataset.Batches(idx, B)
+		if _, err := tr.TrainBatchIndices(dataset.Train, bs[0]); err != nil {
+			return 0, 0, err
+		}
+		dev.ResetPeaks()
+		start := time.Now()
+		if _, err := tr.TrainBatchIndices(dataset.Train, bs[1]); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), dev.PeakReserved(), nil
+	}
+
+	fmt.Printf("sweep=%s  model=%s data=%s  T=%d C=%d B=%d  L_n=%d\n", *sweep, *model, *data, *T, *C, *batch, ln)
+	switch *sweep {
+	case "c":
+		fmt.Printf("%6s %10s %14s %14s\n", "C", "max p", "time/batch", "peak memory")
+		for c := 1; c <= *T/(ln+1); c++ {
+			if core.ValidateCheckpoints(*T, c, ln) != nil {
+				continue
+			}
+			dur, peak, err := measure(core.Checkpoint{C: c}, *T, *batch)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%6d %9.0f%% %14s %14s\n", c, core.MaxSkipPercent(*T, c, ln),
+				dur.Round(time.Millisecond), mem.FormatBytes(peak))
+		}
+	case "p":
+		maxP := core.MaxSkipPercent(*T, *C, ln)
+		fmt.Printf("Eq.7 bound: p <= %.0f%%\n%6s %14s %14s\n", maxP, "p", "time/batch", "peak memory")
+		for _, frac := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+			p := float64(int(frac * maxP))
+			dur, peak, err := measure(core.Skipper{C: *C, P: p}, *T, *batch)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%6.0f %14s %14s\n", p, dur.Round(time.Millisecond), mem.FormatBytes(peak))
+		}
+	case "t":
+		fmt.Printf("%6s %16s %16s %16s\n", "T", "bptt", "ckpt", "skipper")
+		for _, mult := range []int{1, 2, 3} {
+			tt := *T * mult
+			row := fmt.Sprintf("%6d", tt)
+			for _, strat := range []core.Strategy{
+				core.BPTT{},
+				core.Checkpoint{C: *C},
+				core.Skipper{C: *C, P: float64(int(0.85 * core.MaxSkipPercent(tt, *C, ln)))},
+			} {
+				_, peak, err := measure(strat, tt, *batch)
+				if err != nil {
+					fatal(err)
+				}
+				row += fmt.Sprintf(" %16s", mem.FormatBytes(peak))
+			}
+			fmt.Println(row)
+		}
+	case "b":
+		fmt.Printf("%6s %14s %14s\n", "B", "time/batch", "peak memory")
+		for _, b := range []int{1, 2, 4, 8} {
+			dur, peak, err := measure(core.Skipper{C: *C, P: float64(int(0.85 * core.MaxSkipPercent(*T, *C, ln)))}, *T, b)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%6d %14s %14s\n", b, dur.Round(time.Millisecond), mem.FormatBytes(peak))
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep %q (c|p|t|b)", *sweep))
+	}
+}
+
+type modelsNet struct{ ln int }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skipper-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// Command skipper-train trains one SNN with a chosen strategy and reports
+// accuracy, timing, and device-memory statistics per epoch.
+//
+// Examples:
+//
+//	skipper-train -model vgg5 -data cifar10 -strategy skipper -T 48 -C 4 -p 40 -epochs 3
+//	skipper-train -model lenet -data dvsgesture -strategy ckpt -C 2 -T 36
+//	skipper-train -model resnet20 -data cifar10 -strategy tbptt -trw 24
+//	skipper-train -model vgg5 -strategy auto -budget-mib 8 -save weights.skpw
+//	skipper-train -model vgg5 -load weights.skpw -epochs 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+	"skipper/internal/serialize"
+	"skipper/internal/snn"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "vgg5", "topology: "+strings.Join(models.Names(), "|"))
+		data     = flag.String("data", "cifar10", "dataset: "+strings.Join(dataset.Names(), "|"))
+		strategy = flag.String("strategy", "skipper", "training strategy: bptt | ckpt | skipper | adaskipper | tbptt | tbptt-lbp | auto")
+		T        = flag.Int("T", 48, "simulation timesteps")
+		C        = flag.Int("C", 4, "temporal checkpoints (ckpt/skipper)")
+		p        = flag.Float64("p", 0, "skip percentile (skipper; 0 = auto 85% of the Eq.7 bound)")
+		trw      = flag.Int("trw", 0, "truncation window (tbptt variants; 0 = T/4)")
+		batch    = flag.Int("batch", 8, "mini-batch size")
+		epochs   = flag.Int("epochs", 2, "training epochs")
+		lr       = flag.Float64("lr", 1e-3, "learning rate")
+		width    = flag.Float64("width", 0.5, "channel-width multiplier")
+		sam      = flag.String("sam", "spikesum", "SAM metric: spikesum | weighted | membranel2")
+		surrName = flag.String("surrogate", "triangle", "surrogate gradient: triangle | fastsigmoid | atan | rectangular")
+		seed     = flag.Uint64("seed", 1, "seed")
+		budget   = flag.Int64("budget-mib", 0, "device budget in MiB (0 = unlimited)")
+		maxB     = flag.Int("max-batches", 0, "cap batches per epoch (0 = full epoch)")
+		pretrain = flag.Bool("pretrain", true, "hybrid-style pre-initialisation before the main run")
+		savePath = flag.String("save", "", "write trained weights to this file")
+		loadPath = flag.String("load", "", "initialise weights from this file (skips pretrain)")
+	)
+	flag.Parse()
+
+	src, err := dataset.Open(*data, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	surr, err := snn.ByName(*surrName)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := models.Build(*model, models.Options{
+		Width:     *width,
+		Classes:   src.Classes(),
+		InShape:   src.InShape(),
+		Surrogate: surr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln := net.StatefulCount()
+	fmt.Print(net.Summary())
+
+	if *trw == 0 {
+		*trw = *T / 4
+		if *trw <= ln {
+			*trw = ln + 1
+		}
+	}
+	if *p == 0 {
+		*p = float64(int(0.85 * core.MaxSkipPercent(*T, *C, ln)))
+	}
+	metric, err := core.SAMByName(*sam)
+	if err != nil {
+		fatal(err)
+	}
+	var strat core.Strategy
+	switch *strategy {
+	case "auto":
+		plan, err := core.AutoTune(net, src.InShape(), core.Config{T: *T, Batch: *batch}, *budget<<20)
+		if err != nil {
+			fatal(err)
+		}
+		strat = plan.Strategy
+		fmt.Printf("autotune: %s — %s (predicted peak %s)\n",
+			strat.Name(), plan.Reason, mem.FormatBytes(plan.PredictedPeak))
+	case "bptt":
+		strat = core.BPTT{}
+	case "ckpt":
+		strat = core.Checkpoint{C: *C}
+	case "skipper":
+		strat = core.Skipper{C: *C, P: *p, Metric: metric}
+	case "adaskipper":
+		strat = &core.AdaptiveSkipper{C: *C, P: *p, Metric: metric}
+	case "tbptt":
+		strat = core.TBPTT{Window: *trw}
+	case "tbptt-lbp":
+		mid := len(net.Layers) / 2
+		strat = &core.TBPTTLBP{Window: *trw, LocalAt: []int{mid}}
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	dev := mem.NewDevice(mem.Config{Budget: *budget << 20})
+	switch {
+	case *loadPath != "":
+		fmt.Printf("loading weights from %s\n", *loadPath)
+		if err := serialize.LoadFile(*loadPath, net); err != nil {
+			fatal(err)
+		}
+	case *pretrain:
+		fmt.Println("pre-initialising (hybrid protocol)...")
+		if err := core.Pretrain(net, src, core.PretrainConfig{Seed: *seed, Batch: *batch}); err != nil {
+			fatal(err)
+		}
+	}
+	tr, err := core.NewTrainer(net, src, strat, core.Config{
+		T: *T, Batch: *batch, LR: float32(*lr), Seed: *seed,
+		Device: dev, MaxBatchesPerEpoch: *maxB,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+
+	fmt.Printf("training %s on %s with %s  (T=%d B=%d L_n=%d)\n",
+		*model, src.Name(), strat.Name(), *T, *batch, ln)
+	for e := 1; e <= *epochs; e++ {
+		start := time.Now()
+		ep, err := tr.TrainEpoch()
+		if err != nil {
+			fatal(err)
+		}
+		_, acc, err := tr.Evaluate(8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch %2d  loss %.4f  train-acc %5.2f%%  test-acc %5.2f%%  time %s  skipped %d/%d steps\n",
+			e, ep.MeanLoss(), 100*ep.Accuracy(), 100*acc,
+			time.Since(start).Round(time.Millisecond),
+			ep.SkippedSteps, ep.SkippedSteps+ep.RecomputedSteps)
+	}
+	st := dev.Snapshot()
+	fmt.Printf("peak device memory: %s reserved, %s tensors (%s)\n",
+		mem.FormatBytes(st.PeakReserved), mem.FormatBytes(st.PeakAllocated), st.Breakdown())
+	if *savePath != "" {
+		if err := serialize.SaveFile(*savePath, net); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("weights saved to %s\n", *savePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skipper-train:", err)
+	os.Exit(1)
+}

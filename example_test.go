@@ -1,0 +1,69 @@
+package skipper_test
+
+import (
+	"fmt"
+
+	"skipper"
+)
+
+// ExampleMaxSkipPercent reproduces the paper's Eq. 7 rule of thumb for the
+// VGG5 workload of Table I (T=100, C=4, L_n=6).
+func ExampleMaxSkipPercent() {
+	fmt.Printf("p <= %.0f%%\n", skipper.MaxSkipPercent(100, 4, 6))
+	// Output: p <= 76%
+}
+
+// ExampleBuildModel shows the topology registry and the stateful-layer
+// count L_n that drives the checkpointing constraints.
+func ExampleBuildModel() {
+	net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("L_n =", net.StatefulCount())
+	// Output: L_n = 6
+}
+
+// ExampleAutoTune picks a strategy for an unlimited budget: plain BPTT,
+// since nothing forces an approximation.
+func ExampleAutoTune() {
+	net, err := skipper.BuildModel("customnet", skipper.ModelOptions{
+		Width: 0.5, InShape: []int{3, 16, 16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := skipper.AutoTune(net, []int{3, 16, 16}, skipper.Config{T: 16, Batch: 2}, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Strategy.Name())
+	// Output: bptt
+}
+
+// ExampleNewTrainer is the smallest complete training loop.
+func ExampleNewTrainer() {
+	data, err := skipper.OpenDataset("cifar10", 1)
+	if err != nil {
+		panic(err)
+	}
+	net, err := skipper.BuildModel("customnet", skipper.ModelOptions{
+		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	tr, err := skipper.NewTrainer(net, data, skipper.Checkpoint{C: 2}, skipper.Config{
+		T: 12, Batch: 2, MaxBatchesPerEpoch: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer tr.Close()
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("batches:", ep.Batches)
+	// Output: batches: 1
+}

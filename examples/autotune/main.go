@@ -1,0 +1,67 @@
+// Autotune: let the library pick the training strategy for a memory budget.
+// The chooser applies the paper's design rules — BPTT when the full unroll
+// fits, checkpointing at the √T optimum when it doesn't (Sec. V-A), and
+// Skipper with the smallest admissible skip percentile (Eq. 7) when even
+// checkpointing is too large — then the run is verified against the budget
+// by the device accountant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skipper"
+)
+
+func main() {
+	const (
+		T     = 48
+		batch = 4
+	)
+	data, err := skipper.OpenDataset("cifar10", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := skipper.Config{T: T, Batch: batch, MaxBatchesPerEpoch: 4}
+
+	// Sweep budgets from roomy to cramped and see the recommendation change.
+	unlimited, err := skipper.AutoTune(net, data.InShape(), cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budgets := []int64{0, unlimited.PredictedPeak * 7 / 10, unlimited.PredictedPeak * 35 / 100}
+
+	for _, budget := range budgets {
+		plan, err := skipper.AutoTune(net, data.InShape(), cfg, budget)
+		if err != nil {
+			fmt.Printf("budget %10s: no plan (%v)\n", skipper.FormatBytes(budget), err)
+			continue
+		}
+		label := "unlimited"
+		if budget > 0 {
+			label = skipper.FormatBytes(budget)
+		}
+		fmt.Printf("budget %10s -> %-20s predicted %10s  (%s)\n",
+			label, plan.Strategy.Name(), skipper.FormatBytes(plan.PredictedPeak), plan.Reason)
+
+		// Prove the plan fits by running it against the budget.
+		runCfg := cfg
+		runCfg.Device = skipper.NewDevice(skipper.DeviceConfig{Budget: budget})
+		tr, err := skipper.NewTrainer(net, data, plan.Strategy, runCfg)
+		if err != nil {
+			log.Fatalf("tuned plan failed to construct: %v", err)
+		}
+		if _, err := tr.TrainEpoch(); err != nil {
+			log.Fatalf("tuned plan OOMed: %v", err)
+		}
+		fmt.Printf("                -> ran 4 batches, peak %s within budget\n",
+			skipper.FormatBytes(runCfg.Device.PeakReserved()))
+		tr.Close()
+	}
+}

@@ -1,0 +1,96 @@
+// Edge: the paper's Jetson Nano study (Fig 15) in miniature. On a device
+// with a small unified-memory budget plus slow swap, the baseline only fits
+// tiny batches; checkpointing fits larger ones and Skipper larger still —
+// and because bigger batches amortise fixed costs, the feasible-batch win
+// turns directly into lower training latency per epoch.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"skipper"
+)
+
+func main() {
+	const (
+		T = 30
+		C = 2
+	)
+	data, err := skipper.OpenDataset("cifar10", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Size the "edge device" so the baseline only fits the smallest batch.
+	probe, err := measure(data, skipper.BPTT{}, T, 1, skipper.DeviceConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	edge := skipper.DeviceConfig{
+		Budget:      probe.peak * 13 / 10,
+		SwapBytes:   probe.peak,
+		SwapPenalty: 3,
+	}
+	fmt.Printf("edge device: %s memory + %s swap (penalty 3x)\n\n",
+		skipper.FormatBytes(edge.Budget), skipper.FormatBytes(edge.SwapBytes))
+	fmt.Printf("%4s %-18s %14s %16s\n", "B", "strategy", "memory", "latency/epoch")
+
+	for _, B := range []int{1, 2, 4, 8} {
+		for _, strat := range []skipper.Strategy{
+			skipper.BPTT{},
+			skipper.Checkpoint{C: C},
+			skipper.Skipper{C: C, P: 25},
+		} {
+			m, err := measure(data, strat, T, B, edge)
+			switch {
+			case err == nil:
+				// Swap residency applies the device's bandwidth penalty.
+				perEpoch := time.Duration(float64(m.perBatch) * m.slowdown * float64(256/B))
+				fmt.Printf("%4d %-18s %14s %16s\n", B, name(strat),
+					skipper.FormatBytes(m.peak), perEpoch.Round(time.Millisecond))
+			case errors.Is(err, skipper.ErrOutOfMemory):
+				fmt.Printf("%4d %-18s %14s %16s\n", B, name(strat), "OOM", "—")
+			default:
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func name(s skipper.Strategy) string { return s.Name() }
+
+type result struct {
+	peak     int64
+	perBatch time.Duration
+	slowdown float64
+}
+
+func measure(data skipper.Dataset, strat skipper.Strategy, T, B int, devCfg skipper.DeviceConfig) (result, error) {
+	net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+	})
+	if err != nil {
+		return result{}, err
+	}
+	dev := skipper.NewDevice(devCfg)
+	tr, err := skipper.NewTrainer(net, data, strat, skipper.Config{
+		T: T, Batch: B, Device: dev, MaxBatchesPerEpoch: 2,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer tr.Close()
+	start := time.Now()
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		return result{}, err
+	}
+	return result{
+		peak:     dev.PeakReserved(),
+		perBatch: time.Duration(int64(time.Since(start)) / int64(ep.Batches)),
+		slowdown: dev.SlowdownFactor(),
+	}, nil
+}

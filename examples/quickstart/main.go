@@ -1,0 +1,65 @@
+// Quickstart: train a small spiking VGG on the synthetic CIFAR-10 substitute
+// with Skipper (activation checkpointing + time-skipping) and watch the
+// memory and compute savings against baseline BPTT.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"skipper"
+)
+
+func main() {
+	const (
+		T     = 36 // simulation timesteps
+		batch = 8
+		C     = 4 // temporal checkpoints
+	)
+
+	data, err := skipper.OpenDataset("cifar10", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the same topology under three regimes and compare.
+	for _, mode := range []struct {
+		name  string
+		strat skipper.Strategy
+	}{
+		{"baseline BPTT", skipper.BPTT{}},
+		{"checkpointed", skipper.Checkpoint{C: C}},
+		{"skipper", skipper.Skipper{C: C, P: 25}},
+	} {
+		net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+			Width:   0.5,
+			Classes: data.Classes(),
+			InShape: data.InShape(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev := skipper.NewDevice(skipper.DeviceConfig{}) // unlimited, accounting only
+		tr, err := skipper.NewTrainer(net, data, mode.strat, skipper.Config{
+			T: T, Batch: batch, Device: dev, MaxBatchesPerEpoch: 12,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start := time.Now()
+		ep, err := tr.TrainEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, acc, err := tr.Evaluate(6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s loss %.3f  test-acc %5.2f%%  time %8s  peak activations %10s  skipped %d steps\n",
+			mode.name, ep.MeanLoss(), 100*acc, time.Since(start).Round(time.Millisecond),
+			skipper.FormatBytes(dev.PeakBy(skipper.MemActivations)), ep.SkippedSteps)
+		tr.Close()
+	}
+}

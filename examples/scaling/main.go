@@ -1,0 +1,84 @@
+// Scaling: the paper's Fig 14 in miniature. Under a fixed device budget the
+// baseline's activation memory grows linearly with the time horizon T and
+// soon overflows; temporal checkpointing grows sub-linearly and Skipper
+// slower still, so they keep training at horizons the baseline cannot reach.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"skipper"
+)
+
+func main() {
+	const (
+		baseT = 24
+		batch = 4
+		C     = 2
+	)
+	data, err := skipper.OpenDataset("cifar10", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate a budget from the baseline's footprint at the base horizon.
+	basePeak, _, err := runOnce(data, skipper.BPTT{}, baseT, batch, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := basePeak * 5 / 2
+	fmt.Printf("device budget fixed at %s (2.5x the baseline at T=%d)\n\n", skipper.FormatBytes(budget), baseT)
+	fmt.Printf("%6s %16s %16s %16s\n", "T", "baseline", "checkpointed", "skipper")
+
+	for _, mult := range []int{1, 2, 4, 6} {
+		T := baseT * mult
+		row := fmt.Sprintf("%6d", T)
+		for _, strat := range []skipper.Strategy{
+			skipper.BPTT{},
+			skipper.Checkpoint{C: C},
+			skipper.Skipper{C: C, P: autoP(T, C)},
+		} {
+			peak, _, err := runOnce(data, strat, T, batch, budget)
+			switch {
+			case err == nil:
+				row += fmt.Sprintf(" %16s", skipper.FormatBytes(peak))
+			case errors.Is(err, skipper.ErrOutOfMemory):
+				row += fmt.Sprintf(" %16s", "OOM")
+			default:
+				log.Fatal(err)
+			}
+		}
+		fmt.Println(row)
+	}
+}
+
+// autoP picks 85% of the Eq. 7 skip bound for the VGG5 topology.
+func autoP(T, C int) float64 {
+	return float64(int(0.85 * skipper.MaxSkipPercent(T, C, 6)))
+}
+
+// runOnce trains a single batch under the strategy, returning the peak
+// reserved memory.
+func runOnce(data skipper.Dataset, strat skipper.Strategy, T, batch int, budget int64) (int64, float64, error) {
+	net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	dev := skipper.NewDevice(skipper.DeviceConfig{Budget: budget})
+	tr, err := skipper.NewTrainer(net, data, strat, skipper.Config{
+		T: T, Batch: batch, Device: dev, MaxBatchesPerEpoch: 1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tr.Close()
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		return 0, 0, err
+	}
+	return dev.PeakReserved(), ep.MeanLoss(), nil
+}

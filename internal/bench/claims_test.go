@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"testing"
+
+	"skipper/internal/core"
+)
+
+// TestPaperShapeClaims pins the paper's headline qualitative results across
+// all four sweep workloads at tiny scale:
+//
+//   - memory: skipper < checkpointing < baseline (Figs 7, 12),
+//   - recompute work: skipper replays strictly fewer timesteps than
+//     checkpointing (the source of the Fig 10 speedup),
+//   - TBPTT memory sits below baseline (Fig 12).
+//
+// These are deterministic step-count and byte comparisons, not wall-clock
+// ones, so the test is stable on a loaded machine.
+func TestPaperShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape-claims sweep skipped in -short mode")
+	}
+	for _, model := range sweepModels {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			w, err := WorkloadFor(model, Tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			B := w.Batches[0]
+			opts := measureOpts{batches: 1, seed: 1}
+			base, err := w.measure(core.BPTT{}, B, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck, err := w.measure(core.Checkpoint{C: w.C}, B, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sk, err := w.measure(core.Skipper{C: w.C, P: w.P}, B, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := w.measure(core.TBPTT{Window: w.TrW}, B, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !(sk.PeakTensors < ck.PeakTensors && ck.PeakTensors < base.PeakTensors) {
+				t.Fatalf("memory ordering violated: skipper %d, ckpt %d, baseline %d",
+					sk.PeakTensors, ck.PeakTensors, base.PeakTensors)
+			}
+			if tb.PeakTensors >= base.PeakTensors {
+				t.Fatalf("tbptt memory %d >= baseline %d", tb.PeakTensors, base.PeakTensors)
+			}
+			if sk.Stats.RecomputedSteps >= ck.Stats.RecomputedSteps {
+				t.Fatalf("skipper recomputed %d >= checkpointing %d",
+					sk.Stats.RecomputedSteps, ck.Stats.RecomputedSteps)
+			}
+			if sk.Stats.SkippedSteps == 0 {
+				t.Fatal("skipper skipped nothing")
+			}
+			// Checkpointing performs the extra forward pass: its total
+			// step work exceeds the baseline's.
+			ckWork := ck.Stats.ForwardSteps + ck.Stats.RecomputedSteps
+			if ckWork <= base.Stats.ForwardSteps {
+				t.Fatalf("checkpointing's recompute overhead missing: %d vs %d",
+					ckWork, base.Stats.ForwardSteps)
+			}
+		})
+	}
+}
+
+// TestMemorySavingsGrowWithT pins the Fig 14 scaling shape: the gap between
+// the baseline and the checkpointed/skipper footprints widens as T grows.
+func TestMemorySavingsGrowWithT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep skipped in -short mode")
+	}
+	w, err := WorkloadFor("vgg5", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	B := w.Batches[0]
+	saving := func(T int) float64 {
+		wt := w
+		wt.T = T
+		base, err := wt.measure(core.BPTT{}, B, measureOpts{batches: 1, seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := wt.measure(core.Checkpoint{C: w.C}, B, measureOpts{batches: 1, seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(base.PeakTensors) / float64(ck.PeakTensors)
+	}
+	small, large := saving(w.T), saving(3*w.T)
+	if large <= small {
+		t.Fatalf("memory saving should grow with T: %vx at T=%d vs %vx at T=%d",
+			small, w.T, large, 3*w.T)
+	}
+}

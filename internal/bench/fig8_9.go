@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "LeNet on DVS-gesture trained from scratch: accuracy vs epochs (baseline / C / C&p)",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			bud := budgetFor(cfg.Scale)
+			w, err := WorkloadFor("lenet", cfg.Scale)
+			if err != nil {
+				return err
+			}
+			header(out, "fig8", "from-scratch accuracy curves", w)
+			B := w.Batches[len(w.Batches)-1]
+			epochs := bud.epochs * 2
+			strats := []core.Strategy{
+				core.BPTT{},
+				core.Checkpoint{C: w.C},
+				core.Skipper{C: w.C, P: w.P},
+			}
+			for _, strat := range strats {
+				net, err := w.buildNet()
+				if err != nil {
+					return err
+				}
+				data, err := dataset.Open(w.Data, cfg.seed())
+				if err != nil {
+					return err
+				}
+				tr, err := core.NewTrainer(net, data, strat, core.Config{
+					T: w.T, Batch: B, Seed: cfg.seed(), MaxBatchesPerEpoch: bud.batchesPerEpoch,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "-- %s --\n%8s %12s %12s\n", strat.Name(), "epoch", "train acc", "val acc")
+				for e := 1; e <= epochs; e++ {
+					ep, err := tr.TrainEpoch()
+					if err != nil {
+						tr.Close()
+						return err
+					}
+					_, val, err := tr.Evaluate(bud.evalBatches)
+					if err != nil {
+						tr.Close()
+						return err
+					}
+					fmt.Fprintf(out, "%8d %11.2f%% %11.2f%%\n", e, 100*ep.Accuracy(), 100*val)
+				}
+				tr.Close()
+			}
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig9",
+		Title: "LeNet on DVS-gesture: accuracy vs timesteps, baseline vs skipper",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			bud := budgetFor(cfg.Scale)
+			w, err := WorkloadFor("lenet", cfg.Scale)
+			if err != nil {
+				return err
+			}
+			header(out, "fig9", "accuracy vs T", w)
+			net, err := w.buildNet()
+			if err != nil {
+				return err
+			}
+			ln := net.StatefulCount()
+			B := w.Batches[len(w.Batches)-1]
+			fmt.Fprintf(out, "%8s %14s %14s\n", "T", "baseline", "skipper")
+			for _, T := range tSweep(2*ln, cfg.Scale) {
+				base, err := trainAndEval(w, core.BPTT{}, T, B, bud, cfg.seed())
+				if err != nil {
+					return err
+				}
+				// Re-derive an admissible (C, p) for this T.
+				C := w.C
+				for C > 1 && T/C <= ln {
+					C--
+				}
+				p := w.P
+				if maxP := core.MaxSkipPercent(T, C, ln); p > maxP {
+					p = float64(int(0.85 * maxP))
+				}
+				skp, err := trainAndEval(w, core.Skipper{C: C, P: p}, T, B, bud, cfg.seed())
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%8d %13.2f%% %13.2f%% (C=%d,p=%.0f)\n", T, 100*base, 100*skp, C, p)
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"skipper/internal/core"
+)
+
+// strategiesFor builds the Table I strategy column for a workload.
+func strategiesFor(w Workload) []core.Strategy {
+	return []core.Strategy{
+		core.BPTT{},
+		core.Checkpoint{C: w.C},
+		core.Skipper{C: w.C, P: w.P},
+		core.TBPTT{Window: w.TrW},
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Test accuracy of 5 networks under BPTT / Checkpointed / Skipper / TBPTT",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			bud := budgetFor(cfg.Scale)
+			modelsList := []string{"vgg5", "vgg11", "resnet20", "lenet", "customnet"}
+			fmt.Fprintf(out, "== table1: SNN test accuracy per training technique ==\n")
+			fmt.Fprintf(out, "%-10s %-12s %6s %6s | %10s %16s %18s %14s\n",
+				"network", "dataset", "T", "B", "BPTT", "Checkpointed", "Skipper", "TBPTT")
+			for _, model := range modelsList {
+				w, err := WorkloadFor(model, cfg.Scale)
+				if err != nil {
+					return err
+				}
+				B := w.Batches[len(w.Batches)-1]
+				row := fmt.Sprintf("%-10s %-12s %6d %6d |", model, w.Data, w.T, B)
+				for _, strat := range strategiesFor(w) {
+					acc, err := trainAndEval(w, strat, w.T, B, bud, cfg.seed())
+					if err != nil {
+						return fmt.Errorf("table1 %s/%s: %w", model, strat.Name(), err)
+					}
+					label := strat.Name()
+					switch strat.(type) {
+					case core.BPTT:
+						row += fmt.Sprintf(" %9.4f", acc)
+					case core.Checkpoint:
+						row += fmt.Sprintf(" %9.4f (C=%d)", acc, w.C)
+					case core.Skipper:
+						row += fmt.Sprintf(" %9.4f (p=%.0f)", acc, w.P)
+					case core.TBPTT:
+						row += fmt.Sprintf(" %9.4f (trW=%d)", acc, w.TrW)
+					default:
+						row += fmt.Sprintf(" %s %9.4f", label, acc)
+					}
+				}
+				fmt.Fprintln(out, row)
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualActivityBoundsUniformProfile(t *testing.T) {
+	profile := make([]float64, 20)
+	for i := range profile {
+		profile[i] = 1
+	}
+	bounds := EqualActivityBounds(profile, 2, 4)
+	if len(bounds) != 2 || bounds[0] != 0 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// A flat profile should split roughly in half.
+	if bounds[1] < 8 || bounds[1] > 12 {
+		t.Fatalf("flat-profile split at %d, want ~10", bounds[1])
+	}
+}
+
+func TestEqualActivityBoundsSkewedProfile(t *testing.T) {
+	// All activity in the first quarter: the first segment should end early.
+	profile := make([]float64, 40)
+	for i := 0; i < 10; i++ {
+		profile[i] = 10
+	}
+	for i := 10; i < 40; i++ {
+		profile[i] = 0.1
+	}
+	bounds := EqualActivityBounds(profile, 2, 4)
+	if bounds[1] >= 20 {
+		t.Fatalf("skewed profile should pull the boundary early, got %v", bounds)
+	}
+	if bounds[1]-bounds[0] <= 4 {
+		t.Fatalf("min segment length violated: %v", bounds)
+	}
+}
+
+func TestEqualActivityBoundsZeroProfile(t *testing.T) {
+	bounds := EqualActivityBounds(make([]float64, 12), 3, 2)
+	want := CheckpointTimes(12, 3)
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("zero profile should fall back to uniform: %v vs %v", bounds, want)
+		}
+	}
+}
+
+// Property: bounds are strictly increasing, start at 0, respect the minimum
+// segment length against both neighbours and the horizon end.
+func TestEqualActivityBoundsProperty(t *testing.T) {
+	f := func(raw []uint8, cRaw, minRaw uint8) bool {
+		T := len(raw)
+		minLen := int(minRaw%4) + 1
+		C := int(cRaw%4) + 1
+		if T < C*(minLen+2) || T == 0 {
+			return true
+		}
+		profile := make([]float64, T)
+		for i, v := range raw {
+			profile[i] = float64(v)
+		}
+		bounds := EqualActivityBounds(profile, C, minLen)
+		if len(bounds) != C || bounds[0] != 0 {
+			return false
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i]-bounds[i-1] <= minLen {
+				return false
+			}
+		}
+		return bounds[len(bounds)-1] < T
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveSkipperTrains(t *testing.T) {
+	const T = 24
+	net, data, _, _ := tinySetup(t, T)
+	strat := &AdaptiveSkipper{C: 2, P: 25}
+	tr := newTestTrainer(t, net, data, strat, Config{T: T, Batch: 2, MaxBatchesPerEpoch: 3})
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.SkippedSteps == 0 {
+		t.Fatal("adaptive skipper skipped nothing")
+	}
+	if strat.profile == nil || len(strat.profile) != T {
+		t.Fatal("activity profile not learned")
+	}
+	// After the first batch the placement may differ from uniform; it must
+	// still satisfy the constraints.
+	bounds := strat.placements(T)
+	if len(bounds) != 2 || bounds[0] != 0 || bounds[1] <= net.StatefulCount() {
+		t.Fatalf("placement %v violates constraints", bounds)
+	}
+}
+
+func TestAdaptiveSkipperFirstBatchUniform(t *testing.T) {
+	strat := &AdaptiveSkipper{C: 3, P: 10}
+	bounds := strat.placements(30)
+	want := CheckpointTimes(30, 3)
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("first batch should place uniformly: %v", bounds)
+		}
+	}
+}
+
+func TestAdaptiveSkipperValidation(t *testing.T) {
+	net, data, _, _ := tinySetup(t, 12)
+	if _, err := NewTrainer(net, data, &AdaptiveSkipper{C: 3, P: 10}, Config{T: 12, Batch: 1}); err == nil {
+		t.Fatal("segment length constraint must apply to the adaptive variant")
+	}
+	if _, err := NewTrainer(net, data, &AdaptiveSkipper{C: 2, P: 150}, Config{T: 12, Batch: 1}); err == nil {
+		t.Fatal("percentile out of range must be rejected")
+	}
+}
+
+// With a flat synthetic profile the adaptive variant matches plain Skipper's
+// accounting (same number of interior steps covered).
+func TestAdaptiveCoversAllInteriorSteps(t *testing.T) {
+	const T = 24
+	net, data, input, labels := tinySetup(t, T)
+	strat := &AdaptiveSkipper{C: 2, P: 20}
+	tr := newTestTrainer(t, net, data, strat, Config{T: T, Batch: 2})
+	net.ZeroGrads()
+	st, err := strat.TrainBatch(tr, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecomputedSteps+st.SkippedSteps != T-2 {
+		t.Fatalf("interior coverage broken: %d + %d != %d", st.RecomputedSteps, st.SkippedSteps, T-2)
+	}
+	if st.BackwardSteps != st.RecomputedSteps+2 {
+		t.Fatalf("backward steps %d, want survivors + checkpoints = %d", st.BackwardSteps, st.RecomputedSteps+2)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+)
+
+func TestAutoTuneUnlimitedPicksBPTT(t *testing.T) {
+	net, _, _, _ := tinySetup(t, 18)
+	plan, err := AutoTune(net, []int{3, 16, 16}, Config{T: 18, Batch: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Strategy.(BPTT); !ok {
+		t.Fatalf("unlimited budget should pick BPTT, got %s", plan.Strategy.Name())
+	}
+}
+
+func TestAutoTuneDegradesGracefully(t *testing.T) {
+	const T = 24
+	net, _, _, _ := tinySetup(t, T)
+	cfg := Config{T: T, Batch: 4}
+	full, err := AutoTune(net, []int{3, 16, 16}, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just below the full-unroll prediction: must fall back to checkpointing.
+	planCkpt, err := AutoTune(net, []int{3, 16, 16}, cfg, full.PredictedPeak-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := planCkpt.Strategy.(Checkpoint); !ok {
+		t.Fatalf("tight budget should pick checkpointing, got %s (%s)", planCkpt.Strategy.Name(), planCkpt.Reason)
+	}
+	if planCkpt.PredictedPeak >= full.PredictedPeak {
+		t.Fatal("checkpoint plan should predict less memory than BPTT")
+	}
+	// Just below the checkpoint prediction: must pick skipper.
+	planSkip, err := AutoTune(net, []int{3, 16, 16}, cfg, planCkpt.PredictedPeak-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := planSkip.Strategy.(Skipper); !ok {
+		t.Fatalf("tighter budget should pick skipper, got %s (%s)", planSkip.Strategy.Name(), planSkip.Reason)
+	}
+	if planSkip.P <= 0 {
+		t.Fatal("skipper plan should have a positive skip percentile")
+	}
+	if !strings.Contains(planSkip.Reason, "Eq.7") {
+		t.Fatalf("reason should cite the Eq.7 bound: %q", planSkip.Reason)
+	}
+}
+
+func TestAutoTuneImpossibleBudget(t *testing.T) {
+	net, _, _, _ := tinySetup(t, 18)
+	if _, err := AutoTune(net, []int{3, 16, 16}, Config{T: 18, Batch: 2}, 1024); err == nil {
+		t.Fatal("1 KiB budget must be rejected")
+	}
+}
+
+func TestAutoTuneRejectsShortHorizon(t *testing.T) {
+	net, _, _, _ := tinySetup(t, 18) // L_n = 4
+	if _, err := AutoTune(net, []int{3, 16, 16}, Config{T: 3, Batch: 2}, 0); err == nil {
+		t.Fatal("T <= L_n must be rejected")
+	}
+}
+
+// The tuned plan must actually run within the budget it was tuned for.
+func TestAutoTunePlanActuallyFits(t *testing.T) {
+	const T = 24
+	net, data, _, _ := tinySetup(t, T)
+	cfg := Config{T: T, Batch: 4, MaxBatchesPerEpoch: 1}
+	full, err := AutoTune(net, []int{3, 16, 16}, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a budget that excludes BPTT but admits the tuned fallback.
+	budget := full.PredictedPeak * 6 / 10
+	plan, err := AutoTune(net, []int{3, 16, 16}, cfg, budget)
+	if err != nil {
+		t.Skipf("no plan fits %d: %v", budget, err)
+	}
+	dev := mem.NewDevice(mem.Config{Budget: budget})
+	runCfg := cfg
+	runCfg.Device = dev
+	tr, err := NewTrainer(net, data, plan.Strategy, runCfg)
+	if err != nil {
+		t.Fatalf("tuned plan %s failed to construct: %v", plan.Strategy.Name(), err)
+	}
+	defer tr.Close()
+	if _, err := tr.TrainEpoch(); err != nil {
+		t.Fatalf("tuned plan %s (%s, predicted %d) OOMed within budget %d: %v",
+			plan.Strategy.Name(), plan.Reason, plan.PredictedPeak, budget, err)
+	}
+	_ = dataset.Train
+}

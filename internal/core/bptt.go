@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/tensor"
+)
+
+// BPTT is the baseline: the network is fully unrolled in time, every
+// timestep's activations (U_t, o_t of every layer) stay resident until the
+// backward pass consumes them (paper Sec. III-B). Activation memory grows
+// linearly with T — the problem the other strategies attack.
+type BPTT struct{}
+
+// Name implements Strategy.
+func (BPTT) Name() string { return "bptt" }
+
+// Validate implements Strategy.
+func (BPTT) Validate(cfg Config, net *layers.Network) error {
+	if cfg.T <= net.StatefulCount() {
+		return fmt.Errorf("core: bptt needs T > L_n (%d <= %d) for spikes to reach the readout", cfg.T, net.StatefulCount())
+	}
+	return nil
+}
+
+// TrainBatch implements Strategy.
+func (BPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
+	T := tr.Cfg.T
+	st := StepStats{N: len(labels)}
+	rs := newRecordStore(tr.Dev)
+	defer rs.dropAll()
+
+	la := newLossAccumulator(tr.Cfg, labels)
+	fwd := time.Now()
+	var states []*layers.LayerState
+	for t := 0; t < T; t++ {
+		states = tr.Net.ForwardStep(input[t], states)
+		if err := rs.put(t, states); err != nil {
+			return st, fmt.Errorf("core: bptt forward t=%d: %w", t, err)
+		}
+		la.observe(t, tr.Net.Logits(states))
+		st.ForwardSteps++
+	}
+	st.ForwardTime = time.Since(fwd)
+	st.Loss, st.Correct = la.Loss, la.Correct
+
+	bwd := time.Now()
+	scratch, err := tr.deltaScratch(len(labels))
+	if err != nil {
+		return st, fmt.Errorf("core: bptt backward scratch: %w", err)
+	}
+	defer scratch.Release()
+	outIdx := len(tr.Net.Layers) - 1
+	var deltas []*layers.Delta
+	for t := T - 1; t >= 0; t-- {
+		var inject map[int]*tensor.Tensor
+		if dl := la.at(t); dl != nil {
+			inject = map[int]*tensor.Tensor{outIdx: dl}
+		}
+		deltas = tr.Net.BackwardStep(input[t], rs.get(t), inject, deltas)
+		rs.drop(t)
+		st.BackwardSteps++
+	}
+	st.BackwardTime = time.Since(bwd)
+	return st, nil
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's contribution: BPTT training of
+// spiking networks with temporal activation checkpointing (Sec. V) and
+// Skipper — checkpointing plus spike-activity-guided time-skipping (Sec. VI)
+// — alongside the baselines it is evaluated against: full BPTT, truncated
+// BPTT (Sec. III-C), and temporally-truncated local backpropagation
+// (TBPTT-LBP, Guo et al. [28]).
+//
+// The engine runs a real forward/backward computation (so compute overheads
+// are measured, not modelled) and charges every device-resident tensor to a
+// mem.Device (so the paper's memory figures are measured from the same
+// tensor lifecycle the reference PyTorch implementation has).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"skipper/internal/mem"
+	"skipper/internal/opt"
+)
+
+// Config holds the training hyper-parameters shared by all strategies.
+type Config struct {
+	// T is the number of simulation timesteps per sample.
+	T int
+	// Batch is the mini-batch size.
+	Batch int
+	// LR is the learning rate. Zero means 1e-3.
+	LR float32
+	// Optimizer is "adam" (default) or "sgd".
+	Optimizer string
+	// Seed drives all stochasticity (shuffling, dropout, encoding).
+	Seed uint64
+	// GradClip caps the global gradient norm; 0 disables.
+	GradClip float32
+	// Device is the memory accountant; nil means an unlimited device.
+	Device *mem.Device
+	// MaxBatchesPerEpoch caps an epoch for timing runs; 0 means the full
+	// split (the paper measures on 40–100% of the training set).
+	MaxBatchesPerEpoch int
+	// Schedule optionally varies the learning rate per epoch; nil keeps LR
+	// constant.
+	Schedule opt.Schedule
+	// LossWindow applies the cross-entropy loss to the readout at each of
+	// the last LossWindow timesteps (averaged) instead of only the final
+	// one — the rate-readout variant common in SNN training. 0 or 1 means
+	// final-step-only, the paper's setting.
+	LossWindow int
+	// MicroBatch enables gradient accumulation: each optimisation step
+	// processes the Batch samples in micro-batches of this size, so the
+	// live activation footprint scales with MicroBatch while the gradient
+	// quality matches the full batch — the batch-axis counterpart of the
+	// paper's time-axis techniques. 0 disables (one pass per step).
+	MicroBatch int
+	// CompressSpikes bit-packs the binary spike tensors of checkpoint
+	// boundary records (32× smaller), shrinking the O(C) term of Eq. 3.
+	// Lossless — gradient exactness is preserved. Applies to the
+	// Checkpoint, Skipper, and AdaptiveSkipper strategies.
+	CompressSpikes bool
+	// Metrics, when non-nil, receives one JSON line per epoch (loss,
+	// accuracy, step counts, durations, peak memory) — machine-readable
+	// training telemetry for dashboards and regression tracking.
+	Metrics io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = "adam"
+	}
+	if c.Device == nil {
+		c.Device = mem.Unlimited()
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5EED
+	}
+	return c
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	if c.T < 1 {
+		return fmt.Errorf("core: T = %d must be >= 1", c.T)
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("core: batch = %d must be >= 1", c.Batch)
+	}
+	if c.LossWindow < 0 || c.LossWindow > c.T {
+		return fmt.Errorf("core: loss window %d outside [0, T=%d]", c.LossWindow, c.T)
+	}
+	if c.MicroBatch < 0 || c.MicroBatch > c.Batch {
+		return fmt.Errorf("core: micro-batch %d outside [0, batch=%d]", c.MicroBatch, c.Batch)
+	}
+	return nil
+}
+
+// lossWindow returns the effective window length (>= 1).
+func (c Config) lossWindow() int {
+	if c.LossWindow < 1 {
+		return 1
+	}
+	return c.LossWindow
+}
+
+// CheckpointTimes returns the checkpoint timesteps {0, T/C, 2T/C, ...} for C
+// uniform temporal checkpoints over T steps (paper Sec. V). The remainder
+// lands in the final segment.
+func CheckpointTimes(T, C int) []int {
+	ts := make([]int, C)
+	seg := T / C
+	for s := 0; s < C; s++ {
+		ts[s] = s * seg
+	}
+	return ts
+}
+
+// SegmentBounds returns the [start, end) timestep range of checkpoint
+// segment s out of C over T steps.
+func SegmentBounds(T, C, s int) (start, end int) {
+	seg := T / C
+	start = s * seg
+	end = start + seg
+	if s == C-1 {
+		end = T
+	}
+	return start, end
+}
+
+// ValidateCheckpoints enforces the paper's boundary conditions (Sec. V-A):
+// 1 <= C <= T, and each time segment must be longer than the number of
+// stateful layers so spikes can propagate through the whole stack within a
+// segment: T/C > L_n, i.e. C < T/L_n.
+func ValidateCheckpoints(T, C, Ln int) error {
+	if C < 1 {
+		return fmt.Errorf("core: checkpoints C = %d must be >= 1", C)
+	}
+	if C > T {
+		return fmt.Errorf("core: checkpoints C = %d exceed timesteps T = %d", C, T)
+	}
+	if Ln > 0 && T/C <= Ln {
+		return fmt.Errorf("core: segment length T/C = %d must exceed L_n = %d (choose C < T/L_n = %d)",
+			T/C, Ln, T/Ln)
+	}
+	return nil
+}
+
+// MaxSkipPercent returns the paper's Eq. 7 upper bound on the skip
+// percentile p for a network with Ln stateful layers checkpointed C times
+// over T steps: p/100 <= 1 − Ln/(T/C). The result is clamped to [0, 100].
+func MaxSkipPercent(T, C, Ln int) float64 {
+	if T <= 0 || C <= 0 {
+		return 0
+	}
+	seg := float64(T) / float64(C)
+	p := 100 * (1 - float64(Ln)/seg)
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	return p
+}
+
+// ValidateSkip enforces Eq. 7 for a requested skip percentile.
+func ValidateSkip(T, C, Ln int, p float64) error {
+	if p < 0 || p > 100 {
+		return fmt.Errorf("core: skip percentile %v outside [0,100]", p)
+	}
+	// A tiny tolerance absorbs the floating-point error of the bound
+	// itself, so a p sitting exactly on it (e.g. 20 vs 100*(1-4/5)) passes.
+	const eps = 1e-6
+	if maxP := MaxSkipPercent(T, C, Ln); p > maxP+eps {
+		return fmt.Errorf("core: skip percentile %v exceeds Eq.7 bound %.1f for T=%d C=%d L_n=%d",
+			p, maxP, T, C, Ln)
+	}
+	return nil
+}

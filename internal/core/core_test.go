@@ -1,0 +1,566 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"skipper/internal/dataset"
+	"skipper/internal/layers"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+// tinySetup builds a deterministic small network + dataset batch for
+// strategy-equivalence tests.
+func tinySetup(t *testing.T, T int) (*layers.Network, dataset.Source, []*tensor.Tensor, []int) {
+	t.Helper()
+	net, err := models.Build("customnet", models.Options{Width: 0.5, InShape: []int{3, 16, 16}, Classes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dataset.Open("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, labels := data.SpikeBatch(dataset.Train, []int{0, 1}, T)
+	return net, data, input, labels
+}
+
+func newTestTrainer(t *testing.T, net *layers.Network, data dataset.Source, strat Strategy, cfg Config) *Trainer {
+	t.Helper()
+	tr, err := NewTrainer(net, data, strat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+func gradsOf(net *layers.Network) []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, p := range net.Params() {
+		gs = append(gs, p.G.Clone())
+	}
+	return gs
+}
+
+func maxGradDiff(a, b []*tensor.Tensor) float64 {
+	var m float64
+	for i := range a {
+		for j := range a[i].Data {
+			d := math.Abs(float64(a[i].Data[j] - b[i].Data[j]))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// The paper's central exactness property: activation checkpointing replays
+// the identical forward, so its gradients match baseline BPTT bit-for-bit.
+func TestCheckpointGradientsExactlyMatchBPTT(t *testing.T) {
+	const T = 12
+	netA, data, input, labels := tinySetup(t, T)
+	netB, _, _, _ := tinySetup(t, T)
+
+	cfg := Config{T: T, Batch: 2}
+	trA := newTestTrainer(t, netA, data, BPTT{}, cfg)
+	trB := newTestTrainer(t, netB, data, Checkpoint{C: 2}, cfg)
+
+	netA.ZeroGrads()
+	stA, err := BPTT{}.TrainBatch(trA, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB.ZeroGrads()
+	stB, err := (Checkpoint{C: 2}).TrainBatch(trB, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Loss != stB.Loss {
+		t.Fatalf("loss differs: %v vs %v", stA.Loss, stB.Loss)
+	}
+	if d := maxGradDiff(gradsOf(netA), gradsOf(netB)); d != 0 {
+		t.Fatalf("checkpointing must be gradient-exact; max |Δgrad| = %v", d)
+	}
+	if stB.RecomputedSteps != T-2 {
+		// T=12, C=2 → segments [0,6) and [6,12); interiors 5+5 = 10 = T-2.
+		t.Fatalf("RecomputedSteps = %d, want %d", stB.RecomputedSteps, T-2)
+	}
+	if stA.BackwardSteps != T || stB.BackwardSteps != T {
+		t.Fatalf("backward steps %d / %d, want %d", stA.BackwardSteps, stB.BackwardSteps, T)
+	}
+}
+
+// Skipper at p=0 skips nothing, so it too must reproduce BPTT exactly.
+func TestSkipperP0MatchesBPTT(t *testing.T) {
+	const T = 12
+	netA, data, input, labels := tinySetup(t, T)
+	netB, _, _, _ := tinySetup(t, T)
+	cfg := Config{T: T, Batch: 2}
+	trA := newTestTrainer(t, netA, data, BPTT{}, cfg)
+	trB := newTestTrainer(t, netB, data, Skipper{C: 2, P: 0}, cfg)
+
+	netA.ZeroGrads()
+	if _, err := (BPTT{}).TrainBatch(trA, input, labels); err != nil {
+		t.Fatal(err)
+	}
+	netB.ZeroGrads()
+	stB, err := (Skipper{C: 2, P: 0}).TrainBatch(trB, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.SkippedSteps != 0 {
+		t.Fatalf("p=0 skipped %d steps", stB.SkippedSteps)
+	}
+	if d := maxGradDiff(gradsOf(netA), gradsOf(netB)); d != 0 {
+		t.Fatalf("skipper(p=0) must equal BPTT; max |Δgrad| = %v", d)
+	}
+}
+
+// TBPTT with a single window spanning all of T is exactly BPTT.
+func TestTBPTTFullWindowMatchesBPTT(t *testing.T) {
+	const T = 12
+	netA, data, input, labels := tinySetup(t, T)
+	netB, _, _, _ := tinySetup(t, T)
+	cfg := Config{T: T, Batch: 2}
+	trA := newTestTrainer(t, netA, data, BPTT{}, cfg)
+	trB := newTestTrainer(t, netB, data, TBPTT{Window: T}, cfg)
+
+	netA.ZeroGrads()
+	if _, err := (BPTT{}).TrainBatch(trA, input, labels); err != nil {
+		t.Fatal(err)
+	}
+	netB.ZeroGrads()
+	if _, err := (TBPTT{Window: T}).TrainBatch(trB, input, labels); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxGradDiff(gradsOf(netA), gradsOf(netB)); d != 0 {
+		t.Fatalf("tbptt(trW=T) must equal BPTT; max |Δgrad| = %v", d)
+	}
+}
+
+func TestSkipperActuallySkips(t *testing.T) {
+	const T = 18
+	net, data, input, labels := tinySetup(t, T)
+	cfg := Config{T: T, Batch: 2}
+	strat := Skipper{C: 2, P: 30}
+	tr := newTestTrainer(t, net, data, strat, cfg)
+	net.ZeroGrads()
+	st, err := strat.TrainBatch(tr, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedSteps == 0 {
+		t.Fatal("skipper(p=30) skipped nothing")
+	}
+	if st.RecomputedSteps+st.SkippedSteps != T-2 {
+		t.Fatalf("recomputed %d + skipped %d != %d interior steps", st.RecomputedSteps, st.SkippedSteps, T-2)
+	}
+	// Roughly p% of interior steps skipped (percentile property).
+	frac := float64(st.SkippedSteps) / float64(T-2)
+	if frac > 0.45 {
+		t.Fatalf("skip fraction %v far exceeds p=30%%", frac)
+	}
+	// Gradients still flow.
+	var norm float64
+	for _, p := range net.Params() {
+		norm += float64(tensor.Norm2(p.G))
+	}
+	if norm == 0 {
+		t.Fatal("skipper produced zero gradients")
+	}
+}
+
+// Peak activation memory: checkpointing must beat baseline, and skipper must
+// beat plain checkpointing (paper Figs. 7 and 12).
+func TestActivationMemoryOrdering(t *testing.T) {
+	const T = 18
+	measure := func(strat Strategy) int64 {
+		net, data, input, labels := tinySetup(t, T)
+		dev := mem.Unlimited()
+		cfg := Config{T: T, Batch: 2, Device: dev}
+		tr := newTestTrainer(t, net, data, strat, cfg)
+		net.ZeroGrads()
+		if _, err := tr.Strat.TrainBatch(tr, input, labels); err != nil {
+			t.Fatal(err)
+		}
+		return dev.PeakBy(mem.Activations)
+	}
+	base := measure(BPTT{})
+	ckpt := measure(Checkpoint{C: 3})
+	skip := measure(Skipper{C: 3, P: 30})
+	if ckpt >= base {
+		t.Fatalf("checkpoint peak %d >= baseline %d", ckpt, base)
+	}
+	if skip >= ckpt {
+		t.Fatalf("skipper peak %d >= checkpoint %d", skip, ckpt)
+	}
+}
+
+func TestTBPTTMemoryBelowBaseline(t *testing.T) {
+	const T = 18
+	measure := func(strat Strategy) int64 {
+		net, data, input, labels := tinySetup(t, T)
+		dev := mem.Unlimited()
+		cfg := Config{T: T, Batch: 2, Device: dev}
+		tr := newTestTrainer(t, net, data, strat, cfg)
+		net.ZeroGrads()
+		if _, err := tr.Strat.TrainBatch(tr, input, labels); err != nil {
+			t.Fatal(err)
+		}
+		return dev.PeakBy(mem.Activations)
+	}
+	base := measure(BPTT{})
+	trunc := measure(TBPTT{Window: 6})
+	if trunc >= base {
+		t.Fatalf("tbptt peak %d >= baseline %d", trunc, base)
+	}
+}
+
+// Under a tight budget the baseline OOMs while checkpointing fits — the
+// microcosm of paper Fig. 14.
+func TestBudgetBaselineOOMsCheckpointFits(t *testing.T) {
+	const T = 18
+	run := func(strat Strategy, budget int64) error {
+		net, data, input, labels := tinySetup(t, T)
+		dev := mem.NewDevice(mem.Config{Budget: budget})
+		cfg := Config{T: T, Batch: 2, Device: dev}
+		tr, err := NewTrainer(net, data, strat, cfg)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		net.ZeroGrads()
+		_, err = strat.TrainBatch(tr, input, labels)
+		return err
+	}
+	// Measure both peaks on unlimited devices and pick a budget between
+	// them: checkpointing fits, the baseline cannot.
+	peakOf := func(strat Strategy) int64 {
+		net, data, input, labels := tinySetup(t, T)
+		dev := mem.Unlimited()
+		tr := newTestTrainer(t, net, data, strat, Config{T: T, Batch: 2, Device: dev})
+		net.ZeroGrads()
+		if _, err := strat.TrainBatch(tr, input, labels); err != nil {
+			t.Fatal(err)
+		}
+		return dev.PeakReserved()
+	}
+	ckptPeak, basePeak := peakOf(Checkpoint{C: 3}), peakOf(BPTT{})
+	if ckptPeak >= basePeak {
+		t.Fatalf("precondition: checkpoint peak %d >= baseline %d", ckptPeak, basePeak)
+	}
+	budget := (ckptPeak + basePeak) / 2
+
+	if err := run(Checkpoint{C: 3}, budget); err != nil {
+		t.Fatalf("checkpoint should fit in %d: %v", budget, err)
+	}
+	err := run(BPTT{}, budget)
+	if !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("baseline should OOM in %d, got %v", budget, err)
+	}
+}
+
+func TestDeviceBalancedAfterTraining(t *testing.T) {
+	const T = 12
+	net, data, _, _ := tinySetup(t, T)
+	dev := mem.Unlimited()
+	cfg := Config{T: T, Batch: 2, Device: dev, MaxBatchesPerEpoch: 2}
+	tr, err := NewTrainer(net, data, Skipper{C: 2, P: 20}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if got := dev.Allocated(); got != 0 {
+		t.Fatalf("device leaks %d bytes after Close", got)
+	}
+	tr.Close() // double close is safe
+}
+
+func TestTrainEpochAndEvaluate(t *testing.T) {
+	const T = 10
+	net, data, _, _ := tinySetup(t, T)
+	cfg := Config{T: T, Batch: 4, MaxBatchesPerEpoch: 3}
+	tr := newTestTrainer(t, net, data, BPTT{}, cfg)
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Batches != 3 || ep.N != 12 {
+		t.Fatalf("epoch batches=%d n=%d", ep.Batches, ep.N)
+	}
+	if ep.MeanLoss() <= 0 || math.IsNaN(ep.MeanLoss()) {
+		t.Fatalf("mean loss %v", ep.MeanLoss())
+	}
+	if ep.Accuracy() < 0 || ep.Accuracy() > 1 {
+		t.Fatalf("accuracy %v", ep.Accuracy())
+	}
+	loss, acc, err := tr.Evaluate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 || acc < 0 || acc > 1 {
+		t.Fatalf("eval loss=%v acc=%v", loss, acc)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	const T = 10
+	net, data, _, _ := tinySetup(t, T)
+	cfg := Config{T: T, Batch: 8, LR: 2e-3, MaxBatchesPerEpoch: 8}
+	tr := newTestTrainer(t, net, data, Skipper{C: 2, P: 15}, cfg)
+	first, err := tr.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last EpochStats
+	for e := 0; e < 4; e++ {
+		last, err = tr.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.MeanLoss() >= first.MeanLoss() {
+		t.Fatalf("loss did not decrease: %v -> %v", first.MeanLoss(), last.MeanLoss())
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	const T = 10
+	run := func() float64 {
+		net, data, _, _ := tinySetup(t, T)
+		cfg := Config{T: T, Batch: 4, Seed: 99, MaxBatchesPerEpoch: 2}
+		tr := newTestTrainer(t, net, data, Checkpoint{C: 2}, cfg)
+		ep, err := tr.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ep.Loss
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("training not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	net, data, _, _ := tinySetup(t, 12) // customnet L_n = 4
+	cases := []struct {
+		strat Strategy
+		cfg   Config
+		ok    bool
+	}{
+		{BPTT{}, Config{T: 12, Batch: 1}, true},
+		{BPTT{}, Config{T: 3, Batch: 1}, false},            // T <= L_n
+		{Checkpoint{C: 2}, Config{T: 12, Batch: 1}, true},  // seg 6 > 4
+		{Checkpoint{C: 3}, Config{T: 12, Batch: 1}, false}, // seg 4 == L_n
+		{Checkpoint{C: 0}, Config{T: 12, Batch: 1}, false},
+		{Checkpoint{C: 13}, Config{T: 12, Batch: 1}, false},
+		{Skipper{C: 2, P: 30}, Config{T: 12, Batch: 1}, true},  // bound 33.3
+		{Skipper{C: 2, P: 50}, Config{T: 12, Batch: 1}, false}, // above Eq.7
+		{Skipper{C: 2, P: -1}, Config{T: 12, Batch: 1}, false},
+		{TBPTT{Window: 6}, Config{T: 12, Batch: 1}, true},
+		{TBPTT{Window: 4}, Config{T: 12, Batch: 1}, false}, // <= L_n
+		{TBPTT{Window: 0}, Config{T: 12, Batch: 1}, false},
+		{TBPTT{Window: 13}, Config{T: 12, Batch: 1}, false},
+		{&TBPTTLBP{Window: 6, LocalAt: []int{1}}, Config{T: 12, Batch: 1}, true},
+		{&TBPTTLBP{Window: 6, LocalAt: []int{99}}, Config{T: 12, Batch: 1}, false},
+	}
+	for i, c := range cases {
+		tr, err := NewTrainer(net, data, c.strat, c.cfg)
+		if c.ok && err != nil {
+			t.Fatalf("case %d (%s): unexpected error %v", i, c.strat.Name(), err)
+		}
+		if !c.ok && err == nil {
+			tr.Close()
+			t.Fatalf("case %d (%s): expected validation error", i, c.strat.Name())
+		}
+		if tr != nil && err == nil {
+			tr.Close()
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if (Config{T: 0, Batch: 1}).Validate() == nil {
+		t.Fatal("T=0 must fail")
+	}
+	if (Config{T: 5, Batch: 0}).Validate() == nil {
+		t.Fatal("batch=0 must fail")
+	}
+}
+
+func TestCheckpointMath(t *testing.T) {
+	ts := CheckpointTimes(20, 2)
+	if len(ts) != 2 || ts[0] != 0 || ts[1] != 10 {
+		t.Fatalf("CheckpointTimes = %v (paper example: t=0 and t=10)", ts)
+	}
+	s0, e0 := SegmentBounds(20, 2, 0)
+	s1, e1 := SegmentBounds(20, 2, 1)
+	if s0 != 0 || e0 != 10 || s1 != 10 || e1 != 20 {
+		t.Fatalf("segments [%d,%d) [%d,%d)", s0, e0, s1, e1)
+	}
+	// Remainder goes to the last segment.
+	_, eLast := SegmentBounds(23, 2, 1)
+	if eLast != 23 {
+		t.Fatalf("last segment end %d, want 23", eLast)
+	}
+}
+
+func TestMaxSkipPercentEq7(t *testing.T) {
+	// Eq. 7: p <= (1 - Ln/(T/C))·100. VGG5 at T=100, C=4, Ln=6 -> 76%.
+	if got := MaxSkipPercent(100, 4, 6); math.Abs(got-76) > 1e-9 {
+		t.Fatalf("MaxSkipPercent = %v, want 76", got)
+	}
+	if got := MaxSkipPercent(10, 5, 6); got != 0 {
+		t.Fatalf("infeasible config should clamp to 0, got %v", got)
+	}
+	if got := MaxSkipPercent(0, 1, 1); got != 0 {
+		t.Fatalf("T=0 should give 0, got %v", got)
+	}
+}
+
+func TestSAMMetrics(t *testing.T) {
+	net, _, input, _ := tinySetup(t, 6)
+	states := net.ForwardStep(input[0], nil)
+	for _, m := range []SAMMetric{SpikeSum{}, WeightedSpikeSum{}, MembraneL2{}} {
+		s := m.Score(net, states)
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("%s score %v", m.Name(), s)
+		}
+	}
+	// SpikeSum must equal the network's own spike count.
+	if got, want := (SpikeSum{}).Score(net, states), net.SpikeSum(states); got != want {
+		t.Fatalf("SpikeSum %v != net.SpikeSum %v", got, want)
+	}
+	for _, name := range []string{"", "spikesum", "weighted", "membranel2"} {
+		if _, err := SAMByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := SAMByName("bogus"); err == nil {
+		t.Fatal("unknown SAM metric must error")
+	}
+}
+
+func TestSkipperAlternativeMetrics(t *testing.T) {
+	const T = 18
+	for _, m := range []SAMMetric{WeightedSpikeSum{}, MembraneL2{}} {
+		net, data, input, labels := tinySetup(t, T)
+		strat := Skipper{C: 2, P: 25, Metric: m}
+		tr := newTestTrainer(t, net, data, strat, Config{T: T, Batch: 2})
+		net.ZeroGrads()
+		st, err := strat.TrainBatch(tr, input, labels)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if st.SkippedSteps == 0 {
+			t.Fatalf("%s: no steps skipped", m.Name())
+		}
+	}
+}
+
+func TestTBPTTLBPTrains(t *testing.T) {
+	const T = 12
+	net, data, input, labels := tinySetup(t, T)
+	strat := &TBPTTLBP{Window: 6, LocalAt: []int{1}}
+	tr := newTestTrainer(t, net, data, strat, Config{T: T, Batch: 2})
+	t.Cleanup(strat.Close)
+	net.ZeroGrads()
+	st, err := strat.TrainBatch(tr, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(st.Loss) || st.Loss <= 0 {
+		t.Fatalf("loss = %v", st.Loss)
+	}
+	if len(strat.aux) != 1 || strat.aux[1] == nil {
+		t.Fatal("aux classifier not built")
+	}
+	var norm float64
+	for _, p := range net.Params() {
+		norm += float64(tensor.Norm2(p.G))
+	}
+	if norm == 0 {
+		t.Fatal("no gradients")
+	}
+}
+
+// Gradient blocking: with only a top-loss injection and a boundary at layer
+// k, every parameter at or below layer k must receive zero gradient.
+func TestLBPGradientBlocking(t *testing.T) {
+	nrn := snn.Params{Leak: 0.9, Threshold: 0.4} // low threshold: plenty of spikes
+	net := layers.NewNetwork("blocky", []int{2, 8, 8},
+		layers.NewSpikingConv2D("low", 4, 3, 1, 1, nrn, snn.Triangle{}),
+		layers.NewSpikingConv2D("high", 4, 3, 1, 1, nrn, snn.Triangle{}),
+		layers.NewReadout("out", 3, nrn),
+	)
+	if err := net.Build(tensor.NewRNG(5)); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 2, 8, 8)
+	tensor.NewRNG(6).FillUniform(x, 0, 2)
+	states := net.ForwardStep(x, nil)
+	dl := tensor.New(2, 3)
+	dl.Fill(0.3)
+
+	lb := &TBPTTLBP{Window: 4, LocalAt: []int{0}}
+	net.ZeroGrads()
+	lb.backwardStepBlocked(net, x, states, map[int]*tensor.Tensor{2: dl}, nil, map[int]bool{0: true})
+	ps := net.Params()
+	// Layer "low" (params 0,1) must have zero grads; "high" and "out" not.
+	if tensor.Norm2(ps[0].G) != 0 || tensor.Norm2(ps[1].G) != 0 {
+		t.Fatal("gradient crossed the local boundary")
+	}
+	if tensor.Norm2(ps[2].G) == 0 {
+		t.Fatal("block above the boundary received no gradient")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (BPTT{}).Name() != "bptt" {
+		t.Fatal("bptt name")
+	}
+	if (Checkpoint{C: 4}).Name() != "ckpt(C=4)" {
+		t.Fatal("ckpt name")
+	}
+	if (Skipper{C: 4, P: 70}).Name() != "skipper(C=4,p=70)" {
+		t.Fatal("skipper name")
+	}
+	if (TBPTT{Window: 25}).Name() != "tbptt(trW=25)" {
+		t.Fatal("tbptt name")
+	}
+}
+
+// Recompute counts must reflect skipping: skipper recomputes fewer steps
+// than plain checkpointing at the same C (the source of its speedup).
+func TestSkipperRecomputesLessThanCheckpoint(t *testing.T) {
+	const T = 18
+	netA, data, input, labels := tinySetup(t, T)
+	trA := newTestTrainer(t, netA, data, Checkpoint{C: 2}, Config{T: T, Batch: 2})
+	netA.ZeroGrads()
+	stA, err := (Checkpoint{C: 2}).TrainBatch(trA, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, _, _, _ := tinySetup(t, T)
+	trB := newTestTrainer(t, netB, data, Skipper{C: 2, P: 30}, Config{T: T, Batch: 2})
+	netB.ZeroGrads()
+	stB, err := (Skipper{C: 2, P: 30}).TrainBatch(trB, input, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.RecomputedSteps >= stA.RecomputedSteps {
+		t.Fatalf("skipper recomputed %d >= checkpoint %d", stB.RecomputedSteps, stA.RecomputedSteps)
+	}
+	if stB.BackwardSteps >= stA.BackwardSteps {
+		t.Fatalf("skipper backward %d >= checkpoint %d", stB.BackwardSteps, stA.BackwardSteps)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/tensor"
+)
+
+// DataParallel reproduces the paper's multi-GPU regime (Fig. 4b): R replicas
+// of the same network, each with its own device, each processing a shard of
+// the global batch; gradients are averaged across replicas (all-reduce) and
+// every replica applies the same optimizer step, keeping the replicas in
+// lock-step exactly as synchronous data parallelism does.
+//
+// The replicas execute sequentially on this host, so the simulated wall
+// time of a step is the slowest replica's compute time plus a bandwidth
+// model of the all-reduce.
+type DataParallel struct {
+	Replicas []*Trainer
+	// AllReduceGBps models interconnect bandwidth for the gradient
+	// all-reduce (ring: 2·(R−1)/R of the parameter bytes per replica).
+	// Zero means 50 GB/s (NVLink-class).
+	AllReduceGBps float64
+}
+
+// NewDataParallel builds R lock-step replicas from a factory. The factory
+// must produce identically initialised trainers (deterministic model build
+// plus identical seeds).
+func NewDataParallel(r int, factory func(replica int) (*Trainer, error)) (*DataParallel, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("core: data parallel needs >= 1 replica, got %d", r)
+	}
+	dp := &DataParallel{}
+	for i := 0; i < r; i++ {
+		tr, err := factory(i)
+		if err != nil {
+			dp.Close()
+			return nil, fmt.Errorf("core: building replica %d: %w", i, err)
+		}
+		dp.Replicas = append(dp.Replicas, tr)
+	}
+	return dp, nil
+}
+
+// Close releases all replicas.
+func (dp *DataParallel) Close() {
+	for _, tr := range dp.Replicas {
+		tr.Close()
+	}
+}
+
+// DPStepStats extends StepStats with the data-parallel timing model.
+type DPStepStats struct {
+	StepStats
+	// SlowestReplica is the longest single-replica compute time.
+	SlowestReplica time.Duration
+	// AllReduce is the modelled gradient-exchange time.
+	AllReduce time.Duration
+	// Wall is SlowestReplica + AllReduce — the simulated step latency.
+	Wall time.Duration
+}
+
+// TrainBatchIndices runs one synchronous data-parallel step over the given
+// global batch, sharding it across replicas.
+func (dp *DataParallel) TrainBatchIndices(split dataset.Split, indices []int) (DPStepStats, error) {
+	r := len(dp.Replicas)
+	var out DPStepStats
+	shards := make([][]int, r)
+	for i, idx := range indices {
+		shards[i%r] = append(shards[i%r], idx)
+	}
+
+	// Each replica computes gradients on its shard.
+	for i, tr := range dp.Replicas {
+		if len(shards[i]) == 0 {
+			continue
+		}
+		input, labels := tr.Data.SpikeBatch(split, shards[i], tr.Cfg.T)
+		inBlock, err := tr.Dev.Alloc(mem.Input, tr.inputBytes(input, labels))
+		if err != nil {
+			return out, fmt.Errorf("core: replica %d input: %w", i, err)
+		}
+		tr.iteration++
+		tr.Net.ZeroGrads()
+		start := time.Now()
+		st, err := tr.Strat.TrainBatch(tr, input, labels)
+		elapsed := time.Since(start)
+		inBlock.Release()
+		if err != nil {
+			return out, fmt.Errorf("core: replica %d: %w", i, err)
+		}
+		out.StepStats.Add(st)
+		if elapsed > out.SlowestReplica {
+			out.SlowestReplica = elapsed
+		}
+	}
+
+	// All-reduce: average gradients across replicas and give every replica
+	// the same averaged gradient.
+	params := make([][]tensorParam, r)
+	for i, tr := range dp.Replicas {
+		ps := tr.Net.Params()
+		params[i] = make([]tensorParam, len(ps))
+		for j, p := range ps {
+			params[i][j] = tensorParam{p.G}
+		}
+	}
+	var paramBytes int64
+	inv := float32(1) / float32(r)
+	for j := range params[0] {
+		acc := params[0][j].g
+		paramBytes += acc.Bytes()
+		for i := 1; i < r; i++ {
+			tensor.AXPY(acc, 1, params[i][j].g)
+		}
+		tensor.Scale(acc, acc, inv)
+		for i := 1; i < r; i++ {
+			tensor.Copy(params[i][j].g, acc)
+		}
+	}
+	out.AllReduce = dp.allReduceTime(paramBytes)
+
+	// Identical update on every replica keeps them in lock-step.
+	for _, tr := range dp.Replicas {
+		tr.Opt.Step()
+	}
+	out.Wall = out.SlowestReplica + out.AllReduce
+	return out, nil
+}
+
+type tensorParam struct{ g *tensor.Tensor }
+
+func (dp *DataParallel) allReduceTime(paramBytes int64) time.Duration {
+	gbps := dp.AllReduceGBps
+	if gbps == 0 {
+		gbps = 50
+	}
+	r := float64(len(dp.Replicas))
+	if r < 2 {
+		return 0
+	}
+	// Ring all-reduce moves 2·(R−1)/R of the buffer per replica.
+	bytes := 2 * (r - 1) / r * float64(paramBytes)
+	return time.Duration(bytes / (gbps * 1e9) * float64(time.Second))
+}
+
+// InSync reports whether all replica weights are bit-identical — the
+// invariant synchronous data parallelism maintains.
+func (dp *DataParallel) InSync() bool {
+	if len(dp.Replicas) < 2 {
+		return true
+	}
+	ref := dp.Replicas[0].Net.Params()
+	for _, tr := range dp.Replicas[1:] {
+		ps := tr.Net.Params()
+		for j := range ref {
+			for k := range ref[j].W.Data {
+				if ps[j].W.Data[k] != ref[j].W.Data[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

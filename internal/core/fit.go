@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// BestCheckpointCount returns the admissible checkpoint count closest to
+// the Eq. 3 optimum √T under the Sec. V-A constraint T/C > Ln, or an error
+// when no C ≥ 1 is admissible.
+func BestCheckpointCount(T, Ln int) (int, error) {
+	if T < 1 {
+		return 0, fmt.Errorf("core: T = %d must be >= 1", T)
+	}
+	best, bestDist := 0, math.MaxFloat64
+	sqrtT := math.Sqrt(float64(T))
+	for c := 1; c <= T; c++ {
+		if ValidateCheckpoints(T, c, Ln) != nil {
+			continue
+		}
+		if d := math.Abs(float64(c) - sqrtT); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("core: no admissible checkpoint count for T=%d, L_n=%d", T, Ln)
+	}
+	return best, nil
+}
+
+// FitResult reports a Fit run.
+type FitResult struct {
+	// Epochs is how many epochs actually ran.
+	Epochs int
+	// BestEpoch is the epoch with the best validation accuracy.
+	BestEpoch int
+	// BestAccuracy is that epoch's validation accuracy.
+	BestAccuracy float64
+	// FinalLoss is the last epoch's mean training loss.
+	FinalLoss float64
+	// Stopped reports whether early stopping fired before maxEpochs.
+	Stopped bool
+}
+
+// FitOptions tunes Fit.
+type FitOptions struct {
+	// MaxEpochs caps the run (default 10).
+	MaxEpochs int
+	// Patience stops after this many epochs without validation improvement;
+	// 0 disables early stopping.
+	Patience int
+	// EvalBatches caps each validation pass (0 = full test split).
+	EvalBatches int
+	// OnEpoch, when non-nil, observes each epoch (for logging/plotting).
+	OnEpoch func(epoch int, train EpochStats, valAcc float64)
+}
+
+// Fit trains until MaxEpochs or until validation accuracy stops improving
+// for Patience epochs — the convenience loop around TrainEpoch/Evaluate
+// that most callers write by hand.
+func (tr *Trainer) Fit(opts FitOptions) (FitResult, error) {
+	maxEpochs := opts.MaxEpochs
+	if maxEpochs <= 0 {
+		maxEpochs = 10
+	}
+	var res FitResult
+	sinceBest := 0
+	for e := 1; e <= maxEpochs; e++ {
+		ep, err := tr.TrainEpoch()
+		if err != nil {
+			return res, err
+		}
+		_, acc, err := tr.Evaluate(opts.EvalBatches)
+		if err != nil {
+			return res, err
+		}
+		res.Epochs = e
+		res.FinalLoss = ep.MeanLoss()
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(e, ep, acc)
+		}
+		if acc > res.BestAccuracy || res.BestEpoch == 0 {
+			res.BestAccuracy = acc
+			res.BestEpoch = e
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if opts.Patience > 0 && sinceBest >= opts.Patience {
+				res.Stopped = true
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}

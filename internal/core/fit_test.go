@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBestCheckpointCount(t *testing.T) {
+	// T=100, Ln=6: √T = 10, admissible (segment > 6 needs C <= 14) -> 10.
+	c, err := BestCheckpointCount(100, 6)
+	if err != nil || c != 10 {
+		t.Fatalf("BestCheckpointCount(100,6) = %d, %v; want 10", c, err)
+	}
+	// T=36, Ln=20: only C=1 admissible (36/2=18 <= 20).
+	c, err = BestCheckpointCount(36, 20)
+	if err != nil || c != 1 {
+		t.Fatalf("BestCheckpointCount(36,20) = %d, %v; want 1", c, err)
+	}
+	// T <= Ln: C=1 still requires T/1 > Ln.
+	if _, err := BestCheckpointCount(10, 20); err == nil {
+		t.Fatal("inadmissible horizon must error")
+	}
+	if _, err := BestCheckpointCount(0, 1); err == nil {
+		t.Fatal("T=0 must error")
+	}
+}
+
+func TestFitRunsAndReports(t *testing.T) {
+	const T = 10
+	net, data, _, _ := tinySetup(t, T)
+	tr := newTestTrainer(t, net, data, Checkpoint{C: 2},
+		Config{T: T, Batch: 8, LR: 2e-3, MaxBatchesPerEpoch: 6})
+	var seen int
+	res, err := tr.Fit(FitOptions{
+		MaxEpochs:   3,
+		EvalBatches: 2,
+		OnEpoch: func(epoch int, train EpochStats, valAcc float64) {
+			seen++
+			if train.Batches != 6 {
+				t.Fatalf("epoch %d batches %d", epoch, train.Batches)
+			}
+			if valAcc < 0 || valAcc > 1 {
+				t.Fatalf("valAcc %v", valAcc)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 3 || seen != 3 {
+		t.Fatalf("epochs %d seen %d, want 3", res.Epochs, seen)
+	}
+	if res.BestEpoch < 1 || res.BestEpoch > 3 {
+		t.Fatalf("best epoch %d", res.BestEpoch)
+	}
+	if res.Stopped {
+		t.Fatal("should not early-stop without patience")
+	}
+}
+
+func TestFitEarlyStops(t *testing.T) {
+	const T = 10
+	net, data, _, _ := tinySetup(t, T)
+	// LR=0 defaults to 1e-3; use an effectively frozen optimizer by clipping
+	// gradients to nothing, so validation accuracy cannot improve.
+	tr := newTestTrainer(t, net, data, BPTT{},
+		Config{T: T, Batch: 4, GradClip: 1e-12, MaxBatchesPerEpoch: 2})
+	res, err := tr.Fit(FitOptions{MaxEpochs: 10, Patience: 2, EvalBatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("expected early stop, ran %d epochs", res.Epochs)
+	}
+	if res.Epochs >= 10 {
+		t.Fatal("patience did not shorten the run")
+	}
+}

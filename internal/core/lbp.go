@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/mem"
+	"skipper/internal/tensor"
+)
+
+// TBPTTLBP reproduces the comparison system of Guo et al. [28]:
+// temporally-truncated BPTT combined with locally-supervised blocks. Local
+// linear classifiers are attached at the layer indices in LocalAt; each
+// integrates its layer's spikes over a truncation window and contributes a
+// local cross-entropy loss. Gradients are local: error from a block's
+// classifier (or, for the top block, the network loss) does not propagate
+// below the block's attachment boundary. Memory is O(trW) plus the small
+// auxiliary classifier weights; like TBPTT, temporal credit is limited to
+// the window, which is why its accuracy does not improve with more
+// timesteps (paper Sec. VII-I).
+type TBPTTLBP struct {
+	// Window is the truncation window trW.
+	Window int
+	// LocalAt are indices into net.Layers where local classifiers attach
+	// (the paper's best configuration attaches them at layers 4 and 8 of
+	// AlexNet).
+	LocalAt []int
+	// AuxLR is the SGD rate for the auxiliary classifiers; 0 means 0.01.
+	AuxLR float32
+
+	aux      map[int]*auxClassifier
+	auxBlock *mem.Block
+}
+
+type auxClassifier struct {
+	w, g *tensor.Tensor
+}
+
+// Name implements Strategy.
+func (lb *TBPTTLBP) Name() string {
+	return fmt.Sprintf("tbptt-lbp(trW=%d,local=%v)", lb.Window, lb.LocalAt)
+}
+
+// Validate implements Strategy.
+func (lb *TBPTTLBP) Validate(cfg Config, net *layers.Network) error {
+	if cfg.LossWindow > 1 {
+		return fmt.Errorf("core: tbptt-lbp already applies per-window losses; LossWindow is not supported")
+	}
+	if lb.Window < 1 || lb.Window > cfg.T {
+		return fmt.Errorf("core: tbptt-lbp window %d outside [1, T=%d]", lb.Window, cfg.T)
+	}
+	for _, i := range lb.LocalAt {
+		if i < 0 || i >= len(net.Layers)-1 {
+			return fmt.Errorf("core: tbptt-lbp local classifier index %d out of range (%d layers)", i, len(net.Layers))
+		}
+	}
+	return nil
+}
+
+func (lb *TBPTTLBP) auxLR() float32 {
+	if lb.AuxLR == 0 {
+		return 0.01
+	}
+	return lb.AuxLR
+}
+
+// ensureAux lazily builds the auxiliary classifiers once the feature shapes
+// are known, charging their weights to the device.
+func (lb *TBPTTLBP) ensureAux(tr *Trainer, states []*layers.LayerState, classes int) error {
+	if lb.aux != nil {
+		return nil
+	}
+	lb.aux = map[int]*auxClassifier{}
+	rng := tensor.NewRNG(tensor.DeriveSeed(tr.Cfg.Seed, 0xA0C))
+	var bytes int64
+	for _, site := range lb.LocalAt {
+		b := states[site].O.Dim(0)
+		features := states[site].O.Len() / b
+		w := tensor.New(classes, features)
+		rng.KaimingLinear(w)
+		lb.aux[site] = &auxClassifier{w: w, g: tensor.New(classes, features)}
+		bytes += 2 * w.Bytes()
+	}
+	blk, err := tr.Dev.Alloc(mem.Weights, bytes)
+	if err != nil {
+		return fmt.Errorf("core: tbptt-lbp aux weights: %w", err)
+	}
+	lb.auxBlock = blk
+	return nil
+}
+
+// Close releases the auxiliary classifier memory.
+func (lb *TBPTTLBP) Close() {
+	lb.auxBlock.Release()
+	lb.auxBlock = nil
+}
+
+// TrainBatch implements Strategy.
+func (lb *TBPTTLBP) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
+	T := tr.Cfg.T
+	st := StepStats{N: len(labels)}
+	rs := newRecordStore(tr.Dev)
+	defer rs.dropAll()
+
+	scratch, err := tr.deltaScratch(len(labels))
+	if err != nil {
+		return st, fmt.Errorf("core: tbptt-lbp scratch: %w", err)
+	}
+	defer scratch.Release()
+
+	classes := tr.Net.OutShape()[0]
+	outIdx := len(tr.Net.Layers) - 1
+	boundary := map[int]bool{}
+	for _, i := range lb.LocalAt {
+		boundary[i] = true
+	}
+
+	numWindows := (T + lb.Window - 1) / lb.Window
+	var carry []*layers.LayerState
+	var lastLogits *tensor.Tensor
+	for w0 := 0; w0 < T; w0 += lb.Window {
+		w1 := w0 + lb.Window
+		if w1 > T {
+			w1 = T
+		}
+		// Forward through the window, integrating the aux potentials.
+		fwd := time.Now()
+		states := carry
+		var auxU map[int]*tensor.Tensor
+		for t := w0; t < w1; t++ {
+			states = tr.Net.ForwardStep(input[t], states)
+			if err := rs.put(t, states); err != nil {
+				return st, fmt.Errorf("core: tbptt-lbp forward t=%d: %w", t, err)
+			}
+			st.ForwardSteps++
+			if lb.aux == nil {
+				if err := lb.ensureAux(tr, states, classes); err != nil {
+					return st, err
+				}
+			}
+			if auxU == nil {
+				auxU = map[int]*tensor.Tensor{}
+				for site := range lb.aux {
+					auxU[site] = tensor.New(len(labels), classes)
+				}
+			}
+			for site, ac := range lb.aux {
+				o := states[site].O
+				flat := o.Reshape(o.Dim(0), o.Len()/o.Dim(0))
+				tmp := tensor.New(len(labels), classes)
+				tensor.MatMulTransB(tmp, flat, ac.w)
+				tensor.AXPY(auxU[site], 1, tmp)
+			}
+		}
+		st.ForwardTime += time.Since(fwd)
+
+		// Window losses: the network loss at the top plus one local loss per
+		// classifier.
+		logits := tr.Net.Logits(states)
+		loss, _, dlogits := lossGrad(logits, labels)
+		lastLogits = logits
+		injections := map[int]*tensor.Tensor{}
+		for site, ac := range lb.aux {
+			auxLoss, _, daux := lossGrad(auxU[site], labels)
+			loss += auxLoss
+			// ∂L/∂o_t at the site is dauxW for every t in the window.
+			o := rs.get(w1 - 1)[site].O
+			inj := tensor.New(len(labels), o.Len()/o.Dim(0))
+			tensor.MatMul(inj, daux, ac.w)
+			injections[site] = inj.Reshape(o.Shape()...)
+			// ∂W_aux += Σ_t dauxᵀ·o_t.
+			for t := w0; t < w1; t++ {
+				ot := rs.get(t)[site].O
+				flat := ot.Reshape(ot.Dim(0), ot.Len()/ot.Dim(0))
+				tensor.MatMulTransAAcc(ac.g, daux, flat)
+			}
+		}
+		st.Loss += loss / float64(numWindows)
+
+		// Backward within the window, with gradient flow BLOCKED at block
+		// boundaries (local supervision).
+		bwd := time.Now()
+		var deltas []*layers.Delta
+		for t := w1 - 1; t >= w0; t-- {
+			inject := map[int]*tensor.Tensor{}
+			for site, inj := range injections {
+				inject[site] = inj
+			}
+			if t == w1-1 {
+				inject[outIdx] = dlogits
+			}
+			deltas = lb.backwardStepBlocked(tr.Net, input[t], rs.get(t), inject, deltas, boundary)
+			if t != w1-1 {
+				rs.drop(t)
+			}
+			st.BackwardSteps++
+		}
+		carry = rs.get(w1 - 1)
+		if w0 > 0 {
+			rs.drop(w0 - 1)
+		}
+		st.BackwardTime += time.Since(bwd)
+	}
+
+	// Auxiliary classifiers update locally with plain SGD.
+	for _, ac := range lb.aux {
+		tensor.AXPY(ac.w, -lb.auxLR(), ac.g)
+		ac.g.Zero()
+	}
+	_, correct := tensor.CrossEntropy(lastLogits, labels, nil)
+	st.Correct = correct
+	return st, nil
+}
+
+// backwardStepBlocked is Network.BackwardStep with gradient stops: after an
+// attachment-boundary layer consumes its gradient, the flow to the layer
+// below is severed, so each block learns only from its own local loss.
+func (lb *TBPTTLBP) backwardStepBlocked(net *layers.Network, x *tensor.Tensor, states []*layers.LayerState, gradsAt map[int]*tensor.Tensor, deltas []*layers.Delta, boundary map[int]bool) []*layers.Delta {
+	newDeltas := make([]*layers.Delta, len(net.Layers))
+	var gradFlow *tensor.Tensor
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		l := net.Layers[i]
+		if boundary[i] {
+			// Local supervision: the flow from the block above is severed at
+			// the attachment boundary, so this layer — and everything below
+			// it — is driven purely by its block's own classifier injection.
+			gradFlow = nil
+		}
+		gradOut := gradFlow
+		if inj := gradsAt[i]; inj != nil {
+			if gradOut == nil {
+				gradOut = inj.Clone()
+			} else {
+				tensor.AXPY(gradOut, 1, inj)
+			}
+		}
+		if gradOut == nil {
+			gradOut = tensor.New(states[i].O.Shape()...)
+		}
+		inputT := x
+		if i > 0 {
+			inputT = states[i-1].O
+		}
+		var din *layers.Delta
+		if deltas != nil {
+			din = deltas[i]
+		}
+		gradIn, dout := l.Backward(inputT, states[i], gradOut, din)
+		newDeltas[i] = dout
+		gradFlow = gradIn
+	}
+	return newDeltas
+}

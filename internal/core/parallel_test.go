@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+)
+
+func dpFactory(t *testing.T, T int) func(int) (*Trainer, error) {
+	t.Helper()
+	data, err := dataset.Open("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(i int) (*Trainer, error) {
+		net, err := models.Build("customnet", models.Options{Width: 0.5, InShape: []int{3, 16, 16}})
+		if err != nil {
+			return nil, err
+		}
+		return NewTrainer(net, data, Checkpoint{C: 2}, Config{
+			T: T, Batch: 2, Seed: 7, Device: mem.Unlimited(),
+		})
+	}
+}
+
+func TestDataParallelLockStep(t *testing.T) {
+	const T = 10
+	dp, err := NewDataParallel(2, dpFactory(t, T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+	if !dp.InSync() {
+		t.Fatal("replicas differ before training (non-deterministic init)")
+	}
+	st, err := dp.TrainBatchIndices(dataset.Train, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dp.InSync() {
+		t.Fatal("replicas diverged after a synchronized step")
+	}
+	if st.N != 4 {
+		t.Fatalf("global batch N = %d, want 4", st.N)
+	}
+	if st.Wall < st.SlowestReplica {
+		t.Fatal("wall time must include the slowest replica")
+	}
+	if st.AllReduce <= 0 {
+		t.Fatal("2 replicas must pay an all-reduce cost")
+	}
+}
+
+func TestDataParallelPerReplicaMemoryIndependent(t *testing.T) {
+	const T = 10
+	dp, err := NewDataParallel(2, dpFactory(t, T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+	if _, err := dp.TrainBatchIndices(dataset.Train, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range dp.Replicas {
+		if tr.Dev.PeakAllocated() == 0 {
+			t.Fatalf("replica %d device saw no traffic", i)
+		}
+	}
+	// Devices are distinct objects.
+	if dp.Replicas[0].Dev == dp.Replicas[1].Dev {
+		t.Fatal("replicas must own separate devices")
+	}
+}
+
+func TestDataParallelSingleReplicaNoAllReduce(t *testing.T) {
+	const T = 10
+	dp, err := NewDataParallel(1, dpFactory(t, T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+	st, err := dp.TrainBatchIndices(dataset.Train, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AllReduce != 0 {
+		t.Fatal("single replica should have zero all-reduce time")
+	}
+}
+
+func TestDataParallelRejectsZeroReplicas(t *testing.T) {
+	if _, err := NewDataParallel(0, dpFactory(t, 10)); err == nil {
+		t.Fatal("0 replicas must error")
+	}
+}
+
+func TestPretrainImprovesInit(t *testing.T) {
+	data, err := dataset.Open("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := models.Build("customnet", models.Options{Width: 0.5, InShape: []int{3, 16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss before pre-training.
+	evalLoss := func() float64 {
+		tr, err := NewTrainer(net, data, BPTT{}, Config{T: 8, Batch: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		loss, _, err := tr.Evaluate(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	before := evalLoss()
+	if err := Pretrain(net, data, PretrainConfig{Epochs: 2, BatchesPerEpoch: 10, Batch: 8, T: 8}); err != nil {
+		t.Fatal(err)
+	}
+	after := evalLoss()
+	if after >= before {
+		t.Fatalf("pretrain did not reduce eval loss: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: SegmentBounds partitions [0, T) exactly — no gaps, no overlap —
+// for every valid (T, C), and CheckpointTimes are the segment starts.
+func TestSegmentPartitionProperty(t *testing.T) {
+	f := func(tRaw, cRaw uint8) bool {
+		T := int(tRaw%200) + 1
+		C := int(cRaw%uint8(T)) + 1
+		covered := 0
+		prevEnd := 0
+		cps := CheckpointTimes(T, C)
+		for s := 0; s < C; s++ {
+			start, end := SegmentBounds(T, C, s)
+			if start != prevEnd {
+				return false // gap or overlap
+			}
+			if end < start {
+				return false
+			}
+			if cps[s] != start {
+				return false // checkpoint must sit at the segment start
+			}
+			covered += end - start
+			prevEnd = end
+		}
+		return covered == T && prevEnd == T
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selectSurvivors always covers the segment interior exactly
+// (survivors + skipped = interior steps), always keeps the global final
+// step, and returns survivors in ascending order.
+func TestSelectSurvivorsProperty(t *testing.T) {
+	f := func(scoresRaw []uint16, pRaw uint8, splitRaw uint8) bool {
+		T := len(scoresRaw)
+		if T < 3 {
+			return true
+		}
+		scores := make([]float64, T)
+		for i, v := range scoresRaw {
+			scores[i] = float64(v)
+		}
+		start := int(splitRaw) % (T - 1)
+		end := T
+		s := Skipper{P: float64(pRaw % 101)}
+		var st StepStats
+		la := newLossAccumulator(Config{T: T, Batch: 1}, nil)
+		survivors := s.selectSurvivors(scores, start, end, la, &st)
+
+		if st.SkippedSteps+len(survivors) != end-start-1 {
+			return false
+		}
+		last := start
+		keptFinal := false
+		for _, x := range survivors {
+			if x <= last || x <= start || x >= end {
+				return false // must be ascending, interior only
+			}
+			last = x
+			if x == T-1 {
+				keptFinal = true
+			}
+		}
+		// The final step belongs to this segment, so it must survive.
+		return keptFinal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxSkipPercent is monotone — more layers or more checkpoints
+// never increase the admissible skip fraction; more timesteps never
+// decrease it.
+func TestMaxSkipPercentMonotoneProperty(t *testing.T) {
+	f := func(tRaw, cRaw, lnRaw uint8) bool {
+		T := int(tRaw%200) + 2
+		C := int(cRaw%16) + 1
+		Ln := int(lnRaw%32) + 1
+		p := MaxSkipPercent(T, C, Ln)
+		if p < 0 || p > 100 {
+			return false
+		}
+		if MaxSkipPercent(T, C, Ln+1) > p {
+			return false
+		}
+		if MaxSkipPercent(T, C+1, Ln) > p {
+			return false
+		}
+		if MaxSkipPercent(T+10, C, Ln) < p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a config admitted by ValidateSkip is also admitted by
+// ValidateCheckpoints (Eq. 7 presupposes the Sec. V-A constraint).
+func TestValidationConsistencyProperty(t *testing.T) {
+	f := func(tRaw, cRaw, lnRaw, pRaw uint8) bool {
+		T := int(tRaw%200) + 1
+		C := int(cRaw%16) + 1
+		Ln := int(lnRaw % 32)
+		p := float64(pRaw % 101)
+		if ValidateCheckpoints(T, C, Ln) != nil {
+			return true // not admitted anyway
+		}
+		if err := ValidateSkip(T, C, Ln, p); err == nil {
+			// Admitted: the segment must genuinely leave room for Ln layers
+			// among the surviving steps.
+			perSeg := float64(T) / float64(C)
+			return (1-p/100)*perSeg >= float64(Ln)-1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

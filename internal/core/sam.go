@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"skipper/internal/layers"
+	"skipper/internal/stats"
+)
+
+// SAMMetric scores a timestep's network activity for the Spike Activity
+// Monitor. The paper's default is the raw spike sum (Eq. 4); the
+// alternatives it sketches in Sec. VI-A ("Choice of Spike Activity
+// Monitor") are provided as ablation options.
+type SAMMetric interface {
+	// Score reduces one timestep's per-layer states to a scalar activity.
+	Score(net *layers.Network, states []*layers.LayerState) float64
+	// Name identifies the metric for configs and reports.
+	Name() string
+}
+
+// SpikeSum is s_t = Σ_l sum(o_t^l), the paper's low-overhead default.
+type SpikeSum struct{}
+
+// Score implements SAMMetric.
+func (SpikeSum) Score(net *layers.Network, states []*layers.LayerState) float64 {
+	return net.SpikeSum(states)
+}
+
+// Name implements SAMMetric.
+func (SpikeSum) Name() string { return "spikesum" }
+
+// WeightedSpikeSum normalises each layer's spike count by its neuron count,
+// so small deep layers are not drowned out by large early ones — the
+// "sum of spike counts weighted by the neuron count in each layer" variant.
+type WeightedSpikeSum struct{}
+
+// Score implements SAMMetric.
+func (WeightedSpikeSum) Score(net *layers.Network, states []*layers.LayerState) float64 {
+	var s float64
+	for i, st := range states {
+		if lin, ok := net.Layers[i].(*layers.SpikingLinear); ok && lin.Readout {
+			continue
+		}
+		if st.O == nil || st.O.Len() == 0 {
+			continue
+		}
+		s += st.SpikeSum() / float64(st.O.Len())
+	}
+	return s
+}
+
+// Name implements SAMMetric.
+func (WeightedSpikeSum) Name() string { return "weighted" }
+
+// MembraneL2 is the ℓ2-norm of the membrane trace per timestep — the
+// finer-granularity monitor the paper suggests as future work.
+type MembraneL2 struct{}
+
+// Score implements SAMMetric.
+func (MembraneL2) Score(net *layers.Network, states []*layers.LayerState) float64 {
+	var s float64
+	for i, st := range states {
+		if lin, ok := net.Layers[i].(*layers.SpikingLinear); ok && lin.Readout {
+			continue
+		}
+		s += membraneNorm(st)
+	}
+	return s
+}
+
+func membraneNorm(st *layers.LayerState) float64 {
+	if st == nil {
+		return 0
+	}
+	var sq float64
+	if st.U != nil {
+		for _, v := range st.U.Data {
+			sq += float64(v) * float64(v)
+		}
+	}
+	s := math.Sqrt(sq)
+	for _, sub := range st.Sub {
+		s += membraneNorm(sub)
+	}
+	return s
+}
+
+// Name implements SAMMetric.
+func (MembraneL2) Name() string { return "membranel2" }
+
+// SAMByName returns a metric for a config string.
+func SAMByName(name string) (SAMMetric, error) {
+	switch name {
+	case "", "spikesum":
+		return SpikeSum{}, nil
+	case "weighted":
+		return WeightedSpikeSum{}, nil
+	case "membranel2":
+		return MembraneL2{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown SAM metric %q", name)
+	}
+}
+
+// SpikeSumThreshold computes SST_c = percentile({s_t}, p) over one
+// checkpoint segment's activity scores (paper Eq. 5).
+func SpikeSumThreshold(scores []float64, p float64) float64 {
+	return stats.Percentile(scores, p)
+}

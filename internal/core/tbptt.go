@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/tensor"
+)
+
+// TBPTT is truncated backpropagation through time (paper Sec. III-C), the
+// standard RNN memory-reduction baseline the paper compares against: the
+// unroll is cut into windows of trW steps; a loss is computed at the end of
+// each window and back-propagated only within it; membrane state carries
+// across windows but gradients do not; the window's graph is then freed.
+// Memory is O(trW); temporal credit assignment is limited to the window,
+// which is where its accuracy loss on deep networks comes from.
+type TBPTT struct {
+	// Window is trW, the truncation window length.
+	Window int
+}
+
+// Name implements Strategy.
+func (tb TBPTT) Name() string { return fmt.Sprintf("tbptt(trW=%d)", tb.Window) }
+
+// Validate implements Strategy.
+func (tb TBPTT) Validate(cfg Config, net *layers.Network) error {
+	if cfg.LossWindow > 1 {
+		return fmt.Errorf("core: tbptt already applies a loss per truncation window; LossWindow is not supported")
+	}
+	if tb.Window < 1 || tb.Window > cfg.T {
+		return fmt.Errorf("core: tbptt window %d outside [1, T=%d]", tb.Window, cfg.T)
+	}
+	if tb.Window <= net.StatefulCount() {
+		return fmt.Errorf("core: tbptt window %d must exceed L_n = %d", tb.Window, net.StatefulCount())
+	}
+	return nil
+}
+
+// TrainBatch implements Strategy.
+func (tb TBPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
+	T := tr.Cfg.T
+	st := StepStats{N: len(labels)}
+	rs := newRecordStore(tr.Dev)
+	defer rs.dropAll()
+
+	scratch, err := tr.deltaScratch(len(labels))
+	if err != nil {
+		return st, fmt.Errorf("core: tbptt scratch: %w", err)
+	}
+	defer scratch.Release()
+
+	outIdx := len(tr.Net.Layers) - 1
+	numWindows := 0
+	var carry []*layers.LayerState
+	var lastLogits *tensor.Tensor
+	for w0 := 0; w0 < T; w0 += tb.Window {
+		w1 := w0 + tb.Window
+		if w1 > T {
+			w1 = T
+		}
+		numWindows++
+
+		// Forward through the window, storing its records.
+		fwd := time.Now()
+		states := carry
+		for t := w0; t < w1; t++ {
+			states = tr.Net.ForwardStep(input[t], states)
+			if err := rs.put(t, states); err != nil {
+				return st, fmt.Errorf("core: tbptt forward t=%d: %w", t, err)
+			}
+			st.ForwardSteps++
+		}
+		st.ForwardTime += time.Since(fwd)
+
+		// Loss at the window boundary; gradients summed over windows.
+		logits := tr.Net.Logits(states)
+		loss, _, dlogits := lossGrad(logits, labels)
+		st.Loss += loss / float64((T+tb.Window-1)/tb.Window)
+		lastLogits = logits
+
+		// Backward within the window only; the computation graph (records)
+		// is discarded afterwards and δ is NOT carried across the boundary.
+		bwd := time.Now()
+		var deltas []*layers.Delta
+		for t := w1 - 1; t >= w0; t-- {
+			var inject map[int]*tensor.Tensor
+			if t == w1-1 {
+				inject = map[int]*tensor.Tensor{outIdx: dlogits}
+			}
+			deltas = tr.Net.BackwardStep(input[t], rs.get(t), inject, deltas)
+			if t != w1-1 {
+				rs.drop(t)
+			}
+			st.BackwardSteps++
+		}
+		// The boundary record stays alive only long enough to seed the next
+		// window's state carry; detached (no gradient flows back into it).
+		carry = rs.get(w1 - 1)
+		if w0 > 0 {
+			rs.drop(w0 - 1)
+		}
+		_ = deltas
+		st.BackwardTime += time.Since(bwd)
+	}
+	// Accuracy is judged on the final window's logits, the network's output
+	// after the full T steps.
+	_, correct := tensor.CrossEntropy(lastLogits, labels, nil)
+	st.Correct = correct
+	return st, nil
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"skipper/internal/dataset"
+	"skipper/internal/layers"
+	"skipper/internal/mem"
+	"skipper/internal/opt"
+	"skipper/internal/stats"
+	"skipper/internal/tensor"
+)
+
+// StepStats reports what one training batch did.
+type StepStats struct {
+	Loss    float64
+	Correct int
+	N       int
+
+	// ForwardSteps counts first-pass timesteps, RecomputedSteps the
+	// second-pass (checkpoint replay) timesteps, SkippedSteps the timesteps
+	// Skipper dropped, and BackwardSteps the timesteps the δ recursion
+	// visited.
+	ForwardSteps    int
+	RecomputedSteps int
+	SkippedSteps    int
+	BackwardSteps   int
+
+	ForwardTime   time.Duration
+	RecomputeTime time.Duration
+	BackwardTime  time.Duration
+}
+
+// Add folds another batch's stats in.
+func (s *StepStats) Add(o StepStats) {
+	s.Loss += o.Loss
+	s.Correct += o.Correct
+	s.N += o.N
+	s.ForwardSteps += o.ForwardSteps
+	s.RecomputedSteps += o.RecomputedSteps
+	s.SkippedSteps += o.SkippedSteps
+	s.BackwardSteps += o.BackwardSteps
+	s.ForwardTime += o.ForwardTime
+	s.RecomputeTime += o.RecomputeTime
+	s.BackwardTime += o.BackwardTime
+}
+
+// EpochStats aggregates one epoch (or a capped batch run).
+type EpochStats struct {
+	StepStats
+	Batches  int
+	Duration time.Duration
+}
+
+// Accuracy returns the epoch's training accuracy in [0,1].
+func (e EpochStats) Accuracy() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return float64(e.Correct) / float64(e.N)
+}
+
+// MeanLoss returns the mean per-batch loss.
+func (e EpochStats) MeanLoss() float64 {
+	if e.Batches == 0 {
+		return 0
+	}
+	return e.Loss / float64(e.Batches)
+}
+
+// Strategy is one training regime: how the forward graph is stored,
+// recomputed, and walked backward for a single batch. Implementations leave
+// parameter gradients accumulated on the network.
+type Strategy interface {
+	// Name identifies the strategy for reports ("bptt", "ckpt", ...).
+	Name() string
+	// Validate rejects configurations that violate the strategy's boundary
+	// conditions for the given network.
+	Validate(cfg Config, net *layers.Network) error
+	// TrainBatch consumes a T-step input spike train and labels.
+	TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error)
+}
+
+// Trainer orchestrates epochs of strategy-driven training with full device
+// memory accounting.
+type Trainer struct {
+	Net   *layers.Network
+	Data  dataset.Source
+	Strat Strategy
+	Cfg   Config
+	Opt   opt.Optimizer
+	Dev   *mem.Device
+
+	persistent []*mem.Block
+	iteration  int
+	epoch      int
+	closed     bool
+}
+
+// NewTrainer wires a network, dataset, and strategy together, charging the
+// persistent tensors (weights, gradients, optimizer state, kernel
+// workspace) to the device.
+func NewTrainer(net *layers.Network, data dataset.Source, strat Strategy, cfg Config) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := strat.Validate(cfg, net); err != nil {
+		return nil, err
+	}
+	optimizer, err := opt.New(cfg.Optimizer, net.Params(), cfg.LR)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trainer{Net: net, Data: data, Strat: strat, Cfg: cfg, Opt: optimizer, Dev: cfg.Device}
+
+	charge := func(cat mem.Category, n int64) error {
+		if n <= 0 {
+			return nil
+		}
+		b, err := tr.Dev.Alloc(cat, n)
+		if err != nil {
+			return err
+		}
+		tr.persistent = append(tr.persistent, b)
+		return nil
+	}
+	pb := net.ParamBytes()
+	if err := charge(mem.Weights, pb); err != nil {
+		return nil, fmt.Errorf("core: charging weights: %w", err)
+	}
+	if err := charge(mem.WeightGrads, pb); err != nil {
+		return nil, fmt.Errorf("core: charging weight gradients: %w", err)
+	}
+	// Optimizer state plus the non-trainable neuron constants.
+	if err := charge(mem.Optimizer, optimizer.StateBytes()+256); err != nil {
+		return nil, fmt.Errorf("core: charging optimizer state: %w", err)
+	}
+	if err := charge(mem.Workspace, net.WorkspaceBytes(cfg.Batch)); err != nil {
+		return nil, fmt.Errorf("core: charging workspace: %w", err)
+	}
+	return tr, nil
+}
+
+// Close releases the trainer's persistent device memory. Safe to call more
+// than once.
+func (tr *Trainer) Close() {
+	if tr.closed {
+		return
+	}
+	tr.closed = true
+	for _, b := range tr.persistent {
+		b.Release()
+	}
+	tr.persistent = nil
+}
+
+// rngFor derives the deterministic stream for a purpose and the current
+// iteration.
+func (tr *Trainer) rngFor(purpose uint64) *tensor.RNG {
+	return tensor.NewRNG(tensor.DeriveSeed(tr.Cfg.Seed, purpose, uint64(tr.iteration)))
+}
+
+// inputBytes is the device footprint of a T-step input train plus labels.
+func (tr *Trainer) inputBytes(input []*tensor.Tensor, labels []int) int64 {
+	var n int64
+	for _, st := range input {
+		n += st.Bytes()
+	}
+	return n + int64(len(labels))*8
+}
+
+// TrainBatchIndices runs one optimization step on the given sample indices.
+// With Cfg.MicroBatch set, the batch is processed in micro-batches whose
+// gradients accumulate before the single optimizer step (gradient
+// accumulation), bounding the live activation footprint by the micro-batch
+// size.
+func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepStats, error) {
+	tr.iteration++
+	tr.Net.BeginIteration(tr.rngFor(0xD0))
+	defer tr.Net.EndIteration()
+	tr.Net.ZeroGrads()
+
+	micro := tr.Cfg.MicroBatch
+	if micro <= 0 || micro >= len(indices) {
+		micro = len(indices)
+	}
+	var total StepStats
+	for start := 0; start < len(indices); start += micro {
+		end := start + micro
+		if end > len(indices) {
+			end = len(indices)
+		}
+		input, labels := tr.Data.SpikeBatch(split, indices[start:end], tr.Cfg.T)
+		inBlock, err := tr.Dev.Alloc(mem.Input, tr.inputBytes(input, labels))
+		if err != nil {
+			return total, fmt.Errorf("core: charging input: %w", err)
+		}
+		st, err := tr.Strat.TrainBatch(tr, input, labels)
+		inBlock.Release()
+		if err != nil {
+			return total, err
+		}
+		total.Add(st)
+	}
+	if micro < len(indices) {
+		// Each micro-batch contributed a mean-scaled gradient; dividing the
+		// accumulated sum by the micro-batch count recovers the full-batch
+		// mean (exact for equal-size micro-batches).
+		k := (len(indices) + micro - 1) / micro
+		scale := 1 / float32(k)
+		for _, p := range tr.Net.Params() {
+			tensor.Scale(p.G, p.G, scale)
+		}
+		total.Loss /= float64(k)
+	}
+	opt.GradClip(tr.Net.Params(), tr.Cfg.GradClip)
+	tr.Opt.Step()
+	return total, nil
+}
+
+// TrainEpoch runs one shuffled pass over the training split (optionally
+// capped at Cfg.MaxBatchesPerEpoch batches) and returns the aggregate stats.
+func (tr *Trainer) TrainEpoch() (EpochStats, error) {
+	tr.epoch++
+	if tr.Cfg.Schedule != nil {
+		if err := opt.ApplySchedule(tr.Opt, tr.Cfg.Schedule, tr.epoch); err != nil {
+			return EpochStats{}, err
+		}
+	}
+	idx := dataset.Indices(tr.Data, dataset.Train, tr.Cfg.Seed, tr.epoch, true)
+	batches := dataset.Batches(idx, tr.Cfg.Batch)
+	if tr.Cfg.MaxBatchesPerEpoch > 0 && len(batches) > tr.Cfg.MaxBatchesPerEpoch {
+		batches = batches[:tr.Cfg.MaxBatchesPerEpoch]
+	}
+	var ep EpochStats
+	start := time.Now()
+	for _, b := range batches {
+		st, err := tr.TrainBatchIndices(dataset.Train, b)
+		if err != nil {
+			return ep, err
+		}
+		ep.StepStats.Add(st)
+		ep.Batches++
+	}
+	ep.Duration = time.Since(start)
+	if tr.Cfg.Metrics != nil {
+		if err := tr.emitMetrics(ep); err != nil {
+			return ep, err
+		}
+	}
+	return ep, nil
+}
+
+// epochMetrics is the JSON schema of one telemetry line.
+type epochMetrics struct {
+	Epoch           int     `json:"epoch"`
+	Strategy        string  `json:"strategy"`
+	Loss            float64 `json:"loss"`
+	TrainAccuracy   float64 `json:"train_accuracy"`
+	Batches         int     `json:"batches"`
+	Samples         int     `json:"samples"`
+	SkippedSteps    int     `json:"skipped_steps"`
+	RecomputedSteps int     `json:"recomputed_steps"`
+	ForwardMs       int64   `json:"forward_ms"`
+	RecomputeMs     int64   `json:"recompute_ms"`
+	BackwardMs      int64   `json:"backward_ms"`
+	DurationMs      int64   `json:"duration_ms"`
+	PeakReserved    int64   `json:"peak_reserved_bytes"`
+	PeakActivations int64   `json:"peak_activation_bytes"`
+}
+
+// emitMetrics writes one JSON line describing the epoch to Cfg.Metrics.
+func (tr *Trainer) emitMetrics(ep EpochStats) error {
+	m := epochMetrics{
+		Epoch:           tr.epoch,
+		Strategy:        tr.Strat.Name(),
+		Loss:            ep.MeanLoss(),
+		TrainAccuracy:   ep.Accuracy(),
+		Batches:         ep.Batches,
+		Samples:         ep.N,
+		SkippedSteps:    ep.SkippedSteps,
+		RecomputedSteps: ep.RecomputedSteps,
+		ForwardMs:       ep.ForwardTime.Milliseconds(),
+		RecomputeMs:     ep.RecomputeTime.Milliseconds(),
+		BackwardMs:      ep.BackwardTime.Milliseconds(),
+		DurationMs:      ep.Duration.Milliseconds(),
+		PeakReserved:    tr.Dev.PeakReserved(),
+		PeakActivations: tr.Dev.PeakBy(mem.Activations),
+	}
+	enc := json.NewEncoder(tr.Cfg.Metrics)
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("core: writing metrics: %w", err)
+	}
+	return nil
+}
+
+// Evaluate runs a forward-only pass over the test split (capped at
+// maxBatches when > 0) and returns mean loss and accuracy.
+func (tr *Trainer) Evaluate(maxBatches int) (loss float64, acc float64, err error) {
+	idx := dataset.Indices(tr.Data, dataset.Test, tr.Cfg.Seed, 0, false)
+	batches := dataset.Batches(idx, tr.Cfg.Batch)
+	if maxBatches > 0 && len(batches) > maxBatches {
+		batches = batches[:maxBatches]
+	}
+	var lossSum float64
+	var correct, total int
+	for _, b := range batches {
+		input, labels := tr.Data.SpikeBatch(dataset.Test, b, tr.Cfg.T)
+		inBlock, aerr := tr.Dev.Alloc(mem.Input, tr.inputBytes(input, labels))
+		if aerr != nil {
+			return 0, 0, fmt.Errorf("core: charging eval input: %w", aerr)
+		}
+		logits, ferr := tr.forwardOnly(input)
+		if ferr != nil {
+			inBlock.Release()
+			return 0, 0, ferr
+		}
+		l, c := tensor.CrossEntropy(logits, labels, nil)
+		lossSum += l
+		correct += c
+		total += len(labels)
+		inBlock.Release()
+	}
+	if len(batches) == 0 {
+		return 0, 0, nil
+	}
+	return lossSum / float64(len(batches)), float64(correct) / float64(total), nil
+}
+
+// EvaluateConfusion runs a forward-only pass over the test split (capped at
+// maxBatches when > 0) and returns the full confusion matrix.
+func (tr *Trainer) EvaluateConfusion(maxBatches int) (*stats.Confusion, error) {
+	classes := tr.Net.OutShape()[0]
+	conf := stats.NewConfusion(classes)
+	idx := dataset.Indices(tr.Data, dataset.Test, tr.Cfg.Seed, 0, false)
+	batches := dataset.Batches(idx, tr.Cfg.Batch)
+	if maxBatches > 0 && len(batches) > maxBatches {
+		batches = batches[:maxBatches]
+	}
+	for _, b := range batches {
+		input, labels := tr.Data.SpikeBatch(dataset.Test, b, tr.Cfg.T)
+		inBlock, err := tr.Dev.Alloc(mem.Input, tr.inputBytes(input, labels))
+		if err != nil {
+			return nil, fmt.Errorf("core: charging eval input: %w", err)
+		}
+		logits, err := tr.forwardOnly(input)
+		inBlock.Release()
+		if err != nil {
+			return nil, err
+		}
+		preds := tensor.Argmax(logits)
+		for i, y := range labels {
+			conf.Add(y, preds[i])
+		}
+	}
+	return conf, nil
+}
+
+// forwardOnly runs inference keeping only the rolling state (two records
+// live at once), charging the transient footprint to the device.
+func (tr *Trainer) forwardOnly(input []*tensor.Tensor) (*tensor.Tensor, error) {
+	var states []*layers.LayerState
+	var prevBlock *mem.Block
+	for t := 0; t < len(input); t++ {
+		states = tr.Net.ForwardStep(input[t], states)
+		b, err := tr.Dev.Alloc(mem.Activations, stateBytes(states))
+		if err != nil {
+			prevBlock.Release()
+			return nil, fmt.Errorf("core: eval forward t=%d: %w", t, err)
+		}
+		prevBlock.Release()
+		prevBlock = b
+	}
+	logits := tr.Net.Logits(states).Clone()
+	prevBlock.Release()
+	return logits, nil
+}
+
+// stateBytes sums one timestep's record footprint.
+func stateBytes(states []*layers.LayerState) int64 {
+	var n int64
+	for _, st := range states {
+		n += st.Bytes()
+	}
+	return n
+}
+
+// recordStore charges and tracks stored timestep records. Records stored
+// with putPacked hold bit-packed spike tensors and materialise lazily on
+// the first get.
+type recordStore struct {
+	dev    *mem.Device
+	states map[int][]*layers.LayerState
+	packed map[int][]*packedState
+	blocks map[int]*mem.Block
+}
+
+func newRecordStore(dev *mem.Device) *recordStore {
+	return &recordStore{
+		dev:    dev,
+		states: map[int][]*layers.LayerState{},
+		packed: map[int][]*packedState{},
+		blocks: map[int]*mem.Block{},
+	}
+}
+
+// put charges and retains the record for timestep t.
+func (rs *recordStore) put(t int, states []*layers.LayerState) error {
+	b, err := rs.dev.Alloc(mem.Activations, stateBytes(states))
+	if err != nil {
+		return err
+	}
+	rs.states[t] = states
+	rs.blocks[t] = b
+	return nil
+}
+
+// putPacked charges and retains a spike-compressed copy of the record.
+func (rs *recordStore) putPacked(t int, states []*layers.LayerState) error {
+	ps, bytes := packStates(states)
+	b, err := rs.dev.Alloc(mem.Activations, bytes)
+	if err != nil {
+		return err
+	}
+	rs.packed[t] = ps
+	rs.blocks[t] = b
+	return nil
+}
+
+// get returns the record for timestep t (nil if absent), materialising a
+// packed record on first access.
+func (rs *recordStore) get(t int) []*layers.LayerState {
+	if st := rs.states[t]; st != nil {
+		return st
+	}
+	if ps := rs.packed[t]; ps != nil {
+		st := unpackStates(ps)
+		rs.states[t] = st
+		return st
+	}
+	return nil
+}
+
+// has reports whether timestep t is stored.
+func (rs *recordStore) has(t int) bool {
+	return rs.states[t] != nil || rs.packed[t] != nil
+}
+
+// drop releases the record for timestep t.
+func (rs *recordStore) drop(t int) {
+	if b := rs.blocks[t]; b != nil {
+		b.Release()
+	}
+	delete(rs.blocks, t)
+	delete(rs.states, t)
+	delete(rs.packed, t)
+}
+
+// dropAll releases every stored record.
+func (rs *recordStore) dropAll() {
+	for t := range rs.blocks {
+		rs.drop(t)
+	}
+}
+
+// lossGrad computes cross-entropy loss, correct count, and ∂L/∂logits.
+func lossGrad(logits *tensor.Tensor, labels []int) (float64, int, *tensor.Tensor) {
+	dlogits := tensor.New(logits.Shape()...)
+	loss, correct := tensor.CrossEntropy(logits, labels, dlogits)
+	return loss, correct, dlogits
+}
+
+// lossAccumulator applies the (possibly windowed) readout loss during the
+// first forward pass: cross-entropy at each of the last K timesteps,
+// averaged, with the per-timestep gradients retained for injection during
+// the backward walk. Accuracy is always judged at the final step.
+type lossAccumulator struct {
+	T, K    int
+	labels  []int
+	inject  map[int]*tensor.Tensor
+	Loss    float64
+	Correct int
+}
+
+func newLossAccumulator(cfg Config, labels []int) *lossAccumulator {
+	return &lossAccumulator{T: cfg.T, K: cfg.lossWindow(), labels: labels, inject: map[int]*tensor.Tensor{}}
+}
+
+// covers reports whether timestep t carries a loss term.
+func (la *lossAccumulator) covers(t int) bool { return t >= la.T-la.K }
+
+// observe consumes the readout logits at timestep t.
+func (la *lossAccumulator) observe(t int, logits *tensor.Tensor) {
+	if !la.covers(t) {
+		return
+	}
+	loss, correct, dl := lossGrad(logits, la.labels)
+	scale := 1 / float32(la.K)
+	tensor.Scale(dl, dl, scale)
+	la.inject[t] = dl
+	la.Loss += loss / float64(la.K)
+	if t == la.T-1 {
+		la.Correct = correct
+	}
+}
+
+// at returns the loss gradient to inject at timestep t (nil if none).
+func (la *lossAccumulator) at(t int) *tensor.Tensor { return la.inject[t] }
+
+// deltaScratch charges the transient backward-pass footprint (one record's
+// worth of δ tensors) for the duration of a backward walk.
+func (tr *Trainer) deltaScratch(batch int) (*mem.Block, error) {
+	return tr.Dev.Alloc(mem.Workspace, tr.Net.RecordBytes(batch)/2)
+}

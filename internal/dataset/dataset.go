@@ -1,0 +1,118 @@
+// Package dataset provides the synthetic stand-ins for the paper's four
+// evaluation datasets (CIFAR10, CIFAR100, DVS-Gesture, N-MNIST) plus the
+// ImageNet surrogate used by the Fig 4 memory study. The real datasets are
+// unavailable in this offline environment; each substitute preserves the
+// property the paper's experiments depend on — learnable class structure,
+// the frame-vs-event input modality, and (for event data) temporally varying
+// spike activity for the SAM monitor to exploit. See DESIGN.md §1.
+//
+// Every sample is a deterministic function of (dataset seed, split, index),
+// so shuffling, recomputation, and re-runs are exactly reproducible.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"skipper/internal/tensor"
+)
+
+// Split selects the train or test partition.
+type Split int
+
+const (
+	// Train is the training partition.
+	Train Split = iota
+	// Test is the held-out partition.
+	Test
+)
+
+// String renders the split name.
+func (s Split) String() string {
+	if s == Train {
+		return "train"
+	}
+	return "test"
+}
+
+// Source produces spike trains for mini-batches. Frame datasets encode via
+// Poisson rate coding; event datasets bin synthesised sensor events.
+type Source interface {
+	// Name identifies the dataset.
+	Name() string
+	// InShape is the per-sample spike-tensor shape [C,H,W].
+	InShape() []int
+	// Classes is the number of labels.
+	Classes() int
+	// Len returns the number of samples in a split.
+	Len(split Split) int
+	// SpikeBatch materialises a T-timestep spike train (one [B,C,H,W]
+	// tensor per step) and labels for the given sample indices.
+	SpikeBatch(split Split, indices []int, T int) ([]*tensor.Tensor, []int)
+}
+
+// Builder constructs a Source with the given seed.
+type Builder func(seed uint64) Source
+
+var registry = map[string]Builder{
+	"cifar10":         func(seed uint64) Source { return NewSynthCIFAR10(seed) },
+	"cifar100":        func(seed uint64) Source { return NewSynthCIFAR100(seed) },
+	"dvsgesture":      func(seed uint64) Source { return NewSynthDVSGesture(seed) },
+	"nmnist":          func(seed uint64) Source { return NewSynthNMNIST(seed) },
+	"imagenet":        func(seed uint64) Source { return NewSynthImageNet(seed) },
+	"cifar10-latency": func(seed uint64) Source { return NewSynthCIFAR10Latency(seed) },
+}
+
+// Open constructs a registered dataset by name.
+func Open(name string, seed uint64) (Source, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, Names())
+	}
+	return b(seed), nil
+}
+
+// Names lists the registered datasets, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Indices returns sample indices [0, n) of a split, optionally shuffled with
+// a deterministic permutation derived from (seed, epoch).
+func Indices(src Source, split Split, seed uint64, epoch int, shuffle bool) []int {
+	n := src.Len(split)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if shuffle {
+		rng := tensor.NewRNG(tensor.DeriveSeed(seed, uint64(split), uint64(epoch), 0xB47C4))
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+	}
+	return idx
+}
+
+// Batches cuts indices into consecutive batches of size b (the final batch
+// may be short).
+func Batches(indices []int, b int) [][]int {
+	if b <= 0 {
+		panic("dataset: non-positive batch size")
+	}
+	var out [][]int
+	for start := 0; start < len(indices); start += b {
+		end := start + b
+		if end > len(indices) {
+			end = len(indices)
+		}
+		out = append(out, indices[start:end])
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package dataset
+
+import (
+	"testing"
+
+	"skipper/internal/tensor"
+)
+
+func TestOpenAllRegistered(t *testing.T) {
+	for _, name := range Names() {
+		src, err := Open(name, 1)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", name, err)
+		}
+		if src.Classes() < 2 || src.Len(Train) == 0 || src.Len(Test) == 0 {
+			t.Fatalf("%s: degenerate dataset", name)
+		}
+		if len(src.InShape()) != 3 {
+			t.Fatalf("%s: InShape %v", name, src.InShape())
+		}
+	}
+	if _, err := Open("nope", 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestSpikeBatchShapesAndBinary(t *testing.T) {
+	for _, name := range Names() {
+		src, _ := Open(name, 1)
+		const T, B = 6, 3
+		train, labels := src.SpikeBatch(Train, []int{0, 1, 2}, T)
+		if len(train) != T {
+			t.Fatalf("%s: train length %d", name, len(train))
+		}
+		sh := src.InShape()
+		for _, st := range train {
+			if st.Dim(0) != B || st.Dim(1) != sh[0] || st.Dim(2) != sh[1] || st.Dim(3) != sh[2] {
+				t.Fatalf("%s: step shape %v", name, st.Shape())
+			}
+			for _, v := range st.Data {
+				if v != 0 && v != 1 {
+					t.Fatalf("%s: non-binary spike %v", name, v)
+				}
+			}
+		}
+		if len(labels) != B {
+			t.Fatalf("%s: labels %v", name, labels)
+		}
+		for _, l := range labels {
+			if l < 0 || l >= src.Classes() {
+				t.Fatalf("%s: label %d out of range", name, l)
+			}
+		}
+	}
+}
+
+func TestSpikeBatchDeterministic(t *testing.T) {
+	for _, name := range []string{"cifar10", "dvsgesture"} {
+		src, _ := Open(name, 9)
+		a, la := src.SpikeBatch(Train, []int{4, 5}, 5)
+		b, lb := src.SpikeBatch(Train, []int{4, 5}, 5)
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("%s: labels unstable", name)
+			}
+		}
+		for tt := range a {
+			for i := range a[tt].Data {
+				if a[tt].Data[i] != b[tt].Data[i] {
+					t.Fatalf("%s: spikes unstable at t=%d", name, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestSpikesNonEmpty(t *testing.T) {
+	// Every dataset must actually produce spikes (a silent dataset trains
+	// nothing and would silently break the accuracy experiments).
+	for _, name := range Names() {
+		src, _ := Open(name, 3)
+		train, _ := src.SpikeBatch(Train, []int{0, 1, 2, 3}, 8)
+		var total float32
+		for _, st := range train {
+			total += tensor.Sum(st)
+		}
+		if total == 0 {
+			t.Fatalf("%s produced zero spikes", name)
+		}
+	}
+}
+
+func TestEventActivityVariesOverTime(t *testing.T) {
+	// The SAM mechanism depends on per-timestep activity variation; the
+	// event datasets must not have a flat activity profile.
+	for _, name := range []string{"dvsgesture", "nmnist"} {
+		src, _ := Open(name, 5)
+		const T = 16
+		train, _ := src.SpikeBatch(Train, []int{0, 1, 2, 3, 4, 5, 6, 7}, T)
+		min, max := float32(1e30), float32(-1e30)
+		for _, st := range train {
+			s := tensor.Sum(st)
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max <= min {
+			t.Fatalf("%s: flat activity profile (%v..%v)", name, min, max)
+		}
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	src, _ := Open("cifar10", 1)
+	counts := make([]int, src.Classes())
+	n := src.Len(Train)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	_, labels := (src.(*frameSource)).Frames(Train, idx)
+	for _, l := range labels {
+		counts[l]++
+	}
+	for k, c := range counts {
+		if c < n/src.Classes()-1 || c > n/src.Classes()+1 {
+			t.Fatalf("class %d count %d not balanced", k, c)
+		}
+	}
+}
+
+func TestFramesInUnitRange(t *testing.T) {
+	for _, name := range []string{"cifar10", "cifar100", "imagenet"} {
+		src, _ := Open(name, 2)
+		frames, _ := src.(FrameProvider).Frames(Train, []int{0, 1, 2, 3})
+		for _, v := range frames.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: frame value %v outside [0,1]", name, v)
+			}
+		}
+	}
+}
+
+func TestClassesDistinguishable(t *testing.T) {
+	// Mean frames of different classes must differ substantially — the
+	// minimum requirement for learnability.
+	raw, _ := Open("cifar10", 1)
+	src := raw.(FrameProvider)
+	meanOf := func(class int) *tensor.Tensor {
+		var idxs []int
+		for i := 0; i < 200; i++ {
+			if i%10 == class {
+				idxs = append(idxs, i)
+			}
+		}
+		frames, _ := src.Frames(Train, idxs)
+		n := frames.Len() / frames.Dim(0)
+		mean := tensor.New(n)
+		for i := 0; i < frames.Dim(0); i++ {
+			for j := 0; j < n; j++ {
+				mean.Data[j] += frames.Data[i*n+j]
+			}
+		}
+		tensor.Scale(mean, mean, 1/float32(frames.Dim(0)))
+		return mean
+	}
+	m0, m1 := meanOf(0), meanOf(5)
+	diff := tensor.New(m0.Len())
+	tensor.Sub(diff, m0, m1)
+	if tensor.Norm2(diff) < 0.5 {
+		t.Fatalf("class means nearly identical (|Δ| = %v)", tensor.Norm2(diff))
+	}
+}
+
+func TestIndicesShuffleDeterministic(t *testing.T) {
+	src, _ := Open("cifar10", 1)
+	a := Indices(src, Train, 7, 3, true)
+	b := Indices(src, Train, 7, 3, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+	c := Indices(src, Train, 7, 4, true)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different epochs produced the same permutation")
+	}
+	// Unshuffled must be identity.
+	d := Indices(src, Train, 7, 0, false)
+	for i := range d {
+		if d[i] != i {
+			t.Fatal("unshuffled indices not identity")
+		}
+	}
+	// Permutation property: sorted(a) == identity.
+	seen := make([]bool, len(a))
+	for _, v := range a {
+		if v < 0 || v >= len(a) || seen[v] {
+			t.Fatal("shuffle is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestBatches(t *testing.T) {
+	idx := []int{0, 1, 2, 3, 4}
+	bs := Batches(idx, 2)
+	if len(bs) != 3 || len(bs[0]) != 2 || len(bs[2]) != 1 {
+		t.Fatalf("Batches = %v", bs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on batch size 0")
+		}
+	}()
+	Batches(idx, 0)
+}
+
+func TestSplitString(t *testing.T) {
+	if Train.String() != "train" || Test.String() != "test" {
+		t.Fatal("Split.String wrong")
+	}
+}
+
+func TestLatencyVariantFixedSpikeCount(t *testing.T) {
+	src, err := Open("cifar10-latency", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 12
+	train, labels := src.SpikeBatch(Train, []int{0, 1}, T)
+	if len(labels) != 2 {
+		t.Fatal("labels")
+	}
+	// Time-to-first-spike coding: every pixel fires at most once.
+	perPixel := make([]float32, train[0].Len())
+	for _, st := range train {
+		for i, v := range st.Data {
+			perPixel[i] += v
+		}
+	}
+	for i, c := range perPixel {
+		if c > 1 {
+			t.Fatalf("pixel %d fired %v times under latency coding", i, c)
+		}
+	}
+	// And the overall train must be sparse relative to Poisson coding.
+	poisson, _ := Open("cifar10", 1)
+	ptrain, _ := poisson.SpikeBatch(Train, []int{0, 1}, T)
+	var latN, poiN float32
+	for tt := 0; tt < T; tt++ {
+		latN += tensor.Sum(train[tt])
+		poiN += tensor.Sum(ptrain[tt])
+	}
+	if latN >= poiN {
+		t.Fatalf("latency coding (%v spikes) should be sparser than rate coding (%v)", latN, poiN)
+	}
+}
+
+func TestLatencyVariantSameLabels(t *testing.T) {
+	a, _ := Open("cifar10", 1)
+	b, _ := Open("cifar10-latency", 1)
+	_, la := a.SpikeBatch(Train, []int{5, 6, 7}, 4)
+	_, lb := b.SpikeBatch(Train, []int{5, 6, 7}, 4)
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("latency variant must relabel nothing")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math"
+
+	"skipper/internal/encode"
+	"skipper/internal/tensor"
+)
+
+// eventSource synthesises neuromorphic-sensor data: per sample it animates a
+// scene over `dur` sensor ticks, converts the intensity sequence to DVS
+// events with the frame-difference model, and bins the events into the
+// requested number of timesteps. The scene animation is class-conditional,
+// so the event stream carries learnable structure, and its motion is
+// non-uniform in time, giving the SAM monitor genuine activity variation to
+// exploit.
+type eventSource struct {
+	name          string
+	classes       int
+	h, w          int
+	dur           int
+	trainN, testN int
+	seed          uint64
+	animate       func(s *eventSource, rng *tensor.RNG, class, tick int, frame []float32)
+}
+
+// Name implements Source.
+func (s *eventSource) Name() string { return s.name }
+
+// InShape implements Source: two polarity channels.
+func (s *eventSource) InShape() []int { return []int{2, s.h, s.w} }
+
+// Classes implements Source.
+func (s *eventSource) Classes() int { return s.classes }
+
+// Len implements Source.
+func (s *eventSource) Len(split Split) int {
+	if split == Train {
+		return s.trainN
+	}
+	return s.testN
+}
+
+func (s *eventSource) label(idx int) int { return idx % s.classes }
+
+// events synthesises the event list of one sample.
+func (s *eventSource) events(split Split, idx int) []encode.Event {
+	class := s.label(idx)
+	rng := tensor.NewRNG(tensor.DeriveSeed(s.seed, uint64(split), uint64(idx), 0xE7E27))
+	frames := make([][]float32, s.dur)
+	for tick := 0; tick < s.dur; tick++ {
+		f := make([]float32, s.h*s.w)
+		// Per-sample jitter comes from a derived stream so every tick sees
+		// the same jitter parameters.
+		s.animate(s, rng.Derive(1), class, tick, f)
+		frames[tick] = f
+	}
+	return encode.FrameDiffEvents(frames, s.h, s.w, 0.18)
+}
+
+// SpikeBatch implements Source.
+func (s *eventSource) SpikeBatch(split Split, indices []int, T int) ([]*tensor.Tensor, []int) {
+	evs := make([][]encode.Event, len(indices))
+	durs := make([]int, len(indices))
+	labels := make([]int, len(indices))
+	for i, idx := range indices {
+		evs[i] = s.events(split, idx)
+		durs[i] = s.dur
+		labels[i] = s.label(idx)
+	}
+	return encode.BinEvents(evs, durs, s.h, s.w, T), labels
+}
+
+// drawBlob adds a Gaussian blob of the given amplitude at (cx, cy).
+func drawBlob(frame []float32, h, w int, cx, cy, sigma, amp float64) {
+	r := int(3*sigma) + 1
+	x0, x1 := int(cx)-r, int(cx)+r
+	y0, y1 := int(cy)-r, int(cy)+r
+	for y := y0; y <= y1; y++ {
+		if y < 0 || y >= h {
+			continue
+		}
+		for x := x0; x <= x1; x++ {
+			if x < 0 || x >= w {
+				continue
+			}
+			dx, dy := float64(x)-cx, float64(y)-cy
+			v := amp * math.Exp(-(dx*dx+dy*dy)/(2*sigma*sigma))
+			frame[y*w+x] += float32(v)
+		}
+	}
+}
+
+// NewSynthDVSGesture is the substitute for the DVS-Gesture dataset: 11
+// motion classes (translations, rotations, oscillations, expansion /
+// contraction) of a three-dot cloud, recorded as ON/OFF events.
+func NewSynthDVSGesture(seed uint64) Source {
+	return &eventSource{
+		name: "SynthDVSGesture", classes: 11, h: 16, w: 16, dur: 48,
+		trainN: 1408, testN: 352, seed: seed,
+		animate: animateGesture,
+	}
+}
+
+// animateGesture renders the dot cloud of a gesture class at one tick.
+func animateGesture(s *eventSource, rng *tensor.RNG, class, tick int, frame []float32) {
+	h, w := float64(s.h), float64(s.w)
+	cx, cy := w/2+float64(rng.Norm()), h/2+float64(rng.Norm())
+	speed := 0.9 + 0.2*rng.Float64()
+	p := float64(tick) / float64(s.dur) // progress 0..1
+	var ox, oy, rot, scale float64
+	scale = 1
+	switch class {
+	case 0: // wave right
+		ox = speed * (p - 0.5) * w * 0.7
+	case 1: // wave left
+		ox = -speed * (p - 0.5) * w * 0.7
+	case 2: // raise up
+		oy = -speed * (p - 0.5) * h * 0.7
+	case 3: // lower down
+		oy = speed * (p - 0.5) * h * 0.7
+	case 4: // clockwise rotation
+		rot = 2 * math.Pi * p * speed
+	case 5: // counter-clockwise rotation
+		rot = -2 * math.Pi * p * speed
+	case 6: // horizontal oscillation (clapping)
+		ox = math.Sin(4*math.Pi*p) * w * 0.25 * speed
+	case 7: // vertical oscillation (drumming)
+		oy = math.Sin(4*math.Pi*p) * h * 0.25 * speed
+	case 8: // expansion
+		scale = 0.5 + p*speed
+	case 9: // contraction
+		scale = 1.5 - p*speed
+	default: // diagonal sweep
+		ox = speed * (p - 0.5) * w * 0.5
+		oy = speed * (p - 0.5) * h * 0.5
+	}
+	base := []struct{ dx, dy float64 }{{-2.5, 0}, {2.5, 0}, {0, 2.5}}
+	for _, d := range base {
+		dx := (d.dx*math.Cos(rot) - d.dy*math.Sin(rot)) * scale
+		dy := (d.dx*math.Sin(rot) + d.dy*math.Cos(rot)) * scale
+		drawBlob(frame, s.h, s.w, cx+ox+dx, cy+oy+dy, 1.2, 0.9)
+	}
+}
+
+// NewSynthNMNIST is the substitute for N-MNIST: ten procedurally drawn
+// digit-like glyphs swept along the sensor's three saccade legs, emitting
+// ON/OFF events at the moving edges.
+func NewSynthNMNIST(seed uint64) Source {
+	return &eventSource{
+		name: "SynthNMNIST", classes: 10, h: 16, w: 16, dur: 48,
+		trainN: 1280, testN: 320, seed: seed,
+		animate: animateSaccade,
+	}
+}
+
+// glyphStrokes defines each digit class as blob-stroke anchor points on a
+// nominal 10×10 canvas (coarse seven-segment-like shapes).
+var glyphStrokes = [10][][2]float64{
+	{{2, 2}, {7, 2}, {2, 7}, {7, 7}, {2, 4.5}, {7, 4.5}}, // 0: ring
+	{{4.5, 1.5}, {4.5, 4}, {4.5, 6.5}},                   // 1: bar
+	{{2, 2}, {7, 2}, {7, 4.5}, {2, 7}, {7, 7}},           // 2
+	{{2, 2}, {7, 2}, {5, 4.5}, {7, 7}, {2, 7}},           // 3
+	{{2, 2}, {2, 4.5}, {7, 4.5}, {7, 2}, {7, 7}},         // 4
+	{{7, 2}, {2, 2}, {2, 4.5}, {7, 4.5}, {2, 7}},         // 5
+	{{7, 2}, {2, 4.5}, {2, 7}, {7, 7}, {7, 4.5}},         // 6
+	{{2, 2}, {7, 2}, {5.5, 4.5}, {4, 7}},                 // 7
+	{{2, 2}, {7, 2}, {4.5, 4.5}, {2, 7}, {7, 7}},         // 8
+	{{2, 2}, {7, 2}, {7, 4.5}, {2, 4.5}, {7, 7}},         // 9
+}
+
+// animateSaccade renders the class glyph translated along the three-leg
+// saccade path used by the N-MNIST recording rig.
+func animateSaccade(s *eventSource, rng *tensor.RNG, class, tick int, frame []float32) {
+	p := float64(tick) / float64(s.dur)
+	amp := 2.2 + 0.6*rng.Float64()
+	var ox, oy float64
+	switch {
+	case p < 1.0/3: // leg 1: sweep right-down
+		q := p * 3
+		ox, oy = amp*q, amp*q*0.5
+	case p < 2.0/3: // leg 2: sweep left-down
+		q := p*3 - 1
+		ox, oy = amp*(1-q)-amp*q*0.2, amp*0.5+amp*q*0.5
+	default: // leg 3: sweep back up
+		q := p*3 - 2
+		ox, oy = amp*(-0.2)*(1-q), amp*(1-q)
+	}
+	jx, jy := 1.5*float64(rng.Norm()), 1.5*float64(rng.Norm())
+	for _, st := range glyphStrokes[class] {
+		drawBlob(frame, s.h, s.w, st[0]+3+ox+jx, st[1]+3+oy+jy, 1.0, 0.85)
+	}
+}

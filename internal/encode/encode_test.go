@@ -1,0 +1,266 @@
+package encode
+
+import (
+	"math"
+	"testing"
+
+	"skipper/internal/tensor"
+)
+
+func TestPoissonDeterministic(t *testing.T) {
+	p := Poisson{Seed: 42}
+	frames := tensor.New(2, 1, 4, 4)
+	tensor.NewRNG(1).FillUniform(frames, 0, 1)
+	ids := []int{10, 11}
+	a := tensor.New(2, 1, 4, 4)
+	b := tensor.New(2, 1, 4, 4)
+	p.EncodeStep(a, frames, ids, 3)
+	p.EncodeStep(b, frames, ids, 3)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("EncodeStep not deterministic")
+		}
+	}
+	// Different timestep must differ (with overwhelming probability).
+	c := tensor.New(2, 1, 4, 4)
+	p.EncodeStep(c, frames, ids, 4)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different timesteps produced identical spikes")
+	}
+}
+
+func TestPoissonIndependentOfBatchComposition(t *testing.T) {
+	p := Poisson{Seed: 7}
+	frame := tensor.New(1, 1, 4, 4)
+	tensor.NewRNG(2).FillUniform(frame, 0, 1)
+	solo := tensor.New(1, 1, 4, 4)
+	p.EncodeStep(solo, frame, []int{5}, 0)
+
+	pair := tensor.New(2, 1, 4, 4)
+	copy(pair.Data[16:], frame.Data)
+	out := tensor.New(2, 1, 4, 4)
+	p.EncodeStep(out, pair, []int{9, 5}, 0)
+	for i := 0; i < 16; i++ {
+		if out.Data[16+i] != solo.Data[i] {
+			t.Fatal("encoding depends on batch position")
+		}
+	}
+}
+
+func TestPoissonRateMatchesIntensity(t *testing.T) {
+	p := Poisson{Seed: 3}
+	frames := tensor.New(1, 1, 1, 1)
+	frames.Data[0] = 0.4
+	hits := 0
+	const T = 5000
+	dst := tensor.New(1, 1, 1, 1)
+	for tt := 0; tt < T; tt++ {
+		p.EncodeStep(dst, frames, []int{0}, tt)
+		if dst.Data[0] == 1 {
+			hits++
+		}
+	}
+	rate := float64(hits) / T
+	if math.Abs(rate-0.4) > 0.03 {
+		t.Fatalf("empirical rate %v, want ~0.4", rate)
+	}
+}
+
+func TestPoissonMaxRateScales(t *testing.T) {
+	p := Poisson{Seed: 3, MaxRate: 0.5}
+	frames := tensor.New(1, 1, 1, 1)
+	frames.Data[0] = 1.0
+	hits := 0
+	const T = 4000
+	dst := tensor.New(1, 1, 1, 1)
+	for tt := 0; tt < T; tt++ {
+		p.EncodeStep(dst, frames, []int{0}, tt)
+		if dst.Data[0] == 1 {
+			hits++
+		}
+	}
+	rate := float64(hits) / T
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("empirical rate %v, want ~0.5", rate)
+	}
+}
+
+func TestEncodeTrain(t *testing.T) {
+	p := Poisson{Seed: 1}
+	frames := tensor.New(2, 1, 2, 2)
+	frames.Fill(1)
+	train := p.EncodeTrain(frames, []int{0, 1}, 6)
+	if len(train) != 6 {
+		t.Fatalf("train length %d", len(train))
+	}
+	for _, st := range train {
+		for _, v := range st.Data {
+			if v != 1 { // intensity 1 at rate 1 must always spike
+				t.Fatal("full-intensity pixel missed a spike at rate 1")
+			}
+		}
+	}
+}
+
+func TestTrainBytes(t *testing.T) {
+	if got := TrainBytes([]int{2, 4, 4}, 10); got != 10*4*32 {
+		t.Fatalf("TrainBytes = %d", got)
+	}
+}
+
+func TestBinEventsBasic(t *testing.T) {
+	events := [][]Event{
+		{
+			{X: 1, Y: 2, On: true, T: 0},
+			{X: 3, Y: 0, On: false, T: 99},
+		},
+	}
+	train := BinEvents(events, []int{100}, 4, 4, 10)
+	if len(train) != 10 {
+		t.Fatalf("bins = %d", len(train))
+	}
+	if train[0].At(0, 0, 2, 1) != 1 {
+		t.Fatal("ON event missing from first bin")
+	}
+	if train[9].At(0, 1, 0, 3) != 1 {
+		t.Fatal("OFF event missing from last bin")
+	}
+	var total float32
+	for _, st := range train {
+		total += tensor.Sum(st)
+	}
+	if total != 2 {
+		t.Fatalf("total spikes = %v, want 2", total)
+	}
+}
+
+func TestBinEventsClampsAndDedups(t *testing.T) {
+	events := [][]Event{
+		{
+			{X: 0, Y: 0, On: true, T: 5},
+			{X: 0, Y: 0, On: true, T: 5},   // duplicate collapses
+			{X: -1, Y: 0, On: true, T: 5},  // out of range dropped
+			{X: 0, Y: 9, On: true, T: 5},   // out of range dropped
+			{X: 1, Y: 1, On: true, T: 500}, // late event clamps to last bin
+		},
+	}
+	train := BinEvents(events, []int{10}, 2, 2, 4)
+	var total float32
+	for _, st := range train {
+		total += tensor.Sum(st)
+	}
+	if total != 2 {
+		t.Fatalf("total spikes = %v, want 2 (dedup + clamp)", total)
+	}
+	if train[3].At(0, 0, 1, 1) != 1 {
+		t.Fatal("late event should clamp to final bin")
+	}
+}
+
+func TestFrameDiffEvents(t *testing.T) {
+	// A pixel ramping up emits ON events; ramping down emits OFF.
+	frames := [][]float32{
+		{0, 0},
+		{0.5, 0},
+		{1.0, 0},
+		{0.4, 0},
+	}
+	evs := FrameDiffEvents(frames, 1, 2, 0.25)
+	var on, off int
+	for _, e := range evs {
+		if e.X != 0 || e.Y != 0 {
+			t.Fatalf("event at wrong pixel: %+v", e)
+		}
+		if e.On {
+			on++
+		} else {
+			off++
+		}
+	}
+	// Ramp up by 1.0 over two ticks at threshold 0.25 -> 3 ON events
+	// (ref tracks 0 -> 0.25 -> 0.75); drop by 0.35 -> 1 OFF event.
+	if on != 3 || off != 1 {
+		t.Fatalf("on=%d off=%d, want 3 ON and 1 OFF", on, off)
+	}
+	// Events must be time ordered.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestFrameDiffEventsEmpty(t *testing.T) {
+	if evs := FrameDiffEvents(nil, 2, 2, 0.1); len(evs) != 0 {
+		t.Fatal("no frames should produce no events")
+	}
+	static := [][]float32{{0.5}, {0.5}, {0.5}}
+	if evs := FrameDiffEvents(static, 1, 1, 0.1); len(evs) != 0 {
+		t.Fatal("static scene should produce no events")
+	}
+}
+
+func TestLatencyEncoderOneSpikePerBrightPixel(t *testing.T) {
+	frames := tensor.FromSlice([]float32{1.0, 0.5, 0.01, 0.0}, 1, 1, 2, 2)
+	enc := Latency{}
+	const T = 10
+	train := enc.EncodeTrain(frames, T)
+	if len(train) != T {
+		t.Fatalf("train length %d", len(train))
+	}
+	var perPixel [4]int
+	for _, st := range train {
+		for i, v := range st.Data {
+			if v == 1 {
+				perPixel[i]++
+			} else if v != 0 {
+				t.Fatalf("non-binary spike %v", v)
+			}
+		}
+	}
+	if perPixel[0] != 1 || perPixel[1] != 1 {
+		t.Fatalf("bright pixels must spike exactly once: %v", perPixel)
+	}
+	if perPixel[2] != 0 || perPixel[3] != 0 {
+		t.Fatalf("dim pixels must stay silent: %v", perPixel)
+	}
+	if got := enc.SpikeBudget(frames); got != 2 {
+		t.Fatalf("SpikeBudget = %d, want 2", got)
+	}
+}
+
+func TestLatencyBrighterSpikesEarlier(t *testing.T) {
+	frames := tensor.FromSlice([]float32{1.0, 0.3}, 1, 1, 1, 2)
+	train := Latency{}.EncodeTrain(frames, 8)
+	timeOf := func(pix int) int {
+		for tt, st := range train {
+			if st.Data[pix] == 1 {
+				return tt
+			}
+		}
+		return -1
+	}
+	bright, dim := timeOf(0), timeOf(1)
+	if bright != 0 {
+		t.Fatalf("full intensity must fire at t=0, got %d", bright)
+	}
+	if dim <= bright {
+		t.Fatalf("dimmer pixel must fire later: %d vs %d", dim, bright)
+	}
+}
+
+func TestLatencyRejectsZeroHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Latency{}.EncodeTrain(tensor.New(1, 1, 1, 1), 0)
+}

@@ -1,0 +1,223 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"skipper/internal/tensor"
+)
+
+// TemporalBatchNorm normalises each channel over (batch, spatial) at every
+// timestep — the tdBN recipe used by modern direct-SNN-training work. Its
+// interaction with temporal checkpointing is the interesting part:
+//
+//   - the per-timestep batch statistics are a pure function of the input,
+//     so a checkpointed recomputation reproduces them exactly and gradient
+//     exactness is preserved (tested);
+//   - the running statistics used at evaluation time, however, are a side
+//     effect — they must be updated only by the *first* forward pass, or a
+//     checkpointed run would double-count every recomputed timestep. The
+//     network toggles BeginRecompute/EndRecompute around segment replays,
+//     and this layer freezes its running-stat updates inside that window.
+type TemporalBatchNorm struct {
+	Label    string
+	Eps      float32
+	Momentum float32 // running-stat EMA factor; 0 means 0.9
+
+	gamma, beta   *tensor.Tensor
+	gGamma, gBeta *tensor.Tensor
+	runMean       *tensor.Tensor
+	runVar        *tensor.Tensor
+
+	inShape   []int
+	channels  int
+	training  bool
+	recompute bool
+}
+
+// NewTemporalBatchNorm returns an unbuilt normalisation layer.
+func NewTemporalBatchNorm(label string) *TemporalBatchNorm {
+	return &TemporalBatchNorm{Label: label}
+}
+
+// Name implements Layer.
+func (l *TemporalBatchNorm) Name() string { return l.Label }
+
+// Stateful implements Layer (no membrane state).
+func (l *TemporalBatchNorm) Stateful() bool { return false }
+
+// Build implements Layer.
+func (l *TemporalBatchNorm) Build(inShape []int, _ *tensor.RNG) ([]int, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("layers: %s expects [C,H,W] input, got %v", l.Label, inShape)
+	}
+	l.inShape = append([]int(nil), inShape...)
+	l.channels = inShape[0]
+	if l.Eps == 0 {
+		l.Eps = 1e-5
+	}
+	if l.Momentum == 0 {
+		l.Momentum = 0.9
+	}
+	l.gamma = tensor.New(l.channels)
+	l.gamma.Fill(1)
+	l.beta = tensor.New(l.channels)
+	l.gGamma = tensor.New(l.channels)
+	l.gBeta = tensor.New(l.channels)
+	l.runMean = tensor.New(l.channels)
+	l.runVar = tensor.New(l.channels)
+	l.runVar.Fill(1)
+	return inShape, nil
+}
+
+// Params implements Layer.
+func (l *TemporalBatchNorm) Params() []Param {
+	return []Param{
+		{Name: l.Label + ".gamma", W: l.gamma, G: l.gGamma},
+		{Name: l.Label + ".beta", W: l.beta, G: l.gBeta},
+	}
+}
+
+// BeginIteration implements IterationLayer: the layer is in training mode
+// for the duration of the iteration.
+func (l *TemporalBatchNorm) BeginIteration(*tensor.RNG) { l.training = true }
+
+// EndIteration returns the layer to evaluation mode (running statistics).
+func (l *TemporalBatchNorm) EndIteration() { l.training = false }
+
+// SetRecompute implements RecomputeAware: inside a checkpoint replay the
+// normalisation still uses per-batch statistics (so the replay is
+// bit-identical) but running-stat updates are frozen.
+func (l *TemporalBatchNorm) SetRecompute(on bool) { l.recompute = on }
+
+// channelStats computes per-channel mean and variance over batch+spatial.
+func (l *TemporalBatchNorm) channelStats(x *tensor.Tensor) (mean, variance []float64) {
+	b := x.Dim(0)
+	hw := x.Len() / b / l.channels
+	n := float64(b * hw)
+	mean = make([]float64, l.channels)
+	variance = make([]float64, l.channels)
+	for img := 0; img < b; img++ {
+		for c := 0; c < l.channels; c++ {
+			base := (img*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				mean[c] += float64(x.Data[base+i])
+			}
+		}
+	}
+	for c := range mean {
+		mean[c] /= n
+	}
+	for img := 0; img < b; img++ {
+		for c := 0; c < l.channels; c++ {
+			base := (img*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				d := float64(x.Data[base+i]) - mean[c]
+				variance[c] += d * d
+			}
+		}
+	}
+	for c := range variance {
+		variance[c] /= n
+	}
+	return mean, variance
+}
+
+// Forward implements Layer. The state's U slot stashes the per-timestep
+// (mean, invStd) pairs needed by the backward pass, shaped [2, C].
+func (l *TemporalBatchNorm) Forward(x *tensor.Tensor, _ *LayerState) *LayerState {
+	b := x.Dim(0)
+	hw := x.Len() / b / l.channels
+	o := tensor.New(x.Shape()...)
+	stash := tensor.New(2, l.channels)
+
+	var mean, variance []float64
+	if l.training {
+		mean, variance = l.channelStats(x)
+		if !l.recompute {
+			// First pass only: fold into the running statistics.
+			for c := 0; c < l.channels; c++ {
+				l.runMean.Data[c] = l.Momentum*l.runMean.Data[c] + (1-l.Momentum)*float32(mean[c])
+				l.runVar.Data[c] = l.Momentum*l.runVar.Data[c] + (1-l.Momentum)*float32(variance[c])
+			}
+		}
+	} else {
+		mean = make([]float64, l.channels)
+		variance = make([]float64, l.channels)
+		for c := 0; c < l.channels; c++ {
+			mean[c] = float64(l.runMean.Data[c])
+			variance[c] = float64(l.runVar.Data[c])
+		}
+	}
+	for c := 0; c < l.channels; c++ {
+		invStd := 1 / math.Sqrt(variance[c]+float64(l.Eps))
+		stash.Data[c] = float32(mean[c])
+		stash.Data[l.channels+c] = float32(invStd)
+		g, bta := l.gamma.Data[c], l.beta.Data[c]
+		for img := 0; img < b; img++ {
+			base := (img*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				xh := (x.Data[base+i] - float32(mean[c])) * float32(invStd)
+				o.Data[base+i] = g*xh + bta
+			}
+		}
+	}
+	return &LayerState{U: stash, O: o}
+}
+
+// Backward implements Layer: the standard batch-norm gradient using the
+// stashed per-timestep statistics.
+func (l *TemporalBatchNorm) Backward(x *tensor.Tensor, st *LayerState, gradOut *tensor.Tensor, _ *Delta) (*tensor.Tensor, *Delta) {
+	b := x.Dim(0)
+	hw := x.Len() / b / l.channels
+	n := float32(b * hw)
+	gradIn := tensor.New(x.Shape()...)
+	for c := 0; c < l.channels; c++ {
+		mean := st.U.Data[c]
+		invStd := st.U.Data[l.channels+c]
+		// Channel reductions: Σdy and Σdy·x̂.
+		var sumDy, sumDyXh float32
+		for img := 0; img < b; img++ {
+			base := (img*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				dy := gradOut.Data[base+i]
+				xh := (x.Data[base+i] - mean) * invStd
+				sumDy += dy
+				sumDyXh += dy * xh
+			}
+		}
+		l.gBeta.Data[c] += sumDy
+		l.gGamma.Data[c] += sumDyXh
+		coef := l.gamma.Data[c] * invStd
+		for img := 0; img < b; img++ {
+			base := (img*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				dy := gradOut.Data[base+i]
+				xh := (x.Data[base+i] - mean) * invStd
+				gradIn.Data[base+i] = coef * (dy - sumDy/n - xh*sumDyXh/n)
+			}
+		}
+	}
+	return gradIn, nil
+}
+
+// StateBytes implements Layer: the normalised output plus the tiny stash.
+func (l *TemporalBatchNorm) StateBytes(batch int) int64 {
+	return 4 * (int64(batch)*int64(shapeVolume(l.inShape)) + 2*int64(l.channels))
+}
+
+// WorkspaceBytes implements Layer.
+func (l *TemporalBatchNorm) WorkspaceBytes(int) int64 { return 0 }
+
+// RecomputeAware is implemented by layers whose forward has side effects
+// that must fire only on the first pass (e.g. batch-norm running
+// statistics). Strategies toggle it around checkpoint replays.
+type RecomputeAware interface {
+	SetRecompute(on bool)
+}
+
+// RunningMean exposes a copy of the running channel means (for tests and
+// diagnostics).
+func (l *TemporalBatchNorm) RunningMean() []float32 {
+	return append([]float32(nil), l.runMean.Data...)
+}

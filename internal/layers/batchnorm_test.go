@@ -1,0 +1,216 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+func builtBN(t *testing.T, c, h, w int) *TemporalBatchNorm {
+	t.Helper()
+	l := NewTemporalBatchNorm("bn")
+	if _, err := l.Build([]int{c, h, w}, tensor.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBatchNormNormalises(t *testing.T) {
+	l := builtBN(t, 3, 4, 4)
+	l.BeginIteration(nil)
+	r := tensor.NewRNG(3)
+	x := tensor.New(4, 3, 4, 4)
+	r.FillNorm(x, 2, 3) // far from standardised
+	st := l.Forward(x, nil)
+	// Per channel: mean ~0, var ~1 (γ=1, β=0 at init).
+	b, hw := 4, 16
+	for c := 0; c < 3; c++ {
+		var mean, sq float64
+		for img := 0; img < b; img++ {
+			base := (img*3 + c) * hw
+			for i := 0; i < hw; i++ {
+				v := float64(st.O.Data[base+i])
+				mean += v
+				sq += v * v
+			}
+		}
+		n := float64(b * hw)
+		mean /= n
+		variance := sq/n - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d mean %v, want ~0", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d var %v, want ~1", c, variance)
+		}
+	}
+}
+
+func TestBatchNormAffineParams(t *testing.T) {
+	l := builtBN(t, 2, 2, 2)
+	if len(l.Params()) != 2 {
+		t.Fatal("BN must expose gamma and beta")
+	}
+	l.BeginIteration(nil)
+	l.gamma.Fill(2)
+	l.beta.Fill(5)
+	x := tensor.New(2, 2, 2, 2)
+	tensor.NewRNG(4).FillNorm(x, 0, 1)
+	st := l.Forward(x, nil)
+	// y = 2·x̂ + 5, so the per-channel mean of y is 5.
+	var mean float64
+	for _, v := range st.O.Data {
+		mean += float64(v)
+	}
+	mean /= float64(st.O.Len())
+	if math.Abs(mean-5) > 1e-3 {
+		t.Fatalf("affine mean %v, want 5", mean)
+	}
+}
+
+// Finite-difference check of the full BN backward (input gradient and the
+// affine parameter gradients) — BN is smooth, so FD applies directly.
+func TestBatchNormBackwardFiniteDiff(t *testing.T) {
+	l := builtBN(t, 2, 2, 2)
+	l.BeginIteration(nil)
+	r := tensor.NewRNG(7)
+	x := tensor.New(2, 2, 2, 2)
+	r.FillNorm(x, 1, 2)
+	probe := tensor.New(2, 2, 2, 2)
+	r.FillNorm(probe, 0, 1)
+	r.FillUniform(l.gamma, 0.5, 1.5)
+	r.FillUniform(l.beta, -0.5, 0.5)
+
+	loss := func() float64 {
+		st := l.Forward(x, nil)
+		return float64(tensor.Dot(st.O, probe))
+	}
+	st := l.Forward(x, nil)
+	l.gGamma.Zero()
+	l.gBeta.Zero()
+	gradIn, d := l.Backward(x, st, probe, nil)
+	if d != nil {
+		t.Fatal("BN is stateless; delta must be nil")
+	}
+	eps := float32(1e-2)
+	for i := 0; i < x.Len(); i += 3 {
+		old := x.Data[i]
+		x.Data[i] = old + eps
+		lp := loss()
+		x.Data[i] = old - eps
+		lm := loss()
+		x.Data[i] = old
+		fd := (lp - lm) / (2 * float64(eps))
+		if math.Abs(fd-float64(gradIn.Data[i])) > 2e-2 {
+			t.Fatalf("BN grad-input[%d] = %v, finite-diff %v", i, gradIn.Data[i], fd)
+		}
+	}
+	for i := 0; i < l.gamma.Len(); i++ {
+		old := l.gamma.Data[i]
+		l.gamma.Data[i] = old + eps
+		lp := loss()
+		l.gamma.Data[i] = old - eps
+		lm := loss()
+		l.gamma.Data[i] = old
+		fd := (lp - lm) / (2 * float64(eps))
+		if math.Abs(fd-float64(l.gGamma.Data[i])) > 2e-2 {
+			t.Fatalf("BN grad-gamma[%d] = %v, finite-diff %v", i, l.gGamma.Data[i], fd)
+		}
+	}
+}
+
+func TestBatchNormRunningStatsFrozenDuringRecompute(t *testing.T) {
+	l := builtBN(t, 2, 2, 2)
+	l.BeginIteration(nil)
+	r := tensor.NewRNG(9)
+	x := tensor.New(2, 2, 2, 2)
+	r.FillNorm(x, 1, 2)
+
+	first := l.Forward(x, nil)
+	mean1 := append([]float32(nil), l.runMean.Data...)
+
+	// Replay: output identical, running stats untouched.
+	l.SetRecompute(true)
+	replay := l.Forward(x, nil)
+	l.SetRecompute(false)
+	for i := range first.O.Data {
+		if first.O.Data[i] != replay.O.Data[i] {
+			t.Fatal("BN replay diverged from the first pass")
+		}
+	}
+	for i := range mean1 {
+		if l.runMean.Data[i] != mean1[i] {
+			t.Fatal("recompute updated the running statistics")
+		}
+	}
+	// A genuine second pass does update them.
+	l.Forward(x, nil)
+	moved := false
+	for i := range mean1 {
+		if l.runMean.Data[i] != mean1[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("first-pass forward should update running stats")
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	l := builtBN(t, 1, 2, 2)
+	l.BeginIteration(nil)
+	x := tensor.New(2, 1, 2, 2)
+	tensor.NewRNG(11).FillNorm(x, 3, 1)
+	for i := 0; i < 80; i++ {
+		l.Forward(x, nil) // converge the EMA running stats to the batch stats
+	}
+	l.EndIteration()
+	evalOut := l.Forward(x, nil)
+	// Eval output should be near-standardised since running stats ≈ batch
+	// stats after repeated updates.
+	var mean float64
+	for _, v := range evalOut.O.Data {
+		mean += float64(v)
+	}
+	mean /= float64(evalOut.O.Len())
+	if math.Abs(mean) > 0.2 {
+		t.Fatalf("eval-mode mean %v, want ~0", mean)
+	}
+}
+
+func TestBatchNormInSpikingNetwork(t *testing.T) {
+	nrn := snn.Params{Leak: 0.9, Threshold: 0.8}
+	net := NewNetwork("bn-net", []int{2, 8, 8},
+		NewSpikingConv2D("c1", 4, 3, 1, 1, nrn, snn.Triangle{}),
+		NewTemporalBatchNorm("bn1"),
+		NewSpikingConv2D("c2", 4, 3, 1, 1, nrn, snn.Triangle{}),
+		NewReadout("out", 3, nrn),
+	)
+	if err := net.Build(tensor.NewRNG(13)); err != nil {
+		t.Fatal(err)
+	}
+	net.BeginIteration(tensor.NewRNG(1))
+	x := tensor.New(2, 2, 8, 8)
+	tensor.NewRNG(14).FillUniform(x, 0, 1.5)
+	states := net.ForwardStep(x, nil)
+	states = net.ForwardStep(x, states)
+	dl := tensor.New(2, 3)
+	dl.Fill(0.3)
+	net.ZeroGrads()
+	net.BackwardStep(x, states, map[int]*tensor.Tensor{3: dl}, nil)
+	var bnGrad float32
+	for _, p := range net.Params() {
+		if p.Name == "bn1.gamma" {
+			bnGrad = tensor.Norm2(p.G)
+		}
+	}
+	if bnGrad == 0 {
+		t.Fatal("BN affine parameters received no gradient")
+	}
+	net.EndIteration()
+	if (interface{})(net.Layers[1].(*TemporalBatchNorm)).(*TemporalBatchNorm).training {
+		t.Fatal("EndIteration did not reach the BN layer")
+	}
+}

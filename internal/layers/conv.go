@@ -1,0 +1,124 @@
+package layers
+
+import (
+	"fmt"
+
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+// SpikingConv2D is a convolutional layer followed by a layer of LIF neurons.
+// Per timestep it computes the synaptic current I_t = conv(x_t, W) + b and
+// advances the membrane per Eq. 1; its backward implements the δ recursion
+// of Eq. 2 with the configured surrogate gradient.
+type SpikingConv2D struct {
+	Spec      tensor.ConvSpec
+	Neuron    snn.Params
+	Surrogate snn.Surrogate
+	Label     string
+
+	weight, bias *tensor.Tensor
+	gradW, gradB *tensor.Tensor
+
+	inShape  []int // [C,H,W]
+	outShape []int // [Cout,OH,OW]
+	col      []float32
+}
+
+// NewSpikingConv2D returns an unbuilt spiking conv layer. kernel/stride/pad
+// follow tensor.ConvSpec semantics.
+func NewSpikingConv2D(label string, out, kernel, stride, pad int, neuron snn.Params, surr snn.Surrogate) *SpikingConv2D {
+	return &SpikingConv2D{
+		Spec:      tensor.ConvSpec{OutChannels: out, KernelH: kernel, KernelW: kernel, Stride: stride, Pad: pad},
+		Neuron:    neuron,
+		Surrogate: surr,
+		Label:     label,
+	}
+}
+
+// Name implements Layer.
+func (l *SpikingConv2D) Name() string { return l.Label }
+
+// Stateful implements Layer.
+func (l *SpikingConv2D) Stateful() bool { return true }
+
+// Build implements Layer.
+func (l *SpikingConv2D) Build(inShape []int, rng *tensor.RNG) ([]int, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("layers: %s expects [C,H,W] input, got %v", l.Label, inShape)
+	}
+	if err := l.Neuron.Validate(); err != nil {
+		return nil, fmt.Errorf("layers: %s: %w", l.Label, err)
+	}
+	l.Spec.InChannels = inShape[0]
+	oh, ow := l.Spec.OutSize(inShape[1], inShape[2])
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("layers: %s output %dx%d collapses", l.Label, oh, ow)
+	}
+	l.inShape = append([]int(nil), inShape...)
+	l.outShape = []int{l.Spec.OutChannels, oh, ow}
+	l.weight = tensor.New(l.Spec.OutChannels, l.Spec.InChannels, l.Spec.KernelH, l.Spec.KernelW)
+	l.bias = tensor.New(l.Spec.OutChannels)
+	l.gradW = tensor.New(l.Spec.OutChannels, l.Spec.InChannels, l.Spec.KernelH, l.Spec.KernelW)
+	l.gradB = tensor.New(l.Spec.OutChannels)
+	rng.KaimingConv(l.weight)
+	l.col = make([]float32, l.Spec.ColBufLen(inShape[1], inShape[2]))
+	return l.outShape, nil
+}
+
+// Params implements Layer.
+func (l *SpikingConv2D) Params() []Param {
+	return []Param{
+		{Name: l.Label + ".weight", W: l.weight, G: l.gradW},
+		{Name: l.Label + ".bias", W: l.bias, G: l.gradB},
+	}
+}
+
+// OutShape returns the built per-sample output shape.
+func (l *SpikingConv2D) OutShape() []int { return l.outShape }
+
+// Forward implements Layer.
+func (l *SpikingConv2D) Forward(x *tensor.Tensor, prev *LayerState) *LayerState {
+	b := x.Dim(0)
+	u := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
+	o := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
+	// Compute the synaptic current directly into u, then fold in the
+	// leak/reset recurrence.
+	tensor.Conv2D(u, x, l.weight, l.bias, l.Spec, l.col)
+	if prev == nil {
+		snn.StepLIF(u, o, nil, nil, u, l.Neuron)
+	} else {
+		snn.StepLIF(u, o, prev.U, prev.O, u, l.Neuron)
+	}
+	return &LayerState{U: u, O: o}
+}
+
+// Backward implements Layer. It computes
+//
+//	δ_t = σ'(U_t) ⊙ ∂L/∂o_t + λ·δ_{t+1}
+//	∂L/∂x_t = convGradInput(δ_t, W)
+//	∂W     += convGradWeight(δ_t, x_t)
+//
+// The reset-path gradient is ignored, as in the paper.
+func (l *SpikingConv2D) Backward(x *tensor.Tensor, st *LayerState, gradOut *tensor.Tensor, deltaIn *Delta) (*tensor.Tensor, *Delta) {
+	delta := tensor.New(st.U.Shape()...)
+	theta := l.Neuron.Threshold
+	for i, u := range st.U.Data {
+		delta.Data[i] = l.Surrogate.Grad(u, theta) * gradOut.Data[i]
+	}
+	if deltaIn != nil && deltaIn.D != nil {
+		tensor.AXPY(delta, l.Neuron.Leak, deltaIn.D)
+	}
+	gradIn := tensor.New(x.Shape()...)
+	tensor.Conv2DGradInput(gradIn, delta, l.weight, l.Spec, l.col)
+	tensor.Conv2DGradWeight(l.gradW, l.gradB, delta, x, l.Spec, l.col)
+	return gradIn, &Delta{D: delta}
+}
+
+// StateBytes implements Layer: U and O per stored timestep.
+func (l *SpikingConv2D) StateBytes(batch int) int64 {
+	return 2 * 4 * int64(batch) * int64(shapeVolume(l.outShape))
+}
+
+// WorkspaceBytes implements Layer: the im2col buffer.
+func (l *SpikingConv2D) WorkspaceBytes(int) int64 { return 4 * int64(len(l.col)) }

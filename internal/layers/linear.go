@@ -1,0 +1,135 @@
+package layers
+
+import (
+	"fmt"
+
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+// SpikingLinear is a fully-connected layer of LIF neurons. With Readout set
+// it becomes the network's output integrator: the neurons accumulate
+// membrane potential without firing or resetting (the standard readout for
+// the hybrid-training recipe), and O is the membrane itself, so the loss can
+// be applied to the accumulated potential at the final timestep.
+//
+// Rank-4 inputs [B,C,H,W] are flattened to [B,C·H·W] internally, so an
+// explicit flatten layer is unnecessary.
+type SpikingLinear struct {
+	Out       int
+	Neuron    snn.Params
+	Surrogate snn.Surrogate
+	Readout   bool
+	Label     string
+
+	weight, bias *tensor.Tensor
+	gradW, gradB *tensor.Tensor
+	inShape      []int
+	inFeatures   int
+}
+
+// NewSpikingLinear returns an unbuilt spiking fully-connected layer.
+func NewSpikingLinear(label string, out int, neuron snn.Params, surr snn.Surrogate) *SpikingLinear {
+	return &SpikingLinear{Out: out, Neuron: neuron, Surrogate: surr, Label: label}
+}
+
+// NewReadout returns the output integrator layer with the given class count.
+func NewReadout(label string, classes int, neuron snn.Params) *SpikingLinear {
+	return &SpikingLinear{Out: classes, Neuron: neuron, Readout: true, Label: label}
+}
+
+// Name implements Layer.
+func (l *SpikingLinear) Name() string { return l.Label }
+
+// Stateful implements Layer.
+func (l *SpikingLinear) Stateful() bool { return true }
+
+// Build implements Layer.
+func (l *SpikingLinear) Build(inShape []int, rng *tensor.RNG) ([]int, error) {
+	if err := l.Neuron.Validate(); err != nil {
+		return nil, fmt.Errorf("layers: %s: %w", l.Label, err)
+	}
+	if !l.Readout && l.Surrogate == nil {
+		return nil, fmt.Errorf("layers: %s needs a surrogate gradient", l.Label)
+	}
+	l.inShape = append([]int(nil), inShape...)
+	l.inFeatures = shapeVolume(inShape)
+	l.weight = tensor.New(l.Out, l.inFeatures)
+	l.bias = tensor.New(l.Out)
+	l.gradW = tensor.New(l.Out, l.inFeatures)
+	l.gradB = tensor.New(l.Out)
+	rng.KaimingLinear(l.weight)
+	return []int{l.Out}, nil
+}
+
+// Params implements Layer.
+func (l *SpikingLinear) Params() []Param {
+	return []Param{
+		{Name: l.Label + ".weight", W: l.weight, G: l.gradW},
+		{Name: l.Label + ".bias", W: l.bias, G: l.gradB},
+	}
+}
+
+func (l *SpikingLinear) flatten(x *tensor.Tensor) *tensor.Tensor {
+	b := x.Dim(0)
+	if x.Rank() == 2 {
+		return x
+	}
+	return x.Reshape(b, l.inFeatures)
+}
+
+// Forward implements Layer.
+func (l *SpikingLinear) Forward(x *tensor.Tensor, prev *LayerState) *LayerState {
+	xf := l.flatten(x)
+	b := xf.Dim(0)
+	u := tensor.New(b, l.Out)
+	tensor.MatMulTransB(u, xf, l.weight) // current = x·Wᵀ
+	tensor.AddRowBias(u, l.bias)
+	if l.Readout {
+		// Pure integrator: U_t = λ·U_{t−1} + I_t, no spike, no reset.
+		if prev != nil {
+			tensor.AXPY(u, l.Neuron.Leak, prev.U)
+		}
+		return &LayerState{U: u, O: u.Clone()}
+	}
+	o := tensor.New(b, l.Out)
+	if prev == nil {
+		snn.StepLIF(u, o, nil, nil, u, l.Neuron)
+	} else {
+		snn.StepLIF(u, o, prev.U, prev.O, u, l.Neuron)
+	}
+	return &LayerState{U: u, O: o}
+}
+
+// Backward implements Layer; see SpikingConv2D.Backward for the recursion.
+// For a readout layer σ' ≡ 1 (the output is the membrane itself).
+func (l *SpikingLinear) Backward(x *tensor.Tensor, st *LayerState, gradOut *tensor.Tensor, deltaIn *Delta) (*tensor.Tensor, *Delta) {
+	xf := l.flatten(x)
+	b := xf.Dim(0)
+	delta := tensor.New(b, l.Out)
+	if l.Readout {
+		copy(delta.Data, gradOut.Data)
+	} else {
+		theta := l.Neuron.Threshold
+		for i, u := range st.U.Data {
+			delta.Data[i] = l.Surrogate.Grad(u, theta) * gradOut.Data[i]
+		}
+	}
+	if deltaIn != nil && deltaIn.D != nil {
+		tensor.AXPY(delta, l.Neuron.Leak, deltaIn.D)
+	}
+	gradFlat := tensor.New(b, l.inFeatures)
+	tensor.MatMul(gradFlat, delta, l.weight)   // ∂L/∂x = δ·W
+	tensor.MatMulTransAAcc(l.gradW, delta, xf) // ∂W += δᵀ·x
+	tensor.SumPerColumn(l.gradB, delta)        // ∂b += Σ_batch δ
+	gradIn := gradFlat.Reshape(x.Shape()...)   // restore caller's view
+	return gradIn, &Delta{D: delta}
+}
+
+// StateBytes implements Layer: U and O per stored timestep.
+func (l *SpikingLinear) StateBytes(batch int) int64 {
+	return 2 * 4 * int64(batch) * int64(l.Out)
+}
+
+// WorkspaceBytes implements Layer.
+func (l *SpikingLinear) WorkspaceBytes(int) int64 { return 0 }

@@ -1,0 +1,84 @@
+package layers
+
+import (
+	"fmt"
+
+	"skipper/internal/tensor"
+)
+
+// MaxPool2D is index-routed spatial max pooling. It exists for ANN-style
+// comparison stacks; spiking stacks normally use AvgPool2D (averaging
+// preserves rate information where a max over binary spikes saturates).
+//
+// The argmax indices are part of the timestep record (they are needed to
+// route the backward pass), so checkpoint recomputation regenerates them
+// identically. They ride in the state's U slot encoded as float32 values —
+// exactly the trick PyTorch's saved-tensor mechanism uses for pooling
+// indices — and their bytes are accounted like any other activation.
+type MaxPool2D struct {
+	K     int
+	Label string
+
+	inShape  []int
+	outShape []int
+}
+
+// NewMaxPool2D returns an unbuilt max-pooling layer.
+func NewMaxPool2D(label string, k int) *MaxPool2D {
+	return &MaxPool2D{K: k, Label: label}
+}
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return l.Label }
+
+// Stateful implements Layer.
+func (l *MaxPool2D) Stateful() bool { return false }
+
+// Build implements Layer.
+func (l *MaxPool2D) Build(inShape []int, _ *tensor.RNG) ([]int, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("layers: %s expects [C,H,W] input, got %v", l.Label, inShape)
+	}
+	if l.K < 1 || inShape[1]%l.K != 0 || inShape[2]%l.K != 0 {
+		return nil, fmt.Errorf("layers: %s window %d does not divide %dx%d", l.Label, l.K, inShape[1], inShape[2])
+	}
+	l.inShape = append([]int(nil), inShape...)
+	l.outShape = []int{inShape[0], inShape[1] / l.K, inShape[2] / l.K}
+	return l.outShape, nil
+}
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []Param { return nil }
+
+// Forward implements Layer. The record's U field carries the argmax
+// indices.
+func (l *MaxPool2D) Forward(x *tensor.Tensor, _ *LayerState) *LayerState {
+	b := x.Dim(0)
+	o := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
+	idx := make([]int32, o.Len())
+	tensor.MaxPool2D(o, x, idx, l.K)
+	idxT := tensor.New(o.Shape()...)
+	for i, v := range idx {
+		idxT.Data[i] = float32(v)
+	}
+	return &LayerState{U: idxT, O: o}
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(x *tensor.Tensor, st *LayerState, gradOut *tensor.Tensor, _ *Delta) (*tensor.Tensor, *Delta) {
+	idx := make([]int32, st.U.Len())
+	for i, v := range st.U.Data {
+		idx[i] = int32(v)
+	}
+	gradIn := tensor.New(x.Shape()...)
+	tensor.MaxPool2DGrad(gradIn, gradOut, idx)
+	return gradIn, nil
+}
+
+// StateBytes implements Layer: pooled output plus the index plane.
+func (l *MaxPool2D) StateBytes(batch int) int64 {
+	return 2 * 4 * int64(batch) * int64(shapeVolume(l.outShape))
+}
+
+// WorkspaceBytes implements Layer.
+func (l *MaxPool2D) WorkspaceBytes(int) int64 { return 0 }

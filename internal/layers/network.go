@@ -1,0 +1,272 @@
+package layers
+
+import (
+	"fmt"
+
+	"skipper/internal/tensor"
+)
+
+// Network is a feed-forward stack of layers unrolled in time by the training
+// engine. It provides the single-timestep forward and backward primitives
+// that every training strategy (BPTT, checkpointing, Skipper, TBPTT,
+// TBPTT-LBP) composes.
+type Network struct {
+	Name    string
+	InShape []int // per-sample input shape [C,H,W]
+	Layers  []Layer
+
+	outShape []int
+	built    bool
+}
+
+// NewNetwork assembles an unbuilt network from layers.
+func NewNetwork(name string, inShape []int, ls ...Layer) *Network {
+	return &Network{Name: name, InShape: append([]int(nil), inShape...), Layers: ls}
+}
+
+// Build wires up all layer shapes and initialises parameters from rng.
+func (n *Network) Build(rng *tensor.RNG) error {
+	shape := n.InShape
+	for i, l := range n.Layers {
+		out, err := l.Build(shape, rng.Derive(uint64(i)))
+		if err != nil {
+			return fmt.Errorf("layers: building %s layer %d (%s): %w", n.Name, i, l.Name(), err)
+		}
+		shape = out
+	}
+	n.outShape = shape
+	n.built = true
+	return nil
+}
+
+// OutShape returns the per-sample output shape (typically [classes]).
+func (n *Network) OutShape() []int {
+	n.mustBuilt()
+	return n.outShape
+}
+
+func (n *Network) mustBuilt() {
+	if !n.built {
+		panic("layers: network used before Build")
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []Param {
+	var ps []Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, p := range n.Params() {
+		c += p.W.Len()
+	}
+	return c
+}
+
+// ParamBytes returns the weight footprint in bytes.
+func (n *Network) ParamBytes() int64 {
+	var b int64
+	for _, p := range n.Params() {
+		b += p.W.Bytes()
+	}
+	return b
+}
+
+// ZeroGrads clears all parameter gradients.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// StatefulCount returns L_n: the number of membrane-carrying layers
+// (residual blocks count their two LIF stages). This is the L_n in the
+// paper's T/C > L_n constraint and Eq. 7.
+func (n *Network) StatefulCount() int {
+	c := 0
+	for _, l := range n.Layers {
+		if !l.Stateful() {
+			continue
+		}
+		if rb, ok := l.(*ResidualBlock); ok {
+			_ = rb
+			c += 2
+			continue
+		}
+		c++
+	}
+	return c
+}
+
+// BeginIteration re-samples per-iteration randomness (dropout masks).
+func (n *Network) BeginIteration(rng *tensor.RNG) {
+	for i, l := range n.Layers {
+		if il, ok := l.(IterationLayer); ok {
+			il.BeginIteration(rng.Derive(uint64(i)))
+		}
+	}
+}
+
+// EndIteration switches per-iteration layers back to evaluation behaviour.
+func (n *Network) EndIteration() {
+	for _, l := range n.Layers {
+		if e, ok := l.(interface{ EndIteration() }); ok {
+			e.EndIteration()
+		}
+	}
+}
+
+// BeginRecompute marks the start of a checkpoint replay: layers with
+// first-pass-only side effects (batch-norm running statistics) freeze them.
+func (n *Network) BeginRecompute() { n.setRecompute(true) }
+
+// EndRecompute marks the end of a checkpoint replay.
+func (n *Network) EndRecompute() { n.setRecompute(false) }
+
+func (n *Network) setRecompute(on bool) {
+	for _, l := range n.Layers {
+		if r, ok := l.(RecomputeAware); ok {
+			r.SetRecompute(on)
+		}
+	}
+}
+
+// ForwardStep advances the whole stack one timestep. x is the input spikes
+// [B, InShape...]; prev is the per-layer state at t−1 (nil at t = 0).
+// The returned slice has one state per layer.
+func (n *Network) ForwardStep(x *tensor.Tensor, prev []*LayerState) []*LayerState {
+	n.mustBuilt()
+	states := make([]*LayerState, len(n.Layers))
+	cur := x
+	for i, l := range n.Layers {
+		var p *LayerState
+		if prev != nil {
+			p = prev[i]
+		}
+		st := l.Forward(cur, p)
+		states[i] = st
+		cur = st.O
+	}
+	return states
+}
+
+// Logits returns the readout output of the final layer for a timestep's
+// states.
+func (n *Network) Logits(states []*LayerState) *tensor.Tensor {
+	return states[len(states)-1].O
+}
+
+// SpikeSum returns s_t = Σ_l sum(o_t^l) over all layers for one timestep's
+// states (paper Eq. 4). The readout layer is excluded: its "output" is a
+// membrane potential, not spikes.
+func (n *Network) SpikeSum(states []*LayerState) float64 {
+	var s float64
+	for i, st := range states {
+		if lin, ok := n.Layers[i].(*SpikingLinear); ok && lin.Readout {
+			continue
+		}
+		s += st.SpikeSum()
+	}
+	return s
+}
+
+// BackwardStep runs one timestep of the δ recursion from the top of the
+// stack to the bottom. x and states are the input and records at time t.
+// gradsAt injects external ∂L/∂o_t gradients by layer index (the final
+// layer's entry is the loss gradient; TBPTT-LBP adds local-classifier
+// entries at interior layers). deltas carries δ_{t+1} per layer (nil at the
+// last computed timestep) and the replacement δ_t slice is returned.
+func (n *Network) BackwardStep(x *tensor.Tensor, states []*LayerState, gradsAt map[int]*tensor.Tensor, deltas []*Delta) []*Delta {
+	n.mustBuilt()
+	if len(states) != len(n.Layers) {
+		panic(fmt.Sprintf("layers: BackwardStep got %d states for %d layers", len(states), len(n.Layers)))
+	}
+	newDeltas := make([]*Delta, len(n.Layers))
+	var gradFlow *tensor.Tensor
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		l := n.Layers[i]
+		gradOut := gradFlow
+		if inj := gradsAt[i]; inj != nil {
+			if gradOut == nil {
+				gradOut = inj.Clone()
+			} else {
+				tensor.AXPY(gradOut, 1, inj)
+			}
+		}
+		if gradOut == nil {
+			gradOut = tensor.New(states[i].O.Shape()...)
+		}
+		input := x
+		if i > 0 {
+			input = states[i-1].O
+		}
+		var din *Delta
+		if deltas != nil {
+			din = deltas[i]
+		}
+		gradIn, dout := l.Backward(input, states[i], gradOut, din)
+		newDeltas[i] = dout
+		gradFlow = gradIn
+	}
+	return newDeltas
+}
+
+// RecordBytes returns the activation bytes of one stored timestep for a
+// batch of the given size — the unit the paper's memory model is built from.
+func (n *Network) RecordBytes(batch int) int64 {
+	var b int64
+	for _, l := range n.Layers {
+		b += l.StateBytes(batch)
+	}
+	return b
+}
+
+// WorkspaceBytes returns the peak transient scratch requirement.
+func (n *Network) WorkspaceBytes(batch int) int64 {
+	var m int64
+	for _, l := range n.Layers {
+		if w := l.WorkspaceBytes(batch); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Summary renders a one-line-per-layer description of the built network.
+func (n *Network) Summary() string {
+	n.mustBuilt()
+	s := fmt.Sprintf("%s: in=%v params=%d L_n=%d\n", n.Name, n.InShape, n.ParamCount(), n.StatefulCount())
+	shape := n.InShape
+	for i, l := range n.Layers {
+		nextShape := layerOutShape(l, shape)
+		s += fmt.Sprintf("  %2d %-18s %v -> %v\n", i, l.Name(), shape, nextShape)
+		shape = nextShape
+	}
+	return s
+}
+
+// layerOutShape recovers a built layer's output shape for reporting.
+func layerOutShape(l Layer, in []int) []int {
+	switch v := l.(type) {
+	case *SpikingConv2D:
+		return v.outShape
+	case *SpikingLinear:
+		return []int{v.Out}
+	case *AvgPool2D:
+		return v.outShape
+	case *GlobalAvgPool:
+		return []int{v.inShape[0]}
+	case *ResidualBlock:
+		return v.outShape
+	case *Dropout:
+		return in
+	default:
+		return in
+	}
+}

@@ -1,0 +1,118 @@
+package layers
+
+import (
+	"fmt"
+
+	"skipper/internal/tensor"
+)
+
+// AvgPool2D is a stateless spatial average-pooling layer with window and
+// stride k. SNN stacks pool spike trains with average pooling so that rate
+// information survives (max pooling over binary spikes is nearly saturating).
+type AvgPool2D struct {
+	K     int
+	Label string
+
+	inShape  []int
+	outShape []int
+}
+
+// NewAvgPool2D returns an unbuilt average-pooling layer.
+func NewAvgPool2D(label string, k int) *AvgPool2D {
+	return &AvgPool2D{K: k, Label: label}
+}
+
+// Name implements Layer.
+func (l *AvgPool2D) Name() string { return l.Label }
+
+// Stateful implements Layer.
+func (l *AvgPool2D) Stateful() bool { return false }
+
+// Build implements Layer.
+func (l *AvgPool2D) Build(inShape []int, _ *tensor.RNG) ([]int, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("layers: %s expects [C,H,W] input, got %v", l.Label, inShape)
+	}
+	if l.K < 1 || inShape[1]%l.K != 0 || inShape[2]%l.K != 0 {
+		return nil, fmt.Errorf("layers: %s window %d does not divide %dx%d", l.Label, l.K, inShape[1], inShape[2])
+	}
+	l.inShape = append([]int(nil), inShape...)
+	l.outShape = []int{inShape[0], inShape[1] / l.K, inShape[2] / l.K}
+	return l.outShape, nil
+}
+
+// Params implements Layer.
+func (l *AvgPool2D) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (l *AvgPool2D) Forward(x *tensor.Tensor, _ *LayerState) *LayerState {
+	b := x.Dim(0)
+	o := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
+	tensor.AvgPool2D(o, x, l.K)
+	return &LayerState{O: o}
+}
+
+// Backward implements Layer.
+func (l *AvgPool2D) Backward(x *tensor.Tensor, _ *LayerState, gradOut *tensor.Tensor, _ *Delta) (*tensor.Tensor, *Delta) {
+	gradIn := tensor.New(x.Shape()...)
+	tensor.AvgPool2DGrad(gradIn, gradOut, l.K)
+	return gradIn, nil
+}
+
+// StateBytes implements Layer: the pooled output per stored timestep.
+func (l *AvgPool2D) StateBytes(batch int) int64 {
+	return 4 * int64(batch) * int64(shapeVolume(l.outShape))
+}
+
+// WorkspaceBytes implements Layer.
+func (l *AvgPool2D) WorkspaceBytes(int) int64 { return 0 }
+
+// GlobalAvgPool collapses [B,C,H,W] to [B,C], the head of ResNet stacks.
+type GlobalAvgPool struct {
+	Label   string
+	inShape []int
+}
+
+// NewGlobalAvgPool returns an unbuilt global average-pooling layer.
+func NewGlobalAvgPool(label string) *GlobalAvgPool { return &GlobalAvgPool{Label: label} }
+
+// Name implements Layer.
+func (l *GlobalAvgPool) Name() string { return l.Label }
+
+// Stateful implements Layer.
+func (l *GlobalAvgPool) Stateful() bool { return false }
+
+// Build implements Layer.
+func (l *GlobalAvgPool) Build(inShape []int, _ *tensor.RNG) ([]int, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("layers: %s expects [C,H,W] input, got %v", l.Label, inShape)
+	}
+	l.inShape = append([]int(nil), inShape...)
+	return []int{inShape[0]}, nil
+}
+
+// Params implements Layer.
+func (l *GlobalAvgPool) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool) Forward(x *tensor.Tensor, _ *LayerState) *LayerState {
+	b := x.Dim(0)
+	o := tensor.New(b, l.inShape[0])
+	tensor.GlobalAvgPool2D(o, x)
+	return &LayerState{O: o}
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool) Backward(x *tensor.Tensor, _ *LayerState, gradOut *tensor.Tensor, _ *Delta) (*tensor.Tensor, *Delta) {
+	gradIn := tensor.New(x.Shape()...)
+	tensor.GlobalAvgPool2DGrad(gradIn, gradOut)
+	return gradIn, nil
+}
+
+// StateBytes implements Layer.
+func (l *GlobalAvgPool) StateBytes(batch int) int64 {
+	return 4 * int64(batch) * int64(l.inShape[0])
+}
+
+// WorkspaceBytes implements Layer.
+func (l *GlobalAvgPool) WorkspaceBytes(int) int64 { return 0 }

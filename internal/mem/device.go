@@ -1,0 +1,466 @@
+// Package mem implements the instrumented device-memory model that stands in
+// for the GPU (and its pynvml/PyTorch-allocator measurements) of the original
+// Skipper artifact.
+//
+// Every tensor the training engine keeps alive on the "device" is charged to
+// a Device through a category-tagged allocation. The Device mirrors the
+// structure of a CUDA + PyTorch memory stack:
+//
+//   - a fixed context overhead (the "CUDA context" share in paper Fig. 13),
+//   - a caching allocator that rounds requests into bins and retains freed
+//     blocks (PyTorch's reserved-vs-allocated distinction),
+//   - per-category live/peak accounting of the tensors themselves
+//     (activations, input, weights, weight gradients, optimizer state,
+//     workspace — the categories of paper Figs. 3c/d and 4a),
+//   - an optional hard budget producing ErrOutOfMemory (for the
+//     timestep-scaling experiment, Fig. 14, and the edge device, Fig. 15),
+//   - an optional swap region with a bandwidth penalty (Jetson Nano, Fig. 15).
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Category tags the purpose of an allocation, mirroring the tensor taxonomy
+// of the paper's memory-breakdown figures.
+type Category int
+
+const (
+	// Activations are the time-unrolled neural states (U_t, o_t) and layer
+	// intermediates saved for the backward pass. This is the category the
+	// paper's techniques attack.
+	Activations Category = iota
+	// Input is the encoded spike input and labels for the current batch.
+	Input
+	// Weights are the trainable parameters.
+	Weights
+	// WeightGrads are the parameter gradients.
+	WeightGrads
+	// Optimizer is optimizer state (Adam moments) plus non-trainable
+	// parameters (leak, threshold).
+	Optimizer
+	// Workspace is transient kernel scratch (im2col buffers).
+	Workspace
+	// Other is everything else (bookkeeping, SAM spike-sum buffers, ...).
+	Other
+
+	numCategories
+)
+
+var categoryNames = [...]string{"activations", "input", "weights", "wt gradients", "optimizer", "workspace", "others"}
+
+// String returns the category's display name (matching the paper's legends).
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// ErrOutOfMemory is returned when an allocation cannot fit within the
+// device's budget even after releasing the allocator cache.
+var ErrOutOfMemory = errors.New("mem: device out of memory")
+
+// OOMError wraps ErrOutOfMemory with the request details.
+type OOMError struct {
+	Requested int64
+	Budget    int64
+	Reserved  int64
+	Category  Category
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("mem: device out of memory allocating %d bytes of %s (reserved %d of budget %d)",
+		e.Requested, e.Category, e.Reserved, e.Budget)
+}
+
+// Unwrap makes errors.Is(err, ErrOutOfMemory) work.
+func (e *OOMError) Unwrap() error { return ErrOutOfMemory }
+
+// Config configures a Device.
+type Config struct {
+	// Budget is the hard capacity in bytes. Zero means unlimited.
+	Budget int64
+	// ContextOverhead is the fixed context footprint charged up front
+	// (the "CUDA context" share). It counts against the budget.
+	ContextOverhead int64
+	// SwapBytes is extra capacity beyond Budget that allocations may spill
+	// into, modeling unified-memory swap on edge devices. Zero disables swap.
+	SwapBytes int64
+	// SwapPenalty is the relative slowdown per byte held in swap, exposed via
+	// SlowdownFactor for the timing model. A value of 3 means touching swap
+	// memory is 4x slower than device memory.
+	SwapPenalty float64
+}
+
+// Device is a category-tracking memory accountant with a caching-allocator
+// model. It is safe for concurrent use.
+type Device struct {
+	mu  sync.Mutex
+	cfg Config
+
+	live     [numCategories]int64 // bytes currently allocated per category
+	peak     [numCategories]int64 // peak per category
+	reserved int64                // bytes obtained from the "driver" (live + cache)
+	peakRes  int64
+	peakLive int64
+	swapped  int64 // bytes currently beyond Budget (in swap)
+	peakSwap int64
+
+	cache map[int64]int // freed bins: size -> count
+	allocs,
+	frees,
+	cacheHits,
+	oomFlushes int64
+}
+
+// NewDevice returns a device with the given configuration.
+func NewDevice(cfg Config) *Device {
+	d := &Device{cfg: cfg, cache: make(map[int64]int)}
+	d.reserved = cfg.ContextOverhead
+	d.peakRes = d.reserved
+	return d
+}
+
+// Unlimited returns a device with no budget and no context overhead,
+// convenient for pure accounting.
+func Unlimited() *Device { return NewDevice(Config{}) }
+
+// roundBin rounds a request to its allocator bin, echoing the PyTorch caching
+// allocator: small blocks round to 512 B multiples, large blocks (>1 MiB)
+// round to 2 MiB multiples.
+func roundBin(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	const small = 512
+	const large = 2 << 20
+	if n < 1<<20 {
+		return (n + small - 1) / small * small
+	}
+	return (n + large - 1) / large * large
+}
+
+// Block is a live allocation. Release it exactly once.
+type Block struct {
+	dev  *Device
+	cat  Category
+	bin  int64
+	size int64
+	free bool
+}
+
+// Size returns the requested (un-rounded) size in bytes.
+func (b *Block) Size() int64 { return b.size }
+
+// Release returns the block to the device's allocator cache. Releasing nil
+// or an already-released block is a no-op, so deferred cleanup is safe.
+func (b *Block) Release() {
+	if b == nil || b.free {
+		return
+	}
+	b.free = true
+	b.dev.release(b)
+}
+
+// Alloc charges size bytes to category cat. The rounded bin is served from
+// the allocator cache when possible; otherwise reserved memory grows. When
+// the budget would be exceeded the cache is flushed and the allocation
+// retried; if it still does not fit (including swap), an *OOMError is
+// returned.
+func (d *Device) Alloc(cat Category, size int64) (*Block, error) {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %d", size))
+	}
+	bin := roundBin(size)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	d.allocs++
+	if n := d.cache[bin]; n > 0 {
+		if n == 1 {
+			delete(d.cache, bin)
+		} else {
+			d.cache[bin] = n - 1
+		}
+		d.cacheHits++
+	} else if err := d.reserve(cat, bin); err != nil {
+		return nil, err
+	}
+	d.live[cat] += size
+	if d.live[cat] > d.peak[cat] {
+		d.peak[cat] = d.live[cat]
+	}
+	var total int64
+	for _, v := range d.live {
+		total += v
+	}
+	if total > d.peakLive {
+		d.peakLive = total
+	}
+	return &Block{dev: d, cat: cat, bin: bin, size: size}, nil
+}
+
+// MustAlloc is Alloc that panics on OOM; for call sites where a budget is
+// never configured.
+func (d *Device) MustAlloc(cat Category, size int64) *Block {
+	b, err := d.Alloc(cat, size)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// reserve grows reserved memory by bin bytes, flushing the cache and then
+// spilling to swap if needed. Caller holds d.mu.
+func (d *Device) reserve(cat Category, bin int64) error {
+	capacity := d.cfg.Budget + d.cfg.SwapBytes
+	if d.cfg.Budget == 0 {
+		capacity = 0 // unlimited
+	}
+	if capacity != 0 && d.reserved+bin > capacity {
+		// Flush cache ("torch.cuda.empty_cache on OOM retry").
+		d.flushCacheLocked()
+		d.oomFlushes++
+	}
+	if capacity != 0 && d.reserved+bin > capacity {
+		return &OOMError{Requested: bin, Budget: d.cfg.Budget, Reserved: d.reserved, Category: cat}
+	}
+	d.reserved += bin
+	if d.reserved > d.peakRes {
+		d.peakRes = d.reserved
+	}
+	if d.cfg.Budget != 0 && d.reserved > d.cfg.Budget {
+		d.swapped = d.reserved - d.cfg.Budget
+		if d.swapped > d.peakSwap {
+			d.peakSwap = d.swapped
+		}
+	}
+	return nil
+}
+
+func (d *Device) release(b *Block) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frees++
+	d.live[b.cat] -= b.size
+	if d.live[b.cat] < 0 {
+		panic(fmt.Sprintf("mem: category %s went negative (%d)", b.cat, d.live[b.cat]))
+	}
+	d.cache[b.bin]++
+}
+
+func (d *Device) flushCacheLocked() {
+	for bin, n := range d.cache {
+		d.reserved -= bin * int64(n)
+	}
+	if d.cfg.Budget != 0 && d.reserved <= d.cfg.Budget {
+		d.swapped = 0
+	} else if d.cfg.Budget != 0 {
+		d.swapped = d.reserved - d.cfg.Budget
+	}
+	d.cache = make(map[int64]int)
+}
+
+// FlushCache releases all cached blocks back to the "driver", shrinking
+// reserved memory (torch.cuda.empty_cache analogue).
+func (d *Device) FlushCache() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flushCacheLocked()
+}
+
+// Allocated returns the total live bytes across categories.
+func (d *Device) Allocated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var t int64
+	for _, v := range d.live {
+		t += v
+	}
+	return t
+}
+
+// AllocatedBy returns the live bytes in one category.
+func (d *Device) AllocatedBy(cat Category) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.live[cat]
+}
+
+// Reserved returns reserved bytes (context + live bins + cached bins).
+func (d *Device) Reserved() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reserved
+}
+
+// PeakAllocated returns the peak of total live bytes
+// (max_memory_allocated analogue).
+func (d *Device) PeakAllocated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peakLive
+}
+
+// PeakReserved returns the peak reserved bytes
+// (max_memory_reserved analogue; what nvidia-smi would show).
+func (d *Device) PeakReserved() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peakRes
+}
+
+// PeakBy returns the peak live bytes of one category.
+func (d *Device) PeakBy(cat Category) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak[cat]
+}
+
+// Swapped returns the bytes currently resident beyond the budget (in swap).
+func (d *Device) Swapped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.swapped
+}
+
+// PeakSwapped returns the peak swap residency.
+func (d *Device) PeakSwapped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peakSwap
+}
+
+// SlowdownFactor returns the multiplicative slowdown the timing model should
+// apply given the peak swap residency: 1 when no swap was touched, growing
+// linearly with the swapped fraction of the budget.
+func (d *Device) SlowdownFactor() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.Budget == 0 || d.peakSwap == 0 || d.cfg.SwapPenalty == 0 {
+		return 1
+	}
+	frac := float64(d.peakSwap) / float64(d.cfg.Budget)
+	return 1 + d.cfg.SwapPenalty*frac
+}
+
+// ContextOverhead returns the configured fixed context footprint.
+func (d *Device) ContextOverhead() int64 { return d.cfg.ContextOverhead }
+
+// Budget returns the configured budget (0 = unlimited).
+func (d *Device) Budget() int64 { return d.cfg.Budget }
+
+// ResetPeaks clears all peak statistics (but not live allocations), so
+// measurements can start "after warm-up" as the paper does.
+func (d *Device) ResetPeaks() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for i, v := range d.live {
+		d.peak[i] = v
+		total += v
+	}
+	d.peakLive = total
+	d.peakRes = d.reserved
+	d.peakSwap = d.swapped
+}
+
+// Stats is a snapshot of the device counters.
+type Stats struct {
+	Live          [numCategories]int64
+	Peak          [numCategories]int64
+	Reserved      int64
+	PeakReserved  int64
+	PeakAllocated int64
+	Context       int64
+	Allocs        int64
+	Frees         int64
+	CacheHits     int64
+	OOMFlushes    int64
+}
+
+// Snapshot returns a copy of the device counters.
+func (d *Device) Snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, v := range d.live {
+		total += v
+	}
+	return Stats{
+		Live:          d.live,
+		Peak:          d.peak,
+		Reserved:      d.reserved,
+		PeakReserved:  d.peakRes,
+		PeakAllocated: d.peakLive,
+		Context:       d.cfg.ContextOverhead,
+		Allocs:        d.allocs,
+		Frees:         d.frees,
+		CacheHits:     d.cacheHits,
+		OOMFlushes:    d.oomFlushes,
+	}
+}
+
+// Breakdown renders the peak per-category shares as a human-readable line,
+// largest first — the textual analogue of the paper's stacked bars.
+func (s Stats) Breakdown() string {
+	type kv struct {
+		c Category
+		v int64
+	}
+	items := make([]kv, 0, numCategories)
+	var total int64
+	for i, v := range s.Peak {
+		items = append(items, kv{Category(i), v})
+		total += v
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
+	var b strings.Builder
+	for i, it := range items {
+		if it.v == 0 {
+			continue
+		}
+		if i > 0 && b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(it.v) / float64(total)
+		}
+		fmt.Fprintf(&b, "%s %s (%.0f%%)", it.c, FormatBytes(it.v), pct)
+	}
+	return b.String()
+}
+
+// FormatBytes renders n using binary units.
+func FormatBytes(n int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case n >= gib:
+		return fmt.Sprintf("%.2f GiB", float64(n)/float64(gib))
+	case n >= mib:
+		return fmt.Sprintf("%.2f MiB", float64(n)/float64(mib))
+	case n >= kib:
+		return fmt.Sprintf("%.2f KiB", float64(n)/float64(kib))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

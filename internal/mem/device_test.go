@@ -1,0 +1,373 @@
+package mem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeAccounting(t *testing.T) {
+	d := Unlimited()
+	b1 := d.MustAlloc(Activations, 1000)
+	b2 := d.MustAlloc(Weights, 500)
+	if got := d.Allocated(); got != 1500 {
+		t.Fatalf("Allocated = %d, want 1500", got)
+	}
+	if got := d.AllocatedBy(Activations); got != 1000 {
+		t.Fatalf("AllocatedBy(Activations) = %d, want 1000", got)
+	}
+	b1.Release()
+	if got := d.Allocated(); got != 500 {
+		t.Fatalf("Allocated after release = %d, want 500", got)
+	}
+	if got := d.PeakAllocated(); got != 1500 {
+		t.Fatalf("PeakAllocated = %d, want 1500", got)
+	}
+	b2.Release()
+	if got := d.Allocated(); got != 0 {
+		t.Fatalf("Allocated after all released = %d, want 0", got)
+	}
+}
+
+func TestDoubleReleaseIsNoOp(t *testing.T) {
+	d := Unlimited()
+	b := d.MustAlloc(Other, 64)
+	b.Release()
+	b.Release() // must not panic or double-count
+	var nilBlock *Block
+	nilBlock.Release() // nil release must be safe
+	if got := d.Allocated(); got != 0 {
+		t.Fatalf("Allocated = %d, want 0", got)
+	}
+}
+
+func TestPeakPerCategory(t *testing.T) {
+	d := Unlimited()
+	b1 := d.MustAlloc(Activations, 100)
+	b2 := d.MustAlloc(Activations, 200)
+	b1.Release()
+	b3 := d.MustAlloc(Activations, 50)
+	if got := d.PeakBy(Activations); got != 300 {
+		t.Fatalf("PeakBy = %d, want 300", got)
+	}
+	if got := d.AllocatedBy(Activations); got != 250 {
+		t.Fatalf("AllocatedBy = %d, want 250", got)
+	}
+	b2.Release()
+	b3.Release()
+}
+
+func TestCachingAllocatorReuse(t *testing.T) {
+	d := Unlimited()
+	b := d.MustAlloc(Activations, 4096)
+	r0 := d.Reserved()
+	b.Release()
+	// Reserved must not shrink on free (blocks are cached).
+	if d.Reserved() != r0 {
+		t.Fatalf("Reserved shrank on free: %d -> %d", r0, d.Reserved())
+	}
+	// Same-bin realloc hits the cache without growing reserved.
+	b2 := d.MustAlloc(Input, 4000) // rounds to the same 4096 bin
+	if d.Reserved() != r0 {
+		t.Fatalf("Reserved grew despite cache: %d -> %d", r0, d.Reserved())
+	}
+	st := d.Snapshot()
+	if st.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", st.CacheHits)
+	}
+	b2.Release()
+	d.FlushCache()
+	if d.Reserved() != 0 {
+		t.Fatalf("Reserved after flush = %d, want 0", d.Reserved())
+	}
+}
+
+func TestRoundBin(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{1, 512},
+		{512, 512},
+		{513, 1024},
+		{1 << 20, 2 << 20},       // 1 MiB rounds to a 2 MiB large bin
+		{(1 << 20) - 1, 1 << 20}, // just under 1 MiB stays small-binned
+		{3 << 20, 4 << 20},
+	}
+	for _, c := range cases {
+		if got := roundBin(c.in); got != c.want {
+			t.Fatalf("roundBin(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBudgetOOM(t *testing.T) {
+	d := NewDevice(Config{Budget: 10 << 10})
+	b, err := d.Alloc(Activations, 8<<10)
+	if err != nil {
+		t.Fatalf("first alloc failed: %v", err)
+	}
+	_, err = d.Alloc(Activations, 8<<10)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("want *OOMError, got %T", err)
+	}
+	if oom.Category != Activations {
+		t.Fatalf("OOM category = %v", oom.Category)
+	}
+	b.Release()
+	// After release, the cache is flushed on demand and the alloc succeeds.
+	b2, err := d.Alloc(Activations, 8<<10)
+	if err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+	b2.Release()
+}
+
+func TestContextOverheadCountsAgainstBudget(t *testing.T) {
+	d := NewDevice(Config{Budget: 10 << 10, ContextOverhead: 6 << 10})
+	if d.Reserved() != 6<<10 {
+		t.Fatalf("Reserved = %d, want context 6144", d.Reserved())
+	}
+	if _, err := d.Alloc(Other, 5<<10); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("alloc should OOM against context+budget, got %v", err)
+	}
+	b, err := d.Alloc(Other, 3<<10)
+	if err != nil {
+		t.Fatalf("small alloc failed: %v", err)
+	}
+	b.Release()
+}
+
+func TestSwapSpill(t *testing.T) {
+	d := NewDevice(Config{Budget: 4 << 10, SwapBytes: 8 << 10, SwapPenalty: 3})
+	b1 := d.MustAlloc(Activations, 4<<10)
+	if d.Swapped() != 0 {
+		t.Fatalf("Swapped = %d, want 0", d.Swapped())
+	}
+	b2, err := d.Alloc(Activations, 4<<10)
+	if err != nil {
+		t.Fatalf("spill alloc failed: %v", err)
+	}
+	if d.Swapped() != 4<<10 {
+		t.Fatalf("Swapped = %d, want 4096", d.Swapped())
+	}
+	if f := d.SlowdownFactor(); f != 4 {
+		t.Fatalf("SlowdownFactor = %v, want 4 (1 + 3*1.0)", f)
+	}
+	// Beyond budget+swap OOMs.
+	if _, err := d.Alloc(Activations, 8<<10); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want OOM beyond swap, got %v", err)
+	}
+	b1.Release()
+	b2.Release()
+}
+
+func TestSlowdownFactorNoSwap(t *testing.T) {
+	d := NewDevice(Config{Budget: 1 << 20, SwapBytes: 1 << 20, SwapPenalty: 3})
+	b := d.MustAlloc(Weights, 100)
+	b.Release()
+	if f := d.SlowdownFactor(); f != 1 {
+		t.Fatalf("SlowdownFactor = %v, want 1", f)
+	}
+}
+
+func TestResetPeaks(t *testing.T) {
+	d := Unlimited()
+	b := d.MustAlloc(Activations, 1000)
+	b.Release()
+	if d.PeakAllocated() != 1000 {
+		t.Fatal("precondition")
+	}
+	d.ResetPeaks()
+	if d.PeakAllocated() != 0 {
+		t.Fatalf("PeakAllocated after reset = %d, want 0", d.PeakAllocated())
+	}
+	keep := d.MustAlloc(Weights, 300)
+	d.ResetPeaks()
+	if d.PeakAllocated() != 300 || d.PeakBy(Weights) != 300 {
+		t.Fatalf("ResetPeaks should seed peaks with live values: %d", d.PeakAllocated())
+	}
+	keep.Release()
+}
+
+func TestSnapshotAndBreakdown(t *testing.T) {
+	d := Unlimited()
+	a := d.MustAlloc(Activations, 3<<20)
+	w := d.MustAlloc(Weights, 1<<20)
+	st := d.Snapshot()
+	if st.Peak[Activations] != 3<<20 || st.Peak[Weights] != 1<<20 {
+		t.Fatalf("snapshot peaks wrong: %+v", st.Peak)
+	}
+	s := st.Breakdown()
+	if s == "" {
+		t.Fatal("Breakdown empty")
+	}
+	// activations should be listed before weights (larger share first)
+	if len(s) < 11 || s[:11] != "activations" {
+		t.Fatalf("Breakdown should lead with activations: %q", s)
+	}
+	a.Release()
+	w.Release()
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{100, "100 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{5 << 30, "5.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Fatalf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Activations.String() != "activations" {
+		t.Fatalf("Activations.String() = %q", Activations.String())
+	}
+	if Category(99).String() == "" {
+		t.Fatal("unknown category should render something")
+	}
+	if len(Categories()) != int(numCategories) {
+		t.Fatal("Categories() wrong length")
+	}
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	d := Unlimited()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.MustAlloc(Other, -1)
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	d := Unlimited()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := d.MustAlloc(Category(i%int(numCategories)), int64(64+i))
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := d.Allocated(); got != 0 {
+		t.Fatalf("Allocated after concurrent churn = %d, want 0", got)
+	}
+}
+
+// Property: for any sequence of alloc/free pairs, allocated returns to zero
+// and peak >= every live total observed.
+func TestAllocFreeBalanceProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		d := Unlimited()
+		blocks := make([]*Block, 0, len(sizes))
+		var live, maxLive int64
+		for _, s := range sizes {
+			b := d.MustAlloc(Activations, int64(s))
+			blocks = append(blocks, b)
+			live += int64(s)
+			if live > maxLive {
+				maxLive = live
+			}
+		}
+		if d.PeakAllocated() != maxLive {
+			return false
+		}
+		for _, b := range blocks {
+			b.Release()
+		}
+		return d.Allocated() == 0 && d.PeakAllocated() == maxLive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reserved never decreases except via FlushCache, and reserved >=
+// live + context at all times.
+func TestReservedInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDevice(Config{ContextOverhead: 1 << 10})
+		var blocks []*Block
+		prevReserved := d.Reserved()
+		for _, op := range ops {
+			if op%3 != 0 || len(blocks) == 0 {
+				b := d.MustAlloc(Other, int64(op)*16+1)
+				blocks = append(blocks, b)
+			} else {
+				blocks[len(blocks)-1].Release()
+				blocks = blocks[:len(blocks)-1]
+			}
+			r := d.Reserved()
+			if r < prevReserved {
+				return false // reserved shrank without a flush
+			}
+			prevReserved = r
+			if r < d.Allocated()+d.ContextOverhead() {
+				return false // reserved must cover live + context
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushCacheKeepsLiveBlocks(t *testing.T) {
+	d := Unlimited()
+	live := d.MustAlloc(Weights, 2048)
+	freed := d.MustAlloc(Activations, 4096)
+	freed.Release()
+	d.FlushCache()
+	// Live allocations survive a flush; only cached bins are returned.
+	if d.Allocated() != 2048 {
+		t.Fatalf("Allocated = %d after flush, want 2048", d.Allocated())
+	}
+	if d.Reserved() != 2048 {
+		t.Fatalf("Reserved = %d after flush, want 2048 (live bin only)", d.Reserved())
+	}
+	live.Release()
+}
+
+func TestPeakSwappedTracksHighWater(t *testing.T) {
+	d := NewDevice(Config{Budget: 4 << 10, SwapBytes: 8 << 10, SwapPenalty: 1})
+	a := d.MustAlloc(Activations, 6<<10) // 2 KiB into swap
+	if d.PeakSwapped() < 2<<10 {
+		t.Fatalf("PeakSwapped = %d", d.PeakSwapped())
+	}
+	a.Release()
+	d.FlushCache()
+	if d.Swapped() != 0 {
+		t.Fatalf("Swapped = %d after flush, want 0", d.Swapped())
+	}
+	// Peak persists after the pressure is gone.
+	if d.PeakSwapped() < 2<<10 {
+		t.Fatal("PeakSwapped should keep the high-water mark")
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	d := Unlimited()
+	b := d.MustAlloc(Other, 777)
+	if b.Size() != 777 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+	b.Release()
+}

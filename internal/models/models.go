@@ -1,0 +1,280 @@
+// Package models builds the network topologies the paper evaluates: VGG5,
+// VGG11, ResNet20, LeNet, custom-Net (Table I), AlexNet (the comparison with
+// TBPTT-LBP, Table II / Fig 16), and ResNet34 (the ImageNet memory study,
+// Fig 4). Layer counts match the paper's "# layers" row exactly — those
+// counts (L_n) drive the T/C > L_n constraint and the Eq. 7 skip bound — and
+// only the channel widths are scaled down so the pure-Go substrate can
+// execute the full experiment grid.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"skipper/internal/layers"
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+// Options configures a topology build.
+type Options struct {
+	// Classes is the output dimension. Zero means 10.
+	Classes int
+	// InShape is the per-sample input shape [C,H,W]. Zero value picks the
+	// topology's default (3×16×16 frame or 2×16×16 event).
+	InShape []int
+	// Width scales all channel widths; 0 means 1.0.
+	Width float64
+	// Neuron overrides the LIF constants; zero value means snn.DefaultParams.
+	Neuron snn.Params
+	// Surrogate overrides the surrogate gradient; nil means snn.Triangle.
+	Surrogate snn.Surrogate
+	// DropoutP is the classifier dropout probability; 0 disables. Nets
+	// without classifier dropout ignore it.
+	DropoutP float32
+	// BatchNorm inserts temporal batch normalisation (tdBN) after each
+	// convolution in the topologies that support it (VGG5, LeNet).
+	BatchNorm bool
+}
+
+func (o Options) normalize(defaultIn []int) Options {
+	if o.Classes == 0 {
+		o.Classes = 10
+	}
+	if len(o.InShape) == 0 {
+		o.InShape = defaultIn
+	}
+	if o.Width == 0 {
+		o.Width = 1
+	}
+	if (o.Neuron == snn.Params{}) {
+		o.Neuron = snn.DefaultParams()
+	}
+	if o.Surrogate == nil {
+		o.Surrogate = snn.Triangle{}
+	}
+	return o
+}
+
+func (o Options) ch(base int) int {
+	c := int(float64(base) * o.Width)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Builder constructs a topology.
+type Builder func(Options) (*layers.Network, error)
+
+var registry = map[string]Builder{
+	"vgg5":      VGG5,
+	"vgg11":     VGG11,
+	"resnet20":  ResNet20,
+	"lenet":     LeNet,
+	"customnet": CustomNet,
+	"alexnet":   AlexNet,
+	"resnet34":  ResNet34,
+}
+
+// Build constructs a registered topology by name.
+func Build(name string, opts Options) (*layers.Network, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b(opts)
+}
+
+// Names lists the registered topologies, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var frameIn = []int{3, 16, 16}
+var eventIn = []int{2, 16, 16}
+
+// VGG5 is the small frame-data network of Table I: conv(3)+lin(3),
+// evaluated on CIFAR10 at T=100 in the paper.
+func VGG5(o Options) (*layers.Network, error) {
+	o = o.normalize(frameIn)
+	n, s := o.Neuron, o.Surrogate
+	var ls []layers.Layer
+	addConv := func(name string, ch int) {
+		ls = append(ls, layers.NewSpikingConv2D(name, ch, 3, 1, 1, n, s))
+		if o.BatchNorm {
+			ls = append(ls, layers.NewTemporalBatchNorm(name+".bn"))
+		}
+	}
+	addConv("conv1", o.ch(16))
+	ls = append(ls, layers.NewAvgPool2D("pool1", 2))
+	addConv("conv2", o.ch(32))
+	ls = append(ls, layers.NewAvgPool2D("pool2", 2))
+	addConv("conv3", o.ch(32))
+	ls = append(ls, layers.NewAvgPool2D("pool3", 2))
+	if o.DropoutP > 0 {
+		ls = append(ls, layers.NewDropout("drop1", o.DropoutP))
+	}
+	ls = append(ls,
+		layers.NewSpikingLinear("fc1", o.ch(64), n, s),
+		layers.NewSpikingLinear("fc2", o.ch(64), n, s),
+		layers.NewReadout("out", o.Classes, n),
+	)
+	net := layers.NewNetwork("VGG5", o.InShape, ls...)
+	return net, net.Build(buildRNG("vgg5"))
+}
+
+// VGG11 is the large frame-data network of Table I: conv(9)+lin(3),
+// evaluated on CIFAR100 at T=125 in the paper.
+func VGG11(o Options) (*layers.Network, error) {
+	o = o.normalize(frameIn)
+	n, s := o.Neuron, o.Surrogate
+	ls := []layers.Layer{
+		layers.NewSpikingConv2D("conv1", o.ch(16), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool1", 2),
+		layers.NewSpikingConv2D("conv2", o.ch(32), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv3", o.ch(32), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool2", 2),
+		layers.NewSpikingConv2D("conv4", o.ch(64), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv5", o.ch(64), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool3", 2),
+		layers.NewSpikingConv2D("conv6", o.ch(64), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv7", o.ch(64), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv8", o.ch(64), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv9", o.ch(64), 3, 1, 1, n, s),
+	}
+	if o.DropoutP > 0 {
+		ls = append(ls, layers.NewDropout("drop1", o.DropoutP))
+	}
+	ls = append(ls,
+		layers.NewSpikingLinear("fc1", o.ch(128), n, s),
+		layers.NewSpikingLinear("fc2", o.ch(64), n, s),
+		layers.NewReadout("out", o.Classes, n),
+	)
+	net := layers.NewNetwork("VGG11", o.InShape, ls...)
+	return net, net.Build(buildRNG("vgg11"))
+}
+
+// resNet builds a CIFAR-style residual stack: a stem conv, then stages of
+// basic blocks with the given per-stage block counts and widths, global
+// average pooling, and a readout.
+func resNet(name string, o Options, blocks []int, widths []int) (*layers.Network, error) {
+	n, s := o.Neuron, o.Surrogate
+	ls := []layers.Layer{
+		layers.NewSpikingConv2D("stem", o.ch(widths[0]), 3, 1, 1, n, s),
+	}
+	for stage, nb := range blocks {
+		w := o.ch(widths[stage])
+		for b := 0; b < nb; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			ls = append(ls, layers.NewResidualBlock(
+				fmt.Sprintf("s%db%d", stage+1, b+1), w, stride, n, s))
+		}
+	}
+	ls = append(ls,
+		layers.NewGlobalAvgPool("gap"),
+		layers.NewReadout("out", o.Classes, n),
+	)
+	net := layers.NewNetwork(name, o.InShape, ls...)
+	return net, net.Build(buildRNG(name))
+}
+
+// ResNet20 is the deep frame-data network of Table I: a stem conv plus
+// 3 stages × 3 basic blocks (19 convs) and one linear readout, evaluated on
+// CIFAR10 at T=250 in the paper.
+func ResNet20(o Options) (*layers.Network, error) {
+	o = o.normalize(frameIn)
+	return resNet("ResNet20", o, []int{3, 3, 3}, []int{8, 16, 32})
+}
+
+// ResNet34 is the ImageNet-scale network of the paper's Fig 4 memory study:
+// a stem conv plus stages of 3/4/6/3 basic blocks.
+func ResNet34(o Options) (*layers.Network, error) {
+	o = o.normalize([]int{3, 32, 32})
+	return resNet("ResNet34", o, []int{3, 4, 6, 3}, []int{8, 16, 32, 64})
+}
+
+// LeNet is the event-data network of Table I: conv(5)+lin(1), evaluated on
+// DVS-Gesture at T=400 in the paper.
+func LeNet(o Options) (*layers.Network, error) {
+	o = o.normalize(eventIn)
+	n, s := o.Neuron, o.Surrogate
+	ls := []layers.Layer{
+		layers.NewSpikingConv2D("conv1", o.ch(8), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv2", o.ch(8), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool1", 2),
+		layers.NewSpikingConv2D("conv3", o.ch(16), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv4", o.ch(16), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool2", 2),
+		layers.NewSpikingConv2D("conv5", o.ch(32), 3, 1, 1, n, s),
+		layers.NewGlobalAvgPool("gap"),
+		layers.NewReadout("out", o.Classes, n),
+	}
+	net := layers.NewNetwork("LeNet", o.InShape, ls...)
+	return net, net.Build(buildRNG("lenet"))
+}
+
+// CustomNet is the small event-data network of Table I: conv(3)+lin(1),
+// evaluated on N-MNIST at T=300 in the paper.
+func CustomNet(o Options) (*layers.Network, error) {
+	o = o.normalize(eventIn)
+	n, s := o.Neuron, o.Surrogate
+	ls := []layers.Layer{
+		layers.NewSpikingConv2D("conv1", o.ch(8), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool1", 2),
+		layers.NewSpikingConv2D("conv2", o.ch(16), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool2", 2),
+		layers.NewSpikingConv2D("conv3", o.ch(32), 3, 1, 1, n, s),
+		layers.NewGlobalAvgPool("gap"),
+		layers.NewReadout("out", o.Classes, n),
+	}
+	net := layers.NewNetwork("custom-Net", o.InShape, ls...)
+	return net, net.Build(buildRNG("customnet"))
+}
+
+// AlexNet is the topology used for the comparison with TBPTT-LBP [28]
+// (Table II, Fig 16): conv(5)+lin(3) on CIFAR10.
+func AlexNet(o Options) (*layers.Network, error) {
+	o = o.normalize(frameIn)
+	n, s := o.Neuron, o.Surrogate
+	ls := []layers.Layer{
+		layers.NewSpikingConv2D("conv1", o.ch(8), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv2", o.ch(16), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool1", 2),
+		layers.NewSpikingConv2D("conv3", o.ch(32), 3, 1, 1, n, s),
+		layers.NewSpikingConv2D("conv4", o.ch(32), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool2", 2),
+		layers.NewSpikingConv2D("conv5", o.ch(32), 3, 1, 1, n, s),
+		layers.NewAvgPool2D("pool3", 2),
+	}
+	if o.DropoutP > 0 {
+		ls = append(ls, layers.NewDropout("drop1", o.DropoutP))
+	}
+	ls = append(ls,
+		layers.NewSpikingLinear("fc1", o.ch(128), n, s),
+		layers.NewSpikingLinear("fc2", o.ch(64), n, s),
+		layers.NewReadout("out", o.Classes, n),
+	)
+	net := layers.NewNetwork("AlexNet", o.InShape, ls...)
+	return net, net.Build(buildRNG("alexnet"))
+}
+
+// buildRNG derives a deterministic init stream per topology so that two
+// builds of the same model start from identical weights — the paper's
+// "skipper starts at an equal footing with the baseline" protocol.
+func buildRNG(name string) *tensor.RNG {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return tensor.NewRNG(h)
+}

@@ -1,0 +1,212 @@
+package models
+
+import (
+	"testing"
+
+	"skipper/internal/layers"
+	"skipper/internal/tensor"
+)
+
+// countLayers tallies conv and linear layers the way the paper's Table I
+// "# layers" row does (residual blocks contribute their convolutions).
+func countLayers(net *layers.Network) (conv, lin int) {
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *layers.SpikingConv2D:
+			conv++
+		case *layers.ResidualBlock:
+			conv += 2 // main-path convolutions; projection shortcuts not counted
+		case *layers.SpikingLinear:
+			_ = v
+			lin++
+		}
+	}
+	return conv, lin
+}
+
+func TestTopologyLayerCountsMatchTableI(t *testing.T) {
+	cases := []struct {
+		name      string
+		conv, lin int
+	}{
+		{"vgg5", 3, 3},
+		{"vgg11", 9, 3},
+		{"resnet20", 19, 1}, // stem + 18 block convs, 1 linear readout
+		{"lenet", 5, 1},
+		{"customnet", 3, 1},
+		{"alexnet", 5, 3},
+		{"resnet34", 33, 1}, // stem + 32 block convs
+	}
+	for _, c := range cases {
+		net, err := Build(c.name, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		conv, lin := countLayers(net)
+		if conv != c.conv || lin != c.lin {
+			t.Fatalf("%s: conv(%d)+lin(%d), want conv(%d)+lin(%d)", c.name, conv, lin, c.conv, c.lin)
+		}
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := Build("nope", Options{}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestAllModelsForwardOneStep(t *testing.T) {
+	for _, name := range Names() {
+		net, err := Build(name, Options{Classes: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := net.InShape
+		x := tensor.New(2, in[0], in[1], in[2])
+		tensor.NewRNG(1).FillUniform(x, 0, 1.5)
+		states := net.ForwardStep(x, nil)
+		logits := net.Logits(states)
+		if logits.Dim(0) != 2 || logits.Dim(1) != 4 {
+			t.Fatalf("%s logits shape %v", name, logits.Shape())
+		}
+		// A second step reusing state exercises the temporal recursion.
+		states = net.ForwardStep(x, states)
+		if !net.Logits(states).IsFinite() {
+			t.Fatalf("%s produced non-finite logits", name)
+		}
+	}
+}
+
+func TestDeterministicInitialisation(t *testing.T) {
+	a, err := Build("vgg5", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("vgg5", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatal("param count mismatch")
+	}
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatalf("weights differ at %s[%d]", pa[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestWidthScaling(t *testing.T) {
+	small, _ := Build("vgg5", Options{Width: 0.5})
+	big, _ := Build("vgg5", Options{Width: 2})
+	if small.ParamCount() >= big.ParamCount() {
+		t.Fatalf("width scaling broken: %d vs %d", small.ParamCount(), big.ParamCount())
+	}
+}
+
+func TestDropoutOption(t *testing.T) {
+	with, _ := Build("vgg5", Options{DropoutP: 0.3})
+	found := false
+	for _, l := range with.Layers {
+		if _, ok := l.(*layers.Dropout); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("DropoutP should add a dropout layer")
+	}
+	without, _ := Build("vgg5", Options{})
+	for _, l := range without.Layers {
+		if _, ok := l.(*layers.Dropout); ok {
+			t.Fatal("dropout present without DropoutP")
+		}
+	}
+}
+
+func TestStatefulCounts(t *testing.T) {
+	// L_n values drive the T/C > L_n constraint; pin them down.
+	cases := map[string]int{
+		"vgg5":      6,  // 3 conv + 2 fc + readout
+		"vgg11":     12, // 9 conv + 2 fc + readout
+		"resnet20":  20, // stem + 9 blocks×2 + readout
+		"lenet":     6,  // 5 conv + readout
+		"customnet": 4,  // 3 conv + readout
+		"alexnet":   8,  // 5 conv + 2 fc + readout
+		"resnet34":  34, // stem + 16 blocks×2 + readout
+	}
+	for name, want := range cases {
+		net, err := Build(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := net.StatefulCount(); got != want {
+			t.Fatalf("%s L_n = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestEventModelsTakeTwoChannels(t *testing.T) {
+	for _, name := range []string{"lenet", "customnet"} {
+		net, err := Build(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.InShape[0] != 2 {
+			t.Fatalf("%s default input channels = %d, want 2 (ON/OFF polarity)", name, net.InShape[0])
+		}
+	}
+}
+
+func TestCustomInShape(t *testing.T) {
+	net, err := Build("vgg5", Options{InShape: []int{3, 32, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.InShape[1] != 32 {
+		t.Fatalf("InShape override ignored: %v", net.InShape)
+	}
+}
+
+func TestBatchNormOption(t *testing.T) {
+	net, err := Build("vgg5", Options{BatchNorm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, l := range net.Layers {
+		if _, ok := l.(*layers.TemporalBatchNorm); ok {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("BatchNorm option inserted %d layers, want 3", found)
+	}
+	// BN layers are stateless: L_n unchanged.
+	if net.StatefulCount() != 6 {
+		t.Fatalf("L_n changed to %d with BN", net.StatefulCount())
+	}
+	// Forward still works.
+	x := tensor.New(2, 3, 16, 16)
+	tensor.NewRNG(1).FillUniform(x, 0, 1)
+	net.BeginIteration(tensor.NewRNG(2))
+	states := net.ForwardStep(x, nil)
+	if !net.Logits(states).IsFinite() {
+		t.Fatal("non-finite logits with BN")
+	}
+	net.EndIteration()
+}

@@ -1,0 +1,164 @@
+// Package opt implements the optimizers used in the paper's evaluation:
+// Adam (the paper's choice, whose two moment buffers make optimizer state 3×
+// the weight footprint counted in the memory-breakdown figures) and SGD with
+// momentum as a lighter alternative.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"skipper/internal/layers"
+	"skipper/internal/tensor"
+)
+
+// Optimizer updates network parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and advances the internal step counter.
+	Step()
+	// StateBytes reports the optimizer-state footprint for the memory model.
+	StateBytes() int64
+	// Name identifies the optimizer.
+	Name() string
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) over a parameter set.
+type Adam struct {
+	LR          float32
+	Beta1       float32
+	Beta2       float32
+	Eps         float32
+	WeightDecay float32
+
+	params []layers.Param
+	m, v   []*tensor.Tensor
+	step   int
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8) for the given parameters.
+func NewAdam(params []layers.Param, lr float32) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.W.Shape()...)
+		a.v[i] = tensor.New(p.W.Shape()...)
+	}
+	return a
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.step)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.step)))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W.Data {
+			g := p.G.Data[j]
+			if a.WeightDecay != 0 {
+				g += a.WeightDecay * p.W.Data[j]
+			}
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mh := m.Data[j] / bc1
+			vh := v.Data[j] / bc2
+			p.W.Data[j] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+		}
+	}
+}
+
+// StateBytes implements Optimizer: two moment buffers.
+func (a *Adam) StateBytes() int64 {
+	var b int64
+	for _, m := range a.m {
+		b += 2 * m.Bytes()
+	}
+	return b
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+
+	params []layers.Param
+	vel    []*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum.
+func NewSGD(params []layers.Param, lr, momentum float32) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	if momentum != 0 {
+		s.vel = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.W.Shape()...)
+		}
+	}
+	return s
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		for j := range p.W.Data {
+			g := p.G.Data[j]
+			if s.WeightDecay != 0 {
+				g += s.WeightDecay * p.W.Data[j]
+			}
+			if s.vel != nil {
+				s.vel[i].Data[j] = s.Momentum*s.vel[i].Data[j] + g
+				g = s.vel[i].Data[j]
+			}
+			p.W.Data[j] -= s.LR * g
+		}
+	}
+}
+
+// StateBytes implements Optimizer.
+func (s *SGD) StateBytes() int64 {
+	var b int64
+	for _, v := range s.vel {
+		b += v.Bytes()
+	}
+	return b
+}
+
+// New constructs an optimizer by name ("adam" or "sgd").
+func New(name string, params []layers.Param, lr float32) (Optimizer, error) {
+	switch name {
+	case "", "adam":
+		return NewAdam(params, lr), nil
+	case "sgd":
+		return NewSGD(params, lr, 0.9), nil
+	default:
+		return nil, fmt.Errorf("opt: unknown optimizer %q", name)
+	}
+}
+
+// GradClip scales all gradients down so their global L2 norm is at most
+// maxNorm; a no-op when maxNorm <= 0 or the norm is already within bounds.
+// Returns the pre-clip norm.
+func GradClip(params []layers.Param, maxNorm float32) float32 {
+	var sq float64
+	for _, p := range params {
+		n := tensor.Norm2(p.G)
+		sq += float64(n) * float64(n)
+	}
+	norm := float32(math.Sqrt(sq))
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			tensor.Scale(p.G, p.G, scale)
+		}
+	}
+	return norm
+}

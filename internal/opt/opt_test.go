@@ -1,0 +1,120 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"skipper/internal/layers"
+	"skipper/internal/tensor"
+)
+
+// quadParams builds one scalar parameter at value x with gradient g.
+func quadParams(x, g float32) []layers.Param {
+	w := tensor.FromSlice([]float32{x}, 1)
+	gr := tensor.FromSlice([]float32{g}, 1)
+	return []layers.Param{{Name: "w", W: w, G: gr}}
+}
+
+func TestSGDStep(t *testing.T) {
+	ps := quadParams(1.0, 0.5)
+	s := NewSGD(ps, 0.1, 0)
+	s.Step()
+	if got := ps[0].W.Data[0]; math.Abs(float64(got)-0.95) > 1e-6 {
+		t.Fatalf("w = %v, want 0.95", got)
+	}
+	if s.StateBytes() != 0 {
+		t.Fatal("momentum-free SGD should carry no state")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	ps := quadParams(0, 1)
+	s := NewSGD(ps, 0.1, 0.9)
+	s.Step() // v=1, w=-0.1
+	s.Step() // v=1.9, w=-0.29
+	if got := ps[0].W.Data[0]; math.Abs(float64(got)+0.29) > 1e-6 {
+		t.Fatalf("w = %v, want -0.29", got)
+	}
+	if s.StateBytes() != 4 {
+		t.Fatalf("StateBytes = %d, want 4", s.StateBytes())
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	ps := quadParams(1.0, 0)
+	s := NewSGD(ps, 0.1, 0)
+	s.WeightDecay = 0.5
+	s.Step()
+	if got := ps[0].W.Data[0]; math.Abs(float64(got)-0.95) > 1e-6 {
+		t.Fatalf("w = %v, want 0.95 (decay only)", got)
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, Adam's first step is ≈ lr·sign(g).
+	ps := quadParams(0, 0.3)
+	a := NewAdam(ps, 0.01)
+	a.Step()
+	if got := ps[0].W.Data[0]; math.Abs(float64(got)+0.01) > 1e-4 {
+		t.Fatalf("first Adam step = %v, want ≈ -0.01", got)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise f(w) = (w-3)², grad = 2(w-3).
+	w := tensor.FromSlice([]float32{0}, 1)
+	g := tensor.New(1)
+	ps := []layers.Param{{Name: "w", W: w, G: g}}
+	a := NewAdam(ps, 0.1)
+	for i := 0; i < 500; i++ {
+		g.Data[0] = 2 * (w.Data[0] - 3)
+		a.Step()
+	}
+	if math.Abs(float64(w.Data[0])-3) > 0.05 {
+		t.Fatalf("Adam did not converge: w = %v", w.Data[0])
+	}
+}
+
+func TestAdamStateBytes(t *testing.T) {
+	w := tensor.New(10)
+	g := tensor.New(10)
+	a := NewAdam([]layers.Param{{W: w, G: g}}, 0.01)
+	if a.StateBytes() != 2*40 {
+		t.Fatalf("StateBytes = %d, want 80 (two moments)", a.StateBytes())
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	ps := quadParams(0, 0)
+	for _, name := range []string{"", "adam", "sgd"} {
+		o, err := New(name, ps, 0.01)
+		if err != nil || o == nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+	}
+	if _, err := New("nope", ps, 0.01); err == nil {
+		t.Fatal("unknown optimizer must error")
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	g := tensor.FromSlice([]float32{3, 4}, 2) // norm 5
+	ps := []layers.Param{{W: tensor.New(2), G: g}}
+	norm := GradClip(ps, 1)
+	if math.Abs(float64(norm)-5) > 1e-5 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	if got := tensor.Norm2(g); math.Abs(float64(got)-1) > 1e-5 {
+		t.Fatalf("post-clip norm = %v, want 1", got)
+	}
+	// No-op when within bounds.
+	norm2 := GradClip(ps, 10)
+	if math.Abs(float64(norm2)-1) > 1e-5 || math.Abs(float64(tensor.Norm2(g))-1) > 1e-5 {
+		t.Fatal("GradClip should be a no-op within bounds")
+	}
+	// maxNorm <= 0 disables clipping.
+	GradClip(ps, 0)
+	if math.Abs(float64(tensor.Norm2(g))-1) > 1e-5 {
+		t.Fatal("GradClip(0) must not clip")
+	}
+}

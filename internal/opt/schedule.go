@@ -1,0 +1,104 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps an epoch index (1-based) to a learning rate. The trainer
+// applies it at the start of each epoch.
+type Schedule interface {
+	// LR returns the learning rate for the given epoch.
+	LR(epoch int) float32
+	// Name identifies the schedule.
+	Name() string
+}
+
+// Constant keeps a fixed rate.
+type Constant struct{ Rate float32 }
+
+// LR implements Schedule.
+func (c Constant) LR(int) float32 { return c.Rate }
+
+// Name implements Schedule.
+func (c Constant) Name() string { return "constant" }
+
+// StepDecay multiplies the base rate by Gamma every Every epochs — the
+// schedule typically paired with the hybrid SNN training recipe.
+type StepDecay struct {
+	Base  float32
+	Gamma float32 // 0 means 0.5
+	Every int     // 0 means 10
+}
+
+// LR implements Schedule.
+func (s StepDecay) LR(epoch int) float32 {
+	gamma := s.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	every := s.Every
+	if every == 0 {
+		every = 10
+	}
+	if epoch < 1 {
+		epoch = 1
+	}
+	k := (epoch - 1) / every
+	return s.Base * float32(math.Pow(float64(gamma), float64(k)))
+}
+
+// Name implements Schedule.
+func (s StepDecay) Name() string { return "step" }
+
+// Cosine anneals from Base to Min over Period epochs and holds Min after.
+type Cosine struct {
+	Base   float32
+	Min    float32
+	Period int // 0 means 20
+}
+
+// LR implements Schedule.
+func (c Cosine) LR(epoch int) float32 {
+	period := c.Period
+	if period == 0 {
+		period = 20
+	}
+	if epoch < 1 {
+		epoch = 1
+	}
+	if epoch > period {
+		return c.Min
+	}
+	frac := float64(epoch-1) / float64(period-1)
+	if period == 1 {
+		frac = 1
+	}
+	return c.Min + (c.Base-c.Min)*float32((1+math.Cos(math.Pi*frac))/2)
+}
+
+// Name implements Schedule.
+func (c Cosine) Name() string { return "cosine" }
+
+// RateSetter is implemented by optimizers whose learning rate can be
+// changed between epochs.
+type RateSetter interface {
+	SetLR(lr float32)
+}
+
+// SetLR implements RateSetter.
+func (a *Adam) SetLR(lr float32) { a.LR = lr }
+
+// SetLR implements RateSetter.
+func (s *SGD) SetLR(lr float32) { s.LR = lr }
+
+// ApplySchedule sets the optimizer's rate for the epoch; it returns an
+// error if the optimizer does not support rate changes.
+func ApplySchedule(o Optimizer, sch Schedule, epoch int) error {
+	rs, ok := o.(RateSetter)
+	if !ok {
+		return fmt.Errorf("opt: %s does not support LR schedules", o.Name())
+	}
+	rs.SetLR(sch.LR(epoch))
+	return nil
+}

@@ -1,0 +1,81 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant{Rate: 0.01}
+	if s.LR(1) != 0.01 || s.LR(100) != 0.01 {
+		t.Fatal("constant schedule varies")
+	}
+	if s.Name() != "constant" {
+		t.Fatal("name")
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Gamma: 0.1, Every: 3}
+	cases := map[int]float32{1: 1, 3: 1, 4: 0.1, 6: 0.1, 7: 0.01}
+	for epoch, want := range cases {
+		if got := s.LR(epoch); math.Abs(float64(got-want)) > 1e-6 {
+			t.Fatalf("LR(%d) = %v, want %v", epoch, got, want)
+		}
+	}
+	// Defaults: gamma 0.5 every 10.
+	d := StepDecay{Base: 1}
+	if d.LR(11) != 0.5 {
+		t.Fatalf("default step decay LR(11) = %v", d.LR(11))
+	}
+	if d.LR(0) != 1 {
+		t.Fatal("epoch clamp broken")
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := Cosine{Base: 1, Min: 0.1, Period: 11}
+	if got := s.LR(1); math.Abs(float64(got)-1) > 1e-6 {
+		t.Fatalf("cosine start = %v", got)
+	}
+	if got := s.LR(11); math.Abs(float64(got)-0.1) > 1e-6 {
+		t.Fatalf("cosine end = %v", got)
+	}
+	if got := s.LR(6); math.Abs(float64(got)-0.55) > 1e-6 {
+		t.Fatalf("cosine midpoint = %v, want 0.55", got)
+	}
+	if got := s.LR(50); got != 0.1 {
+		t.Fatalf("cosine past period = %v", got)
+	}
+	// Monotone non-increasing over the period.
+	prev := s.LR(1)
+	for e := 2; e <= 11; e++ {
+		cur := s.LR(e)
+		if cur > prev+1e-6 {
+			t.Fatalf("cosine increased at epoch %d", e)
+		}
+		prev = cur
+	}
+	one := Cosine{Base: 1, Min: 0, Period: 1}
+	if one.LR(1) != 0 {
+		t.Fatalf("period-1 cosine should land at Min, got %v", one.LR(1))
+	}
+}
+
+func TestApplySchedule(t *testing.T) {
+	ps := quadParams(0, 0)
+	a := NewAdam(ps, 0.5)
+	if err := ApplySchedule(a, StepDecay{Base: 1, Gamma: 0.5, Every: 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.LR != 0.5 {
+		t.Fatalf("Adam LR = %v after schedule", a.LR)
+	}
+	s := NewSGD(ps, 0.5, 0)
+	if err := ApplySchedule(s, Constant{Rate: 0.25}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.LR != 0.25 {
+		t.Fatalf("SGD LR = %v after schedule", s.LR)
+	}
+}

@@ -1,0 +1,212 @@
+// Package serialize persists and restores network weights, so pre-trained
+// (hybrid-protocol) initialisations and finished models can be moved between
+// processes — the counterpart of the reference implementation's
+// state_dict save/load.
+//
+// The format is a self-describing little-endian binary container:
+//
+//	magic "SKPW" | version u32 | param count u32 |
+//	repeat: name len u32 | name bytes | rank u32 | dims u32... | f32 data |
+//	crc32 (IEEE) of everything before it
+//
+// Loading is strict: every parameter in the file must match a parameter of
+// the target network by name and shape, with no extras on either side.
+package serialize
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"skipper/internal/layers"
+)
+
+const (
+	magic   = "SKPW"
+	version = 1
+)
+
+// Save writes all trainable parameters of net to w, ending with a CRC-32 of
+// the preceding bytes.
+func Save(w io.Writer, net *layers.Network) error {
+	var body bytes.Buffer
+	bw := bufio.NewWriter(&body)
+
+	if _, err := bw.WriteString(magic); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	params := net.Params()
+	writeU32(bw, version)
+	writeU32(bw, uint32(len(params)))
+	for _, p := range params {
+		writeU32(bw, uint32(len(p.Name)))
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return fmt.Errorf("serialize: %w", err)
+		}
+		shape := p.W.Shape()
+		writeU32(bw, uint32(len(shape)))
+		for _, d := range shape {
+			writeU32(bw, uint32(d))
+		}
+		for _, v := range p.W.Data {
+			writeU32(bw, math.Float32bits(v))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	sum := crc32.ChecksumIEEE(body.Bytes())
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	return nil
+}
+
+// Load restores parameters into net from r, verifying the trailing
+// checksum. The network must already be built with the same topology.
+func Load(r io.Reader, net *layers.Network) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	if len(raw) < len(magic)+12 {
+		return fmt.Errorf("serialize: file too short (%d bytes)", len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("serialize: checksum mismatch (file corrupt)")
+	}
+	br := bytes.NewReader(body)
+
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("serialize: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("serialize: bad magic %q (not a skipper weight file)", head)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	if ver != version {
+		return fmt.Errorf("serialize: unsupported version %d", ver)
+	}
+	count, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	params := net.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("serialize: file has %d parameters, network has %d", count, len(params))
+	}
+	byName := map[string]layers.Param{}
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	for i := 0; i < int(count); i++ {
+		nameLen, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("serialize: implausible name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return fmt.Errorf("serialize: reading name: %w", err)
+		}
+		name := string(nameBuf)
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("serialize: file parameter %q not present in network (or duplicated)", name)
+		}
+		delete(byName, name)
+		rank, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		if int(rank) != p.W.Rank() {
+			return fmt.Errorf("serialize: rank mismatch for %q: file %d, network %d", name, rank, p.W.Rank())
+		}
+		vol := 1
+		for d := 0; d < int(rank); d++ {
+			dim, err := readU32(br)
+			if err != nil {
+				return err
+			}
+			if p.W.Dim(d) != int(dim) {
+				return fmt.Errorf("serialize: shape mismatch for %q at dim %d", name, d)
+			}
+			vol *= int(dim)
+		}
+		for j := 0; j < vol; j++ {
+			bits, err := readU32(br)
+			if err != nil {
+				return err
+			}
+			p.W.Data[j] = math.Float32frombits(bits)
+		}
+	}
+	if br.Len() != 0 {
+		return fmt.Errorf("serialize: %d trailing bytes after last parameter", br.Len())
+	}
+	return nil
+}
+
+// SaveFile writes net's weights to path atomically (write + rename).
+func SaveFile(path string, net *layers.Network) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	if err := Save(f, net); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serialize: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serialize: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores net's weights from path.
+func LoadFile(path string, net *layers.Network) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	defer f.Close()
+	return Load(f, net)
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:]) // bufio.Writer errors surface at Flush
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("serialize: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}

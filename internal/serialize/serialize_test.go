@@ -1,0 +1,127 @@
+package serialize
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skipper/internal/models"
+	"skipper/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src, err := models.Build("vgg5", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb so we are not just round-tripping the deterministic init.
+	r := tensor.NewRNG(99)
+	for _, p := range src.Params() {
+		r.FillNorm(p.W, 0, 1)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := models.Build("vgg5", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].W.Data {
+			if sp[i].W.Data[j] != dp[i].W.Data[j] {
+				t.Fatalf("weight mismatch at %s[%d]", sp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	net, err := models.Build("customnet", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xFF
+	if err := Load(bytes.NewReader(raw), net); err == nil {
+		t.Fatal("corrupted payload must fail the checksum")
+	}
+}
+
+func TestLoadRejectsWrongTopology(t *testing.T) {
+	a, err := models.Build("customnet", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := models.Build("vgg5", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), b); err == nil {
+		t.Fatal("loading into a different topology must fail")
+	}
+	// Same topology, different width: shapes mismatch.
+	c, err := models.Build("customnet", models.Options{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), c); err == nil {
+		t.Fatal("loading into a different width must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	net, err := models.Build("customnet", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bytes.NewReader([]byte("definitely not a weight file, padded long enough")), net); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if err := Load(bytes.NewReader(nil), net); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "weights.skpw")
+	net, err := models.Build("customnet", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic write leaves no temp file behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	other, err := models.Build("customnet", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensor.NewRNG(5).FillNorm(other.Params()[0].W, 0, 9)
+	if err := LoadFile(path, other); err != nil {
+		t.Fatal(err)
+	}
+	if other.Params()[0].W.Data[0] != net.Params()[0].W.Data[0] {
+		t.Fatal("LoadFile did not restore weights")
+	}
+	if err := LoadFile(filepath.Join(dir, "missing.skpw"), net); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,131 @@
+// Package snn implements the spiking-neuron substrate: the discrete-time
+// leaky-integrate-and-fire (LIF) dynamics of paper Eq. 1 and the surrogate
+// gradients that make the thresholding non-linearity differentiable for BPTT
+// (paper Eq. 2, following Neftci et al.).
+package snn
+
+import (
+	"fmt"
+
+	"skipper/internal/tensor"
+)
+
+// ResetMode selects how the membrane reacts to the neuron's own spike.
+type ResetMode int
+
+const (
+	// ResetSubtract is the paper's Eq. 1 soft reset: θ is subtracted from
+	// the membrane after a spike (the default).
+	ResetSubtract ResetMode = iota
+	// ResetZero is the hard reset used by some LIF variants: a spiking
+	// neuron's membrane restarts from zero.
+	ResetZero
+)
+
+// Params holds the non-trainable neuron parameters shared by a layer.
+type Params struct {
+	// Leak is λ in Eq. 1, the membrane potential decay per timestep (< 1).
+	Leak float32
+	// Threshold is θ in Eq. 1, the firing threshold.
+	Threshold float32
+	// Reset selects the post-spike reset behaviour (default: subtract θ).
+	Reset ResetMode
+}
+
+// DefaultParams returns the neuron constants used throughout the evaluation:
+// λ = 0.95, θ = 1.0 (typical for the hybrid-training recipe of Rathi et al.).
+func DefaultParams() Params {
+	return Params{Leak: 0.95, Threshold: 1.0}
+}
+
+// Validate returns an error when the parameters are outside the stable
+// regime (0 < λ ≤ 1, θ > 0).
+func (p Params) Validate() error {
+	if p.Leak <= 0 || p.Leak > 1 {
+		return fmt.Errorf("snn: leak %v outside (0,1]", p.Leak)
+	}
+	if p.Threshold <= 0 {
+		return fmt.Errorf("snn: threshold %v must be positive", p.Threshold)
+	}
+	return nil
+}
+
+// StepLIF advances one LIF timestep per Eq. 1:
+//
+//	U_t = λ·U_{t-1} + I_t − θ·o_{t-1}
+//	o_t = 1 if U_t > θ else 0
+//
+// where I_t is the layer's synaptic input current (W·o_t^{l-1}, already
+// computed by the layer). u and o receive the new state; uPrev/oPrev are the
+// previous state (pass nil for t = 0, meaning zero initial state). u may
+// alias current; o must not alias u.
+func StepLIF(u, o, uPrev, oPrev, current *tensor.Tensor, p Params) {
+	n := u.Len()
+	if o.Len() != n || current.Len() != n {
+		panic(fmt.Sprintf("snn: StepLIF size mismatch u=%d o=%d current=%d", n, o.Len(), current.Len()))
+	}
+	ud, od, cd := u.Data, o.Data, current.Data
+	theta := p.Threshold
+	lam := p.Leak
+	if uPrev == nil {
+		for i := 0; i < n; i++ {
+			v := cd[i]
+			ud[i] = v
+			if v > theta {
+				od[i] = 1
+			} else {
+				od[i] = 0
+			}
+		}
+		return
+	}
+	if uPrev.Len() != n || oPrev == nil || oPrev.Len() != n {
+		panic("snn: StepLIF previous-state size mismatch")
+	}
+	upd, opd := uPrev.Data, oPrev.Data
+	if p.Reset == ResetZero {
+		for i := 0; i < n; i++ {
+			v := lam*upd[i]*(1-opd[i]) + cd[i]
+			ud[i] = v
+			if v > theta {
+				od[i] = 1
+			} else {
+				od[i] = 0
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		v := lam*upd[i] + cd[i] - theta*opd[i]
+		ud[i] = v
+		if v > theta {
+			od[i] = 1
+		} else {
+			od[i] = 0
+		}
+	}
+}
+
+// Fire computes o = 1[u > θ] elementwise without touching membrane state.
+func Fire(o, u *tensor.Tensor, theta float32) {
+	if o.Len() != u.Len() {
+		panic("snn: Fire size mismatch")
+	}
+	for i, v := range u.Data {
+		if v > theta {
+			o.Data[i] = 1
+		} else {
+			o.Data[i] = 0
+		}
+	}
+}
+
+// SpikeCount returns the number of spikes in o (sum of a binary tensor).
+// This is the per-layer contribution to the SAM spike-sum s_t (paper Eq. 4).
+func SpikeCount(o *tensor.Tensor) float64 {
+	var s float64
+	for _, v := range o.Data {
+		s += float64(v)
+	}
+	return s
+}

@@ -1,0 +1,289 @@
+package snn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"skipper/internal/tensor"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Leak: 0, Threshold: 1},
+		{Leak: 1.5, Threshold: 1},
+		{Leak: 0.9, Threshold: 0},
+		{Leak: 0.9, Threshold: -1},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("Params %+v should be invalid", p)
+		}
+	}
+	if (Params{Leak: 1, Threshold: 0.5}).Validate() != nil {
+		t.Fatal("λ=1 (no leak) should be valid")
+	}
+}
+
+func TestStepLIFInitialStep(t *testing.T) {
+	p := Params{Leak: 0.9, Threshold: 1}
+	cur := tensor.FromSlice([]float32{0.5, 1.5, 1.0}, 3)
+	u := tensor.New(3)
+	o := tensor.New(3)
+	StepLIF(u, o, nil, nil, cur, p)
+	// t=0: U = I, spike iff U > θ (strict)
+	want := []float32{0, 1, 0}
+	for i := range want {
+		if o.Data[i] != want[i] {
+			t.Fatalf("o = %v, want %v", o.Data, want)
+		}
+		if u.Data[i] != cur.Data[i] {
+			t.Fatalf("u = %v, want %v", u.Data, cur.Data)
+		}
+	}
+}
+
+func TestStepLIFDynamicsMatchEquation1(t *testing.T) {
+	p := Params{Leak: 0.8, Threshold: 1}
+	uPrev := tensor.FromSlice([]float32{2.0, 0.5}, 2)
+	oPrev := tensor.FromSlice([]float32{1, 0}, 2)
+	cur := tensor.FromSlice([]float32{0.3, 0.7}, 2)
+	u := tensor.New(2)
+	o := tensor.New(2)
+	StepLIF(u, o, uPrev, oPrev, cur, p)
+	// U[0] = 0.8*2.0 + 0.3 - 1*1 = 0.9 -> no spike
+	// U[1] = 0.8*0.5 + 0.7 - 0   = 1.1 -> spike
+	if math.Abs(float64(u.Data[0])-0.9) > 1e-6 || o.Data[0] != 0 {
+		t.Fatalf("neuron 0: u=%v o=%v", u.Data[0], o.Data[0])
+	}
+	if math.Abs(float64(u.Data[1])-1.1) > 1e-6 || o.Data[1] != 1 {
+		t.Fatalf("neuron 1: u=%v o=%v", u.Data[1], o.Data[1])
+	}
+}
+
+func TestStepLIFResetLowersPotential(t *testing.T) {
+	// A neuron that spiked at t-1 has θ subtracted at t (soft reset).
+	p := Params{Leak: 1, Threshold: 1}
+	uPrev := tensor.FromSlice([]float32{1.5}, 1)
+	oPrev := tensor.FromSlice([]float32{1}, 1)
+	cur := tensor.New(1)
+	u, o := tensor.New(1), tensor.New(1)
+	StepLIF(u, o, uPrev, oPrev, cur, p)
+	if math.Abs(float64(u.Data[0])-0.5) > 1e-6 {
+		t.Fatalf("reset: u = %v, want 0.5", u.Data[0])
+	}
+}
+
+func TestStepLIFSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StepLIF(tensor.New(2), tensor.New(3), nil, nil, tensor.New(2), DefaultParams())
+}
+
+func TestFireStrictThreshold(t *testing.T) {
+	u := tensor.FromSlice([]float32{0.99, 1.0, 1.01}, 3)
+	o := tensor.New(3)
+	Fire(o, u, 1.0)
+	if o.Data[0] != 0 || o.Data[1] != 0 || o.Data[2] != 1 {
+		t.Fatalf("Fire = %v; threshold must be strict (>)", o.Data)
+	}
+}
+
+func TestSpikeCount(t *testing.T) {
+	o := tensor.FromSlice([]float32{1, 0, 1, 1}, 4)
+	if got := SpikeCount(o); got != 3 {
+		t.Fatalf("SpikeCount = %v, want 3", got)
+	}
+}
+
+// Property: without input current and without spiking, the membrane decays
+// geometrically and never goes negative from a positive start.
+func TestLeakDecayProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := Params{Leak: 0.5 + 0.5*r.Float32()*0.99, Threshold: 10} // high θ: never spikes
+		u := tensor.New(4)
+		o := tensor.New(4)
+		r.FillUniform(u, 0, 5)
+		zero := tensor.New(4)
+		oPrev := tensor.New(4)
+		prev := u.Clone()
+		for step := 0; step < 20; step++ {
+			StepLIF(u, o, prev, oPrev, zero, p)
+			for i := range u.Data {
+				want := p.Leak * prev.Data[i]
+				if math.Abs(float64(u.Data[i]-want)) > 1e-5 {
+					return false
+				}
+				if u.Data[i] < 0 {
+					return false
+				}
+			}
+			tensor.Copy(prev, u)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: spikes are always binary.
+func TestSpikesBinaryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := DefaultParams()
+		n := 16
+		u, o := tensor.New(n), tensor.New(n)
+		uPrev, oPrev := tensor.New(n), tensor.New(n)
+		cur := tensor.New(n)
+		r.FillNorm(uPrev, 0, 2)
+		for i := range oPrev.Data {
+			oPrev.Data[i] = r.Bernoulli(0.5)
+		}
+		r.FillNorm(cur, 0, 2)
+		StepLIF(u, o, uPrev, oPrev, cur, p)
+		for _, v := range o.Data {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurrogatesPeakAtThreshold(t *testing.T) {
+	theta := float32(1.0)
+	surrs := []Surrogate{Triangle{}, FastSigmoid{}, ATan{}, Rectangular{}}
+	for _, s := range surrs {
+		peak := s.Grad(theta, theta)
+		if peak <= 0 {
+			t.Fatalf("%s: peak %v not positive", s.Name(), peak)
+		}
+		for _, off := range []float32{0.3, 0.7, 2.0} {
+			if g := s.Grad(theta+off, theta); g > peak {
+				t.Fatalf("%s: grad at +%v (%v) exceeds peak %v", s.Name(), off, g, peak)
+			}
+			if g := s.Grad(theta-off, theta); g > peak {
+				t.Fatalf("%s: grad at -%v exceeds peak", s.Name(), off)
+			}
+		}
+	}
+}
+
+func TestSurrogatesSymmetric(t *testing.T) {
+	theta := float32(1.0)
+	for _, s := range []Surrogate{Triangle{}, FastSigmoid{}, ATan{}, Rectangular{}} {
+		for _, d := range []float32{0.1, 0.5, 1.5} {
+			a, b := s.Grad(theta+d, theta), s.Grad(theta-d, theta)
+			if math.Abs(float64(a-b)) > 1e-6 {
+				t.Fatalf("%s not symmetric at ±%v: %v vs %v", s.Name(), d, a, b)
+			}
+		}
+	}
+}
+
+func TestTriangleSupport(t *testing.T) {
+	s := Triangle{Gamma: 0.5}
+	if g := s.Grad(1.6, 1.0); g != 0 {
+		t.Fatalf("triangle outside support = %v, want 0", g)
+	}
+	if g := s.Grad(1.0, 1.0); math.Abs(float64(g)-2) > 1e-6 {
+		t.Fatalf("triangle peak = %v, want 1/γ = 2", g)
+	}
+}
+
+func TestRectangularSupport(t *testing.T) {
+	s := Rectangular{Width: 1}
+	if g := s.Grad(1.49, 1.0); g != 1 {
+		t.Fatalf("rect inside = %v, want 1", g)
+	}
+	if g := s.Grad(1.51, 1.0); g != 0 {
+		t.Fatalf("rect outside = %v, want 0", g)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"triangle", "fastsigmoid", "atan", "rectangular", ""} {
+		s, err := ByName(name)
+		if err != nil || s == nil {
+			t.Fatalf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName should reject unknown names")
+	}
+}
+
+func TestSurrogateGradVectorised(t *testing.T) {
+	u := tensor.FromSlice([]float32{0.5, 1.0, 1.5}, 3)
+	dst := tensor.New(3)
+	s := Triangle{}
+	SurrogateGrad(dst, u, 1.0, s)
+	for i, v := range u.Data {
+		if dst.Data[i] != s.Grad(v, 1.0) {
+			t.Fatalf("SurrogateGrad[%d] mismatch", i)
+		}
+	}
+}
+
+// Property: the fast-sigmoid surrogate integrates to a sigmoid-like mass;
+// numerically its grad should decrease monotonically away from θ.
+func TestSurrogateMonotoneDecay(t *testing.T) {
+	for _, s := range []Surrogate{Triangle{}, FastSigmoid{}, ATan{}} {
+		prev := s.Grad(1.0, 1.0)
+		for d := float32(0.05); d < 3; d += 0.05 {
+			g := s.Grad(1.0+d, 1.0)
+			if g > prev+1e-7 {
+				t.Fatalf("%s increased away from threshold at d=%v", s.Name(), d)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestStepLIFZeroReset(t *testing.T) {
+	p := Params{Leak: 1, Threshold: 1, Reset: ResetZero}
+	uPrev := tensor.FromSlice([]float32{1.5, 0.6}, 2)
+	oPrev := tensor.FromSlice([]float32{1, 0}, 2)
+	cur := tensor.FromSlice([]float32{0.2, 0.2}, 2)
+	u, o := tensor.New(2), tensor.New(2)
+	StepLIF(u, o, uPrev, oPrev, cur, p)
+	// Spiked neuron restarts from zero: U = 0 + 0.2.
+	if math.Abs(float64(u.Data[0])-0.2) > 1e-6 {
+		t.Fatalf("zero reset: u = %v, want 0.2", u.Data[0])
+	}
+	// Quiet neuron integrates normally: U = 0.6 + 0.2.
+	if math.Abs(float64(u.Data[1])-0.8) > 1e-6 {
+		t.Fatalf("non-spiking neuron: u = %v, want 0.8", u.Data[1])
+	}
+}
+
+func TestResetModesDiffer(t *testing.T) {
+	mk := func(mode ResetMode) float32 {
+		p := Params{Leak: 0.9, Threshold: 1, Reset: mode}
+		uPrev := tensor.FromSlice([]float32{2.0}, 1)
+		oPrev := tensor.FromSlice([]float32{1}, 1)
+		cur := tensor.New(1)
+		u, o := tensor.New(1), tensor.New(1)
+		StepLIF(u, o, uPrev, oPrev, cur, p)
+		return u.Data[0]
+	}
+	sub, zero := mk(ResetSubtract), mk(ResetZero)
+	// Subtract: 0.9*2 - 1 = 0.8; Zero: 0.
+	if math.Abs(float64(sub)-0.8) > 1e-6 || zero != 0 {
+		t.Fatalf("reset modes: subtract=%v zero=%v", sub, zero)
+	}
+}

@@ -1,0 +1,140 @@
+package snn
+
+import (
+	"fmt"
+	"math"
+
+	"skipper/internal/tensor"
+)
+
+// Surrogate is a smooth stand-in for the derivative of the Heaviside spike
+// function, evaluated at membrane potential u against threshold θ. Different
+// choices trade gradient sharpness against stability; all peak at u = θ.
+type Surrogate interface {
+	// Grad returns σ'(u) given threshold theta.
+	Grad(u, theta float32) float32
+	// Name identifies the surrogate for configs and reports.
+	Name() string
+}
+
+// Triangle is the piecewise-linear surrogate
+// σ'(u) = max(0, 1 − |u−θ|/γ) / γ, the choice used by the STBP/hybrid
+// training line of work the paper builds on.
+type Triangle struct {
+	// Gamma is the half-width of the triangle; 0 means θ.
+	Gamma float32
+}
+
+// Grad implements Surrogate.
+func (s Triangle) Grad(u, theta float32) float32 {
+	g := s.Gamma
+	if g == 0 {
+		g = theta
+	}
+	d := u - theta
+	if d < 0 {
+		d = -d
+	}
+	v := 1 - d/g
+	if v < 0 {
+		return 0
+	}
+	return v / g
+}
+
+// Name implements Surrogate.
+func (s Triangle) Name() string { return "triangle" }
+
+// FastSigmoid is σ'(u) = 1 / (1 + k|u−θ|)², the SuperSpike surrogate
+// (Zenke & Ganguli).
+type FastSigmoid struct {
+	// Slope is k; 0 means 10.
+	Slope float32
+}
+
+// Grad implements Surrogate.
+func (s FastSigmoid) Grad(u, theta float32) float32 {
+	k := s.Slope
+	if k == 0 {
+		k = 10
+	}
+	d := u - theta
+	if d < 0 {
+		d = -d
+	}
+	den := 1 + k*d
+	return 1 / (den * den)
+}
+
+// Name implements Surrogate.
+func (s FastSigmoid) Name() string { return "fastsigmoid" }
+
+// ATan is σ'(u) = α / (2(1 + (π α (u−θ)/2)²)), the arctangent surrogate.
+type ATan struct {
+	// Alpha controls sharpness; 0 means 2.
+	Alpha float32
+}
+
+// Grad implements Surrogate.
+func (s ATan) Grad(u, theta float32) float32 {
+	a := s.Alpha
+	if a == 0 {
+		a = 2
+	}
+	x := float64(math.Pi) / 2 * float64(a) * float64(u-theta)
+	return float32(float64(a) / 2 / (1 + x*x))
+}
+
+// Name implements Surrogate.
+func (s ATan) Name() string { return "atan" }
+
+// Rectangular is σ'(u) = 1[|u−θ| < w/2] / w, the boxcar surrogate.
+type Rectangular struct {
+	// Width is w; 0 means 1.
+	Width float32
+}
+
+// Grad implements Surrogate.
+func (s Rectangular) Grad(u, theta float32) float32 {
+	w := s.Width
+	if w == 0 {
+		w = 1
+	}
+	d := u - theta
+	if d < 0 {
+		d = -d
+	}
+	if d < w/2 {
+		return 1 / w
+	}
+	return 0
+}
+
+// Name implements Surrogate.
+func (s Rectangular) Name() string { return "rectangular" }
+
+// ByName returns the surrogate with default parameters for a config string.
+func ByName(name string) (Surrogate, error) {
+	switch name {
+	case "", "triangle":
+		return Triangle{}, nil
+	case "fastsigmoid":
+		return FastSigmoid{}, nil
+	case "atan":
+		return ATan{}, nil
+	case "rectangular":
+		return Rectangular{}, nil
+	default:
+		return nil, fmt.Errorf("snn: unknown surrogate %q", name)
+	}
+}
+
+// SurrogateGrad fills dst[i] = s.Grad(u[i], theta) elementwise.
+func SurrogateGrad(dst, u *tensor.Tensor, theta float32, s Surrogate) {
+	if dst.Len() != u.Len() {
+		panic("snn: SurrogateGrad size mismatch")
+	}
+	for i, v := range u.Data {
+		dst.Data[i] = s.Grad(v, theta)
+	}
+}

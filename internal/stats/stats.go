@@ -1,0 +1,183 @@
+// Package stats provides the small statistical utilities the training
+// engine and experiment harness share: percentiles (the Spike-Sum-Threshold
+// of paper Eq. 5 is a percentile), running meters, and accuracy tracking.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics. It panics on an empty slice and
+// clamps p into [0,100]. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Meter accumulates a running sum/count/min/max.
+type Meter struct {
+	n        int
+	sum      float64
+	min, max float64
+}
+
+// Add records one observation.
+func (m *Meter) Add(x float64) {
+	if m.n == 0 || x < m.min {
+		m.min = x
+	}
+	if m.n == 0 || x > m.max {
+		m.max = x
+	}
+	m.n++
+	m.sum += x
+}
+
+// N returns the observation count.
+func (m *Meter) N() int { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Meter) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Sum returns the running sum.
+func (m *Meter) Sum() float64 { return m.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (m *Meter) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 when empty).
+func (m *Meter) Max() float64 { return m.max }
+
+// Accuracy tracks a correct/total ratio.
+type Accuracy struct {
+	Correct, Total int
+}
+
+// Add records a batch result.
+func (a *Accuracy) Add(correct, total int) {
+	a.Correct += correct
+	a.Total += total
+}
+
+// Value returns the ratio in [0,1] (0 when empty).
+func (a *Accuracy) Value() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// String renders the accuracy as a percentage.
+func (a *Accuracy) String() string {
+	return fmt.Sprintf("%.2f%%", 100*a.Value())
+}
+
+// Confusion is a class-by-class confusion matrix: rows are true labels,
+// columns are predictions.
+type Confusion struct {
+	K      int
+	Counts []int
+}
+
+// NewConfusion creates a K-class confusion matrix.
+func NewConfusion(k int) *Confusion {
+	return &Confusion{K: k, Counts: make([]int, k*k)}
+}
+
+// Add records one (true, predicted) observation.
+func (c *Confusion) Add(label, pred int) {
+	if label < 0 || label >= c.K || pred < 0 || pred >= c.K {
+		panic(fmt.Sprintf("stats: confusion index (%d,%d) out of range for K=%d", label, pred, c.K))
+	}
+	c.Counts[label*c.K+pred]++
+}
+
+// At returns the count of samples with the given true label and prediction.
+func (c *Confusion) At(label, pred int) int { return c.Counts[label*c.K+pred] }
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the trace ratio.
+func (c *Confusion) Accuracy() float64 {
+	if t := c.Total(); t > 0 {
+		d := 0
+		for k := 0; k < c.K; k++ {
+			d += c.At(k, k)
+		}
+		return float64(d) / float64(t)
+	}
+	return 0
+}
+
+// PerClassRecall returns recall per true class (0 for unseen classes).
+func (c *Confusion) PerClassRecall() []float64 {
+	out := make([]float64, c.K)
+	for k := 0; k < c.K; k++ {
+		var row int
+		for j := 0; j < c.K; j++ {
+			row += c.At(k, j)
+		}
+		if row > 0 {
+			out[k] = float64(c.At(k, k)) / float64(row)
+		}
+	}
+	return out
+}
+
+// String renders a compact matrix for terminal inspection.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d samples, acc %.2f%%)\n", c.K, c.Total(), 100*c.Accuracy())
+	for k := 0; k < c.K; k++ {
+		for j := 0; j < c.K; j++ {
+			fmt.Fprintf(&b, "%5d", c.At(k, j))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Percentile(50) = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+// Property: the fraction of elements strictly below the p-th percentile is
+// at most p/100 (this is exactly the property Skipper's SST relies on: a
+// percentile-p threshold skips at most ~p% of the timesteps).
+func TestPercentileSkipFractionProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p := float64(pRaw % 101)
+		sst := Percentile(xs, p)
+		below := 0
+		for _, x := range xs {
+			if x < sst {
+				below++
+			}
+		}
+		// Linear interpolation between order statistics can admit up to one
+		// extra element below the threshold, hence the 1/n slack.
+		return float64(below)/float64(len(xs)) <= p/100+1/float64(len(xs))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	if m.Mean() != 0 || m.N() != 0 {
+		t.Fatal("empty meter should be zero")
+	}
+	m.Add(2)
+	m.Add(4)
+	m.Add(-1)
+	if m.N() != 3 || m.Sum() != 5 {
+		t.Fatalf("meter n=%d sum=%v", m.N(), m.Sum())
+	}
+	if m.Min() != -1 || m.Max() != 4 {
+		t.Fatalf("meter min=%v max=%v", m.Min(), m.Max())
+	}
+	if math.Abs(m.Mean()-5.0/3) > 1e-12 {
+		t.Fatalf("meter mean=%v", m.Mean())
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	if a.Value() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	a.Add(3, 4)
+	a.Add(1, 4)
+	if math.Abs(a.Value()-0.5) > 1e-12 {
+		t.Fatalf("accuracy = %v", a.Value())
+	}
+	if a.String() != "50.00%" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.At(0, 1) != 1 || c.At(0, 0) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if math.Abs(c.Accuracy()-0.75) > 1e-12 {
+		t.Fatalf("Accuracy = %v", c.Accuracy())
+	}
+	rec := c.PerClassRecall()
+	if math.Abs(rec[0]-0.5) > 1e-12 || rec[1] != 1 || rec[2] != 1 {
+		t.Fatalf("recall = %v", rec)
+	}
+	if s := c.String(); !strings.Contains(s, "3 classes") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestConfusionEmptyAndPanics(t *testing.T) {
+	c := NewConfusion(2)
+	if c.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if c.PerClassRecall()[0] != 0 {
+		t.Fatal("unseen class recall should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Add(5, 0)
+}

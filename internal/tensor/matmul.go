@@ -1,0 +1,111 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes dst = a × b for 2-D tensors a [M,K] and b [K,N].
+// dst must have shape [M,N] and must not alias a or b. The kernel is a
+// cache-blocked ikj loop; it is the hot path under im2col convolution.
+func MatMul(dst, a, b *Tensor) {
+	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
+	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul expects rank-2 operands, got %v x %v -> %v", as, bs, ds))
+	}
+	m, k, n := as[0], as[1], bs[1]
+	if bs[0] != k || ds[0] != m || ds[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v -> %v", as, bs, ds))
+	}
+	dst.Zero()
+	matmulAcc(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulAcc computes dst += a × b without zeroing dst first.
+func MatMulAcc(dst, a, b *Tensor) {
+	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
+	m, k, n := as[0], as[1], bs[1]
+	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 || bs[0] != k || ds[0] != m || ds[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAcc shape mismatch %v x %v -> %v", as, bs, ds))
+	}
+	matmulAcc(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// matmulAcc performs dst += a*b on flat row-major buffers with loop order
+// i-k-j, which streams b and dst rows sequentially and lets the compiler
+// vectorise the inner loop.
+func matmulAcc(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				// Spike matrices are mostly zeros; skipping zero rows of the
+				// accumulation is a large win for SNN workloads.
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ × b for a [K,M], b [K,N] -> dst [M,N].
+// Used for weight gradients: dW = deltaᵀ · input.
+func MatMulTransA(dst, a, b *Tensor) {
+	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
+	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA expects rank-2 operands, got %v x %v -> %v", as, bs, ds))
+	}
+	k, m, n := as[0], as[1], bs[1]
+	if bs[0] != k || ds[0] != m || ds[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v^T x %v -> %v", as, bs, ds))
+	}
+	dst.Zero()
+	MatMulTransAAcc(dst, a, b)
+}
+
+// MatMulTransAAcc computes dst += aᵀ × b without zeroing dst.
+func MatMulTransAAcc(dst, a, b *Tensor) {
+	as, bs := a.Shape(), b.Shape()
+	k, m, n := as[0], as[1], bs[1]
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : (i+1)*n]
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransB computes dst = a × bᵀ for a [M,K], b [N,K] -> dst [M,N].
+// Used for input gradients: dX = delta · W with W stored [N,K].
+func MatMulTransB(dst, a, b *Tensor) {
+	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
+	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB expects rank-2 operands, got %v x %v^T -> %v", as, bs, ds))
+	}
+	m, k, n := as[0], as[1], bs[0]
+	if bs[1] != k || ds[0] != m || ds[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v^T -> %v", as, bs, ds))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for kk := range arow {
+				s += arow[kk] * brow[kk]
+			}
+			drow[j] = s
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package tensor
+
+import "fmt"
+
+// PackedSpikes is a bit-packed binary tensor: exactly-0/1 float32 data
+// stored one bit per element. Spike tensors dominate a stored SNN timestep
+// record, and packing them shrinks that share 32×, which makes long-lived
+// checkpoint records far cheaper to hold (an optimisation beyond the paper;
+// see core.Config.CompressSpikes).
+type PackedSpikes struct {
+	shape []int
+	n     int
+	bits  []uint64
+}
+
+// PackSpikes bit-packs t when every element is exactly 0 or 1; ok reports
+// whether packing applied (non-binary tensors — membranes, pooled rates —
+// are left to their float representation).
+func PackSpikes(t *Tensor) (*PackedSpikes, bool) {
+	n := t.Len()
+	bits := make([]uint64, (n+63)/64)
+	for i, v := range t.Data {
+		switch v {
+		case 0:
+		case 1:
+			bits[i/64] |= 1 << (i % 64)
+		default:
+			return nil, false
+		}
+	}
+	return &PackedSpikes{shape: append([]int(nil), t.Shape()...), n: n, bits: bits}, true
+}
+
+// Unpack reconstructs the original float32 tensor.
+func (p *PackedSpikes) Unpack() *Tensor {
+	t := New(p.shape...)
+	for i := 0; i < p.n; i++ {
+		if p.bits[i/64]&(1<<(i%64)) != 0 {
+			t.Data[i] = 1
+		}
+	}
+	return t
+}
+
+// Bytes returns the packed payload size.
+func (p *PackedSpikes) Bytes() int64 { return int64(len(p.bits)) * 8 }
+
+// Len returns the element count of the original tensor.
+func (p *PackedSpikes) Len() int { return p.n }
+
+// Shape returns the original shape. The returned slice must not be mutated.
+func (p *PackedSpikes) Shape() []int { return p.shape }
+
+// Count returns the number of set bits (spikes).
+func (p *PackedSpikes) Count() int {
+	c := 0
+	for _, w := range p.bits {
+		c += popcount(w)
+	}
+	return c
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// String renders a compact description.
+func (p *PackedSpikes) String() string {
+	return fmt.Sprintf("PackedSpikes%v[%d spikes]", p.shape, p.Count())
+}

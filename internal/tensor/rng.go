@@ -1,0 +1,135 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (splitmix64).
+// Every stochastic component in the framework (weight init, Poisson
+// encoding, dropout masks, dataset synthesis) draws from an RNG derived from
+// a named seed, which makes checkpoint recomputation bit-identical and every
+// experiment reproducible.
+type RNG struct {
+	state uint64
+	// cached spare normal deviate for Box-Muller
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Derive returns a new independent generator keyed by (r's seed, stream...).
+// It does not perturb r's own sequence.
+func (r *RNG) Derive(stream ...uint64) *RNG {
+	s := r.state
+	for _, v := range stream {
+		s = splitmix(s ^ (v * 0x9E3779B97F4A7C15))
+	}
+	return &RNG{state: s}
+}
+
+// DeriveSeed mixes a base seed with a stream of identifiers into a new seed.
+func DeriveSeed(base uint64, stream ...uint64) uint64 {
+	s := base
+	for _, v := range stream {
+		s = splitmix(s ^ (v * 0x9E3779B97F4A7C15))
+	}
+	return s
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float32 returns a uniform value in [0,1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal deviate (Box-Muller with caching).
+func (r *RNG) Norm() float32 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return float32(r.spare)
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return float32(u * f)
+}
+
+// Bernoulli returns 1 with probability p and 0 otherwise.
+func (r *RNG) Bernoulli(p float32) float32 {
+	if r.Float32() < p {
+		return 1
+	}
+	return 0
+}
+
+// FillUniform fills t with uniform values in [lo, hi).
+func (r *RNG) FillUniform(t *Tensor, lo, hi float32) {
+	d := hi - lo
+	for i := range t.Data {
+		t.Data[i] = lo + d*r.Float32()
+	}
+}
+
+// FillNorm fills t with N(mean, std²) deviates.
+func (r *RNG) FillNorm(t *Tensor, mean, std float32) {
+	for i := range t.Data {
+		t.Data[i] = mean + std*r.Norm()
+	}
+}
+
+// KaimingConv initialises a conv weight tensor [Cout,Cin,KH,KW] with the
+// Kaiming-uniform fan-in rule used by the reference PyTorch implementation.
+func (r *RNG) KaimingConv(w *Tensor) {
+	s := w.Shape()
+	fanIn := s[1] * s[2] * s[3]
+	bound := float32(math.Sqrt(6.0 / float64(fanIn)))
+	r.FillUniform(w, -bound, bound)
+}
+
+// KaimingLinear initialises a linear weight tensor [Out,In] with the
+// Kaiming-uniform fan-in rule.
+func (r *RNG) KaimingLinear(w *Tensor) {
+	fanIn := w.Dim(1)
+	bound := float32(math.Sqrt(6.0 / float64(fanIn)))
+	r.FillUniform(w, -bound, bound)
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Softmax computes row-wise softmax of logits [N,K] into out [N,K].
+// out may alias logits.
+func Softmax(out, logits *Tensor) {
+	ls := logits.Shape()
+	if len(ls) != 2 {
+		panic(fmt.Sprintf("tensor: Softmax expects rank-2 logits, got %v", ls))
+	}
+	assertSameShape("Softmax", logits, out)
+	n, k := ls[0], ls[1]
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		dst := out.Data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+}
+
+// CrossEntropy computes the mean cross-entropy loss of logits [N,K] against
+// integer labels, and writes dlogits = ∂loss/∂logits = (softmax - onehot)/N
+// when dlogits is non-nil. It returns (loss, #correct-argmax-predictions).
+func CrossEntropy(logits *Tensor, labels []int, dlogits *Tensor) (loss float64, correct int) {
+	ls := logits.Shape()
+	if len(ls) != 2 {
+		panic(fmt.Sprintf("tensor: CrossEntropy expects rank-2 logits, got %v", ls))
+	}
+	n, k := ls[0], ls[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("tensor: CrossEntropy labels length %d, batch %d", len(labels), n))
+	}
+	probs := New(n, k)
+	Softmax(probs, logits)
+	invN := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("tensor: CrossEntropy label %d out of range [0,%d)", y, k))
+		}
+		p := probs.Data[i*k+y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		// argmax
+		best, bestv := 0, logits.Data[i*k]
+		for j := 1; j < k; j++ {
+			if v := logits.Data[i*k+j]; v > bestv {
+				best, bestv = j, v
+			}
+		}
+		if best == y {
+			correct++
+		}
+		if dlogits != nil {
+			drow := dlogits.Data[i*k : (i+1)*k]
+			prow := probs.Data[i*k : (i+1)*k]
+			for j := 0; j < k; j++ {
+				g := prow[j]
+				if j == y {
+					g -= 1
+				}
+				drow[j] = g * invN
+			}
+		}
+	}
+	return loss / float64(n), correct
+}
+
+// Argmax returns the index of the maximum element in each row of a [N,K]
+// tensor.
+func Argmax(t *Tensor) []int {
+	ts := t.Shape()
+	if len(ts) != 2 {
+		panic(fmt.Sprintf("tensor: Argmax expects rank-2, got %v", ts))
+	}
+	n, k := ts[0], ts[1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestv := 0, t.Data[i*k]
+		for j := 1; j < k; j++ {
+			if v := t.Data[i*k+j]; v > bestv {
+				best, bestv = j, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

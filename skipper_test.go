@@ -1,0 +1,136 @@
+package skipper
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the facade exactly the way the README's
+// quick-start does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	data, err := OpenDataset("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildModel("customnet", ModelOptions{
+		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(DeviceConfig{})
+	tr, err := NewTrainer(net, data, Skipper{C: 2, P: 20}, Config{
+		T: 16, Batch: 4, Device: dev, MaxBatchesPerEpoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Batches != 2 || ep.N != 8 {
+		t.Fatalf("epoch stats %+v", ep)
+	}
+	_, acc, err := tr.Evaluate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	if dev.PeakBy(MemActivations) == 0 {
+		t.Fatal("device saw no activation traffic")
+	}
+	if FormatBytes(dev.PeakReserved()) == "" {
+		t.Fatal("FormatBytes broken")
+	}
+}
+
+func TestPublicRegistries(t *testing.T) {
+	if len(ModelNames()) != 7 {
+		t.Fatalf("ModelNames = %v", ModelNames())
+	}
+	if len(DatasetNames()) != 6 {
+		t.Fatalf("DatasetNames = %v", DatasetNames())
+	}
+	for _, name := range ModelNames() {
+		if _, err := BuildModel(name, ModelOptions{Width: 0.25}); err != nil {
+			t.Fatalf("BuildModel(%q): %v", name, err)
+		}
+	}
+	for _, name := range DatasetNames() {
+		if _, err := OpenDataset(name, 1); err != nil {
+			t.Fatalf("OpenDataset(%q): %v", name, err)
+		}
+	}
+}
+
+func TestPublicOOMDetection(t *testing.T) {
+	data, err := OpenDataset("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildModel("customnet", ModelOptions{
+		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(DeviceConfig{Budget: 64 << 10}) // far too small
+	tr, err := NewTrainer(net, data, BPTT{}, Config{T: 16, Batch: 4, Device: dev, MaxBatchesPerEpoch: 1})
+	if err == nil {
+		// Persistent state fit; the unrolled activations cannot.
+		defer tr.Close()
+		_, err = tr.TrainEpoch()
+	}
+	if err == nil {
+		t.Fatal("expected OOM under a 64 KiB budget")
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("error %v should unwrap to ErrOutOfMemory", err)
+	}
+}
+
+func TestPublicMaxSkipPercent(t *testing.T) {
+	if got := MaxSkipPercent(100, 4, 6); got != 76 {
+		t.Fatalf("MaxSkipPercent = %v, want 76", got)
+	}
+}
+
+func TestPublicPretrainAndDataParallel(t *testing.T) {
+	data, err := OpenDataset("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildModel("customnet", ModelOptions{
+		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Pretrain(net, data, PretrainConfig{Epochs: 1, BatchesPerEpoch: 2, Batch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDataParallel(2, func(i int) (*Trainer, error) {
+		n, err := BuildModel("customnet", ModelOptions{
+			Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewTrainer(n, data, Checkpoint{C: 2}, Config{T: 12, Batch: 2})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+	if _, err := dp.TrainBatchIndices(TrainSplit, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !dp.InSync() {
+		t.Fatal("replicas diverged")
+	}
+}
