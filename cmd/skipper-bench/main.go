@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"skipper/internal/bench"
+	"skipper/internal/cli"
 )
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 
 	sc, err := bench.ParseScale(*scale)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	cfg := bench.RunConfig{Scale: sc, Seed: *seed}
 
@@ -54,17 +55,12 @@ func main() {
 	for _, id := range ids {
 		e, err := bench.Get(strings.TrimSpace(id))
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		start := time.Now()
 		if err := e.Run(cfg, os.Stdout); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			cli.Fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		fmt.Printf("   (%s completed in %s at scale %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), sc)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "skipper-bench:", err)
-	os.Exit(1)
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"skipper/internal/analysis"
+	"skipper/internal/cli"
 	"skipper/internal/core"
 	"skipper/internal/dataset"
 	"skipper/internal/models"
@@ -37,17 +38,17 @@ func main() {
 
 	src, err := dataset.Open(*data, *seed)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	net, err := models.Build(*model, models.Options{
 		Width: *width, Classes: src.Classes(), InShape: src.InShape(),
 	})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	metric, err := core.SAMByName(*sam)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	idx := make([]int, *batch)
 	for i := range idx {
@@ -84,20 +85,15 @@ func main() {
 	if *csv != "" {
 		f, err := os.Create(*csv)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		if err := trace.WriteCSV(f, &pre); err != nil {
 			f.Close()
-			fatal(err)
+			cli.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *csv)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "skipper-inspect:", err)
-	os.Exit(1)
 }

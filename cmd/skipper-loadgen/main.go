@@ -1,0 +1,59 @@
+// Command skipper-loadgen fires synthetic inference traffic at a running
+// skipper-serve instance and reports latency percentiles, throughput, and
+// early-exit savings as JSON.
+//
+// Example:
+//
+//	skipper-loadgen -url http://localhost:8080 -n 500 -c 16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"time"
+
+	"skipper/internal/cli"
+	"skipper/internal/serve"
+)
+
+func main() {
+	var (
+		url    = flag.String("url", "http://localhost:8080", "server base URL")
+		n      = flag.Int("n", 200, "total requests")
+		c      = flag.Int("c", 8, "concurrent requests")
+		seed   = flag.Uint64("seed", 1, "synthetic-input seed")
+		budget = flag.Int("budget-ms", 0, "per-request latency budget to send (0 = server default)")
+		out    = flag.String("out", "", "also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	rep, err := serve.RunLoadGen(*url, serve.LoadGenOptions{
+		Requests:    *n,
+		Concurrency: *c,
+		Seed:        *seed,
+		BudgetMS:    *budget,
+		Timeout:     60 * time.Second,
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		cli.Fatal(err)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			cli.Fatal(err)
+		}
+	}
+	if rep.OK < rep.Requests {
+		cli.Fatalf("%d of %d requests failed (%v)", rep.Requests-rep.OK, rep.Requests, rep.StatusCodes)
+	}
+}

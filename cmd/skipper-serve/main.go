@@ -1,0 +1,152 @@
+// Command skipper-serve runs the batched SNN inference server: it builds the
+// chosen topology, optionally loads trained weights from a serialize
+// checkpoint, and answers JSON classification requests with dynamic
+// micro-batching and spike-activity early exit.
+//
+// Endpoints: POST /v1/infer, POST /v1/reload, GET /v1/config, /metrics,
+// /healthz, /readyz. SIGHUP re-reads the current checkpoint; SIGINT/SIGTERM
+// drain in-flight requests before exiting.
+//
+// Examples:
+//
+//	skipper-serve -model vgg5 -weights weights.skpw -T 48 -early-exit
+//	skipper-serve -model lenet -classes 11 -in-shape 2x16x16 -addr :8090
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"skipper/internal/cli"
+	"skipper/internal/layers"
+	"skipper/internal/models"
+	"skipper/internal/serve"
+	"skipper/internal/snn"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		model     = flag.String("model", "vgg5", "topology: "+strings.Join(models.Names(), "|"))
+		weights   = flag.String("weights", "", "serialize checkpoint to serve (empty = fresh deterministic init)")
+		width     = flag.Float64("width", 0.5, "channel-width multiplier (must match the checkpoint)")
+		classes   = flag.Int("classes", 10, "output classes (must match the checkpoint)")
+		inShape   = flag.String("in-shape", "3x16x16", "per-sample input shape CxHxW")
+		surrName  = flag.String("surrogate", "triangle", "surrogate gradient (affects topology build only)")
+		T         = flag.Int("T", 32, "simulation timesteps per request")
+		earlyExit = flag.Bool("early-exit", true, "stop stepping once the readout decision is stable")
+		exitK     = flag.Int("exit-k", 0, "early-exit stability window (0 = default)")
+		exitM     = flag.Float64("exit-margin", 0, "early-exit relative-margin gate (0 = default, <0 disables)")
+		maxBatch  = flag.Int("max-batch", 8, "micro-batch size cap")
+		window    = flag.Duration("batch-window", 2*time.Millisecond, "batching coalesce window")
+		queue     = flag.Int("queue", 64, "pending-request queue depth (full = 429)")
+		workers   = flag.Int("workers", 2, "batch workers (each owns a network replica)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request latency budget")
+		seed      = flag.Uint64("encode-seed", 1, "Poisson encoding seed")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+
+	shape, err := parseShape(*inShape)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	surr, err := snn.ByName(*surrName)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	build := func() (*layers.Network, error) {
+		return models.Build(*model, models.Options{
+			Width:     *width,
+			Classes:   *classes,
+			InShape:   shape,
+			Surrogate: surr,
+		})
+	}
+
+	s, err := serve.NewServer(serve.Config{
+		Build:          build,
+		T:              *T,
+		EarlyExit:      *earlyExit,
+		ExitK:          *exitK,
+		ExitMargin:     *exitM,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *window,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		EncodeSeed:     *seed,
+	}, *weights)
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	snap := s.Model().Current()
+	src := snap.Path
+	if src == "" {
+		src = "fresh initialisation"
+	}
+	fmt.Printf("serving %s (%s) on %s  T=%d early-exit=%v workers=%d max-batch=%d\n",
+		*model, src, *addr, *T, *earlyExit, *workers, *maxBatch)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case err := <-errc:
+			cli.Fatal(err)
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				snap, err := s.Reload("")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "reload failed:", err)
+					continue
+				}
+				fmt.Printf("reloaded %s (generation %d)\n", snap.Path, snap.Version)
+				continue
+			}
+			fmt.Printf("%s received, draining...\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+			drainErr := s.Drain(ctx)
+			shutErr := hs.Shutdown(ctx)
+			cancel()
+			if drainErr != nil {
+				cli.Fatal(drainErr)
+			}
+			if shutErr != nil {
+				cli.Fatal(shutErr)
+			}
+			fmt.Println("drained cleanly")
+			return
+		}
+	}
+}
+
+// parseShape parses "CxHxW" into [C,H,W].
+func parseShape(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("in-shape %q: want CxHxW", s)
+	}
+	out := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("in-shape %q: bad dimension %q", s, p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

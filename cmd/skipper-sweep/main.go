@@ -13,9 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"skipper/internal/cli"
 	"skipper/internal/core"
 	"skipper/internal/dataset"
 	"skipper/internal/mem"
@@ -37,7 +37,7 @@ func main() {
 
 	src, err := dataset.Open(*data, *seed)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	build := func() (*modelsNet, error) {
 		net, err := models.Build(*model, models.Options{Width: *width, Classes: src.Classes(), InShape: src.InShape()})
@@ -48,7 +48,7 @@ func main() {
 	}
 	probe, err := build()
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	ln := probe.ln
 
@@ -86,7 +86,7 @@ func main() {
 			}
 			dur, peak, err := measure(core.Checkpoint{C: c}, *T, *batch)
 			if err != nil {
-				fatal(err)
+				cli.Fatal(err)
 			}
 			fmt.Printf("%6d %9.0f%% %14s %14s\n", c, core.MaxSkipPercent(*T, c, ln),
 				dur.Round(time.Millisecond), mem.FormatBytes(peak))
@@ -98,7 +98,7 @@ func main() {
 			p := float64(int(frac * maxP))
 			dur, peak, err := measure(core.Skipper{C: *C, P: p}, *T, *batch)
 			if err != nil {
-				fatal(err)
+				cli.Fatal(err)
 			}
 			fmt.Printf("%6.0f %14s %14s\n", p, dur.Round(time.Millisecond), mem.FormatBytes(peak))
 		}
@@ -114,7 +114,7 @@ func main() {
 			} {
 				_, peak, err := measure(strat, tt, *batch)
 				if err != nil {
-					fatal(err)
+					cli.Fatal(err)
 				}
 				row += fmt.Sprintf(" %16s", mem.FormatBytes(peak))
 			}
@@ -125,18 +125,13 @@ func main() {
 		for _, b := range []int{1, 2, 4, 8} {
 			dur, peak, err := measure(core.Skipper{C: *C, P: float64(int(0.85 * core.MaxSkipPercent(*T, *C, ln)))}, *T, b)
 			if err != nil {
-				fatal(err)
+				cli.Fatal(err)
 			}
 			fmt.Printf("%6d %14s %14s\n", b, dur.Round(time.Millisecond), mem.FormatBytes(peak))
 		}
 	default:
-		fatal(fmt.Errorf("unknown sweep %q (c|p|t|b)", *sweep))
+		cli.Fatal(fmt.Errorf("unknown sweep %q (c|p|t|b)", *sweep))
 	}
 }
 
 type modelsNet struct{ ln int }
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "skipper-sweep:", err)
-	os.Exit(1)
-}

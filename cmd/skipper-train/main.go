@@ -13,10 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
+	"skipper/internal/cli"
 	"skipper/internal/core"
 	"skipper/internal/dataset"
 	"skipper/internal/mem"
@@ -51,11 +51,11 @@ func main() {
 
 	src, err := dataset.Open(*data, *seed)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	surr, err := snn.ByName(*surrName)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	net, err := models.Build(*model, models.Options{
 		Width:     *width,
@@ -64,7 +64,7 @@ func main() {
 		Surrogate: surr,
 	})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	ln := net.StatefulCount()
 	fmt.Print(net.Summary())
@@ -80,14 +80,14 @@ func main() {
 	}
 	metric, err := core.SAMByName(*sam)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	var strat core.Strategy
 	switch *strategy {
 	case "auto":
 		plan, err := core.AutoTune(net, src.InShape(), core.Config{T: *T, Batch: *batch}, *budget<<20)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		strat = plan.Strategy
 		fmt.Printf("autotune: %s — %s (predicted peak %s)\n",
@@ -106,7 +106,7 @@ func main() {
 		mid := len(net.Layers) / 2
 		strat = &core.TBPTTLBP{Window: *trw, LocalAt: []int{mid}}
 	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		cli.Fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
 	dev := mem.NewDevice(mem.Config{Budget: *budget << 20})
@@ -114,12 +114,12 @@ func main() {
 	case *loadPath != "":
 		fmt.Printf("loading weights from %s\n", *loadPath)
 		if err := serialize.LoadFile(*loadPath, net); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 	case *pretrain:
 		fmt.Println("pre-initialising (hybrid protocol)...")
 		if err := core.Pretrain(net, src, core.PretrainConfig{Seed: *seed, Batch: *batch}); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 	}
 	tr, err := core.NewTrainer(net, src, strat, core.Config{
@@ -127,7 +127,7 @@ func main() {
 		Device: dev, MaxBatchesPerEpoch: *maxB,
 	})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	defer tr.Close()
 
@@ -137,11 +137,11 @@ func main() {
 		start := time.Now()
 		ep, err := tr.TrainEpoch()
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		_, acc, err := tr.Evaluate(8)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("epoch %2d  loss %.4f  train-acc %5.2f%%  test-acc %5.2f%%  time %s  skipped %d/%d steps\n",
 			e, ep.MeanLoss(), 100*ep.Accuracy(), 100*acc,
@@ -153,13 +153,8 @@ func main() {
 		mem.FormatBytes(st.PeakReserved), mem.FormatBytes(st.PeakAllocated), st.Breakdown())
 	if *savePath != "" {
 		if err := serialize.SaveFile(*savePath, net); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("weights saved to %s\n", *savePath)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "skipper-train:", err)
-	os.Exit(1)
 }

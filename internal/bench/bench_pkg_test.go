@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -30,6 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "table2", "fig16",
 		"ablate-sam", "ablate-p", "ablate-surrogate", "ablate-placement", "ablate-compress",
+		"bench_serve",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -104,6 +106,8 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tiny-scale experiment sweep skipped in -short mode")
 	}
+	// Keep bench_serve's JSON artifact out of the source tree.
+	benchServeOutput = filepath.Join(t.TempDir(), "BENCH_serve.json")
 	cfg := RunConfig{Scale: Tiny, Seed: 1}
 	for _, id := range IDs() {
 		id := id

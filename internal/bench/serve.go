@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/models"
+	"skipper/internal/serve"
+)
+
+// serveBenchReport is what bench_serve writes to BENCH_serve.json: the
+// serving configuration next to the loadgen's latency and early-exit
+// numbers, with and without the exit rule so the saving is attributable.
+type serveBenchReport struct {
+	Scale     string              `json:"scale"`
+	Model     string              `json:"model"`
+	T         int                 `json:"t"`
+	MaxBatch  int                 `json:"max_batch"`
+	Workers   int                 `json:"workers"`
+	EarlyExit serve.LoadGenReport `json:"early_exit"`
+	FullRun   serve.LoadGenReport `json:"full_horizon"`
+}
+
+// benchServeOutput is where bench_serve writes its JSON report; the package
+// tests point it into a temp directory.
+var benchServeOutput = "BENCH_serve.json"
+
+func init() {
+	register(Experiment{
+		ID:    "bench_serve",
+		Title: "Serving latency and early-exit timestep savings (in-process loadgen)",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			requests := map[Scale]int{Tiny: 40, Small: 200, Full: 1000}[cfg.Scale]
+			const model, T, maxBatch, workers = "customnet", 32, 8, 2
+			build := func() (*layers.Network, error) {
+				return models.Build(model, models.Options{
+					Width: 0.25, Classes: 4, InShape: []int{2, 8, 8},
+				})
+			}
+			fmt.Fprintf(out, "== bench_serve: serving latency & early-exit savings ==\n")
+			fmt.Fprintf(out, "   workload: %s  T=%d max-batch=%d workers=%d requests=%d\n",
+				model, T, maxBatch, workers, requests)
+
+			run := func(earlyExit bool) (serve.LoadGenReport, error) {
+				s, err := serve.NewServer(serve.Config{
+					Build:      build,
+					T:          T,
+					EarlyExit:  earlyExit,
+					MaxBatch:   maxBatch,
+					Workers:    workers,
+					QueueDepth: 4 * requests,
+					EncodeSeed: cfg.seed(),
+				}, "")
+				if err != nil {
+					return serve.LoadGenReport{}, err
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return serve.LoadGenReport{}, err
+				}
+				hs := &http.Server{Handler: s.Handler()}
+				go hs.Serve(ln)
+				rep, lgErr := serve.RunLoadGen("http://"+ln.Addr().String(), serve.LoadGenOptions{
+					Requests:    requests,
+					Concurrency: 16,
+					Seed:        cfg.seed(),
+				})
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				s.Drain(ctx)
+				hs.Shutdown(ctx)
+				return rep, lgErr
+			}
+
+			withExit, err := run(true)
+			if err != nil {
+				return err
+			}
+			fullRun, err := run(false)
+			if err != nil {
+				return err
+			}
+
+			fmt.Fprintf(out, "%14s %10s %10s %12s %12s %10s\n",
+				"mode", "p50", "p99", "qps", "mean batch", "saved")
+			row := func(name string, r serve.LoadGenReport) {
+				fmt.Fprintf(out, "%14s %9.2fms %9.2fms %12.0f %12.2f %9.0f%%\n",
+					name, r.LatencyP50MS, r.LatencyP99MS, r.QPS, r.MeanBatchSize, 100*r.SavedFraction)
+			}
+			row("early-exit", withExit)
+			row("full-horizon", fullRun)
+			if fullRun.OK < requests || withExit.OK < requests {
+				return fmt.Errorf("bench_serve: not all requests succeeded: %v / %v",
+					withExit.StatusCodes, fullRun.StatusCodes)
+			}
+
+			rep := serveBenchReport{
+				Scale:     cfg.Scale.String(),
+				Model:     model,
+				T:         T,
+				MaxBatch:  maxBatch,
+				Workers:   workers,
+				EarlyExit: withExit,
+				FullRun:   fullRun,
+			}
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchServeOutput, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "   report written to %s\n", benchServeOutput)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,31 @@
+// Package cli holds the tiny pieces shared by the skipper-* binaries.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// Fatalf prints "<binary>: <message>" to stderr and exits non-zero. The
+// binary name is derived from os.Args[0], so every cmd/skipper-* main can
+// share it.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog(), fmt.Sprintf(format, args...))
+	exit(1)
+}
+
+// Fatal is Fatalf for a bare error.
+func Fatal(err error) {
+	Fatalf("%v", err)
+}
+
+func prog() string {
+	if len(os.Args) == 0 || os.Args[0] == "" {
+		return "skipper"
+	}
+	return filepath.Base(os.Args[0])
+}

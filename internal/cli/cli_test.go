@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestFatalfExitsNonZeroWithProgramName(t *testing.T) {
+	oldExit, oldStderr := exit, os.Stderr
+	defer func() { exit, os.Stderr = oldExit, oldStderr }()
+
+	code := -1
+	exit = func(c int) { code = c }
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+
+	Fatal(fmt.Errorf("boom: %w", os.ErrNotExist))
+
+	w.Close()
+	buf := make([]byte, 256)
+	n, _ := r.Read(buf)
+	os.Stderr = oldStderr
+
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	got := string(buf[:n])
+	want := fmt.Sprintf("%s: boom: %v\n", prog(), os.ErrNotExist)
+	if got != want {
+		t.Fatalf("stderr %q, want %q", got, want)
+	}
+}

@@ -187,6 +187,22 @@ func SaveFile(path string, net *layers.Network) error {
 	return nil
 }
 
+// LoadInto builds a fresh network with build and restores its weights from
+// path, leaving any existing network untouched. This is the validate-before-
+// swap primitive hot reload is built on: a corrupt or mismatched checkpoint
+// fails here, before anything observable changes, and the caller keeps
+// serving the old network.
+func LoadInto(path string, build func() (*layers.Network, error)) (*layers.Network, error) {
+	net, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("serialize: building network for %s: %w", path, err)
+	}
+	if err := LoadFile(path, net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
 // LoadFile restores net's weights from path.
 func LoadFile(path string, net *layers.Network) error {
 	f, err := os.Open(path)

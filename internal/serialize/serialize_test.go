@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"skipper/internal/layers"
 	"skipper/internal/models"
 	"skipper/internal/tensor"
 )
@@ -123,5 +125,83 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if err := LoadFile(filepath.Join(dir, "missing.skpw"), net); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestLoadIntoRoundTrip covers the constructor hot reload depends on,
+// including the two failure modes a reload must survive: a corrupt file
+// (CRC failure) and a checkpoint for a different topology (shape mismatch).
+func TestLoadIntoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	build := func() (*layers.Network, error) {
+		return models.Build("customnet", models.Options{Width: 0.5})
+	}
+
+	// Happy path: a perturbed net round-trips into a fresh network.
+	src, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensor.NewRNG(41).FillNorm(src.Params()[0].W, 0, 1)
+	path := filepath.Join(dir, "ok.skpw")
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInto(path, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == src {
+		t.Fatal("LoadInto must construct a fresh network")
+	}
+	sp, gp := src.Params(), got.Params()
+	for i := range sp {
+		for j := range sp[i].W.Data {
+			if sp[i].W.Data[j] != gp[i].W.Data[j] {
+				t.Fatalf("weight mismatch at %s[%d]", sp[i].Name, j)
+			}
+		}
+	}
+
+	// Corrupt CRC: flip one payload byte after the header.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	bad := filepath.Join(dir, "corrupt.skpw")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadInto(bad, build); err == nil {
+		t.Fatal("corrupt checkpoint must fail LoadInto")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum error, got: %v", err)
+	}
+
+	// Shape mismatch: a valid checkpoint for a wider build of the same
+	// topology must be rejected by the narrow builder.
+	wide, err := models.Build("customnet", models.Options{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	widePath := filepath.Join(dir, "wide.skpw")
+	if err := SaveFile(widePath, wide); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadInto(widePath, build); err == nil {
+		t.Fatal("shape-mismatched checkpoint must fail LoadInto")
+	} else if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("want shape/rank mismatch error, got: %v", err)
+	}
+
+	// Missing file and broken builder both surface errors.
+	if _, err := LoadInto(filepath.Join(dir, "missing.skpw"), build); err == nil {
+		t.Fatal("missing file must fail LoadInto")
+	}
+	if _, err := LoadInto(path, func() (*layers.Network, error) {
+		return nil, os.ErrInvalid
+	}); err == nil {
+		t.Fatal("builder failure must surface")
 	}
 }

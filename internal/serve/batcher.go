@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/encode"
+	"skipper/internal/tensor"
+)
+
+// job is one enqueued inference request.
+type job struct {
+	frames []float32 // flattened [C,H,W] input, values in [0,1]
+	id     uint64    // content hash; the deterministic encoding sample id
+	enq    time.Time
+	ctx    context.Context
+	resp   chan jobResult // buffered 1; the worker's send never blocks
+}
+
+// jobResult is what the worker hands back for one sample.
+type jobResult struct {
+	Pred      int
+	Logits    []float32
+	ExitStep  int
+	StepsRun  int
+	T         int
+	BatchSize int
+	Version   uint64
+}
+
+// sampleID hashes the request content so the Poisson encoding of a frame is
+// a pure function of (EncodeSeed, content, t) — identical inputs produce
+// identical spike trains regardless of batch composition or arrival order.
+func sampleID(frames []float32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range frames {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// runWorker is one batch worker: it owns a private network replica and loops
+// pulling micro-batches off the queue until the stop channel closes.
+func (s *Server) runWorker(r *replica) {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case first := <-s.queue:
+			s.runBatch(r, s.coalesce(first))
+		}
+	}
+}
+
+// coalesce gathers more requests after the first until the batch is full or
+// the batching window elapses.
+func (s *Server) coalesce(first *job) []*job {
+	jobs := []*job{first}
+	if s.cfg.MaxBatch == 1 {
+		return jobs
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(jobs) < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			jobs = append(jobs, j)
+		case <-timer.C:
+			return jobs
+		}
+	}
+	return jobs
+}
+
+// runBatch executes one coalesced micro-batch on the worker's replica.
+func (s *Server) runBatch(r *replica, jobs []*job) {
+	// Requests whose deadline already passed are dropped here: their handler
+	// has answered 504 and gone, so computing them would be pure waste.
+	live := jobs[:0]
+	for _, j := range jobs {
+		if j.ctx.Err() != nil {
+			s.jobWG.Done()
+			continue
+		}
+		live = append(live, j)
+	}
+	jobs = live
+	if len(jobs) == 0 {
+		return
+	}
+
+	if s.cfg.OnBatch != nil {
+		s.cfg.OnBatch(len(jobs))
+	}
+	snap := r.sync(s.model)
+
+	b := len(jobs)
+	shape := append([]int{b}, r.net.InShape...)
+	frames := tensor.New(shape...)
+	ids := make([]int, b)
+	waits := make([]float64, b)
+	now := time.Now()
+	per := frames.Len() / b
+	for i, j := range jobs {
+		copy(frames.Data[i*per:(i+1)*per], j.frames)
+		ids[i] = int(j.id)
+		waits[i] = now.Sub(j.enq).Seconds()
+	}
+
+	enc := encode.Poisson{MaxRate: s.cfg.MaxRate, Seed: s.cfg.EncodeSeed}
+	spikes := tensor.New(shape...)
+	res := core.InferStream(r.net, s.cfg.T, func(t int) *tensor.Tensor {
+		enc.EncodeStep(spikes, frames, ids, t)
+		return spikes
+	}, core.InferOptions{
+		EarlyExit: s.cfg.EarlyExit,
+		K:         s.cfg.ExitK,
+		MinMargin: s.cfg.ExitMargin,
+		MinSteps:  s.cfg.ExitMinSteps,
+	})
+
+	s.metrics.observeBatch(b, res.StepsRun, res.T, res.EarlyExits(), waits)
+
+	classes := res.Logits.Dim(1)
+	for i, j := range jobs {
+		logits := make([]float32, classes)
+		copy(logits, res.Logits.Data[i*classes:(i+1)*classes])
+		j.resp <- jobResult{
+			Pred:      res.Preds[i],
+			Logits:    logits,
+			ExitStep:  res.ExitSteps[i],
+			StepsRun:  res.StepsRun,
+			T:         res.T,
+			BatchSize: b,
+			Version:   snap.Version,
+		}
+		s.jobWG.Done()
+	}
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"skipper/internal/stats"
+	"skipper/internal/tensor"
+)
+
+// LoadGenOptions configures RunLoadGen.
+type LoadGenOptions struct {
+	// Requests is the total request count. Zero means 100.
+	Requests int
+	// Concurrency is the number of in-flight requests. Zero means 8.
+	Concurrency int
+	// Seed drives the deterministic synthetic inputs. Distinct request
+	// indices get distinct frames, so batches exercise mixed content.
+	Seed uint64
+	// BudgetMS, when positive, is sent as each request's latency budget.
+	BudgetMS int
+	// Timeout is the client-side HTTP timeout. Zero means 30s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests pass the in-process one).
+	Client *http.Client
+}
+
+// LoadGenReport summarises one load-generation run.
+type LoadGenReport struct {
+	Requests    int           `json:"requests"`
+	Concurrency int           `json:"concurrency"`
+	OK          int           `json:"ok"`
+	StatusCodes map[string]int `json:"status_codes"`
+	Duration    float64       `json:"duration_seconds"`
+	QPS         float64       `json:"qps"`
+
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	// Early-exit accounting over the OK responses: executed vs configured
+	// batch-timesteps and the fraction saved.
+	TimestepsRun   int     `json:"timesteps_run"`
+	TimestepsFull  int     `json:"timesteps_full"`
+	SavedFraction  float64 `json:"saved_fraction"`
+	EarlyExits     int     `json:"early_exits"`
+	MeanBatchSize  float64 `json:"mean_batch_size"`
+	ModelVersions  []uint64 `json:"model_versions_seen"`
+}
+
+// RunLoadGen fires opts.Requests synthetic inference requests at the server
+// at baseURL and reports latency percentiles and early-exit savings. The
+// input frames are deterministic in (Seed, request index).
+func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: opts.Timeout}
+	}
+
+	cfg, err := fetchConfig(client, baseURL)
+	if err != nil {
+		return LoadGenReport{}, err
+	}
+
+	type outcome struct {
+		code     int
+		latency  float64 // seconds
+		resp     InferResponse
+	}
+	outcomes := make([]outcome, opts.Requests)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Concurrency)
+	start := time.Now()
+	for i := 0; i < opts.Requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			input := syntheticInput(opts.Seed, uint64(i), cfg.InputLen)
+			t0 := time.Now()
+			code, resp, err := postInfer(client, baseURL, InferRequest{Input: input, BudgetMS: opts.BudgetMS})
+			if err != nil {
+				code = -1
+			}
+			outcomes[i] = outcome{code: code, latency: time.Since(t0).Seconds(), resp: resp}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := LoadGenReport{
+		Requests:    opts.Requests,
+		Concurrency: opts.Concurrency,
+		StatusCodes: map[string]int{},
+		Duration:    elapsed,
+		QPS:         float64(opts.Requests) / elapsed,
+	}
+	var latencies []float64
+	var batchSum int
+	versions := map[uint64]bool{}
+	for _, o := range outcomes {
+		key := fmt.Sprintf("%d", o.code)
+		if o.code == -1 {
+			key = "transport_error"
+		}
+		rep.StatusCodes[key]++
+		latencies = append(latencies, o.latency*1000)
+		if o.code != http.StatusOK {
+			continue
+		}
+		rep.OK++
+		rep.TimestepsRun += o.resp.StepsRun
+		rep.TimestepsFull += o.resp.T
+		if o.resp.ExitStep < o.resp.T-1 {
+			rep.EarlyExits++
+		}
+		batchSum += o.resp.BatchSize
+		versions[o.resp.ModelVersion] = true
+	}
+	if len(latencies) > 0 {
+		rep.LatencyP50MS = stats.Percentile(latencies, 50)
+		rep.LatencyP99MS = stats.Percentile(latencies, 99)
+	}
+	if rep.TimestepsFull > 0 {
+		rep.SavedFraction = 1 - float64(rep.TimestepsRun)/float64(rep.TimestepsFull)
+	}
+	if rep.OK > 0 {
+		rep.MeanBatchSize = float64(batchSum) / float64(rep.OK)
+	}
+	for v := range versions {
+		rep.ModelVersions = append(rep.ModelVersions, v)
+	}
+	sort.Slice(rep.ModelVersions, func(i, j int) bool { return rep.ModelVersions[i] < rep.ModelVersions[j] })
+	return rep, nil
+}
+
+// loadgenNS namespaces loadgen input seeds away from other DeriveSeed users.
+const loadgenNS = 0x6c6f6164 // "load"
+
+// syntheticInput generates one deterministic [0,1] frame.
+func syntheticInput(seed, idx uint64, n int) []float32 {
+	rng := tensor.NewRNG(tensor.DeriveSeed(seed, idx, loadgenNS))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32()
+	}
+	return out
+}
+
+func fetchConfig(client *http.Client, baseURL string) (ConfigResponse, error) {
+	var cfg ConfigResponse
+	resp, err := client.Get(baseURL + "/v1/config")
+	if err != nil {
+		return cfg, fmt.Errorf("serve: fetching config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cfg, fmt.Errorf("serve: /v1/config returned %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("serve: decoding config: %w", err)
+	}
+	return cfg, nil
+}
+
+func postInfer(client *http.Client, baseURL string, req InferRequest) (int, InferResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, InferResponse{}, err
+	}
+	resp, err := client.Post(baseURL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, InferResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out InferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, out, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, out, nil
+}

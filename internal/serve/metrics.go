@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"skipper/internal/stats"
+)
+
+// Metrics is the server's hand-rolled metrics registry, rendered in
+// Prometheus text exposition format. All mutators are safe for concurrent
+// use.
+type Metrics struct {
+	mu sync.Mutex
+
+	requests map[string]int64 // by HTTP status code label
+	latency  *stats.Histogram // end-to-end request seconds
+	queueing *stats.Histogram // queue-wait seconds
+	batches  *stats.Histogram // micro-batch sizes
+
+	samples        int64 // samples that completed inference
+	batchSteps     int64 // batch-timesteps executed
+	batchStepsMax  int64 // batch-timesteps that would run without early exit
+	earlyExits     int64 // samples frozen before the final timestep
+	reloadOK       int64
+	reloadFailed   int64
+	queueRejected  int64 // 429s (also counted in requests["429"])
+	deadlineMissed int64 // requests abandoned on their latency budget
+
+	// gauges, read at render time
+	queueDepth   func() int
+	modelVersion func() uint64
+}
+
+func newMetrics(maxBatch int, queueDepth func() int, modelVersion func() uint64) *Metrics {
+	return &Metrics{
+		requests: map[string]int64{},
+		// 0.5ms .. ~16s
+		latency:  stats.NewHistogram(stats.ExponentialBounds(0.0005, 2, 15)...),
+		queueing: stats.NewHistogram(stats.ExponentialBounds(0.0001, 2, 15)...),
+		batches:  stats.NewHistogram(stats.LinearBounds(1, 1, maxBatch)...),
+
+		queueDepth:   queueDepth,
+		modelVersion: modelVersion,
+	}
+}
+
+func (m *Metrics) observeRequest(code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%d", code)]++
+	m.latency.Observe(seconds)
+	switch code {
+	case 429:
+		m.queueRejected++
+	case 504:
+		m.deadlineMissed++
+	}
+}
+
+func (m *Metrics) observeBatch(size, stepsRun, t, exits int, queueWait []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches.Observe(float64(size))
+	m.samples += int64(size)
+	m.batchSteps += int64(stepsRun)
+	m.batchStepsMax += int64(t)
+	m.earlyExits += int64(exits)
+	for _, w := range queueWait {
+		m.queueing.Observe(w)
+	}
+}
+
+func (m *Metrics) observeReload(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.reloadOK++
+	} else {
+		m.reloadFailed++
+	}
+}
+
+// RequestCount returns the counted requests for one status code label.
+func (m *Metrics) RequestCount(code int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[fmt.Sprintf("%d", code)]
+}
+
+// Render writes the registry in Prometheus text exposition format.
+func (m *Metrics) Render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP skipper_serve_requests_total Requests answered, by HTTP status code.")
+	fmt.Fprintln(w, "# TYPE skipper_serve_requests_total counter")
+	codes := make([]string, 0, len(m.requests))
+	for c := range m.requests {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "skipper_serve_requests_total{code=%q} %d\n", c, m.requests[c])
+	}
+
+	renderHist(w, "skipper_serve_request_latency_seconds", "End-to-end request latency.", m.latency)
+	renderHist(w, "skipper_serve_queue_wait_seconds", "Time spent waiting in the batching queue.", m.queueing)
+	renderHist(w, "skipper_serve_batch_size", "Coalesced micro-batch sizes.", m.batches)
+
+	counter(w, "skipper_serve_samples_total", "Samples that completed inference.", m.samples)
+	counter(w, "skipper_serve_batch_timesteps_total", "Batch-timesteps executed.", m.batchSteps)
+	counter(w, "skipper_serve_batch_timesteps_saved_total",
+		"Batch-timesteps avoided by early exit (configured horizon minus executed).",
+		m.batchStepsMax-m.batchSteps)
+	counter(w, "skipper_serve_early_exits_total", "Samples whose decision froze before the final timestep.", m.earlyExits)
+	counter(w, "skipper_serve_queue_rejected_total", "Requests rejected with 429 by the full queue.", m.queueRejected)
+	counter(w, "skipper_serve_deadline_missed_total", "Requests abandoned on their latency budget.", m.deadlineMissed)
+
+	fmt.Fprintln(w, "# HELP skipper_serve_reloads_total Checkpoint reload attempts, by result.")
+	fmt.Fprintln(w, "# TYPE skipper_serve_reloads_total counter")
+	fmt.Fprintf(w, "skipper_serve_reloads_total{result=\"ok\"} %d\n", m.reloadOK)
+	fmt.Fprintf(w, "skipper_serve_reloads_total{result=\"error\"} %d\n", m.reloadFailed)
+
+	gauge(w, "skipper_serve_queue_depth", "Requests currently waiting in the batching queue.", float64(m.queueDepth()))
+	gauge(w, "skipper_serve_model_version", "Generation number of the serving checkpoint.", float64(m.modelVersion()))
+}
+
+func counter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func gauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func renderHist(w io.Writer, name, help string, h *stats.Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := h.Cumulative()
+	for i, b := range h.Bounds() {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N())
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.N())
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/serialize"
+)
+
+// Snapshot is one immutable loaded model generation. Its network is never
+// mutated after publication, so readers may copy weights from it freely;
+// running a forward pass on it directly is NOT safe (layer scratch buffers),
+// which is why workers keep private replicas synced by Version.
+type Snapshot struct {
+	Net *layers.Network
+	// Path is the checkpoint file this generation came from ("" for the
+	// builder's fresh initialisation).
+	Path string
+	// Version increments on every successful swap, starting at 1.
+	Version uint64
+	// LoadedAt is when the generation was published.
+	LoadedAt time.Time
+}
+
+// Model is the hot-reloadable checkpoint handle: an atomic pointer to the
+// current Snapshot. Reload builds a fresh network and loads the checkpoint
+// into it before swapping, so a corrupt or mismatched file can never
+// replace a serving generation (validation-before-swap with rollback by
+// virtue of never having left the old generation).
+type Model struct {
+	build func() (*layers.Network, error)
+	cur   atomic.Pointer[Snapshot]
+	mu    sync.Mutex // serialises reloads; readers never take it
+}
+
+// NewModel constructs the handle, publishing the builder's deterministic
+// initialisation as generation 1. When path is non-empty the initial
+// generation is loaded from it instead.
+func NewModel(build func() (*layers.Network, error), path string) (*Model, error) {
+	m := &Model{build: build}
+	var net *layers.Network
+	var err error
+	if path != "" {
+		net, err = serialize.LoadInto(path, build)
+	} else {
+		net, err = build()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial model: %w", err)
+	}
+	m.cur.Store(&Snapshot{Net: net, Path: path, Version: 1, LoadedAt: time.Now()})
+	return m, nil
+}
+
+// Current returns the serving generation. Never nil.
+func (m *Model) Current() *Snapshot { return m.cur.Load() }
+
+// Reload validates the checkpoint at path against a freshly built network
+// and atomically publishes it as the next generation. On any error the
+// previous generation keeps serving untouched. An empty path re-reads the
+// current generation's file (the SIGHUP convention).
+func (m *Model) Reload(path string) (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if path == "" {
+		path = m.Current().Path
+	}
+	if path == "" {
+		return nil, fmt.Errorf("serve: reload: no checkpoint path (model is serving a fresh initialisation)")
+	}
+	net, err := serialize.LoadInto(path, m.build)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload rejected, keeping generation %d: %w", m.Current().Version, err)
+	}
+	next := &Snapshot{Net: net, Path: path, Version: m.Current().Version + 1, LoadedAt: time.Now()}
+	m.cur.Store(next)
+	return next, nil
+}
+
+// replica is a worker-private network kept in sync with the model by
+// generation number: before each batch the worker calls sync, which copies
+// weights from the current snapshot only when the version moved.
+type replica struct {
+	net     *layers.Network
+	version uint64
+}
+
+func newReplica(build func() (*layers.Network, error)) (*replica, error) {
+	net, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("serve: building worker replica: %w", err)
+	}
+	return &replica{net: net}, nil
+}
+
+// sync copies the snapshot's weights into the replica when stale and
+// returns the generation it is now serving.
+func (r *replica) sync(m *Model) *Snapshot {
+	snap := m.Current()
+	if snap.Version == r.version {
+		return snap
+	}
+	dst, src := r.net.Params(), snap.Net.Params()
+	// Same builder ⇒ same parameter order and shapes.
+	for i := range dst {
+		copy(dst[i].W.Data, src[i].W.Data)
+	}
+	r.version = snap.Version
+	return snap
+}

@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/models"
+	"skipper/internal/serialize"
+	"skipper/internal/tensor"
+)
+
+// testBuild is the serving topology used throughout: a small customnet so
+// the race-enabled test stays fast.
+func testBuild() (*layers.Network, error) {
+	return models.Build("customnet", models.Options{
+		InShape: []int{2, 8, 8},
+		Classes: 4,
+		Width:   0.25,
+	})
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Build == nil {
+		cfg.Build = testBuild
+	}
+	if cfg.T == 0 {
+		cfg.T = 6
+	}
+	s, err := NewServer(cfg, "")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, hs
+}
+
+func inferOnce(t *testing.T, client *http.Client, url string, req InferRequest) (int, InferResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/infer: %v", err)
+	}
+	defer resp.Body.Close()
+	var out InferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// TestServeConcurrentWithReloadAndBackpressure is the subsystem acceptance
+// test: ≥100 concurrent requests through the batching path, a hot reload
+// mid-traffic, a deterministic 429 from a full queue, and /metrics counters
+// consistent with the responses received.
+func TestServeConcurrentWithReloadAndBackpressure(t *testing.T) {
+	const total = 120
+	var batched int64
+	var batchMu sync.Mutex
+	maxBatch := 0
+	_, hs := newTestServer(t, Config{
+		T:           6,
+		EarlyExit:   true,
+		MaxBatch:    8,
+		BatchWindow: 3 * time.Millisecond,
+		QueueDepth:  256,
+		Workers:     3,
+		OnBatch: func(size int) {
+			batchMu.Lock()
+			batched += int64(size)
+			if size > maxBatch {
+				maxBatch = size
+			}
+			batchMu.Unlock()
+		},
+	})
+	client := hs.Client()
+
+	// A checkpoint with perturbed weights of the same topology, for the
+	// mid-traffic reload.
+	ckpt := filepath.Join(t.TempDir(), "next.skpw")
+	{
+		net, err := testBuild()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := tensor.NewRNG(99)
+		for _, p := range net.Params() {
+			for i := range p.W.Data {
+				p.W.Data[i] += 0.05 * (rng.Float32() - 0.5)
+			}
+		}
+		if err := serialize.SaveFile(ckpt, net); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type result struct {
+		code int
+		resp InferResponse
+	}
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			input := syntheticInput(7, uint64(i), 2*8*8)
+			code, resp := inferOnce(t, client, hs.URL, InferRequest{Input: input})
+			results[i] = result{code, resp}
+		}(i)
+		// Hot reload mid-traffic, from a separate goroutine's perspective:
+		// the swap must not disturb in-flight batches.
+		if i == total/2 {
+			body, _ := json.Marshal(ReloadRequest{Path: ckpt})
+			resp, err := client.Post(hs.URL+"/v1/reload", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("reload: %v", err)
+			}
+			var rr ReloadResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Fatalf("decoding reload response: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || rr.Version != 2 {
+				t.Fatalf("reload: status %d version %d", resp.StatusCode, rr.Version)
+			}
+		}
+	}
+	wg.Wait()
+
+	ok := 0
+	sawV1, sawV2 := false, false
+	for i, r := range results {
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, r.code)
+		}
+		ok++
+		if r.resp.T != 6 || r.resp.StepsRun < 1 || r.resp.StepsRun > 6 {
+			t.Fatalf("request %d: T=%d StepsRun=%d", i, r.resp.T, r.resp.StepsRun)
+		}
+		if len(r.resp.Logits) != 4 {
+			t.Fatalf("request %d: %d logits", i, len(r.resp.Logits))
+		}
+		switch r.resp.ModelVersion {
+		case 1:
+			sawV1 = true
+		case 2:
+			sawV2 = true
+		default:
+			t.Fatalf("request %d: model version %d", i, r.resp.ModelVersion)
+		}
+	}
+	if !sawV1 || !sawV2 {
+		t.Fatalf("expected traffic on both generations: v1=%v v2=%v", sawV1, sawV2)
+	}
+	batchMu.Lock()
+	if batched != int64(total) {
+		t.Fatalf("OnBatch saw %d samples, want %d", batched, total)
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no coalescing observed (max batch %d)", maxBatch)
+	}
+	batchMu.Unlock()
+
+	// Deterministic 429: park the only worker inside OnBatch, fill the
+	// 1-deep queue, and watch the next request bounce.
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s2, hs2 := newTestServer(t, Config{
+		T:           4,
+		MaxBatch:    1,
+		QueueDepth:  1,
+		Workers:     1,
+		BatchWindow: time.Millisecond,
+		OnBatch: func(int) {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	client2 := hs2.Client()
+	input := syntheticInput(3, 0, 2*8*8)
+	blockedDone := make(chan int, 1)
+	go func() {
+		code, _ := inferOnce(t, client2, hs2.URL, InferRequest{Input: input})
+		blockedDone <- code
+	}()
+	<-entered // worker is parked; the queue is now empty
+	queuedDone := make(chan int, 1)
+	go func() {
+		code, _ := inferOnce(t, client2, hs2.URL, InferRequest{Input: input})
+		queuedDone <- code
+	}()
+	// Wait until the second request occupies the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s2.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code429, _ := inferOnce(t, client2, hs2.URL, InferRequest{Input: input})
+	if code429 != http.StatusTooManyRequests {
+		t.Fatalf("full queue answered %d, want 429", code429)
+	}
+	close(release)
+	if code := <-blockedDone; code != http.StatusOK {
+		t.Fatalf("parked request answered %d", code)
+	}
+	if code := <-queuedDone; code != http.StatusOK {
+		t.Fatalf("queued request answered %d", code)
+	}
+
+	// Metrics consistency, main server: counters must match the responses
+	// this test received.
+	metrics := fetchMetrics(t, client, hs.URL)
+	assertMetric(t, metrics, `skipper_serve_requests_total{code="200"}`, float64(ok))
+	assertMetric(t, metrics, "skipper_serve_samples_total", float64(total))
+	earlyExits := 0.0
+	for _, r := range results {
+		if r.resp.ExitStep < r.resp.T-1 {
+			earlyExits++
+		}
+	}
+	assertMetric(t, metrics, "skipper_serve_early_exits_total", earlyExits)
+	assertMetric(t, metrics, `skipper_serve_reloads_total{result="ok"}`, 1)
+	assertMetric(t, metrics, `skipper_serve_reloads_total{result="error"}`, 0)
+	assertMetric(t, metrics, "skipper_serve_model_version", 2)
+	assertMetric(t, metrics, "skipper_serve_request_latency_seconds_count", float64(ok))
+	if v, ok := metricValue(metrics, "skipper_serve_batch_timesteps_saved_total"); !ok || v < 0 {
+		t.Fatalf("batch_timesteps_saved_total = %v (present %v)", v, ok)
+	}
+
+	// Metrics consistency, backpressure server: exactly one 429.
+	m2 := fetchMetrics(t, client2, hs2.URL)
+	assertMetric(t, m2, `skipper_serve_requests_total{code="429"}`, 1)
+	assertMetric(t, m2, "skipper_serve_queue_rejected_total", 1)
+	assertMetric(t, m2, `skipper_serve_requests_total{code="200"}`, 2)
+}
+
+func fetchMetrics(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.String()
+}
+
+func metricValue(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%g", &v); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func assertMetric(t *testing.T, text, name string, want float64) {
+	t.Helper()
+	got, ok := metricValue(text, name)
+	if !ok {
+		t.Fatalf("metric %s missing", name)
+	}
+	if got != want {
+		t.Fatalf("metric %s = %v, want %v", name, got, want)
+	}
+}
+
+// TestReloadRejectsCorruptCheckpoint drives the rollback path over HTTP: a
+// corrupt file must leave the serving generation untouched and count as a
+// failed reload.
+func TestReloadRejectsCorruptCheckpoint(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	client := hs.Client()
+
+	ckpt := filepath.Join(t.TempDir(), "bad.skpw")
+	net, err := testBuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serialize.SaveFile(ckpt, net); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, ckpt)
+
+	body, _ := json.Marshal(ReloadRequest{Path: ckpt})
+	resp, err := client.Post(hs.URL+"/v1/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt reload answered %d, want 422", resp.StatusCode)
+	}
+	if v := s.Model().Current().Version; v != 1 {
+		t.Fatalf("serving generation moved to %d after failed reload", v)
+	}
+	m := fetchMetrics(t, client, hs.URL)
+	assertMetric(t, m, `skipper_serve_reloads_total{result="error"}`, 1)
+	assertMetric(t, m, "skipper_serve_model_version", 1)
+
+	// The server must still answer inference after the failed reload.
+	code, _ := inferOnce(t, client, hs.URL, InferRequest{Input: syntheticInput(1, 1, 2*8*8)})
+	if code != http.StatusOK {
+		t.Fatalf("inference after failed reload: %d", code)
+	}
+}
+
+// TestInferValidation covers the request 400 paths.
+func TestInferValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	client := hs.Client()
+
+	if code, _ := inferOnce(t, client, hs.URL, InferRequest{Input: []float32{1, 2}}); code != http.StatusBadRequest {
+		t.Fatalf("short input answered %d", code)
+	}
+	bad := syntheticInput(1, 1, 2*8*8)
+	bad[3] = 1.5
+	if code, _ := inferOnce(t, client, hs.URL, InferRequest{Input: bad}); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range input answered %d", code)
+	}
+	resp, err := client.Post(hs.URL+"/v1/infer", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON answered %d", resp.StatusCode)
+	}
+	resp, err = client.Get(hs.URL + "/v1/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET answered %d", resp.StatusCode)
+	}
+}
+
+// TestDrainRefusesNewWork verifies graceful shutdown: draining answers 503
+// on /v1/infer and /readyz while /healthz stays 200.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	client := hs.Client()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if code, _ := inferOnce(t, client, hs.URL, InferRequest{Input: syntheticInput(1, 1, 2*8*8)}); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered %d, want 503", code)
+	}
+	resp, err := client.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: %d", resp.StatusCode)
+	}
+	resp, err = client.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while draining: %d", resp.StatusCode)
+	}
+}
+
+// TestDeterministicAcrossBatchComposition checks the content-hash sample id:
+// the same input must produce the same prediction and logits whether it
+// rides alone or inside a coalesced batch.
+func TestDeterministicAcrossBatchComposition(t *testing.T) {
+	_, hsSolo := newTestServer(t, Config{MaxBatch: 1, Workers: 1})
+	_, hsBatch := newTestServer(t, Config{MaxBatch: 8, Workers: 1, BatchWindow: 5 * time.Millisecond})
+
+	input := syntheticInput(42, 7, 2*8*8)
+	_, solo := mustOK(t, hsSolo, input)
+
+	// Fire the probe input alongside seven others so it coalesces.
+	var wg sync.WaitGroup
+	var probe InferResponse
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				_, probe = mustOK(t, hsBatch, input)
+			} else {
+				mustOK(t, hsBatch, syntheticInput(42, uint64(100+i), 2*8*8))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if solo.Pred != probe.Pred {
+		t.Fatalf("prediction depends on batch composition: solo %d vs batched %d", solo.Pred, probe.Pred)
+	}
+	for c := range solo.Logits {
+		if solo.Logits[c] != probe.Logits[c] {
+			t.Fatalf("logit %d differs: solo %v vs batched %v", c, solo.Logits[c], probe.Logits[c])
+		}
+	}
+}
+
+func mustOK(t *testing.T, hs *httptest.Server, input []float32) (int, InferResponse) {
+	t.Helper()
+	code, resp := inferOnce(t, hs.Client(), hs.URL, InferRequest{Input: input})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	return code, resp
+}
+
+// TestRequestBudgetTimeout verifies the per-request latency budget: a
+// 1ms budget against a parked worker answers 504.
+func TestRequestBudgetTimeout(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	_, hs := newTestServer(t, Config{
+		MaxBatch:   1,
+		Workers:    1,
+		QueueDepth: 4,
+		OnBatch: func(int) {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer close(release)
+	client := hs.Client()
+	input := syntheticInput(5, 1, 2*8*8)
+	go func() { // parks the worker; outcome checked via the entered channel
+		body, _ := json.Marshal(InferRequest{Input: input})
+		resp, err := client.Post(hs.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	code, _ := inferOnce(t, client, hs.URL, InferRequest{Input: input, BudgetMS: 1})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("budget-exceeded request answered %d, want 504", code)
+	}
+}
+
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"skipper/internal/tensor"
+)
+
+// Server is the inference serving subsystem: a hot-reloadable model, a
+// bounded batching queue, a worker pool, and the HTTP surface over them.
+// Construct with NewServer, attach Handler to an http.Server, and call
+// Drain on shutdown.
+type Server struct {
+	cfg     Config
+	model   *Model
+	metrics *Metrics
+
+	queue chan *job
+	stop  chan struct{}
+
+	mu       sync.RWMutex // guards draining against enqueues
+	draining bool
+
+	jobWG    sync.WaitGroup // in-flight jobs (enqueued, not yet answered)
+	workerWG sync.WaitGroup
+
+	inVolume int
+	classes  int
+	started  time.Time
+}
+
+// InferRequest is the body of POST /v1/infer.
+type InferRequest struct {
+	// Input is the flattened per-sample frame, values in [0,1], length
+	// C·H·W of the serving topology's input shape.
+	Input []float32 `json:"input"`
+	// BudgetMS optionally tightens the server's request timeout for this
+	// request. It can never extend it.
+	BudgetMS int `json:"budget_ms,omitempty"`
+}
+
+// InferResponse is the body of a 200 from POST /v1/infer.
+type InferResponse struct {
+	Pred         int       `json:"pred"`
+	Logits       []float32 `json:"logits"`
+	ExitStep     int       `json:"exit_step"`
+	StepsRun     int       `json:"steps_run"`
+	T            int       `json:"t"`
+	BatchSize    int       `json:"batch_size"`
+	ModelVersion uint64    `json:"model_version"`
+}
+
+// ReloadRequest is the body of POST /v1/reload. An empty path re-reads the
+// checkpoint the server is currently serving.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the generation now serving.
+type ReloadResponse struct {
+	Version  uint64 `json:"version"`
+	Path     string `json:"path"`
+	LoadedAt string `json:"loaded_at"`
+}
+
+// ConfigResponse is the body of GET /v1/config, enough for a client to size
+// its inputs.
+type ConfigResponse struct {
+	Model        string `json:"model"`
+	InShape      []int  `json:"in_shape"`
+	InputLen     int    `json:"input_len"`
+	Classes      int    `json:"classes"`
+	T            int    `json:"t"`
+	EarlyExit    bool   `json:"early_exit"`
+	MaxBatch     int    `json:"max_batch"`
+	ModelVersion uint64 `json:"model_version"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewServer builds the server, loads the initial model generation (from
+// cfg's checkpoint path if modelPath is non-empty, else the builder's fresh
+// initialisation), and starts the worker pool.
+func NewServer(cfg Config, modelPath string) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	model, err := NewModel(cfg.Build, modelPath)
+	if err != nil {
+		return nil, err
+	}
+	snap := model.Current()
+	out := snap.Net.OutShape()
+	s := &Server{
+		cfg:      cfg,
+		model:    model,
+		queue:    make(chan *job, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		inVolume: tensor.Volume(snap.Net.InShape),
+		classes:  tensor.Volume(out),
+		started:  time.Now(),
+	}
+	s.metrics = newMetrics(cfg.MaxBatch,
+		func() int { return len(s.queue) },
+		func() uint64 { return s.model.Current().Version })
+	for i := 0; i < cfg.Workers; i++ {
+		r, err := newReplica(cfg.Build)
+		if err != nil {
+			close(s.stop)
+			return nil, err
+		}
+		s.workerWG.Add(1)
+		go s.runWorker(r)
+	}
+	return s, nil
+}
+
+// Model returns the hot-reload handle (for SIGHUP wiring and tests).
+func (s *Server) Model() *Model { return s.model }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Reload validates and swaps in the checkpoint at path (empty = re-read the
+// current file), recording the attempt in the metrics.
+func (s *Server) Reload(path string) (*Snapshot, error) {
+	snap, err := s.model.Reload(path)
+	s.metrics.observeReload(err == nil)
+	return snap, err
+}
+
+// Drain stops accepting new requests, waits for every enqueued job to be
+// answered (bounded by ctx), and shuts the workers down.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+	close(s.stop)
+	if err == nil {
+		s.workerWG.Wait()
+	}
+	return err
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/v1/config", s.handleConfig)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code, body := s.infer(r)
+	s.metrics.observeRequest(code, time.Since(start).Seconds())
+	writeJSON(w, code, body)
+}
+
+// infer runs the request through parse → enqueue → await and returns the
+// status code plus response body.
+func (s *Server) infer(r *http.Request) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorResponse{"POST only"}
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, errorResponse{fmt.Sprintf("decoding request: %v", err)}
+	}
+	if len(req.Input) != s.inVolume {
+		return http.StatusBadRequest, errorResponse{fmt.Sprintf(
+			"input length %d, want %d (flattened %v)", len(req.Input), s.inVolume, s.model.Current().Net.InShape)}
+	}
+	for i, v := range req.Input {
+		if v != v || v < 0 || v > 1 {
+			return http.StatusBadRequest, errorResponse{fmt.Sprintf("input[%d] = %v outside [0,1]", i, v)}
+		}
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.BudgetMS > 0 {
+		if b := time.Duration(req.BudgetMS) * time.Millisecond; b < timeout {
+			timeout = b
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{
+		frames: req.Input,
+		id:     sampleID(req.Input),
+		enq:    time.Now(),
+		ctx:    ctx,
+		resp:   make(chan jobResult, 1),
+	}
+
+	// The read lock pairs with Drain's write lock so that once draining
+	// flips, no new job can slip into the wait group.
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return http.StatusServiceUnavailable, errorResponse{"server is draining"}
+	}
+	s.jobWG.Add(1)
+	select {
+	case s.queue <- j:
+		s.mu.RUnlock()
+	default:
+		s.jobWG.Done()
+		s.mu.RUnlock()
+		return http.StatusTooManyRequests, errorResponse{"queue full"}
+	}
+
+	select {
+	case out := <-j.resp:
+		return http.StatusOK, InferResponse{
+			Pred:         out.Pred,
+			Logits:       out.Logits,
+			ExitStep:     out.ExitStep,
+			StepsRun:     out.StepsRun,
+			T:            out.T,
+			BatchSize:    out.BatchSize,
+			ModelVersion: out.Version,
+		}
+	case <-ctx.Done():
+		return http.StatusGatewayTimeout, errorResponse{"latency budget exceeded"}
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req ReloadRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decoding request: %v", err)})
+			return
+		}
+	}
+	snap, err := s.Reload(req.Path)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Version:  snap.Version,
+		Path:     snap.Path,
+		LoadedAt: snap.LoadedAt.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	snap := s.model.Current()
+	writeJSON(w, http.StatusOK, ConfigResponse{
+		Model:        snap.Net.Name,
+		InShape:      snap.Net.InShape,
+		InputLen:     s.inVolume,
+		Classes:      s.classes,
+		T:            s.cfg.T,
+		EarlyExit:    s.cfg.EarlyExit,
+		MaxBatch:     s.cfg.MaxBatch,
+		ModelVersion: snap.Version,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Render(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus style:
+// Bounds are the inclusive upper edges of each bucket, with an implicit
+// final +Inf bucket; observations record into the first bucket whose bound
+// is >= x. It is not safe for concurrent use; callers that share one wrap
+// it in a mutex.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; the final entry is the +Inf bucket
+	sum    float64
+	n      int64
+}
+
+// NewHistogram creates a histogram with the given upper bounds, which must
+// be finite and strictly increasing.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("stats: histogram bound %v", b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// ExponentialBounds returns n upper bounds starting at start and multiplying
+// by factor — the usual shape for latency buckets.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("stats: ExponentialBounds(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBounds returns n upper bounds start, start+step, ... — the usual
+// shape for batch-size buckets.
+func LinearBounds(start, step float64, n int) []float64 {
+	if step <= 0 || n < 1 {
+		panic(fmt.Sprintf("stats: LinearBounds(%v, %v, %d)", start, step, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.sum += x
+	h.n++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bounds returns the configured upper bounds (not a copy; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative returns the cumulative count at each bound, Prometheus
+// `le`-style; the final +Inf count equals N.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var c int64
+	for i, v := range h.counts {
+		c += v
+		out[i] = c
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the bucket that crosses the target rank, the same estimate
+// Prometheus's histogram_quantile computes. The overflow bucket is clamped
+// to its lower edge. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var c int64
+	for i, v := range h.counts {
+		c += v
+		if float64(c) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no upper edge; report the last bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if v == 0 {
+			return h.bounds[i]
+		}
+		frac := (rank - float64(c-v)) / float64(v)
+		return lo + frac*(h.bounds[i]-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Merge folds another histogram with identical bounds into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("stats: merging histograms with different bounds")
+	}
+	for i, b := range h.bounds {
+		if b != o.bounds[i] {
+			panic("stats: merging histograms with different bounds")
+		}
+	}
+	for i, v := range o.counts {
+		h.counts[i] += v
+	}
+	h.sum += o.sum
+	h.n += o.n
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramCounts(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, x := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(x)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	cum := h.Cumulative()
+	want := []int64{2, 3, 4, 5} // le=1:2 (0.5 and the boundary 1), le=2:3, le=4:4, +Inf:5
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("Cumulative = %v, want %v", cum, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExponentialBounds(1, 2, 10)...) // 1,2,4,...,512
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 32 || p50 > 64 {
+		t.Fatalf("p50 = %v, want within (32, 64]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= p50 || p99 > 128 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	// Overflow clamps to the last bound.
+	h2 := NewHistogram(1, 2)
+	h2.Observe(50)
+	if got := h2.Quantile(0.9); got != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 2)
+	b := NewHistogram(1, 2)
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(10)
+	a.Merge(b)
+	if a.N() != 3 || a.Sum() != 12 {
+		t.Fatalf("merged N=%d Sum=%v", a.N(), a.Sum())
+	}
+	cum := a.Cumulative()
+	if cum[0] != 1 || cum[1] != 2 || cum[2] != 3 {
+		t.Fatalf("merged cumulative %v", cum)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched bounds must panic")
+		}
+	}()
+	a.Merge(NewHistogram(1, 3))
+}
+
+func TestHistogramBoundHelpers(t *testing.T) {
+	lin := LinearBounds(2, 2, 4)
+	for i, v := range []float64{2, 4, 6, 8} {
+		if lin[i] != v {
+			t.Fatalf("LinearBounds = %v", lin)
+		}
+	}
+	exp := ExponentialBounds(0.5, 10, 3)
+	for i, v := range []float64{0.5, 5, 50} {
+		if math.Abs(exp[i]-v) > 1e-12 {
+			t.Fatalf("ExponentialBounds = %v", exp)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds must panic")
+		}
+	}()
+	NewHistogram(1, 1)
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate:
+#   build, vet, race-test the serving subsystem, full test suite,
+#   then the serving benchmark (writes BENCH_serve.json).
+set -eux
+
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go test -race ./internal/serve/...
+go test ./...
+
+go run ./cmd/skipper-bench -exp bench_serve -scale tiny
