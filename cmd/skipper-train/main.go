@@ -8,12 +8,26 @@
 //	skipper-train -model resnet20 -data cifar10 -strategy tbptt -trw 24
 //	skipper-train -model vgg5 -strategy auto -budget-mib 8 -save weights.skpw
 //	skipper-train -model vgg5 -load weights.skpw -epochs 1
+//	skipper-train -model vgg5 -run-dir runs/vgg5 -snapshot-every 50 -epochs 20
+//	skipper-train -model vgg5 -run-dir runs/vgg5 -resume
+//
+// With -run-dir the full run state (weights, optimizer moments, RNG cursor,
+// divergence-guard state) is persisted atomically at every snapshot point;
+// after a crash or an interrupt, -resume continues the run bit-identically.
+// SIGINT/SIGTERM checkpoint at the next snapshot boundary and exit with
+// code 3 so wrappers can distinguish "interrupted but resumable" from
+// failure.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"skipper/internal/cli"
@@ -21,9 +35,17 @@ import (
 	"skipper/internal/dataset"
 	"skipper/internal/mem"
 	"skipper/internal/models"
+	"skipper/internal/runstate"
 	"skipper/internal/serialize"
 	"skipper/internal/snn"
 )
+
+// exitInterrupted is the exit code of a run that checkpointed and stopped on
+// SIGINT/SIGTERM — resumable, not failed.
+const exitInterrupted = 3
+
+// errInterrupted aborts the epoch loop right after a durable snapshot.
+var errInterrupted = errors.New("interrupted after checkpoint")
 
 func main() {
 	var (
@@ -44,10 +66,19 @@ func main() {
 		budget   = flag.Int64("budget-mib", 0, "device budget in MiB (0 = unlimited)")
 		maxB     = flag.Int("max-batches", 0, "cap batches per epoch (0 = full epoch)")
 		pretrain = flag.Bool("pretrain", true, "hybrid-style pre-initialisation before the main run")
-		savePath = flag.String("save", "", "write trained weights to this file")
+		savePath = flag.String("save", "", "write best-so-far weights to this file after each epoch")
 		loadPath = flag.String("load", "", "initialise weights from this file (skips pretrain)")
+
+		runDir    = flag.String("run-dir", "", "durable run-state directory (enables crash-safe resume)")
+		resume    = flag.Bool("resume", false, "resume from the manifest in -run-dir")
+		snapEvery = flag.Int("snapshot-every", 0, "also persist run state every K batches (0 = epoch boundaries only)")
+		guardN    = flag.Int("guard-retries", 0, "divergence guard: max rollback+LR-halving retries per run (0 = off)")
+		guardGN   = flag.Float64("guard-grad-norm", 0, "divergence guard: gradient-norm explosion threshold (0 = NaN/Inf only)")
 	)
 	flag.Parse()
+	if *resume && *runDir == "" {
+		cli.Fatal(fmt.Errorf("-resume requires -run-dir"))
+	}
 
 	src, err := dataset.Open(*data, *seed)
 	if err != nil {
@@ -111,6 +142,9 @@ func main() {
 
 	dev := mem.NewDevice(mem.Config{Budget: *budget << 20})
 	switch {
+	case *resume:
+		// The manifest restores the weights; pretrain or -load would be
+		// overwritten anyway.
 	case *loadPath != "":
 		fmt.Printf("loading weights from %s\n", *loadPath)
 		if err := serialize.LoadFile(*loadPath, net); err != nil {
@@ -125,17 +159,79 @@ func main() {
 	tr, err := core.NewTrainer(net, src, strat, core.Config{
 		T: *T, Batch: *batch, LR: float32(*lr), Seed: *seed,
 		Device: dev, MaxBatchesPerEpoch: *maxB,
+		SnapshotEvery: *snapEvery,
+		GuardRetries:  *guardN,
+		GuardGradNorm: float32(*guardGN),
 	})
 	if err != nil {
 		cli.Fatal(err)
 	}
 	defer tr.Close()
 
+	// Durable run state: every snapshot mark lands atomically in the run
+	// directory, and SIGINT/SIGTERM turn the next mark into a clean exit.
+	startEpoch, startBatch := 1, 0
+	var partial core.EpochStats
+	resuming := false
+	var interrupted atomic.Bool
+	if *runDir != "" {
+		store, err := runstate.Open(*runDir, nil, nil)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if *resume {
+			if !store.Exists() {
+				cli.Fatal(fmt.Errorf("no manifest at %s to resume from", store.Path()))
+			}
+			cur, part, err := runstate.Resume(tr, store)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			startEpoch, startBatch, partial, resuming = cur.NextEpoch, cur.NextBatch, part, true
+			fmt.Printf("resuming from %s: epoch %d, batch %d, iteration %d\n",
+				store.Path(), cur.NextEpoch, cur.NextBatch, cur.Iteration)
+		}
+		runstate.Attach(tr, store)
+		persist := tr.Cfg.OnSnapshot
+		tr.Cfg.OnSnapshot = func(cur core.Cursor, ep core.EpochStats) error {
+			if err := persist(cur, ep); err != nil {
+				return err
+			}
+			if interrupted.Load() {
+				return errInterrupted
+			}
+			return nil
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			interrupted.Store(true)
+			fmt.Fprintln(os.Stderr, "\ninterrupt: checkpointing at the next snapshot boundary, then exiting")
+			signal.Stop(sig) // a second signal kills immediately
+		}()
+	}
+
+	if startEpoch > *epochs {
+		fmt.Printf("nothing to do: manifest is already past epoch %d\n", *epochs)
+		return
+	}
 	fmt.Printf("training %s on %s with %s  (T=%d B=%d L_n=%d)\n",
 		*model, src.Name(), strat.Name(), *T, *batch, ln)
-	for e := 1; e <= *epochs; e++ {
+	bestAcc := -1.0
+	for e := startEpoch; e <= *epochs; e++ {
 		start := time.Now()
-		ep, err := tr.TrainEpoch()
+		var ep core.EpochStats
+		if resuming && e == startEpoch {
+			ep, err = tr.ResumeEpoch(startBatch, partial)
+		} else {
+			ep, err = tr.TrainEpoch()
+		}
+		if errors.Is(err, errInterrupted) {
+			fmt.Printf("interrupted during epoch %d; run state saved to %s\n", e, *runDir)
+			fmt.Printf("resume with:\n  %s\n", resumeCommand())
+			os.Exit(exitInterrupted)
+		}
 		if err != nil {
 			cli.Fatal(err)
 		}
@@ -143,18 +239,34 @@ func main() {
 		if err != nil {
 			cli.Fatal(err)
 		}
-		fmt.Printf("epoch %2d  loss %.4f  train-acc %5.2f%%  test-acc %5.2f%%  time %s  skipped %d/%d steps\n",
+		guard := ""
+		if ep.Divergences > 0 {
+			guard = fmt.Sprintf("  divergences %d (lr ×%g)", ep.Divergences, tr.LRScale())
+		}
+		fmt.Printf("epoch %2d  loss %.4f  train-acc %5.2f%%  test-acc %5.2f%%  time %s  skipped %d/%d steps%s\n",
 			e, ep.MeanLoss(), 100*ep.Accuracy(), 100*acc,
 			time.Since(start).Round(time.Millisecond),
-			ep.SkippedSteps, ep.SkippedSteps+ep.RecomputedSteps)
+			ep.SkippedSteps, ep.SkippedSteps+ep.RecomputedSteps, guard)
+		if *savePath != "" && acc > bestAcc {
+			bestAcc = acc
+			if err := serialize.SaveFile(*savePath, net); err != nil {
+				cli.Fatal(err)
+			}
+			fmt.Printf("          best so far — weights saved to %s\n", *savePath)
+		}
 	}
 	st := dev.Snapshot()
 	fmt.Printf("peak device memory: %s reserved, %s tensors (%s)\n",
 		mem.FormatBytes(st.PeakReserved), mem.FormatBytes(st.PeakAllocated), st.Breakdown())
-	if *savePath != "" {
-		if err := serialize.SaveFile(*savePath, net); err != nil {
-			cli.Fatal(err)
+}
+
+// resumeCommand reconstructs the invocation that continues this run.
+func resumeCommand() string {
+	args := append([]string(nil), os.Args...)
+	for _, a := range args[1:] {
+		if a == "-resume" || a == "--resume" || strings.HasPrefix(a, "-resume=") || strings.HasPrefix(a, "--resume=") {
+			return strings.Join(args, " ")
 		}
-		fmt.Printf("weights saved to %s\n", *savePath)
 	}
+	return strings.Join(append(args, "-resume"), " ")
 }

@@ -61,6 +61,25 @@ type Config struct {
 	// accuracy, step counts, durations, peak memory) — machine-readable
 	// training telemetry for dashboards and regression tracking.
 	Metrics io.Writer
+	// SnapshotEvery marks a restorable good state every K optimizer steps
+	// within an epoch, in addition to the mark at every epoch boundary.
+	// Good states feed the divergence guard's rollback and the OnSnapshot
+	// durability hook. 0 means epoch boundaries only.
+	SnapshotEvery int
+	// OnSnapshot, when non-nil, is invoked at every good-state mark with
+	// the resume cursor and the partial epoch aggregate so far. The
+	// run-state layer uses it to persist a durable manifest; an error
+	// aborts training (a run that cannot checkpoint is not durable).
+	OnSnapshot func(cur Cursor, partial EpochStats) error
+	// GuardRetries enables the divergence guard: on a NaN/Inf loss, a
+	// NaN/Inf gradient norm, or a gradient-norm explosion past
+	// GuardGradNorm, the trainer rolls back to the last good state, halves
+	// the learning rate, and replays — at most GuardRetries times per run.
+	// 0 disables the guard (the seed behaviour).
+	GuardRetries int
+	// GuardGradNorm is the pre-clip global gradient-norm explosion
+	// threshold for the guard; 0 trips on NaN/Inf only.
+	GuardGradNorm float32
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +111,15 @@ func (c Config) Validate() error {
 	}
 	if c.MicroBatch < 0 || c.MicroBatch > c.Batch {
 		return fmt.Errorf("core: micro-batch %d outside [0, batch=%d]", c.MicroBatch, c.Batch)
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("core: snapshot interval %d must be >= 0", c.SnapshotEvery)
+	}
+	if c.GuardRetries < 0 {
+		return fmt.Errorf("core: guard retries %d must be >= 0", c.GuardRetries)
+	}
+	if c.GuardGradNorm < 0 {
+		return fmt.Errorf("core: guard grad-norm threshold %v must be >= 0", c.GuardGradNorm)
 	}
 	return nil
 }

@@ -59,14 +59,34 @@ type FitOptions struct {
 // for Patience epochs — the convenience loop around TrainEpoch/Evaluate
 // that most callers write by hand.
 func (tr *Trainer) Fit(opts FitOptions) (FitResult, error) {
+	return tr.fitLoop(opts, Cursor{NextEpoch: 1}, EpochStats{}, false)
+}
+
+// FitFrom continues an interrupted Fit run from a restored cursor: it
+// positions the trainer at cur, finishes the partially-complete epoch via
+// ResumeEpoch with the partial aggregate, then runs the remaining epochs as
+// Fit would. Weights, optimizer state, and buffers must already be restored
+// (the run-state layer does all three before calling this).
+func (tr *Trainer) FitFrom(opts FitOptions, cur Cursor, partial EpochStats) (FitResult, error) {
+	tr.SetCursor(cur)
+	return tr.fitLoop(opts, cur, partial, true)
+}
+
+func (tr *Trainer) fitLoop(opts FitOptions, cur Cursor, partial EpochStats, resume bool) (FitResult, error) {
 	maxEpochs := opts.MaxEpochs
 	if maxEpochs <= 0 {
 		maxEpochs = 10
 	}
 	var res FitResult
 	sinceBest := 0
-	for e := 1; e <= maxEpochs; e++ {
-		ep, err := tr.TrainEpoch()
+	for e := cur.NextEpoch; e <= maxEpochs; e++ {
+		var ep EpochStats
+		var err error
+		if resume && e == cur.NextEpoch {
+			ep, err = tr.ResumeEpoch(cur.NextBatch, partial)
+		} else {
+			ep, err = tr.TrainEpoch()
+		}
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"skipper/internal/layers"
+	"skipper/internal/tensor"
+)
+
+// poisonStrategy wraps an inner strategy and corrupts one weight gradient
+// after the calls the hit predicate selects (1-based call numbering) — a
+// deterministic stand-in for a numerically diverging step.
+type poisonStrategy struct {
+	inner Strategy
+	calls *int
+	hit   func(call int) bool
+	value float32
+}
+
+func (p poisonStrategy) Name() string { return p.inner.Name() }
+func (p poisonStrategy) Validate(cfg Config, net *layers.Network) error {
+	return p.inner.Validate(cfg, net)
+}
+func (p poisonStrategy) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
+	st, err := p.inner.TrainBatch(tr, input, labels)
+	*p.calls++
+	if err == nil && p.hit(*p.calls) {
+		tr.Net.Params()[0].G.Data[0] = p.value
+	}
+	return st, err
+}
+
+func guardCfg() Config {
+	return Config{T: 6, Batch: 2, MaxBatchesPerEpoch: 4, Seed: 7, GuardRetries: 3}
+}
+
+// requireFinite fails if any weight is NaN/Inf.
+func requireFinite(t *testing.T, net *layers.Network) {
+	t.Helper()
+	for _, p := range net.Params() {
+		for j, w := range p.W.Data {
+			if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+				t.Fatalf("non-finite weight %s[%d] = %v after rollback", p.Name, j, w)
+			}
+		}
+	}
+}
+
+// The guard's central property: a run that diverges once must roll back,
+// halve the rate, replay, and finish with exactly the state of a run that
+// used the halved rate from the start — because the rollback restores the
+// iteration counter, every RNG stream replays identically.
+func TestDivergenceGuardRollbackMatchesCleanHalvedRun(t *testing.T) {
+	cfg := guardCfg()
+
+	netA, data, _, _ := tinySetup(t, cfg.T)
+	calls := 0
+	nan := float32(math.NaN())
+	strat := poisonStrategy{inner: BPTT{}, calls: &calls, hit: func(c int) bool { return c == 3 }, value: nan}
+	trA := newTestTrainer(t, netA, data, strat, cfg)
+	epA, err := trA.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epA.Divergences != 1 {
+		t.Fatalf("Divergences = %d, want 1", epA.Divergences)
+	}
+	log := trA.DivergenceLog()
+	if len(log) != 1 {
+		t.Fatalf("divergence log has %d events, want 1", len(log))
+	}
+	if !strings.Contains(log[0].Reason, "non-finite") {
+		t.Fatalf("reason = %q, want a non-finite trip", log[0].Reason)
+	}
+	if log[0].Epoch != 1 || log[0].Batch != 2 {
+		t.Fatalf("event at epoch %d batch %d, want epoch 1 batch 2", log[0].Epoch, log[0].Batch)
+	}
+	if trA.LRScale() != 0.5 {
+		t.Fatalf("LRScale = %v, want 0.5 after one halving", trA.LRScale())
+	}
+	requireFinite(t, netA)
+
+	// Control: the same run with the halved rate in force from the start.
+	netB, _, _, _ := tinySetup(t, cfg.T)
+	trB := newTestTrainer(t, netB, data, BPTT{}, cfg)
+	trB.SetLRScale(0.5)
+	epB, err := trB.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epB.Divergences != 0 {
+		t.Fatalf("control run diverged %d times", epB.Divergences)
+	}
+	if epA.Loss != epB.Loss || epA.Correct != epB.Correct || epA.N != epB.N ||
+		epA.Batches != epB.Batches || epA.GradNorm != epB.GradNorm ||
+		epA.ForwardSteps != epB.ForwardSteps || epA.BackwardSteps != epB.BackwardSteps {
+		t.Fatalf("replayed epoch diverged from clean halved run:\n  rolled back: %+v\n  clean:       %+v", epA.StepStats, epB.StepStats)
+	}
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatalf("weight %s[%d]: rolled-back %v != clean %v", pa[i].Name, j, pa[i].W.Data[j], pb[i].W.Data[j])
+			}
+		}
+	}
+}
+
+func TestDivergenceGuardGradNormThreshold(t *testing.T) {
+	cfg := guardCfg()
+	// Well above the healthy norms of this setup (~20) so only the
+	// poisoned step trips.
+	cfg.GuardGradNorm = 1e4
+
+	net, data, _, _ := tinySetup(t, cfg.T)
+	calls := 0
+	strat := poisonStrategy{inner: BPTT{}, calls: &calls, hit: func(c int) bool { return c == 2 }, value: 1e9}
+	tr := newTestTrainer(t, net, data, strat, cfg)
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Divergences != 1 {
+		t.Fatalf("Divergences = %d, want 1", ep.Divergences)
+	}
+	log := tr.DivergenceLog()
+	if len(log) != 1 || !strings.Contains(log[0].Reason, "exceeds") {
+		t.Fatalf("want one explosion event, got %+v", log)
+	}
+	requireFinite(t, net)
+}
+
+func TestDivergenceGuardExhaustsRetries(t *testing.T) {
+	cfg := guardCfg()
+	cfg.GuardRetries = 2
+
+	net, data, _, _ := tinySetup(t, cfg.T)
+	calls := 0
+	nan := float32(math.NaN())
+	strat := poisonStrategy{inner: BPTT{}, calls: &calls, hit: func(int) bool { return true }, value: nan}
+	tr := newTestTrainer(t, net, data, strat, cfg)
+	_, err := tr.TrainEpoch()
+	if err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("want retry-exhaustion error, got: %v", err)
+	}
+	if got := len(tr.DivergenceLog()); got != 2 {
+		t.Fatalf("consumed %d retries, want 2", got)
+	}
+}
+
+// With the guard disabled the seed behaviour is untouched: the poisoned step
+// flows through without rollback or error.
+func TestDivergenceGuardDisabled(t *testing.T) {
+	cfg := guardCfg()
+	cfg.GuardRetries = 0
+
+	net, data, _, _ := tinySetup(t, cfg.T)
+	calls := 0
+	nan := float32(math.NaN())
+	strat := poisonStrategy{inner: BPTT{}, calls: &calls, hit: func(c int) bool { return c == 1 }, value: nan}
+	tr := newTestTrainer(t, net, data, strat, cfg)
+	ep, err := tr.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Divergences != 0 || len(tr.DivergenceLog()) != 0 {
+		t.Fatal("disabled guard must not record events")
+	}
+}
+
+// OnSnapshot fires on the configured cadence with cursors that name the next
+// unit of work, ending with the next-epoch cursor.
+func TestSnapshotCursorCadence(t *testing.T) {
+	cfg := guardCfg()
+	cfg.SnapshotEvery = 2
+	var cursors []Cursor
+	cfg.OnSnapshot = func(cur Cursor, partial EpochStats) error {
+		cursors = append(cursors, cur)
+		return nil
+	}
+
+	net, data, _, _ := tinySetup(t, cfg.T)
+	tr := newTestTrainer(t, net, data, BPTT{}, cfg)
+	if _, err := tr.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Cursor{
+		{NextEpoch: 1, NextBatch: 0, Iteration: 0},
+		{NextEpoch: 1, NextBatch: 2, Iteration: 2},
+		{NextEpoch: 2, NextBatch: 0, Iteration: 4},
+	}
+	if len(cursors) != len(want) {
+		t.Fatalf("got %d snapshots %+v, want %d", len(cursors), cursors, len(want))
+	}
+	for i := range want {
+		if cursors[i] != want[i] {
+			t.Fatalf("snapshot %d cursor = %+v, want %+v", i, cursors[i], want[i])
+		}
+	}
+}

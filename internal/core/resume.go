@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"skipper/internal/opt"
+	"skipper/internal/tensor"
+)
+
+// Cursor names the next unit of work a training run would perform, the
+// coordinate a durable manifest stores: after restoring state and calling
+// SetCursor, ResumeEpoch(NextBatch, partial) continues the run exactly where
+// the snapshot left it.
+type Cursor struct {
+	// NextEpoch is the 1-based epoch the next batch belongs to.
+	NextEpoch int `json:"next_epoch"`
+	// NextBatch is the index of the next batch within that epoch's
+	// deterministic shuffled batch sequence (0 = epoch start).
+	NextBatch int `json:"next_batch"`
+	// Iteration is the trainer's optimizer-step counter at the snapshot,
+	// the sole input (besides Seed) to every per-step RNG stream.
+	Iteration int `json:"iteration"`
+}
+
+// DivergenceEvent records one divergence-guard trip: what blew up, where,
+// and the LR scale in force after the halving.
+type DivergenceEvent struct {
+	Epoch    int     `json:"epoch"`
+	Batch    int     `json:"batch"`
+	Loss     float64 `json:"loss"`
+	GradNorm float64 `json:"grad_norm"`
+	LRScale  float32 `json:"lr_scale"`
+	Reason   string  `json:"reason"`
+}
+
+// goodState is the in-memory rollback point: a deep copy of everything a
+// poisoned optimizer step mutates, plus the loop coordinates to replay from.
+type goodState struct {
+	weights   []tensor.Named
+	buffers   []tensor.Named
+	optState  []tensor.Named
+	optStep   int
+	iteration int
+	batch     int
+	ep        EpochStats
+}
+
+// namedParams exposes the network weights as aliased named tensors.
+func (tr *Trainer) namedParams() []tensor.Named {
+	ps := tr.Net.Params()
+	out := make([]tensor.Named, len(ps))
+	for i, p := range ps {
+		out[i] = tensor.Named{Name: p.Name, T: p.W}
+	}
+	return out
+}
+
+// cloneNamed deep-copies a named tensor set.
+func cloneNamed(src []tensor.Named) []tensor.Named {
+	out := make([]tensor.Named, len(src))
+	for i, s := range src {
+		out[i] = tensor.Named{Name: s.Name, T: s.T.Clone()}
+	}
+	return out
+}
+
+// captureGood snapshots the mutable training state at a batch boundary.
+func (tr *Trainer) captureGood(batch int, ep EpochStats) *goodState {
+	return &goodState{
+		weights:   cloneNamed(tr.namedParams()),
+		buffers:   cloneNamed(tr.Net.Buffers()),
+		optState:  cloneNamed(tr.Opt.StateTensors()),
+		optStep:   tr.Opt.StepCount(),
+		iteration: tr.iteration,
+		batch:     batch,
+		ep:        ep,
+	}
+}
+
+// restoreGood copies a good state back into the live network and optimizer.
+func (tr *Trainer) restoreGood(g *goodState) error {
+	if err := tensor.CopyNamed(tr.namedParams(), g.weights); err != nil {
+		return fmt.Errorf("core: rollback weights: %w", err)
+	}
+	if err := tensor.CopyNamed(tr.Net.Buffers(), g.buffers); err != nil {
+		return fmt.Errorf("core: rollback buffers: %w", err)
+	}
+	if err := tensor.CopyNamed(tr.Opt.StateTensors(), g.optState); err != nil {
+		return fmt.Errorf("core: rollback optimizer state: %w", err)
+	}
+	tr.Opt.SetStepCount(g.optStep)
+	tr.iteration = g.iteration
+	return nil
+}
+
+// markGood records a restorable good state at a batch boundary and fires the
+// durability hook. The in-memory copy is only kept when the guard is armed.
+func (tr *Trainer) markGood(batch int, ep EpochStats) error {
+	if tr.Cfg.GuardRetries > 0 {
+		tr.lastGood = tr.captureGood(batch, ep)
+	}
+	return tr.notifySnapshot(Cursor{NextEpoch: tr.epoch, NextBatch: batch, Iteration: tr.iteration}, ep)
+}
+
+// markEpochDone fires the durability hook with the cursor pointing at the
+// next epoch's start. No in-memory capture is needed: the next epoch's loop
+// marks its own good state before any batch runs.
+func (tr *Trainer) markEpochDone(ep EpochStats) error {
+	return tr.notifySnapshot(Cursor{NextEpoch: tr.epoch + 1, NextBatch: 0, Iteration: tr.iteration}, ep)
+}
+
+func (tr *Trainer) notifySnapshot(cur Cursor, ep EpochStats) error {
+	if tr.Cfg.OnSnapshot == nil {
+		return nil
+	}
+	if err := tr.Cfg.OnSnapshot(cur, ep); err != nil {
+		return fmt.Errorf("core: snapshot at epoch %d batch %d: %w", cur.NextEpoch, cur.NextBatch, err)
+	}
+	return nil
+}
+
+// guardTrip reports why the last step diverged, or "" if it is healthy.
+func (tr *Trainer) guardTrip(st StepStats) string {
+	if tr.Cfg.GuardRetries <= 0 {
+		return ""
+	}
+	if math.IsNaN(st.Loss) || math.IsInf(st.Loss, 0) {
+		return "non-finite loss"
+	}
+	if math.IsNaN(st.GradNorm) || math.IsInf(st.GradNorm, 0) {
+		return "non-finite gradient norm"
+	}
+	if th := tr.Cfg.GuardGradNorm; th > 0 && st.GradNorm > float64(th) {
+		return fmt.Sprintf("gradient norm %.3g exceeds %.3g", st.GradNorm, th)
+	}
+	return ""
+}
+
+// divergenceRollback undoes the poisoned step by restoring the last good
+// state, halves the effective learning rate, and returns the batch index and
+// partial aggregate to replay from. The retry budget is per-run.
+func (tr *Trainer) divergenceRollback(batch int, st StepStats, reason string) (int, EpochStats, error) {
+	if len(tr.divLog) >= tr.Cfg.GuardRetries {
+		return 0, EpochStats{}, fmt.Errorf("core: divergence guard exhausted %d retries (%s at epoch %d batch %d)",
+			tr.Cfg.GuardRetries, reason, tr.epoch, batch)
+	}
+	g := tr.lastGood
+	if g == nil {
+		return 0, EpochStats{}, fmt.Errorf("core: divergence at epoch %d batch %d with no good state to roll back to",
+			tr.epoch, batch)
+	}
+	if err := tr.restoreGood(g); err != nil {
+		return 0, EpochStats{}, err
+	}
+	tr.lrScale /= 2
+	if err := tr.applyEpochLR(); err != nil {
+		return 0, EpochStats{}, err
+	}
+	tr.divLog = append(tr.divLog, DivergenceEvent{
+		Epoch: tr.epoch, Batch: batch,
+		Loss: st.Loss, GradNorm: st.GradNorm,
+		LRScale: tr.lrScale, Reason: reason,
+	})
+	return g.batch, g.ep, nil
+}
+
+// applyEpochLR installs the effective learning rate — the scheduled (or
+// configured) base times the guard's cumulative scale. It deliberately never
+// touches the optimizer when there is nothing to change, preserving the seed
+// behaviour of schedule-free runs.
+func (tr *Trainer) applyEpochLR() error {
+	if tr.Cfg.Schedule == nil && tr.lrScale == 1 {
+		return nil
+	}
+	base := tr.Cfg.LR
+	if tr.Cfg.Schedule != nil {
+		base = tr.Cfg.Schedule.LR(tr.epoch)
+	}
+	rs, ok := tr.Opt.(opt.RateSetter)
+	if !ok {
+		return fmt.Errorf("core: optimizer %s does not support learning-rate changes", tr.Opt.Name())
+	}
+	rs.SetLR(base * tr.lrScale)
+	return nil
+}
+
+// CursorAt returns the cursor a resumed run should continue from if it were
+// restored right now, assuming the current epoch completed (the epoch-done
+// cursor). Mid-epoch cursors are delivered through Cfg.OnSnapshot instead,
+// because only the epoch loop knows the batch index.
+func (tr *Trainer) CursorAt() Cursor {
+	return Cursor{NextEpoch: tr.epoch + 1, NextBatch: 0, Iteration: tr.iteration}
+}
+
+// SetCursor positions the trainer so the next TrainEpoch or ResumeEpoch call
+// continues exactly where cur points: the epoch counter is rewound by one
+// because both entry points pre-increment it.
+func (tr *Trainer) SetCursor(cur Cursor) {
+	tr.epoch = cur.NextEpoch - 1
+	tr.iteration = cur.Iteration
+}
+
+// Epoch reports the 1-based index of the last epoch entered (0 before any).
+func (tr *Trainer) Epoch() int { return tr.epoch }
+
+// Iteration reports the optimizer-step counter.
+func (tr *Trainer) Iteration() int { return tr.iteration }
+
+// LRScale reports the divergence guard's cumulative learning-rate scale.
+func (tr *Trainer) LRScale() float32 { return tr.lrScale }
+
+// SetLRScale restores the guard's learning-rate scale on resume.
+func (tr *Trainer) SetLRScale(s float32) {
+	if s <= 0 {
+		s = 1
+	}
+	tr.lrScale = s
+}
+
+// DivergenceLog returns a copy of the guard's event log.
+func (tr *Trainer) DivergenceLog() []DivergenceEvent {
+	out := make([]DivergenceEvent, len(tr.divLog))
+	copy(out, tr.divLog)
+	return out
+}
+
+// SetDivergenceLog restores the guard's event log (and thereby its consumed
+// retry budget) on resume.
+func (tr *Trainer) SetDivergenceLog(events []DivergenceEvent) {
+	tr.divLog = append([]DivergenceEvent(nil), events...)
+}

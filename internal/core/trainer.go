@@ -31,6 +31,11 @@ type StepStats struct {
 	ForwardTime   time.Duration
 	RecomputeTime time.Duration
 	BackwardTime  time.Duration
+
+	// GradNorm is the pre-clip global gradient L2 norm of the optimizer
+	// step (the divergence guard's explosion signal). Aggregation keeps
+	// the maximum.
+	GradNorm float64
 }
 
 // Add folds another batch's stats in.
@@ -45,6 +50,9 @@ func (s *StepStats) Add(o StepStats) {
 	s.ForwardTime += o.ForwardTime
 	s.RecomputeTime += o.RecomputeTime
 	s.BackwardTime += o.BackwardTime
+	if o.GradNorm > s.GradNorm {
+		s.GradNorm = o.GradNorm
+	}
 }
 
 // EpochStats aggregates one epoch (or a capped batch run).
@@ -52,6 +60,9 @@ type EpochStats struct {
 	StepStats
 	Batches  int
 	Duration time.Duration
+	// Divergences counts the guard events (NaN/Inf loss or gradient
+	// explosion followed by rollback + LR halving) observed this epoch.
+	Divergences int
 }
 
 // Accuracy returns the epoch's training accuracy in [0,1].
@@ -97,6 +108,15 @@ type Trainer struct {
 	iteration  int
 	epoch      int
 	closed     bool
+
+	// lrScale is the divergence guard's cumulative learning-rate reduction
+	// (1 = untouched); it survives checkpoint/resume via the manifest.
+	lrScale float32
+	// divLog records every divergence-guard event for telemetry and the
+	// run-state manifest.
+	divLog []DivergenceEvent
+	// lastGood is the in-memory rollback point the guard restores to.
+	lastGood *goodState
 }
 
 // NewTrainer wires a network, dataset, and strategy together, charging the
@@ -114,7 +134,7 @@ func NewTrainer(net *layers.Network, data dataset.Source, strat Strategy, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	tr := &Trainer{Net: net, Data: data, Strat: strat, Cfg: cfg, Opt: optimizer, Dev: cfg.Device}
+	tr := &Trainer{Net: net, Data: data, Strat: strat, Cfg: cfg, Opt: optimizer, Dev: cfg.Device, lrScale: 1}
 
 	charge := func(cat mem.Category, n int64) error {
 		if n <= 0 {
@@ -216,7 +236,7 @@ func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepSt
 		}
 		total.Loss /= float64(k)
 	}
-	opt.GradClip(tr.Net.Params(), tr.Cfg.GradClip)
+	total.GradNorm = float64(opt.GradClip(tr.Net.Params(), tr.Cfg.GradClip))
 	tr.Opt.Step()
 	return total, nil
 }
@@ -225,27 +245,69 @@ func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepSt
 // capped at Cfg.MaxBatchesPerEpoch batches) and returns the aggregate stats.
 func (tr *Trainer) TrainEpoch() (EpochStats, error) {
 	tr.epoch++
-	if tr.Cfg.Schedule != nil {
-		if err := opt.ApplySchedule(tr.Opt, tr.Cfg.Schedule, tr.epoch); err != nil {
-			return EpochStats{}, err
-		}
+	return tr.trainEpochFrom(0, EpochStats{})
+}
+
+// ResumeEpoch continues an interrupted epoch from a batch cursor with the
+// partial aggregate restored — the crash-resume entry point. The trainer
+// must be positioned with SetCursor first; ResumeEpoch advances into the
+// epoch the cursor names, exactly as TrainEpoch would have.
+func (tr *Trainer) ResumeEpoch(startBatch int, partial EpochStats) (EpochStats, error) {
+	tr.epoch++
+	return tr.trainEpochFrom(startBatch, partial)
+}
+
+// trainEpochFrom is the guarded epoch loop shared by TrainEpoch and
+// ResumeEpoch: it walks the deterministic batch sequence from startBatch,
+// marks restorable good states on the snapshot cadence, and rolls back on
+// divergence.
+func (tr *Trainer) trainEpochFrom(startBatch int, partial EpochStats) (EpochStats, error) {
+	if err := tr.applyEpochLR(); err != nil {
+		return EpochStats{}, err
 	}
 	idx := dataset.Indices(tr.Data, dataset.Train, tr.Cfg.Seed, tr.epoch, true)
 	batches := dataset.Batches(idx, tr.Cfg.Batch)
 	if tr.Cfg.MaxBatchesPerEpoch > 0 && len(batches) > tr.Cfg.MaxBatchesPerEpoch {
 		batches = batches[:tr.Cfg.MaxBatchesPerEpoch]
 	}
-	var ep EpochStats
+	if startBatch < 0 || startBatch > len(batches) {
+		return EpochStats{}, fmt.Errorf("core: resume batch %d outside epoch of %d batches", startBatch, len(batches))
+	}
+	ep := partial
 	start := time.Now()
-	for _, b := range batches {
-		st, err := tr.TrainBatchIndices(dataset.Train, b)
+	if err := tr.markGood(startBatch, ep); err != nil {
+		return ep, err
+	}
+	for i := startBatch; i < len(batches); {
+		st, err := tr.TrainBatchIndices(dataset.Train, batches[i])
 		if err != nil {
 			return ep, err
 		}
+		if reason := tr.guardTrip(st); reason != "" {
+			back, restored, rerr := tr.divergenceRollback(i, st, reason)
+			if rerr != nil {
+				return ep, rerr
+			}
+			// The rollback resets the aggregate to the good state's, but
+			// the event itself must stay visible in the epoch's stats.
+			restored.Divergences = ep.Divergences + 1
+			i, ep = back, restored
+			continue
+		}
 		ep.StepStats.Add(st)
 		ep.Batches++
+		i++
+		if k := tr.Cfg.SnapshotEvery; k > 0 && i < len(batches) && i%k == 0 {
+			if err := tr.markGood(i, ep); err != nil {
+				return ep, err
+			}
+		}
 	}
-	ep.Duration = time.Since(start)
+	ep.Duration += time.Since(start)
+	// The epoch-boundary mark: a resumed run restarts at the next epoch.
+	if err := tr.markEpochDone(ep); err != nil {
+		return ep, err
+	}
 	if tr.Cfg.Metrics != nil {
 		if err := tr.emitMetrics(ep); err != nil {
 			return ep, err
@@ -270,6 +332,8 @@ type epochMetrics struct {
 	DurationMs      int64   `json:"duration_ms"`
 	PeakReserved    int64   `json:"peak_reserved_bytes"`
 	PeakActivations int64   `json:"peak_activation_bytes"`
+	Divergences     int     `json:"divergences"`
+	LRScale         float64 `json:"lr_scale"`
 }
 
 // emitMetrics writes one JSON line describing the epoch to Cfg.Metrics.
@@ -289,6 +353,8 @@ func (tr *Trainer) emitMetrics(ep EpochStats) error {
 		DurationMs:      ep.Duration.Milliseconds(),
 		PeakReserved:    tr.Dev.PeakReserved(),
 		PeakActivations: tr.Dev.PeakBy(mem.Activations),
+		Divergences:     ep.Divergences,
+		LRScale:         float64(tr.lrScale),
 	}
 	enc := json.NewEncoder(tr.Cfg.Metrics)
 	if err := enc.Encode(m); err != nil {

@@ -1,0 +1,283 @@
+// Package faults provides the injectable filesystem and clock seams the
+// durability layer (internal/runstate) is written against, plus
+// fault-injecting implementations used to prove crash safety without real
+// crashes: an error-after-N-bytes writer, rename failure, sync failure, and
+// short reads. A snapshot path that survives the Injector at every byte
+// boundary survives a SIGKILL at the matching instant, because the visible
+// on-disk states are the same.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+)
+
+// File is the subset of *os.File the durability layer needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's bytes to stable storage.
+	Sync() error
+}
+
+// FS abstracts the filesystem operations a durable snapshot performs, in
+// the order the crash-safety argument depends on: create temp, write, sync,
+// close, rename over the target, sync the directory.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory so a completed rename survives power loss.
+	SyncDir(dir string) error
+}
+
+// Clock abstracts time for snapshot stamps and backoff, so tests can run
+// fault scenarios without wall-clock sleeps.
+type Clock interface {
+	Now() time.Time
+}
+
+// OS is the passthrough FS used outside tests.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Rename(o, n string) error         { return os.Rename(o, n) }
+func (osFS) Remove(name string) error         { return os.Remove(name) }
+func (osFS) MkdirAll(p string, m fs.FileMode) error {
+	return os.MkdirAll(p, m)
+}
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Advisory on some filesystems; the rename is already visible.
+	_ = d.Sync()
+	return d.Close()
+}
+
+// Wall is the real clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Fixed returns a clock frozen at t.
+func Fixed(t time.Time) Clock { return fixedClock{t} }
+
+type fixedClock struct{ t time.Time }
+
+func (c fixedClock) Now() time.Time { return c.t }
+
+// ErrInjected is the error every injected fault surfaces as, so tests can
+// tell deliberate faults from real bugs.
+var ErrInjected = fmt.Errorf("faults: injected fault")
+
+// Injector wraps a base FS with a programmable fault plan. All knobs are
+// safe for concurrent use. The zero budget values mean "no fault".
+type Injector struct {
+	Base FS
+
+	mu          sync.Mutex
+	writeBudget int64 // bytes writable before writes fail (-1 = unlimited)
+	readBudget  int64 // bytes readable before reads fail (-1 = unlimited)
+	failRename  bool
+	failSync    bool
+	failCreate  bool
+	writes      int64
+	reads       int64
+}
+
+// NewInjector returns a fault-free injector over base (OS when nil).
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS
+	}
+	return &Injector{Base: base, writeBudget: -1, readBudget: -1}
+}
+
+// FailWritesAfter makes every write past the first n bytes (cumulative
+// across files) fail with ErrInjected — the moment the process "died".
+// A partial write up to the budget is performed first, exactly like a
+// crash mid-write leaves a prefix on disk.
+func (i *Injector) FailWritesAfter(n int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.writeBudget, i.writes = n, 0
+}
+
+// ShortReadsAfter makes reads past the first n cumulative bytes fail with
+// ErrInjected, modelling a torn read of a file being replaced.
+func (i *Injector) ShortReadsAfter(n int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.readBudget, i.reads = n, 0
+}
+
+// FailRename toggles rename failure.
+func (i *Injector) FailRename(on bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.failRename = on
+}
+
+// FailSync toggles file-sync and directory-sync failure.
+func (i *Injector) FailSync(on bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.failSync = on
+}
+
+// FailCreate toggles creation failure (disk full at open time).
+func (i *Injector) FailCreate(on bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.failCreate = on
+}
+
+// Reset clears the fault plan and counters.
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.writeBudget, i.readBudget = -1, -1
+	i.failRename, i.failSync, i.failCreate = false, false, false
+	i.writes, i.reads = 0, 0
+}
+
+// BytesWritten reports the cumulative bytes written since the last budget
+// reset (used by byte-boundary sweeps to size their loop).
+func (i *Injector) BytesWritten() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.writes
+}
+
+// Create implements FS.
+func (i *Injector) Create(name string) (File, error) {
+	i.mu.Lock()
+	fail := i.failCreate
+	i.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+	}
+	f, err := i.Base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, name: name}, nil
+}
+
+// Open implements FS.
+func (i *Injector) Open(name string) (File, error) {
+	f, err := i.Base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, name: name}, nil
+}
+
+// Rename implements FS.
+func (i *Injector) Rename(o, n string) error {
+	i.mu.Lock()
+	fail := i.failRename
+	i.mu.Unlock()
+	if fail {
+		return fmt.Errorf("rename %s: %w", o, ErrInjected)
+	}
+	return i.Base.Rename(o, n)
+}
+
+// Remove implements FS.
+func (i *Injector) Remove(name string) error { return i.Base.Remove(name) }
+
+// MkdirAll implements FS.
+func (i *Injector) MkdirAll(p string, m fs.FileMode) error { return i.Base.MkdirAll(p, m) }
+
+// Stat implements FS.
+func (i *Injector) Stat(name string) (fs.FileInfo, error) { return i.Base.Stat(name) }
+
+// SyncDir implements FS.
+func (i *Injector) SyncDir(dir string) error {
+	i.mu.Lock()
+	fail := i.failSync
+	i.mu.Unlock()
+	if fail {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	return i.Base.SyncDir(dir)
+}
+
+// injFile applies the injector's byte budgets to one open file.
+type injFile struct {
+	inj  *Injector
+	f    File
+	name string
+}
+
+// allowance reserves up to len bytes against a budget and reports how many
+// may proceed; faulted is true when the budget cuts the operation short.
+func allowance(budget, used, length int64) (allow int64, faulted bool) {
+	if budget < 0 || used+length <= budget {
+		return length, false
+	}
+	allow = budget - used
+	if allow < 0 {
+		allow = 0
+	}
+	return allow, true
+}
+
+func (w *injFile) Write(p []byte) (int, error) {
+	w.inj.mu.Lock()
+	allow, faulted := allowance(w.inj.writeBudget, w.inj.writes, int64(len(p)))
+	w.inj.mu.Unlock()
+	// A crash mid-write leaves a prefix on disk: perform the partial write,
+	// then surface the fault.
+	n, err := w.f.Write(p[:allow])
+	w.inj.mu.Lock()
+	w.inj.writes += int64(n)
+	w.inj.mu.Unlock()
+	if faulted {
+		return n, fmt.Errorf("write %s: %w", w.name, ErrInjected)
+	}
+	return n, err
+}
+
+func (w *injFile) Read(p []byte) (int, error) {
+	w.inj.mu.Lock()
+	allow, faulted := allowance(w.inj.readBudget, w.inj.reads, int64(len(p)))
+	w.inj.mu.Unlock()
+	n, err := w.f.Read(p[:allow])
+	w.inj.mu.Lock()
+	w.inj.reads += int64(n)
+	w.inj.mu.Unlock()
+	if faulted {
+		return n, fmt.Errorf("read %s: %w", w.name, ErrInjected)
+	}
+	return n, err
+}
+
+func (w *injFile) Sync() error {
+	w.inj.mu.Lock()
+	fail := w.inj.failSync
+	w.inj.mu.Unlock()
+	if fail {
+		return fmt.Errorf("sync %s: %w", w.name, ErrInjected)
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Close() error { return w.f.Close() }

@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "f.txt")
+	if err := OS.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, "sub", "g.txt")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(filepath.Dir(moved)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OS.Open(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	r.Close()
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if _, err := OS.Stat(moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(moved); !os.IsNotExist(err) {
+		t.Fatal("file should be gone")
+	}
+}
+
+func TestInjectorWriteBudget(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+	inj.FailWritesAfter(3)
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("partial write of %d bytes, want 3 (the crash leaves a prefix)", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("on-disk prefix %q, %v", got, err)
+	}
+	if inj.BytesWritten() != 3 {
+		t.Fatalf("BytesWritten = %d", inj.BytesWritten())
+	}
+	// Budget is cumulative: the next write fails immediately.
+	f2, err := inj.Create(filepath.Join(dir, "g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected on exhausted budget, got %v", err)
+	}
+	f2.Close()
+	// Reset clears the plan.
+	inj.Reset()
+	f3, err := inj.Create(filepath.Join(dir, "h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f3.Write([]byte("unbounded again")); err != nil {
+		t.Fatal(err)
+	}
+	f3.Close()
+}
+
+func TestInjectorShortRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(nil)
+	inj.ShortReadsAfter(4)
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 10)
+	n, err := f.Read(buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 4 || string(buf[:n]) != "0123" {
+		t.Fatalf("short read gave %q", buf[:n])
+	}
+}
+
+func TestInjectorRenameSyncCreate(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+
+	inj.FailRename(true)
+	if err := inj.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want rename fault, got %v", err)
+	}
+	inj.FailRename(false)
+
+	inj.FailSync(true)
+	f, err := inj.Create(filepath.Join(dir, "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want sync fault, got %v", err)
+	}
+	f.Close()
+	if err := inj.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want syncdir fault, got %v", err)
+	}
+	inj.FailSync(false)
+
+	inj.FailCreate(true)
+	if _, err := inj.Create(filepath.Join(dir, "d")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want create fault, got %v", err)
+	}
+}
+
+func TestClocks(t *testing.T) {
+	if d := time.Since(Wall.Now()); d < -time.Minute || d > time.Minute {
+		t.Fatalf("wall clock is off by %v", d)
+	}
+	ref := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if got := Fixed(ref).Now(); !got.Equal(ref) {
+		t.Fatalf("fixed clock = %v", got)
+	}
+}

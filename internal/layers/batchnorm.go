@@ -221,3 +221,12 @@ type RecomputeAware interface {
 func (l *TemporalBatchNorm) RunningMean() []float32 {
 	return append([]float32(nil), l.runMean.Data...)
 }
+
+// Buffers implements BufferedLayer: the running statistics are persistent
+// non-trainable state that a checkpoint/resume cycle must carry.
+func (l *TemporalBatchNorm) Buffers() []tensor.Named {
+	return []tensor.Named{
+		{Name: l.Label + ".running_mean", T: l.runMean},
+		{Name: l.Label + ".running_var", T: l.runVar},
+	}
+}

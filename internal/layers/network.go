@@ -85,6 +85,25 @@ func (n *Network) ZeroGrads() {
 	}
 }
 
+// BufferedLayer is implemented by layers holding persistent non-trainable
+// buffers (batch-norm running statistics) that are not part of Params but
+// must survive a checkpoint/resume cycle.
+type BufferedLayer interface {
+	// Buffers returns the live buffers (aliased, not copied).
+	Buffers() []tensor.Named
+}
+
+// Buffers returns all persistent non-trainable tensors in layer order.
+func (n *Network) Buffers() []tensor.Named {
+	var bs []tensor.Named
+	for _, l := range n.Layers {
+		if bl, ok := l.(BufferedLayer); ok {
+			bs = append(bs, bl.Buffers()...)
+		}
+	}
+	return bs
+}
+
 // StatefulCount returns L_n: the number of membrane-carrying layers
 // (residual blocks count their two LIF stages). This is the L_n in the
 // paper's T/C > L_n constraint and Eq. 7.

@@ -20,6 +20,14 @@ type Optimizer interface {
 	StateBytes() int64
 	// Name identifies the optimizer.
 	Name() string
+	// StateTensors exposes the persistent state buffers (aliased, not
+	// copied) so a checkpoint layer can capture and restore them.
+	StateTensors() []tensor.Named
+	// StepCount reports how many Step calls have been applied (the Adam
+	// bias-correction counter; 0 for stateless-in-time optimizers).
+	StepCount() int
+	// SetStepCount restores the step counter on resume.
+	SetStepCount(n int)
 }
 
 // Adam is the Adam optimizer (Kingma & Ba) over a parameter set.
@@ -81,6 +89,28 @@ func (a *Adam) StateBytes() int64 {
 	return b
 }
 
+// StateTensors implements Optimizer: the first and second moment buffers,
+// named after their parameters.
+func (a *Adam) StateTensors() []tensor.Named {
+	ts := make([]tensor.Named, 0, 2*len(a.params))
+	for i, p := range a.params {
+		ts = append(ts,
+			tensor.Named{Name: "adam.m." + p.Name, T: a.m[i]},
+			tensor.Named{Name: "adam.v." + p.Name, T: a.v[i]},
+		)
+	}
+	return ts
+}
+
+// StepCount implements Optimizer.
+func (a *Adam) StepCount() int { return a.step }
+
+// SetStepCount implements Optimizer.
+func (a *Adam) SetStepCount(n int) { a.step = n }
+
+// CurrentLR reports the rate the next Step will use.
+func (a *Adam) CurrentLR() float32 { return a.LR }
+
 // SGD is stochastic gradient descent with classical momentum.
 type SGD struct {
 	LR          float32
@@ -131,6 +161,28 @@ func (s *SGD) StateBytes() int64 {
 	}
 	return b
 }
+
+// StateTensors implements Optimizer: the velocity buffers (empty without
+// momentum).
+func (s *SGD) StateTensors() []tensor.Named {
+	ts := make([]tensor.Named, 0, len(s.vel))
+	for i, p := range s.params {
+		if s.vel == nil {
+			break
+		}
+		ts = append(ts, tensor.Named{Name: "sgd.vel." + p.Name, T: s.vel[i]})
+	}
+	return ts
+}
+
+// StepCount implements Optimizer: SGD has no time-dependent correction.
+func (s *SGD) StepCount() int { return 0 }
+
+// SetStepCount implements Optimizer (no-op).
+func (s *SGD) SetStepCount(int) {}
+
+// CurrentLR reports the rate the next Step will use.
+func (s *SGD) CurrentLR() float32 { return s.LR }
 
 // New constructs an optimizer by name ("adam" or "sgd").
 func New(name string, params []layers.Param, lr float32) (Optimizer, error) {

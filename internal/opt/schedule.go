@@ -86,6 +86,12 @@ type RateSetter interface {
 	SetLR(lr float32)
 }
 
+// RateReporter is implemented by optimizers whose current learning rate can
+// be read back (the divergence guard uses it to halve the rate in place).
+type RateReporter interface {
+	CurrentLR() float32
+}
+
 // SetLR implements RateSetter.
 func (a *Adam) SetLR(lr float32) { a.LR = lr }
 

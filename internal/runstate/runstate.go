@@ -1,0 +1,347 @@
+// Package runstate makes a training run durable: a single-file manifest
+// captures everything needed to resume mid-run bit-identically — network
+// weights, optimizer moments and step counter, batch-norm running buffers,
+// the epoch/batch cursor, the divergence guard's learning-rate scale and
+// event log, and the run identity (strategy, optimizer, seed).
+//
+// Bit-identical resume is possible because the trainer draws every random
+// stream from pure functions of (seed, purpose, iteration) — there is no
+// mutable generator state outside the manifest. Restoring the captured
+// tensors and the cursor therefore replays the exact computation the
+// uninterrupted run would have performed.
+//
+// The manifest is one self-describing little-endian file:
+//
+//	magic "SKPM" | version u32 |
+//	meta len u32 | meta JSON |
+//	weights len u32 | weights ("SKPW" container) |
+//	opt len u32 | optimizer state ("SKPT" container) |
+//	buffers len u32 | buffers ("SKPT" container) |
+//	crc32 (IEEE) of everything before it
+//
+// and is replaced atomically (write temp → fsync → rename → fsync dir)
+// through the faults.FS seam, so a crash at any byte boundary leaves either
+// the previous complete manifest or the new complete manifest on disk.
+package runstate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/faults"
+	"skipper/internal/serialize"
+	"skipper/internal/tensor"
+)
+
+const (
+	manifestMagic   = "SKPM"
+	manifestVersion = 1
+
+	// ManifestName is the manifest's filename inside a run directory.
+	ManifestName = "manifest.skpm"
+)
+
+// Meta is the JSON head of a manifest: the run identity and resume
+// coordinates that are cheap to inspect without decoding the tensor blobs.
+type Meta struct {
+	SavedAt   time.Time `json:"saved_at"`
+	Strategy  string    `json:"strategy"`
+	Optimizer string    `json:"optimizer"`
+	Seed      uint64    `json:"seed"`
+	OptSteps  int       `json:"opt_steps"`
+	LRScale   float32   `json:"lr_scale"`
+
+	Cursor  core.Cursor     `json:"cursor"`
+	Partial core.EpochStats `json:"partial"`
+
+	Divergences []core.DivergenceEvent `json:"divergences,omitempty"`
+}
+
+// Manifest is one durable snapshot of a training run.
+type Manifest struct {
+	Meta Meta
+
+	weights []byte // "SKPW" weight container
+	opt     []byte // "SKPT" optimizer-state container
+	buffers []byte // "SKPT" layer-buffer container
+}
+
+// Capture snapshots a trainer's full resumable state at the given cursor.
+// With cur.NextBatch == 0 the next unit of work is a fresh epoch, so the
+// stored partial aggregate is forced to zero regardless of what the
+// snapshot hook observed (the epoch-done hook reports the finished epoch's
+// stats, which must not seed the next one).
+func Capture(tr *core.Trainer, cur core.Cursor, partial core.EpochStats) (*Manifest, error) {
+	if cur.NextBatch == 0 {
+		partial = core.EpochStats{}
+	}
+	m := &Manifest{Meta: Meta{
+		Strategy:    tr.Strat.Name(),
+		Optimizer:   tr.Opt.Name(),
+		Seed:        tr.Cfg.Seed,
+		OptSteps:    tr.Opt.StepCount(),
+		LRScale:     tr.LRScale(),
+		Cursor:      cur,
+		Partial:     partial,
+		Divergences: tr.DivergenceLog(),
+	}}
+	var w, o, b bytes.Buffer
+	if err := serialize.Save(&w, tr.Net); err != nil {
+		return nil, fmt.Errorf("runstate: capturing weights: %w", err)
+	}
+	if err := serialize.SaveTensors(&o, tr.Opt.StateTensors()); err != nil {
+		return nil, fmt.Errorf("runstate: capturing optimizer state: %w", err)
+	}
+	if err := serialize.SaveTensors(&b, tr.Net.Buffers()); err != nil {
+		return nil, fmt.Errorf("runstate: capturing buffers: %w", err)
+	}
+	m.weights, m.opt, m.buffers = w.Bytes(), o.Bytes(), b.Bytes()
+	return m, nil
+}
+
+// Restore copies the manifest's state into a freshly constructed trainer,
+// which must have been built with the same model, strategy, optimizer, and
+// seed as the run that wrote the manifest. On return the trainer is
+// positioned at the manifest's cursor: continue with
+// ResumeEpoch(m.Meta.Cursor.NextBatch, m.Meta.Partial) or FitFrom.
+func (m *Manifest) Restore(tr *core.Trainer) error {
+	if got := tr.Strat.Name(); got != m.Meta.Strategy {
+		return fmt.Errorf("runstate: manifest is for strategy %q, trainer runs %q", m.Meta.Strategy, got)
+	}
+	if got := tr.Opt.Name(); got != m.Meta.Optimizer {
+		return fmt.Errorf("runstate: manifest is for optimizer %q, trainer runs %q", m.Meta.Optimizer, got)
+	}
+	if got := tr.Cfg.Seed; got != m.Meta.Seed {
+		return fmt.Errorf("runstate: manifest is for seed %d, trainer runs %d (resume would not replay the same run)", m.Meta.Seed, got)
+	}
+	if err := serialize.Load(bytes.NewReader(m.weights), tr.Net); err != nil {
+		return fmt.Errorf("runstate: restoring weights: %w", err)
+	}
+	optState, err := serialize.LoadTensors(bytes.NewReader(m.opt))
+	if err != nil {
+		return fmt.Errorf("runstate: restoring optimizer state: %w", err)
+	}
+	if err := tensor.CopyNamed(tr.Opt.StateTensors(), optState); err != nil {
+		return fmt.Errorf("runstate: restoring optimizer state: %w", err)
+	}
+	bufState, err := serialize.LoadTensors(bytes.NewReader(m.buffers))
+	if err != nil {
+		return fmt.Errorf("runstate: restoring buffers: %w", err)
+	}
+	if err := tensor.CopyNamed(tr.Net.Buffers(), bufState); err != nil {
+		return fmt.Errorf("runstate: restoring buffers: %w", err)
+	}
+	tr.Opt.SetStepCount(m.Meta.OptSteps)
+	tr.SetCursor(m.Meta.Cursor)
+	tr.SetLRScale(m.Meta.LRScale)
+	tr.SetDivergenceLog(m.Meta.Divergences)
+	return nil
+}
+
+// encode serialises the manifest with its trailing checksum.
+func (m *Manifest) encode() ([]byte, error) {
+	meta, err := json.Marshal(m.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: encoding meta: %w", err)
+	}
+	var body bytes.Buffer
+	body.WriteString(manifestMagic)
+	writeU32(&body, manifestVersion)
+	for _, section := range [][]byte{meta, m.weights, m.opt, m.buffers} {
+		writeU32(&body, uint32(len(section)))
+		body.Write(section)
+	}
+	sum := crc32.ChecksumIEEE(body.Bytes())
+	writeU32(&body, sum)
+	return body.Bytes(), nil
+}
+
+// decode parses and verifies an encoded manifest. Truncation is reported as
+// serialize.ErrTruncated so callers can classify it as a crash signature.
+func decode(raw []byte) (*Manifest, error) {
+	if len(raw) < len(manifestMagic)+4+4*4+4 {
+		return nil, fmt.Errorf("%w (manifest, %d bytes)", serialize.ErrTruncated, len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("runstate: manifest checksum mismatch (file corrupt)")
+	}
+	br := bytes.NewReader(body)
+	head := make([]byte, len(manifestMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("runstate: reading magic: %w", err)
+	}
+	if string(head) != manifestMagic {
+		return nil, fmt.Errorf("runstate: bad magic %q (not a run-state manifest)", head)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != manifestVersion {
+		return nil, fmt.Errorf("runstate: unsupported manifest version %d", ver)
+	}
+	sections := make([][]byte, 4)
+	for i := range sections {
+		n, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > br.Len() {
+			return nil, fmt.Errorf("%w (section %d of %d bytes exceeds remaining %d)",
+				serialize.ErrTruncated, i, n, br.Len())
+		}
+		sections[i] = make([]byte, n)
+		if _, err := io.ReadFull(br, sections[i]); err != nil {
+			return nil, fmt.Errorf("runstate: reading section %d: %w", i, err)
+		}
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("runstate: %d trailing bytes after last section", br.Len())
+	}
+	m := &Manifest{weights: sections[1], opt: sections[2], buffers: sections[3]}
+	if err := json.Unmarshal(sections[0], &m.Meta); err != nil {
+		return nil, fmt.Errorf("runstate: decoding meta: %w", err)
+	}
+	return m, nil
+}
+
+// Store durably persists manifests in a run directory, one atomic file.
+type Store struct {
+	Dir   string
+	FS    faults.FS
+	Clock faults.Clock
+}
+
+// Open creates (if needed) a run directory and returns its store. A nil fs
+// or clock selects the real filesystem and wall clock.
+func Open(dir string, fsys faults.FS, clock faults.Clock) (*Store, error) {
+	if fsys == nil {
+		fsys = faults.OS
+	}
+	if clock == nil {
+		clock = faults.Wall
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstate: creating run dir: %w", err)
+	}
+	return &Store{Dir: dir, FS: fsys, Clock: clock}, nil
+}
+
+// Path returns the manifest's location.
+func (s *Store) Path() string { return filepath.Join(s.Dir, ManifestName) }
+
+// Exists reports whether a manifest is present (i.e. the run can resume).
+func (s *Store) Exists() bool {
+	_, err := s.FS.Stat(s.Path())
+	return err == nil
+}
+
+// Save stamps and atomically persists a manifest, replacing any previous
+// one. A crash at any point leaves the previous complete manifest intact.
+func (s *Store) Save(m *Manifest) error {
+	m.Meta.SavedAt = s.Clock.Now().UTC()
+	data, err := m.encode()
+	if err != nil {
+		return err
+	}
+	return writeAtomic(s.FS, s.Path(), data)
+}
+
+// Load reads and verifies the current manifest.
+func (s *Store) Load() (*Manifest, error) {
+	f, err := s.FS.Open(s.Path())
+	if err != nil {
+		return nil, fmt.Errorf("runstate: opening manifest: %w", err)
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: reading manifest: %w", err)
+	}
+	return decode(raw)
+}
+
+// writeAtomic is serialize.WriteFileAtomic routed through the FS seam:
+// write temp → fsync → close → rename over target → fsync dir. The temp
+// file is removed on error, best-effort (a real crash would leave it, which
+// is harmless — Load never looks at it).
+func writeAtomic(fsys faults.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("runstate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("runstate: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("runstate: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("runstate: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	return nil
+}
+
+// Attach installs durable snapshotting on a trainer: every good-state mark
+// (epoch boundaries, plus every Cfg.SnapshotEvery batches) is captured and
+// atomically persisted to the store before training continues.
+func Attach(tr *core.Trainer, s *Store) {
+	tr.Cfg.OnSnapshot = func(cur core.Cursor, partial core.EpochStats) error {
+		m, err := Capture(tr, cur, partial)
+		if err != nil {
+			return err
+		}
+		return s.Save(m)
+	}
+}
+
+// Resume restores the store's manifest into a freshly built trainer and
+// returns the cursor and partial aggregate to continue from:
+//
+//	cur, partial, err := runstate.Resume(tr, store)
+//	ep, err := tr.ResumeEpoch(cur.NextBatch, partial) // first epoch back
+func Resume(tr *core.Trainer, s *Store) (core.Cursor, core.EpochStats, error) {
+	m, err := s.Load()
+	if err != nil {
+		return core.Cursor{}, core.EpochStats{}, err
+	}
+	if err := m.Restore(tr); err != nil {
+		return core.Cursor{}, core.EpochStats{}, err
+	}
+	return m.Meta.Cursor, m.Meta.Partial, nil
+}
+
+func writeU32(w *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:])
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("runstate: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}

@@ -17,19 +17,33 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"skipper/internal/layers"
+	"skipper/internal/tensor"
 )
 
 const (
 	magic   = "SKPW"
 	version = 1
+
+	// tensorMagic heads the generic named-tensor container written by
+	// SaveTensors (optimizer state, batch-norm buffers, ...).
+	tensorMagic = "SKPT"
 )
+
+// ErrTruncated reports a file that ends before its container structure
+// completes — the signature of a crash mid-write or of reading a checkpoint
+// while it is being replaced. Callers that hot-reload can treat it as
+// transient and retry; a checksum mismatch, by contrast, is permanent
+// corruption.
+var ErrTruncated = errors.New("serialize: truncated file")
 
 // Save writes all trainable parameters of net to w, ending with a CRC-32 of
 // the preceding bytes.
@@ -80,7 +94,7 @@ func Load(r io.Reader, net *layers.Network) error {
 		return fmt.Errorf("serialize: %w", err)
 	}
 	if len(raw) < len(magic)+12 {
-		return fmt.Errorf("serialize: file too short (%d bytes)", len(raw))
+		return fmt.Errorf("%w (%d bytes)", ErrTruncated, len(raw))
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
@@ -164,17 +178,36 @@ func Load(r io.Reader, net *layers.Network) error {
 	return nil
 }
 
-// SaveFile writes net's weights to path atomically (write + rename).
+// SaveFile writes net's weights to path atomically: the bytes land in a
+// temp file that is fsynced before an atomic rename, and the directory is
+// fsynced after, so a crash at any instant leaves either the old complete
+// file or the new complete file — never a torn or missing one.
 func SaveFile(path string, net *layers.Network) error {
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, buf.Bytes())
+}
+
+// WriteFileAtomic durably replaces path with data using the
+// write-temp → fsync → rename → fsync-dir sequence. It is the single
+// crash-safety primitive every checkpoint writer in the repo goes through.
+func WriteFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("serialize: %w", err)
 	}
-	if err := Save(f, net); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return fmt.Errorf("serialize: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serialize: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -182,6 +215,21 @@ func SaveFile(path string, net *layers.Network) error {
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return fmt.Errorf("serialize: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	// Directory fsync is advisory on some filesystems; a failure there
+	// still leaves the rename visible, so only report close errors.
+	_ = d.Sync()
+	if err := d.Close(); err != nil {
 		return fmt.Errorf("serialize: %w", err)
 	}
 	return nil
@@ -211,6 +259,136 @@ func LoadFile(path string, net *layers.Network) error {
 	}
 	defer f.Close()
 	return Load(f, net)
+}
+
+// SaveTensors writes named tensors to w in the same self-describing
+// container format as Save, under the "SKPT" magic:
+//
+//	magic "SKPT" | version u32 | tensor count u32 |
+//	repeat: name len u32 | name bytes | rank u32 | dims u32... | f32 data |
+//	crc32 (IEEE) of everything before it
+//
+// It generalises the weight container to arbitrary persistent float32 state
+// (optimizer moments, batch-norm running statistics) for the run-state
+// manifest.
+func SaveTensors(w io.Writer, ts []tensor.Named) error {
+	var body bytes.Buffer
+	bw := bufio.NewWriter(&body)
+	if _, err := bw.WriteString(tensorMagic); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	writeU32(bw, version)
+	writeU32(bw, uint32(len(ts)))
+	for _, nt := range ts {
+		writeU32(bw, uint32(len(nt.Name)))
+		if _, err := bw.WriteString(nt.Name); err != nil {
+			return fmt.Errorf("serialize: %w", err)
+		}
+		shape := nt.T.Shape()
+		writeU32(bw, uint32(len(shape)))
+		for _, d := range shape {
+			writeU32(bw, uint32(d))
+		}
+		for _, v := range nt.T.Data {
+			writeU32(bw, math.Float32bits(v))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	sum := crc32.ChecksumIEEE(body.Bytes())
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	return nil
+}
+
+// LoadTensors reads a SaveTensors container from r, verifying the trailing
+// checksum, and returns freshly allocated tensors. The caller matches them
+// against live state by name (see tensor.CopyNamed).
+func LoadTensors(r io.Reader) ([]tensor.Named, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: %w", err)
+	}
+	if len(raw) < len(tensorMagic)+12 {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrTruncated, len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("serialize: checksum mismatch (state corrupt)")
+	}
+	br := bytes.NewReader(body)
+	head := make([]byte, len(tensorMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("serialize: reading magic: %w", err)
+	}
+	if string(head) != tensorMagic {
+		return nil, fmt.Errorf("serialize: bad magic %q (not a skipper state section)", head)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("serialize: unsupported state version %d", ver)
+	}
+	count, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tensor.Named, 0, count)
+	for i := 0; i < int(count); i++ {
+		nameLen, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("serialize: implausible name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("serialize: reading name: %w", err)
+		}
+		rank, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if rank > 8 {
+			return nil, fmt.Errorf("serialize: implausible rank %d", rank)
+		}
+		dims := make([]int, rank)
+		vol := 1
+		for d := range dims {
+			v, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			dims[d] = int(v)
+			vol *= int(v)
+		}
+		if vol < 0 || vol > br.Len()/4+1 {
+			return nil, fmt.Errorf("serialize: tensor %q volume %d exceeds payload", nameBuf, vol)
+		}
+		tt := tensor.New(dims...)
+		for j := 0; j < vol; j++ {
+			bits, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			tt.Data[j] = math.Float32frombits(bits)
+		}
+		out = append(out, tensor.Named{Name: string(nameBuf), T: tt})
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("serialize: %d trailing bytes after last tensor", br.Len())
+	}
+	return out, nil
 }
 
 func writeU32(w *bufio.Writer, v uint32) {

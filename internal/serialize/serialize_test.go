@@ -2,6 +2,7 @@ package serialize
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,6 +57,39 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	raw[len(raw)/2] ^= 0xFF
 	if err := Load(bytes.NewReader(raw), net); err == nil {
 		t.Fatal("corrupted payload must fail the checksum")
+	}
+}
+
+// TestLoadRejectsTruncation covers the crash-mid-write signature: a prefix
+// of a valid file must be rejected at every truncation point, and the very
+// short prefixes must identify themselves as ErrTruncated so hot-reload
+// paths can classify them as transient.
+func TestLoadRejectsTruncation(t *testing.T) {
+	net, err := models.Build("customnet", models.Options{Width: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Every prefix strictly shorter than the file must fail to load. Step
+	// through all short prefixes and sample the long ones.
+	for n := 0; n < len(raw)-1; n++ {
+		if n > 64 && n%97 != 0 {
+			continue
+		}
+		if err := Load(bytes.NewReader(raw[:n]), net); err == nil {
+			t.Fatalf("truncation at byte %d/%d must fail", n, len(raw))
+		}
+	}
+	if err := Load(bytes.NewReader(raw[:8]), net); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short prefix should be ErrTruncated, got: %v", err)
+	}
+	// The intact file still loads after all that.
+	if err := Load(bytes.NewReader(raw), net); err != nil {
+		t.Fatalf("intact file failed: %v", err)
 	}
 }
 
@@ -125,6 +159,75 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if err := LoadFile(filepath.Join(dir, "missing.skpw"), net); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+func TestSaveTensorsRoundTrip(t *testing.T) {
+	a := tensor.FromSlice([]float32{1.5, -2.25, 3e-9}, 3)
+	b := tensor.New(2, 2)
+	tensor.NewRNG(7).FillNorm(b, 0, 1)
+	in := []tensor.Named{{Name: "adam.m.w", T: a}, {Name: "bn.running_var", T: b}}
+
+	var buf bytes.Buffer
+	if err := SaveTensors(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadTensors(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d tensors, want 2", len(out))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name {
+			t.Fatalf("name %q, want %q", out[i].Name, in[i].Name)
+		}
+		for j := range in[i].T.Data {
+			if out[i].T.Data[j] != in[i].T.Data[j] {
+				t.Fatalf("%s[%d] = %v, want %v", in[i].Name, j, out[i].T.Data[j], in[i].T.Data[j])
+			}
+		}
+	}
+
+	// Corruption and truncation are both rejected.
+	raw := buf.Bytes()
+	flip := append([]byte(nil), raw...)
+	flip[len(flip)/2] ^= 0x80
+	if _, err := LoadTensors(bytes.NewReader(flip)); err == nil {
+		t.Fatal("corrupt state section must fail the checksum")
+	}
+	if _, err := LoadTensors(bytes.NewReader(raw[:6])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short state section should be ErrTruncated, got: %v", err)
+	}
+	if _, err := LoadTensors(bytes.NewReader(raw[:len(raw)-8])); err == nil {
+		t.Fatal("truncated state section must fail")
+	}
+	// Empty sets round-trip too (SGD without momentum).
+	var empty bytes.Buffer
+	if err := SaveTensors(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := LoadTensors(bytes.NewReader(empty.Bytes())); err != nil || len(out) != 0 {
+		t.Fatalf("empty round-trip: %v, %d tensors", err, len(out))
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "second" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
 	}
 }
 

@@ -26,6 +26,7 @@ type Metrics struct {
 	earlyExits     int64 // samples frozen before the final timestep
 	reloadOK       int64
 	reloadFailed   int64
+	reloadRetries  int64 // transient load failures retried with backoff
 	queueRejected  int64 // 429s (also counted in requests["429"])
 	deadlineMissed int64 // requests abandoned on their latency budget
 
@@ -71,6 +72,12 @@ func (m *Metrics) observeBatch(size, stepsRun, t, exits int, queueWait []float64
 	for _, w := range queueWait {
 		m.queueing.Observe(w)
 	}
+}
+
+func (m *Metrics) observeReloadRetry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reloadRetries++
 }
 
 func (m *Metrics) observeReload(ok bool) {
@@ -123,6 +130,8 @@ func (m *Metrics) Render(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE skipper_serve_reloads_total counter")
 	fmt.Fprintf(w, "skipper_serve_reloads_total{result=\"ok\"} %d\n", m.reloadOK)
 	fmt.Fprintf(w, "skipper_serve_reloads_total{result=\"error\"} %d\n", m.reloadFailed)
+	counter(w, "skipper_serve_reload_retries_total",
+		"Transient checkpoint-read failures retried with backoff during reloads.", m.reloadRetries)
 
 	gauge(w, "skipper_serve_queue_depth", "Requests currently waiting in the batching queue.", float64(m.queueDepth()))
 	gauge(w, "skipper_serve_model_version", "Generation number of the serving checkpoint.", float64(m.modelVersion()))

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +36,40 @@ type Model struct {
 	build func() (*layers.Network, error)
 	cur   atomic.Pointer[Snapshot]
 	mu    sync.Mutex // serialises reloads; readers never take it
+
+	// OnRetry, when non-nil, observes each transient load failure that is
+	// about to be retried (the server wires it to the retry counter metric).
+	OnRetry func(attempt int, err error)
+}
+
+// reloadAttempts bounds how many times one Reload tries a transiently
+// failing checkpoint read before giving up.
+const reloadAttempts = 3
+
+// loadCheckpoint and reloadSleep are seams so tests can inject load
+// failures and observe backoff without real files or wall-clock sleeps.
+var (
+	loadCheckpoint = serialize.LoadInto
+	reloadSleep    = time.Sleep
+)
+
+// transientLoadErr reports whether a checkpoint load failure is worth
+// retrying: filesystem errors and truncated reads are the signatures of a
+// checkpoint mid-replacement by a trainer; a checksum or shape mismatch is
+// permanent for this file and retrying cannot help.
+func transientLoadErr(err error) bool {
+	var pe *fs.PathError
+	return errors.Is(err, serialize.ErrTruncated) || errors.As(err, &pe)
+}
+
+// reloadBackoff returns the capped pause before the retry that follows the
+// n-th failed attempt: 50ms, 200ms, then 500ms flat.
+func reloadBackoff(n int) time.Duration {
+	d := 50 * time.Millisecond << (2 * (n - 1))
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
 }
 
 // NewModel constructs the handle, publishing the builder's deterministic
@@ -62,6 +98,11 @@ func (m *Model) Current() *Snapshot { return m.cur.Load() }
 // and atomically publishes it as the next generation. On any error the
 // previous generation keeps serving untouched. An empty path re-reads the
 // current generation's file (the SIGHUP convention).
+//
+// Transient read failures — a missing or unreadable file, a truncated read
+// of a checkpoint mid-replacement — are retried up to reloadAttempts times
+// with capped backoff before the reload is rejected; permanent failures
+// (checksum mismatch, wrong topology) are rejected immediately.
 func (m *Model) Reload(path string) (*Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -71,7 +112,18 @@ func (m *Model) Reload(path string) (*Snapshot, error) {
 	if path == "" {
 		return nil, fmt.Errorf("serve: reload: no checkpoint path (model is serving a fresh initialisation)")
 	}
-	net, err := serialize.LoadInto(path, m.build)
+	var net *layers.Network
+	var err error
+	for attempt := 1; ; attempt++ {
+		net, err = loadCheckpoint(path, m.build)
+		if err == nil || attempt == reloadAttempts || !transientLoadErr(err) {
+			break
+		}
+		if m.OnRetry != nil {
+			m.OnRetry(attempt, err)
+		}
+		reloadSleep(reloadBackoff(attempt))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: reload rejected, keeping generation %d: %w", m.Current().Version, err)
 	}

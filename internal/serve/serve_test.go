@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -120,6 +121,7 @@ func TestServeConcurrentWithReloadAndBackpressure(t *testing.T) {
 		resp InferResponse
 	}
 	results := make([]result, total)
+	var done int64
 	var wg sync.WaitGroup
 	for i := 0; i < total; i++ {
 		wg.Add(1)
@@ -128,10 +130,16 @@ func TestServeConcurrentWithReloadAndBackpressure(t *testing.T) {
 			input := syntheticInput(7, uint64(i), 2*8*8)
 			code, resp := inferOnce(t, client, hs.URL, InferRequest{Input: input})
 			results[i] = result{code, resp}
+			atomic.AddInt64(&done, 1)
 		}(i)
 		// Hot reload mid-traffic, from a separate goroutine's perspective:
 		// the swap must not disturb in-flight batches.
 		if i == total/2 {
+			// Let some requests finish on generation 1 first, so both
+			// generations see traffic regardless of goroutine scheduling.
+			for atomic.LoadInt64(&done) < 8 {
+				time.Sleep(time.Millisecond)
+			}
 			body, _ := json.Marshal(ReloadRequest{Path: ckpt})
 			resp, err := client.Post(hs.URL+"/v1/reload", "application/json", bytes.NewReader(body))
 			if err != nil {

@@ -111,6 +111,7 @@ func NewServer(cfg Config, modelPath string) (*Server, error) {
 	s.metrics = newMetrics(cfg.MaxBatch,
 		func() int { return len(s.queue) },
 		func() uint64 { return s.model.Current().Version })
+	model.OnRetry = func(int, error) { s.metrics.observeReloadRetry() }
 	for i := 0; i < cfg.Workers; i++ {
 		r, err := newReplica(cfg.Build)
 		if err != nil {

@@ -1,0 +1,66 @@
+package tensor
+
+// Named pairs a tensor with a stable identifier, the unit of generic state
+// serialization: optimizer moment buffers, batch-norm running statistics,
+// and any other persistent float32 state that must survive a
+// checkpoint/resume cycle travels as a []Named.
+type Named struct {
+	Name string
+	T    *Tensor
+}
+
+// CopyNamed copies src values into dst by name, requiring an exact match of
+// the two sets (same names, same shapes, no extras on either side). It is
+// the strict restore primitive: a partial or mismatched state snapshot is an
+// error, never a silent partial restore.
+func CopyNamed(dst, src []Named) error {
+	if len(dst) != len(src) {
+		return &NamedMismatchError{Want: len(dst), Got: len(src)}
+	}
+	byName := make(map[string]*Tensor, len(src))
+	for _, s := range src {
+		byName[s.Name] = s.T
+	}
+	for _, d := range dst {
+		s, ok := byName[d.Name]
+		if !ok {
+			return &NamedMismatchError{Missing: d.Name}
+		}
+		delete(byName, d.Name)
+		if !sameShape(d.T, s) {
+			return &NamedMismatchError{Missing: d.Name, ShapeMismatch: true}
+		}
+		copy(d.T.Data, s.Data)
+	}
+	return nil
+}
+
+func sameShape(a, b *Tensor) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := 0; i < a.Rank(); i++ {
+		if a.Dim(i) != b.Dim(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// NamedMismatchError reports a failed strict name/shape match in CopyNamed.
+type NamedMismatchError struct {
+	Want, Got     int
+	Missing       string
+	ShapeMismatch bool
+}
+
+func (e *NamedMismatchError) Error() string {
+	switch {
+	case e.ShapeMismatch:
+		return "tensor: named state " + e.Missing + ": shape mismatch"
+	case e.Missing != "":
+		return "tensor: named state " + e.Missing + ": missing from snapshot"
+	default:
+		return "tensor: named state count mismatch"
+	}
+}

@@ -1,14 +1,17 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate:
-#   build, vet, race-test the serving subsystem, full test suite,
-#   then the serving benchmark (writes BENCH_serve.json).
+#   build, vet, race-test the concurrency-sensitive subsystems, full test
+#   suite, the SIGKILL+resume smoke test, then the serving benchmark
+#   (writes BENCH_serve.json).
 set -eux
 
 cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go test -race ./internal/serve/...
+go test -race ./internal/serve/... ./internal/runstate/... ./internal/faults/...
 go test ./...
+
+sh ./scripts/kill_resume_smoke.sh
 
 go run ./cmd/skipper-bench -exp bench_serve -scale tiny
