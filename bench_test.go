@@ -86,11 +86,11 @@ func BenchmarkKernelConv2DForward(b *testing.B) {
 	tensor.NewRNG(1).FillNorm(x, 0, 1)
 	tensor.NewRNG(2).FillNorm(w, 0, 0.1)
 	out := tensor.New(4, 16, 16, 16)
-	col := make([]float32, s.ColBufLen(16, 16))
+	sc := tensor.NewScratch()
 	b.SetBytes(x.Bytes())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tensor.Conv2D(out, x, w, bias, s, col)
+		tensor.Conv2D(nil, out, x, w, bias, s, sc)
 	}
 }
 
@@ -104,7 +104,7 @@ func BenchmarkKernelMatMul(b *testing.B) {
 	b.SetBytes(int64(m*k+k*n) * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tensor.MatMul(out, x, y)
+		tensor.MatMul(nil, out, x, y)
 	}
 }
 

@@ -20,10 +20,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = flag.String("scale", "small", "run scale: tiny | small | full")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = flag.String("scale", "small", "run scale: tiny | small | full")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		threads = flag.Int("threads", 0, "compute-pool width for parallel-runtime experiments (0 = all cores)")
+		require = flag.Bool("require-speedup", false, "fail bench_kernels when multi-thread matmul is not faster than serial (enforced only on ≥2 cores)")
+		list    = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	cfg := bench.RunConfig{Scale: sc, Seed: *seed}
+	cfg := bench.RunConfig{Scale: sc, Seed: *seed, Threads: *threads, RequireSpeedup: *require}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"skipper/internal/cli"
+	"skipper/internal/core"
 	"skipper/internal/layers"
 	"skipper/internal/models"
 	"skipper/internal/serve"
@@ -49,6 +50,7 @@ func main() {
 		window    = flag.Duration("batch-window", 2*time.Millisecond, "batching coalesce window")
 		queue     = flag.Int("queue", 64, "pending-request queue depth (full = 429)")
 		workers   = flag.Int("workers", 2, "batch workers (each owns a network replica)")
+		threads   = flag.Int("threads", 0, "shared compute-pool width for kernels (0 = all cores)")
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request latency budget")
 		seed      = flag.Uint64("encode-seed", 1, "Poisson encoding seed")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
@@ -72,8 +74,11 @@ func main() {
 		})
 	}
 
+	rt := core.NewRuntime(core.WithThreads(*threads))
+	defer rt.Close()
 	s, err := serve.NewServer(serve.Config{
 		Build:          build,
+		Runtime:        rt,
 		T:              *T,
 		EarlyExit:      *earlyExit,
 		ExitK:          *exitK,
@@ -98,8 +103,8 @@ func main() {
 	if src == "" {
 		src = "fresh initialisation"
 	}
-	fmt.Printf("serving %s (%s) on %s  T=%d early-exit=%v workers=%d max-batch=%d\n",
-		*model, src, *addr, *T, *earlyExit, *workers, *maxBatch)
+	fmt.Printf("serving %s (%s) on %s  T=%d early-exit=%v workers=%d max-batch=%d threads=%d\n",
+		*model, src, *addr, *T, *earlyExit, *workers, *maxBatch, rt.Threads())
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)

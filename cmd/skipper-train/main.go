@@ -63,6 +63,7 @@ func main() {
 		sam      = flag.String("sam", "spikesum", "SAM metric: spikesum | weighted | membranel2")
 		surrName = flag.String("surrogate", "triangle", "surrogate gradient: triangle | fastsigmoid | atan | rectangular")
 		seed     = flag.Uint64("seed", 1, "seed")
+		threads  = flag.Int("threads", 0, "compute-pool width for kernels (0 = all cores; results are bit-identical at every width)")
 		budget   = flag.Int64("budget-mib", 0, "device budget in MiB (0 = unlimited)")
 		maxB     = flag.Int("max-batches", 0, "cap batches per epoch (0 = full epoch)")
 		pretrain = flag.Bool("pretrain", true, "hybrid-style pre-initialisation before the main run")
@@ -156,8 +157,11 @@ func main() {
 			cli.Fatal(err)
 		}
 	}
+	rt := core.NewRuntime(core.WithThreads(*threads), core.WithSeed(*seed))
+	defer rt.Close()
 	tr, err := core.NewTrainer(net, src, strat, core.Config{
-		T: *T, Batch: *batch, LR: float32(*lr), Seed: *seed,
+		Runtime: rt,
+		T:       *T, Batch: *batch, LR: float32(*lr), Seed: *seed,
 		Device: dev, MaxBatchesPerEpoch: *maxB,
 		SnapshotEvery: *snapEvery,
 		GuardRetries:  *guardN,
@@ -216,8 +220,8 @@ func main() {
 		fmt.Printf("nothing to do: manifest is already past epoch %d\n", *epochs)
 		return
 	}
-	fmt.Printf("training %s on %s with %s  (T=%d B=%d L_n=%d)\n",
-		*model, src.Name(), strat.Name(), *T, *batch, ln)
+	fmt.Printf("training %s on %s with %s  (T=%d B=%d L_n=%d threads=%d)\n",
+		*model, src.Name(), strat.Name(), *T, *batch, ln, rt.Threads())
 	bestAcc := -1.0
 	for e := startEpoch; e <= *epochs; e++ {
 		start := time.Now()

@@ -18,11 +18,13 @@ func main() {
 		T     = 48
 		batch = 4
 	)
-	data, err := skipper.OpenDataset("cifar10", 11)
+	rt := skipper.NewRuntime(skipper.WithSeed(11))
+	defer rt.Close()
+	data, err := rt.OpenDataset("cifar10")
 	if err != nil {
 		log.Fatal(err)
 	}
-	net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+	net, err := rt.BuildModel("vgg5", skipper.ModelOptions{
 		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
 	})
 	if err != nil {
@@ -53,7 +55,7 @@ func main() {
 		// Prove the plan fits by running it against the budget.
 		runCfg := cfg
 		runCfg.Device = skipper.NewDevice(skipper.DeviceConfig{Budget: budget})
-		tr, err := skipper.NewTrainer(net, data, plan.Strategy, runCfg)
+		tr, err := rt.NewTrainer(net, data, plan.Strategy, runCfg)
 		if err != nil {
 			log.Fatalf("tuned plan failed to construct: %v", err)
 		}

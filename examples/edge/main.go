@@ -19,13 +19,15 @@ func main() {
 		T = 30
 		C = 2
 	)
-	data, err := skipper.OpenDataset("cifar10", 5)
+	rt := skipper.NewRuntime(skipper.WithSeed(5))
+	defer rt.Close()
+	data, err := rt.OpenDataset("cifar10")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Size the "edge device" so the baseline only fits the smallest batch.
-	probe, err := measure(data, skipper.BPTT{}, T, 1, skipper.DeviceConfig{})
+	probe, err := measure(rt, data, skipper.BPTT{}, T, 1, skipper.DeviceConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func main() {
 			skipper.Checkpoint{C: C},
 			skipper.Skipper{C: C, P: 25},
 		} {
-			m, err := measure(data, strat, T, B, edge)
+			m, err := measure(rt, data, strat, T, B, edge)
 			switch {
 			case err == nil:
 				// Swap residency applies the device's bandwidth penalty.
@@ -68,15 +70,15 @@ type result struct {
 	slowdown float64
 }
 
-func measure(data skipper.Dataset, strat skipper.Strategy, T, B int, devCfg skipper.DeviceConfig) (result, error) {
-	net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+func measure(rt *skipper.Runtime, data skipper.Dataset, strat skipper.Strategy, T, B int, devCfg skipper.DeviceConfig) (result, error) {
+	net, err := rt.BuildModel("vgg5", skipper.ModelOptions{
 		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
 	})
 	if err != nil {
 		return result{}, err
 	}
 	dev := skipper.NewDevice(devCfg)
-	tr, err := skipper.NewTrainer(net, data, strat, skipper.Config{
+	tr, err := rt.NewTrainer(net, data, strat, skipper.Config{
 		T: T, Batch: B, Device: dev, MaxBatchesPerEpoch: 2,
 	})
 	if err != nil {

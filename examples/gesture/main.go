@@ -19,11 +19,13 @@ func main() {
 		epochs = 3
 	)
 
-	data, err := skipper.OpenDataset("dvsgesture", 7)
+	rt := skipper.NewRuntime(skipper.WithSeed(7))
+	defer rt.Close()
+	data, err := rt.OpenDataset("dvsgesture")
 	if err != nil {
 		log.Fatal(err)
 	}
-	net, err := skipper.BuildModel("lenet", skipper.ModelOptions{
+	net, err := rt.BuildModel("lenet", skipper.ModelOptions{
 		Width:   0.5,
 		Classes: data.Classes(), // 11 gesture classes
 		InShape: data.InShape(), // 2 polarity channels
@@ -36,7 +38,7 @@ func main() {
 		skipper.MaxSkipPercent(T, 2, net.StatefulCount()))
 
 	dev := skipper.NewDevice(skipper.DeviceConfig{})
-	tr, err := skipper.NewTrainer(net, data, skipper.Skipper{C: 2, P: 25}, skipper.Config{
+	tr, err := rt.NewTrainer(net, data, skipper.Skipper{C: 2, P: 25}, skipper.Config{
 		T: T, Batch: batch, Device: dev, MaxBatchesPerEpoch: 20,
 	})
 	if err != nil {

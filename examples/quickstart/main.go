@@ -18,7 +18,12 @@ func main() {
 		C     = 4 // temporal checkpoints
 	)
 
-	data, err := skipper.OpenDataset("cifar10", 1)
+	// The Runtime owns the shared compute pool (all cores here) and the root
+	// seed; every trainer below runs its kernels on it, bit-identically at
+	// any thread count.
+	rt := skipper.NewRuntime(skipper.WithSeed(1))
+	defer rt.Close()
+	data, err := rt.OpenDataset("cifar10")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +37,7 @@ func main() {
 		{"checkpointed", skipper.Checkpoint{C: C}},
 		{"skipper", skipper.Skipper{C: C, P: 25}},
 	} {
-		net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+		net, err := rt.BuildModel("vgg5", skipper.ModelOptions{
 			Width:   0.5,
 			Classes: data.Classes(),
 			InShape: data.InShape(),
@@ -41,7 +46,7 @@ func main() {
 			log.Fatal(err)
 		}
 		dev := skipper.NewDevice(skipper.DeviceConfig{}) // unlimited, accounting only
-		tr, err := skipper.NewTrainer(net, data, mode.strat, skipper.Config{
+		tr, err := rt.NewTrainer(net, data, mode.strat, skipper.Config{
 			T: T, Batch: batch, Device: dev, MaxBatchesPerEpoch: 12,
 		})
 		if err != nil {

@@ -18,13 +18,15 @@ func main() {
 		batch = 4
 		C     = 2
 	)
-	data, err := skipper.OpenDataset("cifar10", 3)
+	rt := skipper.NewRuntime(skipper.WithSeed(3))
+	defer rt.Close()
+	data, err := rt.OpenDataset("cifar10")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Calibrate a budget from the baseline's footprint at the base horizon.
-	basePeak, _, err := runOnce(data, skipper.BPTT{}, baseT, batch, 0)
+	basePeak, _, err := runOnce(rt, data, skipper.BPTT{}, baseT, batch, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func main() {
 			skipper.Checkpoint{C: C},
 			skipper.Skipper{C: C, P: autoP(T, C)},
 		} {
-			peak, _, err := runOnce(data, strat, T, batch, budget)
+			peak, _, err := runOnce(rt, data, strat, T, batch, budget)
 			switch {
 			case err == nil:
 				row += fmt.Sprintf(" %16s", skipper.FormatBytes(peak))
@@ -61,15 +63,15 @@ func autoP(T, C int) float64 {
 
 // runOnce trains a single batch under the strategy, returning the peak
 // reserved memory.
-func runOnce(data skipper.Dataset, strat skipper.Strategy, T, batch int, budget int64) (int64, float64, error) {
-	net, err := skipper.BuildModel("vgg5", skipper.ModelOptions{
+func runOnce(rt *skipper.Runtime, data skipper.Dataset, strat skipper.Strategy, T, batch int, budget int64) (int64, float64, error) {
+	net, err := rt.BuildModel("vgg5", skipper.ModelOptions{
 		Width: 0.5, Classes: data.Classes(), InShape: data.InShape(),
 	})
 	if err != nil {
 		return 0, 0, err
 	}
 	dev := skipper.NewDevice(skipper.DeviceConfig{Budget: budget})
-	tr, err := skipper.NewTrainer(net, data, strat, skipper.Config{
+	tr, err := rt.NewTrainer(net, data, strat, skipper.Config{
 		T: T, Batch: batch, Device: dev, MaxBatchesPerEpoch: 1,
 	})
 	if err != nil {

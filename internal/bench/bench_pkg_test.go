@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "table2", "fig16",
 		"ablate-sam", "ablate-p", "ablate-surrogate", "ablate-placement", "ablate-compress",
-		"bench_serve",
+		"bench_serve", "bench_kernels",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -106,8 +106,9 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tiny-scale experiment sweep skipped in -short mode")
 	}
-	// Keep bench_serve's JSON artifact out of the source tree.
+	// Keep the JSON artifacts out of the source tree.
 	benchServeOutput = filepath.Join(t.TempDir(), "BENCH_serve.json")
+	benchKernelsOutput = filepath.Join(t.TempDir(), "BENCH_kernels.json")
 	cfg := RunConfig{Scale: Tiny, Seed: 1}
 	for _, id := range IDs() {
 		id := id

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+	"skipper/internal/parallel"
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+// kernelResult is one row of the bench_kernels report: a hot kernel timed
+// serial vs pooled on identical inputs, with a bit-identity check because
+// the parallel runtime promises exactly the serial answer at every width.
+type kernelResult struct {
+	Name           string  `json:"name"`
+	Shape          string  `json:"shape"`
+	GFLOP          float64 `json:"gflop_per_rep"`
+	SerialMS       float64 `json:"serial_ms"`
+	ParallelMS     float64 `json:"parallel_ms"`
+	SerialGFLOPS   float64 `json:"serial_gflop_s"`
+	ParallelGFLOPS float64 `json:"parallel_gflop_s"`
+	Speedup        float64 `json:"speedup"`
+	BitIdentical   bool    `json:"bit_identical"`
+}
+
+// epochResult is the end-to-end row: one capped training epoch of the
+// paper's vgg5 workload at threads=1 vs threads=N.
+type epochResult struct {
+	Model     string  `json:"model"`
+	T         int     `json:"t"`
+	Batch     int     `json:"batch"`
+	Batches   int     `json:"batches"`
+	SerialS   float64 `json:"serial_s"`
+	ParallelS float64 `json:"parallel_s"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// kernelBenchReport is what bench_kernels writes to BENCH_kernels.json.
+type kernelBenchReport struct {
+	Threads int            `json:"threads"`
+	Cores   int            `json:"cores"`
+	Scale   string         `json:"scale"`
+	Kernels []kernelResult `json:"kernels"`
+	Epoch   epochResult    `json:"epoch"`
+}
+
+// benchKernelsOutput is where bench_kernels writes its JSON report; the
+// package tests point it into a temp directory.
+var benchKernelsOutput = "BENCH_kernels.json"
+
+// fillDet fills d with a deterministic xorshift sequence in [-1, 1) so
+// serial and parallel runs see byte-identical inputs without a time or
+// math/rand dependency.
+func fillDet(d []float32, seed uint64) {
+	s := seed*0x9E3779B97F4A7C15 + 1
+	for i := range d {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		d[i] = float32(s%2048)/1024 - 1
+	}
+}
+
+// timeReps runs fn once to warm caches, then times reps executions.
+func timeReps(reps int, fn func()) time.Duration {
+	fn()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start)
+}
+
+// bitEqual reports exact float32 bit equality of two tensors.
+func bitEqual(a, b *tensor.Tensor) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// measureKernel times serial vs pooled variants of one kernel and checks
+// bit-identity of their outputs.
+func measureKernel(name, shape string, flop float64, reps int, serial, pooled func(), outS, outP *tensor.Tensor) kernelResult {
+	sDur := timeReps(reps, serial)
+	pDur := timeReps(reps, pooled)
+	sMS := sDur.Seconds() * 1e3 / float64(reps)
+	pMS := pDur.Seconds() * 1e3 / float64(reps)
+	return kernelResult{
+		Name:           name,
+		Shape:          shape,
+		GFLOP:          flop / 1e9,
+		SerialMS:       sMS,
+		ParallelMS:     pMS,
+		SerialGFLOPS:   flop / 1e9 / (sMS / 1e3),
+		ParallelGFLOPS: flop / 1e9 / (pMS / 1e3),
+		Speedup:        sMS / pMS,
+		BitIdentical:   bitEqual(outS, outP),
+	}
+}
+
+// kernelSizes returns the scale-dependent problem sizes and rep counts.
+func kernelSizes(sc Scale) (mm, reps, lifN int) {
+	switch sc {
+	case Tiny:
+		return 96, 8, 1 << 16
+	case Small:
+		return 192, 12, 1 << 19
+	default:
+		return 384, 16, 1 << 21
+	}
+}
+
+// measureMatMul benches dst = a·b at m=k=n=mm.
+func measureMatMul(pool *parallel.Pool, mm, reps int) kernelResult {
+	a := tensor.New(mm, mm)
+	b := tensor.New(mm, mm)
+	outS := tensor.New(mm, mm)
+	outP := tensor.New(mm, mm)
+	fillDet(a.Data, 11)
+	fillDet(b.Data, 23)
+	flop := 2 * float64(mm) * float64(mm) * float64(mm)
+	return measureKernel("matmul", fmt.Sprintf("%dx%dx%d", mm, mm, mm), flop, reps,
+		func() { tensor.MatMul(nil, outS, a, b) },
+		func() { tensor.MatMul(pool, outP, a, b) },
+		outS, outP)
+}
+
+// measureConv benches the forward convolution on a batch sized to spread
+// across lanes (images are the partition axis).
+func measureConv(pool *parallel.Pool, sc Scale, reps int) kernelResult {
+	n, c, h, w := 8, 8, 16, 16
+	if sc == Full {
+		n, c, h, w = 16, 16, 32, 32
+	}
+	spec := tensor.ConvSpec{InChannels: c, OutChannels: 2 * c, KernelH: 3, KernelW: 3, Stride: 1, Pad: 1}
+	oh, ow := spec.OutSize(h, w)
+	x := tensor.New(n, c, h, w)
+	weight := tensor.New(spec.OutChannels, c, 3, 3)
+	bias := tensor.New(spec.OutChannels)
+	outS := tensor.New(n, spec.OutChannels, oh, ow)
+	outP := tensor.New(n, spec.OutChannels, oh, ow)
+	fillDet(x.Data, 31)
+	fillDet(weight.Data, 47)
+	fillDet(bias.Data, 59)
+	scrS, scrP := tensor.NewScratch(), tensor.NewScratch()
+	flop := 2 * float64(n) * float64(spec.OutChannels) * float64(oh*ow) * float64(c*9)
+	return measureKernel("conv2d", fmt.Sprintf("N%d C%d->%d %dx%d k3", n, c, spec.OutChannels, h, w), flop, reps,
+		func() { tensor.Conv2D(nil, outS, x, weight, bias, spec, scrS) },
+		func() { tensor.Conv2D(pool, outP, x, weight, bias, spec, scrP) },
+		outS, outP)
+}
+
+// measureLIF benches the elementwise LIF state update over lifN neurons.
+func measureLIF(pool *parallel.Pool, lifN, reps int) kernelResult {
+	cur := tensor.New(lifN)
+	uPrev := tensor.New(lifN)
+	oPrev := tensor.New(lifN)
+	uS, oS := tensor.New(lifN), tensor.New(lifN)
+	uP, oP := tensor.New(lifN), tensor.New(lifN)
+	fillDet(cur.Data, 71)
+	fillDet(uPrev.Data, 83)
+	snn.Fire(nil, oPrev, uPrev, 0.5)
+	p := snn.DefaultParams()
+	// λ·U + I − θ·o, plus the compare-and-fire: ~5 flops per neuron.
+	flop := 5 * float64(lifN)
+	return measureKernel("lif_step", fmt.Sprintf("n=%d", lifN), flop, reps,
+		func() { snn.StepLIF(nil, uS, oS, uPrev, oPrev, cur, p) },
+		func() { snn.StepLIF(pool, uP, oP, uPrev, oPrev, cur, p) },
+		uS, uP)
+}
+
+// measureEpoch trains the paper's vgg5 workload for a few capped batches at
+// the given pool width and returns the wall-clock seconds. Both widths see
+// the same seed, so the runs are the bit-identical twins the runtime
+// promises — only the clock differs.
+func measureEpoch(cfg RunConfig, rt *core.Runtime, T, batch, batches int) (float64, error) {
+	net, err := models.Build("vgg5", models.Options{Width: 0.25, Classes: 10, InShape: []int{3, 16, 16}})
+	if err != nil {
+		return 0, err
+	}
+	data, err := dataset.Open("cifar10", cfg.seed())
+	if err != nil {
+		return 0, err
+	}
+	ln := net.StatefulCount()
+	c := 4
+	for c > 1 && T/c <= ln {
+		c--
+	}
+	p := float64(int(0.85 * core.MaxSkipPercent(T, c, ln)))
+	metric, err := core.SAMByName("spikesum")
+	if err != nil {
+		return 0, err
+	}
+	tr, err := core.NewTrainer(net, data, core.Skipper{C: c, P: p, Metric: metric}, core.Config{
+		Runtime: rt,
+		T:       T, Batch: batch, Seed: cfg.seed(),
+		Device:             mem.NewDevice(mem.Config{}),
+		MaxBatchesPerEpoch: batches,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer tr.Close()
+	start := time.Now()
+	if _, err := tr.TrainEpoch(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "bench_kernels",
+		Title: "Parallel runtime: hot-kernel GFLOP/s and epoch wall-clock, serial vs pooled",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			cores := goruntime.NumCPU()
+			pool := parallel.NewPool(cfg.Threads)
+			defer pool.Close()
+			threads := pool.Lanes()
+
+			mm, reps, lifN := kernelSizes(cfg.Scale)
+			fmt.Fprintf(out, "== bench_kernels: parallel runtime speedups ==\n")
+			fmt.Fprintf(out, "   threads=%d cores=%d scale=%s\n", threads, cores, cfg.Scale)
+
+			kernels := []kernelResult{
+				measureMatMul(pool, mm, reps),
+				measureConv(pool, cfg.Scale, reps),
+				measureLIF(pool, lifN, reps),
+			}
+
+			T, batch, nBatches := 48, 4, 3
+			if cfg.Scale == Tiny {
+				T, batch, nBatches = 16, 2, 1
+			}
+			serialS, err := measureEpoch(cfg, core.NewRuntime(core.WithThreads(1)), T, batch, nBatches)
+			if err != nil {
+				return err
+			}
+			rtN := core.NewRuntime(core.WithThreads(cfg.Threads))
+			parS, err := measureEpoch(cfg, rtN, T, batch, nBatches)
+			rtN.Close()
+			if err != nil {
+				return err
+			}
+			epoch := epochResult{
+				Model: "vgg5", T: T, Batch: batch, Batches: nBatches,
+				SerialS: serialS, ParallelS: parS, Speedup: serialS / parS,
+			}
+
+			fmt.Fprintf(out, "%10s %24s %10s %12s %12s %9s %6s\n",
+				"kernel", "shape", "serial", "parallel", "GFLOP/s", "speedup", "bits")
+			for _, k := range kernels {
+				bits := "OK"
+				if !k.BitIdentical {
+					bits = "DIFF"
+				}
+				fmt.Fprintf(out, "%10s %24s %8.2fms %10.2fms %5.2f→%5.2f %8.2fx %6s\n",
+					k.Name, k.Shape, k.SerialMS, k.ParallelMS,
+					k.SerialGFLOPS, k.ParallelGFLOPS, k.Speedup, bits)
+			}
+			fmt.Fprintf(out, "%10s %24s %8.2fs  %10.2fs  %11s %8.2fx\n",
+				"epoch", fmt.Sprintf("vgg5 T=%d B=%d x%d", T, batch, nBatches),
+				epoch.SerialS, epoch.ParallelS, "", epoch.Speedup)
+
+			for _, k := range kernels {
+				if !k.BitIdentical {
+					return fmt.Errorf("bench_kernels: %s parallel output is not bit-identical to serial", k.Name)
+				}
+			}
+
+			rep := kernelBenchReport{
+				Threads: threads,
+				Cores:   cores,
+				Scale:   cfg.Scale.String(),
+				Kernels: kernels,
+				Epoch:   epoch,
+			}
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchKernelsOutput, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "   report written to %s\n", benchKernelsOutput)
+
+			if cfg.RequireSpeedup && cores >= 2 && threads >= 2 {
+				if kernels[0].Speedup <= 1.0 {
+					return fmt.Errorf("bench_kernels: matmul at %d threads is not faster than serial (%.2fx) on a %d-core machine",
+						threads, kernels[0].Speedup, cores)
+				}
+			}
+			return nil
+		},
+	})
+}

@@ -21,6 +21,12 @@ import (
 
 // Config holds the training hyper-parameters shared by all strategies.
 type Config struct {
+	// Runtime is the execution context: compute pool, default metrics sink,
+	// and default seed. Nil means the process-wide DefaultRuntime
+	// (threads = NumCPU). Thread count never changes results — kernels are
+	// bit-identical across pool sizes — so Runtime is a pure performance
+	// knob.
+	Runtime *Runtime
 	// T is the number of simulation timesteps per sample.
 	T int
 	// Batch is the mini-batch size.
@@ -30,6 +36,10 @@ type Config struct {
 	// Optimizer is "adam" (default) or "sgd".
 	Optimizer string
 	// Seed drives all stochasticity (shuffling, dropout, encoding).
+	//
+	// Deprecated alias: prefer NewRuntime(WithSeed(...)) and leave Seed
+	// zero — it then inherits the runtime's seed. A non-zero Seed still
+	// wins, preserving the old per-config behaviour.
 	Seed uint64
 	// GradClip caps the global gradient norm; 0 disables.
 	GradClip float32
@@ -60,6 +70,10 @@ type Config struct {
 	// Metrics, when non-nil, receives one JSON line per epoch (loss,
 	// accuracy, step counts, durations, peak memory) — machine-readable
 	// training telemetry for dashboards and regression tracking.
+	//
+	// Deprecated alias: prefer NewRuntime(WithMetrics(...)) and leave
+	// Metrics nil — it then inherits the runtime's sink. A non-nil Metrics
+	// still wins, preserving the old per-config behaviour.
 	Metrics io.Writer
 	// SnapshotEvery marks a restorable good state every K optimizer steps
 	// within an epoch, in addition to the mark at every epoch boundary.
@@ -83,6 +97,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Runtime == nil {
+		c.Runtime = DefaultRuntime()
+	}
 	if c.LR == 0 {
 		c.LR = 1e-3
 	}
@@ -93,7 +110,13 @@ func (c Config) withDefaults() Config {
 		c.Device = mem.Unlimited()
 	}
 	if c.Seed == 0 {
+		c.Seed = c.Runtime.Seed()
+	}
+	if c.Seed == 0 {
 		c.Seed = 0x5EED
+	}
+	if c.Metrics == nil {
+		c.Metrics = c.Runtime.Metrics()
 	}
 	return c
 }

@@ -17,7 +17,10 @@ import (
 //
 // The replicas execute sequentially on this host, so the simulated wall
 // time of a step is the slowest replica's compute time plus a bandwidth
-// model of the all-reduce.
+// model of the all-reduce. All replicas run their kernels on one shared
+// compute pool (each trainer's Config.Runtime, the process default unless
+// overridden), so adding replicas parallelises each replica's kernels in
+// turn rather than oversubscribing the host with R pools.
 type DataParallel struct {
 	Replicas []*Trainer
 	// AllReduceGBps models interconnect bandwidth for the gradient

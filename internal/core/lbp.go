@@ -149,7 +149,7 @@ func (lb *TBPTTLBP) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 				o := states[site].O
 				flat := o.Reshape(o.Dim(0), o.Len()/o.Dim(0))
 				tmp := tensor.New(len(labels), classes)
-				tensor.MatMulTransB(tmp, flat, ac.w)
+				tensor.MatMulTransB(tr.Net.Pool(), tmp, flat, ac.w)
 				tensor.AXPY(auxU[site], 1, tmp)
 			}
 		}
@@ -167,13 +167,13 @@ func (lb *TBPTTLBP) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 			// ∂L/∂o_t at the site is dauxW for every t in the window.
 			o := rs.get(w1 - 1)[site].O
 			inj := tensor.New(len(labels), o.Len()/o.Dim(0))
-			tensor.MatMul(inj, daux, ac.w)
+			tensor.MatMul(tr.Net.Pool(), inj, daux, ac.w)
 			injections[site] = inj.Reshape(o.Shape()...)
 			// ∂W_aux += Σ_t dauxᵀ·o_t.
 			for t := w0; t < w1; t++ {
 				ot := rs.get(t)[site].O
 				flat := ot.Reshape(ot.Dim(0), ot.Len()/ot.Dim(0))
-				tensor.MatMulTransAAcc(ac.g, daux, flat)
+				tensor.MatMulTransAAcc(tr.Net.Pool(), ac.g, daux, flat)
 			}
 		}
 		st.Loss += loss / float64(numWindows)

@@ -135,6 +135,10 @@ func NewTrainer(net *layers.Network, data dataset.Source, strat Strategy, cfg Co
 		return nil, err
 	}
 	tr := &Trainer{Net: net, Data: data, Strat: strat, Cfg: cfg, Opt: optimizer, Dev: cfg.Device, lrScale: 1}
+	// Every layer kernel runs on the runtime's shared pool from here on.
+	// Pool size never changes results (see internal/parallel), so this does
+	// not interact with seeding or resume determinism.
+	net.SetPool(cfg.Runtime.Pool())
 
 	charge := func(cat mem.Category, n int64) error {
 		if n <= 0 {
@@ -334,6 +338,7 @@ type epochMetrics struct {
 	PeakActivations int64   `json:"peak_activation_bytes"`
 	Divergences     int     `json:"divergences"`
 	LRScale         float64 `json:"lr_scale"`
+	Threads         int     `json:"threads"`
 }
 
 // emitMetrics writes one JSON line describing the epoch to Cfg.Metrics.
@@ -355,6 +360,7 @@ func (tr *Trainer) emitMetrics(ep EpochStats) error {
 		PeakActivations: tr.Dev.PeakBy(mem.Activations),
 		Divergences:     ep.Divergences,
 		LRScale:         float64(tr.lrScale),
+		Threads:         tr.Cfg.Runtime.Threads(),
 	}
 	enc := json.NewEncoder(tr.Cfg.Metrics)
 	if err := enc.Encode(m); err != nil {

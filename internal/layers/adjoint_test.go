@@ -31,7 +31,7 @@ func TestSpikingLinearBackwardAdjoint(t *testing.T) {
 	gradIn, _ := l.Backward(x, st, g, nil)
 
 	lin := tensor.New(3, 6)
-	tensor.MatMulTransB(lin, dx, l.weight)
+	tensor.MatMulTransB(nil, lin, dx, l.weight)
 	for i := range lin.Data {
 		lin.Data[i] *= l.Surrogate.Grad(st.U.Data[i], nrn.Threshold)
 	}
@@ -64,7 +64,7 @@ func TestSpikingLinearWeightGradAdjoint(t *testing.T) {
 	dW := tensor.New(5, 8)
 	r.FillNorm(dW, 0, 1)
 	lin := tensor.New(2, 5)
-	tensor.MatMulTransB(lin, x, dW)
+	tensor.MatMulTransB(nil, lin, x, dW)
 	for i := range lin.Data {
 		lin.Data[i] *= l.Surrogate.Grad(st.U.Data[i], nrn.Threshold)
 	}
@@ -97,7 +97,7 @@ func TestStridedConvBackwardAdjoint(t *testing.T) {
 	gradIn, _ := l.Backward(x, st, g, nil)
 
 	lin := tensor.New(st.O.Shape()...)
-	tensor.Conv2D(lin, dx, l.weight, nil, l.Spec, nil)
+	tensor.Conv2D(nil, lin, dx, l.weight, nil, l.Spec, nil)
 	for i := range lin.Data {
 		lin.Data[i] *= l.Surrogate.Grad(st.U.Data[i], nrn.Threshold)
 	}

@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"skipper/internal/parallel"
 	"skipper/internal/snn"
 	"skipper/internal/tensor"
 )
@@ -22,7 +23,9 @@ type SpikingConv2D struct {
 
 	inShape  []int // [C,H,W]
 	outShape []int // [Cout,OH,OW]
-	col      []float32
+	pool     *parallel.Pool
+	scratch  *tensor.Scratch
+	colLen   int
 }
 
 // NewSpikingConv2D returns an unbuilt spiking conv layer. kernel/stride/pad
@@ -62,9 +65,13 @@ func (l *SpikingConv2D) Build(inShape []int, rng *tensor.RNG) ([]int, error) {
 	l.gradW = tensor.New(l.Spec.OutChannels, l.Spec.InChannels, l.Spec.KernelH, l.Spec.KernelW)
 	l.gradB = tensor.New(l.Spec.OutChannels)
 	rng.KaimingConv(l.weight)
-	l.col = make([]float32, l.Spec.ColBufLen(inShape[1], inShape[2]))
+	l.colLen = l.Spec.ColBufLen(inShape[1], inShape[2])
+	l.scratch = tensor.NewScratch()
 	return l.outShape, nil
 }
+
+// SetPool implements PoolAware.
+func (l *SpikingConv2D) SetPool(p *parallel.Pool) { l.pool = p }
 
 // Params implements Layer.
 func (l *SpikingConv2D) Params() []Param {
@@ -84,11 +91,11 @@ func (l *SpikingConv2D) Forward(x *tensor.Tensor, prev *LayerState) *LayerState 
 	o := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
 	// Compute the synaptic current directly into u, then fold in the
 	// leak/reset recurrence.
-	tensor.Conv2D(u, x, l.weight, l.bias, l.Spec, l.col)
+	tensor.Conv2D(l.pool, u, x, l.weight, l.bias, l.Spec, l.scratch)
 	if prev == nil {
-		snn.StepLIF(u, o, nil, nil, u, l.Neuron)
+		snn.StepLIF(l.pool, u, o, nil, nil, u, l.Neuron)
 	} else {
-		snn.StepLIF(u, o, prev.U, prev.O, u, l.Neuron)
+		snn.StepLIF(l.pool, u, o, prev.U, prev.O, u, l.Neuron)
 	}
 	return &LayerState{U: u, O: o}
 }
@@ -102,16 +109,14 @@ func (l *SpikingConv2D) Forward(x *tensor.Tensor, prev *LayerState) *LayerState 
 // The reset-path gradient is ignored, as in the paper.
 func (l *SpikingConv2D) Backward(x *tensor.Tensor, st *LayerState, gradOut *tensor.Tensor, deltaIn *Delta) (*tensor.Tensor, *Delta) {
 	delta := tensor.New(st.U.Shape()...)
-	theta := l.Neuron.Threshold
-	for i, u := range st.U.Data {
-		delta.Data[i] = l.Surrogate.Grad(u, theta) * gradOut.Data[i]
+	var next *tensor.Tensor
+	if deltaIn != nil {
+		next = deltaIn.D
 	}
-	if deltaIn != nil && deltaIn.D != nil {
-		tensor.AXPY(delta, l.Neuron.Leak, deltaIn.D)
-	}
+	snn.SurrogateDelta(l.pool, delta, st.U, gradOut, next, l.Neuron.Threshold, l.Neuron.Leak, l.Surrogate)
 	gradIn := tensor.New(x.Shape()...)
-	tensor.Conv2DGradInput(gradIn, delta, l.weight, l.Spec, l.col)
-	tensor.Conv2DGradWeight(l.gradW, l.gradB, delta, x, l.Spec, l.col)
+	tensor.Conv2DGradInput(l.pool, gradIn, delta, l.weight, l.Spec, l.scratch)
+	tensor.Conv2DGradWeight(l.pool, l.gradW, l.gradB, delta, x, l.Spec, l.scratch)
 	return gradIn, &Delta{D: delta}
 }
 
@@ -120,5 +125,8 @@ func (l *SpikingConv2D) StateBytes(batch int) int64 {
 	return 2 * 4 * int64(batch) * int64(shapeVolume(l.outShape))
 }
 
-// WorkspaceBytes implements Layer: the im2col buffer.
-func (l *SpikingConv2D) WorkspaceBytes(int) int64 { return 4 * int64(len(l.col)) }
+// WorkspaceBytes implements Layer: the im2col buffer. Charged at one column
+// regardless of pool width — the device budget models accelerator workspace,
+// which must not drift with the host's core count; extra per-lane host
+// columns are not part of the paper's memory model.
+func (l *SpikingConv2D) WorkspaceBytes(int) int64 { return 4 * int64(l.colLen) }

@@ -108,7 +108,7 @@ func TestSpikingConvBackwardAdjoint(t *testing.T) {
 
 	// Linearised forward applied to dx.
 	lin := tensor.New(st.O.Shape()...)
-	tensor.Conv2D(lin, dx, l.weight, nil, l.Spec, nil)
+	tensor.Conv2D(nil, lin, dx, l.weight, nil, l.Spec, nil)
 	for i := range lin.Data {
 		lin.Data[i] *= l.Surrogate.Grad(st.U.Data[i], l.Neuron.Threshold)
 	}
@@ -136,7 +136,7 @@ func TestSpikingConvWeightGradAdjoint(t *testing.T) {
 	dW := tensor.New(l.weight.Shape()...)
 	r.FillNorm(dW, 0, 1)
 	lin := tensor.New(st.O.Shape()...)
-	tensor.Conv2D(lin, x, dW, nil, l.Spec, nil)
+	tensor.Conv2D(nil, lin, x, dW, nil, l.Spec, nil)
 	for i := range lin.Data {
 		lin.Data[i] *= l.Surrogate.Grad(st.U.Data[i], l.Neuron.Threshold)
 	}

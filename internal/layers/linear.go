@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"skipper/internal/parallel"
 	"skipper/internal/snn"
 	"skipper/internal/tensor"
 )
@@ -26,7 +27,11 @@ type SpikingLinear struct {
 	gradW, gradB *tensor.Tensor
 	inShape      []int
 	inFeatures   int
+	pool         *parallel.Pool
 }
+
+// SetPool implements PoolAware.
+func (l *SpikingLinear) SetPool(p *parallel.Pool) { l.pool = p }
 
 // NewSpikingLinear returns an unbuilt spiking fully-connected layer.
 func NewSpikingLinear(label string, out int, neuron snn.Params, surr snn.Surrogate) *SpikingLinear {
@@ -83,7 +88,7 @@ func (l *SpikingLinear) Forward(x *tensor.Tensor, prev *LayerState) *LayerState 
 	xf := l.flatten(x)
 	b := xf.Dim(0)
 	u := tensor.New(b, l.Out)
-	tensor.MatMulTransB(u, xf, l.weight) // current = x·Wᵀ
+	tensor.MatMulTransB(l.pool, u, xf, l.weight) // current = x·Wᵀ
 	tensor.AddRowBias(u, l.bias)
 	if l.Readout {
 		// Pure integrator: U_t = λ·U_{t−1} + I_t, no spike, no reset.
@@ -94,9 +99,9 @@ func (l *SpikingLinear) Forward(x *tensor.Tensor, prev *LayerState) *LayerState 
 	}
 	o := tensor.New(b, l.Out)
 	if prev == nil {
-		snn.StepLIF(u, o, nil, nil, u, l.Neuron)
+		snn.StepLIF(l.pool, u, o, nil, nil, u, l.Neuron)
 	} else {
-		snn.StepLIF(u, o, prev.U, prev.O, u, l.Neuron)
+		snn.StepLIF(l.pool, u, o, prev.U, prev.O, u, l.Neuron)
 	}
 	return &LayerState{U: u, O: o}
 }
@@ -107,22 +112,23 @@ func (l *SpikingLinear) Backward(x *tensor.Tensor, st *LayerState, gradOut *tens
 	xf := l.flatten(x)
 	b := xf.Dim(0)
 	delta := tensor.New(b, l.Out)
+	var next *tensor.Tensor
+	if deltaIn != nil {
+		next = deltaIn.D
+	}
 	if l.Readout {
 		copy(delta.Data, gradOut.Data)
-	} else {
-		theta := l.Neuron.Threshold
-		for i, u := range st.U.Data {
-			delta.Data[i] = l.Surrogate.Grad(u, theta) * gradOut.Data[i]
+		if next != nil {
+			tensor.AXPY(delta, l.Neuron.Leak, next)
 		}
-	}
-	if deltaIn != nil && deltaIn.D != nil {
-		tensor.AXPY(delta, l.Neuron.Leak, deltaIn.D)
+	} else {
+		snn.SurrogateDelta(l.pool, delta, st.U, gradOut, next, l.Neuron.Threshold, l.Neuron.Leak, l.Surrogate)
 	}
 	gradFlat := tensor.New(b, l.inFeatures)
-	tensor.MatMul(gradFlat, delta, l.weight)   // ∂L/∂x = δ·W
-	tensor.MatMulTransAAcc(l.gradW, delta, xf) // ∂W += δᵀ·x
-	tensor.SumPerColumn(l.gradB, delta)        // ∂b += Σ_batch δ
-	gradIn := gradFlat.Reshape(x.Shape()...)   // restore caller's view
+	tensor.MatMul(l.pool, gradFlat, delta, l.weight)   // ∂L/∂x = δ·W
+	tensor.MatMulTransAAcc(l.pool, l.gradW, delta, xf) // ∂W += δᵀ·x
+	tensor.SumPerColumn(l.gradB, delta)                // ∂b += Σ_batch δ
+	gradIn := gradFlat.Reshape(x.Shape()...)           // restore caller's view
 	return gradIn, &Delta{D: delta}
 }
 

@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"skipper/internal/parallel"
 	"skipper/internal/tensor"
 )
 
@@ -17,7 +18,31 @@ type Network struct {
 
 	outShape []int
 	built    bool
+	pool     *parallel.Pool
 }
+
+// PoolAware is implemented by layers whose kernels run on the parallel
+// compute pool. Network.SetPool fans the pool out to them; a layer never
+// owning a pool (nil) runs its kernels serially, which is always
+// bit-identical to any pool size.
+type PoolAware interface {
+	SetPool(*parallel.Pool)
+}
+
+// SetPool hands every pool-aware layer the shared compute pool. Call once
+// after Build (and again after a pool change); a nil pool reverts the
+// network to serial kernels. Results are bit-identical either way.
+func (n *Network) SetPool(p *parallel.Pool) {
+	n.pool = p
+	for _, l := range n.Layers {
+		if pa, ok := l.(PoolAware); ok {
+			pa.SetPool(p)
+		}
+	}
+}
+
+// Pool returns the compute pool the network's layers run on (nil = serial).
+func (n *Network) Pool() *parallel.Pool { return n.pool }
 
 // NewNetwork assembles an unbuilt network from layers.
 func NewNetwork(name string, inShape []int, ls ...Layer) *Network {

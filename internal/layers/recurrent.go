@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"skipper/internal/parallel"
 	"skipper/internal/snn"
 	"skipper/internal/tensor"
 )
@@ -33,7 +34,11 @@ type RecurrentSpikingLinear struct {
 	gradW, gradRec, gradB   *tensor.Tensor
 	inShape                 []int
 	inFeatures              int
+	pool                    *parallel.Pool
 }
+
+// SetPool implements PoolAware.
+func (l *RecurrentSpikingLinear) SetPool(p *parallel.Pool) { l.pool = p }
 
 // NewRecurrentSpikingLinear returns an unbuilt recurrent spiking layer.
 func NewRecurrentSpikingLinear(label string, out int, neuron snn.Params, surr snn.Surrogate) *RecurrentSpikingLinear {
@@ -90,18 +95,18 @@ func (l *RecurrentSpikingLinear) Forward(x *tensor.Tensor, prev *LayerState) *La
 	xf := l.flatten(x)
 	b := xf.Dim(0)
 	u := tensor.New(b, l.Out)
-	tensor.MatMulTransB(u, xf, l.weight)
+	tensor.MatMulTransB(l.pool, u, xf, l.weight)
 	tensor.AddRowBias(u, l.bias)
 	if prev != nil {
 		rec := tensor.New(b, l.Out)
-		tensor.MatMulTransB(rec, prev.O, l.recWeight)
+		tensor.MatMulTransB(l.pool, rec, prev.O, l.recWeight)
 		tensor.AXPY(u, 1, rec)
 	}
 	o := tensor.New(b, l.Out)
 	if prev == nil {
-		snn.StepLIF(u, o, nil, nil, u, l.Neuron)
+		snn.StepLIF(l.pool, u, o, nil, nil, u, l.Neuron)
 	} else {
-		snn.StepLIF(u, o, prev.U, prev.O, u, l.Neuron)
+		snn.StepLIF(l.pool, u, o, prev.U, prev.O, u, l.Neuron)
 	}
 	return &LayerState{U: u, O: o}
 }
@@ -113,24 +118,20 @@ func (l *RecurrentSpikingLinear) Backward(x *tensor.Tensor, st *LayerState, grad
 	// Total ∂L/∂o_t: the downstream gradient plus the lateral credit from
 	// t+1 (δ_{t+1} entered U_{t+1} through W_rec·o_t).
 	gradO := gradOut.Clone()
+	var next *tensor.Tensor
 	if deltaIn != nil && deltaIn.D != nil {
+		next = deltaIn.D
 		lat := tensor.New(b, l.Out)
-		tensor.MatMul(lat, deltaIn.D, l.recWeight)
+		tensor.MatMul(l.pool, lat, next, l.recWeight)
 		tensor.AXPY(gradO, 1, lat)
 		// ∂W_rec += δ_{t+1}ᵀ · o_t
-		tensor.MatMulTransAAcc(l.gradRec, deltaIn.D, st.O)
+		tensor.MatMulTransAAcc(l.pool, l.gradRec, next, st.O)
 	}
 	delta := tensor.New(b, l.Out)
-	theta := l.Neuron.Threshold
-	for i, u := range st.U.Data {
-		delta.Data[i] = l.Surrogate.Grad(u, theta) * gradO.Data[i]
-	}
-	if deltaIn != nil && deltaIn.D != nil {
-		tensor.AXPY(delta, l.Neuron.Leak, deltaIn.D)
-	}
+	snn.SurrogateDelta(l.pool, delta, st.U, gradO, next, l.Neuron.Threshold, l.Neuron.Leak, l.Surrogate)
 	gradFlat := tensor.New(b, l.inFeatures)
-	tensor.MatMul(gradFlat, delta, l.weight)
-	tensor.MatMulTransAAcc(l.gradW, delta, xf)
+	tensor.MatMul(l.pool, gradFlat, delta, l.weight)
+	tensor.MatMulTransAAcc(l.pool, l.gradW, delta, xf)
 	tensor.SumPerColumn(l.gradB, delta)
 	return gradFlat.Reshape(x.Shape()...), &Delta{D: delta}
 }

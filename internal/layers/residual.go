@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"skipper/internal/parallel"
 	"skipper/internal/snn"
 	"skipper/internal/tensor"
 )
@@ -26,8 +27,13 @@ type ResidualBlock struct {
 	identity                 bool
 
 	inShape, midShape, outShape []int
-	col                         []float32
+	pool                        *parallel.Pool
+	scratch                     *tensor.Scratch
+	colLen                      int
 }
+
+// SetPool implements PoolAware.
+func (l *ResidualBlock) SetPool(p *parallel.Pool) { l.pool = p }
 
 // NewResidualBlock returns an unbuilt residual block producing out channels
 // with the given first-stage stride.
@@ -84,7 +90,8 @@ func (l *ResidualBlock) Build(inShape []int, rng *tensor.RNG) ([]int, error) {
 	if n2 > n {
 		n = n2
 	}
-	l.col = make([]float32, n)
+	l.colLen = n
+	l.scratch = tensor.NewScratch()
 	return l.outShape, nil
 }
 
@@ -108,33 +115,33 @@ func (l *ResidualBlock) Forward(x *tensor.Tensor, prev *LayerState) *LayerState 
 	b := x.Dim(0)
 	u1 := tensor.New(b, l.midShape[0], l.midShape[1], l.midShape[2])
 	o1 := tensor.New(b, l.midShape[0], l.midShape[1], l.midShape[2])
-	tensor.Conv2D(u1, x, l.w1, l.b1, l.spec1, l.col)
+	tensor.Conv2D(l.pool, u1, x, l.w1, l.b1, l.spec1, l.scratch)
 	var p1, p2 *LayerState
 	if prev != nil {
 		p1 = prev.Sub[0]
 		p2 = prev
 	}
 	if p1 == nil {
-		snn.StepLIF(u1, o1, nil, nil, u1, l.Neuron)
+		snn.StepLIF(l.pool, u1, o1, nil, nil, u1, l.Neuron)
 	} else {
-		snn.StepLIF(u1, o1, p1.U, p1.O, u1, l.Neuron)
+		snn.StepLIF(l.pool, u1, o1, p1.U, p1.O, u1, l.Neuron)
 	}
 
 	u2 := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
 	o2 := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
-	tensor.Conv2D(u2, o1, l.w2, l.b2, l.spec2, l.col)
+	tensor.Conv2D(l.pool, u2, o1, l.w2, l.b2, l.spec2, l.scratch)
 	// Shortcut current joins before the second LIF.
 	if l.identity {
 		tensor.AXPY(u2, 1, x)
 	} else {
 		sc := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
-		tensor.Conv2D(sc, x, l.wsc, nil, l.specSC, l.col)
+		tensor.Conv2D(l.pool, sc, x, l.wsc, nil, l.specSC, l.scratch)
 		tensor.AXPY(u2, 1, sc)
 	}
 	if p2 == nil {
-		snn.StepLIF(u2, o2, nil, nil, u2, l.Neuron)
+		snn.StepLIF(l.pool, u2, o2, nil, nil, u2, l.Neuron)
 	} else {
-		snn.StepLIF(u2, o2, p2.U, p2.O, u2, l.Neuron)
+		snn.StepLIF(l.pool, u2, o2, p2.U, p2.O, u2, l.Neuron)
 	}
 	return &LayerState{U: u2, O: o2, Sub: []*LayerState{{U: u1, O: o1}}}
 }
@@ -144,36 +151,34 @@ func (l *ResidualBlock) Backward(x *tensor.Tensor, st *LayerState, gradOut *tens
 	theta := l.Neuron.Threshold
 	// Second stage: δ2 = σ'(U2)⊙gradOut + λ·δ2_{t+1}
 	delta2 := tensor.New(st.U.Shape()...)
-	for i, u := range st.U.Data {
-		delta2.Data[i] = l.Surrogate.Grad(u, theta) * gradOut.Data[i]
+	var next2 *tensor.Tensor
+	if deltaIn != nil {
+		next2 = deltaIn.D
 	}
-	if deltaIn != nil && deltaIn.D != nil {
-		tensor.AXPY(delta2, l.Neuron.Leak, deltaIn.D)
-	}
+	snn.SurrogateDelta(l.pool, delta2, st.U, gradOut, next2, theta, l.Neuron.Leak, l.Surrogate)
 	st1 := st.Sub[0]
 	// Main path through conv2 to the first stage's output.
 	gradO1 := tensor.New(st1.O.Shape()...)
-	tensor.Conv2DGradInput(gradO1, delta2, l.w2, l.spec2, l.col)
-	tensor.Conv2DGradWeight(l.gw2, l.gb2, delta2, st1.O, l.spec2, l.col)
+	tensor.Conv2DGradInput(l.pool, gradO1, delta2, l.w2, l.spec2, l.scratch)
+	tensor.Conv2DGradWeight(l.pool, l.gw2, l.gb2, delta2, st1.O, l.spec2, l.scratch)
 	// Shortcut path straight to the block input.
 	gradIn := tensor.New(x.Shape()...)
 	if l.identity {
 		copy(gradIn.Data, delta2.Data)
 	} else {
-		tensor.Conv2DGradInput(gradIn, delta2, l.wsc, l.specSC, l.col)
-		tensor.Conv2DGradWeight(l.gwsc, nil, delta2, x, l.specSC, l.col)
+		tensor.Conv2DGradInput(l.pool, gradIn, delta2, l.wsc, l.specSC, l.scratch)
+		tensor.Conv2DGradWeight(l.pool, l.gwsc, nil, delta2, x, l.specSC, l.scratch)
 	}
 	// First stage: δ1 = σ'(U1)⊙gradO1 + λ·δ1_{t+1}
 	delta1 := tensor.New(st1.U.Shape()...)
-	for i, u := range st1.U.Data {
-		delta1.Data[i] = l.Surrogate.Grad(u, theta) * gradO1.Data[i]
+	var next1 *tensor.Tensor
+	if deltaIn != nil && len(deltaIn.Sub) > 0 {
+		next1 = deltaIn.Sub[0].D
 	}
-	if deltaIn != nil && len(deltaIn.Sub) > 0 && deltaIn.Sub[0].D != nil {
-		tensor.AXPY(delta1, l.Neuron.Leak, deltaIn.Sub[0].D)
-	}
+	snn.SurrogateDelta(l.pool, delta1, st1.U, gradO1, next1, theta, l.Neuron.Leak, l.Surrogate)
 	gradMain := tensor.New(x.Shape()...)
-	tensor.Conv2DGradInput(gradMain, delta1, l.w1, l.spec1, l.col)
-	tensor.Conv2DGradWeight(l.gw1, l.gb1, delta1, x, l.spec1, l.col)
+	tensor.Conv2DGradInput(l.pool, gradMain, delta1, l.w1, l.spec1, l.scratch)
+	tensor.Conv2DGradWeight(l.pool, l.gw1, l.gb1, delta1, x, l.spec1, l.scratch)
 	tensor.AXPY(gradIn, 1, gradMain)
 	return gradIn, &Delta{D: delta2, Sub: []*Delta{{D: delta1}}}
 }
@@ -183,8 +188,9 @@ func (l *ResidualBlock) StateBytes(batch int) int64 {
 	return 2 * 4 * int64(batch) * int64(shapeVolume(l.midShape)+shapeVolume(l.outShape))
 }
 
-// WorkspaceBytes implements Layer.
-func (l *ResidualBlock) WorkspaceBytes(int) int64 { return 4 * int64(len(l.col)) }
+// WorkspaceBytes implements Layer. One column regardless of pool width; see
+// SpikingConv2D.WorkspaceBytes.
+func (l *ResidualBlock) WorkspaceBytes(int) int64 { return 4 * int64(l.colLen) }
 
 // ConvCount returns the number of convolution layers in the block (2 or 3
 // with a projection shortcut), used for topology reports.

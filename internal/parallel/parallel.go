@@ -1,0 +1,137 @@
+// Package parallel is the shared execution runtime the hot tensor kernels
+// run on: a pool of long-lived worker goroutines that fan statically
+// partitioned index ranges out across CPU cores.
+//
+// # Determinism contract
+//
+// Every kernel built on the pool partitions its OUTPUT elements, never a
+// shared accumulator: a range [0,n) is split into contiguous lanes, each
+// output element is computed entirely inside the lane that owns it, and the
+// per-element arithmetic is byte-for-byte the code the serial path runs.
+// Because no float is ever combined across lanes, the result is bit-identical
+// to the serial kernel for every pool size — the lane boundaries only decide
+// WHO computes an element, not HOW it is computed. This is what keeps
+// kill/resume replays and the divergence-guard equality checks exact when
+// threads > 1, and it is stronger than an ordered reduction: there is no
+// reduction at all.
+//
+// # Scheduling
+//
+// Run splits [0,n) into at most Lanes() near-equal contiguous chunks. The
+// submitting goroutine always executes lane 0 itself (so a pool is never
+// idle-blocked on its own submitter) and hands lanes 1..L-1 to the worker
+// goroutines. Multiple goroutines may submit to one pool concurrently — the
+// serving worker replicas share a single pool this way — because lane
+// scratch is owned by the caller (see tensor.Scratch), not the pool.
+//
+// Kernels are leaves: fn must not call back into Run on the same pool, or a
+// busy pool can deadlock waiting on itself.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool fans contiguous index ranges out to worker goroutines. The zero of
+// the type is not useful; construct with NewPool. A nil *Pool is valid
+// everywhere and runs everything inline on the calling goroutine — it is the
+// canonical "serial" pool.
+type Pool struct {
+	lanes     int
+	tasks     chan task
+	closeOnce sync.Once
+}
+
+type task struct {
+	fn           func(lane, lo, hi int)
+	lane, lo, hi int
+	wg           *sync.WaitGroup
+}
+
+// NewPool builds a pool with the given number of lanes. threads <= 0 means
+// runtime.NumCPU(). A 1-lane pool spawns no goroutines and runs inline.
+func NewPool(threads int) *Pool {
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	p := &Pool{lanes: threads}
+	if threads > 1 {
+		p.tasks = make(chan task, 4*threads)
+		// Lane 0 of every Run executes on the submitting goroutine, so
+		// threads-1 workers saturate the requested width.
+		for i := 0; i < threads-1; i++ {
+			go p.work()
+		}
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	for t := range p.tasks {
+		t.fn(t.lane, t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// Lanes returns the partition width Run uses. A nil pool has one lane.
+func (p *Pool) Lanes() int {
+	if p == nil || p.lanes < 1 {
+		return 1
+	}
+	return p.lanes
+}
+
+// Run partitions [0, n) into Lanes() near-equal contiguous ranges and
+// invokes fn once per non-empty range, concurrently. fn receives the lane
+// index (0-based, dense — usable as a scratch-buffer key) and its [lo, hi)
+// range. Run returns when every lane has finished. Lane writes must be
+// disjoint; see the package comment for the determinism contract.
+func (p *Pool) Run(n int, fn func(lane, lo, hi int)) {
+	p.RunGrain(n, 1, fn)
+}
+
+// RunGrain is Run with a floor on per-lane work: the partition never puts
+// fewer than grain indices in a lane (except the only lane of a small n), so
+// tiny inputs stay on the calling goroutine instead of paying the handoff.
+// The floor changes only how many lanes participate — per-element arithmetic
+// is lane-independent, so results do not depend on grain.
+func (p *Pool) RunGrain(n, grain int, fn func(lane, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	lanes := p.Lanes()
+	if max := n / grain; lanes > max {
+		lanes = max
+	}
+	if lanes <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + lanes - 1) / lanes
+	var wg sync.WaitGroup
+	lane := 1
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.tasks <- task{fn: fn, lane: lane, lo: lo, hi: hi, wg: &wg}
+		lane++
+	}
+	fn(0, 0, chunk)
+	wg.Wait()
+}
+
+// Close terminates the worker goroutines. Safe to call more than once; Run
+// must not be called after Close. Closing a nil or 1-lane pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	p.closeOnce.Do(func() { close(p.tasks) })
+}

@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversRangeDisjointly checks every index in [0,n) is visited exactly
+// once for a spread of pool widths and range sizes.
+func TestRunCoversRangeDisjointly(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 4, 7} {
+		p := NewPool(threads)
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 1001} {
+			hits := make([]int32, n)
+			p.Run(n, func(lane, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestLaneIndicesDense checks the lane numbers a Run hands out are 0..L-1
+// with no gaps and no duplicates, so they can key per-lane scratch slots.
+func TestLaneIndicesDense(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	seen := make([]int32, p.Lanes())
+	p.Run(1000, func(lane, lo, hi int) {
+		atomic.AddInt32(&seen[lane], 1)
+	})
+	used := 0
+	for lane, c := range seen {
+		if c > 1 {
+			t.Fatalf("lane %d used %d times in one Run", lane, c)
+		}
+		if c == 1 {
+			used++
+		}
+	}
+	if used == 0 {
+		t.Fatal("no lanes ran")
+	}
+	// Used lanes must be the prefix 0..used-1.
+	for lane := 0; lane < used; lane++ {
+		if seen[lane] != 1 {
+			t.Fatalf("lane numbering has a gap at %d", lane)
+		}
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Lanes() != 1 {
+		t.Fatalf("nil pool Lanes() = %d, want 1", p.Lanes())
+	}
+	ran := false
+	p.Run(10, func(lane, lo, hi int) {
+		if lane != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("nil pool gave lane=%d [%d,%d), want single inline range", lane, lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("nil pool never invoked fn")
+	}
+	p.Close() // must not panic
+}
+
+// TestRunGrainFloorsLaneWork checks small inputs collapse to fewer lanes so
+// per-lane work never drops below the grain.
+func TestRunGrainFloorsLaneWork(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var lanes int32
+	p.RunGrain(100, 64, func(lane, lo, hi int) {
+		atomic.AddInt32(&lanes, 1)
+		if hi-lo < 64 && lo != 0 {
+			t.Errorf("lane %d got %d indices, below grain", lane, hi-lo)
+		}
+	})
+	if lanes != 1 {
+		t.Fatalf("n=100 grain=64 used %d lanes, want 1", lanes)
+	}
+}
+
+// TestConcurrentSubmitters proves many goroutines can share one pool: each
+// submitter fills a private slice through Run, so disjoint-output kernels on
+// different buffers never interfere.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const submitters, n = 8, 4096
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(tag int) {
+			defer wg.Done()
+			buf := make([]int, n)
+			for rep := 0; rep < 20; rep++ {
+				p.Run(n, func(lane, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						buf[i] = tag + i
+					}
+				})
+				for i, v := range buf {
+					if v != tag+i {
+						t.Errorf("submitter %d: buf[%d] = %d, want %d", tag, i, v, tag+i)
+						return
+					}
+				}
+			}
+		}(s * 1000)
+	}
+	wg.Wait()
+}
+
+func TestNewPoolDefaultsToNumCPU(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Lanes() < 1 {
+		t.Fatalf("NewPool(0).Lanes() = %d", p.Lanes())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	p.Close()
+	p.Close()
+}

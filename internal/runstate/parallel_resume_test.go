@@ -1,0 +1,97 @@
+package runstate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/faults"
+)
+
+// The parallel runtime must not weaken PR 2's crash-safety story: a run on a
+// 4-lane pool that is killed mid-epoch resumes bit-identically — and matches
+// a serial run of the same seed, because kernels are bit-identical at every
+// pool width. The store runs on the fault injector so a torn post-crash
+// write is exercised on the way.
+func TestParallelKillResumeBitIdenticalToSerial(t *testing.T) {
+	cfg := testCfg()
+	const epochs = 2
+
+	// Serial reference, uninterrupted.
+	serialCfg := cfg
+	serialCfg.Runtime = core.NewRuntime(core.WithThreads(1))
+	ref := testTrainer(t, core.BPTT{}, serialCfg)
+	refStats := make([]core.EpochStats, 0, epochs)
+	for e := 1; e <= epochs; e++ {
+		ep, err := ref.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refStats = append(refStats, ep)
+	}
+
+	// Victim: 4-lane pool, snapshots every 2 batches, dies at epoch 2
+	// batch 2 (call 6).
+	rt4 := core.NewRuntime(core.WithThreads(4))
+	defer rt4.Close()
+	parCfg := cfg
+	parCfg.Runtime = rt4
+	inj := faults.NewInjector(nil)
+	store, err := Open(t.TempDir(), inj, faults.Fixed(time.Date(2026, 8, 5, 9, 0, 0, 0, time.UTC)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	victim := testTrainer(t, crashStrategy{inner: core.BPTT{}, calls: &calls, at: 6}, parCfg)
+	Attach(victim, store)
+	if _, err := victim.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.TrainEpoch(); !errors.Is(err, errCrash) {
+		t.Fatalf("victim should have crashed, got: %v", err)
+	}
+
+	// The manifest records the pool width it ran at — forensics, not a
+	// restore precondition.
+	m, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Meta.Threads != 4 {
+		t.Fatalf("manifest threads = %d, want 4", m.Meta.Threads)
+	}
+	cursorBefore := m.Meta.Cursor
+
+	// A torn write after the crash must leave the last good manifest intact.
+	inj.FailWritesAfter(32)
+	if err := store.Save(m); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("torn save should fail with ErrInjected, got: %v", err)
+	}
+	inj.Reset()
+	m2, err := store.Load()
+	if err != nil {
+		t.Fatalf("manifest unreadable after torn write: %v", err)
+	}
+	if m2.Meta.Cursor != cursorBefore {
+		t.Fatalf("torn write moved the cursor: %+v -> %+v", cursorBefore, m2.Meta.Cursor)
+	}
+
+	// Survivor: a fresh 4-lane process resumed from the manifest. Its epochs
+	// must match the serial uninterrupted reference exactly.
+	survivor := testTrainer(t, core.BPTT{}, parCfg)
+	Attach(survivor, store)
+	cur, partial, err := Resume(survivor, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := survivor.ResumeEpoch(cur.NextBatch, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalize(ep2) != normalize(refStats[1]) {
+		t.Fatalf("resumed threads=4 epoch 2 differs from serial reference:\n  resumed: %+v\n  serial:  %+v",
+			normalize(ep2), normalize(refStats[1]))
+	}
+	requireSameWeights(t, ref, survivor, "threads=4 resume vs serial reference")
+}

@@ -57,6 +57,11 @@ type Meta struct {
 	Seed      uint64    `json:"seed"`
 	OptSteps  int       `json:"opt_steps"`
 	LRScale   float32   `json:"lr_scale"`
+	// Threads records the compute-pool width the run executed with — for
+	// forensics only. Restore deliberately does not match on it: kernels
+	// are bit-identical across pool sizes, so a run saved at threads=8
+	// resumes exactly on a 2-core box.
+	Threads int `json:"threads,omitempty"`
 
 	Cursor  core.Cursor     `json:"cursor"`
 	Partial core.EpochStats `json:"partial"`
@@ -88,6 +93,7 @@ func Capture(tr *core.Trainer, cur core.Cursor, partial core.EpochStats) (*Manif
 		Seed:        tr.Cfg.Seed,
 		OptSteps:    tr.Opt.StepCount(),
 		LRScale:     tr.LRScale(),
+		Threads:     tr.Cfg.Runtime.Threads(),
 		Cursor:      cur,
 		Partial:     partial,
 		Divergences: tr.DivergenceLog(),

@@ -33,9 +33,10 @@ type Metrics struct {
 	// gauges, read at render time
 	queueDepth   func() int
 	modelVersion func() uint64
+	threads      int // compute-pool width, fixed at construction
 }
 
-func newMetrics(maxBatch int, queueDepth func() int, modelVersion func() uint64) *Metrics {
+func newMetrics(maxBatch, threads int, queueDepth func() int, modelVersion func() uint64) *Metrics {
 	return &Metrics{
 		requests: map[string]int64{},
 		// 0.5ms .. ~16s
@@ -45,6 +46,7 @@ func newMetrics(maxBatch int, queueDepth func() int, modelVersion func() uint64)
 
 		queueDepth:   queueDepth,
 		modelVersion: modelVersion,
+		threads:      threads,
 	}
 }
 
@@ -135,6 +137,7 @@ func (m *Metrics) Render(w io.Writer) {
 
 	gauge(w, "skipper_serve_queue_depth", "Requests currently waiting in the batching queue.", float64(m.queueDepth()))
 	gauge(w, "skipper_serve_model_version", "Generation number of the serving checkpoint.", float64(m.modelVersion()))
+	gauge(w, "skipper_runtime_threads", "Width of the shared parallel compute pool.", float64(m.threads))
 }
 
 func counter(w io.Writer, name, help string, v int64) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"skipper/internal/layers"
+	"skipper/internal/parallel"
 	"skipper/internal/serialize"
 )
 
@@ -135,16 +136,28 @@ func (m *Model) Reload(path string) (*Snapshot, error) {
 // replica is a worker-private network kept in sync with the model by
 // generation number: before each batch the worker calls sync, which copies
 // weights from the current snapshot only when the version moved.
+//
+// Scratch-ownership invariant: every layer owns per-lane kernel scratch
+// (tensor.Scratch), sized for the compute pool it runs on. That makes one
+// network safe under ONE forward pass at a time — the pool's lanes get
+// disjoint buffers — but never under two concurrent passes, which would race
+// on the same lane slots. Workers therefore each build a private network
+// here (scratch and all) and share only the compute pool and the immutable
+// snapshot they copy weights from; the snapshot's own network runs no
+// forward passes at all.
 type replica struct {
 	net     *layers.Network
 	version uint64
 }
 
-func newReplica(build func() (*layers.Network, error)) (*replica, error) {
+func newReplica(build func() (*layers.Network, error), pool *parallel.Pool) (*replica, error) {
 	net, err := build()
 	if err != nil {
 		return nil, fmt.Errorf("serve: building worker replica: %w", err)
 	}
+	// The shared pool fans this replica's kernels across cores; per-replica
+	// scratch (see type comment) keeps concurrent workers isolated.
+	net.SetPool(pool)
 	return &replica{net: net}, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"skipper/internal/core"
 	"skipper/internal/layers"
 )
 
@@ -33,6 +34,13 @@ type Config struct {
 	// share per-layer scratch buffers and are not concurrency-safe) and
 	// once per checkpoint load for validation.
 	Build func() (*layers.Network, error)
+
+	// Runtime is the execution context whose compute pool the worker
+	// replicas' kernels run on. Nil means core.DefaultRuntime. All workers
+	// share the one pool (per-worker scratch keeps them isolated; see
+	// model.go), so the server saturates the machine without
+	// oversubscribing it.
+	Runtime *core.Runtime
 
 	// T is the simulation horizon per request.
 	T int
@@ -74,6 +82,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Runtime == nil {
+		c.Runtime = core.DefaultRuntime()
+	}
 	if c.T <= 0 {
 		c.T = 32
 	}

@@ -108,12 +108,12 @@ func NewServer(cfg Config, modelPath string) (*Server, error) {
 		classes:  tensor.Volume(out),
 		started:  time.Now(),
 	}
-	s.metrics = newMetrics(cfg.MaxBatch,
+	s.metrics = newMetrics(cfg.MaxBatch, cfg.Runtime.Threads(),
 		func() int { return len(s.queue) },
 		func() uint64 { return s.model.Current().Version })
 	model.OnRetry = func(int, error) { s.metrics.observeReloadRetry() }
 	for i := 0; i < cfg.Workers; i++ {
-		r, err := newReplica(cfg.Build)
+		r, err := newReplica(cfg.Build, cfg.Runtime.Pool())
 		if err != nil {
 			close(s.stop)
 			return nil, err

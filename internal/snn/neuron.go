@@ -7,8 +7,15 @@ package snn
 import (
 	"fmt"
 
+	"skipper/internal/parallel"
 	"skipper/internal/tensor"
 )
+
+// elemGrain floors per-lane work for the elementwise neuron kernels: below a
+// few thousand neurons the goroutine handoff outweighs the arithmetic. Every
+// element's update is self-contained, so the floor (like the pool size)
+// cannot change results.
+const elemGrain = 4096
 
 // ResetMode selects how the membrane reacts to the neuron's own spike.
 type ResetMode int
@@ -58,8 +65,10 @@ func (p Params) Validate() error {
 // where I_t is the layer's synaptic input current (W·o_t^{l-1}, already
 // computed by the layer). u and o receive the new state; uPrev/oPrev are the
 // previous state (pass nil for t = 0, meaning zero initial state). u may
-// alias current; o must not alias u.
-func StepLIF(u, o, uPrev, oPrev, current *tensor.Tensor, p Params) {
+// alias current; o must not alias u. The neuron range partitions across pool
+// lanes (nil pool = serial); each neuron's update is self-contained, so
+// results are bit-identical for every pool size.
+func StepLIF(pool *parallel.Pool, u, o, uPrev, oPrev, current *tensor.Tensor, p Params) {
 	n := u.Len()
 	if o.Len() != n || current.Len() != n {
 		panic(fmt.Sprintf("snn: StepLIF size mismatch u=%d o=%d current=%d", n, o.Len(), current.Len()))
@@ -68,15 +77,17 @@ func StepLIF(u, o, uPrev, oPrev, current *tensor.Tensor, p Params) {
 	theta := p.Threshold
 	lam := p.Leak
 	if uPrev == nil {
-		for i := 0; i < n; i++ {
-			v := cd[i]
-			ud[i] = v
-			if v > theta {
-				od[i] = 1
-			} else {
-				od[i] = 0
+		pool.RunGrain(n, elemGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := cd[i]
+				ud[i] = v
+				if v > theta {
+					od[i] = 1
+				} else {
+					od[i] = 0
+				}
 			}
-		}
+		})
 		return
 	}
 	if uPrev.Len() != n || oPrev == nil || oPrev.Len() != n {
@@ -84,8 +95,22 @@ func StepLIF(u, o, uPrev, oPrev, current *tensor.Tensor, p Params) {
 	}
 	upd, opd := uPrev.Data, oPrev.Data
 	if p.Reset == ResetZero {
-		for i := 0; i < n; i++ {
-			v := lam*upd[i]*(1-opd[i]) + cd[i]
+		pool.RunGrain(n, elemGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := lam*upd[i]*(1-opd[i]) + cd[i]
+				ud[i] = v
+				if v > theta {
+					od[i] = 1
+				} else {
+					od[i] = 0
+				}
+			}
+		})
+		return
+	}
+	pool.RunGrain(n, elemGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := lam*upd[i] + cd[i] - theta*opd[i]
 			ud[i] = v
 			if v > theta {
 				od[i] = 1
@@ -93,31 +118,24 @@ func StepLIF(u, o, uPrev, oPrev, current *tensor.Tensor, p Params) {
 				od[i] = 0
 			}
 		}
-		return
-	}
-	for i := 0; i < n; i++ {
-		v := lam*upd[i] + cd[i] - theta*opd[i]
-		ud[i] = v
-		if v > theta {
-			od[i] = 1
-		} else {
-			od[i] = 0
-		}
-	}
+	})
 }
 
 // Fire computes o = 1[u > θ] elementwise without touching membrane state.
-func Fire(o, u *tensor.Tensor, theta float32) {
+func Fire(pool *parallel.Pool, o, u *tensor.Tensor, theta float32) {
 	if o.Len() != u.Len() {
 		panic("snn: Fire size mismatch")
 	}
-	for i, v := range u.Data {
-		if v > theta {
-			o.Data[i] = 1
-		} else {
-			o.Data[i] = 0
+	od, ud := o.Data, u.Data
+	pool.RunGrain(len(ud), elemGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ud[i] > theta {
+				od[i] = 1
+			} else {
+				od[i] = 0
+			}
 		}
-	}
+	})
 }
 
 // SpikeCount returns the number of spikes in o (sum of a binary tensor).

@@ -1,0 +1,82 @@
+package snn
+
+import (
+	"fmt"
+	"testing"
+
+	"skipper/internal/parallel"
+	"skipper/internal/tensor"
+)
+
+// The elementwise neuron kernels share the tensor kernels' contract: pooled
+// runs are bit-identical to serial at every lane count, including sizes
+// below the elemGrain work floor.
+
+func equivFill(d []float32, seed uint64) {
+	s := seed*0x9E3779B97F4A7C15 + 1
+	for i := range d {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		d[i] = float32(s%4096)/1024 - 2 // spans both sides of θ = 1
+	}
+}
+
+func requireBitEqual(t *testing.T, name string, serial, pooled *tensor.Tensor) {
+	t.Helper()
+	for i, v := range serial.Data {
+		if v != pooled.Data[i] {
+			t.Fatalf("%s: element %d differs: serial %v, pooled %v", name, i, v, pooled.Data[i])
+		}
+	}
+}
+
+func TestNeuronKernelsBitIdenticalAcrossPoolSizes(t *testing.T) {
+	sizes := []int{1, 7, 100, elemGrain - 1, elemGrain + 3, 3*elemGrain + 17}
+	for _, lanes := range []int{2, 3, 4} {
+		pool := parallel.NewPool(lanes)
+		defer pool.Close()
+		for _, n := range sizes {
+			label := fmt.Sprintf("[n=%d]@%d lanes", n, lanes)
+			cur := tensor.New(n)
+			uPrev := tensor.New(n)
+			oPrev := tensor.New(n)
+			equivFill(cur.Data, 3)
+			equivFill(uPrev.Data, 5)
+			Fire(nil, oPrev, uPrev, 0.5)
+
+			for _, reset := range []ResetMode{ResetSubtract, ResetZero} {
+				p := DefaultParams()
+				p.Reset = reset
+				uS, oS := tensor.New(n), tensor.New(n)
+				uP, oP := tensor.New(n), tensor.New(n)
+				StepLIF(nil, uS, oS, uPrev, oPrev, cur, p)
+				StepLIF(pool, uP, oP, uPrev, oPrev, cur, p)
+				requireBitEqual(t, fmt.Sprintf("StepLIF(reset=%d)%s u", reset, label), uS, uP)
+				requireBitEqual(t, fmt.Sprintf("StepLIF(reset=%d)%s o", reset, label), oS, oP)
+
+				// t = 0: zero initial state.
+				StepLIF(nil, uS, oS, nil, nil, cur, p)
+				StepLIF(pool, uP, oP, nil, nil, cur, p)
+				requireBitEqual(t, "StepLIF(t=0)"+label, uS, uP)
+			}
+
+			gS, gP := tensor.New(n), tensor.New(n)
+			SurrogateGrad(nil, gS, uPrev, 1.0, Triangle{})
+			SurrogateGrad(pool, gP, uPrev, 1.0, Triangle{})
+			requireBitEqual(t, "SurrogateGrad"+label, gS, gP)
+
+			gradOut := tensor.New(n)
+			next := tensor.New(n)
+			equivFill(gradOut.Data, 7)
+			equivFill(next.Data, 11)
+			dS, dP := tensor.New(n), tensor.New(n)
+			SurrogateDelta(nil, dS, uPrev, gradOut, next, 1.0, 0.95, Triangle{})
+			SurrogateDelta(pool, dP, uPrev, gradOut, next, 1.0, 0.95, Triangle{})
+			requireBitEqual(t, "SurrogateDelta"+label, dS, dP)
+			SurrogateDelta(nil, dS, uPrev, gradOut, nil, 1.0, 0.95, Triangle{})
+			SurrogateDelta(pool, dP, uPrev, gradOut, nil, 1.0, 0.95, Triangle{})
+			requireBitEqual(t, "SurrogateDelta(nil next)"+label, dS, dP)
+		}
+	}
+}

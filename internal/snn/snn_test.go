@@ -36,7 +36,7 @@ func TestStepLIFInitialStep(t *testing.T) {
 	cur := tensor.FromSlice([]float32{0.5, 1.5, 1.0}, 3)
 	u := tensor.New(3)
 	o := tensor.New(3)
-	StepLIF(u, o, nil, nil, cur, p)
+	StepLIF(nil, u, o, nil, nil, cur, p)
 	// t=0: U = I, spike iff U > θ (strict)
 	want := []float32{0, 1, 0}
 	for i := range want {
@@ -56,7 +56,7 @@ func TestStepLIFDynamicsMatchEquation1(t *testing.T) {
 	cur := tensor.FromSlice([]float32{0.3, 0.7}, 2)
 	u := tensor.New(2)
 	o := tensor.New(2)
-	StepLIF(u, o, uPrev, oPrev, cur, p)
+	StepLIF(nil, u, o, uPrev, oPrev, cur, p)
 	// U[0] = 0.8*2.0 + 0.3 - 1*1 = 0.9 -> no spike
 	// U[1] = 0.8*0.5 + 0.7 - 0   = 1.1 -> spike
 	if math.Abs(float64(u.Data[0])-0.9) > 1e-6 || o.Data[0] != 0 {
@@ -74,7 +74,7 @@ func TestStepLIFResetLowersPotential(t *testing.T) {
 	oPrev := tensor.FromSlice([]float32{1}, 1)
 	cur := tensor.New(1)
 	u, o := tensor.New(1), tensor.New(1)
-	StepLIF(u, o, uPrev, oPrev, cur, p)
+	StepLIF(nil, u, o, uPrev, oPrev, cur, p)
 	if math.Abs(float64(u.Data[0])-0.5) > 1e-6 {
 		t.Fatalf("reset: u = %v, want 0.5", u.Data[0])
 	}
@@ -86,13 +86,13 @@ func TestStepLIFSizeMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	StepLIF(tensor.New(2), tensor.New(3), nil, nil, tensor.New(2), DefaultParams())
+	StepLIF(nil, tensor.New(2), tensor.New(3), nil, nil, tensor.New(2), DefaultParams())
 }
 
 func TestFireStrictThreshold(t *testing.T) {
 	u := tensor.FromSlice([]float32{0.99, 1.0, 1.01}, 3)
 	o := tensor.New(3)
-	Fire(o, u, 1.0)
+	Fire(nil, o, u, 1.0)
 	if o.Data[0] != 0 || o.Data[1] != 0 || o.Data[2] != 1 {
 		t.Fatalf("Fire = %v; threshold must be strict (>)", o.Data)
 	}
@@ -118,7 +118,7 @@ func TestLeakDecayProperty(t *testing.T) {
 		oPrev := tensor.New(4)
 		prev := u.Clone()
 		for step := 0; step < 20; step++ {
-			StepLIF(u, o, prev, oPrev, zero, p)
+			StepLIF(nil, u, o, prev, oPrev, zero, p)
 			for i := range u.Data {
 				want := p.Leak * prev.Data[i]
 				if math.Abs(float64(u.Data[i]-want)) > 1e-5 {
@@ -151,7 +151,7 @@ func TestSpikesBinaryProperty(t *testing.T) {
 			oPrev.Data[i] = r.Bernoulli(0.5)
 		}
 		r.FillNorm(cur, 0, 2)
-		StepLIF(u, o, uPrev, oPrev, cur, p)
+		StepLIF(nil, u, o, uPrev, oPrev, cur, p)
 		for _, v := range o.Data {
 			if v != 0 && v != 1 {
 				return false
@@ -231,7 +231,7 @@ func TestSurrogateGradVectorised(t *testing.T) {
 	u := tensor.FromSlice([]float32{0.5, 1.0, 1.5}, 3)
 	dst := tensor.New(3)
 	s := Triangle{}
-	SurrogateGrad(dst, u, 1.0, s)
+	SurrogateGrad(nil, dst, u, 1.0, s)
 	for i, v := range u.Data {
 		if dst.Data[i] != s.Grad(v, 1.0) {
 			t.Fatalf("SurrogateGrad[%d] mismatch", i)
@@ -260,7 +260,7 @@ func TestStepLIFZeroReset(t *testing.T) {
 	oPrev := tensor.FromSlice([]float32{1, 0}, 2)
 	cur := tensor.FromSlice([]float32{0.2, 0.2}, 2)
 	u, o := tensor.New(2), tensor.New(2)
-	StepLIF(u, o, uPrev, oPrev, cur, p)
+	StepLIF(nil, u, o, uPrev, oPrev, cur, p)
 	// Spiked neuron restarts from zero: U = 0 + 0.2.
 	if math.Abs(float64(u.Data[0])-0.2) > 1e-6 {
 		t.Fatalf("zero reset: u = %v, want 0.2", u.Data[0])
@@ -278,7 +278,7 @@ func TestResetModesDiffer(t *testing.T) {
 		oPrev := tensor.FromSlice([]float32{1}, 1)
 		cur := tensor.New(1)
 		u, o := tensor.New(1), tensor.New(1)
-		StepLIF(u, o, uPrev, oPrev, cur, p)
+		StepLIF(nil, u, o, uPrev, oPrev, cur, p)
 		return u.Data[0]
 	}
 	sub, zero := mk(ResetSubtract), mk(ResetZero)

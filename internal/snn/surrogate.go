@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"skipper/internal/parallel"
 	"skipper/internal/tensor"
 )
 
@@ -130,11 +131,50 @@ func ByName(name string) (Surrogate, error) {
 }
 
 // SurrogateGrad fills dst[i] = s.Grad(u[i], theta) elementwise.
-func SurrogateGrad(dst, u *tensor.Tensor, theta float32, s Surrogate) {
+func SurrogateGrad(pool *parallel.Pool, dst, u *tensor.Tensor, theta float32, s Surrogate) {
 	if dst.Len() != u.Len() {
 		panic("snn: SurrogateGrad size mismatch")
 	}
-	for i, v := range u.Data {
-		dst.Data[i] = s.Grad(v, theta)
+	dd, ud := dst.Data, u.Data
+	pool.RunGrain(len(ud), elemGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = s.Grad(ud[i], theta)
+		}
+	})
+}
+
+// SurrogateDelta is the fused BPTT membrane-delta kernel every spiking layer
+// runs each backward timestep:
+//
+//	delta[i] = s.Grad(u[i], theta) · gradOut[i]            (deltaNext == nil)
+//	delta[i] = s.Grad(u[i], theta)·gradOut[i] + leak·deltaNext[i]
+//
+// The second form adds the λ-decayed membrane path from the later timestep.
+// The arithmetic per element is (surrogate·grad) then (+ leak·next) — the
+// same two rounding steps the layers' former Grad-loop + AXPY pair produced,
+// so checkpoint replays of old runs stay bit-identical. delta may alias
+// deltaNext (the layers reuse one buffer across timesteps).
+func SurrogateDelta(pool *parallel.Pool, delta, u, gradOut, deltaNext *tensor.Tensor, theta, leak float32, s Surrogate) {
+	n := delta.Len()
+	if u.Len() != n || gradOut.Len() != n {
+		panic("snn: SurrogateDelta size mismatch")
 	}
+	dd, ud, gd := delta.Data, u.Data, gradOut.Data
+	if deltaNext == nil {
+		pool.RunGrain(n, elemGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dd[i] = s.Grad(ud[i], theta) * gd[i]
+			}
+		})
+		return
+	}
+	if deltaNext.Len() != n {
+		panic("snn: SurrogateDelta size mismatch")
+	}
+	nd := deltaNext.Data
+	pool.RunGrain(n, elemGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = s.Grad(ud[i], theta)*gd[i] + leak*nd[i]
+		}
+	})
 }

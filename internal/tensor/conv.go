@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"skipper/internal/parallel"
+)
 
 // ConvSpec describes a 2-D convolution: kernel size, stride, and symmetric
 // zero padding. Dilation is fixed at 1, which covers every topology in the
@@ -105,27 +109,33 @@ func Col2Im(dx []float32, col []float32, c, h, w int, s ConvSpec) {
 
 // Conv2D computes out = conv(x, weight) + bias for x [N,Cin,H,W],
 // weight [Cout,Cin,KH,KW], bias [Cout] (bias may be nil). out must have shape
-// [N,Cout,OH,OW]. col is a scratch buffer of at least ColBufLen(h,w) elements
-// (pass nil to allocate internally).
-func Conv2D(out, x, weight, bias *Tensor, s ConvSpec, col []float32) {
+// [N,Cout,OH,OW]. The batch dimension partitions across pool lanes, each with
+// a private im2col column from sc (nil sc allocates a throwaway workspace).
+// Every image is processed by exactly the serial per-image code, so the
+// output is bit-identical for every pool size.
+func Conv2D(p *parallel.Pool, out, x, weight, bias *Tensor, s ConvSpec, sc *Scratch) {
 	xs := x.Shape()
 	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
 	oh, ow := s.OutSize(h, w)
 	checkConvShapes("Conv2D", out, x, weight, s, n, oh, ow)
 	k := s.InChannels * s.KernelH * s.KernelW
 	ohw := oh * ow
-	if col == nil {
-		col = make([]float32, k*ohw)
+	if sc == nil {
+		sc = NewScratch()
 	}
+	sc.reserve(p.Lanes())
 	wMat := weight.Data // [Cout, k] row-major view
-	for img := 0; img < n; img++ {
-		Im2Col(col, x.Data[img*c*h*w:(img+1)*c*h*w], c, h, w, s)
-		dst := out.Data[img*s.OutChannels*ohw : (img+1)*s.OutChannels*ohw]
-		for i := range dst {
-			dst[i] = 0
+	p.Run(n, func(lane, lo, hi int) {
+		col := sc.lane(lane, k*ohw)
+		for img := lo; img < hi; img++ {
+			Im2Col(col, x.Data[img*c*h*w:(img+1)*c*h*w], c, h, w, s)
+			dst := out.Data[img*s.OutChannels*ohw : (img+1)*s.OutChannels*ohw]
+			for i := range dst {
+				dst[i] = 0
+			}
+			matmulAcc(dst, wMat, col, s.OutChannels, k, ohw)
 		}
-		matmulAcc(dst, wMat, col, s.OutChannels, k, ohw)
-	}
+	})
 	if bias != nil {
 		AddBias(out, bias)
 	}
@@ -133,72 +143,87 @@ func Conv2D(out, x, weight, bias *Tensor, s ConvSpec, col []float32) {
 
 // Conv2DGradInput computes dx = convBackwardInput(dout, weight) for
 // dout [N,Cout,OH,OW] and weight [Cout,Cin,KH,KW]. dx must have the input
-// shape [N,Cin,H,W] and is fully overwritten. col is scratch as in Conv2D.
-func Conv2DGradInput(dx, dout, weight *Tensor, s ConvSpec, col []float32) {
+// shape [N,Cin,H,W] and is fully overwritten. Images partition across lanes
+// with per-lane columns, as in Conv2D.
+func Conv2DGradInput(p *parallel.Pool, dx, dout, weight *Tensor, s ConvSpec, sc *Scratch) {
 	xs := dx.Shape()
 	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
 	oh, ow := s.OutSize(h, w)
 	checkConvShapes("Conv2DGradInput", dout, dx, weight, s, n, oh, ow)
 	k := s.InChannels * s.KernelH * s.KernelW
 	ohw := oh * ow
-	if col == nil {
-		col = make([]float32, k*ohw)
+	if sc == nil {
+		sc = NewScratch()
 	}
+	sc.reserve(p.Lanes())
 	dx.Zero()
-	for img := 0; img < n; img++ {
-		// col = Wᵀ · dout[img]  with W [Cout,k], dout[img] [Cout,ohw].
-		for i := range col[:k*ohw] {
-			col[i] = 0
-		}
-		dslice := dout.Data[img*s.OutChannels*ohw : (img+1)*s.OutChannels*ohw]
-		for co := 0; co < s.OutChannels; co++ {
-			wrow := weight.Data[co*k : (co+1)*k]
-			drow := dslice[co*ohw : (co+1)*ohw]
-			for kk := 0; kk < k; kk++ {
-				wv := wrow[kk]
-				if wv == 0 {
-					continue
-				}
-				crow := col[kk*ohw : (kk+1)*ohw]
-				for j := range drow {
-					crow[j] += wv * drow[j]
+	p.Run(n, func(lane, lo, hi int) {
+		col := sc.lane(lane, k*ohw)
+		for img := lo; img < hi; img++ {
+			// col = Wᵀ · dout[img]  with W [Cout,k], dout[img] [Cout,ohw].
+			for i := range col[:k*ohw] {
+				col[i] = 0
+			}
+			dslice := dout.Data[img*s.OutChannels*ohw : (img+1)*s.OutChannels*ohw]
+			for co := 0; co < s.OutChannels; co++ {
+				wrow := weight.Data[co*k : (co+1)*k]
+				drow := dslice[co*ohw : (co+1)*ohw]
+				for kk := 0; kk < k; kk++ {
+					wv := wrow[kk]
+					if wv == 0 {
+						continue
+					}
+					crow := col[kk*ohw : (kk+1)*ohw]
+					for j := range drow {
+						crow[j] += wv * drow[j]
+					}
 				}
 			}
+			Col2Im(dx.Data[img*c*h*w:(img+1)*c*h*w], col, c, h, w, s)
 		}
-		Col2Im(dx.Data[img*c*h*w:(img+1)*c*h*w], col, c, h, w, s)
-	}
+	})
 }
 
 // Conv2DGradWeight accumulates dW += convBackwardWeight(dout, x) and, when
 // dbias is non-nil, dbias += per-channel sums of dout. x is the forward input
-// [N,Cin,H,W]; dout [N,Cout,OH,OW]; dw [Cout,Cin,KH,KW]. col is scratch.
-func Conv2DGradWeight(dw, dbias, dout, x *Tensor, s ConvSpec, col []float32) {
+// [N,Cin,H,W]; dout [N,Cout,OH,OW]; dw [Cout,Cin,KH,KW].
+//
+// Parallelism is over OUTPUT channels, not images: each lane owns a disjoint
+// block of dW rows and walks the whole batch in ascending image order with a
+// private im2col column, so every dW element accumulates its per-image terms
+// in exactly the serial order — no cross-lane partial accumulators, no
+// reduction, bit-identical results for every pool size.
+func Conv2DGradWeight(p *parallel.Pool, dw, dbias, dout, x *Tensor, s ConvSpec, sc *Scratch) {
 	xs := x.Shape()
 	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
 	oh, ow := s.OutSize(h, w)
 	checkConvShapes("Conv2DGradWeight", dout, x, dw, s, n, oh, ow)
 	k := s.InChannels * s.KernelH * s.KernelW
 	ohw := oh * ow
-	if col == nil {
-		col = make([]float32, k*ohw)
+	if sc == nil {
+		sc = NewScratch()
 	}
-	for img := 0; img < n; img++ {
-		Im2Col(col, x.Data[img*c*h*w:(img+1)*c*h*w], c, h, w, s)
-		dslice := dout.Data[img*s.OutChannels*ohw : (img+1)*s.OutChannels*ohw]
-		// dW[co,kk] += Σ_j dout[co,j] * col[kk,j]
-		for co := 0; co < s.OutChannels; co++ {
-			drow := dslice[co*ohw : (co+1)*ohw]
-			wrow := dw.Data[co*k : (co+1)*k]
-			for kk := 0; kk < k; kk++ {
-				crow := col[kk*ohw : (kk+1)*ohw]
-				var sum float32
-				for j := range drow {
-					sum += drow[j] * crow[j]
+	sc.reserve(p.Lanes())
+	p.Run(s.OutChannels, func(lane, lo, hi int) {
+		col := sc.lane(lane, k*ohw)
+		for img := 0; img < n; img++ {
+			Im2Col(col, x.Data[img*c*h*w:(img+1)*c*h*w], c, h, w, s)
+			dslice := dout.Data[img*s.OutChannels*ohw : (img+1)*s.OutChannels*ohw]
+			// dW[co,kk] += Σ_j dout[co,j] * col[kk,j]
+			for co := lo; co < hi; co++ {
+				drow := dslice[co*ohw : (co+1)*ohw]
+				wrow := dw.Data[co*k : (co+1)*k]
+				for kk := 0; kk < k; kk++ {
+					crow := col[kk*ohw : (kk+1)*ohw]
+					var sum float32
+					for j := range drow {
+						sum += drow[j] * crow[j]
+					}
+					wrow[kk] += sum
 				}
-				wrow[kk] += sum
 			}
 		}
-	}
+	})
 	if dbias != nil {
 		SumPerChannel(dbias, dout)
 	}

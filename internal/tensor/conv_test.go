@@ -58,7 +58,7 @@ func TestConv2DMatchesNaive(t *testing.T) {
 		r.FillNorm(bias, 0, 1)
 		oh, ow := s.OutSize(h, w)
 		got := New(2, s.OutChannels, oh, ow)
-		Conv2D(got, x, wt, bias, s, nil)
+		Conv2D(nil, got, x, wt, bias, s, nil)
 		want := convNaive(x, wt, bias, s)
 		for i := range got.Data {
 			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-3 {
@@ -101,7 +101,7 @@ func convLoss(x, wt, bias *Tensor, s ConvSpec, probe *Tensor) float64 {
 	xs := x.Shape()
 	oh, ow := s.OutSize(xs[2], xs[3])
 	out := New(xs[0], s.OutChannels, oh, ow)
-	Conv2D(out, x, wt, bias, s, nil)
+	Conv2D(nil, out, x, wt, bias, s, nil)
 	var l float64
 	for i := range out.Data {
 		l += float64(out.Data[i]) * float64(probe.Data[i])
@@ -122,7 +122,7 @@ func TestConv2DGradInputFiniteDiff(t *testing.T) {
 	r.FillNorm(probe, 0, 1)
 
 	dx := New(1, 2, 4, 4)
-	Conv2DGradInput(dx, probe, wt, s, nil)
+	Conv2DGradInput(nil, dx, probe, wt, s, nil)
 
 	eps := float32(1e-2)
 	for i := 0; i < x.Len(); i += 3 { // sample every third element
@@ -153,7 +153,7 @@ func TestConv2DGradWeightFiniteDiff(t *testing.T) {
 
 	dw := New(2, 2, 3, 3)
 	db := New(2)
-	Conv2DGradWeight(dw, db, probe, x, s, nil)
+	Conv2DGradWeight(nil, dw, db, probe, x, s, nil)
 
 	eps := float32(1e-2)
 	for i := 0; i < wt.Len(); i++ {
@@ -189,7 +189,7 @@ func TestConv2DGradWeightAccumulates(t *testing.T) {
 	x := FromSlice([]float32{2}, 1, 1, 1, 1)
 	dout := FromSlice([]float32{3}, 1, 1, 1, 1)
 	dw := FromSlice([]float32{10}, 1, 1, 1, 1)
-	Conv2DGradWeight(dw, nil, dout, x, s, nil)
+	Conv2DGradWeight(nil, dw, nil, dout, x, s, nil)
 	if dw.Data[0] != 16 {
 		t.Fatalf("grad-weight should accumulate: got %v, want 16", dw.Data[0])
 	}

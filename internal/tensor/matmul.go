@@ -1,11 +1,35 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"skipper/internal/parallel"
+)
+
+// minLaneWork is the floor on per-lane inner-loop operations before a kernel
+// fans out: below it the goroutine handoff costs more than the arithmetic.
+// It only gates how many lanes run, never what each output element computes,
+// so results are independent of its value.
+const minLaneWork = 1 << 14
+
+// grainFor converts per-row work into a RunGrain row floor.
+func grainFor(perRow int) int {
+	if perRow <= 0 {
+		return 1
+	}
+	if g := minLaneWork / perRow; g > 1 {
+		return g
+	}
+	return 1
+}
 
 // MatMul computes dst = a × b for 2-D tensors a [M,K] and b [K,N].
 // dst must have shape [M,N] and must not alias a or b. The kernel is a
-// cache-blocked ikj loop; it is the hot path under im2col convolution.
-func MatMul(dst, a, b *Tensor) {
+// cache-blocked ikj loop parallelised over rows of dst; it is the hot path
+// under im2col convolution. A nil pool runs serially; results are
+// bit-identical for every pool size because each output row is produced by
+// exactly the serial per-row code.
+func MatMul(p *parallel.Pool, dst, a, b *Tensor) {
 	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
 	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul expects rank-2 operands, got %v x %v -> %v", as, bs, ds))
@@ -15,17 +39,26 @@ func MatMul(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v -> %v", as, bs, ds))
 	}
 	dst.Zero()
-	matmulAcc(dst.Data, a.Data, b.Data, m, k, n)
+	matmulAccPar(p, dst.Data, a.Data, b.Data, m, k, n)
 }
 
 // MatMulAcc computes dst += a × b without zeroing dst first.
-func MatMulAcc(dst, a, b *Tensor) {
+func MatMulAcc(p *parallel.Pool, dst, a, b *Tensor) {
 	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
 	m, k, n := as[0], as[1], bs[1]
 	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 || bs[0] != k || ds[0] != m || ds[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAcc shape mismatch %v x %v -> %v", as, bs, ds))
 	}
-	matmulAcc(dst.Data, a.Data, b.Data, m, k, n)
+	matmulAccPar(p, dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// matmulAccPar partitions the M rows of dst across pool lanes; each lane
+// runs the serial matmulAcc on its contiguous row block, so no float ever
+// crosses a lane boundary.
+func matmulAccPar(p *parallel.Pool, dst, a, b []float32, m, k, n int) {
+	p.RunGrain(m, grainFor(k*n), func(_, lo, hi int) {
+		matmulAcc(dst[lo*n:hi*n], a[lo*k:hi*k], b, hi-lo, k, n)
+	})
 }
 
 // matmulAcc performs dst += a*b on flat row-major buffers with loop order
@@ -52,7 +85,7 @@ func matmulAcc(dst, a, b []float32, m, k, n int) {
 
 // MatMulTransA computes dst = aᵀ × b for a [K,M], b [K,N] -> dst [M,N].
 // Used for weight gradients: dW = deltaᵀ · input.
-func MatMulTransA(dst, a, b *Tensor) {
+func MatMulTransA(p *parallel.Pool, dst, a, b *Tensor) {
 	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
 	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA expects rank-2 operands, got %v x %v -> %v", as, bs, ds))
@@ -62,32 +95,38 @@ func MatMulTransA(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v^T x %v -> %v", as, bs, ds))
 	}
 	dst.Zero()
-	MatMulTransAAcc(dst, a, b)
+	MatMulTransAAcc(p, dst, a, b)
 }
 
-// MatMulTransAAcc computes dst += aᵀ × b without zeroing dst.
-func MatMulTransAAcc(dst, a, b *Tensor) {
+// MatMulTransAAcc computes dst += aᵀ × b without zeroing dst. The loop is
+// i-outer so the M output rows partition across lanes; each element (i,j)
+// still accumulates its kk terms in ascending order, the same per-element
+// sequence the kk-outer serial kernel produced, so sums are bit-identical
+// for every pool size.
+func MatMulTransAAcc(p *parallel.Pool, dst, a, b *Tensor) {
 	as, bs := a.Shape(), b.Shape()
 	k, m, n := as[0], as[1], bs[1]
-	for kk := 0; kk < k; kk++ {
-		arow := a.Data[kk*m : (kk+1)*m]
-		brow := b.Data[kk*n : (kk+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			drow := dst.Data[i*n : (i+1)*n]
-			for j := range brow {
-				drow[j] += av * brow[j]
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	p.RunGrain(m, grainFor(k*n), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dd[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := ad[kk*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[kk*n : (kk+1)*n]
+				for j := range brow {
+					drow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulTransB computes dst = a × bᵀ for a [M,K], b [N,K] -> dst [M,N].
 // Used for input gradients: dX = delta · W with W stored [N,K].
-func MatMulTransB(dst, a, b *Tensor) {
+func MatMulTransB(p *parallel.Pool, dst, a, b *Tensor) {
 	as, bs, ds := a.Shape(), b.Shape(), dst.Shape()
 	if len(as) != 2 || len(bs) != 2 || len(ds) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB expects rank-2 operands, got %v x %v^T -> %v", as, bs, ds))
@@ -96,16 +135,19 @@ func MatMulTransB(dst, a, b *Tensor) {
 	if bs[1] != k || ds[0] != m || ds[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v^T -> %v", as, bs, ds))
 	}
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for kk := range arow {
-				s += arow[kk] * brow[kk]
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	p.RunGrain(m, grainFor(n*k), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			drow := dd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for kk := range arow {
+					s += arow[kk] * brow[kk]
+				}
+				drow[j] = s
 			}
-			drow[j] = s
 		}
-	}
+	})
 }

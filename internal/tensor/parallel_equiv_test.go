@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"skipper/internal/parallel"
+)
+
+// The parallel runtime's central contract: every kernel partitions output
+// elements with lane-independent arithmetic, so a pooled run is bit-identical
+// to the serial one for every pool size and every shape — including shapes
+// smaller than the lane count, shapes below the work-floor grain, and inputs
+// dense with the zeros the matmul kernels skip.
+
+// equivFill writes a deterministic pseudo-random pattern with a sprinkling
+// of exact zeros, exercising the zero-skip fast paths identically in both
+// runs.
+func equivFill(d []float32, seed uint64) {
+	s := seed*0x9E3779B97F4A7C15 + 1
+	for i := range d {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if s%5 == 0 {
+			d[i] = 0
+			continue
+		}
+		d[i] = float32(s%2048)/1024 - 1
+	}
+}
+
+func requireBitEqual(t *testing.T, name string, serial, pooled *Tensor) {
+	t.Helper()
+	for i, v := range serial.Data {
+		if v != pooled.Data[i] {
+			t.Fatalf("%s: element %d differs: serial %v, pooled %v", name, i, v, pooled.Data[i])
+		}
+	}
+}
+
+// matmulShapes spans tiny (fewer rows than lanes), odd, and grain-crossing
+// sizes.
+var matmulShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{2, 3, 5},
+	{3, 1, 7},
+	{7, 16, 9},
+	{16, 16, 16},
+	{33, 17, 29},
+	{64, 128, 48}, // crosses the minLaneWork grain on multi-lane pools
+}
+
+func TestMatMulFamilyBitIdenticalAcrossPoolSizes(t *testing.T) {
+	for _, lanes := range []int{2, 3, 4, 7} {
+		pool := parallel.NewPool(lanes)
+		defer pool.Close()
+		for _, sh := range matmulShapes {
+			kernels := []struct {
+				name string
+				run  func(p *parallel.Pool, dst *Tensor, a, b *Tensor)
+				a, b *Tensor
+				acc  bool
+			}{
+				{"MatMul", MatMul, New(sh.m, sh.k), New(sh.k, sh.n), false},
+				{"MatMulAcc", MatMulAcc, New(sh.m, sh.k), New(sh.k, sh.n), true},
+				{"MatMulTransA", MatMulTransA, New(sh.k, sh.m), New(sh.k, sh.n), false},
+				{"MatMulTransAAcc", MatMulTransAAcc, New(sh.k, sh.m), New(sh.k, sh.n), true},
+				{"MatMulTransB", MatMulTransB, New(sh.m, sh.k), New(sh.n, sh.k), false},
+			}
+			for _, kr := range kernels {
+				equivFill(kr.a.Data, uint64(sh.m*31+sh.k))
+				equivFill(kr.b.Data, uint64(sh.n*17+sh.k))
+				outS, outP := New(sh.m, sh.n), New(sh.m, sh.n)
+				if kr.acc {
+					equivFill(outS.Data, 99)
+					copy(outP.Data, outS.Data)
+				}
+				kr.run(nil, outS, kr.a, kr.b)
+				kr.run(pool, outP, kr.a, kr.b)
+				requireBitEqual(t, fmt.Sprintf("%s[%dx%dx%d]@%d lanes", kr.name, sh.m, sh.k, sh.n, lanes), outS, outP)
+			}
+		}
+	}
+}
+
+var convShapes = []struct {
+	n, c, h, w     int
+	out, kh, s, pd int
+}{
+	{1, 1, 4, 4, 1, 3, 1, 1}, // single image: fewer images than lanes
+	{2, 3, 8, 8, 4, 3, 1, 1}, // padding
+	{5, 2, 9, 7, 3, 3, 2, 0}, // odd spatial, stride 2, no pad
+	{8, 4, 6, 6, 6, 5, 1, 2}, // 5x5 kernel, wide pad
+	{3, 2, 5, 5, 2, 1, 1, 0}, // 1x1 kernel
+}
+
+func TestConvKernelsBitIdenticalAcrossPoolSizes(t *testing.T) {
+	for _, lanes := range []int{2, 4, 5} {
+		pool := parallel.NewPool(lanes)
+		defer pool.Close()
+		for _, sh := range convShapes {
+			spec := ConvSpec{
+				InChannels: sh.c, OutChannels: sh.out,
+				KernelH: sh.kh, KernelW: sh.kh, Stride: sh.s, Pad: sh.pd,
+			}
+			oh, ow := spec.OutSize(sh.h, sh.w)
+			if oh <= 0 || ow <= 0 {
+				t.Fatalf("bad conv shape %+v", sh)
+			}
+			x := New(sh.n, sh.c, sh.h, sh.w)
+			weight := New(sh.out, sh.c, sh.kh, sh.kh)
+			bias := New(sh.out)
+			equivFill(x.Data, 3)
+			equivFill(weight.Data, 5)
+			equivFill(bias.Data, 7)
+			label := fmt.Sprintf("[N%d C%d->%d %dx%d k%d s%d p%d]@%d lanes",
+				sh.n, sh.c, sh.out, sh.h, sh.w, sh.kh, sh.s, sh.pd, lanes)
+
+			outS := New(sh.n, sh.out, oh, ow)
+			outP := New(sh.n, sh.out, oh, ow)
+			Conv2D(nil, outS, x, weight, bias, spec, NewScratch())
+			Conv2D(pool, outP, x, weight, bias, spec, NewScratch())
+			requireBitEqual(t, "Conv2D"+label, outS, outP)
+
+			dout := New(sh.n, sh.out, oh, ow)
+			equivFill(dout.Data, 11)
+			dxS, dxP := New(sh.n, sh.c, sh.h, sh.w), New(sh.n, sh.c, sh.h, sh.w)
+			Conv2DGradInput(nil, dxS, dout, weight, spec, NewScratch())
+			Conv2DGradInput(pool, dxP, dout, weight, spec, NewScratch())
+			requireBitEqual(t, "Conv2DGradInput"+label, dxS, dxP)
+
+			dwS, dwP := New(sh.out, sh.c, sh.kh, sh.kh), New(sh.out, sh.c, sh.kh, sh.kh)
+			dbS, dbP := New(sh.out), New(sh.out)
+			// Gradient kernels accumulate; seed both sides identically.
+			equivFill(dwS.Data, 13)
+			copy(dwP.Data, dwS.Data)
+			equivFill(dbS.Data, 19)
+			copy(dbP.Data, dbS.Data)
+			Conv2DGradWeight(nil, dwS, dbS, dout, x, spec, NewScratch())
+			Conv2DGradWeight(pool, dwP, dbP, dout, x, spec, NewScratch())
+			requireBitEqual(t, "Conv2DGradWeight"+label, dwS, dwP)
+			requireBitEqual(t, "Conv2DGradWeight(bias)"+label, dbS, dbP)
+		}
+	}
+}
+
+// A scratch shared by one layer's sequential calls must still give each lane
+// a stable private buffer when the pool shrinks and grows between calls.
+func TestScratchReuseAcrossPoolWidths(t *testing.T) {
+	sh := convShapes[1]
+	spec := ConvSpec{InChannels: sh.c, OutChannels: sh.out, KernelH: sh.kh, KernelW: sh.kh, Stride: sh.s, Pad: sh.pd}
+	oh, ow := spec.OutSize(sh.h, sh.w)
+	x := New(sh.n, sh.c, sh.h, sh.w)
+	weight := New(sh.out, sh.c, sh.kh, sh.kh)
+	equivFill(x.Data, 23)
+	equivFill(weight.Data, 29)
+	ref := New(sh.n, sh.out, oh, ow)
+	Conv2D(nil, ref, x, weight, nil, spec, NewScratch())
+
+	sc := NewScratch()
+	for _, lanes := range []int{4, 1, 3, 2, 4} {
+		pool := parallel.NewPool(lanes)
+		out := New(sh.n, sh.out, oh, ow)
+		Conv2D(pool, out, x, weight, nil, spec, sc)
+		pool.Close()
+		requireBitEqual(t, fmt.Sprintf("Conv2D shared scratch @%d lanes", lanes), ref, out)
+	}
+}

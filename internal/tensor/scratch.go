@@ -1,0 +1,37 @@
+package tensor
+
+// Scratch holds per-lane kernel workspace (im2col columns today). Each layer
+// owns one Scratch; the parallel kernels grow one buffer per pool lane on
+// first use, so concurrent lanes of one kernel call never share a column
+// buffer. A Scratch must not be shared between layer instances that can run
+// concurrently — the serving worker replicas each build a private network
+// (and therefore private Scratches) for exactly this reason.
+//
+// The zero value is ready to use; nil is accepted by every kernel and makes
+// the call allocate a throwaway workspace.
+type Scratch struct {
+	lanes [][]float32
+}
+
+// NewScratch returns an empty per-lane workspace.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reserve grows the lane table to at least n slots. It must run on the
+// submitting goroutine before lanes are dispatched: the table itself is only
+// ever resized here, so concurrent lane() calls touch disjoint elements.
+func (s *Scratch) reserve(n int) {
+	for len(s.lanes) < n {
+		s.lanes = append(s.lanes, nil)
+	}
+}
+
+// lane returns lane's buffer with at least n elements, growing only that
+// lane's slot. Contents are unspecified; kernels overwrite before reading.
+func (s *Scratch) lane(lane, n int) []float32 {
+	buf := s.lanes[lane]
+	if len(buf) < n {
+		buf = make([]float32, n)
+		s.lanes[lane] = buf
+	}
+	return buf[:n]
+}

@@ -214,7 +214,7 @@ func TestMatMulSmall(t *testing.T) {
 	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
 	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
 	dst := New(2, 2)
-	MatMul(dst, a, b)
+	MatMul(nil, dst, a, b)
 	want := []float32{58, 64, 139, 154}
 	for i := range want {
 		if dst.Data[i] != want[i] {
@@ -247,7 +247,7 @@ func TestMatMulMatchesNaive(t *testing.T) {
 		r.FillNorm(a, 0, 1)
 		r.FillNorm(b, 0, 1)
 		got := New(m, n)
-		MatMul(got, a, b)
+		MatMul(nil, got, a, b)
 		want := matmulNaive(a, b)
 		for i := range got.Data {
 			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
@@ -264,7 +264,7 @@ func TestMatMulTransA(t *testing.T) {
 	r.FillNorm(a, 0, 1)
 	r.FillNorm(b, 0, 1)
 	got := New(m, n)
-	MatMulTransA(got, a, b)
+	MatMulTransA(nil, got, a, b)
 	// reference: transpose a then naive
 	at := New(m, k)
 	for i := 0; i < k; i++ {
@@ -287,7 +287,7 @@ func TestMatMulTransB(t *testing.T) {
 	r.FillNorm(a, 0, 1)
 	r.FillNorm(b, 0, 1)
 	got := New(m, n)
-	MatMulTransB(got, a, b)
+	MatMulTransB(nil, got, a, b)
 	bt := New(k, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < k; j++ {
@@ -306,7 +306,7 @@ func TestMatMulAccAccumulates(t *testing.T) {
 	a := FromSlice([]float32{1}, 1, 1)
 	b := FromSlice([]float32{2}, 1, 1)
 	dst := FromSlice([]float32{10}, 1, 1)
-	MatMulAcc(dst, a, b)
+	MatMulAcc(nil, dst, a, b)
 	if dst.Data[0] != 12 {
 		t.Fatalf("MatMulAcc = %v, want 12", dst.Data[0])
 	}
@@ -324,10 +324,10 @@ func TestMatMulDistributiveProperty(t *testing.T) {
 		sum := New(m, k)
 		Add(sum, a1, a2)
 		lhs := New(m, n)
-		MatMul(lhs, sum, b)
+		MatMul(nil, lhs, sum, b)
 		r1, r2 := New(m, n), New(m, n)
-		MatMul(r1, a1, b)
-		MatMul(r2, a2, b)
+		MatMul(nil, r1, a1, b)
+		MatMul(nil, r2, a2, b)
 		rhs := New(m, n)
 		Add(rhs, r1, r2)
 		for i := range lhs.Data {

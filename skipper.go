@@ -10,14 +10,22 @@
 // is tracked by an instrumented memory model, so the paper's memory and
 // compute trade-offs are measurable on any machine.
 //
-// Quick start:
+// Quick start — a Runtime is the shared execution context (parallel compute
+// pool, root seed, metrics sink); everything built on it shares one pool, and
+// results are bit-identical at every thread count:
 //
-//	net, _ := skipper.BuildModel("vgg5", skipper.ModelOptions{})
-//	data, _ := skipper.OpenDataset("cifar10", 1)
-//	tr, _ := skipper.NewTrainer(net, data, skipper.Skipper{C: 4, P: 40},
+//	rt := skipper.NewRuntime(skipper.WithSeed(1))
+//	defer rt.Close()
+//	net, _ := rt.BuildModel("vgg5", skipper.ModelOptions{})
+//	data, _ := rt.OpenDataset("cifar10")
+//	tr, _ := rt.NewTrainer(net, data, skipper.Skipper{C: 4, P: 40},
 //	    skipper.Config{T: 48, Batch: 8})
 //	defer tr.Close()
 //	stats, _ := tr.TrainEpoch()
+//
+// The package-level BuildModel/OpenDataset/NewTrainer still work — they run
+// on the process-wide DefaultRuntime (all cores) unless a Config carries an
+// explicit Runtime.
 //
 // The exported names are a facade over the internal packages; see DESIGN.md
 // for the system inventory and EXPERIMENTS.md for the paper-vs-measured
@@ -25,6 +33,8 @@
 package skipper
 
 import (
+	"io"
+
 	"skipper/internal/core"
 	"skipper/internal/dataset"
 	"skipper/internal/layers"
@@ -34,6 +44,40 @@ import (
 	"skipper/internal/snn"
 	"skipper/internal/stats"
 )
+
+// Execution runtime.
+type (
+	// Runtime is the shared execution context: the parallel compute pool
+	// all kernels run on, the default metrics sink, and the root seed.
+	// Trainers, data-parallel replicas, and the serving subsystem all draw
+	// from one Runtime, so the process never oversubscribes the machine.
+	// Thread count never changes results: kernels partition output elements
+	// with lane-independent arithmetic, so a run is bit-identical at
+	// threads=1 and threads=N.
+	Runtime = core.Runtime
+	// RuntimeOption is a functional option for NewRuntime.
+	RuntimeOption = core.RuntimeOption
+)
+
+// NewRuntime builds the shared execution context. With no options it uses
+// all cores, no metrics sink, and a zero seed. Close it to release the
+// pool's worker goroutines.
+func NewRuntime(opts ...RuntimeOption) *Runtime { return core.NewRuntime(opts...) }
+
+// DefaultRuntime returns the lazily-created process-wide runtime that
+// package-level constructors and zero Configs resolve to.
+func DefaultRuntime() *Runtime { return core.DefaultRuntime() }
+
+// WithThreads sets the compute-pool width (<= 0 = all cores, 1 = serial).
+func WithThreads(n int) RuntimeOption { return core.WithThreads(n) }
+
+// WithMetrics sets the epoch-metrics sink trainers inherit when their
+// Config leaves Metrics nil.
+func WithMetrics(w io.Writer) RuntimeOption { return core.WithMetrics(w) }
+
+// WithSeed sets the root seed trainers and datasets inherit when no
+// explicit seed is given.
+func WithSeed(seed uint64) RuntimeOption { return core.WithSeed(seed) }
 
 // Training engine.
 type (
@@ -123,15 +167,18 @@ const (
 )
 
 // NewTrainer wires a network, dataset, and strategy together. Close the
-// returned trainer to release its device memory.
+// returned trainer to release its device memory. When cfg.Runtime is nil the
+// trainer runs on DefaultRuntime's pool; prefer rt.NewTrainer to pin one.
 func NewTrainer(net *Network, data Dataset, strat Strategy, cfg Config) (*Trainer, error) {
 	return core.NewTrainer(net, data, strat, cfg)
 }
 
 // BuildModel constructs one of the paper's topologies by name: "vgg5",
 // "vgg11", "resnet20", "lenet", "customnet", "alexnet", or "resnet34".
+// The network's kernels run on DefaultRuntime's pool; prefer rt.BuildModel
+// to pin a specific Runtime.
 func BuildModel(name string, opts ModelOptions) (*Network, error) {
-	return models.Build(name, opts)
+	return DefaultRuntime().BuildModel(name, opts)
 }
 
 // ModelNames lists the available topologies.

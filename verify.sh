@@ -1,17 +1,23 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate:
 #   build, vet, race-test the concurrency-sensitive subsystems, full test
-#   suite, the SIGKILL+resume smoke test, then the serving benchmark
-#   (writes BENCH_serve.json).
+#   suite, the SIGKILL+resume smoke test, then the serving and kernel
+#   benchmarks (write BENCH_serve.json and BENCH_kernels.json).
 set -eux
 
 cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go test -race ./internal/serve/... ./internal/runstate/... ./internal/faults/...
+go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/...
 go test ./...
 
 sh ./scripts/kill_resume_smoke.sh
 
 go run ./cmd/skipper-bench -exp bench_serve -scale tiny
+
+# Kernel smoke: serial-vs-pooled GFLOP/s with bit-identity checks. On a
+# machine with >= 2 cores, -require-speedup fails the gate if the pooled
+# matmul is not faster than serial (a 1-core box has nothing to win, so the
+# flag is a no-op there).
+go run ./cmd/skipper-bench -exp bench_kernels -scale tiny -require-speedup
