@@ -24,10 +24,17 @@ func main() {
 		scale   = flag.String("scale", "small", "run scale: tiny | small | full")
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		threads = flag.Int("threads", 0, "compute-pool width for parallel-runtime experiments (0 = all cores)")
-		require = flag.Bool("require-speedup", false, "fail bench_kernels when multi-thread matmul is not faster than serial (enforced only on ≥2 cores)")
+		require = flag.Bool("require-speedup", false, "fail bench_kernels/bench_trace timing gates when not met (enforced only on ≥2 cores)")
 		list    = flag.Bool("list", false, "list available experiments")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	if dbg, err := cli.StartDebug(*debug, nil); err != nil {
+		cli.Fatal(err)
+	} else if dbg != "" {
+		fmt.Printf("debug server on http://%s/debug/pprof/\n", dbg)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Available experiments (paper table/figure ids):")

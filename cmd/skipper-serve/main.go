@@ -31,6 +31,7 @@ import (
 	"skipper/internal/models"
 	"skipper/internal/serve"
 	"skipper/internal/snn"
+	"skipper/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request latency budget")
 		seed      = flag.Uint64("encode-seed", 1, "Poisson encoding seed")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON profile on shutdown to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/spans on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -74,7 +77,17 @@ func main() {
 		})
 	}
 
-	rt := core.NewRuntime(core.WithThreads(*threads))
+	var tracer *trace.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = trace.New(0)
+	}
+	if dbg, err := cli.StartDebug(*debugAddr, tracer); err != nil {
+		cli.Fatal(err)
+	} else if dbg != "" {
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/spans\n", dbg)
+	}
+
+	rt := core.NewRuntime(core.WithThreads(*threads), core.WithTracer(tracer))
 	defer rt.Close()
 	s, err := serve.NewServer(serve.Config{
 		Build:          build,
@@ -132,6 +145,12 @@ func main() {
 			}
 			if shutErr != nil {
 				cli.Fatal(shutErr)
+			}
+			if *tracePath != "" {
+				if err := cli.WriteTrace(*tracePath, tracer); err != nil {
+					cli.Fatal(err)
+				}
+				fmt.Printf("trace written to %s\n", *tracePath)
 			}
 			fmt.Println("drained cleanly")
 			return

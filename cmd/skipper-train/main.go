@@ -38,6 +38,7 @@ import (
 	"skipper/internal/runstate"
 	"skipper/internal/serialize"
 	"skipper/internal/snn"
+	"skipper/internal/trace"
 )
 
 // exitInterrupted is the exit code of a run that checkpointed and stopped on
@@ -75,6 +76,9 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 0, "also persist run state every K batches (0 = epoch boundaries only)")
 		guardN    = flag.Int("guard-retries", 0, "divergence guard: max rollback+LR-halving retries per run (0 = off)")
 		guardGN   = flag.Float64("guard-grad-norm", 0, "divergence guard: gradient-norm explosion threshold (0 = NaN/Inf only)")
+
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/spans on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *resume && *runDir == "" {
@@ -157,7 +161,28 @@ func main() {
 			cli.Fatal(err)
 		}
 	}
-	rt := core.NewRuntime(core.WithThreads(*threads), core.WithSeed(*seed))
+	// Tracing: the span recorder only exists when someone will read it; a
+	// nil tracer keeps every hot path at its untraced cost.
+	var tracer *trace.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = trace.New(0)
+	}
+	flushTrace := func() {
+		if *tracePath == "" {
+			return
+		}
+		if err := cli.WriteTrace(*tracePath, tracer); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if dbg, err := cli.StartDebug(*debugAddr, tracer); err != nil {
+		cli.Fatal(err)
+	} else if dbg != "" {
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/spans\n", dbg)
+	}
+
+	rt := core.NewRuntime(core.WithThreads(*threads), core.WithSeed(*seed), core.WithTracer(tracer))
 	defer rt.Close()
 	tr, err := core.NewTrainer(net, src, strat, core.Config{
 		Runtime: rt,
@@ -234,6 +259,7 @@ func main() {
 		if errors.Is(err, errInterrupted) {
 			fmt.Printf("interrupted during epoch %d; run state saved to %s\n", e, *runDir)
 			fmt.Printf("resume with:\n  %s\n", resumeCommand())
+			flushTrace()
 			os.Exit(exitInterrupted)
 		}
 		if err != nil {
@@ -262,6 +288,11 @@ func main() {
 	st := dev.Snapshot()
 	fmt.Printf("peak device memory: %s reserved, %s tensors (%s)\n",
 		mem.FormatBytes(st.PeakReserved), mem.FormatBytes(st.PeakAllocated), st.Breakdown())
+	if tracer != nil {
+		fmt.Println("\nspan summary:")
+		tracer.WriteSummary(os.Stdout)
+	}
+	flushTrace()
 }
 
 // resumeCommand reconstructs the invocation that continues this run.

@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "table2", "fig16",
 		"ablate-sam", "ablate-p", "ablate-surrogate", "ablate-placement", "ablate-compress",
-		"bench_serve", "bench_kernels",
+		"bench_serve", "bench_kernels", "bench_trace",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -109,6 +109,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 	// Keep the JSON artifacts out of the source tree.
 	benchServeOutput = filepath.Join(t.TempDir(), "BENCH_serve.json")
 	benchKernelsOutput = filepath.Join(t.TempDir(), "BENCH_kernels.json")
+	benchTraceOutput = filepath.Join(t.TempDir(), "BENCH_trace.json")
 	cfg := RunConfig{Scale: Tiny, Seed: 1}
 	for _, id := range IDs() {
 		id := id

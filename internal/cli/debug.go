@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"skipper/internal/trace"
+)
+
+// StartDebug serves net/http/pprof plus the tracer's plain-text span summary
+// (at /debug/spans) on addr, in the background, and returns the bound
+// address. Every skipper-* binary mounts the same mux behind its -debug-addr
+// flag. Pass addr "" to disable (returns "", nil).
+func StartDebug(addr string, t *trace.Tracer) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/spans", trace.SummaryHandler(t))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug server: %w", err)
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "debug server:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// WriteTrace writes the tracer's Chrome trace_event JSON to path (load it at
+// chrome://tracing or https://ui.perfetto.dev). A nil tracer writes an empty
+// trace.
+func WriteTrace(path string, t *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	return nil
+}

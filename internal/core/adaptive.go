@@ -6,6 +6,7 @@ import (
 
 	"skipper/internal/layers"
 	"skipper/internal/tensor"
+	"skipper/internal/trace"
 )
 
 // AdaptiveSkipper extends Skipper with activity-aware checkpoint placement —
@@ -178,7 +179,9 @@ func (a *AdaptiveSkipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels
 			}
 			st.RecomputedSteps++
 		}
-		st.RecomputeTime += time.Since(rec)
+		tr.phaseDone(&st.RecomputeTime, "recompute", rec,
+			trace.Attr{Key: "seg", Val: int64(seg)},
+			trace.Attr{Key: "survivors", Val: int64(len(survivors))})
 
 		bwd := time.Now()
 		for i := len(survivors) - 1; i >= -1; i-- {
@@ -197,7 +200,7 @@ func (a *AdaptiveSkipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels
 			rs.drop(t)
 			st.BackwardSteps++
 		}
-		st.BackwardTime += time.Since(bwd)
+		tr.phaseDone(&st.BackwardTime, "backward", bwd, trace.Attr{Key: "seg", Val: int64(seg)})
 	}
 	if !lossInjected {
 		return st, fmt.Errorf("core: adaptive skipper never injected the loss gradient")

@@ -43,7 +43,7 @@ func (BPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepS
 		la.observe(t, tr.Net.Logits(states))
 		st.ForwardSteps++
 	}
-	st.ForwardTime = time.Since(fwd)
+	tr.phaseDone(&st.ForwardTime, "forward", fwd)
 	st.Loss, st.Correct = la.Loss, la.Correct
 
 	bwd := time.Now()
@@ -63,6 +63,6 @@ func (BPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepS
 		rs.drop(t)
 		st.BackwardSteps++
 	}
-	st.BackwardTime = time.Since(bwd)
+	tr.phaseDone(&st.BackwardTime, "backward", bwd)
 	return st, nil
 }

@@ -7,6 +7,7 @@ import (
 	"skipper/internal/layers"
 	"skipper/internal/mem"
 	"skipper/internal/tensor"
+	"skipper/internal/trace"
 )
 
 // Checkpoint is temporal activation checkpointing (paper Sec. V): the first
@@ -74,7 +75,7 @@ func (c Checkpoint) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 			}
 			st.RecomputedSteps++
 		}
-		st.RecomputeTime += time.Since(rec)
+		tr.phaseDone(&st.RecomputeTime, "recompute", rec, trace.Attr{Key: "seg", Val: int64(s)})
 
 		// Backward through the segment, consuming and freeing its records.
 		bwd := time.Now()
@@ -87,7 +88,7 @@ func (c Checkpoint) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 			rs.drop(t)
 			st.BackwardSteps++
 		}
-		st.BackwardTime += time.Since(bwd)
+		tr.phaseDone(&st.BackwardTime, "backward", bwd, trace.Attr{Key: "seg", Val: int64(s)})
 	}
 	return st, nil
 }
@@ -138,7 +139,7 @@ func checkpointForward(tr *Trainer, input []*tensor.Tensor, la *lossAccumulator,
 		rolling = &memBlockHolder{b}
 	}
 	rolling.release()
-	st.ForwardTime += time.Since(fwd)
+	tr.phaseDone(&st.ForwardTime, "forward", fwd)
 	return nil
 }
 

@@ -153,7 +153,7 @@ func (lb *TBPTTLBP) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 				tensor.AXPY(auxU[site], 1, tmp)
 			}
 		}
-		st.ForwardTime += time.Since(fwd)
+		tr.phaseDone(&st.ForwardTime, "forward", fwd)
 
 		// Window losses: the network loss at the top plus one local loss per
 		// classifier.
@@ -200,7 +200,7 @@ func (lb *TBPTTLBP) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 		if w0 > 0 {
 			rs.drop(w0 - 1)
 		}
-		st.BackwardTime += time.Since(bwd)
+		tr.phaseDone(&st.BackwardTime, "backward", bwd)
 	}
 
 	// Auxiliary classifiers update locally with plain SGD.

@@ -6,6 +6,7 @@ import (
 
 	"skipper/internal/opt"
 	"skipper/internal/tensor"
+	"skipper/internal/trace"
 )
 
 // Cursor names the next unit of work a training run would perform, the
@@ -162,6 +163,10 @@ func (tr *Trainer) divergenceRollback(batch int, st StepStats, reason string) (i
 		Loss: st.Loss, GradNorm: st.GradNorm,
 		LRScale: tr.lrScale, Reason: reason,
 	})
+	tr.tracer().Event(trace.TrackTrain, "divergence_rollback",
+		trace.Attr{Key: "epoch", Val: int64(tr.epoch)},
+		trace.Attr{Key: "batch", Val: int64(batch)},
+		trace.Attr{Key: "replay_from", Val: int64(g.batch)})
 	return g.batch, g.ep, nil
 }
 

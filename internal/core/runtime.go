@@ -9,6 +9,7 @@ import (
 	"skipper/internal/layers"
 	"skipper/internal/models"
 	"skipper/internal/parallel"
+	"skipper/internal/trace"
 )
 
 // Runtime is the process-wide execution context every training and serving
@@ -26,6 +27,7 @@ type Runtime struct {
 	pool    *parallel.Pool
 	metrics io.Writer
 	seed    uint64
+	tracer  *trace.Tracer
 }
 
 // RuntimeOption configures NewRuntime.
@@ -49,6 +51,15 @@ func WithSeed(seed uint64) RuntimeOption {
 	return func(r *Runtime) { r.seed = seed }
 }
 
+// WithTracer attaches a span/event recorder every component on this runtime
+// reports into: trainer phase spans, serve request lifecycles, pool
+// lane-utilization counters, and device high-water events. Nil (the default)
+// disables tracing at zero cost — every recording call on a nil tracer is an
+// allocation-free no-op, mirroring the nil-*parallel.Pool convention.
+func WithTracer(t *trace.Tracer) RuntimeOption {
+	return func(r *Runtime) { r.tracer = t }
+}
+
 // NewRuntime builds a runtime from functional options and starts its pool.
 // Close releases the pool's goroutines (a leaked runtime is harmless — idle
 // workers block on a channel — but Close keeps tests tidy).
@@ -63,6 +74,7 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 	if r.threads > 1 {
 		r.pool = parallel.NewPool(r.threads)
 	}
+	r.pool.SetTracer(r.tracer)
 	return r
 }
 
@@ -104,6 +116,15 @@ func (r *Runtime) Seed() uint64 {
 		return 0
 	}
 	return r.seed
+}
+
+// Tracer returns the runtime's span recorder (nil when tracing is off; a nil
+// tracer is valid and free to record into). Nil-safe.
+func (r *Runtime) Tracer() *trace.Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
 }
 
 // Metrics returns the runtime's default metrics sink (nil when unset).

@@ -6,6 +6,7 @@ import (
 
 	"skipper/internal/layers"
 	"skipper/internal/tensor"
+	"skipper/internal/trace"
 )
 
 // Skipper is activation checkpointing with time-skipping (paper Sec. VI).
@@ -85,7 +86,11 @@ func (s Skipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (
 		// surviving (recomputed) timesteps. The checkpoint step itself is
 		// stored, and every loss-carrying step (the last LossWindow ones,
 		// including the global final step) is always kept.
+		sel := time.Now()
 		survivors := s.selectSurvivors(sam.scores, start, end, la, &st)
+		tr.tracer().SpanAt(trace.TrackTrain, "sam_select", sel, time.Since(sel),
+			trace.Attr{Key: "seg", Val: int64(seg)},
+			trace.Attr{Key: "survivors", Val: int64(len(survivors))})
 
 		// Step 3/4: shallow recompute over survivors only. State hops
 		// directly between surviving timesteps.
@@ -98,7 +103,9 @@ func (s Skipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (
 			}
 			st.RecomputedSteps++
 		}
-		st.RecomputeTime += time.Since(rec)
+		tr.phaseDone(&st.RecomputeTime, "recompute", rec,
+			trace.Attr{Key: "seg", Val: int64(seg)},
+			trace.Attr{Key: "survivors", Val: int64(len(survivors))})
 
 		// Step 5: backward over the shallow graph (survivors in reverse,
 		// then the checkpoint step).
@@ -119,7 +126,7 @@ func (s Skipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (
 			rs.drop(t)
 			st.BackwardSteps++
 		}
-		st.BackwardTime += time.Since(bwd)
+		tr.phaseDone(&st.BackwardTime, "backward", bwd, trace.Attr{Key: "seg", Val: int64(seg)})
 	}
 	if !lossInjected {
 		return st, fmt.Errorf("core: skipper never injected the loss gradient (T-1 not visited)")

@@ -71,7 +71,7 @@ func (tb TBPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (S
 			}
 			st.ForwardSteps++
 		}
-		st.ForwardTime += time.Since(fwd)
+		tr.phaseDone(&st.ForwardTime, "forward", fwd)
 
 		// Loss at the window boundary; gradients summed over windows.
 		logits := tr.Net.Logits(states)
@@ -101,7 +101,7 @@ func (tb TBPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (S
 			rs.drop(w0 - 1)
 		}
 		_ = deltas
-		st.BackwardTime += time.Since(bwd)
+		tr.phaseDone(&st.BackwardTime, "backward", bwd)
 	}
 	// Accuracy is judged on the final window's logits, the network's output
 	// after the full T steps.

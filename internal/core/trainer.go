@@ -11,6 +11,7 @@ import (
 	"skipper/internal/opt"
 	"skipper/internal/stats"
 	"skipper/internal/tensor"
+	"skipper/internal/trace"
 )
 
 // StepStats reports what one training batch did.
@@ -139,6 +140,9 @@ func NewTrainer(net *layers.Network, data dataset.Source, strat Strategy, cfg Co
 	// Pool size never changes results (see internal/parallel), so this does
 	// not interact with seeding or resume determinism.
 	net.SetPool(cfg.Runtime.Pool())
+	// The device reports reserved-memory high-water marks into the runtime's
+	// tracer (a no-op when tracing is off).
+	tr.Dev.SetTracer(cfg.Runtime.Tracer())
 
 	charge := func(cat mem.Category, n int64) error {
 		if n <= 0 {
@@ -181,6 +185,20 @@ func (tr *Trainer) Close() {
 	tr.persistent = nil
 }
 
+// tracer returns the runtime's span recorder; nil (tracing off) is valid and
+// free to record into.
+func (tr *Trainer) tracer() *trace.Tracer { return tr.Cfg.Runtime.Tracer() }
+
+// phaseDone closes one timed training phase: the elapsed time folds into the
+// StepStats duration field AND is recorded as a trace span with the exact
+// same boundaries, which is what lets per-phase span sums reconcile with the
+// EpochStats wall-clock timings.
+func (tr *Trainer) phaseDone(dst *time.Duration, name string, start time.Time, attrs ...trace.Attr) {
+	d := time.Since(start)
+	*dst += d
+	tr.tracer().SpanAt(trace.TrackTrain, name, start, d, attrs...)
+}
+
 // rngFor derives the deterministic stream for a purpose and the current
 // iteration.
 func (tr *Trainer) rngFor(purpose uint64) *tensor.RNG {
@@ -217,7 +235,10 @@ func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepSt
 		if end > len(indices) {
 			end = len(indices)
 		}
+		encStart := time.Now()
 		input, labels := tr.Data.SpikeBatch(split, indices[start:end], tr.Cfg.T)
+		tr.tracer().SpanAt(trace.TrackTrain, "encode", encStart, time.Since(encStart),
+			trace.Attr{Key: "n", Val: int64(end - start)})
 		inBlock, err := tr.Dev.Alloc(mem.Input, tr.inputBytes(input, labels))
 		if err != nil {
 			return total, fmt.Errorf("core: charging input: %w", err)
@@ -240,8 +261,10 @@ func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepSt
 		}
 		total.Loss /= float64(k)
 	}
+	stepStart := time.Now()
 	total.GradNorm = float64(opt.GradClip(tr.Net.Params(), tr.Cfg.GradClip))
 	tr.Opt.Step()
+	tr.tracer().SpanAt(trace.TrackTrain, "opt_step", stepStart, time.Since(stepStart))
 	return total, nil
 }
 

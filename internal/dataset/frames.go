@@ -128,9 +128,11 @@ func (s *frameSource) SpikeBatch(split Split, indices []int, T int) ([]*tensor.T
 	if s.latency {
 		return encode.Latency{}.EncodeTrain(frames, T), labels
 	}
-	ids := make([]int, len(indices))
+	// Dataset ids are small non-negative ints, so widening to uint64 keeps
+	// every historical encoding bit-identical.
+	ids := make([]uint64, len(indices))
 	for i, idx := range indices {
-		ids[i] = s.globalID(split, idx)
+		ids[i] = uint64(s.globalID(split, idx))
 	}
 	return s.enc.EncodeTrain(frames, ids, T), labels
 }

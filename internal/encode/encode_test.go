@@ -11,7 +11,7 @@ func TestPoissonDeterministic(t *testing.T) {
 	p := Poisson{Seed: 42}
 	frames := tensor.New(2, 1, 4, 4)
 	tensor.NewRNG(1).FillUniform(frames, 0, 1)
-	ids := []int{10, 11}
+	ids := []uint64{10, 11}
 	a := tensor.New(2, 1, 4, 4)
 	b := tensor.New(2, 1, 4, 4)
 	p.EncodeStep(a, frames, ids, 3)
@@ -41,12 +41,12 @@ func TestPoissonIndependentOfBatchComposition(t *testing.T) {
 	frame := tensor.New(1, 1, 4, 4)
 	tensor.NewRNG(2).FillUniform(frame, 0, 1)
 	solo := tensor.New(1, 1, 4, 4)
-	p.EncodeStep(solo, frame, []int{5}, 0)
+	p.EncodeStep(solo, frame, []uint64{5}, 0)
 
 	pair := tensor.New(2, 1, 4, 4)
 	copy(pair.Data[16:], frame.Data)
 	out := tensor.New(2, 1, 4, 4)
-	p.EncodeStep(out, pair, []int{9, 5}, 0)
+	p.EncodeStep(out, pair, []uint64{9, 5}, 0)
 	for i := 0; i < 16; i++ {
 		if out.Data[16+i] != solo.Data[i] {
 			t.Fatal("encoding depends on batch position")
@@ -62,7 +62,7 @@ func TestPoissonRateMatchesIntensity(t *testing.T) {
 	const T = 5000
 	dst := tensor.New(1, 1, 1, 1)
 	for tt := 0; tt < T; tt++ {
-		p.EncodeStep(dst, frames, []int{0}, tt)
+		p.EncodeStep(dst, frames, []uint64{0}, tt)
 		if dst.Data[0] == 1 {
 			hits++
 		}
@@ -81,7 +81,7 @@ func TestPoissonMaxRateScales(t *testing.T) {
 	const T = 4000
 	dst := tensor.New(1, 1, 1, 1)
 	for tt := 0; tt < T; tt++ {
-		p.EncodeStep(dst, frames, []int{0}, tt)
+		p.EncodeStep(dst, frames, []uint64{0}, tt)
 		if dst.Data[0] == 1 {
 			hits++
 		}
@@ -92,11 +92,37 @@ func TestPoissonMaxRateScales(t *testing.T) {
 	}
 }
 
+// TestPoissonIDHighBitsMatter is the regression test for the sample-id
+// truncation bug: the serving path feeds 64-bit content hashes through the
+// encoder, and the old []int signature chopped them to 32 bits on 32-bit
+// platforms. Encodings must depend on id bits above bit 31 — if they were
+// truncated, the two ids below would collide and produce identical spikes.
+func TestPoissonIDHighBitsMatter(t *testing.T) {
+	p := Poisson{Seed: 42, MaxRate: 0.5}
+	frames := tensor.New(1, 1, 8, 8)
+	tensor.NewRNG(9).FillUniform(frames, 0, 1)
+	lo := tensor.New(1, 1, 8, 8)
+	hi := tensor.New(1, 1, 8, 8)
+	const base = uint64(5)
+	p.EncodeStep(lo, frames, []uint64{base}, 0)
+	p.EncodeStep(hi, frames, []uint64{base | 1<<40}, 0)
+	same := true
+	for i := range lo.Data {
+		if lo.Data[i] != hi.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("ids differing only above bit 31 produced identical encodings — high bits are being truncated")
+	}
+}
+
 func TestEncodeTrain(t *testing.T) {
 	p := Poisson{Seed: 1}
 	frames := tensor.New(2, 1, 2, 2)
 	frames.Fill(1)
-	train := p.EncodeTrain(frames, []int{0, 1}, 6)
+	train := p.EncodeTrain(frames, []uint64{0, 1}, 6)
 	if len(train) != 6 {
 		t.Fatalf("train length %d", len(train))
 	}

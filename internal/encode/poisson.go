@@ -26,8 +26,11 @@ type Poisson struct {
 
 // EncodeStep fills dst [B, C, H, W] with one timestep of spikes for frames
 // [B, C, H, W]. sampleIDs names each batch row globally so encoding is
-// independent of batch composition.
-func (p Poisson) EncodeStep(dst, frames *tensor.Tensor, sampleIDs []int, t int) {
+// independent of batch composition. The ids are full-width uint64 values —
+// the serving path derives them from a 64-bit content hash, and narrowing
+// them to int would truncate on 32-bit platforms, making the same request
+// encode differently across architectures.
+func (p Poisson) EncodeStep(dst, frames *tensor.Tensor, sampleIDs []uint64, t int) {
 	if !dst.SameShape(frames) {
 		panic(fmt.Sprintf("encode: EncodeStep shape mismatch %v vs %v", dst.Shape(), frames.Shape()))
 	}
@@ -41,7 +44,7 @@ func (p Poisson) EncodeStep(dst, frames *tensor.Tensor, sampleIDs []int, t int) 
 	}
 	n := frames.Len() / b
 	for i := 0; i < b; i++ {
-		rng := tensor.NewRNG(tensor.DeriveSeed(p.Seed, uint64(sampleIDs[i]), uint64(t)))
+		rng := tensor.NewRNG(tensor.DeriveSeed(p.Seed, sampleIDs[i], uint64(t)))
 		src := frames.Data[i*n : (i+1)*n]
 		out := dst.Data[i*n : (i+1)*n]
 		for j, v := range src {
@@ -58,7 +61,7 @@ func (p Poisson) EncodeStep(dst, frames *tensor.Tensor, sampleIDs []int, t int) 
 // per timestep. This mirrors the reference implementation, which
 // materialises the whole input spike tensor on the device (the "input"
 // memory category of the paper's breakdown figures).
-func (p Poisson) EncodeTrain(frames *tensor.Tensor, sampleIDs []int, T int) []*tensor.Tensor {
+func (p Poisson) EncodeTrain(frames *tensor.Tensor, sampleIDs []uint64, T int) []*tensor.Tensor {
 	train := make([]*tensor.Tensor, T)
 	for t := 0; t < T; t++ {
 		st := tensor.New(frames.Shape()...)

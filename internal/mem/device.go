@@ -23,6 +23,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"skipper/internal/trace"
 )
 
 // Category tags the purpose of an allocation, mirroring the tensor taxonomy
@@ -125,7 +128,18 @@ type Device struct {
 	frees,
 	cacheHits,
 	oomFlushes int64
+
+	// tracer, when attached, receives a "reserved_high_water" counter event
+	// each time peak reserved memory grows by at least traceGrain since the
+	// last emitted event (so a trace shows the footprint staircase without an
+	// event per allocation). Atomic so SetTracer is race-free against Alloc.
+	tracer      atomic.Pointer[trace.Tracer]
+	lastEmitted int64 // peakRes at the last event; guarded by mu
 }
+
+// traceGrain is the minimum peak-reserved growth between high-water trace
+// events.
+const traceGrain = 1 << 20
 
 // NewDevice returns a device with the given configuration.
 func NewDevice(cfg Config) *Device {
@@ -138,6 +152,16 @@ func NewDevice(cfg Config) *Device {
 // Unlimited returns a device with no budget and no context overhead,
 // convenient for pure accounting.
 func Unlimited() *Device { return NewDevice(Config{}) }
+
+// SetTracer attaches a span recorder for reserved-memory high-water events.
+// Safe to call at any time from any goroutine; nil detaches. Nil-receiver
+// safe so callers can wire an optional device unconditionally.
+func (d *Device) SetTracer(t *trace.Tracer) {
+	if d == nil {
+		return
+	}
+	d.tracer.Store(t)
+}
 
 // roundBin rounds a request to its allocator bin, echoing the PyTorch caching
 // allocator: small blocks round to 512 B multiples, large blocks (>1 MiB)
@@ -242,6 +266,12 @@ func (d *Device) reserve(cat Category, bin int64) error {
 	d.reserved += bin
 	if d.reserved > d.peakRes {
 		d.peakRes = d.reserved
+		if d.peakRes-d.lastEmitted >= traceGrain {
+			if t := d.tracer.Load(); t != nil {
+				d.lastEmitted = d.peakRes
+				t.Counter(trace.TrackDevice, "reserved_high_water", d.peakRes)
+			}
+		}
 	}
 	if d.cfg.Budget != 0 && d.reserved > d.cfg.Budget {
 		d.swapped = d.reserved - d.cfg.Budget

@@ -31,6 +31,9 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"skipper/internal/trace"
 )
 
 // Pool fans contiguous index ranges out to worker goroutines. The zero of
@@ -41,6 +44,14 @@ type Pool struct {
 	lanes     int
 	tasks     chan task
 	closeOnce sync.Once
+
+	// Lane-utilization counters: how many Run/RunGrain calls the pool served
+	// and how many lanes they actually occupied (after the grain floor), the
+	// numbers behind the skipper_pool_* metrics and the sampled "pool_lanes"
+	// trace counter.
+	runs      atomic.Int64
+	lanesUsed atomic.Int64
+	tracer    atomic.Pointer[trace.Tracer]
 }
 
 type task struct {
@@ -103,28 +114,92 @@ func (p *Pool) RunGrain(n, grain int, fn func(lane, lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
+	// Lane count comes from the floor first: with lanes <= n/grain, the
+	// balanced partition below gives every lane at least floor(n/lanes) >=
+	// grain indices, so the documented work floor holds for every lane —
+	// including the last one, which a naive ceil-chunked split can starve
+	// (n=10, grain=3 used to produce lanes of 4/4/2).
 	lanes := p.Lanes()
 	if max := n / grain; lanes > max {
 		lanes = max
 	}
 	if lanes <= 1 {
+		p.observe(1)
 		fn(0, 0, n)
 		return
 	}
-	chunk := (n + lanes - 1) / lanes
+	p.observe(lanes)
+	// Balanced partition: base or base+1 indices per lane, remainder on the
+	// leading lanes. Lane 0 runs on the submitting goroutine.
+	base, rem := n/lanes, n%lanes
+	lane0hi := base
+	if rem > 0 {
+		lane0hi++
+	}
 	var wg sync.WaitGroup
-	lane := 1
-	for lo := chunk; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	lo := lane0hi
+	for lane := 1; lane < lanes; lane++ {
+		hi := lo + base
+		if lane < rem {
+			hi++
 		}
 		wg.Add(1)
 		p.tasks <- task{fn: fn, lane: lane, lo: lo, hi: hi, wg: &wg}
-		lane++
+		lo = hi
 	}
-	fn(0, 0, chunk)
+	fn(0, 0, lane0hi)
 	wg.Wait()
+}
+
+// observe folds one Run's lane occupancy into the utilization counters and,
+// when a tracer is attached, emits a sampled "pool_lanes" counter event
+// (every 1024th call — kernels submit thousands of Runs per batch, and the
+// sampled series is plenty to see utilization collapse in a trace).
+func (p *Pool) observe(lanes int) {
+	if p == nil {
+		return
+	}
+	runs := p.runs.Add(1)
+	p.lanesUsed.Add(int64(lanes))
+	if runs&1023 != 0 {
+		return
+	}
+	if t := p.tracer.Load(); t != nil {
+		t.Counter(trace.TrackPool, "pool_lanes", int64(lanes))
+	}
+}
+
+// SetTracer attaches a tracer for the sampled lane-utilization counter.
+// Safe to call at any time; nil detaches.
+func (p *Pool) SetTracer(t *trace.Tracer) {
+	if p == nil {
+		return
+	}
+	p.tracer.Store(t)
+}
+
+// Stats reports the pool's cumulative Run count and the lanes those runs
+// occupied; MeanLanes is the utilization a dashboard plots against Lanes().
+// Nil-safe.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Runs: p.runs.Load(), LanesUsed: p.lanesUsed.Load()}
+}
+
+// PoolStats is a snapshot of the lane-utilization counters.
+type PoolStats struct {
+	Runs      int64
+	LanesUsed int64
+}
+
+// MeanLanes returns the average lanes occupied per Run (0 when idle).
+func (s PoolStats) MeanLanes() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.LanesUsed) / float64(s.Runs)
 }
 
 // Close terminates the worker goroutines. Safe to call more than once; Run

@@ -92,6 +92,90 @@ func TestRunGrainFloorsLaneWork(t *testing.T) {
 	}
 }
 
+// TestRunGrainNeverBelowGrain pins the documented work floor across the
+// partition itself: no lane — including the last — may receive fewer than
+// grain indices (unless the whole input is smaller than one grain). The
+// pre-fix ceil-chunked split violated this (n=10, grain=3 → lanes 4/4/2).
+func TestRunGrainNeverBelowGrain(t *testing.T) {
+	cases := []struct {
+		threads, n, grain int
+	}{
+		{4, 10, 3}, // the regression: last lane used to get 2 < 3
+		{4, 11, 3},
+		{8, 10, 3},
+		{4, 100, 33},
+		{8, 100, 7},
+		{3, 9, 3},
+		{4, 12, 3},
+		{16, 1000, 64},
+		{7, 6, 4},  // n > grain but < 2·grain: one lane
+		{4, 2, 5},  // n < grain: one lane of n
+		{2, 64, 1}, // grain 1: plain Run partition
+	}
+	for _, tc := range cases {
+		p := NewPool(tc.threads)
+		type lane struct{ lo, hi int }
+		var mu sync.Mutex
+		var got []lane
+		p.RunGrain(tc.n, tc.grain, func(_, lo, hi int) {
+			mu.Lock()
+			got = append(got, lane{lo, hi})
+			mu.Unlock()
+		})
+		p.Close()
+
+		covered := make([]int, tc.n)
+		for _, l := range got {
+			size := l.hi - l.lo
+			if len(got) > 1 && size < tc.grain {
+				t.Errorf("threads=%d n=%d grain=%d: lane [%d,%d) has %d indices, below grain",
+					tc.threads, tc.n, tc.grain, l.lo, l.hi, size)
+			}
+			for i := l.lo; i < l.hi; i++ {
+				covered[i]++
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("threads=%d n=%d grain=%d: index %d covered %d times",
+					tc.threads, tc.n, tc.grain, i, c)
+			}
+		}
+		if want := tc.n / tc.grain; want >= 1 && len(got) > want {
+			t.Errorf("threads=%d n=%d grain=%d: %d lanes exceeds floor bound %d",
+				tc.threads, tc.n, tc.grain, len(got), want)
+		}
+	}
+}
+
+// TestPoolStats checks the lane-utilization counters behind the pool gauges.
+func TestPoolStats(t *testing.T) {
+	var nilPool *Pool
+	nilPool.Run(16, func(_, _, _ int) {})
+	if s := nilPool.Stats(); s != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v", s)
+	}
+	nilPool.SetTracer(nil) // must not panic
+
+	p := NewPool(4)
+	defer p.Close()
+	p.Run(1000, func(_, _, _ int) {})
+	p.RunGrain(2, 8, func(_, _, _ int) {}) // collapses to one lane
+	s := p.Stats()
+	if s.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", s.Runs)
+	}
+	if s.LanesUsed != 4+1 {
+		t.Fatalf("LanesUsed = %d, want 5", s.LanesUsed)
+	}
+	if m := s.MeanLanes(); m < 2.4 || m > 2.6 {
+		t.Fatalf("MeanLanes = %v, want 2.5", m)
+	}
+	if (PoolStats{}).MeanLanes() != 0 {
+		t.Fatal("idle MeanLanes must be 0")
+	}
+}
+
 // TestConcurrentSubmitters proves many goroutines can share one pool: each
 // submitter fills a private slice through Run, so disjoint-output kernels on
 // different buffers never interfere.

@@ -10,6 +10,7 @@ import (
 	"skipper/internal/core"
 	"skipper/internal/encode"
 	"skipper/internal/tensor"
+	"skipper/internal/trace"
 )
 
 // job is one enqueued inference request.
@@ -17,11 +18,14 @@ type job struct {
 	frames []float32 // flattened [C,H,W] input, values in [0,1]
 	id     uint64    // content hash; the deterministic encoding sample id
 	enq    time.Time
+	track  int // trace track for this request's spans (0 when tracing is off)
 	ctx    context.Context
 	resp   chan jobResult // buffered 1; the worker's send never blocks
 }
 
-// jobResult is what the worker hands back for one sample.
+// jobResult is what the worker hands back for one sample. A non-nil Err
+// means the job was dropped (e.g. the server shut down before a worker could
+// run it) and the other fields are zero.
 type jobResult struct {
 	Pred      int
 	Logits    []float32
@@ -30,6 +34,7 @@ type jobResult struct {
 	T         int
 	BatchSize int
 	Version   uint64
+	Err       error
 }
 
 // sampleID hashes the request content so the Poisson encoding of a frame is
@@ -46,21 +51,30 @@ func sampleID(frames []float32) uint64 {
 }
 
 // runWorker is one batch worker: it owns a private network replica and loops
-// pulling micro-batches off the queue until the stop channel closes.
-func (s *Server) runWorker(r *replica) {
+// pulling micro-batches off the queue until the stop channel closes. idx
+// names the worker's trace track.
+func (s *Server) runWorker(idx int, r *replica) {
 	defer s.workerWG.Done()
+	track := trace.TrackWorker0 + idx
 	for {
 		select {
 		case <-s.stop:
 			return
 		case first := <-s.queue:
-			s.runBatch(r, s.coalesce(first))
+			cs := s.tracer.Begin(track, "coalesce")
+			jobs := s.coalesce(first)
+			cs.End(trace.Attr{Key: "batch", Val: int64(len(jobs))})
+			s.runBatch(track, r, jobs)
 		}
 	}
 }
 
-// coalesce gathers more requests after the first until the batch is full or
-// the batching window elapses.
+// coalesce gathers more requests after the first until the batch is full,
+// the batching window elapses, or the server begins shutting down. The stop
+// case matters: without it a quiet worker sits out the full BatchWindow
+// before noticing Drain, stalling shutdown by up to the window (which can be
+// configured far larger than any drain budget). On stop the partial batch is
+// flushed to runBatch so the jobs already pulled off the queue get answered.
 func (s *Server) coalesce(first *job) []*job {
 	jobs := []*job{first}
 	if s.cfg.MaxBatch == 1 {
@@ -74,13 +88,15 @@ func (s *Server) coalesce(first *job) []*job {
 			jobs = append(jobs, j)
 		case <-timer.C:
 			return jobs
+		case <-s.stop:
+			return jobs
 		}
 	}
 	return jobs
 }
 
 // runBatch executes one coalesced micro-batch on the worker's replica.
-func (s *Server) runBatch(r *replica, jobs []*job) {
+func (s *Server) runBatch(track int, r *replica, jobs []*job) {
 	// Requests whose deadline already passed are dropped here: their handler
 	// has answered 504 and gone, so computing them would be pure waste.
 	live := jobs[:0]
@@ -104,18 +120,25 @@ func (s *Server) runBatch(r *replica, jobs []*job) {
 	b := len(jobs)
 	shape := append([]int{b}, r.net.InShape...)
 	frames := tensor.New(shape...)
-	ids := make([]int, b)
+	// The ids stay full-width uint64: j.id is a 64-bit content hash, and
+	// narrowing it through int silently truncated the top 32 bits on 32-bit
+	// platforms, so the same request encoded differently across architectures.
+	ids := make([]uint64, b)
 	waits := make([]float64, b)
 	now := time.Now()
 	per := frames.Len() / b
 	for i, j := range jobs {
 		copy(frames.Data[i*per:(i+1)*per], j.frames)
-		ids[i] = int(j.id)
+		ids[i] = j.id
 		waits[i] = now.Sub(j.enq).Seconds()
+		// The queue wait is over by the time the batch assembles, so it is
+		// recorded retroactively on the request's own track.
+		s.tracer.SpanAt(j.track, "queue_wait", j.enq, now.Sub(j.enq))
 	}
 
 	enc := encode.Poisson{MaxRate: s.cfg.MaxRate, Seed: s.cfg.EncodeSeed}
 	spikes := tensor.New(shape...)
+	exec := s.tracer.Begin(track, "batch_execute")
 	res := core.InferStream(r.net, s.cfg.T, func(t int) *tensor.Tensor {
 		enc.EncodeStep(spikes, frames, ids, t)
 		return spikes
@@ -125,8 +148,10 @@ func (s *Server) runBatch(r *replica, jobs []*job) {
 		MinMargin: s.cfg.ExitMargin,
 		MinSteps:  s.cfg.ExitMinSteps,
 	})
+	exec.End(trace.Attr{Key: "batch", Val: int64(b)},
+		trace.Attr{Key: "steps_run", Val: int64(res.StepsRun)})
 
-	s.metrics.observeBatch(b, res.StepsRun, res.T, res.EarlyExits(), waits)
+	s.metrics.observeBatch(b, res.StepsRun, res.T, res.EarlyExits(), time.Since(now).Seconds(), waits)
 
 	classes := res.Logits.Dim(1)
 	for i, j := range jobs {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"skipper/internal/parallel"
 	"skipper/internal/stats"
 )
 
@@ -19,6 +20,7 @@ type Metrics struct {
 	latency  *stats.Histogram // end-to-end request seconds
 	queueing *stats.Histogram // queue-wait seconds
 	batches  *stats.Histogram // micro-batch sizes
+	execute  *stats.Histogram // batch-execute (inference) seconds
 
 	samples        int64 // samples that completed inference
 	batchSteps     int64 // batch-timesteps executed
@@ -29,23 +31,27 @@ type Metrics struct {
 	reloadRetries  int64 // transient load failures retried with backoff
 	queueRejected  int64 // 429s (also counted in requests["429"])
 	deadlineMissed int64 // requests abandoned on their latency budget
+	drainDropped   int64 // queued jobs dropped unexecuted at shutdown
 
 	// gauges, read at render time
 	queueDepth   func() int
 	modelVersion func() uint64
+	poolStats    func() parallel.PoolStats
 	threads      int // compute-pool width, fixed at construction
 }
 
-func newMetrics(maxBatch, threads int, queueDepth func() int, modelVersion func() uint64) *Metrics {
+func newMetrics(maxBatch, threads int, queueDepth func() int, modelVersion func() uint64, poolStats func() parallel.PoolStats) *Metrics {
 	return &Metrics{
 		requests: map[string]int64{},
 		// 0.5ms .. ~16s
 		latency:  stats.NewHistogram(stats.ExponentialBounds(0.0005, 2, 15)...),
 		queueing: stats.NewHistogram(stats.ExponentialBounds(0.0001, 2, 15)...),
 		batches:  stats.NewHistogram(stats.LinearBounds(1, 1, maxBatch)...),
+		execute:  stats.NewHistogram(stats.ExponentialBounds(0.0005, 2, 15)...),
 
 		queueDepth:   queueDepth,
 		modelVersion: modelVersion,
+		poolStats:    poolStats,
 		threads:      threads,
 	}
 }
@@ -63,10 +69,11 @@ func (m *Metrics) observeRequest(code int, seconds float64) {
 	}
 }
 
-func (m *Metrics) observeBatch(size, stepsRun, t, exits int, queueWait []float64) {
+func (m *Metrics) observeBatch(size, stepsRun, t, exits int, execSeconds float64, queueWait []float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.batches.Observe(float64(size))
+	m.execute.Observe(execSeconds)
 	m.samples += int64(size)
 	m.batchSteps += int64(stepsRun)
 	m.batchStepsMax += int64(t)
@@ -74,6 +81,12 @@ func (m *Metrics) observeBatch(size, stepsRun, t, exits int, queueWait []float64
 	for _, w := range queueWait {
 		m.queueing.Observe(w)
 	}
+}
+
+func (m *Metrics) observeDrainDropped(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drainDropped += int64(n)
 }
 
 func (m *Metrics) observeReloadRetry() {
@@ -118,6 +131,7 @@ func (m *Metrics) Render(w io.Writer) {
 	renderHist(w, "skipper_serve_request_latency_seconds", "End-to-end request latency.", m.latency)
 	renderHist(w, "skipper_serve_queue_wait_seconds", "Time spent waiting in the batching queue.", m.queueing)
 	renderHist(w, "skipper_serve_batch_size", "Coalesced micro-batch sizes.", m.batches)
+	renderHist(w, "skipper_serve_batch_execute_seconds", "Inference time per coalesced micro-batch.", m.execute)
 
 	counter(w, "skipper_serve_samples_total", "Samples that completed inference.", m.samples)
 	counter(w, "skipper_serve_batch_timesteps_total", "Batch-timesteps executed.", m.batchSteps)
@@ -127,6 +141,7 @@ func (m *Metrics) Render(w io.Writer) {
 	counter(w, "skipper_serve_early_exits_total", "Samples whose decision froze before the final timestep.", m.earlyExits)
 	counter(w, "skipper_serve_queue_rejected_total", "Requests rejected with 429 by the full queue.", m.queueRejected)
 	counter(w, "skipper_serve_deadline_missed_total", "Requests abandoned on their latency budget.", m.deadlineMissed)
+	counter(w, "skipper_serve_drain_dropped_total", "Queued jobs dropped unexecuted when shutdown exceeded its drain budget.", m.drainDropped)
 
 	fmt.Fprintln(w, "# HELP skipper_serve_reloads_total Checkpoint reload attempts, by result.")
 	fmt.Fprintln(w, "# TYPE skipper_serve_reloads_total counter")
@@ -138,6 +153,10 @@ func (m *Metrics) Render(w io.Writer) {
 	gauge(w, "skipper_serve_queue_depth", "Requests currently waiting in the batching queue.", float64(m.queueDepth()))
 	gauge(w, "skipper_serve_model_version", "Generation number of the serving checkpoint.", float64(m.modelVersion()))
 	gauge(w, "skipper_runtime_threads", "Width of the shared parallel compute pool.", float64(m.threads))
+
+	ps := m.poolStats()
+	counter(w, "skipper_pool_runs_total", "Kernel fan-outs submitted to the shared compute pool.", ps.Runs)
+	gauge(w, "skipper_pool_mean_lanes", "Average lanes occupied per pool run (utilization against skipper_runtime_threads).", ps.MeanLanes())
 }
 
 func counter(w io.Writer, name, help string, v int64) {

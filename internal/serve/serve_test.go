@@ -481,6 +481,220 @@ func TestRequestBudgetTimeout(t *testing.T) {
 	}
 }
 
+// TestDrainDropsResidualQueue is the regression test for the shutdown leak:
+// when the drain budget expires with jobs still queued, those jobs used to be
+// abandoned with their jobWG counts never released and their handlers hanging
+// until their own request timeouts. Post-fix, Drain answers the residual
+// queue promptly (503) and counts the drops in /metrics.
+func TestDrainDropsResidualQueue(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s, hs := newTestServer(t, Config{
+		T:              4,
+		MaxBatch:       1,
+		QueueDepth:     4,
+		Workers:        1,
+		RequestTimeout: 30 * time.Second, // pre-fix, dropped handlers hung this long
+		OnBatch: func(int) {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	client := hs.Client()
+	input := syntheticInput(11, 3, 2*8*8)
+
+	post := func(ch chan<- int) {
+		body, _ := json.Marshal(InferRequest{Input: input})
+		resp, err := client.Post(hs.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			ch <- -1
+			return
+		}
+		resp.Body.Close()
+		ch <- resp.StatusCode
+	}
+
+	parked := make(chan int, 1)
+	go post(parked)
+	<-entered // the only worker is parked inside its batch
+
+	const queued = 3
+	queuedCodes := make(chan int, queued)
+	for i := 0; i < queued; i++ {
+		go post(queuedCodes)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) < queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests queued", len(s.queue), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain with a parked worker must report the interrupted drain")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("Drain took %v, want ~the 100ms budget", took)
+	}
+
+	// The dropped jobs must be answered promptly — not at RequestTimeout.
+	for i := 0; i < queued; i++ {
+		select {
+		case code := <-queuedCodes:
+			if code != http.StatusServiceUnavailable {
+				t.Fatalf("dropped job answered %d, want 503", code)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("dropped job's handler still hanging after drain")
+		}
+	}
+
+	// The parked batch finishes once released; its job was never dropped.
+	close(release)
+	if code := <-parked; code != http.StatusOK {
+		t.Fatalf("parked request answered %d, want 200", code)
+	}
+
+	// With every job accounted for, the wait group must reach zero — the
+	// pre-fix leak left it short forever.
+	waited := make(chan struct{})
+	go func() { s.jobWG.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("jobWG never drained: dropped jobs leaked wait-group counts")
+	}
+
+	m := fetchMetrics(t, client, hs.URL)
+	assertMetric(t, m, "skipper_serve_drain_dropped_total", queued)
+}
+
+// TestCoalesceStopsOnShutdown is the regression test for the shutdown stall:
+// a worker waiting out a long BatchWindow in coalesce used to ignore Drain
+// entirely, holding its partial batch (and the worker goroutine) hostage for
+// the full window. Post-fix, coalesce returns on the stop signal, the partial
+// batch is flushed and answered, and the workers exit promptly.
+func TestCoalesceStopsOnShutdown(t *testing.T) {
+	const window = 30 * time.Second
+	s, hs := newTestServer(t, Config{
+		T:              4,
+		MaxBatch:       8,
+		QueueDepth:     8,
+		Workers:        1,
+		BatchWindow:    window,
+		RequestTimeout: window,
+	})
+	client := hs.Client()
+
+	got := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(InferRequest{Input: syntheticInput(21, 9, 2*8*8)})
+		resp, err := client.Post(hs.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			got <- -1
+			return
+		}
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+	// Give the worker time to pull the job into coalesce. The request cannot
+	// complete on its own — an 8-wide batch with one job waits out the full
+	// 30s window — so an unanswered request here means the worker is parked
+	// exactly where the pre-fix bug lived.
+	time.Sleep(200 * time.Millisecond)
+	select {
+	case code := <-got:
+		t.Fatalf("request answered early with %d; worker never entered coalesce", code)
+	default:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	s.Drain(ctx) // expires: the job is parked in coalesce, not yet answered
+
+	// Post-fix the flushed partial batch answers the request far sooner than
+	// the 30s window.
+	select {
+	case code := <-got:
+		if code != http.StatusOK {
+			t.Fatalf("flushed request answered %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request still unanswered: coalesce ignored shutdown")
+	}
+	exited := make(chan struct{})
+	go func() { s.workerWG.Wait(); close(exited) }()
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker still inside coalesce after Drain")
+	}
+}
+
+// TestDrainUnderLoad races Drain against a burst of concurrent requests:
+// every request must receive a definitive answer, and the job wait group must
+// reach zero no matter where shutdown slices the stream. Run under -race this
+// also exercises the enqueue/drain mutual exclusion.
+func TestDrainUnderLoad(t *testing.T) {
+	s, hs := newTestServer(t, Config{
+		T:              4,
+		MaxBatch:       4,
+		QueueDepth:     16,
+		Workers:        2,
+		BatchWindow:    time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+	})
+	client := hs.Client()
+
+	const total = 40
+	codes := make(chan int, total)
+	var started int64
+	for i := 0; i < total; i++ {
+		go func(i int) {
+			atomic.AddInt64(&started, 1)
+			body, _ := json.Marshal(InferRequest{Input: syntheticInput(31, uint64(i), 2*8*8)})
+			resp, err := client.Post(hs.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}(i)
+	}
+	for atomic.LoadInt64(&started) < total/2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s.Drain(ctx)
+
+	for i := 0; i < total; i++ {
+		select {
+		case code := <-codes:
+			switch code {
+			case http.StatusOK, http.StatusServiceUnavailable,
+				http.StatusTooManyRequests, http.StatusGatewayTimeout:
+			default:
+				t.Fatalf("request answered %d", code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("request %d of %d never answered", i+1, total)
+		}
+	}
+	waited := make(chan struct{})
+	go func() { s.jobWG.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("jobWG leaked under racing drain")
+	}
+}
+
 func corruptFile(t *testing.T, path string) {
 	t.Helper()
 	data, err := os.ReadFile(path)

@@ -3,12 +3,16 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"skipper/internal/parallel"
 	"skipper/internal/tensor"
+	"skipper/internal/trace"
 )
 
 // Server is the inference serving subsystem: a hot-reloadable model, a
@@ -19,6 +23,7 @@ type Server struct {
 	cfg     Config
 	model   *Model
 	metrics *Metrics
+	tracer  *trace.Tracer
 
 	queue chan *job
 	stop  chan struct{}
@@ -29,10 +34,19 @@ type Server struct {
 	jobWG    sync.WaitGroup // in-flight jobs (enqueued, not yet answered)
 	workerWG sync.WaitGroup
 
+	// reqSeq round-robins traced requests across the request track lanes so
+	// overlapping request spans land on different trace rows instead of
+	// falsely nesting.
+	reqSeq atomic.Uint64
+
 	inVolume int
 	classes  int
 	started  time.Time
 }
+
+// errDraining answers jobs the shutdown path drops before a worker could run
+// them; handlers translate it to a prompt 503.
+var errDraining = errors.New("server shut down before the request was executed")
 
 // InferRequest is the body of POST /v1/infer.
 type InferRequest struct {
@@ -102,6 +116,7 @@ func NewServer(cfg Config, modelPath string) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		model:    model,
+		tracer:   cfg.Runtime.Tracer(),
 		queue:    make(chan *job, cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		inVolume: tensor.Volume(snap.Net.InShape),
@@ -110,7 +125,8 @@ func NewServer(cfg Config, modelPath string) (*Server, error) {
 	}
 	s.metrics = newMetrics(cfg.MaxBatch, cfg.Runtime.Threads(),
 		func() int { return len(s.queue) },
-		func() uint64 { return s.model.Current().Version })
+		func() uint64 { return s.model.Current().Version },
+		func() parallel.PoolStats { return cfg.Runtime.Pool().Stats() })
 	model.OnRetry = func(int, error) { s.metrics.observeReloadRetry() }
 	for i := 0; i < cfg.Workers; i++ {
 		r, err := newReplica(cfg.Build, cfg.Runtime.Pool())
@@ -119,7 +135,7 @@ func NewServer(cfg Config, modelPath string) (*Server, error) {
 			return nil, err
 		}
 		s.workerWG.Add(1)
-		go s.runWorker(r)
+		go s.runWorker(i, r)
 	}
 	return s, nil
 }
@@ -139,7 +155,12 @@ func (s *Server) Reload(path string) (*Snapshot, error) {
 }
 
 // Drain stops accepting new requests, waits for every enqueued job to be
-// answered (bounded by ctx), and shuts the workers down.
+// answered (bounded by ctx), and shuts the workers down. If the budget
+// expires first, the residual queue is drained here: each dropped job is
+// answered with errDraining (its handler returns a prompt 503) and its
+// wait-group count released. Without that, jobs still queued at expiry
+// leaked a jobWG count forever and their handlers hung until their own
+// request timeouts.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
@@ -160,9 +181,28 @@ func (s *Server) Drain(ctx context.Context) error {
 		err = fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
 	}
 	close(s.stop)
-	if err == nil {
-		s.workerWG.Wait()
+	if err != nil {
+		// Workers are exiting (runWorker and coalesce both watch s.stop), so
+		// nothing else is guaranteed to empty the queue. The draining flag
+		// stops new enqueues, and workers only remove, so once the queue reads
+		// empty here it stays empty. A worker racing us for a job is fine:
+		// whoever receives it answers it, exactly once.
+		dropped := 0
+		for {
+			select {
+			case j := <-s.queue:
+				j.resp <- jobResult{Err: errDraining}
+				s.jobWG.Done()
+				dropped++
+			default:
+				s.metrics.observeDrainDropped(dropped)
+				s.tracer.Event(trace.TrackTrain, "drain_dropped",
+					trace.Attr{Key: "jobs", Val: int64(dropped)})
+				return err
+			}
+		}
 	}
+	s.workerWG.Wait()
 	return err
 }
 
@@ -221,6 +261,9 @@ func (s *Server) infer(r *http.Request) (int, any) {
 		ctx:    ctx,
 		resp:   make(chan jobResult, 1),
 	}
+	if s.tracer.Enabled() {
+		j.track = trace.TrackRequest0 + int(s.reqSeq.Add(1)-1)%trace.RequestTracks
+	}
 
 	// The read lock pairs with Drain's write lock so that once draining
 	// flips, no new job can slip into the wait group.
@@ -241,6 +284,12 @@ func (s *Server) infer(r *http.Request) (int, any) {
 
 	select {
 	case out := <-j.resp:
+		if out.Err != nil {
+			return http.StatusServiceUnavailable, errorResponse{out.Err.Error()}
+		}
+		s.tracer.SpanAt(j.track, "request", j.enq, time.Since(j.enq),
+			trace.Attr{Key: "batch", Val: int64(out.BatchSize)},
+			trace.Attr{Key: "exit_step", Val: int64(out.ExitStep)})
 		return http.StatusOK, InferResponse{
 			Pred:         out.Pred,
 			Logits:       out.Logits,
@@ -251,6 +300,7 @@ func (s *Server) infer(r *http.Request) (int, any) {
 			ModelVersion: out.Version,
 		}
 	case <-ctx.Done():
+		s.tracer.Event(j.track, "deadline_missed")
 		return http.StatusGatewayTimeout, errorResponse{"latency budget exceeded"}
 	}
 }

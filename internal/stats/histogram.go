@@ -112,6 +112,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	rank := q * float64(h.n)
 	var c int64
 	for i, v := range h.counts {
+		if v == 0 {
+			// An empty bucket can never contain the target rank; skipping
+			// it keeps q=0 out of empty leading buckets (it must land at
+			// the lower edge of the first populated one).
+			continue
+		}
 		c += v
 		if float64(c) < rank {
 			continue
@@ -124,10 +130,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if i > 0 {
 			lo = h.bounds[i-1]
 		}
-		if v == 0 {
-			return h.bounds[i]
-		}
 		frac := (rank - float64(c-v)) / float64(v)
+		if frac < 0 {
+			frac = 0
+		}
 		return lo + frac*(h.bounds[i]-lo)
 	}
 	return h.bounds[len(h.bounds)-1]

@@ -58,6 +58,51 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// Quantile's edge ranks: q=0 must land at the lower edge of the first
+// non-empty bucket (not bounds[0]), q=1 at the upper edge of the last
+// non-empty one, and a histogram whose whole mass sits in the +Inf overflow
+// bucket must clamp every quantile — including q=0 — to the last bound.
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty leading buckets: all mass lives in (2, 4].
+	h := NewHistogram(1, 2, 4)
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("q=0 = %v, want the populated bucket's lower edge 2", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("q=1 = %v, want the populated bucket's upper edge 4", got)
+	}
+
+	// All mass in the overflow bucket.
+	inf := NewHistogram(1, 2)
+	inf.Observe(100)
+	inf.Observe(200)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := inf.Quantile(q); got != 2 {
+			t.Errorf("overflow-only q=%v = %v, want last bound 2", q, got)
+		}
+	}
+
+	// A single observation is bracketed by its bucket at every q.
+	one := NewHistogram(1, 2, 4)
+	one.Observe(1.5)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := one.Quantile(q); got < 1 || got > 2 {
+			t.Errorf("single-observation q=%v = %v, want within [1,2]", q, got)
+		}
+	}
+	if one.Quantile(0) != 1 || one.Quantile(1) != 2 {
+		t.Errorf("single-observation edges = %v..%v, want 1..2", one.Quantile(0), one.Quantile(1))
+	}
+
+	// Out-of-range q clamps rather than extrapolating.
+	if one.Quantile(-3) != one.Quantile(0) || one.Quantile(7) != one.Quantile(1) {
+		t.Error("q outside [0,1] must clamp")
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	a := NewHistogram(1, 2)
 	b := NewHistogram(1, 2)

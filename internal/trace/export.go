@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteChromeTrace dumps the buffer in Chrome trace_event JSON object
+// format, loadable in chrome://tracing and Perfetto. Nil-safe: a nil tracer
+// writes an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	if t != nil {
+		for i, e := range t.snapshot() {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			writeChromeEvent(bw, e)
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeChromeEvent renders one trace_event object. Names and keys come from
+// call-site literals, but %q keeps arbitrary strings safe anyway.
+func writeChromeEvent(w *bufio.Writer, e event) {
+	ph := "X"
+	switch e.kind {
+	case kindInstant:
+		ph = "i"
+	case kindCounter:
+		ph = "C"
+	}
+	fmt.Fprintf(w, `{"name":%q,"ph":%q,"pid":1,"tid":%d,"ts":%d`, e.name, ph, e.track, e.ts)
+	if e.kind == kindSpan {
+		fmt.Fprintf(w, `,"dur":%d`, e.dur)
+	}
+	if e.kind == kindInstant {
+		w.WriteString(`,"s":"t"`)
+	}
+	if e.nattr > 0 {
+		w.WriteString(`,"args":{`)
+		for i := 0; i < int(e.nattr); i++ {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `%q:%s`, e.attrs[i].Key, strconv.FormatInt(e.attrs[i].Val, 10))
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte('}')
+}
+
+// SpanTotal aggregates every recorded span of one name.
+type SpanTotal struct {
+	Name  string
+	Count int64
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (s SpanTotal) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Totals aggregates the recorded spans per name, largest total first —
+// the numbers the plain-text summary and the span-sum acceptance checks
+// consume. Nil-safe.
+func (t *Tracer) Totals() []SpanTotal {
+	if t == nil {
+		return nil
+	}
+	agg := map[string]*SpanTotal{}
+	for _, e := range t.snapshot() {
+		if e.kind != kindSpan {
+			continue
+		}
+		d := time.Duration(e.dur) * time.Microsecond
+		st := agg[e.name]
+		if st == nil {
+			st = &SpanTotal{Name: e.name, Min: d, Max: d}
+			agg[e.name] = st
+		}
+		st.Count++
+		st.Total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	out := make([]SpanTotal, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SpanSeconds returns the summed duration of all spans with the given name.
+// Nil-safe.
+func (t *Tracer) SpanSeconds(name string) float64 {
+	for _, st := range t.Totals() {
+		if st.Name == name {
+			return st.Total.Seconds()
+		}
+	}
+	return 0
+}
+
+// WriteSummary renders the aggregated span table as plain text — the
+// /debug/spans page and the post-run console report.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	if t == nil {
+		fmt.Fprintln(w, "tracing disabled (nil tracer)")
+		return
+	}
+	totals := t.Totals()
+	fmt.Fprintf(w, "%-24s %10s %14s %12s %12s %12s\n", "span", "count", "total", "mean", "min", "max")
+	for _, s := range totals {
+		fmt.Fprintf(w, "%-24s %10d %14s %12s %12s %12s\n",
+			s.Name, s.Count, round(s.Total), round(s.Mean()), round(s.Min), round(s.Max))
+	}
+	fmt.Fprintf(w, "events recorded %d, dropped %d\n", t.Len(), t.Dropped())
+}
+
+func round(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// SummaryHandler serves the plain-text span summary — mounted at
+// /debug/spans by the -debug-addr server.
+func SummaryHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		t.WriteSummary(w)
+	})
+}

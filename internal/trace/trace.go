@@ -1,0 +1,242 @@
+// Package trace is the runtime's low-overhead span/event recorder: the
+// instrument that turns the paper's accounting argument — where every
+// millisecond and byte of a training or serving run goes, per phase and per
+// tensor category — into something a profiler can open.
+//
+// # The nil convention
+//
+// A nil *Tracer is valid everywhere and records nothing, mirroring the nil
+// *parallel.Pool convention: hot paths call t.Begin/.End unconditionally and
+// pay only a nil check when tracing is off. All recording methods are
+// nil-safe and allocation-free on the disabled path (pinned by
+// TestNilTracerZeroCost), so tracing can be wired through every kernel-hot
+// loop without a build tag or a feature flag.
+//
+// # Model
+//
+// Three event kinds, matching the Chrome trace_event phases they export as:
+//
+//   - spans ("X", complete events): a named duration on a track, opened with
+//     Begin and closed with End, or recorded retroactively with SpanAt;
+//   - instants ("i"): point events such as a divergence-guard trip;
+//   - counters ("C"): sampled numeric series such as pool lane utilization
+//     or device high-water marks.
+//
+// Tracks map to Chrome tids: the trainer records on TrackTrain, serve
+// workers on TrackWorker0+i, request lifecycles on per-request tracks so
+// overlapping requests do not false-nest.
+//
+// The recorder is a bounded in-memory buffer guarded by a mutex; events past
+// MaxEvents are counted in Dropped rather than grown into, so a runaway
+// trace degrades to truncation instead of an OOM.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Well-known tracks (Chrome tids). Anything >= TrackRequest0 is a
+// round-robin request lane.
+const (
+	// TrackTrain carries the trainer's phase spans.
+	TrackTrain = 0
+	// TrackDevice carries mem.Device high-water counters.
+	TrackDevice = 90
+	// TrackPool carries parallel.Pool lane-utilization counters.
+	TrackPool = 91
+	// TrackWorker0 is the first serve batch worker; worker i records on
+	// TrackWorker0 + i.
+	TrackWorker0 = 10
+	// TrackRequest0 is the base of the request-lifecycle lanes; concurrent
+	// requests spread over RequestTracks lanes so their spans do not nest.
+	TrackRequest0 = 100
+	// RequestTracks is the number of request lanes.
+	RequestTracks = 16
+)
+
+// Attr is one key/value span or event attribute (a Chrome "args" entry).
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// maxAttrs bounds per-event attributes; extras are silently dropped. Four
+// covers every call site (batch size, steps, segment, bytes).
+const maxAttrs = 4
+
+type kind uint8
+
+const (
+	kindSpan kind = iota
+	kindInstant
+	kindCounter
+)
+
+// event is one fixed-size record. Keeping it flat (no per-event heap
+// allocations beyond the shared slice growth) is what keeps the enabled
+// path under the 2% budget the overhead bench enforces.
+type event struct {
+	name  string
+	ts    int64 // microseconds since the tracer epoch
+	dur   int64 // microseconds; spans only
+	track int32
+	kind  kind
+	nattr uint8
+	attrs [maxAttrs]Attr
+}
+
+// DefaultMaxEvents bounds the buffer when New is given maxEvents <= 0:
+// about 1M events, ~100 MB worst case, hours of phase-level tracing.
+const DefaultMaxEvents = 1 << 20
+
+// Tracer records spans, instants, and counters into a bounded in-memory
+// buffer. Safe for concurrent use. The zero value is not useful; construct
+// with New. A nil *Tracer is the canonical "tracing off".
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	events  []event
+	max     int
+	dropped int64
+}
+
+// New returns an enabled tracer whose timestamps are relative to now.
+// maxEvents <= 0 means DefaultMaxEvents.
+func New(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Tracer{epoch: time.Now(), max: maxEvents, events: make([]event, 0, 4096)}
+}
+
+// Enabled reports whether the tracer records anything. Nil-safe; hot paths
+// use it to skip attribute preparation, never to guard Begin/End themselves.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span is an open span returned by Begin. The zero Span (from a nil tracer)
+// is valid and End on it is a no-op.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	track int32
+}
+
+// Begin opens a span on a track. Nil-safe and allocation-free when disabled.
+func (t *Tracer) Begin(track int, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, start: time.Now(), track: int32(track)}
+}
+
+// End closes the span, attaching up to maxAttrs attributes.
+func (s Span) End(attrs ...Attr) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.record(event{
+		name:  s.name,
+		track: s.track,
+		kind:  kindSpan,
+		ts:    s.tr.since(s.start),
+		dur:   int64(time.Since(s.start) / time.Microsecond),
+	}, attrs)
+}
+
+// SpanAt records a span retroactively from an observed start and duration —
+// the shape queue-wait measurement needs, where the wait is only known when
+// a worker picks the job up.
+func (t *Tracer) SpanAt(track int, name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.record(event{
+		name:  name,
+		track: int32(track),
+		kind:  kindSpan,
+		ts:    t.since(start),
+		dur:   int64(d / time.Microsecond),
+	}, attrs)
+}
+
+// Event records an instant event.
+func (t *Tracer) Event(track int, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.record(event{name: name, track: int32(track), kind: kindInstant, ts: t.since(time.Now())}, attrs)
+}
+
+// Counter records one sample of a numeric series.
+func (t *Tracer) Counter(track int, name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.record(event{
+		name: name, track: int32(track), kind: kindCounter,
+		ts: t.since(time.Now()), nattr: 1, attrs: [maxAttrs]Attr{{Key: "value", Val: v}},
+	}, nil)
+}
+
+// since converts a wall time to microseconds past the tracer epoch,
+// clamping times before the epoch (possible for retroactive spans) to 0.
+func (t *Tracer) since(at time.Time) int64 {
+	us := int64(at.Sub(t.epoch) / time.Microsecond)
+	if us < 0 {
+		us = 0
+	}
+	return us
+}
+
+func (t *Tracer) record(e event, attrs []Attr) {
+	for _, a := range attrs {
+		if e.nattr == maxAttrs {
+			break
+		}
+		e.attrs[e.nattr] = a
+		e.nattr++
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded after the buffer filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// snapshot copies the event buffer out under the lock so exporters can walk
+// it without blocking recorders.
+func (t *Tracer) snapshot() []event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]event, len(t.events))
+	copy(out, t.events)
+	return out
+}

@@ -43,6 +43,7 @@ import (
 	"skipper/internal/serialize"
 	"skipper/internal/snn"
 	"skipper/internal/stats"
+	"skipper/internal/trace"
 )
 
 // Execution runtime.
@@ -78,6 +79,21 @@ func WithMetrics(w io.Writer) RuntimeOption { return core.WithMetrics(w) }
 // WithSeed sets the root seed trainers and datasets inherit when no
 // explicit seed is given.
 func WithSeed(seed uint64) RuntimeOption { return core.WithSeed(seed) }
+
+// Tracer is the low-overhead span/event recorder behind -trace: trainer
+// phase spans, serve request lifecycles, pool lane counters, and device
+// high-water events all record into one. A nil *Tracer is valid everywhere
+// and free (allocation-free no-ops), mirroring the nil-pool convention.
+type Tracer = trace.Tracer
+
+// NewTracer builds a tracer bounded at maxEvents (<= 0 = the default cap);
+// past the cap events are counted as dropped, not stored.
+func NewTracer(maxEvents int) *Tracer { return trace.New(maxEvents) }
+
+// WithTracer attaches a span recorder to the runtime; every component built
+// on the runtime reports into it. Nil (the default) disables tracing at
+// zero cost.
+func WithTracer(t *Tracer) RuntimeOption { return core.WithTracer(t) }
 
 // Training engine.
 type (

@@ -1,15 +1,16 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate:
 #   build, vet, race-test the concurrency-sensitive subsystems, full test
-#   suite, the SIGKILL+resume smoke test, then the serving and kernel
-#   benchmarks (write BENCH_serve.json and BENCH_kernels.json).
+#   suite, the SIGKILL+resume smoke test, then the serving, kernel, and
+#   trace-overhead benchmarks (write BENCH_serve.json, BENCH_kernels.json,
+#   and BENCH_trace.json).
 set -eux
 
 cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/...
+go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/... ./internal/trace/...
 go test ./...
 
 sh ./scripts/kill_resume_smoke.sh
@@ -21,3 +22,9 @@ go run ./cmd/skipper-bench -exp bench_serve -scale tiny
 # matmul is not faster than serial (a 1-core box has nothing to win, so the
 # flag is a no-op there).
 go run ./cmd/skipper-bench -exp bench_kernels -scale tiny -require-speedup
+
+# Trace-overhead smoke: the nil-tracer path must stay free (always a hard
+# gate) and the traced capped epoch within 2% of plain (a timing gate, so —
+# like the kernel speedup above — it only fails the run when
+# -require-speedup is passed; add it on quiet machines).
+go run ./cmd/skipper-bench -exp bench_trace -scale tiny
