@@ -7,34 +7,43 @@
 //
 //	skipper-inspect -model lenet -data dvsgesture -T 48 -C 4 -p 50
 //	skipper-inspect -model vgg5 -data cifar10 -T 36 -csv trace.csv
+//	skipper-inspect -manifest runs/vgg5/manifest.skpm
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"skipper/internal/analysis"
 	"skipper/internal/cli"
 	"skipper/internal/core"
 	"skipper/internal/dataset"
 	"skipper/internal/models"
+	"skipper/internal/runstate"
 )
 
 func main() {
 	var (
-		model = flag.String("model", "lenet", "topology")
-		data  = flag.String("data", "dvsgesture", "dataset")
-		T     = flag.Int("T", 48, "timesteps")
-		C     = flag.Int("C", 4, "checkpoints for the skip preview")
-		p     = flag.Float64("p", 50, "skip percentile for the preview")
-		batch = flag.Int("batch", 4, "samples to trace")
-		width = flag.Float64("width", 0.5, "channel-width multiplier")
-		sam   = flag.String("sam", "spikesum", "SAM metric: spikesum | weighted | membranel2")
-		csv   = flag.String("csv", "", "write the full trace to this CSV file")
-		seed  = flag.Uint64("seed", 1, "seed")
+		model    = flag.String("model", "lenet", "topology")
+		data     = flag.String("data", "dvsgesture", "dataset")
+		T        = flag.Int("T", 48, "timesteps")
+		C        = flag.Int("C", 4, "checkpoints for the skip preview")
+		p        = flag.Float64("p", 50, "skip percentile for the preview")
+		batch    = flag.Int("batch", 4, "samples to trace")
+		width    = flag.Float64("width", 0.5, "channel-width multiplier")
+		sam      = flag.String("sam", "spikesum", "SAM metric: spikesum | weighted | membranel2")
+		csv      = flag.String("csv", "", "write the full trace to this CSV file")
+		seed     = flag.Uint64("seed", 1, "seed")
+		manifest = flag.String("manifest", "", "print a runstate manifest's metadata (a manifest file or a -run-dir) and exit")
 	)
 	flag.Parse()
+
+	if *manifest != "" {
+		inspectManifest(*manifest)
+		return
+	}
 
 	src, err := dataset.Open(*data, *seed)
 	if err != nil {
@@ -95,5 +104,46 @@ func main() {
 			cli.Fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *csv)
+	}
+}
+
+// inspectManifest prints a runstate manifest's metadata — including, for
+// manifests issued by a distributed coordinator, the rank placement a dead
+// worker can be diagnosed from.
+func inspectManifest(path string) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, runstate.ManifestName)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	m, err := runstate.Decode(raw)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	meta := m.Meta
+	fmt.Printf("manifest %s\n", path)
+	fmt.Printf("  saved at:   %s\n", meta.SavedAt.Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("  strategy:   %s\n", meta.Strategy)
+	fmt.Printf("  optimizer:  %s\n", meta.Optimizer)
+	fmt.Printf("  seed:       %d\n", meta.Seed)
+	fmt.Printf("  opt steps:  %d\n", meta.OptSteps)
+	fmt.Printf("  lr scale:   %g\n", meta.LRScale)
+	if meta.Threads > 0 {
+		fmt.Printf("  threads:    %d\n", meta.Threads)
+	}
+	fmt.Printf("  cursor:     epoch %d, batch %d, iteration %d\n",
+		meta.Cursor.NextEpoch, meta.Cursor.NextBatch, meta.Cursor.Iteration)
+	if meta.Partial.Batches > 0 {
+		fmt.Printf("  partial:    %d batches, loss %.4f\n", meta.Partial.Batches, meta.Partial.MeanLoss())
+	}
+	if len(meta.Divergences) > 0 {
+		fmt.Printf("  divergences: %d\n", len(meta.Divergences))
+	}
+	if d := meta.Dist; d != nil {
+		fmt.Printf("  dist:       rank %d of %d, rounds committed %d\n", d.Rank, d.World, d.Round)
+	} else {
+		fmt.Printf("  dist:       none (single-process run)\n")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"skipper/internal/cli"
 	"skipper/internal/core"
 	"skipper/internal/dataset"
+	"skipper/internal/dist"
 	"skipper/internal/mem"
 	"skipper/internal/models"
 	"skipper/internal/runstate"
@@ -44,6 +46,11 @@ import (
 // exitInterrupted is the exit code of a run that checkpointed and stopped on
 // SIGINT/SIGTERM — resumable, not failed.
 const exitInterrupted = 3
+
+// exitCoordinatorLost is the exit code of a distributed worker that
+// exhausted its reconnect budget — restartable against the same coordinator,
+// not failed.
+const exitCoordinatorLost = 4
 
 // errInterrupted aborts the epoch loop right after a durable snapshot.
 var errInterrupted = errors.New("interrupted after checkpoint")
@@ -79,10 +86,25 @@ func main() {
 
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/spans on this address (e.g. localhost:6060)")
+
+		microBatch  = flag.Int("micro-batch", 0, "gradient micro-batch size (0 = whole batch; 1 matches distributed one-sample-shard accumulation bitwise)")
+		distListen  = flag.String("dist-listen", "", "run as distributed coordinator (rank 0): listen for workers on this address")
+		distJoin    = flag.String("dist-join", "", "run as distributed worker: join the coordinator at this address")
+		distWorkers = flag.Int("dist-workers", 1, "coordinator: number of worker ranks to wait for (world = workers + 1)")
 	)
 	flag.Parse()
 	if *resume && *runDir == "" {
 		cli.Fatal(fmt.Errorf("-resume requires -run-dir"))
+	}
+	if *distListen != "" && *distJoin != "" {
+		cli.Fatal(fmt.Errorf("-dist-listen and -dist-join are mutually exclusive"))
+	}
+	distMode := *distListen != "" || *distJoin != ""
+	if distMode && *runDir != "" {
+		cli.Fatal(fmt.Errorf("-run-dir is not supported in distributed mode; workers resync from the coordinator's manifest instead"))
+	}
+	if distMode && *guardN != 0 {
+		cli.Fatal(fmt.Errorf("the divergence guard's rollback is per-process and would desynchronize ranks; use -guard-retries 0 in distributed mode"))
 	}
 
 	src, err := dataset.Open(*data, *seed)
@@ -150,6 +172,9 @@ func main() {
 	case *resume:
 		// The manifest restores the weights; pretrain or -load would be
 		// overwritten anyway.
+	case *distJoin != "":
+		// A worker's weights are overwritten by the coordinator's resync
+		// manifest the moment it joins; pretraining them would be wasted.
 	case *loadPath != "":
 		fmt.Printf("loading weights from %s\n", *loadPath)
 		if err := serialize.LoadFile(*loadPath, net); err != nil {
@@ -176,7 +201,13 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
 	}
-	if dbg, err := cli.StartDebug(*debugAddr, tracer); err != nil {
+	var distMetrics *dist.Metrics
+	var mounts []cli.Mount
+	if *distListen != "" {
+		distMetrics = dist.NewMetrics(*distWorkers + 1)
+		mounts = append(mounts, cli.Mount{Pattern: "/metrics", Handler: distMetrics.Handler()})
+	}
+	if dbg, err := cli.StartDebug(*debugAddr, tracer, mounts...); err != nil {
 		cli.Fatal(err)
 	} else if dbg != "" {
 		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/spans\n", dbg)
@@ -188,6 +219,7 @@ func main() {
 		Runtime: rt,
 		T:       *T, Batch: *batch, LR: float32(*lr), Seed: *seed,
 		Device: dev, MaxBatchesPerEpoch: *maxB,
+		MicroBatch:    *microBatch,
 		SnapshotEvery: *snapEvery,
 		GuardRetries:  *guardN,
 		GuardGradNorm: float32(*guardGN),
@@ -196,6 +228,16 @@ func main() {
 		cli.Fatal(err)
 	}
 	defer tr.Close()
+
+	if distMode {
+		if *distJoin != "" {
+			runDistWorker(tr, *distJoin, tracer, *savePath)
+		} else {
+			runDistCoordinator(tr, *distListen, *distWorkers, *epochs, tracer, distMetrics, *savePath)
+		}
+		flushTrace()
+		return
+	}
 
 	// Durable run state: every snapshot mark lands atomically in the run
 	// directory, and SIGINT/SIGTERM turn the next mark into a clean exit.
@@ -293,6 +335,69 @@ func main() {
 		tracer.WriteSummary(os.Stdout)
 	}
 	flushTrace()
+}
+
+// runDistCoordinator trains as rank 0 of a workers+1-rank world, accepting
+// worker joins on addr.
+func runDistCoordinator(tr *core.Trainer, addr string, workers, epochs int, tracer *trace.Tracer, metrics *dist.Metrics, savePath string) {
+	coord, err := dist.NewCoordinator(tr, dist.Config{
+		World: workers + 1, Tracer: tracer, Metrics: metrics,
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("coordinator: rank 0 of %d, waiting for %d worker(s) on %s\n",
+		workers+1, workers, ln.Addr())
+	go coord.Serve(ln)
+	eps, err := coord.Fit(epochs)
+	for i, ep := range eps {
+		fmt.Printf("epoch %2d  loss %.4f  train-acc %5.2f%%  rounds %d  time %s\n",
+			i+1, ep.MeanLoss(), 100*ep.Accuracy(), ep.Batches, ep.Duration.Round(time.Millisecond))
+	}
+	if err != nil {
+		coord.Finish("coordinator failed: " + err.Error())
+		cli.Fatal(err)
+	}
+	coord.Finish("training complete")
+	fmt.Printf("coordinator: %d rounds committed, %s exchanged\n",
+		coord.Round(), mem.FormatBytes(metrics.ReduceBytes()))
+	distSave(tr, savePath)
+}
+
+// runDistWorker joins the coordinator at addr and participates until done.
+func runDistWorker(tr *core.Trainer, addr string, tracer *trace.Tracer, savePath string) {
+	fmt.Printf("worker: joining coordinator at %s\n", addr)
+	err := dist.RunWorker(tr, dist.WorkerConfig{
+		Dial:   func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Tracer: tracer,
+	})
+	var lost *dist.CoordinatorLostError
+	if errors.As(err, &lost) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(exitCoordinatorLost)
+	}
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Println("worker: training complete")
+	distSave(tr, savePath)
+}
+
+// distSave writes the rank's final weights — every rank of a clean run saves
+// byte-identical files, which the smoke script asserts.
+func distSave(tr *core.Trainer, path string) {
+	if path == "" {
+		return
+	}
+	if err := serialize.SaveFile(path, tr.Net); err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Printf("final weights saved to %s\n", path)
 }
 
 // resumeCommand reconstructs the invocation that continues this run.

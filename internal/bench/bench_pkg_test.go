@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "table2", "fig16",
 		"ablate-sam", "ablate-p", "ablate-surrogate", "ablate-placement", "ablate-compress",
-		"bench_serve", "bench_kernels", "bench_trace",
+		"bench_serve", "bench_kernels", "bench_trace", "bench_dist",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -110,6 +110,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 	benchServeOutput = filepath.Join(t.TempDir(), "BENCH_serve.json")
 	benchKernelsOutput = filepath.Join(t.TempDir(), "BENCH_kernels.json")
 	benchTraceOutput = filepath.Join(t.TempDir(), "BENCH_trace.json")
+	benchDistOutput = filepath.Join(t.TempDir(), "BENCH_dist.json")
 	cfg := RunConfig{Scale: Tiny, Seed: 1}
 	for _, id := range IDs() {
 		id := id

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/dist"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+)
+
+// distBenchReport is what bench_dist writes to BENCH_dist.json: per-world
+// step-time scaling of the coordinator/worker runtime (real frames over
+// in-process pipes) next to the ring-all-reduce model's prediction for the
+// same gradient volume, so the measured exchange cost is directly
+// comparable to what core.DataParallel simulates.
+type distBenchReport struct {
+	Scale      string            `json:"scale"`
+	Model      string            `json:"model"`
+	T          int               `json:"t"`
+	Batch      int               `json:"batch"`
+	Rounds     int               `json:"rounds"`
+	ParamBytes int64             `json:"param_bytes"`
+	Worlds     []distWorldResult `json:"worlds"`
+}
+
+// distWorldResult is one world size's measured round timing.
+type distWorldResult struct {
+	World   int `json:"world"`
+	Workers int `json:"workers"`
+	// MeanStepMS is the measured wall time per committed round.
+	MeanStepMS float64 `json:"mean_step_ms"`
+	// MeanComputeMS is the slowest rank's shard compute per round.
+	MeanComputeMS float64 `json:"mean_compute_ms"`
+	// MeanExchangeMS is the measured gather+reduce+broadcast cost per round
+	// (wall minus slowest compute).
+	MeanExchangeMS float64 `json:"mean_exchange_ms"`
+	// ModelAllReduceMS is core.AllReduceModel's prediction for the same
+	// gradient bytes and world size at the default modelled bandwidth.
+	ModelAllReduceMS float64 `json:"model_all_reduce_ms"`
+	// ReduceMB is the gradient payload actually moved over the wire.
+	ReduceMB float64 `json:"reduce_mb"`
+	// Speedup is world 1's mean step time over this world's.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchDistOutput is where bench_dist writes its JSON report; the package
+// tests point it into a temp directory.
+var benchDistOutput = "BENCH_dist.json"
+
+func init() {
+	register(Experiment{
+		ID:    "bench_dist",
+		Title: "Distributed data-parallel step-time scaling vs the all-reduce model",
+		Run:   runBenchDist,
+	})
+}
+
+func runBenchDist(cfg RunConfig, out io.Writer) error {
+	var (
+		T      = map[Scale]int{Tiny: 10, Small: 16, Full: 32}[cfg.Scale]
+		batch  = map[Scale]int{Tiny: 4, Small: 8, Full: 16}[cfg.Scale]
+		rounds = map[Scale]int{Tiny: 2, Small: 4, Full: 8}[cfg.Scale]
+		worlds = map[Scale][]int{Tiny: {1, 2}, Small: {1, 2, 4}, Full: {1, 2, 4}}[cfg.Scale]
+	)
+	const model = "customnet"
+	build := func() (*core.Trainer, error) {
+		data, err := dataset.Open("cifar10", cfg.seed())
+		if err != nil {
+			return nil, err
+		}
+		net, err := models.Build(model, models.Options{
+			Width: 0.25, Classes: data.Classes(), InShape: data.InShape(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTrainer(net, data, core.Checkpoint{C: 2}, core.Config{
+			T: T, Batch: batch, Seed: cfg.seed(), Device: mem.Unlimited(),
+		})
+	}
+	batches := make([][]int, rounds)
+	for r := range batches {
+		b := make([]int, batch)
+		for i := range b {
+			b[i] = r*batch + i
+		}
+		batches[r] = b
+	}
+
+	fmt.Fprintf(out, "== bench_dist: distributed step-time scaling ==\n")
+	fmt.Fprintf(out, "   workload: %s  T=%d batch=%d rounds=%d\n", model, T, batch, rounds)
+	rep := distBenchReport{Scale: cfg.Scale.String(), Model: model, T: T, Batch: batch, Rounds: rounds}
+	for _, w := range worlds {
+		res, paramBytes, err := benchDistWorld(w, rounds, batches, build)
+		if err != nil {
+			return err
+		}
+		rep.ParamBytes = paramBytes
+		if len(rep.Worlds) > 0 && rep.Worlds[0].World == 1 && res.MeanStepMS > 0 {
+			res.Speedup = rep.Worlds[0].MeanStepMS / res.MeanStepMS
+		} else {
+			res.Speedup = 1
+		}
+		rep.Worlds = append(rep.Worlds, res)
+		fmt.Fprintf(out, "   world %d (%d workers): step %7.2f ms  compute %7.2f ms  exchange %6.2f ms  (model all-reduce %5.3f ms)  moved %.2f MB  speedup %.2fx\n",
+			res.World, res.Workers, res.MeanStepMS, res.MeanComputeMS, res.MeanExchangeMS,
+			res.ModelAllReduceMS, res.ReduceMB, res.Speedup)
+	}
+	fmt.Fprintf(out, "   note: ranks share this host's cores, so wall-clock speedup is bounded by the\n")
+	fmt.Fprintf(out, "   pool width; the reproduction target is the measured exchange cost column.\n")
+
+	f, err := os.Create(benchDistOutput)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "   report written to %s\n", benchDistOutput)
+	return nil
+}
+
+// benchDistWorld measures mean round timing at one world size. World 1 is
+// the serial baseline; larger worlds run the real coordinator/worker wire
+// protocol over in-process pipes.
+func benchDistWorld(world, rounds int, batches [][]int, build func() (*core.Trainer, error)) (distWorldResult, int64, error) {
+	res := distWorldResult{World: world, Workers: world - 1}
+	tr, err := build()
+	if err != nil {
+		return res, 0, err
+	}
+	defer tr.Close()
+	paramBytes := tr.Net.ParamBytes()
+	res.ModelAllReduceMS = float64(core.AllReduceModel(paramBytes, world, 0)) / float64(time.Millisecond)
+
+	if world == 1 {
+		var wall time.Duration
+		for _, b := range batches {
+			start := time.Now()
+			if _, err := tr.TrainBatchIndices(dataset.Train, b); err != nil {
+				return res, paramBytes, err
+			}
+			wall += time.Since(start)
+		}
+		res.MeanStepMS = float64(wall) / float64(rounds) / float64(time.Millisecond)
+		res.MeanComputeMS = res.MeanStepMS
+		return res, paramBytes, nil
+	}
+
+	metrics := dist.NewMetrics(world)
+	coord, err := dist.NewCoordinator(tr, dist.Config{
+		World: world, RoundTimeout: 2 * time.Minute, JoinTimeout: 2 * time.Minute, Metrics: metrics,
+	})
+	if err != nil {
+		return res, paramBytes, err
+	}
+	errs := make(chan error, world-1)
+	var workers []*core.Trainer
+	defer func() {
+		for _, wtr := range workers {
+			wtr.Close()
+		}
+	}()
+	for i := 1; i < world; i++ {
+		wtr, err := build()
+		if err != nil {
+			return res, paramBytes, err
+		}
+		workers = append(workers, wtr)
+		go func(wtr *core.Trainer) {
+			errs <- dist.RunWorker(wtr, dist.WorkerConfig{Dial: func() (net.Conn, error) {
+				cs, ws := net.Pipe()
+				coord.Admit(cs)
+				return ws, nil
+			}})
+		}(wtr)
+	}
+	var wall, compute, exchange time.Duration
+	for _, b := range batches {
+		st, err := coord.TrainRound(dataset.Train, b)
+		if err != nil {
+			coord.Finish("bench failed")
+			return res, paramBytes, err
+		}
+		wall += st.Wall
+		compute += st.SlowestReplica
+		exchange += st.AllReduce
+	}
+	coord.Finish("bench complete")
+	for i := 1; i < world; i++ {
+		if err := <-errs; err != nil {
+			return res, paramBytes, fmt.Errorf("bench_dist worker: %w", err)
+		}
+	}
+	res.MeanStepMS = float64(wall) / float64(rounds) / float64(time.Millisecond)
+	res.MeanComputeMS = float64(compute) / float64(rounds) / float64(time.Millisecond)
+	res.MeanExchangeMS = float64(exchange) / float64(rounds) / float64(time.Millisecond)
+	res.ReduceMB = float64(metrics.ReduceBytes()) / (1 << 20)
+	return res, paramBytes, nil
+}

@@ -10,11 +10,19 @@ import (
 	"skipper/internal/trace"
 )
 
+// Mount adds one extra handler to the debug mux a binary serves behind
+// -debug-addr (e.g. a subsystem's /metrics endpoint).
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // StartDebug serves net/http/pprof plus the tracer's plain-text span summary
 // (at /debug/spans) on addr, in the background, and returns the bound
 // address. Every skipper-* binary mounts the same mux behind its -debug-addr
-// flag. Pass addr "" to disable (returns "", nil).
-func StartDebug(addr string, t *trace.Tracer) (string, error) {
+// flag, plus any binary-specific mounts. Pass addr "" to disable (returns
+// "", nil).
+func StartDebug(addr string, t *trace.Tracer, mounts ...Mount) (string, error) {
 	if addr == "" {
 		return "", nil
 	}
@@ -25,6 +33,9 @@ func StartDebug(addr string, t *trace.Tracer) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/spans", trace.SummaryHandler(t))
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

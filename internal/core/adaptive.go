@@ -130,7 +130,7 @@ func (a *AdaptiveSkipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels
 	defer rs.dropAll()
 
 	bounds := a.placements(T)
-	la := newLossAccumulator(tr.Cfg, labels)
+	la := newLossAccumulator(tr.Cfg, tr.lossDenom, labels)
 	sam := &samTrace{metric: a.metric(), scores: make([]float64, T)}
 	if err := checkpointForward(tr, input, la, bounds, rs, &st, sam); err != nil {
 		return st, err

@@ -32,7 +32,7 @@ func (BPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepS
 	rs := newRecordStore(tr.Dev)
 	defer rs.dropAll()
 
-	la := newLossAccumulator(tr.Cfg, labels)
+	la := newLossAccumulator(tr.Cfg, tr.lossDenom, labels)
 	fwd := time.Now()
 	var states []*layers.LayerState
 	for t := 0; t < T; t++ {

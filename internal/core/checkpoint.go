@@ -42,7 +42,7 @@ func (c Checkpoint) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 	// Step 1: forward in time, storing records only at checkpoint times.
 	// The rolling (transient) record is charged while it is live so the
 	// device sees the true instantaneous footprint.
-	la := newLossAccumulator(tr.Cfg, labels)
+	la := newLossAccumulator(tr.Cfg, tr.lossDenom, labels)
 	if err := checkpointForward(tr, input, la, CheckpointTimes(tr.Cfg.T, c.C), rs, &st, nil); err != nil {
 		return st, err
 	}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"skipper/internal/dataset"
-	"skipper/internal/mem"
 	"skipper/internal/tensor"
 )
 
@@ -67,31 +66,24 @@ type DPStepStats struct {
 }
 
 // TrainBatchIndices runs one synchronous data-parallel step over the given
-// global batch, sharding it across replicas.
+// global batch, sharding it across replicas round-robin.
+//
+// Every replica — including one whose shard came up empty on a short final
+// batch — zeroes its gradients and advances to the same iteration number, so
+// no stale gradient from the previous step can leak into the reduction and
+// all RNG streams stay aligned. Because each shard scales its loss by the
+// global batch size (see Trainer.ShardGrads), the rank-ordered sum in
+// ReduceGrads reproduces the exact global-batch mean for unequal shards too;
+// no trailing 1/R rescale is applied.
 func (dp *DataParallel) TrainBatchIndices(split dataset.Split, indices []int) (DPStepStats, error) {
 	r := len(dp.Replicas)
 	var out DPStepStats
-	shards := make([][]int, r)
-	for i, idx := range indices {
-		shards[i%r] = append(shards[i%r], idx)
-	}
+	shards := Shard(indices, r)
+	iter := dp.Replicas[0].iteration + 1
 
 	// Each replica computes gradients on its shard.
 	for i, tr := range dp.Replicas {
-		if len(shards[i]) == 0 {
-			continue
-		}
-		input, labels := tr.Data.SpikeBatch(split, shards[i], tr.Cfg.T)
-		inBlock, err := tr.Dev.Alloc(mem.Input, tr.inputBytes(input, labels))
-		if err != nil {
-			return out, fmt.Errorf("core: replica %d input: %w", i, err)
-		}
-		tr.iteration++
-		tr.Net.ZeroGrads()
-		start := time.Now()
-		st, err := tr.Strat.TrainBatch(tr, input, labels)
-		elapsed := time.Since(start)
-		inBlock.Release()
+		st, elapsed, err := tr.ShardGrads(split, shards[i], iter, len(indices))
 		if err != nil {
 			return out, fmt.Errorf("core: replica %d: %w", i, err)
 		}
@@ -101,52 +93,57 @@ func (dp *DataParallel) TrainBatchIndices(split dataset.Split, indices []int) (D
 		}
 	}
 
-	// All-reduce: average gradients across replicas and give every replica
-	// the same averaged gradient.
-	params := make([][]tensorParam, r)
+	// All-reduce: deterministic rank-ordered sum, then every replica gets a
+	// bitwise copy of the reduced gradient.
+	sets := make([][]*tensor.Tensor, r)
+	counts := make([]int, r)
 	for i, tr := range dp.Replicas {
 		ps := tr.Net.Params()
-		params[i] = make([]tensorParam, len(ps))
+		sets[i] = make([]*tensor.Tensor, len(ps))
 		for j, p := range ps {
-			params[i][j] = tensorParam{p.G}
+			sets[i][j] = p.G
 		}
+		counts[i] = len(shards[i])
 	}
-	var paramBytes int64
-	inv := float32(1) / float32(r)
-	for j := range params[0] {
-		acc := params[0][j].g
-		paramBytes += acc.Bytes()
-		for i := 1; i < r; i++ {
-			tensor.AXPY(acc, 1, params[i][j].g)
-		}
-		tensor.Scale(acc, acc, inv)
-		for i := 1; i < r; i++ {
-			tensor.Copy(params[i][j].g, acc)
+	paramBytes, err := ReduceGrads(sets, counts)
+	if err != nil {
+		return out, err
+	}
+	for i := 1; i < r; i++ {
+		for j := range sets[i] {
+			tensor.Copy(sets[i][j], sets[0][j])
 		}
 	}
 	out.AllReduce = dp.allReduceTime(paramBytes)
 
 	// Identical update on every replica keeps them in lock-step.
 	for _, tr := range dp.Replicas {
-		tr.Opt.Step()
+		norm := tr.ApplyReduced()
+		if norm > out.GradNorm {
+			out.GradNorm = norm
+		}
 	}
 	out.Wall = out.SlowestReplica + out.AllReduce
 	return out, nil
 }
 
-type tensorParam struct{ g *tensor.Tensor }
-
 func (dp *DataParallel) allReduceTime(paramBytes int64) time.Duration {
-	gbps := dp.AllReduceGBps
+	return AllReduceModel(paramBytes, len(dp.Replicas), dp.AllReduceGBps)
+}
+
+// AllReduceModel predicts the ring all-reduce time for paramBytes of
+// gradients across r replicas at gbps GB/s of interconnect bandwidth
+// (0 = 50, NVLink-class) — the exchange-cost model bench_dist compares its
+// measured multi-process exchange against.
+func AllReduceModel(paramBytes int64, r int, gbps float64) time.Duration {
 	if gbps == 0 {
 		gbps = 50
 	}
-	r := float64(len(dp.Replicas))
 	if r < 2 {
 		return 0
 	}
 	// Ring all-reduce moves 2·(R−1)/R of the buffer per replica.
-	bytes := 2 * (r - 1) / r * float64(paramBytes)
+	bytes := 2 * float64(r-1) / float64(r) * float64(paramBytes)
 	return time.Duration(bytes / (gbps * 1e9) * float64(time.Second))
 }
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+)
+
+// bitwiseSameWeights reports whether two trainers hold bit-identical weights.
+func bitwiseSameWeights(a, b *Trainer) bool {
+	ap, bp := a.Net.Params(), b.Net.Params()
+	for j := range ap {
+		for k := range ap[j].W.Data {
+			if ap[j].W.Data[k] != bp[j].W.Data[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// serialMicro1 builds a serial trainer identical to the dpFactory replicas
+// except that it accumulates gradients one sample at a time (MicroBatch 1) —
+// the serial configuration whose per-element addition order matches a
+// one-sample-per-shard data-parallel reduction exactly.
+func serialMicro1(t *testing.T, T int) *Trainer {
+	t.Helper()
+	data, err := dataset.Open("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := models.Build("customnet", models.Options{Width: 0.5, InShape: []int{3, 16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(net, data, Checkpoint{C: 2}, Config{
+		T: T, Batch: 2, Seed: 7, MicroBatch: 1, Device: mem.Unlimited(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestDataParallelEmptyShardBitIdentical is the regression test for the
+// stale-gradient defect: a replica whose shard is empty (short final batch)
+// used to skip ZeroGrads, so its previous step's gradients were folded into
+// the all-reduce. With one-sample shards the data-parallel step must now be
+// bit-identical to serial training with MicroBatch 1 (the order-matched
+// serial configuration), including across the short batch.
+func TestDataParallelEmptyShardBitIdentical(t *testing.T) {
+	const T = 10
+	factory := dpFactory(t, T)
+	serial := serialMicro1(t, T)
+	defer serial.Close()
+	dp, err := NewDataParallel(2, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+
+	// Step 1: full batch, one sample per shard. Step 2: short batch leaves
+	// replica 1's shard empty — the defect's trigger.
+	for _, batch := range [][]int{{0, 1}, {2}} {
+		if _, err := serial.TrainBatchIndices(dataset.Train, batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dp.TrainBatchIndices(dataset.Train, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dp.InSync() {
+		t.Fatal("replicas diverged across an empty-shard step")
+	}
+	if !bitwiseSameWeights(serial, dp.Replicas[0]) {
+		t.Fatal("data-parallel weights differ from serial after an empty-shard step (stale gradients reduced in)")
+	}
+}
+
+// TestDataParallelUnequalShardsExactMean is the regression test for the
+// shard-weighting defect: averaging per-replica local means weighted 1/R
+// does not equal the global-batch mean when shards are unequal (round-robin
+// remainder). The reduced gradient must match the serial full-batch gradient
+// to float rounding, not to a 10%-level weighting error.
+func TestDataParallelUnequalShardsExactMean(t *testing.T) {
+	const T = 10
+	factory := dpFactory(t, T)
+	serial, err := factory(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	dp, err := NewDataParallel(2, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+
+	// 3 samples over 2 replicas: shards {0,2} and {1}.
+	batch := []int{0, 1, 2}
+	if _, err := serial.TrainBatchIndices(dataset.Train, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.TrainBatchIndices(dataset.Train, batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gradients survive the optimizer step (zeroed at the next step's
+	// start), so compare the reduced gradient against the serial one. The
+	// two accumulate per-sample terms in different orders, so allow float
+	// rounding but nothing near the old weighting error.
+	sp, rp := serial.Net.Params(), dp.Replicas[0].Net.Params()
+	for j := range sp {
+		for k := range sp[j].G.Data {
+			a, b := float64(sp[j].G.Data[k]), float64(rp[j].G.Data[k])
+			if diff := math.Abs(a - b); diff > 1e-4*(math.Abs(a)+math.Abs(b))+1e-9 {
+				t.Fatalf("param %q grad[%d]: serial %v vs data-parallel %v (unequal shards mis-weighted)", sp[j].Name, k, a, b)
+			}
+		}
+	}
+}

@@ -158,11 +158,11 @@ func (lb *TBPTTLBP) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 		// Window losses: the network loss at the top plus one local loss per
 		// classifier.
 		logits := tr.Net.Logits(states)
-		loss, _, dlogits := lossGrad(logits, labels)
+		loss, _, dlogits := lossGrad(logits, labels, tr.lossDenom)
 		lastLogits = logits
 		injections := map[int]*tensor.Tensor{}
 		for site, ac := range lb.aux {
-			auxLoss, _, daux := lossGrad(auxU[site], labels)
+			auxLoss, _, daux := lossGrad(auxU[site], labels, tr.lossDenom)
 			loss += auxLoss
 			// ∂L/∂o_t at the site is dauxW for every t in the window.
 			o := rs.get(w1 - 1)[site].O

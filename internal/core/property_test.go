@@ -52,7 +52,7 @@ func TestSelectSurvivorsProperty(t *testing.T) {
 		end := T
 		s := Skipper{P: float64(pRaw % 101)}
 		var st StepStats
-		la := newLossAccumulator(Config{T: T, Batch: 1}, nil)
+		la := newLossAccumulator(Config{T: T, Batch: 1}, 0, nil)
 		survivors := s.selectSurvivors(scores, start, end, la, &st)
 
 		if st.SkippedSteps+len(survivors) != end-start-1 {

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/opt"
+	"skipper/internal/tensor"
+	"skipper/internal/trace"
+)
+
+// Shard splits a global batch across r ranks round-robin: sample i goes to
+// rank i%r. Both DataParallel and the dist coordinator use this one function
+// so the two layouts are identical by construction.
+func Shard(indices []int, r int) [][]int {
+	shards := make([][]int, r)
+	for i, idx := range indices {
+		shards[i%r] = append(shards[i%r], idx)
+	}
+	return shards
+}
+
+// ShardGrads computes gradients for one shard of a global batch of globalN
+// samples, without applying the optimizer step. The caller assigns the
+// iteration number explicitly so every rank derives the same RNG streams
+// whether or not its shard is empty, and so a replayed round recomputes
+// bit-identical gradients.
+//
+// The shard's loss mean is taken over globalN (not the local shard size):
+// every rank multiplies its per-sample gradient terms by the same rounded
+// reciprocal 1/globalN, so summing shard gradients in rank order reproduces
+// the serial full-batch mean — exactly in math, and bitwise when each shard
+// holds at most one sample (the per-element accumulation order then matches
+// the serial loop's).
+//
+// An empty shard zeroes gradients and returns immediately; callers must skip
+// empty ranks in the reduction (see ReduceGrads) so the zeroed tensors never
+// perturb signed zeros in the sum.
+func (tr *Trainer) ShardGrads(split dataset.Split, indices []int, iteration, globalN int) (StepStats, time.Duration, error) {
+	tr.iteration = iteration
+	tr.Net.ZeroGrads()
+	if len(indices) == 0 {
+		return StepStats{}, 0, nil
+	}
+	tr.Net.BeginIteration(tr.rngFor(0xD0))
+	defer tr.Net.EndIteration()
+	tr.lossDenom = globalN
+	defer func() { tr.lossDenom = 0 }()
+
+	encStart := time.Now()
+	input, labels := tr.Data.SpikeBatch(split, indices, tr.Cfg.T)
+	tr.tracer().SpanAt(trace.TrackTrain, "encode", encStart, time.Since(encStart),
+		trace.Attr{Key: "n", Val: int64(len(indices))})
+	inBlock, err := tr.Dev.Alloc(mem.Input, tr.inputBytes(input, labels))
+	if err != nil {
+		return StepStats{}, 0, fmt.Errorf("core: charging shard input: %w", err)
+	}
+	start := time.Now()
+	st, err := tr.Strat.TrainBatch(tr, input, labels)
+	elapsed := time.Since(start)
+	inBlock.Release()
+	if err != nil {
+		return st, elapsed, fmt.Errorf("core: shard batch: %w", err)
+	}
+	return st, elapsed, nil
+}
+
+// GradTensors exposes the network's gradient tensors by parameter name, in
+// the network's canonical parameter order — the payload of a gradient
+// exchange.
+func (tr *Trainer) GradTensors() []tensor.Named {
+	ps := tr.Net.Params()
+	out := make([]tensor.Named, len(ps))
+	for i, p := range ps {
+		out[i] = tensor.Named{Name: p.Name, T: p.G}
+	}
+	return out
+}
+
+// SetGradTensors overwrites the network's gradients with the named set (the
+// receive side of a gradient exchange), requiring an exact name/shape match.
+func (tr *Trainer) SetGradTensors(grads []tensor.Named) error {
+	return tensor.CopyNamed(tr.GradTensors(), grads)
+}
+
+// ApplyReduced finishes a data-parallel step after the reduced gradient has
+// been installed: clip exactly as the serial path would, apply the optimizer
+// step, and return the pre-clip gradient norm. Every rank calls this with
+// identical gradients, so every rank takes the identical step.
+func (tr *Trainer) ApplyReduced() float64 {
+	stepStart := time.Now()
+	norm := float64(opt.GradClip(tr.Net.Params(), tr.Cfg.GradClip))
+	tr.Opt.Step()
+	tr.tracer().SpanAt(trace.TrackTrain, "opt_step", stepStart, time.Since(stepStart))
+	return norm
+}
+
+// Iteration0 returns the trainer's current iteration counter, which a
+// data-parallel driver advances explicitly via ShardGrads.
+func (tr *Trainer) Iteration0() int { return tr.iteration }
+
+// BeginEpoch positions the trainer at a 1-based epoch and applies the
+// epoch's learning-rate schedule — the data-parallel driver's replacement
+// for TrainEpoch's internal epoch advance, called on every rank so the
+// scheduled rate stays identical across the world.
+func (tr *Trainer) BeginEpoch(epoch int) error {
+	tr.epoch = epoch
+	return tr.applyEpochLR()
+}
+
+// ReduceGrads sums gradient sets in ascending rank order into sets[0] and
+// returns the number of gradient bytes a real exchange would move per rank.
+// counts[i] is rank i's shard size; empty ranks are skipped entirely — their
+// zeroed tensors must not touch the sum, because IEEE-754 addition of +0.0
+// turns a -0.0 partial into +0.0 and would break bitwise comparisons.
+//
+// The fixed ascending order is what makes the reduction deterministic: float
+// addition does not commute in rounding, so any concurrent or rank-varying
+// order would produce a different (still correct, not identical) result.
+func ReduceGrads(sets [][]*tensor.Tensor, counts []int) (int64, error) {
+	if len(sets) == 0 {
+		return 0, fmt.Errorf("core: reduce of zero gradient sets")
+	}
+	if len(counts) != len(sets) {
+		return 0, fmt.Errorf("core: reduce counts %d != sets %d", len(counts), len(sets))
+	}
+	for i := 1; i < len(sets); i++ {
+		// A rank that sat the round out (empty shard) may ship no tensors at
+		// all — it is skipped below either way.
+		if counts[i] == 0 && len(sets[i]) == 0 {
+			continue
+		}
+		if len(sets[i]) != len(sets[0]) {
+			return 0, fmt.Errorf("core: rank %d has %d gradient tensors, rank 0 has %d", i, len(sets[i]), len(sets[0]))
+		}
+	}
+	var paramBytes int64
+	for j := range sets[0] {
+		acc := sets[0][j]
+		paramBytes += acc.Bytes()
+		first := counts[0] > 0
+		for i := 1; i < len(sets); i++ {
+			if counts[i] == 0 {
+				continue
+			}
+			g := sets[i][j]
+			if g.Len() != acc.Len() {
+				return 0, fmt.Errorf("core: rank %d tensor %d length %d != %d", i, j, g.Len(), acc.Len())
+			}
+			if !first {
+				// Rank 0 sat out this step: adopt the first contributing
+				// rank's gradient bitwise instead of summing onto zeros.
+				tensor.Copy(acc, g)
+				first = true
+				continue
+			}
+			tensor.AXPY(acc, 1, g)
+		}
+	}
+	return paramBytes, nil
+}

@@ -58,7 +58,7 @@ func (s Skipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (
 	defer rs.dropAll()
 
 	// Step 1: checkpointed forward with SAM tracing.
-	la := newLossAccumulator(tr.Cfg, labels)
+	la := newLossAccumulator(tr.Cfg, tr.lossDenom, labels)
 	sam := &samTrace{metric: s.metric(), scores: make([]float64, T)}
 	if err := checkpointForward(tr, input, la, CheckpointTimes(T, s.C), rs, &st, sam); err != nil {
 		return st, err

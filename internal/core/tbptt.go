@@ -75,7 +75,7 @@ func (tb TBPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (S
 
 		// Loss at the window boundary; gradients summed over windows.
 		logits := tr.Net.Logits(states)
-		loss, _, dlogits := lossGrad(logits, labels)
+		loss, _, dlogits := lossGrad(logits, labels, tr.lossDenom)
 		st.Loss += loss / float64((T+tb.Window-1)/tb.Window)
 		lastLogits = logits
 

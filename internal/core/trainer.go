@@ -110,6 +110,12 @@ type Trainer struct {
 	epoch      int
 	closed     bool
 
+	// lossDenom, when > 0, replaces the local batch size as the loss-mean
+	// denominator — a data-parallel shard divides by the global batch size
+	// so plain rank-ordered summation of shard gradients reproduces the
+	// serial full-batch mean (see ShardGrads). 0 outside shard computation.
+	lossDenom int
+
 	// lrScale is the divergence guard's cumulative learning-rate reduction
 	// (1 = untouched); it survives checkpoint/resume via the manifest.
 	lrScale float32
@@ -219,6 +225,15 @@ func (tr *Trainer) inputBytes(input []*tensor.Tensor, labels []int) int64 {
 // gradients accumulate before the single optimizer step (gradient
 // accumulation), bounding the live activation footprint by the micro-batch
 // size.
+//
+// Every micro-batch takes its loss mean over the full batch (lossDenom), so
+// the accumulated gradient is the exact full-batch mean even when the last
+// micro-batch is short — the old trailing 1/k rescale over-weighted a ragged
+// remainder. Each micro-batch after the first computes into freshly zeroed
+// gradients that are then folded into an accumulator with a single add per
+// tensor: the same copy-first-then-add order ReduceGrads uses, which is what
+// makes a MicroBatch=1 serial run bit-identical to a data-parallel run with
+// one-sample shards (see ShardGrads).
 func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepStats, error) {
 	tr.iteration++
 	tr.Net.BeginIteration(tr.rngFor(0xD0))
@@ -229,11 +244,26 @@ func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepSt
 	if micro <= 0 || micro >= len(indices) {
 		micro = len(indices)
 	}
+	tr.lossDenom = len(indices)
+	defer func() { tr.lossDenom = 0 }()
+
+	multi := micro < len(indices)
+	var acc []*tensor.Tensor
+	if multi {
+		accBlock, err := tr.Dev.Alloc(mem.WeightGrads, tr.Net.ParamBytes())
+		if err != nil {
+			return StepStats{}, fmt.Errorf("core: charging gradient accumulator: %w", err)
+		}
+		defer accBlock.Release()
+	}
 	var total StepStats
 	for start := 0; start < len(indices); start += micro {
 		end := start + micro
 		if end > len(indices) {
 			end = len(indices)
+		}
+		if start > 0 {
+			tr.Net.ZeroGrads()
 		}
 		encStart := time.Now()
 		input, labels := tr.Data.SpikeBatch(split, indices[start:end], tr.Cfg.T)
@@ -249,17 +279,22 @@ func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepSt
 			return total, err
 		}
 		total.Add(st)
-	}
-	if micro < len(indices) {
-		// Each micro-batch contributed a mean-scaled gradient; dividing the
-		// accumulated sum by the micro-batch count recovers the full-batch
-		// mean (exact for equal-size micro-batches).
-		k := (len(indices) + micro - 1) / micro
-		scale := 1 / float32(k)
-		for _, p := range tr.Net.Params() {
-			tensor.Scale(p.G, p.G, scale)
+		if multi {
+			if start == 0 {
+				for _, p := range tr.Net.Params() {
+					acc = append(acc, p.G.Clone())
+				}
+			} else {
+				for j, p := range tr.Net.Params() {
+					tensor.AXPY(acc[j], 1, p.G)
+				}
+			}
 		}
-		total.Loss /= float64(k)
+	}
+	if multi {
+		for j, p := range tr.Net.Params() {
+			tensor.Copy(p.G, acc[j])
+		}
 	}
 	stepStart := time.Now()
 	total.GradNorm = float64(opt.GradClip(tr.Net.Params(), tr.Cfg.GradClip))
@@ -561,10 +596,12 @@ func (rs *recordStore) dropAll() {
 	}
 }
 
-// lossGrad computes cross-entropy loss, correct count, and ∂L/∂logits.
-func lossGrad(logits *tensor.Tensor, labels []int) (float64, int, *tensor.Tensor) {
+// lossGrad computes cross-entropy loss, correct count, and ∂L/∂logits. A
+// denom > 0 overrides the mean denominator (data-parallel shards pass the
+// global batch size); 0 means the local batch size.
+func lossGrad(logits *tensor.Tensor, labels []int, denom int) (float64, int, *tensor.Tensor) {
 	dlogits := tensor.New(logits.Shape()...)
-	loss, correct := tensor.CrossEntropy(logits, labels, dlogits)
+	loss, correct := tensor.CrossEntropyDenom(logits, labels, dlogits, denom)
 	return loss, correct, dlogits
 }
 
@@ -574,14 +611,15 @@ func lossGrad(logits *tensor.Tensor, labels []int) (float64, int, *tensor.Tensor
 // the backward walk. Accuracy is always judged at the final step.
 type lossAccumulator struct {
 	T, K    int
+	denom   int
 	labels  []int
 	inject  map[int]*tensor.Tensor
 	Loss    float64
 	Correct int
 }
 
-func newLossAccumulator(cfg Config, labels []int) *lossAccumulator {
-	return &lossAccumulator{T: cfg.T, K: cfg.lossWindow(), labels: labels, inject: map[int]*tensor.Tensor{}}
+func newLossAccumulator(cfg Config, denom int, labels []int) *lossAccumulator {
+	return &lossAccumulator{T: cfg.T, K: cfg.lossWindow(), denom: denom, labels: labels, inject: map[int]*tensor.Tensor{}}
 }
 
 // covers reports whether timestep t carries a loss term.
@@ -592,7 +630,7 @@ func (la *lossAccumulator) observe(t int, logits *tensor.Tensor) {
 	if !la.covers(t) {
 		return
 	}
-	loss, correct, dl := lossGrad(logits, la.labels)
+	loss, correct, dl := lossGrad(logits, la.labels, la.denom)
 	scale := 1 / float32(la.K)
 	tensor.Scale(dl, dl, scale)
 	la.inject[t] = dl

@@ -1,0 +1,551 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/runstate"
+	"skipper/internal/tensor"
+	"skipper/internal/trace"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// World is the total rank count including the coordinator (rank 0), so
+	// World-1 workers must join. Must be at least 2.
+	World int
+	// RoundTimeout bounds each per-connection I/O phase inside a round
+	// (dispatch write, gather read, broadcast write). Default 30s.
+	RoundTimeout time.Duration
+	// JoinTimeout bounds how long a round waits for vacant ranks to (re)fill
+	// before giving up. Default 60s.
+	JoinTimeout time.Duration
+	// Straggler, when > 0, flags any gather read that blocks longer than
+	// this (the worker was still computing or its link is slow); flagged
+	// reads bump skipper_dist_stragglers_total and emit a trace event but do
+	// not fail the round.
+	Straggler time.Duration
+	// MaxReplays bounds how many times a round is replayed after rank
+	// faults before the coordinator gives up. Default 3.
+	MaxReplays int
+
+	Tracer  *trace.Tracer
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 30 * time.Second
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 60 * time.Second
+	}
+	if c.MaxReplays <= 0 {
+		c.MaxReplays = 3
+	}
+	return c
+}
+
+// Coordinator drives synchronous data-parallel training as rank 0 of a
+// World-rank run. It is not safe for concurrent use except for Admit/Serve,
+// which only feed the join queue.
+type Coordinator struct {
+	tr  *core.Trainer
+	cfg Config
+
+	joinCh chan net.Conn
+	conns  []net.Conn // index = rank; [0] stays nil (the coordinator itself)
+
+	round    int
+	lastIter int
+	epoch    int
+}
+
+// NewCoordinator wraps tr (which becomes rank 0) in a coordinator for
+// cfg.World ranks.
+//
+// The divergence guard's rollback is a single-process mechanism, so a
+// scheduled-LR run relies on every rank applying BeginEpoch identically;
+// guard-driven mid-epoch LR rescaling is not replicated and must stay off
+// (Guard disabled) in distributed runs.
+func NewCoordinator(tr *core.Trainer, cfg Config) (*Coordinator, error) {
+	if cfg.World < 2 {
+		return nil, fmt.Errorf("dist: world size %d needs at least 2 ranks", cfg.World)
+	}
+	cfg = cfg.withDefaults()
+	return &Coordinator{
+		tr:       tr,
+		cfg:      cfg,
+		joinCh:   make(chan net.Conn, cfg.World*2),
+		conns:    make([]net.Conn, cfg.World),
+		lastIter: tr.Iteration0(),
+	}, nil
+}
+
+// Admit queues a connection for the next rank-filling pause. Tests feed
+// net.Pipe ends here directly; Serve feeds accepted TCP connections.
+func (c *Coordinator) Admit(conn net.Conn) {
+	c.joinCh <- conn
+}
+
+// Serve accepts connections from ln and admits them until ln closes.
+func (c *Coordinator) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Admit(conn)
+	}
+}
+
+func (c *Coordinator) connected() int {
+	n := 0
+	for r := 1; r < c.cfg.World; r++ {
+		if c.conns[r] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) vacancies() int {
+	return c.cfg.World - 1 - c.connected()
+}
+
+// vacate drops rank r's connection.
+func (c *Coordinator) vacate(r int, why string) {
+	if c.conns[r] == nil {
+		return
+	}
+	c.conns[r].Close()
+	c.conns[r] = nil
+	c.cfg.Metrics.setConnected(c.connected())
+	c.cfg.Tracer.Event(trace.TrackDist, "rank_vacated:"+why,
+		trace.Attr{Key: "rank", Val: int64(r)})
+}
+
+// handshake validates a joining worker and seats it at the lowest vacant
+// rank, sending welcome + a runstate manifest so the worker resyncs to the
+// coordinator's exact current weights, optimizer state, and buffers.
+func (c *Coordinator) handshake(conn net.Conn) error {
+	deadline := time.Now().Add(c.cfg.RoundTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != msgHello {
+		return fmt.Errorf("dist: expected hello, got message type %d", typ)
+	}
+	var hello helloMsg
+	if err := decodeJSON(payload, &hello); err != nil {
+		return err
+	}
+	if err := c.validateHello(hello); err != nil {
+		// Tell the worker not to retry: its configuration can never match.
+		if eb, encErr := encodeJSON(errorMsg{Message: err.Error(), Permanent: true}); encErr == nil {
+			writeFrame(conn, msgError, eb)
+		}
+		return err
+	}
+	rank := -1
+	for r := 1; r < c.cfg.World; r++ {
+		if c.conns[r] == nil {
+			rank = r
+			break
+		}
+	}
+	if rank == -1 {
+		if eb, encErr := encodeJSON(errorMsg{Message: "world is full", Permanent: true}); encErr == nil {
+			writeFrame(conn, msgError, eb)
+		}
+		return fmt.Errorf("dist: world is full")
+	}
+	wb, err := encodeJSON(welcomeMsg{Rank: rank, World: c.cfg.World, Round: c.round})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, msgWelcome, wb); err != nil {
+		return err
+	}
+	// NextEpoch in the cursor is the epoch the next assign will name;
+	// Restore rewinds the worker to just before it, and BeginEpoch on the
+	// first assign advances it with the scheduled LR applied.
+	m, err := runstate.Capture(c.tr, core.Cursor{NextEpoch: c.epoch, Iteration: c.lastIter}, core.EpochStats{})
+	if err != nil {
+		return fmt.Errorf("dist: capturing resync manifest: %w", err)
+	}
+	m.Meta.Dist = &runstate.DistMeta{World: c.cfg.World, Rank: rank, Round: c.round}
+	mb, err := m.Encode()
+	if err != nil {
+		return fmt.Errorf("dist: encoding resync manifest: %w", err)
+	}
+	if err := writeFrame(conn, msgState, mb); err != nil {
+		return err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	c.conns[rank] = conn
+	c.cfg.Tracer.Event(trace.TrackDist, "rank_joined",
+		trace.Attr{Key: "rank", Val: int64(rank)}, trace.Attr{Key: "round", Val: int64(c.round)})
+	return nil
+}
+
+// validateHello rejects any worker whose configuration would break the
+// lock-step invariant: same strategy, optimizer, seed, horizon, and LR/clip
+// or the ranks compute diverging steps.
+func (c *Coordinator) validateHello(h helloMsg) error {
+	switch {
+	case h.Proto != protoVersion:
+		return fmt.Errorf("dist: protocol %d != %d", h.Proto, protoVersion)
+	case h.Strategy != c.tr.Strat.Name():
+		return fmt.Errorf("dist: strategy %q != %q", h.Strategy, c.tr.Strat.Name())
+	case h.Optimizer != c.tr.Opt.Name():
+		return fmt.Errorf("dist: optimizer %q != %q", h.Optimizer, c.tr.Opt.Name())
+	case h.Seed != c.tr.Cfg.Seed:
+		return fmt.Errorf("dist: seed %d != %d", h.Seed, c.tr.Cfg.Seed)
+	case h.T != c.tr.Cfg.T:
+		return fmt.Errorf("dist: horizon T %d != %d", h.T, c.tr.Cfg.T)
+	case h.LR != float64(c.tr.Cfg.LR):
+		return fmt.Errorf("dist: learning rate %g != %g", h.LR, c.tr.Cfg.LR)
+	case h.GradClip != float64(c.tr.Cfg.GradClip):
+		return fmt.Errorf("dist: grad clip %g != %g", h.GradClip, c.tr.Cfg.GradClip)
+	}
+	return nil
+}
+
+// fillRanks blocks until every rank is seated, admitting queued and newly
+// arriving connections, or fails after JoinTimeout.
+func (c *Coordinator) fillRanks() error {
+	deadline := time.Now().Add(c.cfg.JoinTimeout)
+	for c.vacancies() > 0 {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("dist: timed out waiting for %d worker(s) to join", c.vacancies())
+		}
+		select {
+		case conn := <-c.joinCh:
+			if err := c.handshake(conn); err != nil {
+				conn.Close()
+				c.cfg.Tracer.Event(trace.TrackDist, "join_rejected:"+err.Error())
+				continue
+			}
+			c.cfg.Metrics.setConnected(c.connected())
+		case <-time.After(remaining):
+			return fmt.Errorf("dist: timed out waiting for %d worker(s) to join", c.vacancies())
+		}
+	}
+	return nil
+}
+
+// rankFaultError marks a failure attributable to one worker rank, which the
+// round-replay loop recovers from by vacating that rank and replaying.
+type rankFaultError struct {
+	rank  int
+	phase string
+	err   error
+}
+
+func (e *rankFaultError) Error() string {
+	return fmt.Sprintf("dist: rank %d failed during %s: %v", e.rank, e.phase, e.err)
+}
+
+func (e *rankFaultError) Unwrap() error { return e.err }
+
+// TrainRound runs one synchronous data-parallel step over the global batch,
+// replaying (with reconnected workers resynced from a manifest) after rank
+// faults up to MaxReplays times. Replays are deterministic: the iteration
+// number is fixed before the first attempt, so every attempt computes
+// bit-identical gradients.
+func (c *Coordinator) TrainRound(split dataset.Split, indices []int) (core.DPStepStats, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxReplays; attempt++ {
+		if err := c.fillRanks(); err != nil {
+			return core.DPStepStats{}, err
+		}
+		st, err := c.tryRound(split, indices, attempt)
+		if err == nil {
+			c.round++
+			c.lastIter++
+			return st, nil
+		}
+		lastErr = err
+		var rf *rankFaultError
+		if !errors.As(err, &rf) {
+			return core.DPStepStats{}, err
+		}
+		c.abortRound(rf)
+		c.cfg.Metrics.observeAbort()
+	}
+	return core.DPStepStats{}, fmt.Errorf("dist: round %d failed after %d replays: %w", c.round, c.cfg.MaxReplays, lastErr)
+}
+
+// abortRound tells surviving ranks to discard the in-flight round and
+// vacates the faulted rank.
+func (c *Coordinator) abortRound(rf *rankFaultError) {
+	c.vacate(rf.rank, rf.phase)
+	ab, err := encodeJSON(abortMsg{Round: c.round, Reason: rf.Error()})
+	if err != nil {
+		return
+	}
+	for r := 1; r < c.cfg.World; r++ {
+		conn := c.conns[r]
+		if conn == nil {
+			continue
+		}
+		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		if werr := writeFrame(conn, msgAbort, ab); werr != nil {
+			c.vacate(r, "abort notify")
+		}
+	}
+	c.cfg.Tracer.Event(trace.TrackDist, "round_aborted:"+rf.phase,
+		trace.Attr{Key: "round", Val: int64(c.round)},
+		trace.Attr{Key: "rank", Val: int64(rf.rank)})
+}
+
+// tryRound executes one attempt of the current round: dispatch shards,
+// compute rank 0's shard locally, gather worker gradients in rank order,
+// reduce, broadcast, and step.
+func (c *Coordinator) tryRound(split dataset.Split, indices []int, attempt int) (core.DPStepStats, error) {
+	var out core.DPStepStats
+	roundStart := time.Now()
+	iter := c.lastIter + 1
+	shards := core.Shard(indices, c.cfg.World)
+	var wireBytes int64
+
+	// Dispatch worker shards first so they compute in parallel with rank 0.
+	dispatchStart := time.Now()
+	for r := 1; r < c.cfg.World; r++ {
+		ab, err := encodeJSON(assignMsg{
+			Round: c.round, Attempt: attempt, Epoch: c.epoch, Iteration: iter,
+			GlobalN: len(indices), Split: int(split), Indices: shards[r],
+		})
+		if err != nil {
+			return out, err
+		}
+		conn := c.conns[r]
+		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		if err := writeFrame(conn, msgAssign, ab); err != nil {
+			return out, &rankFaultError{rank: r, phase: "dispatch", err: err}
+		}
+	}
+	c.cfg.Tracer.SpanAt(trace.TrackDist, "shard_dispatch", dispatchStart, time.Since(dispatchStart),
+		trace.Attr{Key: "round", Val: int64(c.round)})
+
+	st0, elapsed0, err := c.tr.ShardGrads(split, shards[0], iter, len(indices))
+	if err != nil {
+		return out, err
+	}
+	out.StepStats.Add(st0)
+	out.SlowestReplica = elapsed0
+
+	// Gather in ascending rank order; the read wait for a rank still
+	// computing is what the straggler threshold measures.
+	gatherStart := time.Now()
+	rank0 := c.tr.GradTensors()
+	sets := make([][]*tensor.Tensor, c.cfg.World)
+	counts := make([]int, c.cfg.World)
+	sets[0] = make([]*tensor.Tensor, len(rank0))
+	for j, nt := range rank0 {
+		sets[0][j] = nt.T
+	}
+	for r := 0; r < c.cfg.World; r++ {
+		counts[r] = len(shards[r])
+	}
+	for r := 1; r < c.cfg.World; r++ {
+		ts, meta, readDur, err := c.gatherRank(r, attempt, len(shards[r]), rank0)
+		if err != nil {
+			return out, err
+		}
+		if c.cfg.Straggler > 0 && readDur > c.cfg.Straggler {
+			c.cfg.Metrics.observeStraggler()
+			c.cfg.Tracer.Event(trace.TrackDist, "straggler",
+				trace.Attr{Key: "rank", Val: int64(r)},
+				trace.Attr{Key: "wait_ms", Val: readDur.Milliseconds()})
+		}
+		out.StepStats.Add(core.StepStats{Loss: meta.Loss, Correct: meta.Correct, N: meta.N})
+		if d := time.Duration(meta.ComputeSeconds * float64(time.Second)); d > out.SlowestReplica {
+			out.SlowestReplica = d
+		}
+		wireBytes += tensorsWireBytes(ts)
+		sets[r] = make([]*tensor.Tensor, len(ts))
+		for j, nt := range ts {
+			sets[r][j] = nt.T
+		}
+	}
+	c.cfg.Tracer.SpanAt(trace.TrackDist, "grad_gather", gatherStart, time.Since(gatherStart),
+		trace.Attr{Key: "round", Val: int64(c.round)})
+
+	reduceStart := time.Now()
+	if _, err := core.ReduceGrads(sets, counts); err != nil {
+		return out, err
+	}
+	c.cfg.Tracer.SpanAt(trace.TrackDist, "reduce", reduceStart, time.Since(reduceStart),
+		trace.Attr{Key: "round", Val: int64(c.round)})
+
+	// Broadcast commits the round: the reduced gradient exists, so a rank
+	// unreachable here is vacated (to resync via manifest on rejoin) rather
+	// than failing the round — the survivors must not be torn back.
+	broadcastStart := time.Now()
+	rb, err := encodeTensors(reducedMeta{Round: c.round}, rank0)
+	if err != nil {
+		return out, err
+	}
+	for r := 1; r < c.cfg.World; r++ {
+		conn := c.conns[r]
+		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		if err := writeFrame(conn, msgReduced, rb); err != nil {
+			c.vacate(r, "broadcast")
+			continue
+		}
+		wireBytes += int64(len(rb))
+	}
+	c.cfg.Tracer.SpanAt(trace.TrackDist, "broadcast", broadcastStart, time.Since(broadcastStart),
+		trace.Attr{Key: "round", Val: int64(c.round)})
+
+	norm := c.tr.ApplyReduced()
+	if norm > out.GradNorm {
+		out.GradNorm = norm
+	}
+	out.Wall = time.Since(roundStart)
+	// Workers compute concurrently with rank 0 and with each other, so the
+	// exchange cost is what the wall clock shows beyond the slowest compute.
+	out.AllReduce = out.Wall - out.SlowestReplica
+	if out.AllReduce < 0 {
+		out.AllReduce = 0
+	}
+	c.cfg.Metrics.observeRound(out.Wall.Seconds(), wireBytes)
+	return out, nil
+}
+
+// gatherRank reads rank r's gradient upload for the current round/attempt,
+// draining any stale upload left buffered by an aborted earlier attempt
+// (same round, lower attempt — the bytes are bitwise identical, but
+// consuming them would desynchronize the stream).
+func (c *Coordinator) gatherRank(r, attempt, want int, rank0 []tensor.Named) ([]tensor.Named, gradsMeta, time.Duration, error) {
+	conn := c.conns[r]
+	var waited time.Duration
+	for {
+		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		readStart := time.Now()
+		typ, payload, err := readFrame(conn)
+		waited += time.Since(readStart)
+		if err != nil {
+			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: err}
+		}
+		switch typ {
+		case msgGrads:
+		case msgError:
+			var em errorMsg
+			if derr := decodeJSON(payload, &em); derr == nil {
+				return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: errors.New(em.Message)}
+			}
+			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: fmt.Errorf("undecodable worker error")}
+		default:
+			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: fmt.Errorf("unexpected message type %d", typ)}
+		}
+		var meta gradsMeta
+		ts, err := decodeTensors(payload, &meta)
+		if err != nil {
+			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: err}
+		}
+		if meta.Round == c.round && meta.Attempt < attempt {
+			continue // stale upload from an aborted attempt
+		}
+		if meta.Round != c.round || meta.Attempt != attempt || meta.Rank != r {
+			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
+				err: fmt.Errorf("grads for round %d attempt %d rank %d, expected %d/%d/%d",
+					meta.Round, meta.Attempt, meta.Rank, c.round, attempt, r)}
+		}
+		if meta.Count != want {
+			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
+				err: fmt.Errorf("shard count %d, expected %d", meta.Count, want)}
+		}
+		if want > 0 {
+			if len(ts) != len(rank0) {
+				return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
+					err: fmt.Errorf("%d gradient tensors, expected %d", len(ts), len(rank0))}
+			}
+			for j, nt := range ts {
+				if nt.Name != rank0[j].Name {
+					return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
+						err: fmt.Errorf("tensor %d named %q, expected %q", j, nt.Name, rank0[j].Name)}
+				}
+			}
+		}
+		return ts, meta, waited, nil
+	}
+}
+
+// tensorsWireBytes sums the raw float payload of a tensor set — the
+// byte-count the reduce-bytes metric attributes to one upload.
+func tensorsWireBytes(ts []tensor.Named) int64 {
+	var n int64
+	for _, nt := range ts {
+		n += nt.T.Bytes()
+	}
+	return n
+}
+
+// Fit trains for the given number of epochs, mirroring the serial trainer's
+// epoch loop (same shuffle, same batching, same MaxBatchesPerEpoch cap) with
+// TrainRound in place of TrainBatchIndices.
+func (c *Coordinator) Fit(epochs int) ([]core.EpochStats, error) {
+	var out []core.EpochStats
+	for e := 0; e < epochs; e++ {
+		c.epoch++
+		if err := c.tr.BeginEpoch(c.epoch); err != nil {
+			return out, err
+		}
+		idx := dataset.Indices(c.tr.Data, dataset.Train, c.tr.Cfg.Seed, c.epoch, true)
+		batches := dataset.Batches(idx, c.tr.Cfg.Batch)
+		if c.tr.Cfg.MaxBatchesPerEpoch > 0 && len(batches) > c.tr.Cfg.MaxBatchesPerEpoch {
+			batches = batches[:c.tr.Cfg.MaxBatchesPerEpoch]
+		}
+		var ep core.EpochStats
+		start := time.Now()
+		for _, b := range batches {
+			st, err := c.TrainRound(dataset.Train, b)
+			if err != nil {
+				return out, err
+			}
+			ep.StepStats.Add(st.StepStats)
+			ep.Batches++
+		}
+		ep.Duration = time.Since(start)
+		out = append(out, ep)
+	}
+	return out, nil
+}
+
+// Finish ends training cleanly: every connected worker gets a done message
+// and its connection closed. The coordinator remains usable for inspection
+// but not for further rounds with the old workers.
+func (c *Coordinator) Finish(reason string) {
+	db, err := encodeJSON(doneMsg{Reason: reason})
+	if err != nil {
+		return
+	}
+	for r := 1; r < c.cfg.World; r++ {
+		conn := c.conns[r]
+		if conn == nil {
+			continue
+		}
+		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		writeFrame(conn, msgDone, db)
+		c.conns[r].Close()
+		c.conns[r] = nil
+	}
+	c.cfg.Metrics.setConnected(0)
+}
+
+// Round reports the number of committed rounds.
+func (c *Coordinator) Round() int { return c.round }

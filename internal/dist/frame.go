@@ -1,0 +1,105 @@
+// Package dist runs synchronous data-parallel SNN training across OS
+// processes: a coordinator (doubling as rank 0) shards each global batch
+// over TCP-connected workers, gathers their gradients, reduces them in
+// deterministic ascending rank order (core.ReduceGrads), and broadcasts the
+// reduced gradient so every rank applies the identical optimizer step.
+//
+// The wire result is bit-identical to the in-process core.DataParallel
+// simulation on the same shards, because both drive the exact same
+// ShardGrads/ReduceGrads/ApplyReduced sequence — the network only moves
+// bytes, it never re-rounds a float. Against plain serial training the match
+// is exact-mean always, and bitwise when every shard holds at most one
+// sample and the serial run accumulates per-sample (MicroBatch 1); see
+// core.ShardGrads.
+//
+// Failure semantics: gradient-phase faults (a worker dying mid-upload, a
+// dispatch failing) abort the round before anyone steps — survivors discard
+// it, the dead rank's seat is refilled by a reconnecting worker resynced
+// from a runstate manifest, and the round replays deterministically.
+// Broadcast-phase faults commit the round (the coordinator has already
+// reduced): only the unreachable rank is vacated and later resynced.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	frameMagic = "SKPF"
+	// maxFramePayload caps any length header read off the wire before it
+	// sizes an allocation — the same hostile-header rule serialize enforces.
+	maxFramePayload = 1 << 28
+)
+
+// Message types. The coordinator speaks Welcome/State/Assign/Reduced/Abort/
+// Done, workers speak Hello/Grads, both may speak Error.
+const (
+	msgHello byte = iota + 1
+	msgWelcome
+	msgState
+	msgAssign
+	msgGrads
+	msgReduced
+	msgAbort
+	msgDone
+	msgError
+)
+
+// ErrBadFrame reports a malformed envelope: wrong magic, an implausible
+// length, or a checksum mismatch. It is permanent — the stream cannot be
+// re-synchronized after it.
+var ErrBadFrame = errors.New("dist: bad frame")
+
+// writeFrame sends one message as
+//
+//	magic "SKPF" | type u8 | payload len u32 | payload | crc32 (IEEE)
+//
+// with the checksum covering everything before it. The frame is assembled
+// in one buffer and written with a single Write so byte-budget fault
+// injection cuts it at deterministic offsets.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("%w: payload %d exceeds %d", ErrBadFrame, len(payload), maxFramePayload)
+	}
+	buf := make([]byte, 0, len(frameMagic)+5+len(payload)+4)
+	buf = append(buf, frameMagic...)
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("dist: writing frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads and verifies one message envelope.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	head := make([]byte, len(frameMagic)+5)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, nil, fmt.Errorf("dist: reading frame header: %w", err)
+	}
+	if string(head[:len(frameMagic)]) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: magic %q", ErrBadFrame, head[:len(frameMagic)])
+	}
+	typ := head[len(frameMagic)]
+	n := binary.LittleEndian.Uint32(head[len(frameMagic)+1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
+	}
+	rest := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return 0, nil, fmt.Errorf("dist: reading frame payload: %w", err)
+	}
+	payload, tail := rest[:n], rest[n:]
+	sum := crc32.ChecksumIEEE(head)
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	if sum != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return typ, payload, nil
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"skipper/internal/serialize"
+	"skipper/internal/tensor"
+)
+
+// protoVersion gates the handshake; bump on any wire-visible change.
+const protoVersion = 1
+
+// helloMsg opens a worker's session. Everything that must match for the
+// lock-step invariant to hold is validated here, before a rank is assigned:
+// a worker with a different seed, horizon, learning rate, or clip threshold
+// would compute correct-looking but diverging steps.
+type helloMsg struct {
+	Proto     int     `json:"proto"`
+	Strategy  string  `json:"strategy"`
+	Optimizer string  `json:"optimizer"`
+	Seed      uint64  `json:"seed"`
+	T         int     `json:"t"`
+	LR        float64 `json:"lr"`
+	GradClip  float64 `json:"grad_clip"`
+}
+
+// welcomeMsg assigns the joining worker its seat.
+type welcomeMsg struct {
+	Rank  int `json:"rank"`
+	World int `json:"world"`
+	// Round is the next round the coordinator will run; the msgState
+	// manifest that follows carries the matching trainer state.
+	Round int `json:"round"`
+}
+
+// assignMsg dispatches one round's shard. Iteration is assigned by the
+// coordinator so every rank derives identical RNG streams and a replayed
+// round recomputes bit-identical gradients. Attempt distinguishes replays of
+// the same round: a worker whose upload for attempt k was in flight when the
+// round aborted leaves that upload buffered in the coordinator's stream, and
+// the gather loop must be able to drain it without mistaking it for attempt
+// k+1's (bitwise-identical) gradients.
+type assignMsg struct {
+	Round     int   `json:"round"`
+	Attempt   int   `json:"attempt"`
+	Epoch     int   `json:"epoch"`
+	Iteration int   `json:"iteration"`
+	GlobalN   int   `json:"global_n"`
+	Split     int   `json:"split"`
+	Indices   []int `json:"indices"`
+}
+
+// gradsMeta heads a worker's gradient upload.
+type gradsMeta struct {
+	Round   int     `json:"round"`
+	Attempt int     `json:"attempt"`
+	Rank    int     `json:"rank"`
+	Count   int     `json:"count"` // shard size; 0 = sat the round out
+	Loss    float64 `json:"loss"`
+	Correct int     `json:"correct"`
+	N       int     `json:"n"`
+	// ComputeSeconds is the shard's TrainBatch wall time, reported so the
+	// coordinator can attribute round latency to compute vs. exchange.
+	ComputeSeconds float64 `json:"compute_seconds"`
+}
+
+// reducedMeta heads the coordinator's reduced-gradient broadcast.
+type reducedMeta struct {
+	Round int `json:"round"`
+}
+
+// abortMsg cancels an in-flight round before anyone has stepped.
+type abortMsg struct {
+	Round  int    `json:"round"`
+	Reason string `json:"reason"`
+}
+
+// doneMsg ends training cleanly.
+type doneMsg struct {
+	Reason string `json:"reason"`
+}
+
+// errorMsg reports a failure to the peer. Permanent tells a worker not to
+// bother reconnecting (e.g. a handshake validation mismatch).
+type errorMsg struct {
+	Message   string `json:"message"`
+	Permanent bool   `json:"permanent"`
+}
+
+// encodeJSON renders a JSON-payload message.
+func encodeJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding message: %w", err)
+	}
+	return b, nil
+}
+
+// decodeJSON parses a JSON-payload message.
+func decodeJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("dist: decoding message: %w", err)
+	}
+	return nil
+}
+
+// encodeTensors renders a gradient message payload:
+//
+//	meta len u32 | meta JSON | SKPT tensor container
+//
+// reusing the hardened serialize codec for the tensor bytes.
+func encodeTensors(meta any, ts []tensor.Named) ([]byte, error) {
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding tensor meta: %w", err)
+	}
+	var buf bytes.Buffer
+	var head [4]byte
+	binary.LittleEndian.PutUint32(head[:], uint32(len(mb)))
+	buf.Write(head[:])
+	buf.Write(mb)
+	if err := serialize.SaveTensors(&buf, ts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeTensors parses a gradient message payload into meta and tensors.
+// The meta length is capped against the payload before it sizes anything —
+// this reads from the network.
+func decodeTensors(payload []byte, meta any) ([]tensor.Named, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: tensor payload %d bytes", ErrBadFrame, len(payload))
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	if int64(n) > int64(len(payload)-4) {
+		return nil, fmt.Errorf("%w: tensor meta length %d with %d bytes remaining", ErrBadFrame, n, len(payload)-4)
+	}
+	if err := json.Unmarshal(payload[4:4+n], meta); err != nil {
+		return nil, fmt.Errorf("dist: decoding tensor meta: %w", err)
+	}
+	return serialize.LoadTensors(bytes.NewReader(payload[4+n:]))
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with the same programmable byte-budget fault plan
+// the Injector applies to files: writes past a budget perform the in-budget
+// prefix first (exactly what a peer observes when the writer dies mid-frame),
+// reads past a budget fail after the in-budget prefix, and a fixed delay can
+// be charged per operation to make a peer look slow. It is the network seam
+// the dist protocol's torture tests are written against — killing a worker at
+// byte N of a gradient upload is FailWritesAfter(N) here, no real process
+// death needed. All knobs are safe for concurrent use.
+type Conn struct {
+	base net.Conn
+
+	mu          sync.Mutex
+	writeBudget int64 // bytes writable before writes fail (-1 = unlimited)
+	readBudget  int64 // bytes readable before reads fail (-1 = unlimited)
+	writes      int64
+	reads       int64
+	delay       time.Duration
+	closeOnFail bool
+}
+
+// NewConn returns a fault-free wrapper around base.
+func NewConn(base net.Conn) *Conn {
+	return &Conn{base: base, writeBudget: -1, readBudget: -1}
+}
+
+// FailWritesAfter makes every write past the first n cumulative bytes fail
+// with ErrInjected, after performing the in-budget partial write — the wire
+// image of a sender killed mid-frame.
+func (c *Conn) FailWritesAfter(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writeBudget, c.writes = n, 0
+}
+
+// FailReadsAfter makes every read past the first n cumulative bytes fail
+// with ErrInjected after the in-budget prefix — a receiver watching its peer
+// vanish.
+func (c *Conn) FailReadsAfter(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readBudget, c.reads = n, 0
+}
+
+// SetDelay charges d of latency to every subsequent Read and Write — the
+// straggler knob.
+func (c *Conn) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delay = d
+}
+
+// CloseOnFault makes the first injected fault also close the underlying
+// connection, so the peer sees EOF/reset rather than a stall — a process
+// death instead of a hang.
+func (c *Conn) CloseOnFault(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeOnFail = on
+}
+
+// BytesWritten reports cumulative bytes written since the last budget reset
+// (byte-boundary sweeps size their loop with it).
+func (c *Conn) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// faulted finishes an injected fault: optionally tearing the connection down
+// so the peer unblocks.
+func (c *Conn) faulted(op string) error {
+	c.mu.Lock()
+	kill := c.closeOnFail
+	c.mu.Unlock()
+	if kill {
+		c.base.Close()
+	}
+	return fmt.Errorf("%s %s: %w", op, c.base.RemoteAddr(), ErrInjected)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	allow, fault := allowance(c.writeBudget, c.writes, int64(len(p)))
+	d := c.delay
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	// A spent budget must not touch the pipe at all: a zero-length write on
+	// net.Pipe still wakes the peer with (0, nil), which no dead sender does.
+	if fault && allow == 0 {
+		return 0, c.faulted("write")
+	}
+	n, err := c.base.Write(p[:allow])
+	c.mu.Lock()
+	c.writes += int64(n)
+	c.mu.Unlock()
+	if fault {
+		return n, c.faulted("write")
+	}
+	return n, err
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	allow, fault := allowance(c.readBudget, c.reads, int64(len(p)))
+	d := c.delay
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if fault && allow == 0 {
+		return 0, c.faulted("read")
+	}
+	n, err := c.base.Read(p[:allow])
+	c.mu.Lock()
+	c.reads += int64(n)
+	c.mu.Unlock()
+	if fault {
+		return n, c.faulted("read")
+	}
+	return n, err
+}
+
+func (c *Conn) Close() error                       { return c.base.Close() }
+func (c *Conn) LocalAddr() net.Addr                { return c.base.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.base.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.base.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.base.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.base.SetWriteDeadline(t) }

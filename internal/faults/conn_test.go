@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestConnFailWritesAfterPartialPrefix(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := NewConn(a)
+	fc.FailWritesAfter(3)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 8)
+		n, _ := io.ReadFull(b, buf[:3])
+		got <- buf[:n]
+	}()
+
+	n, err := fc.Write([]byte("hello"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("partial write of %d bytes, want the 3-byte budget prefix", n)
+	}
+	if string(<-got) != "hel" {
+		t.Fatal("peer must observe exactly the in-budget prefix")
+	}
+	fc.Close()
+}
+
+func TestConnFailReadsAfter(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := NewConn(a)
+	fc.FailReadsAfter(2)
+
+	go b.Write([]byte("wxyz"))
+
+	buf := make([]byte, 4)
+	n, err := fc.Read(buf)
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("read %d, %v; want the 2-byte prefix then ErrInjected", n, err)
+	}
+	// The budget is spent: the next read fails immediately, no bytes moved.
+	if n, err := fc.Read(buf); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after spent budget: %d, %v", n, err)
+	}
+	fc.Close()
+}
+
+func TestConnCloseOnFaultUnblocksPeer(t *testing.T) {
+	a, b := net.Pipe()
+	fc := NewConn(a)
+	fc.FailWritesAfter(0)
+	fc.CloseOnFault(true)
+
+	peerErr := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		peerErr <- err
+	}()
+
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	select {
+	case err := <-peerErr:
+		if err == nil {
+			t.Fatal("peer read must fail once the faulted side closes")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer still blocked: CloseOnFault did not close the connection")
+	}
+	b.Close()
+}
+
+func TestConnDelayCharged(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := NewConn(a)
+	fc.SetDelay(30 * time.Millisecond)
+
+	go io.ReadFull(b, make([]byte, 1))
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= the injected 30ms", d)
+	}
+	fc.Close()
+}
+
+func TestConnPassthroughWhenFaultFree(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := NewConn(a)
+	go b.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(fc, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("passthrough read: %q, %v", buf, err)
+	}
+	if fc.LocalAddr() == nil || fc.RemoteAddr() == nil {
+		t.Fatal("address methods must delegate")
+	}
+	fc.Close()
+}

@@ -67,6 +67,22 @@ type Meta struct {
 	Partial core.EpochStats `json:"partial"`
 
 	Divergences []core.DivergenceEvent `json:"divergences,omitempty"`
+
+	// Dist records the distributed-training placement the manifest was
+	// captured under (nil for single-process runs) — forensics for a dead
+	// worker set, and the resync payload a rejoining worker reads its rank
+	// and last committed round from.
+	Dist *DistMeta `json:"dist,omitempty"`
+}
+
+// DistMeta is the data-parallel placement block of a manifest.
+type DistMeta struct {
+	// World is the total rank count, coordinator included.
+	World int `json:"world"`
+	// Rank is the rank this manifest was issued to (0 = coordinator).
+	Rank int `json:"rank"`
+	// Round is the last globally committed training round.
+	Round int `json:"round"`
 }
 
 // Manifest is one durable snapshot of a training run.
@@ -150,6 +166,14 @@ func (m *Manifest) Restore(tr *core.Trainer) error {
 	tr.SetDivergenceLog(m.Meta.Divergences)
 	return nil
 }
+
+// Encode serialises the manifest with its trailing checksum — the byte
+// image Store.Save writes to disk, also shipped over the wire when a dist
+// coordinator resyncs a rejoining worker.
+func (m *Manifest) Encode() ([]byte, error) { return m.encode() }
+
+// Decode parses and verifies an encoded manifest (the inverse of Encode).
+func Decode(raw []byte) (*Manifest, error) { return decode(raw) }
 
 // encode serialises the manifest with its trailing checksum.
 func (m *Manifest) encode() ([]byte, error) {

@@ -45,6 +45,14 @@ const (
 // corruption.
 var ErrTruncated = errors.New("serialize: truncated file")
 
+// ErrHeader reports a structurally implausible length field — a count, name
+// length, rank, or dimension that could not possibly fit the remaining input.
+// Nothing read from an untrusted stream (a checkpoint file, a network peer)
+// may size an allocation before passing these caps: a hostile header must
+// fail here, not in the allocator. A CRC match does not rule this out — an
+// attacker controls the checksum too.
+var ErrHeader = errors.New("serialize: implausible header")
+
 // Save writes all trainable parameters of net to w, ending with a CRC-32 of
 // the preceding bytes.
 func Save(w io.Writer, net *layers.Network) error {
@@ -133,8 +141,8 @@ func Load(r io.Reader, net *layers.Network) error {
 		if err != nil {
 			return err
 		}
-		if nameLen > 4096 {
-			return fmt.Errorf("serialize: implausible name length %d", nameLen)
+		if nameLen > 4096 || int(nameLen) > br.Len() {
+			return fmt.Errorf("%w: name length %d with %d bytes remaining", ErrHeader, nameLen, br.Len())
 		}
 		nameBuf := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nameBuf); err != nil {
@@ -342,14 +350,20 @@ func LoadTensors(r io.Reader) ([]tensor.Named, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every tensor costs at least 8 header bytes (name length + rank), so a
+	// count beyond remaining/8 cannot be honest — reject it before it sizes
+	// the output slice.
+	if int64(count) > int64(br.Len())/8 {
+		return nil, fmt.Errorf("%w: tensor count %d with %d bytes remaining", ErrHeader, count, br.Len())
+	}
 	out := make([]tensor.Named, 0, count)
 	for i := 0; i < int(count); i++ {
 		nameLen, err := readU32(br)
 		if err != nil {
 			return nil, err
 		}
-		if nameLen > 4096 {
-			return nil, fmt.Errorf("serialize: implausible name length %d", nameLen)
+		if nameLen > 4096 || int(nameLen) > br.Len() {
+			return nil, fmt.Errorf("%w: name length %d with %d bytes remaining", ErrHeader, nameLen, br.Len())
 		}
 		nameBuf := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nameBuf); err != nil {
@@ -360,23 +374,34 @@ func LoadTensors(r io.Reader) ([]tensor.Named, error) {
 			return nil, err
 		}
 		if rank > 8 {
-			return nil, fmt.Errorf("serialize: implausible rank %d", rank)
+			return nil, fmt.Errorf("%w: rank %d", ErrHeader, rank)
 		}
 		dims := make([]int, rank)
-		vol := 1
+		// maxVol is the ceiling any honest volume can reach: one float32 per
+		// remaining payload byte / 4. Capping each dimension and the running
+		// product against it keeps the int64 arithmetic overflow-free (both
+		// factors stay below 2^62 before every multiply).
+		maxVol := int64(br.Len())/4 + 1
+		vol := int64(1)
 		for d := range dims {
 			v, err := readU32(br)
 			if err != nil {
 				return nil, err
 			}
 			dims[d] = int(v)
-			vol *= int(v)
+			if int64(v) > maxVol {
+				return nil, fmt.Errorf("%w: tensor %q dim %d = %d exceeds payload", ErrHeader, nameBuf, d, v)
+			}
+			if v != 0 && vol > maxVol/int64(v) {
+				return nil, fmt.Errorf("%w: tensor %q volume exceeds payload", ErrHeader, nameBuf)
+			}
+			vol *= int64(v)
 		}
-		if vol < 0 || vol > br.Len()/4+1 {
-			return nil, fmt.Errorf("serialize: tensor %q volume %d exceeds payload", nameBuf, vol)
+		if vol > int64(br.Len())/4 {
+			return nil, fmt.Errorf("%w: tensor %q volume %d exceeds payload", ErrHeader, nameBuf, vol)
 		}
 		tt := tensor.New(dims...)
-		for j := 0; j < vol; j++ {
+		for j := 0; j < int(vol); j++ {
 			bits, err := readU32(br)
 			if err != nil {
 				return nil, err

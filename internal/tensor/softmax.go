@@ -40,6 +40,17 @@ func Softmax(out, logits *Tensor) {
 // integer labels, and writes dlogits = ∂loss/∂logits = (softmax - onehot)/N
 // when dlogits is non-nil. It returns (loss, #correct-argmax-predictions).
 func CrossEntropy(logits *Tensor, labels []int, dlogits *Tensor) (loss float64, correct int) {
+	return CrossEntropyDenom(logits, labels, dlogits, 0)
+}
+
+// CrossEntropyDenom is CrossEntropy with an explicit mean denominator: the
+// loss and dlogits are divided by denom instead of the local batch size
+// (denom <= 0 keeps the local batch size). Data-parallel shards use the
+// global batch size here so that summing shard gradients across replicas
+// reproduces the serial full-batch gradient — bitwise, when each shard holds
+// a single sample, because every per-sample term then goes through exactly
+// the same multiply by the same reciprocal as the serial run.
+func CrossEntropyDenom(logits *Tensor, labels []int, dlogits *Tensor, denom int) (loss float64, correct int) {
 	ls := logits.Shape()
 	if len(ls) != 2 {
 		panic(fmt.Sprintf("tensor: CrossEntropy expects rank-2 logits, got %v", ls))
@@ -48,9 +59,12 @@ func CrossEntropy(logits *Tensor, labels []int, dlogits *Tensor) (loss float64, 
 	if len(labels) != n {
 		panic(fmt.Sprintf("tensor: CrossEntropy labels length %d, batch %d", len(labels), n))
 	}
+	if denom <= 0 {
+		denom = n
+	}
 	probs := New(n, k)
 	Softmax(probs, logits)
-	invN := 1 / float32(n)
+	invN := 1 / float32(denom)
 	for i := 0; i < n; i++ {
 		y := labels[i]
 		if y < 0 || y >= k {
@@ -83,7 +97,7 @@ func CrossEntropy(logits *Tensor, labels []int, dlogits *Tensor) (loss float64, 
 			}
 		}
 	}
-	return loss / float64(n), correct
+	return loss / float64(denom), correct
 }
 
 // Argmax returns the index of the maximum element in each row of a [N,K]

@@ -41,6 +41,9 @@ import (
 const (
 	// TrackTrain carries the trainer's phase spans.
 	TrackTrain = 0
+	// TrackDist carries the distributed coordinator's per-round protocol
+	// spans (shard_dispatch, grad_gather, reduce, broadcast).
+	TrackDist = 5
 	// TrackDevice carries mem.Device high-water counters.
 	TrackDevice = 90
 	// TrackPool carries parallel.Pool lane-utilization counters.

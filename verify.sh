@@ -1,19 +1,23 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate:
 #   build, vet, race-test the concurrency-sensitive subsystems, full test
-#   suite, the SIGKILL+resume smoke test, then the serving, kernel, and
-#   trace-overhead benchmarks (write BENCH_serve.json, BENCH_kernels.json,
-#   and BENCH_trace.json).
+#   suite, the SIGKILL+resume and distributed-training smoke tests, then the
+#   serving, kernel, trace-overhead, and distributed benchmarks (write
+#   BENCH_serve.json, BENCH_kernels.json, BENCH_trace.json, BENCH_dist.json).
 set -eux
 
 cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/... ./internal/trace/...
+go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/... ./internal/trace/... ./internal/dist/...
 go test ./...
 
 sh ./scripts/kill_resume_smoke.sh
+
+# Distributed smoke: coordinator + 2 workers over localhost TCP must end
+# with weights byte-identical to a serial micro-batch-1 run.
+sh ./scripts/dist_smoke.sh
 
 go run ./cmd/skipper-bench -exp bench_serve -scale tiny
 
@@ -28,3 +32,8 @@ go run ./cmd/skipper-bench -exp bench_kernels -scale tiny -require-speedup
 # like the kernel speedup above — it only fails the run when
 # -require-speedup is passed; add it on quiet machines).
 go run ./cmd/skipper-bench -exp bench_trace -scale tiny
+
+# Distributed scaling smoke: real coordinator/worker wire protocol over
+# in-process pipes; writes measured step/exchange times vs the all-reduce
+# model's prediction.
+go run ./cmd/skipper-bench -exp bench_dist -scale tiny
