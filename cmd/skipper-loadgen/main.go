@@ -1,10 +1,21 @@
 // Command skipper-loadgen fires synthetic inference traffic at a running
-// skipper-serve instance and reports latency percentiles, throughput, and
-// early-exit savings as JSON.
+// skipper-serve or skipper-router instance and reports latency percentiles,
+// throughput, and early-exit savings as JSON.
 //
-// Example:
+// Two modes:
+//
+//   - closed loop (default): -c concurrent requests, each launched as soon
+//     as the previous one on its slot completes. Simple, but a struggling
+//     server slows the arrival rate down with it (coordinated omission).
+//   - open loop (-open): deterministic-seeded exponential arrivals at -qps,
+//     for -duration (or until -n arrivals). Arrivals that would exceed
+//     -max-inflight are counted as dropped_by_harness, never silently
+//     queued. This is the honest tail-latency mode the soak benchmarks use.
+//
+// Examples:
 //
 //	skipper-loadgen -url http://localhost:8080 -n 500 -c 16
+//	skipper-loadgen -url http://localhost:8090 -open -qps 200 -duration 60s -sessions 512 -class interactive
 package main
 
 import (
@@ -20,11 +31,20 @@ import (
 func main() {
 	var (
 		url    = flag.String("url", "http://localhost:8080", "server base URL")
-		n      = flag.Int("n", 200, "total requests")
-		c      = flag.Int("c", 8, "concurrent requests")
-		seed   = flag.Uint64("seed", 1, "synthetic-input seed")
+		n      = flag.Int("n", 200, "total requests (open loop: arrival cap, 0 = duration only)")
+		c      = flag.Int("c", 8, "concurrent requests (closed loop)")
+		seed   = flag.Uint64("seed", 1, "synthetic-input and arrival-schedule seed")
 		budget = flag.Int("budget-ms", 0, "per-request latency budget to send (0 = server default)")
 		out    = flag.String("out", "", "also write the JSON report to this file")
+
+		open     = flag.Bool("open", false, "open-loop mode: exponential arrivals at -qps")
+		qps      = flag.Float64("qps", 0, "open-loop target arrival rate (required with -open)")
+		duration = flag.Duration("duration", 0, "open-loop soak length (0 = stop after -n arrivals)")
+		maxInfl  = flag.Int("max-inflight", 256, "open-loop in-flight cap; excess arrivals are dropped_by_harness")
+
+		sessions = flag.Int("sessions", 0, "distinct session keys to cycle (0 = send none; the router hashes these)")
+		class    = flag.String("class", "", "admission class to send with each request")
+		allowErr = flag.Bool("allow-shed", false, "exit 0 even when some requests were shed (expected under open-loop overload)")
 	)
 	flag.Parse()
 
@@ -34,6 +54,12 @@ func main() {
 		Seed:        *seed,
 		BudgetMS:    *budget,
 		Timeout:     60 * time.Second,
+		OpenLoop:    *open,
+		TargetQPS:   *qps,
+		Duration:    *duration,
+		MaxInFlight: *maxInfl,
+		Sessions:    *sessions,
+		Class:       *class,
 	})
 	if err != nil {
 		cli.Fatal(err)
@@ -53,7 +79,8 @@ func main() {
 			cli.Fatal(err)
 		}
 	}
-	if rep.OK < rep.Requests {
-		cli.Fatalf("%d of %d requests failed (%v)", rep.Requests-rep.OK, rep.Requests, rep.StatusCodes)
+	answered := rep.Requests - rep.DroppedByHarness
+	if rep.OK < answered && !*allowErr {
+		cli.Fatalf("%d of %d requests failed (%v)", answered-rep.OK, answered, rep.StatusCodes)
 	}
 }

@@ -1,0 +1,95 @@
+// Command skipper-routerctl is the operator CLI for a running skipper-router:
+// it inspects the fleet and drives the canary lifecycle over the router's
+// HTTP control plane.
+//
+//	skipper-routerctl -router http://127.0.0.1:8000 fleet
+//	skipper-routerctl -router http://127.0.0.1:8000 canary -path ckpt_v2.skpw -fraction 0.05
+//	skipper-routerctl -router http://127.0.0.1:8000 promote
+//	skipper-routerctl -router http://127.0.0.1:8000 rollback
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"skipper/internal/cli"
+)
+
+func main() {
+	routerURL := flag.String("router", "http://127.0.0.1:8000", "router base URL")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: skipper-routerctl [-router URL] <fleet|canary|promote|rollback> [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "fleet":
+		get(client, *routerURL+"/v1/fleet")
+	case "canary":
+		fs := flag.NewFlagSet("canary", flag.ExitOnError)
+		path := fs.String("path", "", "checkpoint to canary (required)")
+		fraction := fs.Float64("fraction", 0.05, "fraction of sessions steered to the canary")
+		fs.Parse(rest)
+		if *path == "" {
+			cli.Fatal(fmt.Errorf("canary: -path is required"))
+		}
+		post(client, *routerURL+"/v1/canary", map[string]any{"path": *path, "fraction": *fraction})
+	case "promote":
+		post(client, *routerURL+"/v1/promote", nil)
+	case "rollback":
+		post(client, *routerURL+"/v1/rollback", nil)
+	default:
+		cli.Fatal(fmt.Errorf("unknown command %q (want fleet|canary|promote|rollback)", cmd))
+	}
+}
+
+func get(client *http.Client, url string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	emit(resp)
+}
+
+func post(client *http.Client, url string, body any) {
+	var payload []byte
+	if body != nil {
+		payload, _ = json.Marshal(body)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		cli.Fatal(err)
+	}
+	emit(resp)
+}
+
+// emit pretty-prints the JSON response and exits non-zero on a non-2xx code.
+func emit(resp *http.Response) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, data, "", "  ") == nil {
+		data = pretty.Bytes()
+	}
+	fmt.Println(string(bytes.TrimSpace(data)))
+	if resp.StatusCode/100 != 2 {
+		os.Exit(1)
+	}
+}

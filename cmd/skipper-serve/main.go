@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +38,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		fleetAddr = flag.String("fleet-addr", "", "framed-TCP fleet listener for skipper-router (empty = HTTP only)")
 		model     = flag.String("model", "vgg5", "topology: "+strings.Join(models.Names(), "|"))
 		weights   = flag.String("weights", "", "serialize checkpoint to serve (empty = fresh deterministic init)")
 		width     = flag.Float64("width", 0.5, "channel-width multiplier (must match the checkpoint)")
@@ -111,6 +113,16 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
+	var fleetLN net.Listener
+	if *fleetAddr != "" {
+		fleetLN, err = net.Listen("tcp", *fleetAddr)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		go s.ServeFleet(fleetLN)
+		fmt.Printf("fleet transport on %s\n", fleetLN.Addr())
+	}
+
 	snap := s.Model().Current()
 	src := snap.Path
 	if src == "" {
@@ -136,6 +148,9 @@ func main() {
 				continue
 			}
 			fmt.Printf("%s received, draining...\n", sig)
+			if fleetLN != nil {
+				fleetLN.Close()
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 			drainErr := s.Drain(ctx)
 			shutErr := hs.Shutdown(ctx)

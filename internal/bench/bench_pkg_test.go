@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "table2", "fig16",
 		"ablate-sam", "ablate-p", "ablate-surrogate", "ablate-placement", "ablate-compress",
-		"bench_serve", "bench_kernels", "bench_trace", "bench_dist",
+		"bench_serve", "bench_kernels", "bench_trace", "bench_dist", "bench_router",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -111,6 +111,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 	benchKernelsOutput = filepath.Join(t.TempDir(), "BENCH_kernels.json")
 	benchTraceOutput = filepath.Join(t.TempDir(), "BENCH_trace.json")
 	benchDistOutput = filepath.Join(t.TempDir(), "BENCH_dist.json")
+	benchRouterOutput = filepath.Join(t.TempDir(), "BENCH_router.json")
 	cfg := RunConfig{Scale: Tiny, Seed: 1}
 	for _, id := range IDs() {
 		id := id

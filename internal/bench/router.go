@@ -1,0 +1,400 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/models"
+	"skipper/internal/router"
+	"skipper/internal/serialize"
+	"skipper/internal/serve"
+)
+
+// routerBenchReport is what bench_router writes to BENCH_router.json: the
+// fleet's steady-state latency as replicas scale, the tail during a replica
+// kill, the request accounting across a canary promote, and the shed-tier
+// split at overload.
+type routerBenchReport struct {
+	Scale     string `json:"scale"`
+	Model     string `json:"model"`
+	T         int    `json:"t"`
+	Heartbeat string `json:"heartbeat"`
+
+	// Steady-state open-loop soaks against 1/2/4-replica fleets.
+	Steady []routerSteadyRow `json:"steady_state"`
+	// During-kill soak: a 3-replica fleet with one replica killed mid-soak.
+	DuringKill serve.LoadGenReport `json:"during_replica_kill"`
+	// Canary soak: traffic across a full canary start→promote cycle.
+	Canary routerCanaryRow `json:"canary_promote"`
+	// Overload: two classes offered past fleet capacity; the full-horizon
+	// class is shed while the early-exit class keeps being served.
+	Overload routerOverloadRow `json:"overload_shed"`
+}
+
+type routerSteadyRow struct {
+	Replicas int                 `json:"replicas"`
+	Report   serve.LoadGenReport `json:"report"`
+}
+
+type routerCanaryRow struct {
+	Report     serve.LoadGenReport `json:"report"`
+	Promotions int64               `json:"promotions"`
+	Rollbacks  int64               `json:"rollbacks"`
+}
+
+type routerOverloadRow struct {
+	Interactive serve.LoadGenReport `json:"interactive"`
+	Bulk        serve.LoadGenReport `json:"bulk"`
+	// Shed counters from the router, by class.
+	InteractiveShed int64 `json:"interactive_shed"`
+	BulkShed        int64 `json:"bulk_shed"`
+}
+
+// benchRouterOutput is where bench_router writes its JSON report; the package
+// tests point it into a temp directory.
+var benchRouterOutput = "BENCH_router.json"
+
+// routerFleet is an in-process serving fleet: N replicas, each with an HTTP
+// and a framed-TCP listener, fronted by one Router.
+type routerFleet struct {
+	replicas []*fleetReplica
+	router   *router.Router
+	hs       *http.Server
+	url      string
+}
+
+type fleetReplica struct {
+	server  *serve.Server
+	hs      *http.Server
+	httpLN  net.Listener
+	fleetLN net.Listener
+	url     string
+}
+
+// kill closes the replica's listeners without draining — a process crash, as
+// far as the router can tell.
+func (r *fleetReplica) kill() {
+	r.fleetLN.Close()
+	r.hs.Close()
+}
+
+func (r *fleetReplica) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	r.fleetLN.Close()
+	r.server.Drain(ctx)
+	r.hs.Shutdown(ctx)
+}
+
+func (f *routerFleet) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f.hs.Shutdown(ctx)
+	f.router.Close()
+	for _, r := range f.replicas {
+		r.stop()
+	}
+}
+
+func startFleetReplica(build func() (*layers.Network, error), T int, queueDepth int, workers, maxBatch int, window time.Duration, weights string, seed uint64) (*fleetReplica, error) {
+	s, err := serve.NewServer(serve.Config{
+		Build:       build,
+		T:           T,
+		EarlyExit:   true,
+		MaxBatch:    maxBatch,
+		Workers:     workers,
+		QueueDepth:  queueDepth,
+		BatchWindow: window,
+		EncodeSeed:  seed,
+	}, weights)
+	if err != nil {
+		return nil, err
+	}
+	httpLN, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fleetLN, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		httpLN.Close()
+		return nil, err
+	}
+	r := &fleetReplica{
+		server:  s,
+		hs:      &http.Server{Handler: s.Handler()},
+		httpLN:  httpLN,
+		fleetLN: fleetLN,
+		url:     "http://" + httpLN.Addr().String(),
+	}
+	go r.hs.Serve(httpLN)
+	go s.ServeFleet(fleetLN)
+	return r, nil
+}
+
+func startFleet(n int, build func() (*layers.Network, error), T, queueDepth, workers, maxBatch int, window time.Duration, weights string, seed uint64, classes []router.ClassConfig) (*routerFleet, error) {
+	f := &routerFleet{}
+	specs := make([]router.BackendSpec, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := startFleetReplica(build, T, queueDepth, workers, maxBatch, window, weights, seed)
+		if err != nil {
+			f.stopReplicas()
+			return nil, err
+		}
+		f.replicas = append(f.replicas, r)
+		specs = append(specs, router.BackendSpec{URL: r.url, FleetAddr: r.fleetLN.Addr().String()})
+	}
+	rt, err := router.New(router.Config{
+		Backends:          specs,
+		HeartbeatInterval: 25 * time.Millisecond,
+		DeadAfter:         2,
+		Classes:           classes,
+		CanaryMinRequests: 20,
+	})
+	if err != nil {
+		f.stopReplicas()
+		return nil, err
+	}
+	f.router = rt
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		f.stopReplicas()
+		return nil, err
+	}
+	f.hs = &http.Server{Handler: rt.Handler()}
+	go f.hs.Serve(ln)
+	f.url = "http://" + ln.Addr().String()
+	return f, nil
+}
+
+func (f *routerFleet) stopReplicas() {
+	for _, r := range f.replicas {
+		r.stop()
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "bench_router",
+		Title: "Serving-fleet router: scaling, replica-kill tail, canary promote, shed tiers",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			soak := map[Scale]time.Duration{Tiny: 400 * time.Millisecond, Small: 3 * time.Second, Full: 15 * time.Second}[cfg.Scale]
+			qps := map[Scale]float64{Tiny: 120, Small: 200, Full: 400}[cfg.Scale]
+			const model, T, maxBatch, workers = "customnet", 24, 8, 2
+			build := func() (*layers.Network, error) {
+				return models.Build(model, models.Options{
+					Width: 0.25, Classes: 4, InShape: []int{2, 8, 8},
+				})
+			}
+			fmt.Fprintf(out, "== bench_router: fleet routing under scaling, failure, canary, and overload ==\n")
+			fmt.Fprintf(out, "   workload: %s  T=%d max-batch=%d workers=%d soak=%s qps=%.0f\n",
+				model, T, maxBatch, workers, soak, qps)
+
+			rep := routerBenchReport{Scale: cfg.Scale.String(), Model: model, T: T, Heartbeat: "25ms"}
+
+			// The canary scenario needs checkpoint-backed replicas (a
+			// fresh-init model has nothing to roll back to), so both model
+			// generations are written up front.
+			tmp, err := os.MkdirTemp("", "bench_router")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			basePath := filepath.Join(tmp, "base.skpw")
+			v2Path := filepath.Join(tmp, "v2.skpw")
+			for _, p := range []string{basePath, v2Path} {
+				net0, err := build()
+				if err != nil {
+					return err
+				}
+				if err := serialize.SaveFile(p, net0); err != nil {
+					return err
+				}
+			}
+
+			// 1. Steady state: open-loop soak vs fleet size.
+			fmt.Fprintf(out, "%10s %10s %10s %10s %8s\n", "replicas", "p50", "p99", "qps", "failed")
+			for _, n := range []int{1, 2, 4} {
+				fl, err := startFleet(n, build, T, 256, workers, maxBatch, 0, basePath, cfg.seed(), nil)
+				if err != nil {
+					return err
+				}
+				r, lgErr := serve.RunLoadGen(fl.url, serve.LoadGenOptions{
+					OpenLoop:  true,
+					TargetQPS: qps,
+					Duration:  soak,
+					Seed:      cfg.seed(),
+					Sessions:  64,
+				})
+				fl.stop()
+				if lgErr != nil {
+					return lgErr
+				}
+				failed := r.Requests - r.DroppedByHarness - r.OK
+				fmt.Fprintf(out, "%10d %9.2fms %9.2fms %10.0f %8d\n", n, r.LatencyP50MS, r.LatencyP99MS, r.QPS, failed)
+				if failed > 0 {
+					return fmt.Errorf("bench_router: %d failed requests at steady state with %d replicas: %v", failed, n, r.StatusCodes)
+				}
+				rep.Steady = append(rep.Steady, routerSteadyRow{Replicas: n, Report: r})
+			}
+
+			// 2. Replica kill mid-soak: the ring remaps only the vacated arcs
+			// and failover absorbs the in-flight hits — zero client-visible
+			// failures is the acceptance bar.
+			fl, err := startFleet(3, build, T, 256, workers, maxBatch, 0, basePath, cfg.seed(), nil)
+			if err != nil {
+				return err
+			}
+			killTimer := time.AfterFunc(soak/3, func() { fl.replicas[1].kill() })
+			killRep, lgErr := serve.RunLoadGen(fl.url, serve.LoadGenOptions{
+				OpenLoop:  true,
+				TargetQPS: qps,
+				Duration:  soak,
+				Seed:      cfg.seed() + 1,
+				Sessions:  64,
+			})
+			killTimer.Stop()
+			fl.stop()
+			if lgErr != nil {
+				return lgErr
+			}
+			killFailed := killRep.Requests - killRep.DroppedByHarness - killRep.OK
+			fmt.Fprintf(out, "%10s %9.2fms %9.2fms %10.0f %8d\n", "kill(3→2)", killRep.LatencyP50MS, killRep.LatencyP99MS, killRep.QPS, killFailed)
+			if killFailed > 0 {
+				return fmt.Errorf("bench_router: %d failed requests during the replica kill: %v", killFailed, killRep.StatusCodes)
+			}
+			rep.DuringKill = killRep
+
+			// 3. Canary promote under load: start a canary at 25%, keep the
+			// soak running across auto-promotion, and require zero failures
+			// through the whole swap.
+			fl, err = startFleet(3, build, T, 256, workers, maxBatch, 0, basePath, cfg.seed(), nil)
+			if err != nil {
+				return err
+			}
+			canaryTimer := time.AfterFunc(soak/4, func() {
+				client := &http.Client{Timeout: 10 * time.Second}
+				body, _ := json.Marshal(map[string]any{"path": v2Path, "fraction": 0.25})
+				resp, err := client.Post(fl.url+"/v1/canary", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			})
+			canaryRep, lgErr := serve.RunLoadGen(fl.url, serve.LoadGenOptions{
+				OpenLoop:  true,
+				TargetQPS: qps,
+				Duration:  3 * soak, // long enough for the cohort to reach CanaryMinRequests
+				Seed:      cfg.seed() + 2,
+				Sessions:  64,
+			})
+			canaryTimer.Stop()
+			canarySt := fetchCanaryStatus(fl.url)
+			fl.stop()
+			if lgErr != nil {
+				return lgErr
+			}
+			canaryFailed := canaryRep.Requests - canaryRep.DroppedByHarness - canaryRep.OK
+			fmt.Fprintf(out, "%10s %9.2fms %9.2fms %10.0f %8d  promotions=%d rollbacks=%d\n",
+				"canary", canaryRep.LatencyP50MS, canaryRep.LatencyP99MS, canaryRep.QPS, canaryFailed,
+				canarySt.Promotions, canarySt.Rollbacks)
+			if canaryFailed > 0 {
+				return fmt.Errorf("bench_router: %d failed requests across the canary swap: %v", canaryFailed, canaryRep.StatusCodes)
+			}
+			if canarySt.Promotions != 1 || canarySt.Rollbacks != 0 {
+				return fmt.Errorf("bench_router: canary promotions=%d rollbacks=%d, want 1/0 (%+v)",
+					canarySt.Promotions, canarySt.Rollbacks, canarySt)
+			}
+			rep.Canary = routerCanaryRow{Report: canaryRep, Promotions: canarySt.Promotions, Rollbacks: canarySt.Rollbacks}
+
+			// 4. Overload shed tiers: one deliberately tiny replica (a wide
+			// batch window inflates its service time so the fleet saturates
+			// at modest QPS), two classes offered together past its capacity.
+			// The full-horizon bulk tier sheds first; the early-exit
+			// interactive tier keeps completing — the degradation order the
+			// admission tiers exist for.
+			fl, err = startFleet(1, build, T, 4, 1, 8, 25*time.Millisecond, basePath, cfg.seed(), []router.ClassConfig{
+				{Name: "interactive", Tier: 0, BudgetMS: 250},
+				{Name: "bulk", Tier: 2, FullHorizon: true, ShedAtLoad: 0.25},
+			})
+			if err != nil {
+				return err
+			}
+			var wg sync.WaitGroup
+			var iRep, bRep serve.LoadGenReport
+			var iErr, bErr error
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				iRep, iErr = serve.RunLoadGen(fl.url, serve.LoadGenOptions{
+					OpenLoop: true, TargetQPS: qps, Duration: soak,
+					Seed: cfg.seed() + 3, Sessions: 32, Class: "interactive",
+				})
+			}()
+			go func() {
+				defer wg.Done()
+				bRep, bErr = serve.RunLoadGen(fl.url, serve.LoadGenOptions{
+					OpenLoop: true, TargetQPS: qps, Duration: soak,
+					Seed: cfg.seed() + 4, Sessions: 32, Class: "bulk",
+				})
+			}()
+			wg.Wait()
+			iShed := fl.router.Metrics().ShedCount("interactive", "load_shed")
+			bShed := fl.router.Metrics().ShedCount("bulk", "load_shed")
+			fl.stop()
+			if iErr != nil {
+				return iErr
+			}
+			if bErr != nil {
+				return bErr
+			}
+			fmt.Fprintf(out, "   overload: interactive ok=%d shed=%d | bulk ok=%d shed=%d\n",
+				iRep.OK, iShed, bRep.OK, bShed)
+			if bShed == 0 {
+				return fmt.Errorf("bench_router: bulk class was never shed at overload (codes %v)", bRep.StatusCodes)
+			}
+			if iRep.OK == 0 {
+				return fmt.Errorf("bench_router: interactive class starved at overload (codes %v)", iRep.StatusCodes)
+			}
+			if iShed >= bShed {
+				return fmt.Errorf("bench_router: interactive shed %d >= bulk shed %d; tiers did not order the degradation", iShed, bShed)
+			}
+			rep.Overload = routerOverloadRow{
+				Interactive: iRep, Bulk: bRep,
+				InteractiveShed: iShed, BulkShed: bShed,
+			}
+
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchRouterOutput, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "   report written to %s\n", benchRouterOutput)
+			return nil
+		},
+	})
+}
+
+func fetchCanaryStatus(routerURL string) router.CanaryStatus {
+	var info struct {
+		Canary router.CanaryStatus `json:"canary"`
+	}
+	resp, err := http.Get(routerURL + "/v1/fleet")
+	if err != nil {
+		return info.Canary
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(resp.Body).Decode(&info)
+	return info.Canary
+}

@@ -54,6 +54,20 @@ const (
 // re-synchronized after it.
 var ErrBadFrame = errors.New("dist: bad frame")
 
+// WriteFrame exposes the CRC-framed envelope to other subsystems — the
+// serving fleet's router↔replica data path (internal/router, internal/serve)
+// reuses it so both wire protocols share one hardened codec. Callers own
+// their type-byte namespace; the envelope does not interpret typ.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	return writeFrame(w, typ, payload)
+}
+
+// ReadFrame is the exported counterpart of WriteFrame. A returned ErrBadFrame
+// is permanent: the stream cannot be re-synchronized after it.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	return readFrame(r)
+}
+
 // writeFrame sends one message as
 //
 //	magic "SKPF" | type u8 | payload len u32 | payload | crc32 (IEEE)

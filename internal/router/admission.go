@@ -1,0 +1,167 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// ClassConfig declares one admission class: a tier in the shed order, an
+// optional token-bucket rate cap, a latency budget for the SLO controller,
+// and whether the class runs the full horizon. The defaults model the
+// serving story the paper's early exit opens up: interactive traffic rides
+// the early exit and is protected, bulk traffic runs every timestep and is
+// the first to go when the fleet saturates — replacing the single 429 cliff
+// with tiers that degrade the expensive work first.
+type ClassConfig struct {
+	Name string `json:"name"`
+	// Tier is the shed order: higher tiers shed first. Tier 0 sheds only
+	// when the fleet is at hard capacity.
+	Tier int `json:"tier"`
+	// RatePerSec caps the class's admitted request rate (token bucket).
+	// Zero means uncapped.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth; zero with a rate means 2·RatePerSec.
+	Burst float64 `json:"burst,omitempty"`
+	// BudgetMS is the class's latency SLO; the router tunes the early-exit
+	// margin against it and forwards it as the request budget when the
+	// request carries none. Zero means no budget.
+	BudgetMS int `json:"budget_ms,omitempty"`
+	// FullHorizon forces EarlyExit off for the class's requests.
+	FullHorizon bool `json:"full_horizon,omitempty"`
+	// ShedAtLoad is the fleet load factor (in-flight over capacity) above
+	// which this class is shed. Zero derives it from Tier: 1 − 0.15·Tier,
+	// floored at 0.4.
+	ShedAtLoad float64 `json:"shed_at_load,omitempty"`
+}
+
+func (c ClassConfig) shedAt() float64 {
+	if c.ShedAtLoad > 0 {
+		return c.ShedAtLoad
+	}
+	v := 1 - 0.15*float64(c.Tier)
+	if v < 0.4 {
+		v = 0.4
+	}
+	return v
+}
+
+// DefaultClasses is the admission configuration used when a Router's Config
+// names none: protected interactive traffic on the early exit, a standard
+// default tier, and full-horizon bulk work shed first under load.
+func DefaultClasses() []ClassConfig {
+	return []ClassConfig{
+		{Name: "interactive", Tier: 0, BudgetMS: 250},
+		{Name: "standard", Tier: 1, BudgetMS: 1000},
+		{Name: "bulk", Tier: 2, FullHorizon: true},
+	}
+}
+
+// Shed reasons for the router's shed counter.
+const (
+	shedReasonLoad     = "load_shed"
+	shedReasonRate     = "rate_limit"
+	shedReasonNoFleet  = "no_backends"
+	shedReasonCapacity = "backend_shed" // a backend answered 429/503 after failover
+)
+
+// classState is one class's runtime state: its token bucket and SLO
+// controller.
+type classState struct {
+	cfg    ClassConfig
+	tokens float64
+	last   time.Time
+	slo    *sloController
+}
+
+// admission is the tiered admission controller. All methods are safe for
+// concurrent use.
+type admission struct {
+	mu           sync.Mutex
+	classes      map[string]*classState
+	defaultClass string
+	now          func() time.Time // seam for deterministic tests
+}
+
+func newAdmission(classes []ClassConfig, defaultClass string, now func() time.Time) *admission {
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	if now == nil {
+		now = time.Now
+	}
+	a := &admission{classes: map[string]*classState{}, defaultClass: defaultClass, now: now}
+	for _, c := range classes {
+		cs := &classState{cfg: c, last: now()}
+		if c.RatePerSec > 0 {
+			burst := c.Burst
+			if burst <= 0 {
+				burst = 2 * c.RatePerSec
+			}
+			cs.cfg.Burst = burst
+			cs.tokens = burst
+		}
+		if c.BudgetMS > 0 && !c.FullHorizon {
+			cs.slo = newSLOController(float64(c.BudgetMS))
+		}
+		a.classes[c.Name] = cs
+	}
+	if _, ok := a.classes[a.defaultClass]; !ok {
+		// The default class must exist; fall back to the lexically first
+		// configured class.
+		a.defaultClass = ""
+		for name := range a.classes {
+			if a.defaultClass == "" || name < a.defaultClass {
+				a.defaultClass = name
+			}
+		}
+	}
+	return a
+}
+
+// resolve maps a request's class label to its state, falling back to the
+// default class for unknown or empty labels (an open fleet cannot 400 every
+// request whose client predates a class rename).
+func (a *admission) resolve(name string) *classState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cs, ok := a.classes[name]; ok {
+		return cs
+	}
+	return a.classes[a.defaultClass]
+}
+
+// admit decides one request: "" to admit, else the shed reason. load is the
+// fleet's current load factor (in-flight over capacity).
+func (a *admission) admit(cs *classState, load float64) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if load >= cs.cfg.shedAt() {
+		return shedReasonLoad
+	}
+	if cs.cfg.RatePerSec > 0 {
+		now := a.now()
+		cs.tokens += now.Sub(cs.last).Seconds() * cs.cfg.RatePerSec
+		cs.last = now
+		if cs.tokens > cs.cfg.Burst {
+			cs.tokens = cs.cfg.Burst
+		}
+		if cs.tokens < 1 {
+			return shedReasonRate
+		}
+		cs.tokens--
+	}
+	return ""
+}
+
+// classNames returns the configured class names, sorted for stable metrics
+// rendering.
+func (a *admission) classNames() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.classes))
+	for name := range a.classes {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}

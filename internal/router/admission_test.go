@@ -1,0 +1,125 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"skipper/internal/core"
+)
+
+// fakeClock drives the token buckets deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := newAdmission([]ClassConfig{
+		{Name: "bulk", Tier: 2, RatePerSec: 10, Burst: 2},
+	}, "bulk", clk.now)
+	cs := a.resolve("bulk")
+
+	if r := a.admit(cs, 0); r != "" {
+		t.Fatalf("first admit: %q", r)
+	}
+	if r := a.admit(cs, 0); r != "" {
+		t.Fatalf("second admit (burst): %q", r)
+	}
+	if r := a.admit(cs, 0); r != shedReasonRate {
+		t.Fatalf("third admit = %q, want %q", r, shedReasonRate)
+	}
+	clk.advance(100 * time.Millisecond) // refills exactly one token at 10/s
+	if r := a.admit(cs, 0); r != "" {
+		t.Fatalf("admit after refill: %q", r)
+	}
+	if r := a.admit(cs, 0); r != shedReasonRate {
+		t.Fatalf("bucket should be empty again, got %q", r)
+	}
+}
+
+func TestAdmissionTierShedOrder(t *testing.T) {
+	a := newAdmission(DefaultClasses(), "standard", nil)
+	interactive := a.resolve("interactive") // tier 0: sheds at 1.0
+	standard := a.resolve("standard")       // tier 1: sheds at 0.85
+	bulk := a.resolve("bulk")               // tier 2: sheds at 0.70
+
+	// Moderate load: only bulk sheds.
+	if r := a.admit(bulk, 0.75); r != shedReasonLoad {
+		t.Fatalf("bulk at load 0.75 = %q, want %q", r, shedReasonLoad)
+	}
+	if r := a.admit(standard, 0.75); r != "" {
+		t.Fatalf("standard at load 0.75 = %q, want admit", r)
+	}
+	if r := a.admit(interactive, 0.75); r != "" {
+		t.Fatalf("interactive at load 0.75 = %q, want admit", r)
+	}
+	// Heavy load: standard goes too, interactive survives. This is the
+	// paper-informed ordering — full-horizon work (every timestep) sheds
+	// before early-exit traffic that finishes in a fraction of the steps.
+	if r := a.admit(standard, 0.9); r != shedReasonLoad {
+		t.Fatalf("standard at load 0.9 = %q, want %q", r, shedReasonLoad)
+	}
+	if r := a.admit(interactive, 0.9); r != "" {
+		t.Fatalf("interactive at load 0.9 = %q, want admit", r)
+	}
+	// Hard saturation: everyone sheds.
+	if r := a.admit(interactive, 1.0); r != shedReasonLoad {
+		t.Fatalf("interactive at load 1.0 = %q, want %q", r, shedReasonLoad)
+	}
+}
+
+func TestAdmissionResolveFallsBack(t *testing.T) {
+	a := newAdmission(DefaultClasses(), "standard", nil)
+	if cs := a.resolve(""); cs.cfg.Name != "standard" {
+		t.Fatalf("empty class resolved to %q", cs.cfg.Name)
+	}
+	if cs := a.resolve("no-such-class"); cs.cfg.Name != "standard" {
+		t.Fatalf("unknown class resolved to %q", cs.cfg.Name)
+	}
+	// A config that misnames the default still yields a working admission.
+	b := newAdmission([]ClassConfig{{Name: "only", Tier: 0}}, "missing", nil)
+	if cs := b.resolve("anything"); cs == nil || cs.cfg.Name != "only" {
+		t.Fatal("fallback default class not wired")
+	}
+}
+
+func TestSLOControllerWalksMargin(t *testing.T) {
+	s := newSLOController(100) // 100ms budget
+	start := s.exitMargin()
+	if start != core.DefaultExitMargin {
+		t.Fatalf("initial margin %v, want server default %v", start, core.DefaultExitMargin)
+	}
+	// Sustained p99 over budget: the margin must fall (exit earlier).
+	for i := 0; i < 4*adjustEvery; i++ {
+		s.observe(250)
+	}
+	lowered := s.exitMargin()
+	if lowered >= start {
+		t.Fatalf("margin %v did not drop under sustained overload (start %v)", lowered, start)
+	}
+	// Sustained p99 far under budget: the margin climbs back.
+	for i := 0; i < 20*adjustEvery; i++ {
+		s.observe(10)
+	}
+	raised := s.exitMargin()
+	if raised <= lowered {
+		t.Fatalf("margin %v did not recover from %v with latency headroom", raised, lowered)
+	}
+	if raised > maxMargin || raised < minMargin {
+		t.Fatalf("margin %v escaped [%v, %v]", raised, minMargin, maxMargin)
+	}
+	// Clamps hold under extreme pressure.
+	for i := 0; i < 100*adjustEvery; i++ {
+		s.observe(10_000)
+	}
+	if m := s.exitMargin(); m != minMargin {
+		t.Fatalf("margin %v, want clamp at %v", m, minMargin)
+	}
+	// Nil controller is inert and answers the zero sentinel.
+	var nilC *sloController
+	nilC.observe(5)
+	if nilC.exitMargin() != 0 || nilC.p99() != 0 {
+		t.Fatal("nil controller must answer zeros")
+	}
+}

@@ -1,0 +1,246 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"skipper/internal/stats"
+)
+
+// registry is the multi-model canary controller: it tracks which model
+// generation each backend serves (fed by heartbeats) and runs at most one
+// canary at a time — a fraction of sessions steered onto one reloaded
+// backend, scored against the stable cohort, then promoted to the whole
+// fleet or rolled back. Hot-reload was already safe per process
+// (validate-before-swap in serve.Model); the registry is what makes it
+// fleet-safe: a bad checkpoint reaches one replica and a sliver of sessions,
+// never the whole fleet at once.
+type registry struct {
+	mu sync.Mutex
+
+	run *canaryRun
+
+	// Promotion criteria.
+	minRequests  int     // canary cohort size before a promote is considered
+	maxErrDelta  float64 // canary error rate may exceed baseline by at most this before promote
+	rollbackErr  float64 // absolute canary 5xx rate that triggers immediate rollback
+	latencySlack float64 // canary p99 may exceed baseline p99 by this factor
+
+	promotions int64
+	rollbacks  int64
+	history    []CanaryEvent
+}
+
+// canaryRun is one in-flight canary.
+type canaryRun struct {
+	Path      string
+	Fraction  float64
+	BackendID string
+	PrevPath  string // checkpoint to restore on rollback
+	StartedAt time.Time
+
+	base cohortStats // stable backends during the run
+	can  cohortStats // the canary backend
+}
+
+// cohortStats scores one side of the canary split.
+type cohortStats struct {
+	requests int64
+	errors   int64 // 5xx responses
+	latency  *stats.Window
+}
+
+func newCohortStats() cohortStats {
+	return cohortStats{latency: stats.NewWindow(sloWindow)}
+}
+
+func (c *cohortStats) observe(code int, latencyMS float64) {
+	c.requests++
+	if code >= 500 {
+		c.errors++
+	}
+	c.latency.Observe(latencyMS)
+}
+
+func (c *cohortStats) errRate() float64 {
+	if c.requests == 0 {
+		return 0
+	}
+	return float64(c.errors) / float64(c.requests)
+}
+
+// CanaryEvent is one lifecycle transition, kept for /v1/fleet.
+type CanaryEvent struct {
+	Time   string `json:"time"`
+	Action string `json:"action"` // started | promoted | rolled_back | promote_failed
+	Path   string `json:"path"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// CanaryStatus is the /v1/fleet JSON view of the registry.
+type CanaryStatus struct {
+	Active      bool          `json:"active"`
+	Path        string        `json:"path,omitempty"`
+	Fraction    float64       `json:"fraction,omitempty"`
+	Backend     string        `json:"backend,omitempty"`
+	Requests    int64         `json:"canary_requests,omitempty"`
+	ErrRate     float64       `json:"canary_error_rate,omitempty"`
+	BaseErrRate float64       `json:"baseline_error_rate,omitempty"`
+	Promotions  int64         `json:"promotions"`
+	Rollbacks   int64         `json:"rollbacks"`
+	History     []CanaryEvent `json:"history,omitempty"`
+}
+
+func newRegistry(minRequests int) *registry {
+	if minRequests <= 0 {
+		minRequests = 50
+	}
+	return &registry{
+		minRequests:  minRequests,
+		maxErrDelta:  0.01,
+		rollbackErr:  0.05,
+		latencySlack: 1.5,
+	}
+}
+
+// start begins a canary. The caller (Router) has already taken the backend
+// out of the main ring and reloaded it.
+func (r *registry) start(path string, fraction float64, backendID, prevPath string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.run = &canaryRun{
+		Path: path, Fraction: fraction, BackendID: backendID, PrevPath: prevPath,
+		StartedAt: time.Now(),
+		base:      newCohortStats(),
+		can:       newCohortStats(),
+	}
+	r.event("started", path, fmt.Sprintf("fraction %.3f on %s", fraction, backendID))
+}
+
+// active returns the running canary's (backendID, fraction), or ("", 0).
+func (r *registry) active() (string, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.run == nil {
+		return "", 0
+	}
+	return r.run.BackendID, r.run.Fraction
+}
+
+// observe scores one routed response against the canary cohorts.
+func (r *registry) observe(backendID string, code int, latencyMS float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.run == nil {
+		return
+	}
+	if backendID == r.run.BackendID {
+		r.run.can.observe(code, latencyMS)
+	} else {
+		r.run.base.observe(code, latencyMS)
+	}
+}
+
+// evaluate returns the pending decision for the running canary: "promote",
+// "rollback", or "". The reason string explains it for the event log.
+//
+// Rollback triggers on elevated 5xx with only a small sample — a canary that
+// errors is pulled fast. Promote waits for minRequests canary responses and
+// requires the canary's error rate within maxErrDelta of baseline and its
+// p99 within latencySlack of baseline p99 — healthy deltas, not perfection,
+// because two cohorts of a stochastic workload never match exactly.
+func (r *registry) evaluate() (string, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.run == nil {
+		return "", ""
+	}
+	can, base := &r.run.can, &r.run.base
+	if can.requests >= 8 {
+		if e := can.errRate(); e > r.rollbackErr && e > base.errRate()+r.maxErrDelta {
+			return "rollback", fmt.Sprintf("canary 5xx rate %.1f%% vs baseline %.1f%%", 100*e, 100*base.errRate())
+		}
+	}
+	if can.requests < int64(r.minRequests) {
+		return "", ""
+	}
+	if e, be := can.errRate(), base.errRate(); e > be+r.maxErrDelta {
+		return "rollback", fmt.Sprintf("canary error rate %.2f%% exceeds baseline %.2f%% past delta", 100*e, 100*be)
+	}
+	basep99 := base.latency.Percentile(99)
+	canp99 := can.latency.Percentile(99)
+	if base.requests >= 8 && basep99 > 0 && canp99 > r.latencySlack*basep99 {
+		return "rollback", fmt.Sprintf("canary p99 %.1fms vs baseline %.1fms exceeds %.1fx slack", canp99, basep99, r.latencySlack)
+	}
+	return "promote", fmt.Sprintf("%d canary requests, err %.2f%% vs %.2f%%, p99 %.1fms vs %.1fms",
+		can.requests, 100*can.errRate(), 100*base.errRate(), canp99, basep99)
+}
+
+// snapshotRun returns a copy of the running canary (for the Router's
+// promote/rollback executors), or nil.
+func (r *registry) snapshotRun() *canaryRun {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.run == nil {
+		return nil
+	}
+	cp := *r.run
+	return &cp
+}
+
+// finish closes the run with a terminal action ("promoted"/"rolled_back").
+func (r *registry) finish(action, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.run == nil {
+		return
+	}
+	switch action {
+	case "promoted":
+		r.promotions++
+	case "rolled_back":
+		r.rollbacks++
+	}
+	r.event(action, r.run.Path, reason)
+	r.run = nil
+}
+
+// note records a non-terminal event (e.g. a failed promote reload that will
+// be retried).
+func (r *registry) note(action, path, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.event(action, path, reason)
+}
+
+func (r *registry) event(action, path, reason string) {
+	r.history = append(r.history, CanaryEvent{
+		Time: time.Now().UTC().Format(time.RFC3339Nano), Action: action, Path: path, Reason: reason,
+	})
+	if len(r.history) > 64 {
+		r.history = r.history[len(r.history)-64:]
+	}
+}
+
+func (r *registry) status() CanaryStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := CanaryStatus{Promotions: r.promotions, Rollbacks: r.rollbacks, History: append([]CanaryEvent(nil), r.history...)}
+	if r.run != nil {
+		st.Active = true
+		st.Path = r.run.Path
+		st.Fraction = r.run.Fraction
+		st.Backend = r.run.BackendID
+		st.Requests = r.run.can.requests
+		st.ErrRate = r.run.can.errRate()
+		st.BaseErrRate = r.run.base.errRate()
+	}
+	return st
+}
+
+func (r *registry) counts() (promotions, rollbacks int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.promotions, r.rollbacks
+}

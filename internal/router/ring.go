@@ -1,0 +1,133 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over backend ids with virtual nodes. Each
+// backend owns vnodes points on a 64-bit circle; a key is served by the
+// first point clockwise from its hash. The property the fleet leans on:
+// removing a backend vacates only that backend's arcs — every key it did not
+// own keeps its owner, so a replica death remaps exactly the sessions that
+// were on the dead replica and no others (pinned by TestRingRemapsOnlyVacatedArcs).
+//
+// Not safe for concurrent use; the Router guards it with its own lock.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// backend (vnodes <= 0 means 64; more vnodes = smoother key spread at the
+// cost of a larger sort).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]bool{}}
+}
+
+// ringHash is FNV-1a with a murmur-style 64-bit finalizer. Raw FNV-1a is not
+// enough here: for short keys that differ only in a trailing counter
+// ("session-0", "session-1", ...) the high bits barely move, which clumps
+// ring points and — worse — collapses the canary hash-fraction axis (a 5%
+// fraction could select 0% or 40% of real session-id populations). The
+// finalizer avalanches every input bit across the word.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Add inserts a backend's virtual nodes. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a backend's virtual nodes. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Has reports ring membership.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Len returns the number of member backends.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the member backends in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the backend owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Successors returns up to n distinct backends in arc order starting at
+// key's owner — the failover preference list: if the owner cannot take the
+// request, the next arc's backend is the consistent second choice (every
+// router instance computes the same list, so failover placement is stable
+// across a fleet of routers too).
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{}
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

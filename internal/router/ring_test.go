@@ -1,0 +1,138 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingRemapsOnlyVacatedArcs(t *testing.T) {
+	r := NewRing(64)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 2000
+	before := map[string]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("session-%d", i)
+		before[k] = r.Lookup(k)
+	}
+	r.Remove("b")
+	moved, fromB := 0, 0
+	for k, owner := range before {
+		now := r.Lookup(k)
+		if now == "b" {
+			t.Fatalf("key %s still maps to removed node", k)
+		}
+		if now != owner {
+			moved++
+			if owner != "b" {
+				t.Fatalf("key %s moved from surviving node %s to %s", k, owner, now)
+			}
+		}
+		if owner == "b" {
+			fromB++
+		}
+	}
+	if moved != fromB {
+		t.Fatalf("moved %d keys but only %d were on the removed node", moved, fromB)
+	}
+	if fromB == 0 {
+		t.Fatal("test vacuous: no keys were on node b")
+	}
+
+	// Re-adding restores exactly the old mapping (hash positions are pure
+	// functions of the node name).
+	r.Add("b")
+	for k, owner := range before {
+		if got := r.Lookup(k); got != owner {
+			t.Fatalf("after re-add, key %s maps to %s, want %s", k, got, owner)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("s%d", i))]++
+	}
+	for node, c := range counts {
+		// With 64 vnodes the spread is coarse but every node must carry a
+		// real share: at least a third of its fair 25%.
+		if c < keys/12 {
+			t.Fatalf("node %s owns only %d of %d keys", node, c, keys)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes own keys", len(counts))
+	}
+}
+
+// Real session-id populations are short strings differing only in a trailing
+// counter — exactly the shape raw FNV-1a fails to avalanche. The hash must
+// stay uniform on such keys or canary fractions and ring balance both break.
+func TestRingHashUniformOnSequentialKeys(t *testing.T) {
+	const keys = 2000
+	buckets := make([]int, 10)
+	for i := 0; i < keys; i++ {
+		f := hashFraction(fmt.Sprintf("session-%d", i))
+		if f < 0 || f >= 1 {
+			t.Fatalf("hashFraction out of range: %v", f)
+		}
+		buckets[int(f*10)]++
+	}
+	for d, c := range buckets {
+		// Fair share is 200 per decile; allow a wide 2x band — the failure
+		// mode this pins is total collapse (deciles with 0%), not jitter.
+		if c < keys/20 || c > keys/5*2 {
+			t.Fatalf("decile %d holds %d of %d keys (want ~%d)", d, c, keys, keys/10)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndStable(t *testing.T) {
+	r := NewRing(32)
+	for _, n := range []string{"x", "y", "z"} {
+		r.Add(n)
+	}
+	succ := r.Successors("some-session", 3)
+	if len(succ) != 3 {
+		t.Fatalf("successors: %v", succ)
+	}
+	seen := map[string]bool{}
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("duplicate successor %s in %v", s, succ)
+		}
+		seen[s] = true
+	}
+	again := r.Successors("some-session", 3)
+	for i := range succ {
+		if succ[i] != again[i] {
+			t.Fatalf("successor order unstable: %v vs %v", succ, again)
+		}
+	}
+	if r.Lookup("some-session") != succ[0] {
+		t.Fatal("Lookup must equal first successor")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if r.Lookup("k") != "" {
+		t.Fatal("empty ring must return no owner")
+	}
+	r.Add("only")
+	if r.Lookup("k") != "only" {
+		t.Fatal("single-node ring must own everything")
+	}
+	r.Remove("only")
+	if r.Lookup("k") != "" || r.Len() != 0 {
+		t.Fatal("ring not empty after removing the only node")
+	}
+}

@@ -1,0 +1,441 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skipper/internal/serve"
+)
+
+// fakeReplica is a controllable stand-in for one skipper-serve process: it
+// implements the slice of the HTTP surface the router touches (/readyz,
+// /v1/config, /v1/infer, /v1/reload) with injectable model paths, failure
+// modes, and latency. Fault-path tests kill it by closing the httptest
+// server — indistinguishable from a crashed process from the router's side.
+type fakeReplica struct {
+	srv *httptest.Server
+
+	mu        sync.Mutex
+	modelPath string
+	version   uint64
+	// failOnPath makes /v1/infer return 500 while the replica serves this
+	// checkpoint path — the "bad canary generation" injection.
+	failOnPath string
+	reloads    []string
+
+	requests atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, modelPath string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{modelPath: modelPath, version: 1}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/config", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{
+			"max_batch": 8, "model_version": f.version, "model_path": f.modelPath,
+			"input_len": 4, "classes": 4, "t": 6,
+		})
+	})
+	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		f.mu.Lock()
+		bad := f.failOnPath != "" && f.modelPath == f.failOnPath
+		version := f.version
+		f.mu.Unlock()
+		if bad {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": "injected failure"})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.InferResponse{Pred: 1, ModelVersion: version, T: 6, StepsRun: 3, BatchSize: 1})
+	})
+	mux.HandleFunc("/v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Path string `json:"path"`
+		}
+		json.NewDecoder(r.Body).Decode(&body)
+		f.mu.Lock()
+		f.modelPath = body.Path
+		f.version++
+		f.reloads = append(f.reloads, body.Path)
+		version := f.version
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"version": version, "path": body.Path})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) url() string { return f.srv.URL }
+
+func (f *fakeReplica) setFailOnPath(p string) {
+	f.mu.Lock()
+	f.failOnPath = p
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) reloadHistory() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.reloads...)
+}
+
+func (f *fakeReplica) path() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.modelPath
+}
+
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		rt.Close()
+	})
+	return rt, hs
+}
+
+// routeOnce posts one request through the router and returns (code, backend
+// id from the X-Skipper-Backend header).
+func routeOnce(t *testing.T, client *http.Client, base, session, class string) (int, string) {
+	t.Helper()
+	code, backend, err := routeQuiet(client, base, session, class)
+	if err != nil {
+		t.Fatalf("POST /v1/infer: %v", err)
+	}
+	return code, backend
+}
+
+// routeQuiet is routeOnce without the test dependency, safe from soak
+// goroutines (t.Fatalf is only legal on the test goroutine).
+func routeQuiet(client *http.Client, base, session, class string) (int, string, error) {
+	body, _ := json.Marshal(map[string]any{
+		"input":   []float32{0.1, 0.2, 0.3, 0.4},
+		"session": session,
+		"class":   class,
+	})
+	resp, err := client.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var sink json.RawMessage
+	json.NewDecoder(resp.Body).Decode(&sink)
+	return resp.StatusCode, resp.Header.Get("X-Skipper-Backend"), nil
+}
+
+// TestRouterKillReplicaMidSoak is the headline fault test: three replicas, a
+// steady soak of session-keyed traffic, one replica killed mid-soak. The
+// properties pinned:
+//
+//  1. no client-visible failure — sessions on the dead replica fail over to
+//     their ring successor inside the same request;
+//  2. sessions that were NOT on the dead replica keep their backend (only
+//     vacated arcs remap);
+//  3. the ring converges (dead replica out) within the heartbeat window.
+func TestRouterKillReplicaMidSoak(t *testing.T) {
+	replicas := []*fakeReplica{
+		newFakeReplica(t, "/ckpt/a"),
+		newFakeReplica(t, "/ckpt/b"),
+		newFakeReplica(t, "/ckpt/c"),
+	}
+	specs := make([]BackendSpec, len(replicas))
+	for i, f := range replicas {
+		specs[i] = BackendSpec{URL: f.url()}
+	}
+	const hb = 25 * time.Millisecond
+	rt, hs := newTestRouter(t, Config{
+		Backends:          specs,
+		HeartbeatInterval: hb,
+		DeadAfter:         2,
+	})
+	client := hs.Client()
+
+	// Map every session to its steady-state backend first.
+	const sessions = 48
+	before := map[string]string{}
+	for i := 0; i < sessions; i++ {
+		s := fmt.Sprintf("soak-%d", i)
+		code, backend := routeOnce(t, client, hs.URL, s, "")
+		if code != http.StatusOK {
+			t.Fatalf("warmup session %s: code %d", s, code)
+		}
+		before[s] = backend
+	}
+
+	// Soak: every session keeps issuing requests while replica 1 dies.
+	victim := replicas[1]
+	victimID := victim.url()
+	var failures atomic.Int64
+	stopSoak := make(chan struct{})
+	var soakWG sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		soakWG.Add(1)
+		go func(worker int) {
+			defer soakWG.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stopSoak:
+					return
+				default:
+				}
+				s := fmt.Sprintf("soak-%d", (worker*17+n)%sessions)
+				code, _, err := routeQuiet(client, hs.URL, s, "")
+				if err != nil || code != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(4 * hb)
+	victim.srv.Close() // kill -9, as far as the router can tell
+
+	// The ring must drop the victim within the heartbeat window:
+	// DeadAfter·interval of missed beats plus one reconcile pass (transport
+	// failures on the data path fast-track it, but the bound must hold even
+	// with no traffic).
+	deadline := time.Now().Add(time.Duration(rt.cfg.DeadAfter+3) * hb * 2)
+	for {
+		rt.mu.RLock()
+		gone := !rt.ring.Has(victimID)
+		rt.mu.RUnlock()
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ring still contains the killed replica after the heartbeat window")
+		}
+		time.Sleep(hb / 4)
+	}
+
+	time.Sleep(4 * hb)
+	close(stopSoak)
+	soakWG.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d client-visible failures during the kill; failover should absorb all of them", n)
+	}
+
+	// Sessions that were on survivors keep their backend; sessions that were
+	// on the victim land on a consistent survivor.
+	for s, was := range before {
+		code, now := routeOnce(t, client, hs.URL, s, "")
+		if code != http.StatusOK {
+			t.Fatalf("session %s after kill: code %d", s, code)
+		}
+		if was != victimID && now != was {
+			t.Fatalf("session %s moved %s -> %s although its replica survived", s, was, now)
+		}
+		if was == victimID && now == victimID {
+			t.Fatalf("session %s still routed to the dead replica", s)
+		}
+	}
+	if rt.Metrics().RequestCount(http.StatusOK) == 0 {
+		t.Fatal("metrics recorded no 200s")
+	}
+}
+
+// TestRouterCanaryRollbackOnElevated5xx pins the registry's safety property:
+// a canary generation that returns elevated 5xx is rolled back — the canary
+// backend is restored to its previous checkpoint — and is never promoted to
+// the stable replicas.
+func TestRouterCanaryRollbackOnElevated5xx(t *testing.T) {
+	replicas := []*fakeReplica{
+		newFakeReplica(t, "/ckpt/base"),
+		newFakeReplica(t, "/ckpt/base"),
+		newFakeReplica(t, "/ckpt/base"),
+	}
+	specs := make([]BackendSpec, len(replicas))
+	for i, f := range replicas {
+		specs[i] = BackendSpec{URL: f.url()}
+		f.setFailOnPath("/ckpt/bad") // serving the bad generation → 500s
+	}
+	const hb = 20 * time.Millisecond
+	rt, hs := newTestRouter(t, Config{
+		Backends:          specs,
+		HeartbeatInterval: hb,
+		CanaryMinRequests: 1 << 30, // promotion unreachable; only rollback can end the run
+	})
+	client := hs.Client()
+
+	if err := rt.StartCanary("/ckpt/bad", 0.5); err != nil {
+		t.Fatalf("StartCanary: %v", err)
+	}
+	canaryID, _ := rt.registry.active()
+	if canaryID == "" {
+		t.Fatal("no active canary after StartCanary")
+	}
+
+	// Drive traffic across many sessions until the registry rolls back.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		routeOnce(t, client, hs.URL, fmt.Sprintf("cs-%d", i%256), "")
+		if _, rollbacks := rt.registry.counts(); rollbacks == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canary not rolled back; status %+v", rt.registry.status())
+		}
+	}
+
+	promotions, rollbacks := rt.registry.counts()
+	if promotions != 0 || rollbacks != 1 {
+		t.Fatalf("promotions=%d rollbacks=%d, want 0/1", promotions, rollbacks)
+	}
+	// The canary backend was restored; no stable replica ever saw the bad path.
+	for i, f := range replicas {
+		if f.url() == canaryID {
+			if got := f.path(); got != "/ckpt/base" {
+				t.Fatalf("canary backend serves %q after rollback, want /ckpt/base", got)
+			}
+			continue
+		}
+		for _, p := range f.reloadHistory() {
+			if p == "/ckpt/bad" {
+				t.Fatalf("stable replica %d was reloaded to the bad canary path", i)
+			}
+		}
+	}
+	// The canary backend rejoins the ring and the fleet settles: everything 200.
+	waitRingSize(t, rt, 3, 2*time.Second)
+	for i := 0; i < 32; i++ {
+		if code, _ := routeOnce(t, client, hs.URL, fmt.Sprintf("cs-%d", i), ""); code != http.StatusOK {
+			t.Fatalf("post-rollback request %d: code %d", i, code)
+		}
+	}
+}
+
+// TestRouterCanaryPromote drives a healthy canary to promotion: every stable
+// replica reloads to the canary checkpoint, the canary backend rejoins the
+// ring, and no request fails across the whole swap.
+func TestRouterCanaryPromote(t *testing.T) {
+	replicas := []*fakeReplica{
+		newFakeReplica(t, "/ckpt/base"),
+		newFakeReplica(t, "/ckpt/base"),
+		newFakeReplica(t, "/ckpt/base"),
+	}
+	specs := make([]BackendSpec, len(replicas))
+	for i, f := range replicas {
+		specs[i] = BackendSpec{URL: f.url()}
+	}
+	const hb = 20 * time.Millisecond
+	rt, hs := newTestRouter(t, Config{
+		Backends:          specs,
+		HeartbeatInterval: hb,
+		CanaryMinRequests: 24,
+	})
+	client := hs.Client()
+
+	if err := rt.StartCanary("/ckpt/v2", 0.5); err != nil {
+		t.Fatalf("StartCanary: %v", err)
+	}
+	var failed atomic.Int64
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		code, _ := routeOnce(t, client, hs.URL, fmt.Sprintf("ps-%d", i%128), "")
+		if code != http.StatusOK {
+			failed.Add(1)
+		}
+		if promotions, _ := rt.registry.counts(); promotions == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canary not promoted; status %+v", rt.registry.status())
+		}
+	}
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d failed requests across the canary swap, want 0", n)
+	}
+	promotions, rollbacks := rt.registry.counts()
+	if promotions != 1 || rollbacks != 0 {
+		t.Fatalf("promotions=%d rollbacks=%d, want 1/0", promotions, rollbacks)
+	}
+	for i, f := range replicas {
+		if got := f.path(); got != "/ckpt/v2" {
+			t.Fatalf("replica %d serves %q after promote, want /ckpt/v2", i, got)
+		}
+	}
+	waitRingSize(t, rt, 3, 2*time.Second)
+}
+
+// TestRouterShedsByClass pins the tier ordering end to end: a rate-capped
+// class sheds with 429 + Retry-After + a labeled shed counter while an
+// uncapped class keeps flowing.
+func TestRouterShedsByClass(t *testing.T) {
+	f := newFakeReplica(t, "/ckpt/base")
+	rt, hs := newTestRouter(t, Config{
+		Backends:          []BackendSpec{{URL: f.url()}},
+		HeartbeatInterval: 50 * time.Millisecond,
+		Classes: []ClassConfig{
+			{Name: "interactive", Tier: 0, BudgetMS: 250},
+			{Name: "bulk", Tier: 2, RatePerSec: 0.001, Burst: 1, FullHorizon: true},
+		},
+		DefaultClass: "interactive",
+	})
+	client := hs.Client()
+
+	if code, _ := routeOnce(t, client, hs.URL, "s1", "bulk"); code != http.StatusOK {
+		t.Fatalf("first bulk request: code %d, want 200", code)
+	}
+	// Bucket empty (burst 1, refill ~0): the next bulk request sheds.
+	body, _ := json.Marshal(map[string]any{"input": []float32{0.1}, "session": "s1", "class": "bulk"})
+	resp, err := client.Post(hs.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second bulk request: code %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 429 carries no Retry-After header")
+	}
+	if got := rt.Metrics().ShedCount("bulk", shedReasonRate); got != 1 {
+		t.Fatalf("ShedCount(bulk, rate_limit) = %d, want 1", got)
+	}
+	// Interactive traffic is unaffected.
+	for i := 0; i < 4; i++ {
+		if code, _ := routeOnce(t, client, hs.URL, "s2", "interactive"); code != http.StatusOK {
+			t.Fatalf("interactive request %d: code %d", i, code)
+		}
+	}
+	if got := rt.Metrics().ShedCount("interactive", shedReasonRate); got != 0 {
+		t.Fatalf("interactive was rate-shed %d times", got)
+	}
+}
+
+func waitRingSize(t *testing.T, rt *Router, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		rt.mu.RLock()
+		n := rt.ring.Len()
+		rt.mu.RUnlock()
+		if n == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring size %d, want %d", n, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,102 @@
+package router
+
+import (
+	"sort"
+	"sync"
+
+	"skipper/internal/core"
+	"skipper/internal/stats"
+)
+
+// sloController tunes one class's early-exit confidence margin against its
+// latency budget. The margin is the knob core.InferOptions.MinMargin exposes:
+// a lower margin lets the spike-activity exit rule freeze predictions sooner
+// (faster, slightly less certain), a higher margin demands more confidence
+// (slower, more accurate). Instead of the server's fixed constant, the
+// router watches each class's recent p99 and walks the margin inside
+// [minMargin, maxMargin]:
+//
+//   - p99 over budget        → margin ·= 0.75 (exit sooner, spend the
+//     accuracy headroom on latency)
+//   - p99 under half budget  → margin ·= 1.15 (latency headroom to spare,
+//     buy confidence back)
+//
+// Multiplicative steps every adjustEvery observations give a damped
+// controller that converges instead of oscillating, and the rolling window
+// (stats.Window) forgets old regimes — a reload spike stops biasing the
+// margin a few hundred requests after it passes.
+type sloController struct {
+	mu       sync.Mutex
+	budgetMS float64
+	window   *stats.Window
+	margin   float64
+	sinceAdj int
+}
+
+const (
+	sloWindow   = 256
+	adjustEvery = 32
+	minMargin   = 0.02
+	maxMargin   = 0.5
+)
+
+func newSLOController(budgetMS float64) *sloController {
+	return &sloController{
+		budgetMS: budgetMS,
+		window:   stats.NewWindow(sloWindow),
+		margin:   core.DefaultExitMargin,
+	}
+}
+
+// observe records one completed request's latency and periodically adjusts
+// the margin.
+func (s *sloController) observe(latencyMS float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.window.Observe(latencyMS)
+	s.sinceAdj++
+	if s.sinceAdj < adjustEvery {
+		return
+	}
+	s.sinceAdj = 0
+	p99 := s.window.Percentile(99)
+	switch {
+	case p99 > s.budgetMS:
+		s.margin *= 0.75
+		if s.margin < minMargin {
+			s.margin = minMargin
+		}
+	case p99 < 0.5*s.budgetMS:
+		s.margin *= 1.15
+		if s.margin > maxMargin {
+			s.margin = maxMargin
+		}
+	}
+}
+
+// exitMargin returns the current margin to forward with a request.
+func (s *sloController) exitMargin() float64 {
+	if s == nil {
+		return 0 // no controller: let the server default stand
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.margin
+}
+
+// p99 returns the recent window's 99th percentile latency in ms (metrics).
+func (s *sloController) p99() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window.Percentile(99)
+}
+
+// sortStrings is a tiny alias so admission.go doesn't import sort just for
+// one call.
+func sortStrings(xs []string) { sort.Strings(xs) }

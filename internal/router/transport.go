@@ -1,0 +1,236 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"skipper/internal/dist"
+	"skipper/internal/serve"
+)
+
+// transport moves requests and heartbeats between the router and its
+// backends. The preferred data path is the framed-TCP protocol serve.Fleet*
+// defines over dist's CRC envelope — persistent connections, no HTTP
+// parsing per request; when a backend has no fleet listener, or a framed
+// exchange fails mid-flight, the same request falls back to HTTP. One framed
+// connection carries one request at a time, so the pool holds a few
+// connections per backend instead of multiplexing.
+type transport struct {
+	client  *http.Client
+	timeout time.Duration // dial + per-exchange deadline
+
+	mu    sync.Mutex
+	pools map[string]*connPool // by fleet addr
+}
+
+func newTransport(client *http.Client, timeout time.Duration) *transport {
+	if client == nil {
+		client = &http.Client{Timeout: timeout}
+	}
+	return &transport{client: client, timeout: timeout, pools: map[string]*connPool{}}
+}
+
+// connPool is a tiny free-list of framed connections to one backend.
+type connPool struct {
+	addr string
+	mu   sync.Mutex
+	idle []net.Conn
+}
+
+func (tr *transport) pool(addr string) *connPool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	p, ok := tr.pools[addr]
+	if !ok {
+		p = &connPool{addr: addr}
+		tr.pools[addr] = p
+	}
+	return p
+}
+
+func (p *connPool) get(timeout time.Duration) (net.Conn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return net.DialTimeout("tcp", p.addr, timeout)
+}
+
+func (p *connPool) put(c net.Conn) {
+	p.mu.Lock()
+	if len(p.idle) < 8 {
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// closeAll drops every pooled connection (shutdown).
+func (tr *transport) closeAll() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, p := range tr.pools {
+		p.mu.Lock()
+		for _, c := range p.idle {
+			c.Close()
+		}
+		p.idle = nil
+		p.mu.Unlock()
+	}
+}
+
+// exchange runs one framed request/response round-trip on a pooled
+// connection. Any error closes the connection — the protocol has no
+// re-synchronization — and surfaces to the caller for fallback/failover.
+func (tr *transport) exchange(addr string, typ byte, payload []byte, wantTyp byte) ([]byte, error) {
+	p := tr.pool(addr)
+	conn, err := p.get(tr.timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(tr.timeout))
+	if err := dist.WriteFrame(conn, typ, payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	gotTyp, resp, err := dist.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if gotTyp != wantTyp {
+		conn.Close()
+		return nil, fmt.Errorf("router: fleet frame type %d, want %d", gotTyp, wantTyp)
+	}
+	conn.SetDeadline(time.Time{})
+	p.put(conn)
+	return resp, nil
+}
+
+// ping probes one backend: framed when it has a fleet listener, HTTP
+// (/readyz + /v1/config) otherwise. The returned status carries the drain
+// flag and model generation either way.
+func (tr *transport) ping(b *backend) (serve.FleetStatus, error) {
+	if b.spec.FleetAddr != "" {
+		resp, err := tr.exchange(b.spec.FleetAddr, serve.FleetPing, nil, serve.FleetPong)
+		if err != nil {
+			return serve.FleetStatus{}, err
+		}
+		var st serve.FleetStatus
+		if err := json.Unmarshal(resp, &st); err != nil {
+			return serve.FleetStatus{}, fmt.Errorf("router: decoding pong: %w", err)
+		}
+		return st, nil
+	}
+	return tr.pingHTTP(b)
+}
+
+func (tr *transport) pingHTTP(b *backend) (serve.FleetStatus, error) {
+	var st serve.FleetStatus
+	resp, err := tr.client.Get(b.spec.URL + "/readyz")
+	if err != nil {
+		return st, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	st.Draining = resp.StatusCode == http.StatusServiceUnavailable
+	if !st.Draining && resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("router: %s/readyz returned %d", b.spec.URL, resp.StatusCode)
+	}
+	cfgResp, err := tr.client.Get(b.spec.URL + "/v1/config")
+	if err != nil {
+		return st, err
+	}
+	defer cfgResp.Body.Close()
+	if cfgResp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, cfgResp.Body)
+		return st, fmt.Errorf("router: %s/v1/config returned %d", b.spec.URL, cfgResp.StatusCode)
+	}
+	var cfg struct {
+		MaxBatch     int    `json:"max_batch"`
+		ModelVersion uint64 `json:"model_version"`
+		ModelPath    string `json:"model_path"`
+	}
+	if err := json.NewDecoder(cfgResp.Body).Decode(&cfg); err != nil {
+		return st, err
+	}
+	st.ModelVersion = cfg.ModelVersion
+	st.MaxBatch = cfg.MaxBatch
+	st.ModelPath = cfg.ModelPath
+	return st, nil
+}
+
+// infer forwards one serialized request body to a backend, framed first,
+// HTTP on fallback. The bool reports whether the HTTP fallback was used
+// after a framed failure (the metrics count those).
+func (tr *transport) infer(b *backend, body []byte) (serve.FleetResponse, bool, error) {
+	if b.spec.FleetAddr != "" {
+		resp, err := tr.exchange(b.spec.FleetAddr, serve.FleetInfer, body, serve.FleetResult)
+		if err == nil {
+			var out serve.FleetResponse
+			if jerr := json.Unmarshal(resp, &out); jerr != nil {
+				return serve.FleetResponse{}, false, fmt.Errorf("router: decoding fleet result: %w", jerr)
+			}
+			return out, false, nil
+		}
+		// Framed path failed; one HTTP attempt before declaring the
+		// backend unreachable.
+		out, herr := tr.inferHTTP(b, body)
+		if herr != nil {
+			return serve.FleetResponse{}, false, err // original framed error is the informative one
+		}
+		return out, true, nil
+	}
+	out, err := tr.inferHTTP(b, body)
+	return out, false, err
+}
+
+func (tr *transport) inferHTTP(b *backend, body []byte) (serve.FleetResponse, error) {
+	resp, err := tr.client.Post(b.spec.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.FleetResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.FleetResponse{}, err
+	}
+	out := serve.FleetResponse{Code: resp.StatusCode, Body: data}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if v, err := strconv.Atoi(ra); err == nil {
+			out.RetryAfter = v
+		}
+	}
+	return out, nil
+}
+
+// reload swaps a backend to the checkpoint at path over the HTTP control
+// plane (the canary registry's promote/rollback mechanism).
+func (tr *transport) reload(b *backend, path string) error {
+	body, _ := json.Marshal(struct {
+		Path string `json:"path"`
+	}{Path: path})
+	resp, err := tr.client.Post(b.spec.URL+"/v1/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: reload of %s to %q failed: %d %s", b.spec.URL, path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
+}

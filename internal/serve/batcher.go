@@ -13,10 +13,21 @@ import (
 	"skipper/internal/trace"
 )
 
+// exitParams is a job's resolved early-exit configuration: the server
+// defaults overlaid with any per-request override. Jobs in one micro-batch
+// must share it, because core.InferOptions applies to the whole batch —
+// runBatch groups a coalesced batch by this key and runs one inference per
+// group.
+type exitParams struct {
+	early  bool
+	margin float64
+}
+
 // job is one enqueued inference request.
 type job struct {
-	frames []float32 // flattened [C,H,W] input, values in [0,1]
-	id     uint64    // content hash; the deterministic encoding sample id
+	frames []float32  // flattened [C,H,W] input, values in [0,1]
+	id     uint64     // content hash; the deterministic encoding sample id
+	exit   exitParams // resolved early-exit configuration
 	enq    time.Time
 	track  int // trace track for this request's spans (0 when tracing is off)
 	ctx    context.Context
@@ -96,6 +107,11 @@ func (s *Server) coalesce(first *job) []*job {
 }
 
 // runBatch executes one coalesced micro-batch on the worker's replica.
+// Because core.InferOptions binds the exit rule to the whole batch, jobs
+// whose requests overrode the rule (the router's per-class plumbing) are
+// partitioned into per-exitParams groups, preserving arrival order, and each
+// group runs as its own inference. In the common case — no overrides — this
+// is one group and one pass, exactly the old behaviour.
 func (s *Server) runBatch(track int, r *replica, jobs []*job) {
 	// Requests whose deadline already passed are dropped here: their handler
 	// has answered 504 and gone, so computing them would be pure waste.
@@ -112,6 +128,21 @@ func (s *Server) runBatch(track int, r *replica, jobs []*job) {
 		return
 	}
 
+	var order []exitParams
+	groups := map[exitParams][]*job{}
+	for _, j := range jobs {
+		if _, seen := groups[j.exit]; !seen {
+			order = append(order, j.exit)
+		}
+		groups[j.exit] = append(groups[j.exit], j)
+	}
+	for _, key := range order {
+		s.runGroup(track, r, groups[key], key)
+	}
+}
+
+// runGroup executes one exit-homogeneous group of jobs as a single batch.
+func (s *Server) runGroup(track int, r *replica, jobs []*job, exit exitParams) {
 	if s.cfg.OnBatch != nil {
 		s.cfg.OnBatch(len(jobs))
 	}
@@ -143,9 +174,9 @@ func (s *Server) runBatch(track int, r *replica, jobs []*job) {
 		enc.EncodeStep(spikes, frames, ids, t)
 		return spikes
 	}, core.InferOptions{
-		EarlyExit: s.cfg.EarlyExit,
+		EarlyExit: exit.early,
 		K:         s.cfg.ExitK,
-		MinMargin: s.cfg.ExitMargin,
+		MinMargin: exit.margin,
 		MinSteps:  s.cfg.ExitMinSteps,
 	})
 	exec.End(trace.Attr{Key: "batch", Val: int64(b)},

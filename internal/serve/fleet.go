@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"skipper/internal/dist"
+)
+
+// The fleet data path: the router speaks to replicas over persistent TCP
+// connections carrying the same CRC-framed envelope internal/dist hardened
+// for gradient exchange (dist.WriteFrame/ReadFrame), with JSON payloads that
+// mirror the HTTP bodies. One connection processes one request at a time —
+// the router holds a small pool per backend instead of multiplexing — which
+// keeps the protocol free of correlation ids and makes a torn connection
+// abort exactly one request.
+//
+// Message types (the envelope's typ byte). The type byte namespace is private
+// to this protocol; dist's own messages never share a connection with it.
+const (
+	// FleetPing asks for a FleetPong status frame; the payload is empty.
+	// The router's heartbeat loop uses it as combined liveness probe,
+	// drain signal, and model-generation report.
+	FleetPing byte = iota + 1
+	// FleetPong answers a ping with a FleetStatus JSON payload.
+	FleetPong
+	// FleetInfer carries an InferRequest JSON payload.
+	FleetInfer
+	// FleetResult answers an infer with a FleetResponse JSON payload.
+	FleetResult
+)
+
+// FleetStatus is the pong payload: everything the router needs to place
+// traffic — liveness is implied by the reply, drain state gates ring
+// membership, the queue numbers feed admission control, and the model
+// generation drives the canary registry.
+type FleetStatus struct {
+	Draining     bool   `json:"draining"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	Workers      int    `json:"workers"`
+	MaxBatch     int    `json:"max_batch"`
+	ModelVersion uint64 `json:"model_version"`
+	ModelPath    string `json:"model_path"`
+}
+
+// FleetResponse is the result payload: the HTTP status code the request
+// would have received, the shed Retry-After hint when applicable, and the
+// JSON body (InferResponse on 200, errorResponse otherwise).
+type FleetResponse struct {
+	Code       int             `json:"code"`
+	RetryAfter int             `json:"retry_after,omitempty"`
+	Body       json.RawMessage `json:"body"`
+}
+
+// fleetConns tracks the live fleet connections so Drain can unblock their
+// reads; lazily initialised because most servers never serve a fleet.
+type fleetConns struct {
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+func (f *fleetConns) add(c net.Conn) {
+	f.mu.Lock()
+	if f.conns == nil {
+		f.conns = map[net.Conn]bool{}
+	}
+	f.conns[c] = true
+	f.mu.Unlock()
+}
+
+func (f *fleetConns) remove(c net.Conn) {
+	f.mu.Lock()
+	delete(f.conns, c)
+	f.mu.Unlock()
+}
+
+func (f *fleetConns) closeAll() {
+	f.mu.Lock()
+	for c := range f.conns {
+		c.Close()
+	}
+	f.conns = nil
+	f.mu.Unlock()
+}
+
+// ServeFleet accepts framed-transport connections until the listener closes.
+// Each connection is served by its own goroutine; in-flight fleet requests
+// are ordinary jobs, so Drain waits for them like any HTTP request. Run it in
+// a goroutine next to the HTTP server:
+//
+//	ln, _ := net.Listen("tcp", fleetAddr)
+//	go s.ServeFleet(ln)
+func (s *Server) ServeFleet(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+			}
+			return fmt.Errorf("serve: fleet accept: %w", err)
+		}
+		s.fleet.add(conn)
+		go s.serveFleetConn(conn)
+	}
+}
+
+// serveFleetConn answers one connection's frames until it closes or a frame
+// is malformed (ErrBadFrame is unrecoverable by construction — the stream
+// cannot be re-synchronized, so the connection is dropped and the router
+// re-dials).
+func (s *Server) serveFleetConn(conn net.Conn) {
+	defer func() {
+		s.fleet.remove(conn)
+		conn.Close()
+	}()
+	for {
+		typ, payload, err := dist.ReadFrame(conn)
+		if err != nil {
+			return // EOF, torn connection, or bad frame: the dialer owns retry
+		}
+		switch typ {
+		case FleetPing:
+			if err := s.writeFleetStatus(conn); err != nil {
+				return
+			}
+		case FleetInfer:
+			start := time.Now()
+			var req InferRequest
+			var out FleetResponse
+			if err := json.Unmarshal(payload, &req); err != nil {
+				out.Code = 400
+				out.Body, _ = json.Marshal(errorResponse{fmt.Sprintf("decoding request: %v", err)})
+			} else {
+				code, body, retryAfter := s.execute(context.Background(), req)
+				out.Code = code
+				out.RetryAfter = retryAfter
+				out.Body, _ = json.Marshal(body)
+			}
+			s.metrics.observeRequest(out.Code, time.Since(start).Seconds())
+			buf, _ := json.Marshal(out)
+			if err := dist.WriteFrame(conn, FleetResult, buf); err != nil {
+				return
+			}
+		default:
+			return // unknown type: protocol violation, drop the connection
+		}
+	}
+}
+
+func (s *Server) writeFleetStatus(w io.Writer) error {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	snap := s.model.Current()
+	buf, _ := json.Marshal(FleetStatus{
+		Draining:     draining,
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		Workers:      s.cfg.Workers,
+		MaxBatch:     s.cfg.MaxBatch,
+		ModelVersion: snap.Version,
+		ModelPath:    snap.Path,
+	})
+	return dist.WriteFrame(w, FleetPong, buf)
+}

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skipper/internal/stats"
@@ -16,12 +18,16 @@ import (
 
 // LoadGenOptions configures RunLoadGen.
 type LoadGenOptions struct {
-	// Requests is the total request count. Zero means 100.
+	// Requests is the total request count (closed loop) or a cap on
+	// arrivals (open loop; 0 = unbounded, stop on Duration). Zero in closed
+	// loop means 100.
 	Requests int
-	// Concurrency is the number of in-flight requests. Zero means 8.
+	// Concurrency is the number of in-flight requests in closed-loop mode.
+	// Zero means 8.
 	Concurrency int
-	// Seed drives the deterministic synthetic inputs. Distinct request
-	// indices get distinct frames, so batches exercise mixed content.
+	// Seed drives the deterministic synthetic inputs and, in open-loop
+	// mode, the exponential inter-arrival gaps. Distinct request indices
+	// get distinct frames, so batches exercise mixed content.
 	Seed uint64
 	// BudgetMS, when positive, is sent as each request's latency budget.
 	BudgetMS int
@@ -29,40 +35,83 @@ type LoadGenOptions struct {
 	Timeout time.Duration
 	// Client overrides the HTTP client (tests pass the in-process one).
 	Client *http.Client
+
+	// OpenLoop switches from fixed concurrency to a Poisson arrival
+	// process at TargetQPS. A closed loop hides tail latency through
+	// coordinated omission — a slow response delays the next request, so
+	// the generator politely backs off exactly when the server struggles.
+	// Open loop keeps arriving on schedule and accounts explicitly for the
+	// arrivals it could not launch.
+	OpenLoop bool
+	// TargetQPS is the open-loop arrival rate. Required when OpenLoop.
+	TargetQPS float64
+	// Duration is the open-loop soak length; arrivals stop when it
+	// elapses (in-flight requests still complete). Zero with Requests set
+	// means stop after Requests arrivals.
+	Duration time.Duration
+	// MaxInFlight bounds open-loop concurrency; arrivals that would exceed
+	// it are counted as DroppedByHarness instead of silently queueing in
+	// the client. Zero means 256.
+	MaxInFlight int
+
+	// Sessions is the number of distinct session keys cycled across
+	// requests (the router's consistent-hash placement key). Zero sends no
+	// session field.
+	Sessions int
+	// Class, when non-empty, is sent as each request's admission class.
+	Class string
 }
 
 // LoadGenReport summarises one load-generation run.
 type LoadGenReport struct {
-	Requests    int           `json:"requests"`
-	Concurrency int           `json:"concurrency"`
-	OK          int           `json:"ok"`
-	StatusCodes map[string]int `json:"status_codes"`
-	Duration    float64       `json:"duration_seconds"`
-	QPS         float64       `json:"qps"`
+	Mode        string         `json:"mode"` // "closed" or "open"
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency,omitempty"`
+	TargetQPS   float64        `json:"target_qps,omitempty"`
+	MaxInFlight int            `json:"max_in_flight,omitempty"`
+	// DroppedByHarness counts open-loop arrivals the generator could not
+	// launch because MaxInFlight was reached. They are load the server
+	// never saw; reporting them separately keeps the latency percentiles
+	// honest instead of silently thinning the arrival process.
+	DroppedByHarness int            `json:"dropped_by_harness,omitempty"`
+	OK               int            `json:"ok"`
+	StatusCodes      map[string]int `json:"status_codes"`
+	Duration         float64        `json:"duration_seconds"`
+	QPS              float64        `json:"qps"`
 
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP99MS float64 `json:"latency_p99_ms"`
 
 	// Early-exit accounting over the OK responses: executed vs configured
 	// batch-timesteps and the fraction saved.
-	TimestepsRun   int     `json:"timesteps_run"`
-	TimestepsFull  int     `json:"timesteps_full"`
-	SavedFraction  float64 `json:"saved_fraction"`
-	EarlyExits     int     `json:"early_exits"`
-	MeanBatchSize  float64 `json:"mean_batch_size"`
-	ModelVersions  []uint64 `json:"model_versions_seen"`
+	TimestepsRun  int      `json:"timesteps_run"`
+	TimestepsFull int      `json:"timesteps_full"`
+	SavedFraction float64  `json:"saved_fraction"`
+	EarlyExits    int      `json:"early_exits"`
+	MeanBatchSize float64  `json:"mean_batch_size"`
+	ModelVersions []uint64 `json:"model_versions_seen"`
 }
 
-// RunLoadGen fires opts.Requests synthetic inference requests at the server
-// at baseURL and reports latency percentiles and early-exit savings. The
-// input frames are deterministic in (Seed, request index).
+// wireRequest is the loadgen's superset of InferRequest: the router reads
+// session and class, a bare skipper-serve ignores them.
+type wireRequest struct {
+	InferRequest
+	Session string `json:"session,omitempty"`
+	Class   string `json:"class,omitempty"`
+}
+
+// outcome is one completed request's record.
+type outcome struct {
+	code    int
+	latency float64 // seconds
+	resp    InferResponse
+}
+
+// RunLoadGen fires synthetic inference requests at the server at baseURL and
+// reports latency percentiles and early-exit savings. The input frames are
+// deterministic in (Seed, request index). Closed loop by default; see
+// LoadGenOptions.OpenLoop for the soak/tail-latency mode.
 func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
-	if opts.Requests <= 0 {
-		opts.Requests = 100
-	}
-	if opts.Concurrency <= 0 {
-		opts.Concurrency = 8
-	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
 	}
@@ -70,16 +119,38 @@ func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 	if client == nil {
 		client = &http.Client{Timeout: opts.Timeout}
 	}
-
 	cfg, err := fetchConfig(client, baseURL)
 	if err != nil {
 		return LoadGenReport{}, err
 	}
 
-	type outcome struct {
-		code     int
-		latency  float64 // seconds
-		resp     InferResponse
+	if opts.OpenLoop {
+		return runOpenLoop(client, baseURL, cfg, opts)
+	}
+	return runClosedLoop(client, baseURL, cfg, opts)
+}
+
+// request builds the i-th deterministic wire request.
+func (o LoadGenOptions) request(i uint64, inputLen int) wireRequest {
+	req := wireRequest{
+		InferRequest: InferRequest{
+			Input:    syntheticInput(o.Seed, i, inputLen),
+			BudgetMS: o.BudgetMS,
+		},
+		Class: o.Class,
+	}
+	if o.Sessions > 0 {
+		req.Session = fmt.Sprintf("session-%d", i%uint64(o.Sessions))
+	}
+	return req
+}
+
+func runClosedLoop(client *http.Client, baseURL string, cfg ConfigResponse, opts LoadGenOptions) (LoadGenReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
 	}
 	outcomes := make([]outcome, opts.Requests)
 	var wg sync.WaitGroup
@@ -91,9 +162,8 @@ func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			input := syntheticInput(opts.Seed, uint64(i), cfg.InputLen)
 			t0 := time.Now()
-			code, resp, err := postInfer(client, baseURL, InferRequest{Input: input, BudgetMS: opts.BudgetMS})
+			code, resp, err := postInfer(client, baseURL, opts.request(uint64(i), cfg.InputLen))
 			if err != nil {
 				code = -1
 			}
@@ -101,15 +171,94 @@ func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 		}(i)
 	}
 	wg.Wait()
-	elapsed := time.Since(start).Seconds()
+	rep := LoadGenReport{Mode: "closed", Requests: opts.Requests, Concurrency: opts.Concurrency}
+	summarize(&rep, outcomes, time.Since(start).Seconds())
+	return rep, nil
+}
 
-	rep := LoadGenReport{
-		Requests:    opts.Requests,
-		Concurrency: opts.Concurrency,
-		StatusCodes: map[string]int{},
-		Duration:    elapsed,
-		QPS:         float64(opts.Requests) / elapsed,
+// loadgenArrivalNS namespaces the open-loop inter-arrival RNG stream.
+const loadgenArrivalNS = 0x61727276 // "arrv"
+
+// runOpenLoop launches arrivals on a deterministic-seeded exponential
+// schedule at TargetQPS, bounded by MaxInFlight, until Duration elapses or
+// Requests arrivals have been offered.
+func runOpenLoop(client *http.Client, baseURL string, cfg ConfigResponse, opts LoadGenOptions) (LoadGenReport, error) {
+	if opts.TargetQPS <= 0 {
+		return LoadGenReport{}, fmt.Errorf("serve: open-loop loadgen needs TargetQPS > 0")
 	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 256
+	}
+	if opts.Duration <= 0 && opts.Requests <= 0 {
+		return LoadGenReport{}, fmt.Errorf("serve: open-loop loadgen needs Duration or Requests")
+	}
+
+	rng := tensor.NewRNG(tensor.DeriveSeed(opts.Seed, loadgenArrivalNS))
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		wg       sync.WaitGroup
+		inflight atomic.Int64
+		dropped  int
+		offered  int
+	)
+	start := time.Now()
+	next := 0.0 // seconds since start of the next arrival
+	for {
+		if opts.Requests > 0 && offered >= opts.Requests {
+			break
+		}
+		if opts.Duration > 0 && next > opts.Duration.Seconds() {
+			break
+		}
+		// Exponential gap with mean 1/QPS; 1-u is in (0,1] so the log is
+		// finite.
+		u := rng.Float64()
+		next += -math.Log(1-u) / opts.TargetQPS
+		if opts.Duration > 0 && next > opts.Duration.Seconds() {
+			break
+		}
+		if d := time.Duration(next*float64(time.Second)) - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		i := offered
+		offered++
+		if inflight.Load() >= int64(opts.MaxInFlight) {
+			dropped++
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			code, resp, err := postInfer(client, baseURL, opts.request(uint64(i), cfg.InputLen))
+			if err != nil {
+				code = -1
+			}
+			o := outcome{code: code, latency: time.Since(t0).Seconds(), resp: resp}
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	rep := LoadGenReport{
+		Mode:             "open",
+		Requests:         offered,
+		TargetQPS:        opts.TargetQPS,
+		MaxInFlight:      opts.MaxInFlight,
+		DroppedByHarness: dropped,
+	}
+	summarize(&rep, outcomes, time.Since(start).Seconds())
+	return rep, nil
+}
+
+// summarize folds outcomes into the report's aggregate fields.
+func summarize(rep *LoadGenReport, outcomes []outcome, elapsed float64) {
+	rep.StatusCodes = map[string]int{}
+	rep.Duration = elapsed
 	var latencies []float64
 	var batchSum int
 	versions := map[uint64]bool{}
@@ -132,6 +281,9 @@ func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 		batchSum += o.resp.BatchSize
 		versions[o.resp.ModelVersion] = true
 	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(outcomes)) / elapsed
+	}
 	if len(latencies) > 0 {
 		rep.LatencyP50MS = stats.Percentile(latencies, 50)
 		rep.LatencyP99MS = stats.Percentile(latencies, 99)
@@ -146,7 +298,6 @@ func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 		rep.ModelVersions = append(rep.ModelVersions, v)
 	}
 	sort.Slice(rep.ModelVersions, func(i, j int) bool { return rep.ModelVersions[i] < rep.ModelVersions[j] })
-	return rep, nil
 }
 
 // loadgenNS namespaces loadgen input seeds away from other DeriveSeed users.
@@ -178,7 +329,7 @@ func fetchConfig(client *http.Client, baseURL string) (ConfigResponse, error) {
 	return cfg, nil
 }
 
-func postInfer(client *http.Client, baseURL string, req InferRequest) (int, InferResponse, error) {
+func postInfer(client *http.Client, baseURL string, req any) (int, InferResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, InferResponse{}, err

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a stub /v1/config + /v1/infer server so loadgen mechanics
+// can be tested without spinning up real inference.
+func fakeBackend(t *testing.T, delay time.Duration, record func(wireRequest)) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/config":
+			writeJSON(w, http.StatusOK, ConfigResponse{InputLen: 4, Classes: 2, T: 8})
+		case "/v1/infer":
+			var req wireRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+				return
+			}
+			if record != nil {
+				mu.Lock()
+				record(req)
+				mu.Unlock()
+			}
+			time.Sleep(delay)
+			writeJSON(w, http.StatusOK, InferResponse{Pred: 1, ExitStep: 3, StepsRun: 4, T: 8, BatchSize: 1, ModelVersion: 1})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// TestOpenLoopLoadGen exercises the soak mode: the arrival count is
+// deterministic in the seed, session/class fields reach the wire, and the
+// in-flight cap converts excess arrivals into dropped_by_harness instead of
+// hidden queueing.
+func TestOpenLoopLoadGen(t *testing.T) {
+	var classes sync.Map
+	var sessions sync.Map
+	var served atomic.Int64
+	hs := fakeBackend(t, 0, func(req wireRequest) {
+		served.Add(1)
+		classes.Store(req.Class, true)
+		sessions.Store(req.Session, true)
+	})
+
+	rep, err := RunLoadGen(hs.URL, LoadGenOptions{
+		OpenLoop:    true,
+		TargetQPS:   2000,
+		Requests:    60,
+		MaxInFlight: 64,
+		Seed:        7,
+		Sessions:    4,
+		Class:       "interactive",
+		Client:      hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.Requests != 60 {
+		t.Fatalf("report: mode=%q requests=%d, want open/60", rep.Mode, rep.Requests)
+	}
+	if rep.OK+rep.DroppedByHarness != 60 {
+		t.Fatalf("OK %d + dropped %d != 60 offered", rep.OK, rep.DroppedByHarness)
+	}
+	if _, ok := classes.Load("interactive"); !ok {
+		t.Fatal("class never reached the wire")
+	}
+	nSessions := 0
+	sessions.Range(func(any, any) bool { nSessions++; return true })
+	if nSessions != 4 {
+		t.Fatalf("saw %d distinct sessions, want 4", nSessions)
+	}
+
+	// Same seed, same arrival schedule: a second run offers the same count.
+	rep2, err := RunLoadGen(hs.URL, LoadGenOptions{
+		OpenLoop: true, TargetQPS: 2000, Requests: 60, MaxInFlight: 64,
+		Seed: 7, Sessions: 4, Client: hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Requests != rep.Requests {
+		t.Fatalf("non-deterministic arrival count: %d vs %d", rep2.Requests, rep.Requests)
+	}
+}
+
+// TestOpenLoopDropsAtInFlightCap pins the dropped-by-harness accounting: a
+// slow backend plus MaxInFlight 1 must shed most of a fast arrival schedule
+// at the harness, and the sum of outcomes must still equal the offered load.
+func TestOpenLoopDropsAtInFlightCap(t *testing.T) {
+	hs := fakeBackend(t, 50*time.Millisecond, nil)
+	rep, err := RunLoadGen(hs.URL, LoadGenOptions{
+		OpenLoop:    true,
+		TargetQPS:   1000,
+		Requests:    40,
+		MaxInFlight: 1,
+		Seed:        3,
+		Client:      hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedByHarness == 0 {
+		t.Fatalf("expected harness drops with a 50ms backend at 1000 qps and cap 1, got report %+v", rep)
+	}
+	if rep.OK+rep.DroppedByHarness != rep.Requests {
+		t.Fatalf("accounting leak: OK %d + dropped %d != offered %d", rep.OK, rep.DroppedByHarness, rep.Requests)
+	}
+}
+
+// TestClosedLoopStillWorks guards the default path after the open-loop
+// refactor.
+func TestClosedLoopStillWorks(t *testing.T) {
+	hs := fakeBackend(t, 0, nil)
+	rep, err := RunLoadGen(hs.URL, LoadGenOptions{Requests: 20, Concurrency: 4, Client: hs.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" || rep.OK != 20 {
+		t.Fatalf("closed loop: %+v", rep)
+	}
+}

@@ -28,10 +28,10 @@ type Metrics struct {
 	earlyExits     int64 // samples frozen before the final timestep
 	reloadOK       int64
 	reloadFailed   int64
-	reloadRetries  int64 // transient load failures retried with backoff
-	queueRejected  int64 // 429s (also counted in requests["429"])
-	deadlineMissed int64 // requests abandoned on their latency budget
-	drainDropped   int64 // queued jobs dropped unexecuted at shutdown
+	reloadRetries  int64            // transient load failures retried with backoff
+	shed           map[string]int64 // requests shed before execution, by reason
+	deadlineMissed int64            // requests abandoned on their latency budget
+	drainDropped   int64            // queued jobs dropped unexecuted at shutdown
 
 	// gauges, read at render time
 	queueDepth   func() int
@@ -43,6 +43,7 @@ type Metrics struct {
 func newMetrics(maxBatch, threads int, queueDepth func() int, modelVersion func() uint64, poolStats func() parallel.PoolStats) *Metrics {
 	return &Metrics{
 		requests: map[string]int64{},
+		shed:     map[string]int64{},
 		// 0.5ms .. ~16s
 		latency:  stats.NewHistogram(stats.ExponentialBounds(0.0005, 2, 15)...),
 		queueing: stats.NewHistogram(stats.ExponentialBounds(0.0001, 2, 15)...),
@@ -56,17 +57,47 @@ func newMetrics(maxBatch, threads int, queueDepth func() int, modelVersion func(
 	}
 }
 
+// Shed reasons for skipper_serve_queue_rejected_total. The counter carries a
+// reason label (the labels-by-suffix convention reloads_total uses for
+// result) so dashboards can tell a full queue from a drain in progress.
+const (
+	shedQueueFull = "queue_full"
+	shedDraining  = "draining"
+)
+
 func (m *Metrics) observeRequest(code int, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests[fmt.Sprintf("%d", code)]++
 	m.latency.Observe(seconds)
-	switch code {
-	case 429:
-		m.queueRejected++
-	case 504:
+	if code == 504 {
 		m.deadlineMissed++
 	}
+}
+
+// observeShed counts one request shed before execution under its reason.
+func (m *Metrics) observeShed(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed[reason]++
+}
+
+// ShedCount returns the shed counter for one reason (tests).
+func (m *Metrics) ShedCount(reason string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shed[reason]
+}
+
+// meanExecuteSeconds returns the mean batch-execute time observed so far, 0
+// before any batch ran. The Retry-After estimate is built on it.
+func (m *Metrics) meanExecuteSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.execute.N() == 0 {
+		return 0
+	}
+	return m.execute.Sum() / float64(m.execute.N())
 }
 
 func (m *Metrics) observeBatch(size, stepsRun, t, exits int, execSeconds float64, queueWait []float64) {
@@ -139,7 +170,11 @@ func (m *Metrics) Render(w io.Writer) {
 		"Batch-timesteps avoided by early exit (configured horizon minus executed).",
 		m.batchStepsMax-m.batchSteps)
 	counter(w, "skipper_serve_early_exits_total", "Samples whose decision froze before the final timestep.", m.earlyExits)
-	counter(w, "skipper_serve_queue_rejected_total", "Requests rejected with 429 by the full queue.", m.queueRejected)
+	fmt.Fprintln(w, "# HELP skipper_serve_queue_rejected_total Requests shed before execution, by reason.")
+	fmt.Fprintln(w, "# TYPE skipper_serve_queue_rejected_total counter")
+	for _, reason := range []string{shedQueueFull, shedDraining} {
+		fmt.Fprintf(w, "skipper_serve_queue_rejected_total{reason=%q} %d\n", reason, m.shed[reason])
+	}
 	counter(w, "skipper_serve_deadline_missed_total", "Requests abandoned on their latency budget.", m.deadlineMissed)
 	counter(w, "skipper_serve_drain_dropped_total", "Queued jobs dropped unexecuted when shutdown exceeded its drain budget.", m.drainDropped)
 

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -227,9 +228,19 @@ func TestServeConcurrentWithReloadAndBackpressure(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	code429, _ := inferOnce(t, client2, hs2.URL, InferRequest{Input: input})
-	if code429 != http.StatusTooManyRequests {
-		t.Fatalf("full queue answered %d, want 429", code429)
+	// Raw POST so the 429's headers are visible: a shed response must carry
+	// a positive integer Retry-After derived from the queue state.
+	body429, _ := json.Marshal(InferRequest{Input: input})
+	resp429, err := client2.Post(hs2.URL+"/v1/infer", "application/json", bytes.NewReader(body429))
+	if err != nil {
+		t.Fatalf("POST /v1/infer: %v", err)
+	}
+	resp429.Body.Close()
+	if resp429.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue answered %d, want 429", resp429.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp429.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive integer", resp429.Header.Get("Retry-After"))
 	}
 	close(release)
 	if code := <-blockedDone; code != http.StatusOK {
@@ -262,7 +273,8 @@ func TestServeConcurrentWithReloadAndBackpressure(t *testing.T) {
 	// Metrics consistency, backpressure server: exactly one 429.
 	m2 := fetchMetrics(t, client2, hs2.URL)
 	assertMetric(t, m2, `skipper_serve_requests_total{code="429"}`, 1)
-	assertMetric(t, m2, "skipper_serve_queue_rejected_total", 1)
+	assertMetric(t, m2, `skipper_serve_queue_rejected_total{reason="queue_full"}`, 1)
+	assertMetric(t, m2, `skipper_serve_queue_rejected_total{reason="draining"}`, 0)
 	assertMetric(t, m2, `skipper_serve_requests_total{code="200"}`, 2)
 }
 

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +36,10 @@ type Server struct {
 	jobWG    sync.WaitGroup // in-flight jobs (enqueued, not yet answered)
 	workerWG sync.WaitGroup
 
+	// fleet tracks framed-transport connections (ServeFleet) so Drain can
+	// unblock their reads once the drain completes.
+	fleet fleetConns
+
 	// reqSeq round-robins traced requests across the request track lanes so
 	// overlapping request spans land on different trace rows instead of
 	// falsely nesting.
@@ -56,6 +62,16 @@ type InferRequest struct {
 	// BudgetMS optionally tightens the server's request timeout for this
 	// request. It can never extend it.
 	BudgetMS int `json:"budget_ms,omitempty"`
+	// EarlyExit, when present, overrides the server's early-exit setting
+	// for this request. The router's admission tiers use it to force the
+	// full horizon on bulk traffic while interactive classes keep exiting
+	// early.
+	EarlyExit *bool `json:"early_exit,omitempty"`
+	// ExitMargin, when non-zero, overrides the early-exit confidence gate
+	// for this request (>0 overrides, <0 disables the gate). The router's
+	// SLO controller tunes this per request class against a latency budget
+	// instead of the server's fixed constant.
+	ExitMargin float64 `json:"exit_margin,omitempty"`
 }
 
 // InferResponse is the body of a 200 from POST /v1/infer.
@@ -93,6 +109,7 @@ type ConfigResponse struct {
 	EarlyExit    bool   `json:"early_exit"`
 	MaxBatch     int    `json:"max_batch"`
 	ModelVersion uint64 `json:"model_version"`
+	ModelPath    string `json:"model_path,omitempty"`
 }
 
 type errorResponse struct {
@@ -198,11 +215,13 @@ func (s *Server) Drain(ctx context.Context) error {
 				s.metrics.observeDrainDropped(dropped)
 				s.tracer.Event(trace.TrackTrain, "drain_dropped",
 					trace.Attr{Key: "jobs", Val: int64(dropped)})
+				s.fleet.closeAll()
 				return err
 			}
 		}
 	}
 	s.workerWG.Wait()
+	s.fleet.closeAll()
 	return err
 }
 
@@ -220,28 +239,38 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	code, body := s.infer(r)
+	if r.Method != http.MethodPost {
+		s.metrics.observeRequest(http.StatusMethodNotAllowed, time.Since(start).Seconds())
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.observeRequest(http.StatusBadRequest, time.Since(start).Seconds())
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	code, body, retryAfter := s.execute(r.Context(), req)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
 	s.metrics.observeRequest(code, time.Since(start).Seconds())
 	writeJSON(w, code, body)
 }
 
-// infer runs the request through parse → enqueue → await and returns the
-// status code plus response body.
-func (s *Server) infer(r *http.Request) (int, any) {
-	if r.Method != http.MethodPost {
-		return http.StatusMethodNotAllowed, errorResponse{"POST only"}
-	}
-	var req InferRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return http.StatusBadRequest, errorResponse{fmt.Sprintf("decoding request: %v", err)}
-	}
+// execute runs one parsed request through validate → enqueue → await. It is
+// the shared core of the HTTP handler and the fleet transport. The third
+// return is a Retry-After hint in seconds, non-zero only on shed responses
+// (429/503) so clients and the router know when the replica is worth another
+// attempt.
+func (s *Server) execute(parent context.Context, req InferRequest) (int, any, int) {
 	if len(req.Input) != s.inVolume {
 		return http.StatusBadRequest, errorResponse{fmt.Sprintf(
-			"input length %d, want %d (flattened %v)", len(req.Input), s.inVolume, s.model.Current().Net.InShape)}
+			"input length %d, want %d (flattened %v)", len(req.Input), s.inVolume, s.model.Current().Net.InShape)}, 0
 	}
 	for i, v := range req.Input {
 		if v != v || v < 0 || v > 1 {
-			return http.StatusBadRequest, errorResponse{fmt.Sprintf("input[%d] = %v outside [0,1]", i, v)}
+			return http.StatusBadRequest, errorResponse{fmt.Sprintf("input[%d] = %v outside [0,1]", i, v)}, 0
 		}
 	}
 
@@ -251,12 +280,20 @@ func (s *Server) infer(r *http.Request) (int, any) {
 			timeout = b
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(parent, timeout)
 	defer cancel()
 
+	exit := exitParams{early: s.cfg.EarlyExit, margin: s.cfg.ExitMargin}
+	if req.EarlyExit != nil {
+		exit.early = *req.EarlyExit
+	}
+	if req.ExitMargin != 0 {
+		exit.margin = req.ExitMargin
+	}
 	j := &job{
 		frames: req.Input,
 		id:     sampleID(req.Input),
+		exit:   exit,
 		enq:    time.Now(),
 		ctx:    ctx,
 		resp:   make(chan jobResult, 1),
@@ -270,7 +307,8 @@ func (s *Server) infer(r *http.Request) (int, any) {
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
-		return http.StatusServiceUnavailable, errorResponse{"server is draining"}
+		s.metrics.observeShed(shedDraining)
+		return http.StatusServiceUnavailable, errorResponse{"server is draining"}, s.retryAfterSeconds(true)
 	}
 	s.jobWG.Add(1)
 	select {
@@ -279,13 +317,14 @@ func (s *Server) infer(r *http.Request) (int, any) {
 	default:
 		s.jobWG.Done()
 		s.mu.RUnlock()
-		return http.StatusTooManyRequests, errorResponse{"queue full"}
+		s.metrics.observeShed(shedQueueFull)
+		return http.StatusTooManyRequests, errorResponse{"queue full"}, s.retryAfterSeconds(false)
 	}
 
 	select {
 	case out := <-j.resp:
 		if out.Err != nil {
-			return http.StatusServiceUnavailable, errorResponse{out.Err.Error()}
+			return http.StatusServiceUnavailable, errorResponse{out.Err.Error()}, s.retryAfterSeconds(true)
 		}
 		s.tracer.SpanAt(j.track, "request", j.enq, time.Since(j.enq),
 			trace.Attr{Key: "batch", Val: int64(out.BatchSize)},
@@ -298,11 +337,34 @@ func (s *Server) infer(r *http.Request) (int, any) {
 			T:            out.T,
 			BatchSize:    out.BatchSize,
 			ModelVersion: out.Version,
-		}
+		}, 0
 	case <-ctx.Done():
 		s.tracer.Event(j.track, "deadline_missed")
-		return http.StatusGatewayTimeout, errorResponse{"latency budget exceeded"}
+		return http.StatusGatewayTimeout, errorResponse{"latency budget exceeded"}, 0
 	}
+}
+
+// retryAfterSeconds derives the Retry-After hint for a shed response. While
+// draining the answer is a flat second: this process is leaving the fleet, so
+// the client's next attempt should go elsewhere (through the router) almost
+// immediately. On a full queue the estimate is the time to work off the
+// backlog ahead of the retry — queued batches times the recent mean batch
+// execute time, spread over the workers — floored at one second so the header
+// is always a positive integer.
+func (s *Server) retryAfterSeconds(draining bool) int {
+	if draining {
+		return 1
+	}
+	exec := s.metrics.meanExecuteSeconds()
+	if exec <= 0 {
+		exec = 0.05 // no batches measured yet; assume a cheap one
+	}
+	batches := float64(len(s.queue))/float64(s.cfg.MaxBatch) + 1
+	sec := int(math.Ceil(batches * exec / float64(s.cfg.Workers)))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -340,6 +402,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		EarlyExit:    s.cfg.EarlyExit,
 		MaxBatch:     s.cfg.MaxBatch,
 		ModelVersion: snap.Version,
+		ModelPath:    snap.Path,
 	})
 }
 

@@ -1,0 +1,58 @@
+package stats
+
+// Window is a fixed-capacity rolling sample window: the last Cap observations
+// in arrival order, with percentile queries over them. The router's SLO
+// controller uses one per request class to track recent latency against a
+// budget — a histogram would smear decisions over the whole run, while a
+// bounded window reacts to the last few hundred requests and forgets old
+// regimes (a reload spike, a dead replica) once they pass.
+//
+// The zero value is not useful; construct with NewWindow. Not safe for
+// concurrent use — callers hold their own lock (matching Histogram).
+type Window struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewWindow returns a rolling window keeping the last cap observations.
+// cap < 1 is treated as 1.
+func NewWindow(cap int) *Window {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Window{buf: make([]float64, 0, cap)}
+}
+
+// Observe appends one sample, evicting the oldest when full.
+func (w *Window) Observe(x float64) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, x)
+		return
+	}
+	w.full = true
+	w.buf[w.next] = x
+	w.next = (w.next + 1) % cap(w.buf)
+}
+
+// N returns the number of samples currently held.
+func (w *Window) N() int { return len(w.buf) }
+
+// Percentile returns the p-th percentile (0–100) of the held samples, 0 when
+// empty. Arrival order does not matter; Percentile copies before sorting.
+func (w *Window) Percentile(p float64) float64 {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(w.buf))
+	copy(tmp, w.buf)
+	return Percentile(tmp, p)
+}
+
+// Reset drops all held samples (used when a controller changes regime and
+// stale samples would fight the new setpoint).
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.full = false
+}

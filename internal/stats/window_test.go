@@ -1,0 +1,44 @@
+package stats
+
+import "testing"
+
+func TestWindowRolls(t *testing.T) {
+	w := NewWindow(4)
+	if got := w.Percentile(99); got != 0 {
+		t.Fatalf("empty window percentile = %v, want 0", got)
+	}
+	for _, x := range []float64{10, 20, 30, 40} {
+		w.Observe(x)
+	}
+	if w.N() != 4 {
+		t.Fatalf("N = %d, want 4", w.N())
+	}
+	if got := w.Percentile(50); got < 20 || got > 30 {
+		t.Fatalf("p50 of 10..40 = %v", got)
+	}
+	// Two more observations evict 10 and 20; the window is now {30,40,100,200}.
+	w.Observe(100)
+	w.Observe(200)
+	if w.N() != 4 {
+		t.Fatalf("N after roll = %d, want 4", w.N())
+	}
+	if got := w.Percentile(0); got != 30 {
+		t.Fatalf("min after roll = %v, want 30 (oldest evicted)", got)
+	}
+	if got := w.Percentile(100); got != 200 {
+		t.Fatalf("max after roll = %v, want 200", got)
+	}
+	w.Reset()
+	if w.N() != 0 || w.Percentile(50) != 0 {
+		t.Fatalf("Reset left samples behind: N=%d", w.N())
+	}
+}
+
+func TestWindowCapFloor(t *testing.T) {
+	w := NewWindow(0)
+	w.Observe(1)
+	w.Observe(2)
+	if w.N() != 1 || w.Percentile(50) != 2 {
+		t.Fatalf("cap-0 window should keep exactly the last sample, got N=%d p50=%v", w.N(), w.Percentile(50))
+	}
+}

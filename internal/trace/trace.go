@@ -44,6 +44,9 @@ const (
 	// TrackDist carries the distributed coordinator's per-round protocol
 	// spans (shard_dispatch, grad_gather, reduce, broadcast).
 	TrackDist = 5
+	// TrackRouter carries the serving-fleet router's spans (route,
+	// backend_rtt, failover) and fleet-membership events.
+	TrackRouter = 7
 	// TrackDevice carries mem.Device high-water counters.
 	TrackDevice = 90
 	// TrackPool carries parallel.Pool lane-utilization counters.

@@ -1,0 +1,138 @@
+#!/bin/sh
+# router_smoke.sh — end-to-end serving-fleet check on the real binaries:
+# train two tiny checkpoints, front three skipper-serve replicas with
+# skipper-router, run an open-loop soak through the router, SIGTERM one
+# replica mid-soak, canary the second checkpoint on 5% of sessions, and
+# require (a) zero failed requests across the kill and the canary swap,
+# (b) the canary auto-promoted (never rolled back) with every surviving
+# replica on the new checkpoint, and (c) a sane end-to-end p99.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+    # shellcheck disable=SC2086
+    kill $PIDS 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/skipper-train" ./cmd/skipper-train
+go build -o "$WORK/skipper-serve" ./cmd/skipper-serve
+go build -o "$WORK/skipper-router" ./cmd/skipper-router
+go build -o "$WORK/skipper-routerctl" ./cmd/skipper-routerctl
+go build -o "$WORK/skipper-loadgen" ./cmd/skipper-loadgen
+
+# Two checkpoints for the same topology: the fleet baseline and the canary
+# candidate (different seed, so the weights genuinely differ).
+TRAIN="-model vgg5 -strategy bptt -width 0.25 -T 8 -batch 4 -max-batches 2 \
+       -epochs 1 -pretrain=false"
+"$WORK/skipper-train" $TRAIN -seed 11 -save "$WORK/base.skpw" \
+    >"$WORK/train_base.log" 2>&1
+"$WORK/skipper-train" $TRAIN -seed 12 -save "$WORK/v2.skpw" \
+    >"$WORK/train_v2.log" 2>&1
+
+HTTP_BASE=${ROUTER_SMOKE_PORT:-17880}
+ROUTER_PORT=$((HTTP_BASE + 0))
+R1_HTTP=$((HTTP_BASE + 1)); R1_FLEET=$((HTTP_BASE + 4))
+R2_HTTP=$((HTTP_BASE + 2)); R2_FLEET=$((HTTP_BASE + 5))
+R3_HTTP=$((HTTP_BASE + 3)); R3_FLEET=$((HTTP_BASE + 6))
+ROUTER="http://127.0.0.1:$ROUTER_PORT"
+
+fail() {
+    echo "FAIL: $1" >&2
+    for log in replica1 replica2 replica3 router loadgen; do
+        echo "--- $log.log ---" >&2
+        cat "$WORK/$log.log" >&2 || true
+    done
+    exit 1
+}
+
+SERVE="-model vgg5 -width 0.25 -weights $WORK/base.skpw -T 12 -workers 2 \
+       -max-batch 8 -queue 64"
+"$WORK/skipper-serve" $SERVE -addr "127.0.0.1:$R1_HTTP" \
+    -fleet-addr "127.0.0.1:$R1_FLEET" >"$WORK/replica1.log" 2>&1 &
+R1=$!; PIDS="$PIDS $R1"
+"$WORK/skipper-serve" $SERVE -addr "127.0.0.1:$R2_HTTP" \
+    -fleet-addr "127.0.0.1:$R2_FLEET" >"$WORK/replica2.log" 2>&1 &
+R2=$!; PIDS="$PIDS $R2"
+"$WORK/skipper-serve" $SERVE -addr "127.0.0.1:$R3_HTTP" \
+    -fleet-addr "127.0.0.1:$R3_FLEET" >"$WORK/replica3.log" 2>&1 &
+R3=$!; PIDS="$PIDS $R3"
+
+wait_ready() { # URL NAME
+    i=0
+    until curl -sf "$1/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || fail "$2 never became ready"
+        sleep 0.1
+    done
+}
+wait_ready "http://127.0.0.1:$R1_HTTP" replica1
+wait_ready "http://127.0.0.1:$R2_HTTP" replica2
+wait_ready "http://127.0.0.1:$R3_HTTP" replica3
+
+"$WORK/skipper-router" -addr "127.0.0.1:$ROUTER_PORT" \
+    -backends "http://127.0.0.1:$R1_HTTP=127.0.0.1:$R1_FLEET,http://127.0.0.1:$R2_HTTP=127.0.0.1:$R2_FLEET,http://127.0.0.1:$R3_HTTP=127.0.0.1:$R3_FLEET" \
+    -heartbeat 50ms -dead-after 2 -canary-min-requests 12 \
+    >"$WORK/router.log" 2>&1 &
+RT=$!; PIDS="$PIDS $RT"
+wait_ready "$ROUTER" router
+
+# Open-loop soak through the router: exponential arrivals, 64 distinct
+# sessions for the hash ring. No -allow-shed — any failed or shed request
+# makes the loadgen (and therefore this gate) exit non-zero.
+"$WORK/skipper-loadgen" -url "$ROUTER" -open -qps 80 -duration 8s -n 0 \
+    -sessions 64 -seed 7 -out "$WORK/report.json" >"$WORK/loadgen.log" 2>&1 &
+LG=$!; PIDS="$PIDS $LG"
+
+# Mid-soak fault: drain one replica; the router must remap its sessions to
+# the survivors without surfacing a single error.
+sleep 2
+kill -TERM "$R3"
+
+# Canary the second checkpoint on 5% of sessions. With ~6s of soak left at
+# 80 qps the cohort comfortably clears -canary-min-requests, so a healthy
+# canary auto-promotes fleet-wide before the soak ends.
+sleep 1
+"$WORK/skipper-routerctl" -router "$ROUTER" canary \
+    -path "$WORK/v2.skpw" -fraction 0.05 >"$WORK/canary.json" 2>&1 \
+    || fail "starting the canary failed: $(cat "$WORK/canary.json")"
+
+wait "$LG" || fail "loadgen saw failed or shed requests through kill + canary swap"
+wait "$R3" || fail "drained replica exited non-zero"
+
+# The canary must have promoted (possibly a tick or two after the soak).
+i=0
+while :; do
+    "$WORK/skipper-routerctl" -router "$ROUTER" fleet >"$WORK/fleet.json" \
+        || fail "fleet status unavailable"
+    [ "$(jq -r .canary.promotions "$WORK/fleet.json")" = "1" ] && break
+    i=$((i + 1))
+    [ "$i" -le 50 ] || fail "canary never promoted: $(cat "$WORK/fleet.json")"
+    sleep 0.1
+done
+[ "$(jq -r .canary.rollbacks "$WORK/fleet.json")" = "0" ] \
+    || fail "healthy canary was rolled back"
+ON_V2=$(jq -r '[.backends[] | select(.state == "alive")
+                | select(.model_path | endswith("v2.skpw"))] | length' \
+        "$WORK/fleet.json")
+[ "$ON_V2" = "2" ] || fail "expected both survivors on v2.skpw, got $ON_V2"
+[ "$(jq -r '.ring | length' "$WORK/fleet.json")" = "2" ] \
+    || fail "ring did not settle on the two survivors"
+
+# Latency sanity: the soak ran far below capacity, so p99 must stay well
+# under the serve default 2s request budget even on a loaded CI box.
+P99=$(jq -r .latency_p99_ms "$WORK/report.json")
+OKN=$(jq -r .ok "$WORK/report.json")
+[ "$OKN" -gt 300 ] || fail "soak answered only $OKN requests"
+jq -e '.latency_p99_ms < 1900' "$WORK/report.json" >/dev/null \
+    || fail "p99 ${P99}ms is not sane for an underloaded fleet"
+
+kill -TERM "$RT" 2>/dev/null || true
+kill -TERM "$R1" "$R2" 2>/dev/null || true
+wait "$RT" "$R1" "$R2" 2>/dev/null || true
+
+echo "PASS: 3-replica fleet survived a mid-soak kill and a 5% canary promote ($OKN ok, p99 ${P99}ms)"

@@ -1,16 +1,17 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate:
 #   build, vet, race-test the concurrency-sensitive subsystems, full test
-#   suite, the SIGKILL+resume and distributed-training smoke tests, then the
-#   serving, kernel, trace-overhead, and distributed benchmarks (write
-#   BENCH_serve.json, BENCH_kernels.json, BENCH_trace.json, BENCH_dist.json).
+#   suite, the SIGKILL+resume, distributed-training, and serving-fleet smoke
+#   tests, then the serving, kernel, trace-overhead, distributed, and
+#   fleet-routing benchmarks (write BENCH_serve.json, BENCH_kernels.json,
+#   BENCH_trace.json, BENCH_dist.json, BENCH_router.json).
 set -eux
 
 cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/... ./internal/trace/... ./internal/dist/...
+go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/... ./internal/trace/... ./internal/dist/... ./internal/router/...
 go test ./...
 
 sh ./scripts/kill_resume_smoke.sh
@@ -18,6 +19,10 @@ sh ./scripts/kill_resume_smoke.sh
 # Distributed smoke: coordinator + 2 workers over localhost TCP must end
 # with weights byte-identical to a serial micro-batch-1 run.
 sh ./scripts/dist_smoke.sh
+
+# Serving-fleet smoke: 3 replicas behind skipper-router, open-loop soak,
+# one replica killed mid-soak, a 5% canary promoted — zero failed requests.
+sh ./scripts/router_smoke.sh
 
 go run ./cmd/skipper-bench -exp bench_serve -scale tiny
 
@@ -37,3 +42,8 @@ go run ./cmd/skipper-bench -exp bench_trace -scale tiny
 # in-process pipes; writes measured step/exchange times vs the all-reduce
 # model's prediction.
 go run ./cmd/skipper-bench -exp bench_dist -scale tiny
+
+# Fleet-routing smoke: steady-state p50/p99 vs replica count, latency during
+# a replica kill and across a canary promote (both with zero failures), and
+# shed-tier behavior at overload; writes BENCH_router.json.
+go run ./cmd/skipper-bench -exp bench_router -scale tiny
