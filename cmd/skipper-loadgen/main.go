@@ -16,6 +16,12 @@
 //
 //	skipper-loadgen -url http://localhost:8080 -n 500 -c 16
 //	skipper-loadgen -url http://localhost:8090 -open -qps 200 -duration 60s -sessions 512 -class interactive
+//
+// -url accepts a comma-separated list for replicated router tiers; a
+// transport error fails the request over to the next target, and the report's
+// client_failovers counts how often that happened:
+//
+//	skipper-loadgen -url http://localhost:8000,http://localhost:8001 -open -qps 200 -duration 30s
 package main
 
 import (
@@ -30,7 +36,7 @@ import (
 
 func main() {
 	var (
-		url    = flag.String("url", "http://localhost:8080", "server base URL")
+		url    = flag.String("url", "http://localhost:8080", "server base URL; comma-separated list fails over to the next target on transport error (replicated router tiers)")
 		n      = flag.Int("n", 200, "total requests (open loop: arrival cap, 0 = duration only)")
 		c      = flag.Int("c", 8, "concurrent requests (closed loop)")
 		seed   = flag.Uint64("seed", 1, "synthetic-input and arrival-schedule seed")

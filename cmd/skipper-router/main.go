@@ -13,6 +13,15 @@
 //
 //	skipper-router -addr :8000 \
 //	  -backends http://127.0.0.1:8081=127.0.0.1:9081,http://127.0.0.1:8082
+//
+// Routers run replicated: give each one a -peer-addr (its peer-channel
+// listener, also its identity) and the others' peer addresses in -peers.
+// The tier gossips backend membership, canary state, and admission config,
+// so every router derives the identical hash ring, and replica death becomes
+// a quorum decision instead of one router's opinion:
+//
+//	skipper-router -addr :8000 -peer-addr 127.0.0.1:7000 \
+//	  -peers 127.0.0.1:7001,127.0.0.1:7002 -backends ...
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +54,9 @@ func main() {
 		defClass  = flag.String("default-class", "standard", "admission class for unlabeled requests")
 		classJSON = flag.String("classes", "", "admission classes as JSON array (empty = built-in interactive/standard/bulk)")
 		canaryMin = flag.Int("canary-min-requests", 50, "canary cohort size before auto-promotion is considered")
+		peerAddr  = flag.String("peer-addr", "", "peer-channel listen address (router state sync + replica drain announcements); also this router's identity")
+		peerList  = flag.String("peers", "", "comma-separated peer-channel addresses of the other routers in the tier")
+		syncIvl   = flag.Duration("sync-interval", 0, "gossip period with each peer (0 = heartbeat interval)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON profile on shutdown to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/spans on this address")
 	)
@@ -70,6 +83,20 @@ func main() {
 		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/spans\n", dbg)
 	}
 
+	var peerLN net.Listener
+	var peers []string
+	if *peerAddr != "" {
+		peerLN, err = net.Listen("tcp", *peerAddr)
+		if err != nil {
+			cli.Fatal(fmt.Errorf("peer listener: %w", err))
+		}
+	}
+	for _, p := range strings.Split(*peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+
 	rt, err := router.New(router.Config{
 		Backends:          specs,
 		VNodes:            *vnodes,
@@ -81,6 +108,10 @@ func main() {
 		DefaultClass:      *defClass,
 		CanaryMinRequests: *canaryMin,
 		Tracer:            tracer,
+		PeerListener:      peerLN,
+		PeerID:            *peerAddr,
+		Peers:             peers,
+		SyncInterval:      *syncIvl,
 	})
 	if err != nil {
 		cli.Fatal(err)
@@ -91,6 +122,9 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("routing %d backends on %s  heartbeat=%s dead-after=%d failover=%d\n",
 		len(specs), *addr, *heartbeat, *deadAfter, *failover)
+	if peerLN != nil {
+		fmt.Printf("peer channel on %s  peers=%d quorum=%d\n", peerLN.Addr(), len(peers), (1+len(peers))/2+1)
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -2,7 +2,13 @@
 // it inspects the fleet and drives the canary lifecycle over the router's
 // HTTP control plane.
 //
+// -router accepts a comma-separated list of router base URLs. Connection
+// failures fail over to the next router in the list — the tier replicates its
+// control state, so any reachable router answers — and the answering peer is
+// reported on stderr (stdout stays pure JSON for piping into jq).
+//
 //	skipper-routerctl -router http://127.0.0.1:8000 fleet
+//	skipper-routerctl -router http://127.0.0.1:8000,http://127.0.0.1:8001 fleet
 //	skipper-routerctl -router http://127.0.0.1:8000 canary -path ckpt_v2.skpw -fraction 0.05
 //	skipper-routerctl -router http://127.0.0.1:8000 promote
 //	skipper-routerctl -router http://127.0.0.1:8000 rollback
@@ -16,16 +22,17 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"skipper/internal/cli"
 )
 
 func main() {
-	routerURL := flag.String("router", "http://127.0.0.1:8000", "router base URL")
+	routerURLs := flag.String("router", "http://127.0.0.1:8000", "comma-separated router base URLs; tried in order until one answers")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: skipper-routerctl [-router URL] <fleet|canary|promote|rollback> [args]\n")
+			"usage: skipper-routerctl [-router URL[,URL...]] <fleet|canary|promote|rollback> [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,12 +40,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var routers []string
+	for _, u := range strings.Split(*routerURLs, ",") {
+		if u = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(u), "/")); u != "" {
+			routers = append(routers, u)
+		}
+	}
+	if len(routers) == 0 {
+		cli.Fatal(fmt.Errorf("-router must name at least one router URL"))
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	cmd, rest := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "fleet":
-		get(client, *routerURL+"/v1/fleet")
+		do(client, routers, "/v1/fleet", http.MethodGet, nil)
 	case "canary":
 		fs := flag.NewFlagSet("canary", flag.ExitOnError)
 		path := fs.String("path", "", "checkpoint to canary (required)")
@@ -47,34 +63,49 @@ func main() {
 		if *path == "" {
 			cli.Fatal(fmt.Errorf("canary: -path is required"))
 		}
-		post(client, *routerURL+"/v1/canary", map[string]any{"path": *path, "fraction": *fraction})
+		do(client, routers, "/v1/canary", http.MethodPost, map[string]any{"path": *path, "fraction": *fraction})
 	case "promote":
-		post(client, *routerURL+"/v1/promote", nil)
+		do(client, routers, "/v1/promote", http.MethodPost, nil)
 	case "rollback":
-		post(client, *routerURL+"/v1/rollback", nil)
+		do(client, routers, "/v1/rollback", http.MethodPost, nil)
 	default:
 		cli.Fatal(fmt.Errorf("unknown command %q (want fleet|canary|promote|rollback)", cmd))
 	}
 }
 
-func get(client *http.Client, url string) {
-	resp, err := client.Get(url)
-	if err != nil {
-		cli.Fatal(err)
+// do tries the request against each router in order, failing over on
+// connection errors. An HTTP error status is an answer, not a failure — a 409
+// from a live router must not get retried against its peers (a rollback is
+// not idempotent from the operator's point of view).
+func do(client *http.Client, routers []string, path, method string, body any) {
+	var lastErr error
+	for i, base := range routers {
+		var resp *http.Response
+		var err error
+		switch method {
+		case http.MethodGet:
+			resp, err = client.Get(base + path)
+		default:
+			var payload []byte
+			if body != nil {
+				payload, _ = json.Marshal(body)
+			}
+			resp, err = client.Post(base+path, "application/json", bytes.NewReader(payload))
+		}
+		if err != nil {
+			lastErr = err
+			if i < len(routers)-1 {
+				fmt.Fprintf(os.Stderr, "# %s unreachable (%v), trying next router\n", base, err)
+			}
+			continue
+		}
+		if len(routers) > 1 {
+			fmt.Fprintf(os.Stderr, "# answered by %s\n", base)
+		}
+		emit(resp)
+		return
 	}
-	emit(resp)
-}
-
-func post(client *http.Client, url string, body any) {
-	var payload []byte
-	if body != nil {
-		payload, _ = json.Marshal(body)
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		cli.Fatal(err)
-	}
-	emit(resp)
+	cli.Fatal(fmt.Errorf("no router reachable: %w", lastErr))
 }
 
 // emit pretty-prints the JSON response and exits non-zero on a non-2xx code.

@@ -57,6 +57,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request latency budget")
 		seed      = flag.Uint64("encode-seed", 1, "Poisson encoding seed")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+		routers   = flag.String("routers", "", "comma-separated router peer-channel addresses to announce a graceful shutdown to before draining")
+		advertise = flag.String("advertise-url", "", "this replica's base URL as the routers know it (default: http://127.0.0.1<addr> when -addr is :port)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON profile on shutdown to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/spans on this address (e.g. localhost:6060)")
 	)
@@ -148,6 +150,21 @@ func main() {
 				continue
 			}
 			fmt.Printf("%s received, draining...\n", sig)
+			// Backend-initiated drain handoff: tell the router tier first, so
+			// it vacates this replica's ring arcs with zero missed-heartbeat
+			// window, then stop accepting and drain what is in flight.
+			if addrs := splitAddrs(*routers); len(addrs) > 0 {
+				selfURL := *advertise
+				if selfURL == "" && strings.HasPrefix(*addr, ":") {
+					selfURL = "http://127.0.0.1" + *addr
+				}
+				if selfURL == "" {
+					fmt.Fprintln(os.Stderr, "skipping drain announcement: -advertise-url required when -addr is not :port")
+				} else {
+					acked := serve.AnnounceDrain(addrs, selfURL, 2*time.Second)
+					fmt.Printf("drain announced to %d/%d routers\n", acked, len(addrs))
+				}
+			}
 			if fleetLN != nil {
 				fleetLN.Close()
 			}
@@ -171,6 +188,17 @@ func main() {
 			return
 		}
 	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // parseShape parses "CxHxW" into [C,H,W].

@@ -10,7 +10,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skipper/internal/layers"
@@ -39,6 +42,9 @@ type routerBenchReport struct {
 	// Overload: two classes offered past fleet capacity; the full-horizon
 	// class is shed while the early-exit class keeps being served.
 	Overload routerOverloadRow `json:"overload_shed"`
+	// HA: a replicated router tier losing one router (kill -9) and one
+	// replica (announced drain handoff) mid-soak.
+	HA routerHARow `json:"ha"`
 }
 
 type routerSteadyRow struct {
@@ -50,6 +56,18 @@ type routerCanaryRow struct {
 	Report     serve.LoadGenReport `json:"report"`
 	Promotions int64               `json:"promotions"`
 	Rollbacks  int64               `json:"rollbacks"`
+}
+
+type routerHARow struct {
+	Routers  int                 `json:"routers"`
+	Replicas int                 `json:"replicas"`
+	Report   serve.LoadGenReport `json:"report"`
+	// DrainAcked is how many routers acknowledged the replica's drain
+	// announcement (the killed router cannot).
+	DrainAcked int `json:"drain_acked"`
+	// ConvergedWithin is how long after the soak the surviving routers'
+	// fleet views became identical.
+	ConvergedWithin string `json:"converged_within"`
 }
 
 type routerOverloadRow struct {
@@ -180,6 +198,213 @@ func startFleet(n int, build func() (*layers.Network, error), T, queueDepth, wor
 func (f *routerFleet) stopReplicas() {
 	for _, r := range f.replicas {
 		r.stop()
+	}
+}
+
+// haFleet is a replicated router tier: nRouters peered routers fronting one
+// shared replica set. The routers gossip membership, canary state, and
+// admission config over their peer listeners, so any one of them can die
+// without the tier losing the fleet view — clients fail over to the next
+// router URL.
+type haFleet struct {
+	mu        sync.Mutex
+	replicas  []*fleetReplica
+	routers   []*router.Router
+	servers   []*http.Server
+	urls      []string
+	peerAddrs []string
+}
+
+func startHAFleet(nRouters, nReplicas int, build func() (*layers.Network, error), T, queueDepth, workers, maxBatch int, window time.Duration, weights string, seed uint64) (*haFleet, error) {
+	f := &haFleet{}
+	specs := make([]router.BackendSpec, 0, nReplicas)
+	for i := 0; i < nReplicas; i++ {
+		r, err := startFleetReplica(build, T, queueDepth, workers, maxBatch, window, weights, seed)
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		f.replicas = append(f.replicas, r)
+		specs = append(specs, router.BackendSpec{URL: r.url, FleetAddr: r.fleetLN.Addr().String()})
+	}
+	peerLNs := make([]net.Listener, 0, nRouters)
+	closeFrom := func(i int) {
+		for _, ln := range peerLNs[i:] {
+			ln.Close()
+		}
+	}
+	for i := 0; i < nRouters; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeFrom(0)
+			f.stop()
+			return nil, err
+		}
+		peerLNs = append(peerLNs, ln)
+		f.peerAddrs = append(f.peerAddrs, ln.Addr().String())
+	}
+	for i := 0; i < nRouters; i++ {
+		peers := make([]string, 0, nRouters-1)
+		for j, addr := range f.peerAddrs {
+			if j != i {
+				peers = append(peers, addr)
+			}
+		}
+		rt, err := router.New(router.Config{
+			Backends:          specs,
+			HeartbeatInterval: 25 * time.Millisecond,
+			DeadAfter:         2,
+			SyncInterval:      10 * time.Millisecond,
+			PeerListener:      peerLNs[i],
+			PeerID:            f.peerAddrs[i],
+			Peers:             peers,
+			CanaryMinRequests: 20,
+		})
+		if err != nil {
+			closeFrom(i) // routers < i own theirs; stop() closes them
+			f.stop()
+			return nil, err
+		}
+		f.routers = append(f.routers, rt)
+		httpLN, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeFrom(i + 1)
+			f.stop()
+			return nil, err
+		}
+		hs := &http.Server{Handler: rt.Handler()}
+		go hs.Serve(httpLN)
+		f.servers = append(f.servers, hs)
+		f.urls = append(f.urls, "http://"+httpLN.Addr().String())
+	}
+	return f, nil
+}
+
+// killRouter drops router i without ceremony: in-flight client requests see a
+// severed connection and fail over to the next router URL.
+func (f *haFleet) killRouter(i int) {
+	f.mu.Lock()
+	var hs *http.Server
+	var rt *router.Router
+	if i < len(f.servers) {
+		hs, f.servers[i] = f.servers[i], nil
+	}
+	if i < len(f.routers) {
+		rt, f.routers[i] = f.routers[i], nil
+	}
+	f.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+	if rt != nil {
+		rt.Close()
+	}
+}
+
+// drainReplica performs the backend-initiated handoff: announce the drain to
+// every router peer channel (survivors vacate the ring arcs synchronously with
+// the ack), then drain the replica. Returns how many routers acked.
+func (f *haFleet) drainReplica(i int) int {
+	f.mu.Lock()
+	var r *fleetReplica
+	if i < len(f.replicas) {
+		r, f.replicas[i] = f.replicas[i], nil
+	}
+	f.mu.Unlock()
+	if r == nil {
+		return 0
+	}
+	acked := serve.AnnounceDrain(f.peerAddrs, r.url, 2*time.Second)
+	r.stop()
+	return acked
+}
+
+func (f *haFleet) stop() {
+	f.mu.Lock()
+	servers, routers, replicas := f.servers, f.routers, f.replicas
+	f.servers, f.routers, f.replicas = nil, nil, nil
+	f.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, hs := range servers {
+		if hs != nil {
+			hs.Shutdown(ctx)
+		}
+	}
+	for _, rt := range routers {
+		if rt != nil {
+			rt.Close()
+		}
+	}
+	for _, r := range replicas {
+		if r != nil {
+			r.stop()
+		}
+	}
+}
+
+// fetchFleetView decodes one router's /v1/fleet.
+func fetchFleetView(routerURL string) (router.FleetInfo, error) {
+	var info router.FleetInfo
+	resp, err := http.Get(routerURL + "/v1/fleet")
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// fleetSignature reduces a fleet view to its replicated slice — backend
+// states, ring membership, canary counters and history length — leaving out
+// peer-local detail (router id, RTTs, per-peer sync ages) that legitimately
+// differs between routers.
+func fleetSignature(info router.FleetInfo) string {
+	rows := make([]string, 0, len(info.Backends))
+	for _, b := range info.Backends {
+		rows = append(rows, b.URL+"="+b.State)
+	}
+	sort.Strings(rows)
+	ring := append([]string(nil), info.Ring...)
+	sort.Strings(ring)
+	return fmt.Sprintf("backends:%v ring:%v promotions:%d rollbacks:%d history:%d",
+		rows, ring, info.Canary.Promotions, info.Canary.Rollbacks, len(info.Canary.History))
+}
+
+// waitFleetConverged polls until every router in urls reports an identical
+// fleet signature, returning how long that took.
+func waitFleetConverged(urls []string, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	var lastErr error
+	for {
+		sigs := make([]string, 0, len(urls))
+		for _, u := range urls {
+			info, err := fetchFleetView(u)
+			if err != nil {
+				lastErr = err
+				break
+			}
+			sigs = append(sigs, fleetSignature(info))
+		}
+		if len(sigs) == len(urls) {
+			same := true
+			for _, s := range sigs[1:] {
+				if s != sigs[0] {
+					same = false
+					lastErr = fmt.Errorf("fleet views diverge: %q vs %q", sigs[0], s)
+				}
+			}
+			if same {
+				return time.Since(start), nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("fleet views did not converge within %s: %v", timeout, lastErr)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 
@@ -371,6 +596,72 @@ func init() {
 			rep.Overload = routerOverloadRow{
 				Interactive: iRep, Bulk: bRep,
 				InteractiveShed: iShed, BulkShed: bShed,
+			}
+
+			// 5. Replicated router tier: 3 peered routers over 3 replicas.
+			// One router is killed mid-soak (clients fail over to the next
+			// router URL) and one replica performs a backend-initiated drain
+			// handoff (announce over the fleet channel, then drain). The bar:
+			// zero failed requests and identical fleet views on the surviving
+			// routers within 2s.
+			ha, err := startHAFleet(3, 3, build, T, 256, workers, maxBatch, 0, basePath, cfg.seed())
+			if err != nil {
+				return err
+			}
+			var drainAcked atomic.Int64
+			routerKill := time.AfterFunc(soak/3, func() { ha.killRouter(0) })
+			drainTimer := time.AfterFunc(soak/2, func() { drainAcked.Store(int64(ha.drainReplica(2))) })
+			haRep, lgErr := serve.RunLoadGen(strings.Join(ha.urls, ","), serve.LoadGenOptions{
+				OpenLoop:  true,
+				TargetQPS: qps,
+				Duration:  soak,
+				Seed:      cfg.seed() + 5,
+				Sessions:  64,
+			})
+			routerKill.Stop()
+			drainTimer.Stop()
+			if lgErr != nil {
+				ha.stop()
+				return lgErr
+			}
+			survivors := ha.urls[1:]
+			conv, convErr := waitFleetConverged(survivors, 2*time.Second)
+			var view router.FleetInfo
+			if convErr == nil {
+				view, convErr = fetchFleetView(survivors[0])
+			}
+			drainedURL := ""
+			for _, b := range view.Backends {
+				if b.State != "alive" {
+					drainedURL = b.URL
+				}
+			}
+			ha.stop()
+			if convErr != nil {
+				return fmt.Errorf("bench_router: %v", convErr)
+			}
+			haFailed := haRep.Requests - haRep.DroppedByHarness - haRep.OK
+			fmt.Fprintf(out, "%10s %9.2fms %9.2fms %10.0f %8d  failovers=%d drain_acked=%d converged=%s\n",
+				"ha(3rt)", haRep.LatencyP50MS, haRep.LatencyP99MS, haRep.QPS, haFailed,
+				haRep.ClientFailovers, drainAcked.Load(), conv.Round(time.Millisecond))
+			if haFailed > 0 {
+				return fmt.Errorf("bench_router: %d failed requests through the router kill + drain handoff: %v", haFailed, haRep.StatusCodes)
+			}
+			if got := drainAcked.Load(); got < 2 {
+				return fmt.Errorf("bench_router: drain announcement acked by %d routers, want the 2 survivors", got)
+			}
+			if drainedURL == "" {
+				return fmt.Errorf("bench_router: no backend left the alive state after the drain handoff (view %+v)", view)
+			}
+			for _, id := range view.Ring {
+				if id == drainedURL {
+					return fmt.Errorf("bench_router: drained backend %s still holds ring arcs", drainedURL)
+				}
+			}
+			rep.HA = routerHARow{
+				Routers: 3, Replicas: 3, Report: haRep,
+				DrainAcked:      int(drainAcked.Load()),
+				ConvergedWithin: conv.Round(time.Millisecond).String(),
 			}
 
 			data, err := json.MarshalIndent(rep, "", "  ")

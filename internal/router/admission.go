@@ -74,12 +74,18 @@ type classState struct {
 }
 
 // admission is the tiered admission controller. All methods are safe for
-// concurrent use.
+// concurrent use. The configuration is replicated across the router tier: a
+// runtime change (setLocal) bumps a version stamped with this router's id,
+// and gossip carries the versioned config to the peers, which adopt it.
 type admission struct {
 	mu           sync.Mutex
 	classes      map[string]*classState
 	defaultClass string
 	now          func() time.Time // seam for deterministic tests
+
+	selfID  string // this router's peer id; stamps local mutations
+	version uint64 // bumps on every local mutation; adopted from peers
+	mutator string // peer id of the router whose mutation this version carries
 }
 
 func newAdmission(classes []ClassConfig, defaultClass string, now func() time.Time) *admission {
@@ -89,16 +95,30 @@ func newAdmission(classes []ClassConfig, defaultClass string, now func() time.Ti
 	if now == nil {
 		now = time.Now
 	}
-	a := &admission{classes: map[string]*classState{}, defaultClass: defaultClass, now: now}
+	a := &admission{now: now}
+	a.rebuildLocked(classes, defaultClass)
+	return a
+}
+
+// rebuildLocked replaces the class table. A class whose config is unchanged
+// keeps its runtime state — token-bucket level and SLO window survive a
+// config push that only touched other classes. Callers hold a.mu (or own the
+// struct exclusively, as in newAdmission).
+func (a *admission) rebuildLocked(classes []ClassConfig, defaultClass string) {
+	prev := a.classes
+	a.classes = map[string]*classState{}
+	a.defaultClass = defaultClass
 	for _, c := range classes {
-		cs := &classState{cfg: c, last: now()}
+		if c.RatePerSec > 0 && c.Burst <= 0 {
+			c.Burst = 2 * c.RatePerSec
+		}
+		if old, ok := prev[c.Name]; ok && old.cfg == c {
+			a.classes[c.Name] = old
+			continue
+		}
+		cs := &classState{cfg: c, last: a.now()}
 		if c.RatePerSec > 0 {
-			burst := c.Burst
-			if burst <= 0 {
-				burst = 2 * c.RatePerSec
-			}
-			cs.cfg.Burst = burst
-			cs.tokens = burst
+			cs.tokens = c.Burst
 		}
 		if c.BudgetMS > 0 && !c.FullHorizon {
 			cs.slo = newSLOController(float64(c.BudgetMS))
@@ -115,7 +135,62 @@ func newAdmission(classes []ClassConfig, defaultClass string, now func() time.Ti
 			}
 		}
 	}
-	return a
+}
+
+// admissionState is the admission config on the gossip wire.
+type admissionState struct {
+	Version      uint64        `json:"version"`
+	Mutator      string        `json:"mutator,omitempty"`
+	DefaultClass string        `json:"default_class"`
+	Classes      []ClassConfig `json:"classes"`
+}
+
+// state snapshots the replicated admission config.
+func (a *admission) state() admissionState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := admissionState{Version: a.version, Mutator: a.mutator, DefaultClass: a.defaultClass}
+	names := make([]string, 0, len(a.classes))
+	for name := range a.classes {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		st.Classes = append(st.Classes, a.classes[name].cfg)
+	}
+	return st
+}
+
+// setLocal applies an operator config change on this router and stamps it for
+// replication.
+func (a *admission) setLocal(classes []ClassConfig, defaultClass string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.version++
+	a.mutator = a.selfID
+	a.rebuildLocked(classes, defaultClass)
+}
+
+// adopt folds a peer's admission config in. The higher version wins; a
+// version tie breaks toward the lexically lower mutator so concurrent
+// mutations on different routers converge on one of them instead of
+// ping-ponging. Returns whether the peer's config was adopted.
+func (a *admission) adopt(st admissionState) bool {
+	if len(st.Classes) == 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st.Version < a.version {
+		return false
+	}
+	if st.Version == a.version && st.Mutator >= a.mutator {
+		return false
+	}
+	a.version = st.Version
+	a.mutator = st.Mutator
+	a.rebuildLocked(st.Classes, st.DefaultClass)
+	return true
 }
 
 // resolve maps a request's class label to its state, falling back to the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/url"
 	"sync/atomic"
+	"time"
 )
 
 // BackendState is a replica's health as the router sees it.
@@ -64,6 +65,20 @@ type backend struct {
 
 	state  atomic.Int32
 	misses int // consecutive failed heartbeats; heartbeat loop only
+
+	// drainAnnounced latches when the replica announces its own drain over
+	// the fleet channel (serve.AnnounceDrain) or a peer gossips one it
+	// received. It is sticky until the process actually dies — a pre-drain
+	// heartbeat pong still reporting draining=false must not resurrect the
+	// backend into the ring — and clears on death so a restarted process can
+	// rejoin.
+	drainAnnounced atomic.Bool
+
+	// Probe schedule and recovery damping, all written under rt.mu:
+	nextProbe time.Time // when this backend's next health probe is due
+	flaps     int       // recent deaths (decays after flapWindow of quiet)
+	lastDeath time.Time
+	readmitAt time.Time // recovery before this instant stays out of the ring
 
 	inflight atomic.Int64 // router-side in-flight requests
 

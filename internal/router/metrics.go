@@ -25,6 +25,10 @@ type Metrics struct {
 	remaps    int64            // ring membership changes (arcs vacated or restored)
 	deaths    int64            // backends declared dead by the heartbeat
 
+	peerSyncs        int64 // completed gossip round trips with peer routers
+	peerSyncFailures int64 // gossip rounds that failed (dial, frame, or decode)
+	drainAnnounces   int64 // replica drain announcements accepted on the peer channel
+
 	// gauges, read at render time
 	backendStates func() map[string]int // state name -> count
 	ringSize      func() int
@@ -93,6 +97,22 @@ func (m *Metrics) observeDeath() {
 	m.deaths++
 }
 
+func (m *Metrics) observePeerSync(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.peerSyncs++
+	} else {
+		m.peerSyncFailures++
+	}
+}
+
+func (m *Metrics) observeDrainAnnounce() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drainAnnounces++
+}
+
 // RequestCount returns the counted requests for one status code (tests).
 func (m *Metrics) RequestCount(code int) int64 {
 	m.mu.Lock()
@@ -112,6 +132,20 @@ func (m *Metrics) Failovers() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.failovers
+}
+
+// Remaps returns the ring-remap counter (tests: flap-damping churn bounds).
+func (m *Metrics) Remaps() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.remaps
+}
+
+// DrainAnnounces returns the accepted drain-announcement counter (tests).
+func (m *Metrics) DrainAnnounces() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drainAnnounces
 }
 
 // Render writes the registry in Prometheus text exposition format.
@@ -155,6 +189,9 @@ func (m *Metrics) Render(w io.Writer) {
 	counter(w, "skipper_router_http_fallback_total", "Framed exchanges completed over the HTTP fallback.", m.fallbacks)
 	counter(w, "skipper_router_ring_remaps_total", "Hash-ring membership changes (arcs vacated or restored).", m.remaps)
 	counter(w, "skipper_router_backend_deaths_total", "Backends declared dead after missed heartbeats.", m.deaths)
+	counter(w, "skipper_router_peer_syncs_total", "Completed gossip round trips with peer routers.", m.peerSyncs)
+	counter(w, "skipper_router_peer_sync_failures_total", "Failed gossip rounds (dial, frame, or decode error).", m.peerSyncFailures)
+	counter(w, "skipper_router_drain_announces_total", "Replica drain announcements accepted on the peer channel.", m.drainAnnounces)
 
 	if m.backendStates != nil {
 		states := m.backendStates()

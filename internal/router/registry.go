@@ -30,7 +30,21 @@ type registry struct {
 	promotions int64
 	rollbacks  int64
 	history    []CanaryEvent
+
+	// Replication bookkeeping for the peered router tier. Every mutation of
+	// the replicated state (start/finish/note) bumps version and stamps
+	// mutator with this router's id; gossip adoption takes the higher
+	// (version, lexically-lower mutator) state wholesale, so every peer
+	// converges on the same run, history, and counters. Cohort stats stay
+	// local — only the run's owner evaluates promotion from them.
+	selfID  string // this router's peer id ("" for an unpeered router)
+	version uint64
+	mutator string // router whose mutation produced the current state
 }
+
+// historyCap bounds the canary audit log: /v1/fleet's event history is a
+// ring buffer of the most recent historyCap transitions, never unbounded.
+const historyCap = 64
 
 // canaryRun is one in-flight canary.
 type canaryRun struct {
@@ -38,6 +52,7 @@ type canaryRun struct {
 	Fraction  float64
 	BackendID string
 	PrevPath  string // checkpoint to restore on rollback
+	Owner     string // peer id of the router driving evaluation
 	StartedAt time.Time
 
 	base cohortStats // stable backends during the run
@@ -92,7 +107,7 @@ type CanaryStatus struct {
 	History     []CanaryEvent `json:"history,omitempty"`
 }
 
-func newRegistry(minRequests int) *registry {
+func newRegistry(minRequests int, selfID string) *registry {
 	if minRequests <= 0 {
 		minRequests = 50
 	}
@@ -101,21 +116,31 @@ func newRegistry(minRequests int) *registry {
 		maxErrDelta:  0.01,
 		rollbackErr:  0.05,
 		latencySlack: 1.5,
+		selfID:       selfID,
+		mutator:      selfID,
 	}
 }
 
-// start begins a canary. The caller (Router) has already taken the backend
-// out of the main ring and reloaded it.
+// start begins a canary owned by this router. The caller (Router) has
+// already taken the backend out of the main ring and reloaded it.
 func (r *registry) start(path string, fraction float64, backendID, prevPath string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.run = &canaryRun{
 		Path: path, Fraction: fraction, BackendID: backendID, PrevPath: prevPath,
+		Owner:     r.selfID,
 		StartedAt: time.Now(),
 		base:      newCohortStats(),
 		can:       newCohortStats(),
 	}
+	r.mutate()
 	r.event("started", path, fmt.Sprintf("fraction %.3f on %s", fraction, backendID))
+}
+
+// mutate stamps a local change to the replicated state. Callers hold r.mu.
+func (r *registry) mutate() {
+	r.version++
+	r.mutator = r.selfID
 }
 
 // active returns the running canary's (backendID, fraction), or ("", 0).
@@ -154,6 +179,14 @@ func (r *registry) evaluate() (string, string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.run == nil {
+		return "", ""
+	}
+	// Only the run's owner scores the cohorts: every router observes its own
+	// slice of the traffic, and two routers evaluating independent samples
+	// could reach opposite verdicts. Peers mirror the owner's decision
+	// through gossip; if the owner dies mid-run, an operator promote or
+	// rollback through any surviving router still works.
+	if r.run.Owner != r.selfID {
 		return "", ""
 	}
 	can, base := &r.run.can, &r.run.base
@@ -202,6 +235,7 @@ func (r *registry) finish(action, reason string) {
 	case "rolled_back":
 		r.rollbacks++
 	}
+	r.mutate()
 	r.event(action, r.run.Path, reason)
 	r.run = nil
 }
@@ -211,6 +245,7 @@ func (r *registry) finish(action, reason string) {
 func (r *registry) note(action, path, reason string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.mutate()
 	r.event(action, path, reason)
 }
 
@@ -218,9 +253,92 @@ func (r *registry) event(action, path, reason string) {
 	r.history = append(r.history, CanaryEvent{
 		Time: time.Now().UTC().Format(time.RFC3339Nano), Action: action, Path: path, Reason: reason,
 	})
-	if len(r.history) > 64 {
-		r.history = r.history[len(r.history)-64:]
+	if len(r.history) > historyCap {
+		r.history = r.history[len(r.history)-historyCap:]
 	}
+}
+
+// registryState is the replicated slice of the registry: everything except
+// the local cohort stats. It rides in each gossip sync.
+type registryState struct {
+	Version    uint64          `json:"version"`
+	Mutator    string          `json:"mutator,omitempty"`
+	Promotions int64           `json:"promotions"`
+	Rollbacks  int64           `json:"rollbacks"`
+	History    []CanaryEvent   `json:"history,omitempty"`
+	Run        *canaryRunState `json:"run,omitempty"`
+}
+
+// canaryRunState is the wire form of an active run.
+type canaryRunState struct {
+	Path      string  `json:"path"`
+	Fraction  float64 `json:"fraction"`
+	BackendID string  `json:"backend_id"`
+	PrevPath  string  `json:"prev_path,omitempty"`
+	Owner     string  `json:"owner,omitempty"`
+	StartedAt string  `json:"started_at"`
+}
+
+// state snapshots the replicated registry slice for gossip.
+func (r *registry) state() registryState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := registryState{
+		Version:    r.version,
+		Mutator:    r.mutator,
+		Promotions: r.promotions,
+		Rollbacks:  r.rollbacks,
+		History:    append([]CanaryEvent(nil), r.history...),
+	}
+	if r.run != nil {
+		st.Run = &canaryRunState{
+			Path:      r.run.Path,
+			Fraction:  r.run.Fraction,
+			BackendID: r.run.BackendID,
+			PrevPath:  r.run.PrevPath,
+			Owner:     r.run.Owner,
+			StartedAt: r.run.StartedAt.UTC().Format(time.RFC3339Nano),
+		}
+	}
+	return st
+}
+
+// adopt merges a peer's registry state. The higher version wins; equal
+// versions tie-break on the lexically lower mutator id, so two routers that
+// raced a mutation converge on one state instead of diverging forever. A
+// newly (re)started router is at version 0 and adopts a peer's whole
+// history — promote/rollback events survive any single router's death.
+// Returns true when the local state was replaced.
+func (r *registry) adopt(st registryState) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st.Version < r.version {
+		return false
+	}
+	if st.Version == r.version && st.Mutator >= r.mutator {
+		return false
+	}
+	r.version = st.Version
+	r.mutator = st.Mutator
+	r.promotions = st.Promotions
+	r.rollbacks = st.Rollbacks
+	r.history = append([]CanaryEvent(nil), st.History...)
+	if st.Run == nil {
+		r.run = nil
+		return true
+	}
+	started, _ := time.Parse(time.RFC3339Nano, st.Run.StartedAt)
+	r.run = &canaryRun{
+		Path:      st.Run.Path,
+		Fraction:  st.Run.Fraction,
+		BackendID: st.Run.BackendID,
+		PrevPath:  st.Run.PrevPath,
+		Owner:     st.Run.Owner,
+		StartedAt: started,
+		base:      newCohortStats(),
+		can:       newCohortStats(),
+	}
+	return true
 }
 
 func (r *registry) status() CanaryStatus {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -32,11 +34,16 @@ type Router struct {
 	registry  *registry
 	metrics   *Metrics
 	tracer    *trace.Tracer
+	susp      *suspicion
 
 	mu       sync.RWMutex // guards ring membership + backend state transitions
 	ring     *Ring
 	backends map[string]*backend
-	order    []string // spec order, for stable /v1/fleet listings
+	order    []string   // spec order, for stable /v1/fleet listings
+	rng      *rand.Rand // heartbeat/readmit jitter; guarded by mu
+
+	peers   []*peerLink // outbound links, fixed at construction
+	inbound peerConns   // accepted peer-channel connections
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -71,6 +78,40 @@ type Config struct {
 	Tracer *trace.Tracer
 	// Client overrides the HTTP client for the fallback/control plane.
 	Client *http.Client
+
+	// ---- replicated router tier ----
+
+	// PeerListener, when non-nil, accepts the peer channel: router↔router
+	// state sync and replica drain announcements. The Router serves it until
+	// Close, which also closes it.
+	PeerListener net.Listener
+	// PeerID names this router to its peers (default: PeerListener's
+	// address). Ties in the replicated-state version race break toward the
+	// lexically lower id, so ids must be unique across the tier.
+	PeerID string
+	// Peers lists the other routers' peer-listener addresses. The quorum
+	// denominator is 1+len(Peers) whether or not the peers are reachable.
+	Peers []string
+	// SyncInterval is the gossip period (default: HeartbeatInterval).
+	SyncInterval time.Duration
+	// SuspicionStale is how stale a peer's last sync may be before its
+	// suspicion votes stop counting toward quorum — a dead router cannot
+	// keep a backend dead (default 4×SyncInterval).
+	SuspicionStale time.Duration
+
+	// ---- heartbeat scheduling / flap damping ----
+
+	// HeartbeatJitter spreads each backend's probe interval by ±this
+	// fraction so N routers do not probe every replica in lockstep
+	// (default 0.2; negative disables).
+	HeartbeatJitter float64
+	// ReadmitBackoffMax caps the dead→ring re-admission hold-down of a
+	// flapping backend (default 10s). The hold-down starts at one heartbeat
+	// interval and doubles per flap.
+	ReadmitBackoffMax time.Duration
+	// FlapWindow is how soon after a previous death the next one counts as
+	// a flap (default 2×ReadmitBackoffMax).
+	FlapWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +130,26 @@ func (c Config) withDefaults() Config {
 	if c.FailoverAttempts <= 0 {
 		c.FailoverAttempts = 2
 	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = c.HeartbeatInterval
+	}
+	if c.SuspicionStale <= 0 {
+		c.SuspicionStale = 4 * c.SyncInterval
+	}
+	if c.HeartbeatJitter == 0 {
+		c.HeartbeatJitter = 0.2
+	} else if c.HeartbeatJitter < 0 {
+		c.HeartbeatJitter = 0
+	}
+	if c.ReadmitBackoffMax <= 0 {
+		c.ReadmitBackoffMax = 10 * time.Second
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 2 * c.ReadmitBackoffMax
+	}
+	if c.PeerID == "" && c.PeerListener != nil {
+		c.PeerID = c.PeerListener.Addr().String()
+	}
 	return c
 }
 
@@ -99,17 +160,23 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("router: at least one backend is required")
 	}
 	cfg = cfg.withDefaults()
+	if len(cfg.Peers) > 0 && cfg.PeerListener == nil {
+		return nil, fmt.Errorf("router: Peers requires a PeerListener (the peers must be able to sync back)")
+	}
 	rt := &Router{
 		cfg:       cfg,
 		transport: newTransport(cfg.Client, cfg.RequestTimeout),
 		admission: newAdmission(cfg.Classes, cfg.DefaultClass, nil),
-		registry:  newRegistry(cfg.CanaryMinRequests),
+		registry:  newRegistry(cfg.CanaryMinRequests, cfg.PeerID),
 		metrics:   newMetrics(),
 		tracer:    cfg.Tracer,
+		susp:      newSuspicion(1+len(cfg.Peers), cfg.SuspicionStale, nil),
 		ring:      NewRing(cfg.VNodes),
 		backends:  map[string]*backend{},
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 		stop:      make(chan struct{}),
 	}
+	rt.admission.selfID = cfg.PeerID
 	for _, spec := range cfg.Backends {
 		if err := spec.validate(); err != nil {
 			return nil, err
@@ -120,6 +187,9 @@ func New(cfg Config) (*Router, error) {
 		rt.backends[spec.URL] = newBackend(spec)
 		rt.order = append(rt.order, spec.URL)
 	}
+	for _, addr := range cfg.Peers {
+		rt.peers = append(rt.peers, newPeerLink(addr))
+	}
 	rt.metrics.backendStates = rt.backendStateCounts
 	rt.metrics.ringSize = func() int {
 		rt.mu.RLock()
@@ -128,15 +198,28 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt.metrics.canary = rt.registry.status
 	rt.metrics.classGauges = rt.classGauges
-	rt.heartbeatPass()
+	rt.heartbeatPass(time.Now(), true)
 	rt.wg.Add(1)
 	go rt.heartbeatLoop()
+	if cfg.PeerListener != nil {
+		rt.wg.Add(1)
+		go rt.peerAcceptLoop()
+	}
+	for _, link := range rt.peers {
+		rt.wg.Add(1)
+		go rt.gossipLoop(link)
+	}
 	return rt, nil
 }
 
-// Close stops the heartbeat loop and drops pooled backend connections.
+// Close stops the heartbeat and gossip loops, closes the peer channel, and
+// drops pooled backend connections.
 func (rt *Router) Close() {
 	close(rt.stop)
+	if rt.cfg.PeerListener != nil {
+		rt.cfg.PeerListener.Close()
+	}
+	rt.inbound.closeAll()
 	rt.wg.Wait()
 	rt.transport.closeAll()
 }
@@ -146,39 +229,63 @@ func (rt *Router) Metrics() *Metrics { return rt.metrics }
 
 // ---- heartbeats ----
 
+// heartbeatLoop runs a fine-grained scheduler: it ticks at a fraction of the
+// heartbeat interval and probes whichever backends are due. Each backend
+// carries its own next-probe time — staggered at startup and jittered per
+// probe — so a tier of N routers never pounds every replica in lockstep.
 func (rt *Router) heartbeatLoop() {
 	defer rt.wg.Done()
-	tick := time.NewTicker(rt.cfg.HeartbeatInterval)
+	fine := rt.cfg.HeartbeatInterval / 8
+	if fine < time.Millisecond {
+		fine = time.Millisecond
+	}
+	tick := time.NewTicker(fine)
 	defer tick.Stop()
+	lastCanary := time.Now()
 	for {
 		select {
 		case <-rt.stop:
 			return
 		case <-tick.C:
-			rt.heartbeatPass()
+		}
+		now := time.Now()
+		rt.heartbeatPass(now, false)
+		if now.Sub(lastCanary) >= rt.cfg.HeartbeatInterval {
+			lastCanary = now
 			rt.canaryTick()
 		}
 	}
 }
 
-// heartbeatPass probes every backend once and reconciles ring membership.
-// Only the vacated arcs of a removed backend remap; survivors keep every
-// session they had.
-func (rt *Router) heartbeatPass() {
-	type probe struct {
-		b   *backend
-		st  serve.FleetStatus
-		rtt time.Duration
-		err error
+// heartbeatPass probes every due backend (all of them when all is set — the
+// synchronous warm-up in New) and reconciles ring membership. Only the
+// vacated arcs of a removed backend remap; survivors keep every session they
+// had.
+func (rt *Router) heartbeatPass(now time.Time, all bool) {
+	rt.mu.Lock()
+	var bs []*backend
+	n := len(rt.order)
+	for i, id := range rt.order {
+		b := rt.backends[id]
+		if !all && now.Before(b.nextProbe) {
+			continue
+		}
+		if all {
+			// Initial stagger: backend i's second probe lands at (i+1)/n of
+			// the interval, so probe phases start decorrelated before jitter
+			// even begins to accumulate.
+			b.nextProbe = now.Add(rt.cfg.HeartbeatInterval * time.Duration(i+1) / time.Duration(n))
+		} else {
+			b.nextProbe = now.Add(rt.jitteredIntervalLocked())
+		}
+		bs = append(bs, b)
 	}
-	rt.mu.RLock()
-	bs := make([]*backend, 0, len(rt.backends))
-	for _, id := range rt.order {
-		bs = append(bs, rt.backends[id])
+	rt.mu.Unlock()
+	if len(bs) == 0 {
+		return
 	}
-	rt.mu.RUnlock()
 
-	results := make([]probe, len(bs))
+	results := make([]probeResult, len(bs))
 	var wg sync.WaitGroup
 	for i, b := range bs {
 		wg.Add(1)
@@ -186,7 +293,7 @@ func (rt *Router) heartbeatPass() {
 			defer wg.Done()
 			start := time.Now()
 			st, err := rt.transport.ping(b)
-			results[i] = probe{b: b, st: st, rtt: time.Since(start), err: err}
+			results[i] = probeResult{b: b, st: st, rtt: time.Since(start), err: err}
 		}(i, b)
 	}
 	wg.Wait()
@@ -195,45 +302,147 @@ func (rt *Router) heartbeatPass() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for _, p := range results {
-		b := p.b
-		if p.err != nil {
-			b.misses++
-			if b.misses >= rt.cfg.DeadAfter && b.State() != StateDead {
-				b.setState(StateDead)
-				rt.metrics.observeDeath()
-				if rt.ring.Has(b.id) {
-					rt.ring.Remove(b.id)
-					rt.metrics.observeRemap()
-					rt.tracer.Event(trace.TrackRouter, "backend_dead")
-				}
-			}
-			continue
-		}
-		b.misses = 0
-		b.observeRTT(p.rtt.Microseconds())
-		b.version.Store(p.st.ModelVersion)
-		b.modelPath.Store(p.st.ModelPath)
-		if cap := int64(p.st.QueueCap + p.st.Workers*p.st.MaxBatch); cap > 0 {
-			b.capacity.Store(cap)
-		}
-		switch {
-		case p.st.Draining:
-			b.setState(StateDraining)
-			if rt.ring.Has(b.id) {
-				rt.ring.Remove(b.id)
-				rt.metrics.observeRemap()
-				rt.tracer.Event(trace.TrackRouter, "backend_draining")
-			}
-		default:
-			b.setState(StateAlive)
-			// The canary backend stays out of the main ring; it receives
-			// only its hash fraction.
-			if b.id != canaryID && !rt.ring.Has(b.id) {
-				rt.ring.Add(b.id)
-				rt.metrics.observeRemap()
-			}
-		}
+		rt.reconcileProbeLocked(p, canaryID, now)
 	}
+}
+
+// probeResult is one backend's health-probe outcome.
+type probeResult struct {
+	b   *backend
+	st  serve.FleetStatus
+	rtt time.Duration
+	err error
+}
+
+// reconcileProbeLocked folds one probe result into the backend's state and
+// ring membership. Callers hold rt.mu.
+func (rt *Router) reconcileProbeLocked(p probeResult, canaryID string, now time.Time) {
+	b := p.b
+	if p.err != nil {
+		b.misses++
+		if b.misses >= rt.cfg.DeadAfter {
+			rt.suspectLocked(b, now)
+		}
+		return
+	}
+	b.misses = 0
+	b.observeRTT(p.rtt.Microseconds())
+	b.version.Store(p.st.ModelVersion)
+	b.modelPath.Store(p.st.ModelPath)
+	if cap := int64(p.st.QueueCap + p.st.Workers*p.st.MaxBatch); cap > 0 {
+		b.capacity.Store(cap)
+	}
+	// The probe answered: withdraw the local suspicion vote, and tell the
+	// peers promptly so an outvoted healthy backend is restored fast.
+	if rt.susp.clear(b.id) {
+		rt.kickSync()
+	}
+	if b.drainAnnounced.Load() || p.st.Draining {
+		// drainAnnounced is the announced-shutdown latch: even a pong still
+		// reporting draining=false (announce raced the server's drain flag)
+		// keeps the backend out of the ring.
+		rt.setDrainingLocked(b)
+		return
+	}
+	if rt.susp.confirmed(b.id) {
+		// Outvoted: a majority of routers still suspects this backend. Our
+		// cleared vote is gossiping; the quorum re-admits it when enough
+		// routers' own probes succeed.
+		return
+	}
+	if b.State() == StateDead && now.Before(b.readmitAt) {
+		return // flap damping: hold a recently dead backend out of the ring
+	}
+	b.setState(StateAlive)
+	// The canary backend stays out of the main ring; it receives only its
+	// hash fraction.
+	if b.id != canaryID && !rt.ring.Has(b.id) {
+		rt.ring.Add(b.id)
+		rt.metrics.observeRemap()
+	}
+}
+
+// suspectLocked casts the local suspicion vote against a backend and kills it
+// if the cluster has quorum. With a single router the majority is 1, so local
+// suspicion is still immediate death — the pre-tier behavior. Callers hold
+// rt.mu.
+func (rt *Router) suspectLocked(b *backend, now time.Time) {
+	if rt.susp.suspect(b.id) {
+		rt.kickSync()
+		rt.tracer.Event(trace.TrackRouter, "backend_suspected")
+	}
+	if b.State() != StateDead && rt.susp.confirmed(b.id) {
+		rt.killBackendLocked(b, now)
+	}
+}
+
+// killBackendLocked declares a backend dead: out of the ring, flap accounting
+// updated, the drain latch cleared so a restarted process can rejoin. An
+// announced/draining shutdown is planned — it skips the flap hold-down so the
+// restarted replica re-admits on its first healthy probe. Callers hold rt.mu.
+func (rt *Router) killBackendLocked(b *backend, now time.Time) {
+	if b.State() == StateDead {
+		return
+	}
+	planned := b.State() == StateDraining || b.drainAnnounced.Load()
+	b.setState(StateDead)
+	b.misses = rt.cfg.DeadAfter
+	b.drainAnnounced.Store(false)
+	rt.metrics.observeDeath()
+	if planned {
+		b.readmitAt = now
+	} else {
+		if !b.lastDeath.IsZero() && now.Sub(b.lastDeath) <= rt.cfg.FlapWindow {
+			b.flaps++
+		} else {
+			b.flaps = 1
+		}
+		b.lastDeath = now
+		// Exponential hold-down: interval, 2·interval, 4·interval, ...,
+		// capped, with positive jitter so a fleet of routers does not
+		// re-admit a flapper in lockstep either.
+		hold := rt.cfg.HeartbeatInterval
+		for i := 1; i < b.flaps && hold < rt.cfg.ReadmitBackoffMax; i++ {
+			hold *= 2
+		}
+		if hold > rt.cfg.ReadmitBackoffMax {
+			hold = rt.cfg.ReadmitBackoffMax
+		}
+		if j := rt.cfg.HeartbeatJitter; j > 0 {
+			hold = time.Duration(float64(hold) * (1 + j*rt.rng.Float64()))
+		}
+		b.readmitAt = now.Add(hold)
+	}
+	if rt.ring.Has(b.id) {
+		rt.ring.Remove(b.id)
+		rt.metrics.observeRemap()
+		rt.tracer.Event(trace.TrackRouter, "backend_dead")
+	}
+}
+
+// setDrainingLocked moves a backend to the draining state and vacates its
+// arcs. Callers hold rt.mu.
+func (rt *Router) setDrainingLocked(b *backend) {
+	if b.State() != StateDraining {
+		b.setState(StateDraining)
+		b.misses = 0
+	}
+	if rt.ring.Has(b.id) {
+		rt.ring.Remove(b.id)
+		rt.metrics.observeRemap()
+		rt.tracer.Event(trace.TrackRouter, "backend_draining")
+	}
+}
+
+// jitteredIntervalLocked returns the heartbeat interval spread by the
+// configured jitter fraction. Callers hold rt.mu (it guards rng).
+func (rt *Router) jitteredIntervalLocked() time.Duration {
+	iv := rt.cfg.HeartbeatInterval
+	j := rt.cfg.HeartbeatJitter
+	if j <= 0 {
+		return iv
+	}
+	return time.Duration(float64(iv) * (1 + j*(2*rt.rng.Float64()-1)))
 }
 
 func (rt *Router) backendStateCounts() map[string]int {
@@ -518,8 +727,20 @@ func (rt *Router) route(ctx context.Context, w http.ResponseWriter, req wireRequ
 		latencyMS := rtt.Seconds() * 1000
 		cs.slo.observe(latencyMS)
 		rt.registry.observe(b.id, resp.Code, latencyMS)
-		if resp.Code == http.StatusTooManyRequests || resp.Code == http.StatusServiceUnavailable {
-			// The backend itself shed; surface its Retry-After.
+		if resp.Code == http.StatusServiceUnavailable {
+			// The backend itself refused — draining or saturated. Unlike a
+			// 429 (a class shed the client should back off from), a 503 is
+			// specific to this replica, so try an alternate before surfacing
+			// it. The drain handoff leans on this: a request already in
+			// flight toward an announced-draining replica fails over here
+			// instead of erroring at the client.
+			rt.metrics.observeShed(className, shedReasonCapacity)
+			if attempt < len(candidates)-1 {
+				lastErr = fmt.Errorf("backend %s unavailable (503)", b.id)
+				continue
+			}
+		} else if resp.Code == http.StatusTooManyRequests {
+			// The backend's class admission shed; surface its Retry-After.
 			rt.metrics.observeShed(className, shedReasonCapacity)
 		}
 		if resp.RetryAfter > 0 {
@@ -556,7 +777,7 @@ func (rt *Router) candidates(session string) []*backend {
 			for _, id := range rt.ring.Successors(session, rt.cfg.FailoverAttempts) {
 				out = append(out, rt.backends[id])
 			}
-			return out
+			return rt.orderBySuspicionLocked(out)
 		}
 	}
 	ids := rt.ring.Successors(session, 1+rt.cfg.FailoverAttempts)
@@ -564,7 +785,25 @@ func (rt *Router) candidates(session string) []*backend {
 	for _, id := range ids {
 		out = append(out, rt.backends[id])
 	}
-	return out
+	return rt.orderBySuspicionLocked(out)
+}
+
+// orderBySuspicionLocked stably partitions the candidate list so backends this
+// router locally suspects come last. A suspect below quorum stays in the ring
+// (the tier has not agreed it is dead), but this router has firsthand evidence
+// against it, so its own traffic tries the trusted alternates first. Callers
+// hold rt.mu (read or write).
+func (rt *Router) orderBySuspicionLocked(in []*backend) []*backend {
+	clean := in[:0]
+	var tainted []*backend
+	for _, b := range in {
+		if rt.susp.selfSuspects(b.id) {
+			tainted = append(tainted, b)
+		} else {
+			clean = append(clean, b)
+		}
+	}
+	return append(clean, tainted...)
 }
 
 // hashFraction maps a session key to [0, 1) on an axis independent of ring
@@ -584,39 +823,36 @@ func contentHash(input []float32) uint64 {
 }
 
 // noteTransportFailure counts a data-path error against a backend's health.
-// The heartbeat loop owns death, but a hard transport failure fast-tracks it:
-// the backend is marked dead and unringed immediately, and the next
-// successful heartbeat resurrects it. This is what bounds the blast radius of
-// a kill -9 to the in-flight requests of the dead replica.
+// A hard transport failure fast-tracks the local suspicion vote — no waiting
+// out DeadAfter heartbeats — and the backend dies the moment the vote reaches
+// quorum. With a single router the majority is 1, so this is still immediate
+// death (the pre-tier fast track) and the blast radius of a kill -9 stays
+// bounded to the dead replica's in-flight requests. In a tier, one router's
+// flaky NIC cannot evict a replica the rest of the quorum still reaches —
+// meanwhile candidates() orders locally-suspect backends last, so this
+// router's own traffic avoids the replica it distrusts.
 func (rt *Router) noteTransportFailure(b *backend) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if b.State() == StateDead {
-		return
-	}
-	b.setState(StateDead)
 	b.misses = rt.cfg.DeadAfter
-	rt.metrics.observeDeath()
-	if rt.ring.Has(b.id) {
-		rt.ring.Remove(b.id)
-		rt.metrics.observeRemap()
-		rt.tracer.Event(trace.TrackRouter, "backend_dead")
-	}
+	rt.suspectLocked(b, time.Now())
 }
 
 // ---- control/observability plane ----
 
 // FleetInfo is the GET /v1/fleet body.
 type FleetInfo struct {
+	RouterID string        `json:"router_id,omitempty"`
 	Backends []BackendInfo `json:"backends"`
 	Ring     []string      `json:"ring"`
 	Canary   CanaryStatus  `json:"canary"`
 	Classes  []ClassConfig `json:"classes"`
+	Peers    []PeerInfo    `json:"peers,omitempty"`
 }
 
 func (rt *Router) fleetInfo() FleetInfo {
 	rt.mu.RLock()
-	info := FleetInfo{Ring: rt.ring.Nodes()}
+	info := FleetInfo{RouterID: rt.cfg.PeerID, Ring: rt.ring.Nodes()}
 	for _, id := range rt.order {
 		info.Backends = append(info.Backends, rt.backends[id].info())
 	}
@@ -625,7 +861,21 @@ func (rt *Router) fleetInfo() FleetInfo {
 	for _, name := range rt.admission.classNames() {
 		info.Classes = append(info.Classes, rt.admission.resolve(name).cfg)
 	}
+	for _, l := range rt.peers {
+		info.Peers = append(info.Peers, l.info(rt.cfg.SuspicionStale))
+	}
 	return info
+}
+
+// SetClasses replaces the admission configuration at runtime and replicates
+// it to the peer routers.
+func (rt *Router) SetClasses(classes []ClassConfig, defaultClass string) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("router: at least one class is required")
+	}
+	rt.admission.setLocal(classes, defaultClass)
+	rt.kickSync()
+	return nil
 }
 
 // Handler returns the router's HTTP mux: the data plane (/v1/infer), the
@@ -682,6 +932,29 @@ func (rt *Router) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, rt.registry.status())
+	})
+	mux.HandleFunc("/v1/classes", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			st := rt.admission.state()
+			writeJSON(w, http.StatusOK, st)
+		case http.MethodPost:
+			var body struct {
+				Classes      []ClassConfig `json:"classes"`
+				DefaultClass string        `json:"default_class"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			if err := rt.SetClasses(body.Classes, body.DefaultClass); err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, rt.admission.state())
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")

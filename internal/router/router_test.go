@@ -29,8 +29,14 @@ type fakeReplica struct {
 	// checkpoint path — the "bad canary generation" injection.
 	failOnPath string
 	reloads    []string
+	// probeTimes records when each /readyz probe arrived (heartbeat
+	// scheduling tests).
+	probeTimes []time.Time
 
 	requests atomic.Int64
+	// down makes /readyz return 500 — a reachable process that is not
+	// healthy, the flapping-replica injection.
+	down atomic.Bool
 }
 
 func newFakeReplica(t *testing.T, modelPath string) *fakeReplica {
@@ -38,6 +44,13 @@ func newFakeReplica(t *testing.T, modelPath string) *fakeReplica {
 	f := &fakeReplica{modelPath: modelPath, version: 1}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.probeTimes = append(f.probeTimes, time.Now())
+		f.mu.Unlock()
+		if f.down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("/v1/config", func(w http.ResponseWriter, r *http.Request) {
@@ -97,6 +110,12 @@ func (f *fakeReplica) path() string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.modelPath
+}
+
+func (f *fakeReplica) probes() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Time(nil), f.probeTimes...)
 }
 
 func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {

@@ -1,0 +1,137 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// suspicion is the quorum failure detector's vote book. Each router keeps its
+// own *local* verdict per backend — missed heartbeats or a data-path
+// transport failure make a backend locally suspect — and learns every peer's
+// verdicts through gossip. A backend is confirmed dead only when a majority
+// of the configured router cluster suspects it, so one router's flaky link
+// to a healthy replica can never evict it: that router casts a single vote
+// and is outvoted by the peers whose probes still succeed.
+//
+// Votes from a peer that has not synced within staleAfter are discarded (a
+// dead router cannot keep a backend dead), but the quorum denominator stays
+// the full configured cluster size: with 3 routers a backend needs 2
+// suspecting votes whether or not the third router is reachable. A
+// single-router cluster has majority 1, which collapses the detector to the
+// pre-HA behavior — local suspicion is death.
+type suspicion struct {
+	mu         sync.Mutex
+	cluster    int // routers in the configured cluster, self included
+	staleAfter time.Duration
+	now        func() time.Time // seam for deterministic tests
+
+	self  map[string]bool       // backendID -> locally suspect
+	peers map[string]*peerVotes // peerID -> last synced verdicts
+}
+
+// peerVotes is one peer's last reported suspicion set.
+type peerVotes struct {
+	suspects map[string]bool
+	at       time.Time
+}
+
+func newSuspicion(cluster int, staleAfter time.Duration, now func() time.Time) *suspicion {
+	if cluster < 1 {
+		cluster = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &suspicion{
+		cluster:    cluster,
+		staleAfter: staleAfter,
+		now:        now,
+		self:       map[string]bool{},
+		peers:      map[string]*peerVotes{},
+	}
+}
+
+// majority is the vote count that confirms a death: floor(cluster/2)+1.
+func (s *suspicion) majority() int { return s.cluster/2 + 1 }
+
+// suspect casts the local vote against a backend. Returns true when the vote
+// is new (the caller pushes a sync so peers hear it promptly).
+func (s *suspicion) suspect(backendID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.self[backendID] {
+		return false
+	}
+	s.self[backendID] = true
+	return true
+}
+
+// clear withdraws the local vote. Returns true when a vote was present.
+func (s *suspicion) clear(backendID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.self[backendID] {
+		return false
+	}
+	delete(s.self, backendID)
+	return true
+}
+
+// selfSuspects reports the local verdict (the data path uses it to order
+// candidates; a locally-suspect backend is tried last, not skipped).
+func (s *suspicion) selfSuspects(backendID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.self[backendID]
+}
+
+// selfVotes returns the local suspicion set, sorted (the gossip payload).
+func (s *suspicion) selfVotes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.self))
+	for id := range s.self {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// record replaces one peer's verdicts with its latest sync.
+func (s *suspicion) record(peerID string, suspects []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := make(map[string]bool, len(suspects))
+	for _, id := range suspects {
+		set[id] = true
+	}
+	s.peers[peerID] = &peerVotes{suspects: set, at: s.now()}
+}
+
+// votes counts the suspecting routers for a backend: the local vote plus
+// every fresh peer vote.
+func (s *suspicion) votes(backendID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	if s.self[backendID] {
+		n++
+	}
+	cutoff := s.now().Add(-s.staleAfter)
+	for _, pv := range s.peers {
+		if s.staleAfter > 0 && pv.at.Before(cutoff) {
+			continue
+		}
+		if pv.suspects[backendID] {
+			n++
+		}
+	}
+	return n
+}
+
+// confirmed reports whether the cluster has reached quorum on a backend's
+// death.
+func (s *suspicion) confirmed(backendID string) bool {
+	return s.votes(backendID) >= s.majority()
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skipper/internal/dist"
@@ -33,7 +34,61 @@ const (
 	FleetInfer
 	// FleetResult answers an infer with a FleetResponse JSON payload.
 	FleetResult
+	// FleetDrainAnnounce is sent by a replica TO a router's peer listener
+	// when the replica begins a graceful shutdown: a DrainAnnouncement JSON
+	// payload naming the replica, pushed before the drain starts so the
+	// router vacates its ring arcs with zero missed-heartbeat window. This
+	// constant lives here (not in internal/router) because the replica is
+	// the sender and router already imports serve.
+	FleetDrainAnnounce
+	// FleetDrainAck acknowledges a drain announcement; empty payload.
+	FleetDrainAck
 )
+
+// DrainAnnouncement is the FleetDrainAnnounce payload. URL is the replica's
+// HTTP base URL — its identity in the router's backend table.
+type DrainAnnouncement struct {
+	URL string `json:"url"`
+}
+
+// AnnounceDrain tells every router in routerAddrs (their peer-listener
+// addresses) that the replica at selfURL is beginning a graceful shutdown.
+// Routers stop placing new sessions on it immediately instead of discovering
+// the drain on the next heartbeat. Announcements fan out in parallel and
+// best-effort: an unreachable router is skipped (its peers relay the drain
+// through gossip, and the heartbeat remains the backstop). Returns how many
+// routers acknowledged.
+func AnnounceDrain(routerAddrs []string, selfURL string, timeout time.Duration) int {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	payload, _ := json.Marshal(DrainAnnouncement{URL: selfURL})
+	var wg sync.WaitGroup
+	var acked atomic.Int64
+	for _, addr := range routerAddrs {
+		if addr == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(timeout))
+			if err := dist.WriteFrame(conn, FleetDrainAnnounce, payload); err != nil {
+				return
+			}
+			if typ, _, err := dist.ReadFrame(conn); err == nil && typ == FleetDrainAck {
+				acked.Add(1)
+			}
+		}(addr)
+	}
+	wg.Wait()
+	return int(acked.Load())
+}
 
 // FleetStatus is the pong payload: everything the router needs to place
 // traffic — liveness is implied by the reply, drain state gates ring

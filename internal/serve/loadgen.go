@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,11 +65,11 @@ type LoadGenOptions struct {
 
 // LoadGenReport summarises one load-generation run.
 type LoadGenReport struct {
-	Mode        string         `json:"mode"` // "closed" or "open"
-	Requests    int            `json:"requests"`
-	Concurrency int            `json:"concurrency,omitempty"`
-	TargetQPS   float64        `json:"target_qps,omitempty"`
-	MaxInFlight int            `json:"max_in_flight,omitempty"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	MaxInFlight int     `json:"max_in_flight,omitempty"`
 	// DroppedByHarness counts open-loop arrivals the generator could not
 	// launch because MaxInFlight was reached. They are load the server
 	// never saw; reporting them separately keeps the latency percentiles
@@ -81,6 +82,11 @@ type LoadGenReport struct {
 
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	// ClientFailovers counts requests retried against another target URL
+	// after a transport error (multi-router front tiers; zero with a single
+	// target).
+	ClientFailovers int64 `json:"client_failovers,omitempty"`
 
 	// Early-exit accounting over the OK responses: executed vs configured
 	// batch-timesteps and the fraction saved.
@@ -111,6 +117,10 @@ type outcome struct {
 // reports latency percentiles and early-exit savings. The input frames are
 // deterministic in (Seed, request index). Closed loop by default; see
 // LoadGenOptions.OpenLoop for the soak/tail-latency mode.
+//
+// baseURL may be a comma-separated list (a replicated router tier): requests
+// go to one target and fail over to the next on a transport error, so one
+// router's death costs at most the in-flight requests' retries, not the run.
 func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
@@ -119,15 +129,84 @@ func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 	if client == nil {
 		client = &http.Client{Timeout: opts.Timeout}
 	}
-	cfg, err := fetchConfig(client, baseURL)
+	pool, err := newTargetPool(baseURL)
+	if err != nil {
+		return LoadGenReport{}, err
+	}
+	cfg, err := pool.fetchConfig(client)
 	if err != nil {
 		return LoadGenReport{}, err
 	}
 
+	var rep LoadGenReport
 	if opts.OpenLoop {
-		return runOpenLoop(client, baseURL, cfg, opts)
+		rep, err = runOpenLoop(client, pool, cfg, opts)
+	} else {
+		rep, err = runClosedLoop(client, pool, cfg, opts)
 	}
-	return runClosedLoop(client, baseURL, cfg, opts)
+	rep.ClientFailovers = pool.failovers.Load()
+	return rep, err
+}
+
+// targetPool spreads a loadgen run over one or more target base URLs with
+// client-side failover: all goroutines follow a shared cursor, and a
+// transport error advances it (CAS, so a burst of concurrent failures counts
+// as one failover) to the next target.
+type targetPool struct {
+	urls      []string
+	cur       atomic.Int64
+	failovers atomic.Int64
+}
+
+func newTargetPool(baseURL string) (*targetPool, error) {
+	var urls []string
+	for _, u := range strings.Split(baseURL, ",") {
+		if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs at least one target URL")
+	}
+	return &targetPool{urls: urls}, nil
+}
+
+func (p *targetPool) target(cursor int64) string {
+	return p.urls[int(cursor%int64(len(p.urls)))]
+}
+
+// postInfer sends one request, trying each target at most once.
+func (p *targetPool) postInfer(client *http.Client, req any) (int, InferResponse, error) {
+	var lastErr error
+	for try := 0; try < len(p.urls); try++ {
+		cursor := p.cur.Load()
+		code, out, err := postInfer(client, p.target(cursor), req)
+		if err == nil {
+			return code, out, nil
+		}
+		lastErr = err
+		if p.cur.CompareAndSwap(cursor, cursor+1) {
+			p.failovers.Add(1)
+		}
+	}
+	return 0, InferResponse{}, lastErr
+}
+
+// fetchConfig reads /v1/config from the first target that answers.
+func (p *targetPool) fetchConfig(client *http.Client) (ConfigResponse, error) {
+	var lastErr error
+	for try := 0; try < len(p.urls); try++ {
+		cursor := p.cur.Load()
+		cfg, err := fetchConfig(client, p.target(cursor))
+		if err == nil {
+			return cfg, nil
+		}
+		lastErr = err
+		if p.cur.CompareAndSwap(cursor, cursor+1) {
+			p.failovers.Add(1)
+		}
+	}
+	return ConfigResponse{}, lastErr
 }
 
 // request builds the i-th deterministic wire request.
@@ -145,7 +224,7 @@ func (o LoadGenOptions) request(i uint64, inputLen int) wireRequest {
 	return req
 }
 
-func runClosedLoop(client *http.Client, baseURL string, cfg ConfigResponse, opts LoadGenOptions) (LoadGenReport, error) {
+func runClosedLoop(client *http.Client, pool *targetPool, cfg ConfigResponse, opts LoadGenOptions) (LoadGenReport, error) {
 	if opts.Requests <= 0 {
 		opts.Requests = 100
 	}
@@ -163,7 +242,7 @@ func runClosedLoop(client *http.Client, baseURL string, cfg ConfigResponse, opts
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			code, resp, err := postInfer(client, baseURL, opts.request(uint64(i), cfg.InputLen))
+			code, resp, err := pool.postInfer(client, opts.request(uint64(i), cfg.InputLen))
 			if err != nil {
 				code = -1
 			}
@@ -182,7 +261,7 @@ const loadgenArrivalNS = 0x61727276 // "arrv"
 // runOpenLoop launches arrivals on a deterministic-seeded exponential
 // schedule at TargetQPS, bounded by MaxInFlight, until Duration elapses or
 // Requests arrivals have been offered.
-func runOpenLoop(client *http.Client, baseURL string, cfg ConfigResponse, opts LoadGenOptions) (LoadGenReport, error) {
+func runOpenLoop(client *http.Client, pool *targetPool, cfg ConfigResponse, opts LoadGenOptions) (LoadGenReport, error) {
 	if opts.TargetQPS <= 0 {
 		return LoadGenReport{}, fmt.Errorf("serve: open-loop loadgen needs TargetQPS > 0")
 	}
@@ -233,7 +312,7 @@ func runOpenLoop(client *http.Client, baseURL string, cfg ConfigResponse, opts L
 			defer wg.Done()
 			defer inflight.Add(-1)
 			t0 := time.Now()
-			code, resp, err := postInfer(client, baseURL, opts.request(uint64(i), cfg.InputLen))
+			code, resp, err := pool.postInfer(client, opts.request(uint64(i), cfg.InputLen))
 			if err != nil {
 				code = -1
 			}

@@ -1,0 +1,211 @@
+#!/bin/sh
+# router_ha_smoke.sh — replicated-router-tier check on the real binaries:
+# three peered skipper-router processes front three skipper-serve replicas.
+# Mid-soak, one router dies ungracefully (kill -9; clients fail over to the
+# next router URL) and one replica performs a backend-initiated drain handoff
+# (SIGTERM → drain announced over the router peer channels before the process
+# stops accepting). A canary started through a surviving router must promote
+# and replicate to the other survivor. The gate requires (a) zero failed
+# requests through all of it, (b) the drained replica exiting cleanly with its
+# announcement acked by both survivors, and (c) the two surviving routers
+# converging on identical fleet views — membership, ring, and canary history —
+# within 2 seconds.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+    # shellcheck disable=SC2086
+    kill $PIDS 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/skipper-train" ./cmd/skipper-train
+go build -o "$WORK/skipper-serve" ./cmd/skipper-serve
+go build -o "$WORK/skipper-router" ./cmd/skipper-router
+go build -o "$WORK/skipper-routerctl" ./cmd/skipper-routerctl
+go build -o "$WORK/skipper-loadgen" ./cmd/skipper-loadgen
+
+TRAIN="-model vgg5 -strategy bptt -width 0.25 -T 8 -batch 4 -max-batches 2 \
+       -epochs 1 -pretrain=false"
+"$WORK/skipper-train" $TRAIN -seed 11 -save "$WORK/base.skpw" \
+    >"$WORK/train_base.log" 2>&1
+"$WORK/skipper-train" $TRAIN -seed 12 -save "$WORK/v2.skpw" \
+    >"$WORK/train_v2.log" 2>&1
+
+BASE=${ROUTER_HA_SMOKE_PORT:-17900}
+RT1_HTTP=$((BASE + 0)); RT1_PEER=$((BASE + 3))
+RT2_HTTP=$((BASE + 1)); RT2_PEER=$((BASE + 4))
+RT3_HTTP=$((BASE + 2)); RT3_PEER=$((BASE + 5))
+R1_HTTP=$((BASE + 6)); R1_FLEET=$((BASE + 9))
+R2_HTTP=$((BASE + 7)); R2_FLEET=$((BASE + 10))
+R3_HTTP=$((BASE + 8)); R3_FLEET=$((BASE + 11))
+PEERS="127.0.0.1:$RT1_PEER,127.0.0.1:$RT2_PEER,127.0.0.1:$RT3_PEER"
+RT1="http://127.0.0.1:$RT1_HTTP"
+RT2="http://127.0.0.1:$RT2_HTTP"
+RT3="http://127.0.0.1:$RT3_HTTP"
+
+fail() {
+    echo "FAIL: $1" >&2
+    for log in replica1 replica2 replica3 router1 router2 router3 loadgen; do
+        echo "--- $log.log ---" >&2
+        cat "$WORK/$log.log" >&2 || true
+    done
+    exit 1
+}
+
+# Replicas carry the full router peer list so a SIGTERM announces the drain
+# to every router before the listener closes.
+SERVE="-model vgg5 -width 0.25 -weights $WORK/base.skpw -T 12 -workers 2 \
+       -max-batch 8 -queue 64 -routers $PEERS"
+"$WORK/skipper-serve" $SERVE -addr "127.0.0.1:$R1_HTTP" \
+    -advertise-url "http://127.0.0.1:$R1_HTTP" \
+    -fleet-addr "127.0.0.1:$R1_FLEET" >"$WORK/replica1.log" 2>&1 &
+R1=$!; PIDS="$PIDS $R1"
+"$WORK/skipper-serve" $SERVE -addr "127.0.0.1:$R2_HTTP" \
+    -advertise-url "http://127.0.0.1:$R2_HTTP" \
+    -fleet-addr "127.0.0.1:$R2_FLEET" >"$WORK/replica2.log" 2>&1 &
+R2=$!; PIDS="$PIDS $R2"
+"$WORK/skipper-serve" $SERVE -addr "127.0.0.1:$R3_HTTP" \
+    -advertise-url "http://127.0.0.1:$R3_HTTP" \
+    -fleet-addr "127.0.0.1:$R3_FLEET" >"$WORK/replica3.log" 2>&1 &
+R3=$!; PIDS="$PIDS $R3"
+
+wait_ready() { # URL NAME
+    i=0
+    until curl -sf "$1/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || fail "$2 never became ready"
+        sleep 0.1
+    done
+}
+wait_ready "http://127.0.0.1:$R1_HTTP" replica1
+wait_ready "http://127.0.0.1:$R2_HTTP" replica2
+wait_ready "http://127.0.0.1:$R3_HTTP" replica3
+
+BACKENDS="http://127.0.0.1:$R1_HTTP=127.0.0.1:$R1_FLEET,http://127.0.0.1:$R2_HTTP=127.0.0.1:$R2_FLEET,http://127.0.0.1:$R3_HTTP=127.0.0.1:$R3_FLEET"
+start_router() { # HTTP_PORT PEER_PORT OTHER_PEERS LOG
+    "$WORK/skipper-router" -addr "127.0.0.1:$1" \
+        -backends "$BACKENDS" \
+        -heartbeat 50ms -dead-after 2 -sync-interval 25ms \
+        -canary-min-requests 12 \
+        -peer-addr "127.0.0.1:$2" -peers "$3" >"$WORK/$4.log" 2>&1 &
+    PIDS="$PIDS $!"
+}
+start_router "$RT1_HTTP" "$RT1_PEER" "127.0.0.1:$RT2_PEER,127.0.0.1:$RT3_PEER" router1
+RT1_PID=$!
+start_router "$RT2_HTTP" "$RT2_PEER" "127.0.0.1:$RT1_PEER,127.0.0.1:$RT3_PEER" router2
+RT2_PID=$!
+start_router "$RT3_HTTP" "$RT3_PEER" "127.0.0.1:$RT1_PEER,127.0.0.1:$RT2_PEER" router3
+RT3_PID=$!
+wait_ready "$RT1" router1
+wait_ready "$RT2" router2
+wait_ready "$RT3" router3
+
+# Open-loop soak offered to the whole router tier: the loadgen fails a
+# request over to the next router URL on a transport error, so a dead router
+# must never surface as a failed request.
+"$WORK/skipper-loadgen" -url "$RT1,$RT2,$RT3" -open -qps 80 -duration 8s \
+    -n 0 -sessions 64 -seed 7 -out "$WORK/report.json" \
+    >"$WORK/loadgen.log" 2>&1 &
+LG=$!; PIDS="$PIDS $LG"
+
+# Mid-soak fault 1: one router dies without ceremony. Quorum membership means
+# the survivors keep the identical ring; clients fail over.
+sleep 2
+kill -9 "$RT1_PID"
+
+# Mid-soak fault 2: one replica shuts down gracefully. Its SIGTERM handler
+# announces the drain over the router peer channels (the dead router cannot
+# ack), so the survivors vacate its arcs before a heartbeat could miss.
+sleep 1
+kill -TERM "$R3"
+
+# Canary through a surviving router, addressed at the whole tier: routerctl
+# must skip the dead router and note which peer answered. Gossip replicates
+# the run — and later the promotion — to the other survivor.
+sleep 1
+"$WORK/skipper-routerctl" -router "$RT1,$RT2" canary \
+    -path "$WORK/v2.skpw" -fraction 0.05 \
+    >"$WORK/canary.json" 2>"$WORK/canaryctl.log" \
+    || fail "starting the canary failed: $(cat "$WORK/canary.json" "$WORK/canaryctl.log")"
+grep -q "answered by $RT2" "$WORK/canaryctl.log" \
+    || fail "routerctl did not report failing over to $RT2: $(cat "$WORK/canaryctl.log")"
+
+wait "$LG" || fail "loadgen saw failed or shed requests through the router kill + drain handoff"
+wait "$R3" || fail "drained replica exited non-zero"
+grep -q "drain announced to 2/3 routers" "$WORK/replica3.log" \
+    || fail "drain announcement was not acked by exactly the two surviving routers"
+grep -q "drained cleanly" "$WORK/replica3.log" \
+    || fail "drained replica did not finish its in-flight queue"
+
+jq -e '.client_failovers >= 1' "$WORK/report.json" >/dev/null \
+    || fail "soak never failed over off the killed router: $(cat "$WORK/report.json")"
+
+# The canary must promote on the surviving owner (possibly a tick or two
+# after the soak ends).
+i=0
+while :; do
+    "$WORK/skipper-routerctl" -router "$RT2" fleet >"$WORK/fleet2.json" \
+        || fail "fleet status unavailable on router2"
+    [ "$(jq -r .canary.promotions "$WORK/fleet2.json")" = "1" ] && break
+    i=$((i + 1))
+    [ "$i" -le 50 ] || fail "canary never promoted: $(cat "$WORK/fleet2.json")"
+    sleep 0.1
+done
+[ "$(jq -r .canary.rollbacks "$WORK/fleet2.json")" = "0" ] \
+    || fail "healthy canary was rolled back"
+
+# Convergence: within 2s the survivors must agree on the replicated fleet
+# state — backend states, ring membership, canary counters, and the canary
+# event history. Peer-local detail (router id, RTTs, sync ages) is excluded.
+SIG='{backends: [.backends[] | {url, state}] | sort_by(.url),
+      ring: .ring | sort,
+      promotions: .canary.promotions, rollbacks: .canary.rollbacks,
+      events: [.canary.history[].action]}'
+i=0
+while :; do
+    "$WORK/skipper-routerctl" -router "$RT2" fleet >"$WORK/fleet2.json" \
+        || fail "fleet status unavailable on router2"
+    "$WORK/skipper-routerctl" -router "$RT3" fleet >"$WORK/fleet3.json" \
+        || fail "fleet status unavailable on router3"
+    jq -S "$SIG" "$WORK/fleet2.json" >"$WORK/sig2.json"
+    jq -S "$SIG" "$WORK/fleet3.json" >"$WORK/sig3.json"
+    cmp -s "$WORK/sig2.json" "$WORK/sig3.json" && break
+    i=$((i + 1))
+    [ "$i" -le 20 ] || {
+        echo "--- router2 view ---" >&2; cat "$WORK/sig2.json" >&2
+        echo "--- router3 view ---" >&2; cat "$WORK/sig3.json" >&2
+        fail "surviving routers did not converge on one fleet view within 2s"
+    }
+    sleep 0.1
+done
+
+# The converged view must show the drained replica out of the ring and the
+# two survivors promoted onto v2.
+[ "$(jq -r '.ring | length' "$WORK/fleet2.json")" = "2" ] \
+    || fail "ring did not settle on the two surviving replicas"
+jq -e --arg u "http://127.0.0.1:$R3_HTTP" \
+    '.backends[] | select(.url == $u) | .state != "alive"' \
+    "$WORK/fleet2.json" >/dev/null \
+    || fail "drained replica is still marked alive"
+ON_V2=$(jq -r '[.backends[] | select(.state == "alive")
+                | select(.model_path | endswith("v2.skpw"))] | length' \
+        "$WORK/fleet2.json")
+[ "$ON_V2" = "2" ] || fail "expected both survivors on v2.skpw, got $ON_V2"
+
+P99=$(jq -r .latency_p99_ms "$WORK/report.json")
+OKN=$(jq -r .ok "$WORK/report.json")
+FOV=$(jq -r .client_failovers "$WORK/report.json")
+[ "$OKN" -gt 300 ] || fail "soak answered only $OKN requests"
+jq -e '.latency_p99_ms < 1900' "$WORK/report.json" >/dev/null \
+    || fail "p99 ${P99}ms is not sane for an underloaded fleet"
+
+kill -TERM "$RT2_PID" "$RT3_PID" 2>/dev/null || true
+kill -TERM "$R1" "$R2" 2>/dev/null || true
+wait "$RT2_PID" "$RT3_PID" "$R1" "$R2" 2>/dev/null || true
+
+echo "PASS: router tier survived kill -9 of a peer and a drain handoff ($OKN ok, $FOV failovers, p99 ${P99}ms)"

@@ -24,6 +24,11 @@ sh ./scripts/dist_smoke.sh
 # one replica killed mid-soak, a 5% canary promoted — zero failed requests.
 sh ./scripts/router_smoke.sh
 
+# Replicated-router smoke: 3 peered routers over 3 replicas; kill -9 one
+# router and SIGTERM (drain handoff) one replica mid-soak — zero failed
+# requests, clean drain, survivors converge on one fleet view within 2s.
+sh ./scripts/router_ha_smoke.sh
+
 go run ./cmd/skipper-bench -exp bench_serve -scale tiny
 
 # Kernel smoke: serial-vs-pooled GFLOP/s with bit-identity checks. On a
