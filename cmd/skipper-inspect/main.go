@@ -142,7 +142,11 @@ func inspectManifest(path string) {
 		fmt.Printf("  divergences: %d\n", len(meta.Divergences))
 	}
 	if d := meta.Dist; d != nil {
-		fmt.Printf("  dist:       rank %d of %d, rounds committed %d\n", d.Rank, d.World, d.Round)
+		topo := d.Topology
+		if topo == "" {
+			topo = "star" // manifests issued before topology was recorded
+		}
+		fmt.Printf("  dist:       rank %d of %d, rounds committed %d, %s topology\n", d.Rank, d.World, d.Round, topo)
 	} else {
 		fmt.Printf("  dist:       none (single-process run)\n")
 	}

@@ -87,10 +87,14 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/spans on this address (e.g. localhost:6060)")
 
-		microBatch  = flag.Int("micro-batch", 0, "gradient micro-batch size (0 = whole batch; 1 matches distributed one-sample-shard accumulation bitwise)")
-		distListen  = flag.String("dist-listen", "", "run as distributed coordinator (rank 0): listen for workers on this address")
-		distJoin    = flag.String("dist-join", "", "run as distributed worker: join the coordinator at this address")
-		distWorkers = flag.Int("dist-workers", 1, "coordinator: number of worker ranks to wait for (world = workers + 1)")
+		microBatch     = flag.Int("micro-batch", 0, "gradient micro-batch size (0 = whole batch; 1 matches distributed one-sample-shard accumulation bitwise)")
+		distListen     = flag.String("dist-listen", "", "run as distributed coordinator (rank 0): listen for workers on this address")
+		distJoin       = flag.String("dist-join", "", "run as distributed worker: join the coordinator at this address")
+		distWorkers    = flag.Int("dist-workers", 1, "coordinator: number of worker ranks to wait for (world = workers + 1)")
+		distTopology   = flag.String("dist-topology", dist.TopologyStar, "gradient exchange topology: star (workers upload to rank 0) or ring (ranks forward chunks to their successor; bit-identical result)")
+		distCompress   = flag.String("dist-compress", dist.CompressNone, "gradient wire encoding: none or delta (bitmap+values frames for near-zero tensors; exact round-trip)")
+		distOverlap    = flag.Bool("dist-overlap", false, "stream per-segment gradient buckets into the exchange during backward (deterministic, but regroups the float summation — not bitwise vs serial)")
+		distRingListen = flag.String("dist-ring-listen", "", "ring topology: bind the rank's ring-data listener here (default 127.0.0.1:0)")
 	)
 	flag.Parse()
 	if *resume && *runDir == "" {
@@ -105,6 +109,13 @@ func main() {
 	}
 	if distMode && *guardN != 0 {
 		cli.Fatal(fmt.Errorf("the divergence guard's rollback is per-process and would desynchronize ranks; use -guard-retries 0 in distributed mode"))
+	}
+	distOpts := dist.Options{
+		Topology: *distTopology, Compress: *distCompress,
+		Overlap: *distOverlap, RingListen: *distRingListen,
+	}
+	if err := distOpts.Validate(); err != nil {
+		cli.Fatal(err)
 	}
 
 	src, err := dataset.Open(*data, *seed)
@@ -231,9 +242,9 @@ func main() {
 
 	if distMode {
 		if *distJoin != "" {
-			runDistWorker(tr, *distJoin, tracer, *savePath)
+			runDistWorker(tr, *distJoin, distOpts, tracer, *savePath)
 		} else {
-			runDistCoordinator(tr, *distListen, *distWorkers, *epochs, tracer, distMetrics, *savePath)
+			runDistCoordinator(tr, *distListen, *distWorkers, *epochs, distOpts, tracer, distMetrics, *savePath)
 		}
 		flushTrace()
 		return
@@ -339,9 +350,9 @@ func main() {
 
 // runDistCoordinator trains as rank 0 of a workers+1-rank world, accepting
 // worker joins on addr.
-func runDistCoordinator(tr *core.Trainer, addr string, workers, epochs int, tracer *trace.Tracer, metrics *dist.Metrics, savePath string) {
+func runDistCoordinator(tr *core.Trainer, addr string, workers, epochs int, opts dist.Options, tracer *trace.Tracer, metrics *dist.Metrics, savePath string) {
 	coord, err := dist.NewCoordinator(tr, dist.Config{
-		World: workers + 1, Tracer: tracer, Metrics: metrics,
+		World: workers + 1, Options: opts, Tracer: tracer, Metrics: metrics,
 	})
 	if err != nil {
 		cli.Fatal(err)
@@ -351,8 +362,8 @@ func runDistCoordinator(tr *core.Trainer, addr string, workers, epochs int, trac
 		cli.Fatal(err)
 	}
 	defer ln.Close()
-	fmt.Printf("coordinator: rank 0 of %d, waiting for %d worker(s) on %s\n",
-		workers+1, workers, ln.Addr())
+	fmt.Printf("coordinator: rank 0 of %d (%s topology), waiting for %d worker(s) on %s\n",
+		workers+1, coord.Collective().Name(), workers, ln.Addr())
 	go coord.Serve(ln)
 	eps, err := coord.Fit(epochs)
 	for i, ep := range eps {
@@ -370,11 +381,12 @@ func runDistCoordinator(tr *core.Trainer, addr string, workers, epochs int, trac
 }
 
 // runDistWorker joins the coordinator at addr and participates until done.
-func runDistWorker(tr *core.Trainer, addr string, tracer *trace.Tracer, savePath string) {
+func runDistWorker(tr *core.Trainer, addr string, opts dist.Options, tracer *trace.Tracer, savePath string) {
 	fmt.Printf("worker: joining coordinator at %s\n", addr)
 	err := dist.RunWorker(tr, dist.WorkerConfig{
-		Dial:   func() (net.Conn, error) { return net.Dial("tcp", addr) },
-		Tracer: tracer,
+		Dial:    func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Options: opts,
+		Tracer:  tracer,
 	})
 	var lost *dist.CoordinatorLostError
 	if errors.As(err, &lost) {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"time"
 
 	"skipper/internal/core"
@@ -17,23 +18,33 @@ import (
 
 // distBenchReport is what bench_dist writes to BENCH_dist.json: per-world
 // step-time scaling of the coordinator/worker runtime (real frames over
-// in-process pipes) next to the ring-all-reduce model's prediction for the
-// same gradient volume, so the measured exchange cost is directly
-// comparable to what core.DataParallel simulates.
+// in-process pipes for control, localhost TCP for ring data) next to the
+// ring-all-reduce model's prediction for the same gradient volume. Each
+// world size beyond 1 is measured under both topologies — star as the
+// baseline and ring with delta compression + backward overlap as the
+// optimized variant — so the exchange-cost and overlap columns show what
+// the collective machinery buys independent of core count.
 type distBenchReport struct {
-	Scale      string            `json:"scale"`
-	Model      string            `json:"model"`
-	T          int               `json:"t"`
-	Batch      int               `json:"batch"`
-	Rounds     int               `json:"rounds"`
-	ParamBytes int64             `json:"param_bytes"`
-	Worlds     []distWorldResult `json:"worlds"`
+	Scale      string `json:"scale"`
+	Model      string `json:"model"`
+	T          int    `json:"t"`
+	Batch      int    `json:"batch"`
+	Rounds     int    `json:"rounds"`
+	ParamBytes int64  `json:"param_bytes"`
+	// Cores is the host's logical CPU count: wall-clock speedup beyond it
+	// is impossible since every rank shares this machine.
+	Cores  int               `json:"cores"`
+	Worlds []distWorldResult `json:"worlds"`
 }
 
-// distWorldResult is one world size's measured round timing.
+// distWorldResult is one (world, topology) configuration's measured round
+// timing.
 type distWorldResult struct {
 	World   int `json:"world"`
 	Workers int `json:"workers"`
+	// Topology is "serial" for world 1, else the exchange topology; the
+	// ring variant runs with delta compression and backward overlap on.
+	Topology string `json:"topology"`
 	// MeanStepMS is the measured wall time per committed round.
 	MeanStepMS float64 `json:"mean_step_ms"`
 	// MeanComputeMS is the slowest rank's shard compute per round.
@@ -46,7 +57,10 @@ type distWorldResult struct {
 	ModelAllReduceMS float64 `json:"model_all_reduce_ms"`
 	// ReduceMB is the gradient payload actually moved over the wire.
 	ReduceMB float64 `json:"reduce_mb"`
-	// Speedup is world 1's mean step time over this world's.
+	// OverlapFrac is the mean fraction of exchange work hidden under
+	// backward compute (0 when the exchange never overlapped).
+	OverlapFrac float64 `json:"overlap_frac"`
+	// Speedup is world 1's mean step time over this configuration's.
 	Speedup float64 `json:"speedup"`
 }
 
@@ -67,7 +81,7 @@ func runBenchDist(cfg RunConfig, out io.Writer) error {
 		T      = map[Scale]int{Tiny: 10, Small: 16, Full: 32}[cfg.Scale]
 		batch  = map[Scale]int{Tiny: 4, Small: 8, Full: 16}[cfg.Scale]
 		rounds = map[Scale]int{Tiny: 2, Small: 4, Full: 8}[cfg.Scale]
-		worlds = map[Scale][]int{Tiny: {1, 2}, Small: {1, 2, 4}, Full: {1, 2, 4}}[cfg.Scale]
+		worlds = []int{1, 2, 4}
 	)
 	const model = "customnet"
 	build := func() (*core.Trainer, error) {
@@ -95,26 +109,40 @@ func runBenchDist(cfg RunConfig, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "== bench_dist: distributed step-time scaling ==\n")
-	fmt.Fprintf(out, "   workload: %s  T=%d batch=%d rounds=%d\n", model, T, batch, rounds)
-	rep := distBenchReport{Scale: cfg.Scale.String(), Model: model, T: T, Batch: batch, Rounds: rounds}
-	for _, w := range worlds {
-		res, paramBytes, err := benchDistWorld(w, rounds, batches, build)
-		if err != nil {
-			return err
-		}
-		rep.ParamBytes = paramBytes
-		if len(rep.Worlds) > 0 && rep.Worlds[0].World == 1 && res.MeanStepMS > 0 {
-			res.Speedup = rep.Worlds[0].MeanStepMS / res.MeanStepMS
-		} else {
-			res.Speedup = 1
-		}
-		rep.Worlds = append(rep.Worlds, res)
-		fmt.Fprintf(out, "   world %d (%d workers): step %7.2f ms  compute %7.2f ms  exchange %6.2f ms  (model all-reduce %5.3f ms)  moved %.2f MB  speedup %.2fx\n",
-			res.World, res.Workers, res.MeanStepMS, res.MeanComputeMS, res.MeanExchangeMS,
-			res.ModelAllReduceMS, res.ReduceMB, res.Speedup)
+	fmt.Fprintf(out, "   workload: %s  T=%d batch=%d rounds=%d cores=%d\n", model, T, batch, rounds, runtime.NumCPU())
+	rep := distBenchReport{
+		Scale: cfg.Scale.String(), Model: model, T: T, Batch: batch,
+		Rounds: rounds, Cores: runtime.NumCPU(),
 	}
-	fmt.Fprintf(out, "   note: ranks share this host's cores, so wall-clock speedup is bounded by the\n")
-	fmt.Fprintf(out, "   pool width; the reproduction target is the measured exchange cost column.\n")
+	variants := []dist.Options{
+		{Topology: dist.TopologyStar},
+		{Topology: dist.TopologyRing, Compress: dist.CompressDelta, Overlap: true},
+	}
+	for _, w := range worlds {
+		opts := variants[:1]
+		if w > 1 {
+			opts = variants
+		}
+		for _, o := range opts {
+			res, paramBytes, err := benchDistWorld(w, rounds, batches, o, build)
+			if err != nil {
+				return err
+			}
+			rep.ParamBytes = paramBytes
+			if len(rep.Worlds) > 0 && rep.Worlds[0].World == 1 && res.MeanStepMS > 0 {
+				res.Speedup = rep.Worlds[0].MeanStepMS / res.MeanStepMS
+			} else {
+				res.Speedup = 1
+			}
+			rep.Worlds = append(rep.Worlds, res)
+			fmt.Fprintf(out, "   world %d %-5s (%d workers): step %7.2f ms  compute %7.2f ms  exchange %6.2f ms  (model %5.3f ms)  moved %.2f MB  overlap %4.0f%%  speedup %.2fx\n",
+				res.World, res.Topology, res.Workers, res.MeanStepMS, res.MeanComputeMS, res.MeanExchangeMS,
+				res.ModelAllReduceMS, res.ReduceMB, 100*res.OverlapFrac, res.Speedup)
+		}
+	}
+	fmt.Fprintf(out, "   note: ranks share this host's %d core(s), so wall-clock speedup is bounded by\n", runtime.NumCPU())
+	fmt.Fprintf(out, "   the pool width; the reproduction targets are the exchange-cost, moved-MB, and\n")
+	fmt.Fprintf(out, "   overlap columns, which measure the collective independent of core count.\n")
 
 	f, err := os.Create(benchDistOutput)
 	if err != nil {
@@ -133,11 +161,15 @@ func runBenchDist(cfg RunConfig, out io.Writer) error {
 	return nil
 }
 
-// benchDistWorld measures mean round timing at one world size. World 1 is
-// the serial baseline; larger worlds run the real coordinator/worker wire
-// protocol over in-process pipes.
-func benchDistWorld(world, rounds int, batches [][]int, build func() (*core.Trainer, error)) (distWorldResult, int64, error) {
-	res := distWorldResult{World: world, Workers: world - 1}
+// benchDistWorld measures mean round timing at one world size under the
+// given exchange options. World 1 is the serial baseline; larger worlds run
+// the real coordinator/worker wire protocol over in-process pipes (control)
+// and localhost TCP (ring data).
+func benchDistWorld(world, rounds int, batches [][]int, opts dist.Options, build func() (*core.Trainer, error)) (distWorldResult, int64, error) {
+	res := distWorldResult{World: world, Workers: world - 1, Topology: opts.Topology}
+	if world == 1 {
+		res.Topology = "serial"
+	}
 	tr, err := build()
 	if err != nil {
 		return res, 0, err
@@ -162,7 +194,8 @@ func benchDistWorld(world, rounds int, batches [][]int, build func() (*core.Trai
 
 	metrics := dist.NewMetrics(world)
 	coord, err := dist.NewCoordinator(tr, dist.Config{
-		World: world, RoundTimeout: 2 * time.Minute, JoinTimeout: 2 * time.Minute, Metrics: metrics,
+		World: world, Options: opts,
+		RoundTimeout: 2 * time.Minute, JoinTimeout: 2 * time.Minute, Metrics: metrics,
 	})
 	if err != nil {
 		return res, paramBytes, err
@@ -181,14 +214,17 @@ func benchDistWorld(world, rounds int, batches [][]int, build func() (*core.Trai
 		}
 		workers = append(workers, wtr)
 		go func(wtr *core.Trainer) {
-			errs <- dist.RunWorker(wtr, dist.WorkerConfig{Dial: func() (net.Conn, error) {
-				cs, ws := net.Pipe()
-				coord.Admit(cs)
-				return ws, nil
-			}})
+			errs <- dist.RunWorker(wtr, dist.WorkerConfig{
+				Options: opts,
+				Dial: func() (net.Conn, error) {
+					cs, ws := net.Pipe()
+					coord.Admit(cs)
+					return ws, nil
+				}})
 		}(wtr)
 	}
 	var wall, compute, exchange time.Duration
+	var overlap float64
 	for _, b := range batches {
 		st, err := coord.TrainRound(dataset.Train, b)
 		if err != nil {
@@ -198,6 +234,7 @@ func benchDistWorld(world, rounds int, batches [][]int, build func() (*core.Trai
 		wall += st.Wall
 		compute += st.SlowestReplica
 		exchange += st.AllReduce
+		overlap += st.OverlapFrac
 	}
 	coord.Finish("bench complete")
 	for i := 1; i < world; i++ {
@@ -209,5 +246,6 @@ func benchDistWorld(world, rounds int, batches [][]int, build func() (*core.Trai
 	res.MeanComputeMS = float64(compute) / float64(rounds) / float64(time.Millisecond)
 	res.MeanExchangeMS = float64(exchange) / float64(rounds) / float64(time.Millisecond)
 	res.ReduceMB = float64(metrics.ReduceBytes()) / (1 << 20)
+	res.OverlapFrac = overlap / float64(rounds)
 	return res, paramBytes, nil
 }

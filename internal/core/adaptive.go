@@ -43,6 +43,10 @@ func (a *AdaptiveSkipper) Name() string {
 	return fmt.Sprintf("adaskipper(C=%d,p=%.0f)", a.C, a.P)
 }
 
+// Segments implements Segmenter: the backward pass flushes once per placed
+// checkpoint segment (placements always pads to exactly C bounds).
+func (a *AdaptiveSkipper) Segments() int { return a.C }
+
 // Validate implements Strategy.
 func (a *AdaptiveSkipper) Validate(cfg Config, net *layers.Network) error {
 	if err := ValidateCheckpoints(cfg.T, a.C, net.StatefulCount()); err != nil {
@@ -201,6 +205,7 @@ func (a *AdaptiveSkipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels
 			st.BackwardSteps++
 		}
 		tr.phaseDone(&st.BackwardTime, "backward", bwd, trace.Attr{Key: "seg", Val: int64(seg)})
+		tr.segmentFlushed(len(bounds)-seg, len(bounds))
 	}
 	if !lossInjected {
 		return st, fmt.Errorf("core: adaptive skipper never injected the loss gradient")

@@ -28,6 +28,10 @@ type Checkpoint struct {
 // Name implements Strategy.
 func (c Checkpoint) Name() string { return fmt.Sprintf("ckpt(C=%d)", c.C) }
 
+// Segments implements Segmenter: the backward pass flushes once per
+// checkpoint segment.
+func (c Checkpoint) Segments() int { return c.C }
+
 // Validate implements Strategy.
 func (c Checkpoint) Validate(cfg Config, net *layers.Network) error {
 	return ValidateCheckpoints(cfg.T, c.C, net.StatefulCount())
@@ -89,6 +93,7 @@ func (c Checkpoint) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int
 			st.BackwardSteps++
 		}
 		tr.phaseDone(&st.BackwardTime, "backward", bwd, trace.Attr{Key: "seg", Val: int64(s)})
+		tr.segmentFlushed(c.C-s, c.C)
 	}
 	return st, nil
 }

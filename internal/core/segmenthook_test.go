@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The segment hook must fire exactly Segments() times per batch, in the
+// deterministic backward flush order (done = 1..total), for every segmented
+// strategy — this ordering is what distributed bucketed overlap builds on.
+func TestSegmentHookFiresPerSegmentInFlushOrder(t *testing.T) {
+	const T = 18
+	strategies := []Strategy{
+		Checkpoint{C: 3},
+		Skipper{C: 3, P: 0},
+		&AdaptiveSkipper{C: 3, P: 0},
+	}
+	for _, strat := range strategies {
+		t.Run(strat.Name(), func(t *testing.T) {
+			net, data, input, labels := tinySetup(t, T)
+			tr := newTestTrainer(t, net, data, strat, Config{T: T, Batch: 2})
+
+			want := SegmentCount(strat)
+			if want != 3 {
+				t.Fatalf("SegmentCount = %d, want 3", want)
+			}
+			var calls []string
+			tr.SetSegmentHook(func(done, total int) {
+				calls = append(calls, fmt.Sprintf("%d/%d", done, total))
+			})
+			net.ZeroGrads()
+			if _, err := strat.TrainBatch(tr, input, labels); err != nil {
+				t.Fatal(err)
+			}
+			if len(calls) != want {
+				t.Fatalf("hook fired %d times (%v), want %d", len(calls), calls, want)
+			}
+			for i, c := range calls {
+				if exp := fmt.Sprintf("%d/%d", i+1, want); c != exp {
+					t.Fatalf("call %d = %q, want %q (all: %v)", i, c, exp, calls)
+				}
+			}
+
+			// Clearing the hook stops the callbacks.
+			tr.SetSegmentHook(nil)
+			calls = nil
+			net.ZeroGrads()
+			if _, err := strat.TrainBatch(tr, input, labels); err != nil {
+				t.Fatal(err)
+			}
+			if len(calls) != 0 {
+				t.Fatalf("cleared hook still fired %d times", len(calls))
+			}
+		})
+	}
+}
+
+// Unsegmented strategies never invoke the hook and count as one segment.
+func TestSegmentHookUnsegmentedBPTT(t *testing.T) {
+	const T = 8
+	net, data, input, labels := tinySetup(t, T)
+	tr := newTestTrainer(t, net, data, BPTT{}, Config{T: T, Batch: 2})
+	if n := SegmentCount(BPTT{}); n != 1 {
+		t.Fatalf("SegmentCount(BPTT) = %d, want 1", n)
+	}
+	fired := 0
+	tr.SetSegmentHook(func(done, total int) { fired++ })
+	net.ZeroGrads()
+	if _, err := (BPTT{}).TrainBatch(tr, input, labels); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("BPTT fired the segment hook %d times", fired)
+	}
+}

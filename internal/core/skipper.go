@@ -35,6 +35,10 @@ type Skipper struct {
 // Name implements Strategy.
 func (s Skipper) Name() string { return fmt.Sprintf("skipper(C=%d,p=%.0f)", s.C, s.P) }
 
+// Segments implements Segmenter: the backward pass flushes once per
+// checkpoint segment.
+func (s Skipper) Segments() int { return s.C }
+
 // Validate implements Strategy.
 func (s Skipper) Validate(cfg Config, net *layers.Network) error {
 	if err := ValidateCheckpoints(cfg.T, s.C, net.StatefulCount()); err != nil {
@@ -127,6 +131,7 @@ func (s Skipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (
 			st.BackwardSteps++
 		}
 		tr.phaseDone(&st.BackwardTime, "backward", bwd, trace.Attr{Key: "seg", Val: int64(seg)})
+		tr.segmentFlushed(s.C-seg, s.C)
 	}
 	if !lossInjected {
 		return st, fmt.Errorf("core: skipper never injected the loss gradient (T-1 not visited)")

@@ -1,0 +1,447 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/frame"
+	"skipper/internal/trace"
+)
+
+// Collective is one topology's gradient-combination engine. The coordinator
+// drives it once per round attempt: Shard partitions the global batch,
+// Exchange runs rank 0's local compute while combining every rank's
+// gradients (on return the coordinator's gradient tensors hold the global
+// sum), and Commit releases the round so every rank steps. Abort discards
+// in-flight state after a rank fault; Close releases listeners.
+type Collective interface {
+	// Name is the topology name recorded in manifests and tooling.
+	Name() string
+	// Shard partitions the global batch indices across ranks.
+	Shard(indices []int) [][]int
+	// Exchange computes rank 0's shard and combines all ranks' gradients
+	// into the coordinator's gradient tensors. A *rankFaultError return is
+	// recoverable by vacate+replay; anything else is fatal.
+	Exchange(r *round) error
+	// Commit releases the round to the workers. Unreachable ranks are
+	// vacated, not failed: the reduced gradient already exists, so the
+	// survivors must step.
+	Commit(r *round) error
+	// Abort discards in-flight collective state after a round fault.
+	Abort()
+	// Close releases any listeners or persistent connections.
+	Close()
+}
+
+// round carries one attempt's state through Shard/Exchange/Commit.
+type round struct {
+	num     int // committed-round index (c.round)
+	attempt int
+	split   dataset.Split
+	indices []int
+	shards  [][]int
+	iter    int
+	nb      int // exchange bucket count
+
+	out       core.DPStepStats
+	wireBytes int64
+
+	// Overlap accounting: firstEvent is the earliest exchange activity
+	// (first byte batch arriving or first own bucket flushed), computeDone
+	// is when rank 0's local backward finished, exchangeEnd is when the
+	// commit completed. The exchange work hidden under local compute is
+	// busy − visible.
+	firstEvent  time.Time
+	computeDone time.Time
+	exchangeEnd time.Time
+}
+
+// note records an exchange event time for overlap accounting.
+func (r *round) note(t time.Time) {
+	if r.firstEvent.IsZero() || t.Before(r.firstEvent) {
+		r.firstEvent = t
+	}
+}
+
+// finishOverlapStats derives ExchangeBusy and OverlapFrac once the round's
+// timeline is complete: busy is the exchange's active window, visible is
+// the part sticking out past rank 0's compute, and the overlap fraction is
+// the hidden share 1 − visible/busy.
+func (r *round) finishOverlapStats() {
+	if r.firstEvent.IsZero() || !r.exchangeEnd.After(r.firstEvent) {
+		return
+	}
+	busy := r.exchangeEnd.Sub(r.firstEvent)
+	visible := r.exchangeEnd.Sub(r.computeDone)
+	if visible < 0 {
+		visible = 0
+	}
+	frac := 1 - float64(visible)/float64(busy)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	r.out.ExchangeBusy = busy
+	r.out.OverlapFrac = frac
+}
+
+// ownBucket is one flushed bucket of the rank's own gradient contribution.
+type ownBucket struct {
+	b    int
+	vals []float32 // full flat length; the collective slices its ranges
+}
+
+// bucketFeed snapshots the rank's own gradient buckets during local
+// compute. Without overlap there is a single bucket, flushed after the
+// backward completes. With overlap, the trainer's segment hook flushes the
+// delta since the previous flush as each checkpoint segment's backward
+// finishes — the bucket is ready while later segments still recompute.
+// finish flushes whatever remains (the held final bucket, plus padding
+// buckets when the strategy fired fewer hooks than dictated) and closes the
+// channel.
+type bucketFeed struct {
+	flat   *flatGrads
+	nb     int
+	shadow []float32 // previous snapshot; delta source for overlap buckets
+	next   int
+	ch     chan ownBucket
+	mu     sync.Mutex
+	first  time.Time // when the first bucket was flushed
+}
+
+func newBucketFeed(flat *flatGrads, nb int) *bucketFeed {
+	return &bucketFeed{flat: flat, nb: nb, ch: make(chan ownBucket, nb)}
+}
+
+// hook adapts the feed to core.Trainer.SetSegmentHook. The final bucket is
+// held for finish (its frame carries the round stats, which only exist once
+// the full batch returns).
+func (f *bucketFeed) hook(done, total int) {
+	if f.next < f.nb-1 {
+		f.flush()
+	}
+}
+
+// flush emits the next bucket: the raw gradients for a single-bucket feed,
+// the delta since the previous flush otherwise.
+func (f *bucketFeed) flush() {
+	n := f.flat.size()
+	cur := make([]float32, n)
+	f.flat.copyOut(0, n, cur)
+	if f.nb > 1 {
+		if f.shadow == nil {
+			f.shadow = make([]float32, n)
+		}
+		for i, v := range cur {
+			cur[i] = v - f.shadow[i]
+			f.shadow[i] = v
+		}
+	}
+	f.mu.Lock()
+	if f.first.IsZero() {
+		f.first = time.Now()
+	}
+	f.mu.Unlock()
+	f.ch <- ownBucket{b: f.next, vals: cur}
+	f.next++
+}
+
+// firstFlush reports when the first bucket was emitted (zero if none).
+func (f *bucketFeed) firstFlush() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.first
+}
+
+// finish flushes all remaining buckets (none at all if the rank sat the
+// round out) and closes the feed.
+func (f *bucketFeed) finish(contrib bool) {
+	if contrib {
+		for f.next < f.nb {
+			f.flush()
+		}
+	}
+	close(f.ch)
+}
+
+// close abandons the feed without flushing (local compute failed).
+func (f *bucketFeed) close() { close(f.ch) }
+
+// starCollective combines gradients through the coordinator: every worker
+// uploads its (bucketed) contribution, rank 0 folds them in ascending rank
+// order, and Commit broadcasts the reduced flat gradient. Uploads are read
+// by per-rank goroutines concurrently with rank 0's own compute, so wire
+// time hides under compute even in the default single-bucket mode — only
+// the fold (cheap) waits for everything.
+type starCollective struct {
+	c *Coordinator
+}
+
+func (s *starCollective) Name() string { return TopologyStar }
+
+func (s *starCollective) Shard(indices []int) [][]int {
+	return core.Shard(indices, s.c.cfg.World)
+}
+
+func (s *starCollective) Abort() {}
+func (s *starCollective) Close() {}
+
+// starUpload is one rank's collected round contribution.
+type starUpload struct {
+	buckets [][]float32
+	meta    gradsMeta // final frame's meta; carries the stats
+	bytes   int64
+	firstAt time.Time
+	lastAt  time.Time
+	err     error
+}
+
+func (s *starCollective) Exchange(r *round) error {
+	c := s.c
+	W := c.cfg.World
+
+	ups := make([]*starUpload, W)
+	var wg sync.WaitGroup
+	for rank := 1; rank < W; rank++ {
+		ups[rank] = &starUpload{}
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			s.readUploads(r, rank, ups[rank])
+		}(rank)
+	}
+
+	// Rank 0's own compute. With overlap the segment hook streams delta
+	// buckets into the feed; the single-bucket path snapshots once at the
+	// end (bit-identical to folding the live tensors).
+	feed := newBucketFeed(c.flat, r.nb)
+	if r.nb > 1 {
+		c.tr.SetSegmentHook(feed.hook)
+	}
+	st0, elapsed0, err := c.tr.ShardGrads(r.split, r.shards[0], r.iter, len(r.indices))
+	if r.nb > 1 {
+		c.tr.SetSegmentHook(nil)
+	}
+	r.computeDone = time.Now()
+	if err != nil {
+		feed.close()
+		wg.Wait()
+		return err
+	}
+	r.out.StepStats.Add(st0)
+	r.out.SlowestReplica = elapsed0
+	feed.finish(len(r.shards[0]) > 0)
+	own := make([][]float32, 0, r.nb)
+	for ob := range feed.ch {
+		own = append(own, ob.vals)
+	}
+	if t := feed.firstFlush(); !t.IsZero() {
+		r.note(t)
+	}
+	wg.Wait()
+
+	for rank := 1; rank < W; rank++ {
+		if ups[rank].err != nil {
+			return ups[rank].err
+		}
+	}
+	s.fold(r, own, ups)
+	return nil
+}
+
+// readUploads collects rank's full round contribution: one meta-only frame
+// if its shard is empty, r.nb bucket frames otherwise. Stale frames from an
+// aborted prior attempt of the same round are drained — the worker computed
+// bit-identical gradients for them, but the bookkeeping must not conflate
+// attempts.
+func (s *starCollective) readUploads(r *round, rank int, up *starUpload) {
+	c := s.c
+	conn := c.conns[rank]
+	want := len(r.shards[rank])
+	n := c.flat.size()
+	fault := func(err error) {
+		up.err = &rankFaultError{rank: rank, phase: "gather", err: err}
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		typ, payload, err := frame.Read(conn)
+		now := time.Now()
+		if err != nil {
+			fault(err)
+			return
+		}
+		switch typ {
+		case msgGrads:
+		case msgError:
+			fault(decodeWorkerError(payload))
+			return
+		default:
+			fault(fmt.Errorf("expected gradients, got message type %d", typ))
+			return
+		}
+		var meta gradsMeta
+		fb, err := decodeFlat(payload, &meta)
+		if err != nil {
+			fault(err)
+			return
+		}
+		if meta.Round == r.num && meta.Attempt < r.attempt {
+			continue // stale upload from an aborted attempt
+		}
+		if meta.Round != r.num || meta.Attempt != r.attempt || meta.Rank != rank {
+			fault(fmt.Errorf("upload for round %d attempt %d rank %d, want %d/%d/%d",
+				meta.Round, meta.Attempt, meta.Rank, r.num, r.attempt, rank))
+			return
+		}
+		if meta.Count != want {
+			fault(fmt.Errorf("upload covers %d samples, want %d", meta.Count, want))
+			return
+		}
+		if up.firstAt.IsZero() {
+			up.firstAt = now
+		}
+		up.lastAt = now
+		up.bytes += int64(len(payload))
+		if want == 0 {
+			up.meta = meta // sat out: single meta-only frame, no buckets
+			return
+		}
+		if meta.NBucket != r.nb || meta.Bucket != len(up.buckets) {
+			fault(fmt.Errorf("bucket %d/%d out of sequence (have %d, want %d buckets)",
+				meta.Bucket, meta.NBucket, len(up.buckets), r.nb))
+			return
+		}
+		vals := make([]float32, n)
+		if err := decodeFloats(fb, vals); err != nil {
+			fault(err)
+			return
+		}
+		up.buckets = append(up.buckets, vals)
+		if meta.Bucket == r.nb-1 {
+			up.meta = meta
+			return
+		}
+	}
+}
+
+// fold combines all contributions into the coordinator's gradient tensors.
+// Within each bucket, ranks accumulate in ascending order with empty shards
+// skipped entirely — exactly core.ReduceGrads' walk, so the single-bucket
+// path is bit-identical to the in-process reduction. Buckets then sum in
+// flush order. It also folds the stats and straggler accounting.
+func (s *starCollective) fold(r *round, own [][]float32, ups []*starUpload) {
+	c := s.c
+	n := c.flat.size()
+	W := c.cfg.World
+
+	bucket := func(rank, b int) []float32 {
+		if rank == 0 {
+			if len(r.shards[0]) == 0 {
+				return nil
+			}
+			return own[b]
+		}
+		if len(r.shards[rank]) == 0 {
+			return nil
+		}
+		return ups[rank].buckets[b]
+	}
+
+	if r.nb == 1 {
+		// In place: rank 0's gradients are already the running sum.
+		have := len(r.shards[0]) > 0
+		for rank := 1; rank < W; rank++ {
+			vals := bucket(rank, 0)
+			if vals == nil {
+				continue
+			}
+			if !have {
+				c.flat.copyIn(0, n, vals)
+				have = true
+				continue
+			}
+			c.flat.addIn(0, n, vals)
+		}
+	} else {
+		total := make([]float32, n)
+		totalHave := false
+		for b := 0; b < r.nb; b++ {
+			var acc []float32
+			for rank := 0; rank < W; rank++ {
+				vals := bucket(rank, b)
+				if vals == nil {
+					continue
+				}
+				if acc == nil {
+					acc = vals // first contributor seeds the bucket (slice is ours)
+					continue
+				}
+				for i, v := range vals {
+					acc[i] += v
+				}
+			}
+			if acc == nil {
+				continue
+			}
+			if !totalHave {
+				copy(total, acc)
+				totalHave = true
+				continue
+			}
+			for i, v := range acc {
+				total[i] += v
+			}
+		}
+		c.flat.copyIn(0, n, total)
+	}
+
+	for rank := 1; rank < W; rank++ {
+		up := ups[rank]
+		r.wireBytes += up.bytes
+		r.out.StepStats.Add(core.StepStats{Loss: up.meta.Loss, Correct: up.meta.Correct, N: up.meta.N})
+		if d := time.Duration(up.meta.ComputeSeconds * float64(time.Second)); d > r.out.SlowestReplica {
+			r.out.SlowestReplica = d
+		}
+		if !up.firstAt.IsZero() {
+			r.note(up.firstAt)
+		}
+		if c.cfg.Straggler > 0 && up.lastAt.After(r.computeDone.Add(c.cfg.Straggler)) {
+			c.cfg.Metrics.observeStraggler()
+			c.cfg.Tracer.Event(trace.TrackDist, "straggler",
+				trace.Attr{Key: "rank", Val: int64(rank)},
+				trace.Attr{Key: "round", Val: int64(r.num)})
+		}
+	}
+}
+
+// Commit broadcasts the reduced flat gradient. A rank we cannot reach here
+// is vacated (it will resync from a manifest on rejoin); the survivors and
+// the coordinator step regardless — the round is already decided.
+func (s *starCollective) Commit(r *round) error {
+	c := s.c
+	n := c.flat.size()
+	vals := make([]float32, n)
+	c.flat.copyOut(0, n, vals)
+	pb, err := encodeFlat(reducedMeta{Round: r.num}, vals, c.cfg.Options.sparseWire())
+	if err != nil {
+		return err
+	}
+	for rank := 1; rank < c.cfg.World; rank++ {
+		conn := c.conns[rank]
+		if conn == nil {
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		if err := frame.Write(conn, msgReduced, pb); err != nil {
+			c.vacate(rank, "broadcast")
+			continue
+		}
+		r.wireBytes += int64(len(pb))
+	}
+	return nil
+}

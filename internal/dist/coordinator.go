@@ -8,8 +8,8 @@ import (
 
 	"skipper/internal/core"
 	"skipper/internal/dataset"
+	"skipper/internal/frame"
 	"skipper/internal/runstate"
-	"skipper/internal/tensor"
 	"skipper/internal/trace"
 )
 
@@ -18,16 +18,20 @@ type Config struct {
 	// World is the total rank count including the coordinator (rank 0), so
 	// World-1 workers must join. Must be at least 2.
 	World int
+	// Options selects the exchange topology, wire compression, and overlap
+	// mode; every worker must present identical options at handshake.
+	Options Options
 	// RoundTimeout bounds each per-connection I/O phase inside a round
 	// (dispatch write, gather read, broadcast write). Default 30s.
 	RoundTimeout time.Duration
 	// JoinTimeout bounds how long a round waits for vacant ranks to (re)fill
 	// before giving up. Default 60s.
 	JoinTimeout time.Duration
-	// Straggler, when > 0, flags any gather read that blocks longer than
-	// this (the worker was still computing or its link is slow); flagged
-	// reads bump skipper_dist_stragglers_total and emit a trace event but do
-	// not fail the round.
+	// Straggler, when > 0, flags any rank whose upload completed later than
+	// this after rank 0's own compute finished (the worker was still
+	// computing or its link is slow); flagged ranks bump
+	// skipper_dist_stragglers_total and emit a trace event but do not fail
+	// the round.
 	Straggler time.Duration
 	// MaxReplays bounds how many times a round is replayed after rank
 	// faults before the coordinator gives up. Default 3.
@@ -47,6 +51,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxReplays <= 0 {
 		c.MaxReplays = 3
 	}
+	c.Options = c.Options.withDefaults()
 	return c
 }
 
@@ -59,6 +64,19 @@ type Coordinator struct {
 
 	joinCh chan net.Conn
 	conns  []net.Conn // index = rank; [0] stays nil (the coordinator itself)
+
+	flat *flatGrads
+	sig  string
+	coll Collective
+
+	// Ring membership (TopologyRing): ringAddrs[r] is rank r's ring-data
+	// listener, ringVersion names the membership epoch, and ringDirty
+	// forces a re-announce (and version bump) before the next round —
+	// set on any join, vacancy, or abort so poisoned ring connections are
+	// always rebuilt.
+	ringAddrs   []string
+	ringVersion int
+	ringDirty   bool
 
 	round    int
 	lastIter int
@@ -76,15 +94,37 @@ func NewCoordinator(tr *core.Trainer, cfg Config) (*Coordinator, error) {
 	if cfg.World < 2 {
 		return nil, fmt.Errorf("dist: world size %d needs at least 2 ranks", cfg.World)
 	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	return &Coordinator{
-		tr:       tr,
-		cfg:      cfg,
-		joinCh:   make(chan net.Conn, cfg.World*2),
-		conns:    make([]net.Conn, cfg.World),
-		lastIter: tr.Iteration0(),
-	}, nil
+	grads := tr.GradTensors()
+	c := &Coordinator{
+		tr:        tr,
+		cfg:       cfg,
+		joinCh:    make(chan net.Conn, cfg.World*2),
+		conns:     make([]net.Conn, cfg.World),
+		flat:      newFlatGrads(grads),
+		sig:       paramSig(grads),
+		ringAddrs: make([]string, cfg.World),
+		lastIter:  tr.Iteration0(),
+	}
+	switch cfg.Options.Topology {
+	case TopologyRing:
+		rc, err := newRingCollective(c)
+		if err != nil {
+			return nil, err
+		}
+		c.coll = rc
+	default:
+		c.coll = &starCollective{c: c}
+	}
+	return c, nil
 }
+
+// Collective exposes the round engine the coordinator runs — its Name is
+// what manifests and tooling record as the topology.
+func (c *Coordinator) Collective() Collective { return c.coll }
 
 // Admit queues a connection for the next rank-filling pause. Tests feed
 // net.Pipe ends here directly; Serve feeds accepted TCP connections.
@@ -117,16 +157,28 @@ func (c *Coordinator) vacancies() int {
 	return c.cfg.World - 1 - c.connected()
 }
 
-// vacate drops rank r's connection.
+// vacate drops rank r's connection. Rank -1 marks an unattributable fault
+// (e.g. a ring link dropping between two workers) and vacates nobody — the
+// replay's dispatch or gather will attribute the dead rank.
 func (c *Coordinator) vacate(r int, why string) {
-	if c.conns[r] == nil {
+	if r < 1 || r >= c.cfg.World || c.conns[r] == nil {
 		return
 	}
 	c.conns[r].Close()
 	c.conns[r] = nil
+	c.ringDirty = true
 	c.cfg.Metrics.setConnected(c.connected())
 	c.cfg.Tracer.Event(trace.TrackDist, "rank_vacated:"+why,
 		trace.Attr{Key: "rank", Val: int64(r)})
+}
+
+// nbuckets is the round's exchange bucket count: 1 (the whole gradient)
+// unless overlap streams one bucket per backward segment.
+func (c *Coordinator) nbuckets() int {
+	if !c.cfg.Options.Overlap {
+		return 1
+	}
+	return core.SegmentCount(c.tr.Strat)
 }
 
 // handshake validates a joining worker and seats it at the lowest vacant
@@ -137,7 +189,7 @@ func (c *Coordinator) handshake(conn net.Conn) error {
 	if err := conn.SetDeadline(deadline); err != nil {
 		return err
 	}
-	typ, payload, err := readFrame(conn)
+	typ, payload, err := frame.Read(conn)
 	if err != nil {
 		return err
 	}
@@ -151,7 +203,7 @@ func (c *Coordinator) handshake(conn net.Conn) error {
 	if err := c.validateHello(hello); err != nil {
 		// Tell the worker not to retry: its configuration can never match.
 		if eb, encErr := encodeJSON(errorMsg{Message: err.Error(), Permanent: true}); encErr == nil {
-			writeFrame(conn, msgError, eb)
+			frame.Write(conn, msgError, eb)
 		}
 		return err
 	}
@@ -164,7 +216,7 @@ func (c *Coordinator) handshake(conn net.Conn) error {
 	}
 	if rank == -1 {
 		if eb, encErr := encodeJSON(errorMsg{Message: "world is full", Permanent: true}); encErr == nil {
-			writeFrame(conn, msgError, eb)
+			frame.Write(conn, msgError, eb)
 		}
 		return fmt.Errorf("dist: world is full")
 	}
@@ -172,7 +224,7 @@ func (c *Coordinator) handshake(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(conn, msgWelcome, wb); err != nil {
+	if err := frame.Write(conn, msgWelcome, wb); err != nil {
 		return err
 	}
 	// NextEpoch in the cursor is the epoch the next assign will name;
@@ -182,27 +234,34 @@ func (c *Coordinator) handshake(conn net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("dist: capturing resync manifest: %w", err)
 	}
-	m.Meta.Dist = &runstate.DistMeta{World: c.cfg.World, Rank: rank, Round: c.round}
+	m.Meta.Dist = &runstate.DistMeta{
+		World: c.cfg.World, Rank: rank, Round: c.round,
+		Topology: c.cfg.Options.Topology,
+	}
 	mb, err := m.Encode()
 	if err != nil {
 		return fmt.Errorf("dist: encoding resync manifest: %w", err)
 	}
-	if err := writeFrame(conn, msgState, mb); err != nil {
+	if err := frame.Write(conn, msgState, mb); err != nil {
 		return err
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
 		return err
 	}
 	c.conns[rank] = conn
+	c.ringAddrs[rank] = hello.RingAddr
+	c.ringDirty = true
 	c.cfg.Tracer.Event(trace.TrackDist, "rank_joined",
 		trace.Attr{Key: "rank", Val: int64(rank)}, trace.Attr{Key: "round", Val: int64(c.round)})
 	return nil
 }
 
 // validateHello rejects any worker whose configuration would break the
-// lock-step invariant: same strategy, optimizer, seed, horizon, and LR/clip
-// or the ranks compute diverging steps.
+// lock-step invariant: same strategy, optimizer, seed, horizon, LR/clip,
+// parameter layout, and exchange options, or the ranks compute diverging
+// steps.
 func (c *Coordinator) validateHello(h helloMsg) error {
+	opts := c.cfg.Options
 	switch {
 	case h.Proto != protoVersion:
 		return fmt.Errorf("dist: protocol %d != %d", h.Proto, protoVersion)
@@ -218,6 +277,16 @@ func (c *Coordinator) validateHello(h helloMsg) error {
 		return fmt.Errorf("dist: learning rate %g != %g", h.LR, c.tr.Cfg.LR)
 	case h.GradClip != float64(c.tr.Cfg.GradClip):
 		return fmt.Errorf("dist: grad clip %g != %g", h.GradClip, c.tr.Cfg.GradClip)
+	case h.ParamSig != c.sig:
+		return fmt.Errorf("dist: parameter signature %s != %s", h.ParamSig, c.sig)
+	case h.Topology != opts.Topology:
+		return fmt.Errorf("dist: topology %q != %q", h.Topology, opts.Topology)
+	case h.Compress != opts.Compress:
+		return fmt.Errorf("dist: compression %q != %q", h.Compress, opts.Compress)
+	case h.Overlap != opts.Overlap:
+		return fmt.Errorf("dist: overlap %v != %v", h.Overlap, opts.Overlap)
+	case opts.Topology == TopologyRing && h.RingAddr == "":
+		return fmt.Errorf("dist: ring topology needs a worker ring listener address")
 	}
 	return nil
 }
@@ -246,8 +315,10 @@ func (c *Coordinator) fillRanks() error {
 	return nil
 }
 
-// rankFaultError marks a failure attributable to one worker rank, which the
-// round-replay loop recovers from by vacating that rank and replaying.
+// rankFaultError marks a failure attributable to one worker rank (or -1
+// when the faulting rank cannot be named, e.g. a ring link between two
+// workers), which the round-replay loop recovers from by vacating that rank
+// and replaying.
 type rankFaultError struct {
 	rank  int
 	phase string
@@ -288,10 +359,14 @@ func (c *Coordinator) TrainRound(split dataset.Split, indices []int) (core.DPSte
 	return core.DPStepStats{}, fmt.Errorf("dist: round %d failed after %d replays: %w", c.round, c.cfg.MaxReplays, lastErr)
 }
 
-// abortRound tells surviving ranks to discard the in-flight round and
-// vacates the faulted rank.
+// abortRound tells surviving ranks to discard the in-flight round, vacates
+// the faulted rank, and discards any in-flight collective state (ring
+// connections are poisoned by half-sent chunks, so the collective tears
+// them down and the next attempt rebuilds under a bumped version).
 func (c *Coordinator) abortRound(rf *rankFaultError) {
 	c.vacate(rf.rank, rf.phase)
+	c.coll.Abort()
+	c.ringDirty = true
 	ab, err := encodeJSON(abortMsg{Round: c.round, Reason: rf.Error()})
 	if err != nil {
 		return
@@ -302,7 +377,7 @@ func (c *Coordinator) abortRound(rf *rankFaultError) {
 			continue
 		}
 		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
-		if werr := writeFrame(conn, msgAbort, ab); werr != nil {
+		if werr := frame.Write(conn, msgAbort, ab); werr != nil {
 			c.vacate(r, "abort notify")
 		}
 	}
@@ -311,188 +386,105 @@ func (c *Coordinator) abortRound(rf *rankFaultError) {
 		trace.Attr{Key: "rank", Val: int64(rf.rank)})
 }
 
-// tryRound executes one attempt of the current round: dispatch shards,
-// compute rank 0's shard locally, gather worker gradients in rank order,
-// reduce, broadcast, and step.
+// announceRing re-broadcasts the ring membership under a bumped version
+// whenever it changed (join, vacancy, abort). Star topology never dirties
+// the flag, so this is a no-op there.
+func (c *Coordinator) announceRing() error {
+	if !c.ringDirty {
+		return nil
+	}
+	c.ringVersion++
+	rb, err := encodeJSON(ringMsg{Version: c.ringVersion, Addrs: append([]string(nil), c.ringAddrs...)})
+	if err != nil {
+		return err
+	}
+	for r := 1; r < c.cfg.World; r++ {
+		conn := c.conns[r]
+		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
+		if err := frame.Write(conn, msgRing, rb); err != nil {
+			return &rankFaultError{rank: r, phase: "ring announce", err: err}
+		}
+	}
+	c.ringDirty = false
+	return nil
+}
+
+// tryRound executes one attempt of the current round: dispatch shards, run
+// the collective's exchange (which computes rank 0's shard locally while
+// worker contributions stream in), commit, and step.
 func (c *Coordinator) tryRound(split dataset.Split, indices []int, attempt int) (core.DPStepStats, error) {
-	var out core.DPStepStats
+	r := &round{
+		num:     c.round,
+		attempt: attempt,
+		split:   split,
+		indices: indices,
+		iter:    c.lastIter + 1,
+		nb:      c.nbuckets(),
+	}
+	r.shards = c.coll.Shard(indices)
 	roundStart := time.Now()
-	iter := c.lastIter + 1
-	shards := core.Shard(indices, c.cfg.World)
-	var wireBytes int64
+
+	if c.cfg.Options.Topology == TopologyRing {
+		if err := c.announceRing(); err != nil {
+			return r.out, err
+		}
+	}
 
 	// Dispatch worker shards first so they compute in parallel with rank 0.
 	dispatchStart := time.Now()
-	for r := 1; r < c.cfg.World; r++ {
+	for rank := 1; rank < c.cfg.World; rank++ {
 		ab, err := encodeJSON(assignMsg{
-			Round: c.round, Attempt: attempt, Epoch: c.epoch, Iteration: iter,
-			GlobalN: len(indices), Split: int(split), Indices: shards[r],
+			Round: c.round, Attempt: attempt, Epoch: c.epoch, Iteration: r.iter,
+			GlobalN: len(indices), Split: int(split), Indices: r.shards[rank],
+			NBuckets: r.nb, RingVersion: c.ringVersion,
 		})
 		if err != nil {
-			return out, err
+			return r.out, err
 		}
-		conn := c.conns[r]
+		conn := c.conns[rank]
 		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
-		if err := writeFrame(conn, msgAssign, ab); err != nil {
-			return out, &rankFaultError{rank: r, phase: "dispatch", err: err}
+		if err := frame.Write(conn, msgAssign, ab); err != nil {
+			return r.out, &rankFaultError{rank: rank, phase: "dispatch", err: err}
 		}
 	}
 	c.cfg.Tracer.SpanAt(trace.TrackDist, "shard_dispatch", dispatchStart, time.Since(dispatchStart),
 		trace.Attr{Key: "round", Val: int64(c.round)})
 
-	st0, elapsed0, err := c.tr.ShardGrads(split, shards[0], iter, len(indices))
-	if err != nil {
-		return out, err
+	exchangeStart := time.Now()
+	if err := c.coll.Exchange(r); err != nil {
+		return r.out, err
 	}
-	out.StepStats.Add(st0)
-	out.SlowestReplica = elapsed0
+	c.cfg.Tracer.SpanAt(trace.TrackDist, "exchange", exchangeStart, time.Since(exchangeStart),
+		trace.Attr{Key: "round", Val: int64(c.round)},
+		trace.Attr{Key: "buckets", Val: int64(r.nb)})
 
-	// Gather in ascending rank order; the read wait for a rank still
-	// computing is what the straggler threshold measures.
-	gatherStart := time.Now()
-	rank0 := c.tr.GradTensors()
-	sets := make([][]*tensor.Tensor, c.cfg.World)
-	counts := make([]int, c.cfg.World)
-	sets[0] = make([]*tensor.Tensor, len(rank0))
-	for j, nt := range rank0 {
-		sets[0][j] = nt.T
+	// Commit: the reduced gradient exists on rank 0 (star) or on every rank
+	// (ring), so a rank unreachable here is vacated (to resync via manifest
+	// on rejoin) rather than failing the round — the survivors must not be
+	// torn back.
+	commitStart := time.Now()
+	if err := c.coll.Commit(r); err != nil {
+		return r.out, err
 	}
-	for r := 0; r < c.cfg.World; r++ {
-		counts[r] = len(shards[r])
-	}
-	for r := 1; r < c.cfg.World; r++ {
-		ts, meta, readDur, err := c.gatherRank(r, attempt, len(shards[r]), rank0)
-		if err != nil {
-			return out, err
-		}
-		if c.cfg.Straggler > 0 && readDur > c.cfg.Straggler {
-			c.cfg.Metrics.observeStraggler()
-			c.cfg.Tracer.Event(trace.TrackDist, "straggler",
-				trace.Attr{Key: "rank", Val: int64(r)},
-				trace.Attr{Key: "wait_ms", Val: readDur.Milliseconds()})
-		}
-		out.StepStats.Add(core.StepStats{Loss: meta.Loss, Correct: meta.Correct, N: meta.N})
-		if d := time.Duration(meta.ComputeSeconds * float64(time.Second)); d > out.SlowestReplica {
-			out.SlowestReplica = d
-		}
-		wireBytes += tensorsWireBytes(ts)
-		sets[r] = make([]*tensor.Tensor, len(ts))
-		for j, nt := range ts {
-			sets[r][j] = nt.T
-		}
-	}
-	c.cfg.Tracer.SpanAt(trace.TrackDist, "grad_gather", gatherStart, time.Since(gatherStart),
-		trace.Attr{Key: "round", Val: int64(c.round)})
-
-	reduceStart := time.Now()
-	if _, err := core.ReduceGrads(sets, counts); err != nil {
-		return out, err
-	}
-	c.cfg.Tracer.SpanAt(trace.TrackDist, "reduce", reduceStart, time.Since(reduceStart),
-		trace.Attr{Key: "round", Val: int64(c.round)})
-
-	// Broadcast commits the round: the reduced gradient exists, so a rank
-	// unreachable here is vacated (to resync via manifest on rejoin) rather
-	// than failing the round — the survivors must not be torn back.
-	broadcastStart := time.Now()
-	rb, err := encodeTensors(reducedMeta{Round: c.round}, rank0)
-	if err != nil {
-		return out, err
-	}
-	for r := 1; r < c.cfg.World; r++ {
-		conn := c.conns[r]
-		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
-		if err := writeFrame(conn, msgReduced, rb); err != nil {
-			c.vacate(r, "broadcast")
-			continue
-		}
-		wireBytes += int64(len(rb))
-	}
-	c.cfg.Tracer.SpanAt(trace.TrackDist, "broadcast", broadcastStart, time.Since(broadcastStart),
+	r.exchangeEnd = time.Now()
+	c.cfg.Tracer.SpanAt(trace.TrackDist, "commit", commitStart, time.Since(commitStart),
 		trace.Attr{Key: "round", Val: int64(c.round)})
 
 	norm := c.tr.ApplyReduced()
-	if norm > out.GradNorm {
-		out.GradNorm = norm
+	if norm > r.out.GradNorm {
+		r.out.GradNorm = norm
 	}
-	out.Wall = time.Since(roundStart)
+	r.out.Wall = time.Since(roundStart)
 	// Workers compute concurrently with rank 0 and with each other, so the
 	// exchange cost is what the wall clock shows beyond the slowest compute.
-	out.AllReduce = out.Wall - out.SlowestReplica
-	if out.AllReduce < 0 {
-		out.AllReduce = 0
+	r.out.AllReduce = r.out.Wall - r.out.SlowestReplica
+	if r.out.AllReduce < 0 {
+		r.out.AllReduce = 0
 	}
-	c.cfg.Metrics.observeRound(out.Wall.Seconds(), wireBytes)
-	return out, nil
-}
-
-// gatherRank reads rank r's gradient upload for the current round/attempt,
-// draining any stale upload left buffered by an aborted earlier attempt
-// (same round, lower attempt — the bytes are bitwise identical, but
-// consuming them would desynchronize the stream).
-func (c *Coordinator) gatherRank(r, attempt, want int, rank0 []tensor.Named) ([]tensor.Named, gradsMeta, time.Duration, error) {
-	conn := c.conns[r]
-	var waited time.Duration
-	for {
-		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
-		readStart := time.Now()
-		typ, payload, err := readFrame(conn)
-		waited += time.Since(readStart)
-		if err != nil {
-			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: err}
-		}
-		switch typ {
-		case msgGrads:
-		case msgError:
-			var em errorMsg
-			if derr := decodeJSON(payload, &em); derr == nil {
-				return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: errors.New(em.Message)}
-			}
-			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: fmt.Errorf("undecodable worker error")}
-		default:
-			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: fmt.Errorf("unexpected message type %d", typ)}
-		}
-		var meta gradsMeta
-		ts, err := decodeTensors(payload, &meta)
-		if err != nil {
-			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather", err: err}
-		}
-		if meta.Round == c.round && meta.Attempt < attempt {
-			continue // stale upload from an aborted attempt
-		}
-		if meta.Round != c.round || meta.Attempt != attempt || meta.Rank != r {
-			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
-				err: fmt.Errorf("grads for round %d attempt %d rank %d, expected %d/%d/%d",
-					meta.Round, meta.Attempt, meta.Rank, c.round, attempt, r)}
-		}
-		if meta.Count != want {
-			return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
-				err: fmt.Errorf("shard count %d, expected %d", meta.Count, want)}
-		}
-		if want > 0 {
-			if len(ts) != len(rank0) {
-				return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
-					err: fmt.Errorf("%d gradient tensors, expected %d", len(ts), len(rank0))}
-			}
-			for j, nt := range ts {
-				if nt.Name != rank0[j].Name {
-					return nil, gradsMeta{}, waited, &rankFaultError{rank: r, phase: "gather",
-						err: fmt.Errorf("tensor %d named %q, expected %q", j, nt.Name, rank0[j].Name)}
-				}
-			}
-		}
-		return ts, meta, waited, nil
-	}
-}
-
-// tensorsWireBytes sums the raw float payload of a tensor set — the
-// byte-count the reduce-bytes metric attributes to one upload.
-func tensorsWireBytes(ts []tensor.Named) int64 {
-	var n int64
-	for _, nt := range ts {
-		n += nt.T.Bytes()
-	}
-	return n
+	r.finishOverlapStats()
+	c.cfg.Metrics.observeRound(r.out.Wall.Seconds(), r.wireBytes)
+	c.cfg.Metrics.setOverlap(r.out.OverlapFrac)
+	return r.out, nil
 }
 
 // Fit trains for the given number of epochs, mirroring the serial trainer's
@@ -527,8 +519,9 @@ func (c *Coordinator) Fit(epochs int) ([]core.EpochStats, error) {
 }
 
 // Finish ends training cleanly: every connected worker gets a done message
-// and its connection closed. The coordinator remains usable for inspection
-// but not for further rounds with the old workers.
+// and its connection closed, and the collective releases its listeners. The
+// coordinator remains usable for inspection but not for further rounds with
+// the old workers.
 func (c *Coordinator) Finish(reason string) {
 	db, err := encodeJSON(doneMsg{Reason: reason})
 	if err != nil {
@@ -540,10 +533,11 @@ func (c *Coordinator) Finish(reason string) {
 			continue
 		}
 		conn.SetDeadline(time.Now().Add(c.cfg.RoundTimeout))
-		writeFrame(conn, msgDone, db)
+		frame.Write(conn, msgDone, db)
 		c.conns[r].Close()
 		c.conns[r] = nil
 	}
+	c.coll.Close()
 	c.cfg.Metrics.setConnected(0)
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"skipper/internal/frame"
 	"strings"
 	"testing"
 	"time"
@@ -249,11 +250,11 @@ func TestWorkerCoordinatorDiesMidBroadcast(t *testing.T) {
 	}
 	go func() {
 		defer cs.Close()
-		if _, _, err := readFrame(cs); err != nil { // hello
+		if _, _, err := frame.Read(cs); err != nil { // hello
 			return
 		}
 		wb, _ := encodeJSON(welcomeMsg{Rank: 1, World: 2, Round: 0})
-		if err := writeFrame(cs, msgWelcome, wb); err != nil {
+		if err := frame.Write(cs, msgWelcome, wb); err != nil {
 			return
 		}
 		m, err := runstate.Capture(str, core.Cursor{}, core.EpochStats{})
@@ -265,25 +266,28 @@ func TestWorkerCoordinatorDiesMidBroadcast(t *testing.T) {
 		if err != nil {
 			return
 		}
-		if err := writeFrame(cs, msgState, mb); err != nil {
+		if err := frame.Write(cs, msgState, mb); err != nil {
 			return
 		}
 		ab, _ := encodeJSON(assignMsg{Round: 0, Iteration: 1, GlobalN: 2, Split: int(dataset.Train), Indices: []int{1}})
-		if err := writeFrame(cs, msgAssign, ab); err != nil {
+		if err := frame.Write(cs, msgAssign, ab); err != nil {
 			return
 		}
-		if _, _, err := readFrame(cs); err != nil { // grads
+		if _, _, err := frame.Read(cs); err != nil { // grads
 			return
 		}
-		rb, err := encodeTensors(reducedMeta{Round: 0}, str.GradTensors())
+		sf := newFlatGrads(str.GradTensors())
+		vals := make([]float32, sf.size())
+		sf.copyOut(0, sf.size(), vals)
+		rb, err := encodeFlat(reducedMeta{Round: 0}, vals, false)
 		if err != nil {
 			return
 		}
-		var frame bytes.Buffer
-		if err := writeFrame(&frame, msgReduced, rb); err != nil {
+		var fb bytes.Buffer
+		if err := frame.Write(&fb, msgReduced, rb); err != nil {
 			return
 		}
-		cs.Write(frame.Bytes()[:frame.Len()/2]) // die mid-broadcast
+		cs.Write(fb.Bytes()[:fb.Len()/2]) // die mid-broadcast
 	}()
 
 	before := snapshotWeights(wtr)
@@ -357,65 +361,5 @@ func TestWorkerHandshakeMismatchIsPermanent(t *testing.T) {
 	}
 	if err := <-roundErr; err == nil {
 		t.Fatal("coordinator trained a round with no valid worker")
-	}
-}
-
-// TestFrameTruncationEveryBoundary cuts a valid frame at every byte offset
-// and flips every byte: readFrame must reject all of them and accept only
-// the intact frame.
-func TestFrameTruncationEveryBoundary(t *testing.T) {
-	payload := []byte(`{"round":3,"reason":"x"}`)
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, msgAbort, payload); err != nil {
-		t.Fatal(err)
-	}
-	full := buf.Bytes()
-	for cut := 0; cut < len(full); cut++ {
-		if _, _, err := readFrame(bytes.NewReader(full[:cut])); err == nil {
-			t.Fatalf("accepted frame truncated to %d of %d bytes", cut, len(full))
-		}
-	}
-	for i := range full {
-		corrupt := append([]byte(nil), full...)
-		corrupt[i] ^= 0x01
-		if _, _, err := readFrame(bytes.NewReader(corrupt)); err == nil {
-			t.Fatalf("accepted frame with byte %d flipped", i)
-		}
-	}
-	typ, p, err := readFrame(bytes.NewReader(full))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if typ != msgAbort || !bytes.Equal(p, payload) {
-		t.Fatalf("round-trip mismatch: type %d payload %q", typ, p)
-	}
-}
-
-// TestFrameFaultConnCutEveryBoundary repeats the truncation sweep over a
-// live pipe with the faults.Conn write-budget seam — the reader end must see
-// a clean error for every possible cut point, exactly as it would if the
-// peer process died mid-write.
-func TestFrameFaultConnCutEveryBoundary(t *testing.T) {
-	payload := []byte(`{"round":1}`)
-	var ref bytes.Buffer
-	if err := writeFrame(&ref, msgAbort, payload); err != nil {
-		t.Fatal(err)
-	}
-	n := ref.Len()
-	for cut := 0; cut < n; cut++ {
-		a, b := net.Pipe()
-		fc := faults.NewConn(a)
-		fc.FailWritesAfter(int64(cut))
-		fc.CloseOnFault(true)
-		werr := make(chan error, 1)
-		go func() { werr <- writeFrame(fc, msgAbort, payload) }()
-		if _, _, err := readFrame(b); err == nil {
-			t.Fatalf("reader accepted frame cut at byte %d of %d", cut, n)
-		}
-		if err := <-werr; err == nil {
-			t.Fatalf("writer did not observe the injected fault at cut %d", cut)
-		}
-		a.Close()
-		b.Close()
 	}
 }

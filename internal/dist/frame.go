@@ -1,42 +1,48 @@
 // Package dist runs synchronous data-parallel SNN training across OS
-// processes: a coordinator (doubling as rank 0) shards each global batch
-// over TCP-connected workers, gathers their gradients, reduces them in
-// deterministic ascending rank order (core.ReduceGrads), and broadcasts the
-// reduced gradient so every rank applies the identical optimizer step.
+// processes. A coordinator (doubling as rank 0) shards each global batch
+// over TCP-connected workers; the per-round gradient reduction is pluggable
+// behind the Collective interface, with two topologies:
 //
-// The wire result is bit-identical to the in-process core.DataParallel
-// simulation on the same shards, because both drive the exact same
-// ShardGrads/ReduceGrads/ApplyReduced sequence — the network only moves
-// bytes, it never re-rounds a float. Against plain serial training the match
-// is exact-mean always, and bitwise when every shard holds at most one
-// sample and the serial run accumulates per-sample (MicroBatch 1); see
-// core.ShardGrads.
+//   - star (TopologyStar, the default): workers upload gradients to the
+//     coordinator, which reduces them in deterministic ascending rank order
+//     (core.ReduceGrads' order) and broadcasts the result.
+//   - ring (TopologyRing): ranks forward gradient chunks around a ring —
+//     each worker dials its ring successor directly over the framed
+//     transport — in a pipelined reduce trip (rank 0 → W−1, accumulating in
+//     ascending rank order) followed by a distribution trip, so every link
+//     carries ~2/W of the traffic the star's coordinator link carries.
+//
+// Both topologies accumulate in the same ascending rank order, so the wire
+// result is bit-identical to the in-process core.DataParallel simulation on
+// the same shards — the network only moves bytes, it never re-rounds a
+// float. Against plain serial training the match is exact-mean always, and
+// bitwise when every shard holds at most one sample and the serial run
+// accumulates per-sample (MicroBatch 1); see core.ShardGrads.
+//
+// With Overlap enabled the exchange is bucketed: as each checkpoint
+// segment's backward finishes, that segment's gradient delta is flushed into
+// the in-flight exchange while the next segment is still recomputing. Bucket
+// order is deterministic (backward segment order on every rank), so overlap
+// runs are reproducible, but the regrouped summation rounds differently
+// than the serial order — overlap is therefore off by default, keeping the
+// default mode bit-identical. Compress (delta wire mode) encodes near-zero
+// gradient payloads as bitmap+values frames with exact bit roundtrip, so it
+// never affects results, only bytes.
 //
 // Failure semantics: gradient-phase faults (a worker dying mid-upload, a
-// dispatch failing) abort the round before anyone steps — survivors discard
-// it, the dead rank's seat is refilled by a reconnecting worker resynced
-// from a runstate manifest, and the round replays deterministically.
-// Broadcast-phase faults commit the round (the coordinator has already
-// reduced): only the unreachable rank is vacated and later resynced.
+// ring link dropping, a dispatch failing) abort the round before anyone
+// steps — survivors discard it, the dead rank's seat is refilled by a
+// reconnecting worker resynced from a runstate manifest, and the round
+// replays deterministically (ring connections are rebuilt under a bumped
+// ring version). Commit-phase faults (star broadcast, ring commit notify)
+// commit the round: only the unreachable rank is vacated and later
+// resynced.
 package dist
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"hash/crc32"
-	"io"
-)
-
-const (
-	frameMagic = "SKPF"
-	// maxFramePayload caps any length header read off the wire before it
-	// sizes an allocation — the same hostile-header rule serialize enforces.
-	maxFramePayload = 1 << 28
-)
-
-// Message types. The coordinator speaks Welcome/State/Assign/Reduced/Abort/
-// Done, workers speak Hello/Grads, both may speak Error.
+// Message types on the coordinator↔worker control connection. The
+// coordinator speaks Welcome/State/Ring/Assign/Reduced/Commit/Abort/Done,
+// workers speak Hello/Grads/Stats, both may speak Error. Ring data
+// connections speak RingHello/RingData only.
 const (
 	msgHello byte = iota + 1
 	msgWelcome
@@ -47,73 +53,9 @@ const (
 	msgAbort
 	msgDone
 	msgError
+	msgRing
+	msgStats
+	msgCommit
+	msgRingHello
+	msgRingData
 )
-
-// ErrBadFrame reports a malformed envelope: wrong magic, an implausible
-// length, or a checksum mismatch. It is permanent — the stream cannot be
-// re-synchronized after it.
-var ErrBadFrame = errors.New("dist: bad frame")
-
-// WriteFrame exposes the CRC-framed envelope to other subsystems — the
-// serving fleet's router↔replica data path (internal/router, internal/serve)
-// reuses it so both wire protocols share one hardened codec. Callers own
-// their type-byte namespace; the envelope does not interpret typ.
-func WriteFrame(w io.Writer, typ byte, payload []byte) error {
-	return writeFrame(w, typ, payload)
-}
-
-// ReadFrame is the exported counterpart of WriteFrame. A returned ErrBadFrame
-// is permanent: the stream cannot be re-synchronized after it.
-func ReadFrame(r io.Reader) (byte, []byte, error) {
-	return readFrame(r)
-}
-
-// writeFrame sends one message as
-//
-//	magic "SKPF" | type u8 | payload len u32 | payload | crc32 (IEEE)
-//
-// with the checksum covering everything before it. The frame is assembled
-// in one buffer and written with a single Write so byte-budget fault
-// injection cuts it at deterministic offsets.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	if len(payload) > maxFramePayload {
-		return fmt.Errorf("%w: payload %d exceeds %d", ErrBadFrame, len(payload), maxFramePayload)
-	}
-	buf := make([]byte, 0, len(frameMagic)+5+len(payload)+4)
-	buf = append(buf, frameMagic...)
-	buf = append(buf, typ)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("dist: writing frame: %w", err)
-	}
-	return nil
-}
-
-// readFrame reads and verifies one message envelope.
-func readFrame(r io.Reader) (byte, []byte, error) {
-	head := make([]byte, len(frameMagic)+5)
-	if _, err := io.ReadFull(r, head); err != nil {
-		return 0, nil, fmt.Errorf("dist: reading frame header: %w", err)
-	}
-	if string(head[:len(frameMagic)]) != frameMagic {
-		return 0, nil, fmt.Errorf("%w: magic %q", ErrBadFrame, head[:len(frameMagic)])
-	}
-	typ := head[len(frameMagic)]
-	n := binary.LittleEndian.Uint32(head[len(frameMagic)+1:])
-	if n > maxFramePayload {
-		return 0, nil, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
-	}
-	rest := make([]byte, int(n)+4)
-	if _, err := io.ReadFull(r, rest); err != nil {
-		return 0, nil, fmt.Errorf("dist: reading frame payload: %w", err)
-	}
-	payload, tail := rest[:n], rest[n:]
-	sum := crc32.ChecksumIEEE(head)
-	sum = crc32.Update(sum, crc32.IEEETable, payload)
-	if sum != binary.LittleEndian.Uint32(tail) {
-		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
-	}
-	return typ, payload, nil
-}

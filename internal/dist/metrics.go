@@ -22,6 +22,7 @@ type Metrics struct {
 	aborts       int64
 	stragglers   int64
 	reduceBytes  int64            // gradient payload bytes moved (uploads + broadcasts)
+	overlapFrac  float64          // last committed round's exchange overlap fraction
 	roundLatency *stats.Histogram // committed-round wall seconds
 }
 
@@ -52,6 +53,15 @@ func (m *Metrics) observeRound(seconds float64, reduceBytes int64) {
 	m.rounds++
 	m.reduceBytes += reduceBytes
 	m.roundLatency.Observe(seconds)
+}
+
+func (m *Metrics) setOverlap(frac float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.overlapFrac = frac
 }
 
 func (m *Metrics) observeAbort() {
@@ -93,6 +103,7 @@ func (m *Metrics) Render(w io.Writer) {
 	distCounter(w, "skipper_dist_aborts_total", "Rounds aborted and replayed after a rank fault.", m.aborts)
 	distCounter(w, "skipper_dist_stragglers_total", "Gather reads that exceeded the straggler threshold.", m.stragglers)
 	distCounter(w, "skipper_dist_reduce_bytes_total", "Gradient payload bytes moved (worker uploads plus reduced broadcasts).", m.reduceBytes)
+	distGauge(w, "skipper_dist_overlap_frac", "Fraction of the last round's exchange hidden under backward compute.", m.overlapFrac)
 	distHist(w, "skipper_dist_round_latency_seconds", "Wall time per committed round.", m.roundLatency)
 }
 

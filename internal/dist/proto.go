@@ -1,22 +1,23 @@
 package dist
 
 import (
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 
-	"skipper/internal/serialize"
-	"skipper/internal/tensor"
+	"skipper/internal/frame"
 )
 
 // protoVersion gates the handshake; bump on any wire-visible change.
-const protoVersion = 1
+// v2: flat-float gradient payloads (paramSig replaces per-round name
+// tables), bucketed uploads, ring topology, stats/commit messages.
+const protoVersion = 2
 
 // helloMsg opens a worker's session. Everything that must match for the
 // lock-step invariant to hold is validated here, before a rank is assigned:
-// a worker with a different seed, horizon, learning rate, or clip threshold
-// would compute correct-looking but diverging steps.
+// a worker with a different seed, horizon, learning rate, clip threshold,
+// parameter layout, or exchange options would compute correct-looking but
+// diverging steps.
 type helloMsg struct {
 	Proto     int     `json:"proto"`
 	Strategy  string  `json:"strategy"`
@@ -25,6 +26,16 @@ type helloMsg struct {
 	T         int     `json:"t"`
 	LR        float64 `json:"lr"`
 	GradClip  float64 `json:"grad_clip"`
+	// ParamSig fingerprints the parameter names/shapes/order (see paramSig),
+	// replacing the per-round name tables v1 shipped with every upload.
+	ParamSig string `json:"param_sig"`
+	// Topology, Compress, and Overlap must match the coordinator's Options.
+	Topology string `json:"topology"`
+	Compress string `json:"compress"`
+	Overlap  bool   `json:"overlap"`
+	// RingAddr is the worker's ring-data listener address (ring topology
+	// only; its successor's dial target).
+	RingAddr string `json:"ring_addr,omitempty"`
 }
 
 // welcomeMsg assigns the joining worker its seat.
@@ -34,6 +45,15 @@ type welcomeMsg struct {
 	// Round is the next round the coordinator will run; the msgState
 	// manifest that follows carries the matching trainer state.
 	Round int `json:"round"`
+}
+
+// ringMsg announces the ring membership: Addrs[r] is rank r's ring-data
+// listener. Sent to every worker whenever membership changes; Version bumps
+// on every change AND on every round abort, so chunks buffered in a
+// poisoned connection can never leak into a rebuilt ring.
+type ringMsg struct {
+	Version int      `json:"version"`
+	Addrs   []string `json:"addrs"`
 }
 
 // assignMsg dispatches one round's shard. Iteration is assigned by the
@@ -51,25 +71,83 @@ type assignMsg struct {
 	GlobalN   int   `json:"global_n"`
 	Split     int   `json:"split"`
 	Indices   []int `json:"indices"`
+	// NBuckets is the round's exchange bucket count (1 without overlap;
+	// the strategy's segment count with it), dictated by the coordinator so
+	// every rank flushes the identical bucket schedule.
+	NBuckets int `json:"n_buckets,omitempty"`
+	// RingVersion names the ring membership this round runs on (ring
+	// topology only); a worker rebuilds its ring connections when its
+	// current ones are older.
+	RingVersion int `json:"ring_version,omitempty"`
 }
 
-// gradsMeta heads a worker's gradient upload.
+// gradsMeta heads one gradient-bucket upload (star topology). The payload
+// after the meta is the bucket's flat float range (see encodeFloats).
 type gradsMeta struct {
-	Round   int     `json:"round"`
-	Attempt int     `json:"attempt"`
-	Rank    int     `json:"rank"`
-	Count   int     `json:"count"` // shard size; 0 = sat the round out
-	Loss    float64 `json:"loss"`
-	Correct int     `json:"correct"`
-	N       int     `json:"n"`
+	Round   int `json:"round"`
+	Attempt int `json:"attempt"`
+	Rank    int `json:"rank"`
+	Count   int `json:"count"` // shard size; 0 = sat the round out
+	Bucket  int `json:"bucket"`
+	NBucket int `json:"n_buckets"`
+	// Stats ride on the final bucket (Bucket == NBucket-1) so the default
+	// single-bucket path needs exactly one frame per rank per round.
+	Loss    float64 `json:"loss,omitempty"`
+	Correct int     `json:"correct,omitempty"`
+	N       int     `json:"n,omitempty"`
 	// ComputeSeconds is the shard's TrainBatch wall time, reported so the
 	// coordinator can attribute round latency to compute vs. exchange.
-	ComputeSeconds float64 `json:"compute_seconds"`
+	ComputeSeconds float64 `json:"compute_seconds,omitempty"`
 }
 
-// reducedMeta heads the coordinator's reduced-gradient broadcast.
+// statsMsg reports a ring-topology worker's round results on the control
+// connection once its ring exchange completed — the coordinator's signal
+// that the rank is ready to commit.
+type statsMsg struct {
+	Round          int     `json:"round"`
+	Attempt        int     `json:"attempt"`
+	Rank           int     `json:"rank"`
+	Count          int     `json:"count"`
+	Loss           float64 `json:"loss"`
+	Correct        int     `json:"correct"`
+	N              int     `json:"n"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	// WireBytes is what the rank's ring sends moved this round, so the
+	// reduce-bytes metric stays exact under delta compression.
+	WireBytes int64 `json:"wire_bytes"`
+}
+
+// reducedMeta heads the coordinator's reduced-gradient broadcast (star).
 type reducedMeta struct {
 	Round int `json:"round"`
+}
+
+// commitMsg is the ring topology's round go-ahead: every rank already holds
+// the reduced gradient from the distribution trip, so commit is metadata
+// only.
+type commitMsg struct {
+	Round int `json:"round"`
+}
+
+// ringHelloMsg opens a ring-data connection: the dialing rank names itself
+// and the membership version it is joining under.
+type ringHelloMsg struct {
+	Version int `json:"version"`
+	From    int `json:"from"`
+}
+
+// ringChunkMeta heads one ring-data chunk. Final distinguishes the
+// distribution trip from the reduce trip; Have reports whether the payload
+// carries any contribution yet (false until the first non-empty shard on
+// the reduce path, so empty-shard ranks never perturb the sum).
+type ringChunkMeta struct {
+	Round   int  `json:"round"`
+	Attempt int  `json:"attempt"`
+	Version int  `json:"version"`
+	Bucket  int  `json:"bucket"`
+	Chunk   int  `json:"chunk"`
+	Final   bool `json:"final,omitempty"`
+	Have    bool `json:"have,omitempty"`
 }
 
 // abortMsg cancels an in-flight round before anyone has stepped.
@@ -107,40 +185,39 @@ func decodeJSON(payload []byte, v any) error {
 	return nil
 }
 
-// encodeTensors renders a gradient message payload:
+// encodeFlat renders a gradient message payload:
 //
-//	meta len u32 | meta JSON | SKPT tensor container
+//	meta len u32 | meta JSON | float section (see encodeFloats)
 //
-// reusing the hardened serialize codec for the tensor bytes.
-func encodeTensors(meta any, ts []tensor.Named) ([]byte, error) {
+// vals may be nil for meta-only frames.
+func encodeFlat(meta any, vals []float32, sparse bool) ([]byte, error) {
 	mb, err := json.Marshal(meta)
 	if err != nil {
-		return nil, fmt.Errorf("dist: encoding tensor meta: %w", err)
+		return nil, fmt.Errorf("dist: encoding payload meta: %w", err)
 	}
-	var buf bytes.Buffer
-	var head [4]byte
-	binary.LittleEndian.PutUint32(head[:], uint32(len(mb)))
-	buf.Write(head[:])
-	buf.Write(mb)
-	if err := serialize.SaveTensors(&buf, ts); err != nil {
-		return nil, err
+	buf := make([]byte, 4, 4+len(mb))
+	binary.LittleEndian.PutUint32(buf, uint32(len(mb)))
+	buf = append(buf, mb...)
+	if vals != nil {
+		buf = append(buf, encodeFloats(vals, sparse)...)
 	}
-	return buf.Bytes(), nil
+	return buf, nil
 }
 
-// decodeTensors parses a gradient message payload into meta and tensors.
-// The meta length is capped against the payload before it sizes anything —
-// this reads from the network.
-func decodeTensors(payload []byte, meta any) ([]tensor.Named, error) {
+// decodeFlat parses a gradient message payload into meta and returns the
+// float section (possibly empty), ready for decodeFloats. The meta length is
+// capped against the payload before it sizes anything — this reads from the
+// network.
+func decodeFlat(payload []byte, meta any) ([]byte, error) {
 	if len(payload) < 4 {
-		return nil, fmt.Errorf("%w: tensor payload %d bytes", ErrBadFrame, len(payload))
+		return nil, fmt.Errorf("%w: flat payload %d bytes", frame.ErrBad, len(payload))
 	}
 	n := binary.LittleEndian.Uint32(payload)
 	if int64(n) > int64(len(payload)-4) {
-		return nil, fmt.Errorf("%w: tensor meta length %d with %d bytes remaining", ErrBadFrame, n, len(payload)-4)
+		return nil, fmt.Errorf("%w: flat meta length %d with %d bytes remaining", frame.ErrBad, n, len(payload)-4)
 	}
 	if err := json.Unmarshal(payload[4:4+n], meta); err != nil {
-		return nil, fmt.Errorf("dist: decoding tensor meta: %w", err)
+		return nil, fmt.Errorf("dist: decoding payload meta: %w", err)
 	}
-	return serialize.LoadTensors(bytes.NewReader(payload[4+n:]))
+	return payload[4+n:], nil
 }

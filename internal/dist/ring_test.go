@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/faults"
+)
+
+// runDist trains the given batches over a real coordinator/worker fleet with
+// the given exchange options (control plane over in-process pipes, ring data
+// plane over localhost TCP) and returns the coordinator's trainer plus the
+// per-round stats.
+func runDist(t *testing.T, W, T int, opts Options, batches [][]int) (*core.Trainer, []core.DPStepStats) {
+	t.Helper()
+	ct := newTrainer(t, T)
+	t.Cleanup(func() { ct.Close() })
+	coord, err := NewCoordinator(ct, Config{
+		World: W, Options: opts,
+		RoundTimeout: 10 * time.Second, JoinTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, W-1)
+	for i := 0; i < W-1; i++ {
+		wtr := newTrainer(t, T)
+		t.Cleanup(func() { wtr.Close() })
+		go func() {
+			errs <- RunWorker(wtr, WorkerConfig{
+				Dial: pipeDial(coord), Options: opts,
+				ReconnectWait: 10 * time.Millisecond,
+			})
+		}()
+	}
+	var stats []core.DPStepStats
+	for _, b := range batches {
+		st, err := coord.TrainRound(dataset.Train, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = append(stats, st)
+	}
+	coord.Finish("test done")
+	for i := 0; i < W-1; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	return ct, stats
+}
+
+// dataParallelRef trains the same batches through the in-process
+// DataParallel simulation — the established bit-exact reference.
+func dataParallelRef(t *testing.T, W, T int, batches [][]int) *core.Trainer {
+	t.Helper()
+	dp, err := core.NewDataParallel(W, func(int) (*core.Trainer, error) { return buildTrainer(T, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dp.Close() })
+	for _, b := range batches {
+		if _, err := dp.TrainBatchIndices(dataset.Train, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dp.Replicas[0]
+}
+
+// TestRingBitIdenticalToStarAndSerial is the ring topology's equivalence
+// gate: at world 2 and 4, ring (with and without delta compression) must
+// leave weights bit-identical to star and to the in-process DataParallel
+// reference (itself proven bit-identical to serial training). The final
+// ragged batch leaves high ranks with empty shards, exercising the ring's
+// contribution-skip (Have=false) path.
+func TestRingBitIdenticalToStarAndSerial(t *testing.T) {
+	const T = 10
+	batches := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}}
+	for _, W := range []int{2, 4} {
+		W := W
+		t.Run(fmt.Sprintf("world%d", W), func(t *testing.T) {
+			ref := dataParallelRef(t, W, T, batches)
+			star, _ := runDist(t, W, T, Options{Topology: TopologyStar}, batches)
+			requireSameWeights(t, "star vs DataParallel", star, ref)
+			ring, rs := runDist(t, W, T, Options{Topology: TopologyRing}, batches)
+			requireSameWeights(t, "ring vs DataParallel", ring, ref)
+			delta, _ := runDist(t, W, T, Options{Topology: TopologyRing, Compress: CompressDelta}, batches)
+			requireSameWeights(t, "ring+delta vs DataParallel", delta, ref)
+			for i, st := range rs {
+				if st.N != len(batches[i]) {
+					t.Fatalf("ring round %d consumed %d samples, batch had %d", i, st.N, len(batches[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestOverlapDeterministicAcrossTopologies: overlap regroups the float
+// summation (per-segment deltas), so it is not bitwise vs serial — but it
+// must be deterministic run-to-run, and star and ring must agree bitwise
+// with each other (both fold buckets rank-ascending, buckets in flush
+// order). The exchange-busy/overlap-fraction stats must be recorded sane.
+func TestOverlapDeterministicAcrossTopologies(t *testing.T) {
+	const T, W = 10, 2
+	batches := [][]int{{0, 1, 2, 3}, {4, 5}}
+	opts := Options{Topology: TopologyStar, Overlap: true}
+	run1, st1 := runDist(t, W, T, opts, batches)
+	run2, _ := runDist(t, W, T, opts, batches)
+	requireSameWeights(t, "overlap star run1 vs run2", run1, run2)
+	ringRun, _ := runDist(t, W, T, Options{Topology: TopologyRing, Overlap: true}, batches)
+	requireSameWeights(t, "overlap ring vs star", ringRun, run1)
+	for i, st := range st1 {
+		if st.OverlapFrac < 0 || st.OverlapFrac > 1 {
+			t.Fatalf("round %d overlap fraction %g outside [0,1]", i, st.OverlapFrac)
+		}
+		if st.ExchangeBusy < 0 {
+			t.Fatalf("round %d negative exchange-busy %v", i, st.ExchangeBusy)
+		}
+	}
+}
+
+// TestRingWorkerDiesMidRingReplaysAndResyncs cuts a worker's ring-data
+// connection partway through its chunk writes. Gradient-phase fault
+// semantics apply: the round aborts, the ring is rebuilt under a bumped
+// membership version with the reconnected (manifest-resynced) worker, and
+// the replayed run must still end bit-identical to the DataParallel
+// reference.
+func TestRingWorkerDiesMidRingReplaysAndResyncs(t *testing.T) {
+	const T, W = 10, 3
+	batches := [][]int{{0, 1, 2}, {3, 4, 5}}
+	ref := dataParallelRef(t, W, T, batches)
+
+	faulted := false
+	ringDial := func(worker int, base func(string) (net.Conn, error)) func(string) (net.Conn, error) {
+		if worker != 0 {
+			return base
+		}
+		return func(addr string) (net.Conn, error) {
+			conn, err := base(addr)
+			if err != nil {
+				return nil, err
+			}
+			if faulted {
+				return conn, nil
+			}
+			faulted = true
+			fc := faults.NewConn(conn)
+			fc.FailWritesAfter(1024) // dies mid-chunk on the reduce trip
+			fc.CloseOnFault(true)
+			return fc, nil
+		}
+	}
+
+	ct := newTrainer(t, T)
+	defer ct.Close()
+	metrics := NewMetrics(W)
+	coord, err := NewCoordinator(ct, Config{
+		World: W, Options: Options{Topology: TopologyRing},
+		RoundTimeout: 3 * time.Second, JoinTimeout: 10 * time.Second,
+		Metrics: metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, W-1)
+	for i := 0; i < W-1; i++ {
+		wtr := newTrainer(t, T)
+		defer wtr.Close()
+		i := i
+		go func() {
+			errs <- RunWorker(wtr, WorkerConfig{
+				Dial: pipeDial(coord), Options: Options{Topology: TopologyRing},
+				RingDial:      ringDial(i, WorkerConfig{IOTimeout: 3 * time.Second}.withDefaults().RingDial),
+				IOTimeout:     2 * time.Second,
+				ReconnectWait: 10 * time.Millisecond,
+			})
+		}()
+	}
+	for _, b := range batches {
+		if _, err := coord.TrainRound(dataset.Train, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord.Finish("test done")
+	for i := 0; i < W-1; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if !faulted {
+		t.Fatal("fault was never injected")
+	}
+	requireSameWeights(t, "faulted ring vs DataParallel", ct, ref)
+}

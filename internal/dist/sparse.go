@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"skipper/internal/tensor"
+)
+
+// flatGrads is a flat float vector view over a gradient set in canonical
+// parameter order — the data plane every collective (star, ring, bucketed
+// overlap) moves. The view aliases the underlying tensors: copyIn/addIn
+// mutate the network's gradients directly, copyOut snapshots them. Bucket
+// boundaries are pure index arithmetic over the flat range, so every rank
+// slices the identical buckets from the identical parameter order, and the
+// per-element accumulation order inside a bucket is exactly the order
+// core.ReduceGrads walks — which is what keeps the wire paths bit-identical
+// to the in-process reduction.
+type flatGrads struct {
+	tensors []*tensor.Tensor
+	offs    []int // offs[i] = flat start of tensor i; offs[len] = total
+}
+
+// newFlatGrads builds the view over named gradients in their given
+// (canonical) order.
+func newFlatGrads(grads []tensor.Named) *flatGrads {
+	f := &flatGrads{offs: make([]int, len(grads)+1)}
+	for i, g := range grads {
+		f.tensors = append(f.tensors, g.T)
+		f.offs[i+1] = f.offs[i] + g.T.Len()
+	}
+	return f
+}
+
+// size returns the total float count of the view.
+func (f *flatGrads) size() int { return f.offs[len(f.offs)-1] }
+
+// bucketRange returns the [lo, hi) flat range of bucket b of nb: a balanced
+// contiguous split with the first size%nb buckets one element longer. Every
+// rank computes the same ranges from the same (size, nb).
+func (f *flatGrads) bucketRange(b, nb int) (int, int) {
+	n := f.size()
+	base, rem := n/nb, n%nb
+	lo := b*base + min(b, rem)
+	hi := lo + base
+	if b < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// forRange walks the tensor sub-slices covering flat range [lo, hi).
+func (f *flatGrads) forRange(lo, hi int, fn func(data []float32, flat int)) {
+	for i, t := range f.tensors {
+		s, e := f.offs[i], f.offs[i+1]
+		if e <= lo {
+			continue
+		}
+		if s >= hi {
+			break
+		}
+		cs, ce := max(s, lo), min(e, hi)
+		fn(t.Data[cs-s:ce-s], cs)
+	}
+}
+
+// copyOut snapshots flat range [lo, hi) into dst (len hi-lo).
+func (f *flatGrads) copyOut(lo, hi int, dst []float32) {
+	f.forRange(lo, hi, func(data []float32, flat int) {
+		copy(dst[flat-lo:], data)
+	})
+}
+
+// copyIn overwrites flat range [lo, hi) from src (len hi-lo).
+func (f *flatGrads) copyIn(lo, hi int, src []float32) {
+	f.forRange(lo, hi, func(data []float32, flat int) {
+		copy(data, src[flat-lo:flat-lo+len(data)])
+	})
+}
+
+// addIn accumulates src into flat range [lo, hi): data[i] += src[i], the
+// same per-element fadd core.ReduceGrads' AXPY performs.
+func (f *flatGrads) addIn(lo, hi int, src []float32) {
+	f.forRange(lo, hi, func(data []float32, flat int) {
+		s := src[flat-lo:]
+		for i := range data {
+			data[i] += s[i]
+		}
+	})
+}
+
+// paramSig fingerprints a parameter set's names, shapes, and order. Ranks
+// compare signatures once at handshake instead of shipping per-round name
+// tables; any mismatch is a permanent config error.
+func paramSig(grads []tensor.Named) string {
+	h := fnv.New64a()
+	for _, g := range grads {
+		fmt.Fprintf(h, "%s:%v;", g.Name, g.T.Shape())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Float codec: every gradient payload on the wire is one contiguous float
+// range in one of two self-describing layouts.
+//
+//	dense:  u8 0 | u32 n | n × f32 (raw little-endian bits)
+//	sparse: u8 1 | u32 n | bitmap ⌈n/8⌉ | u32 nnz | nnz × f32
+//
+// "Zero" is judged on the raw bit pattern (math.Float32bits(v) == 0), so
+// −0.0, denormals, and NaNs all count as nonzero and round-trip exactly —
+// the codec can never change a training result, only the byte count.
+// encodeFloats picks whichever layout is smaller when sparse mode is
+// allowed, so a dense gradient never pays more than 1 byte of overhead.
+const (
+	wireDense  byte = 0
+	wireSparse byte = 1
+)
+
+// encodeFloats serializes vals, using the bitmap layout when allowed and
+// smaller.
+func encodeFloats(vals []float32, sparse bool) []byte {
+	n := len(vals)
+	nnz := 0
+	if sparse {
+		for _, v := range vals {
+			if math.Float32bits(v) != 0 {
+				nnz++
+			}
+		}
+	}
+	denseSize := 5 + 4*n
+	sparseSize := 5 + (n+7)/8 + 4 + 4*nnz
+	if !sparse || sparseSize >= denseSize {
+		buf := make([]byte, 0, denseSize)
+		buf = append(buf, wireDense)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		for _, v := range vals {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		return buf
+	}
+	buf := make([]byte, 0, sparseSize)
+	buf = append(buf, wireSparse)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	bitmap := make([]byte, (n+7)/8)
+	for i, v := range vals {
+		if math.Float32bits(v) != 0 {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	buf = append(buf, bitmap...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nnz))
+	for _, v := range vals {
+		if math.Float32bits(v) != 0 {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+// decodeFloats parses either layout into dst, which must already have the
+// expected length — the caller always knows its bucket size, so a length
+// disagreement is a protocol error, not an allocation hint.
+func decodeFloats(buf []byte, dst []float32) error {
+	if len(buf) < 5 {
+		return fmt.Errorf("dist: float payload %d bytes, want >= 5", len(buf))
+	}
+	mode := buf[0]
+	n := int(binary.LittleEndian.Uint32(buf[1:]))
+	if n != len(dst) {
+		return fmt.Errorf("dist: float payload holds %d values, want %d", n, len(dst))
+	}
+	body := buf[5:]
+	switch mode {
+	case wireDense:
+		if len(body) != 4*n {
+			return fmt.Errorf("dist: dense payload %d bytes, want %d", len(body), 4*n)
+		}
+		for i := range dst {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		return nil
+	case wireSparse:
+		bm := (n + 7) / 8
+		if len(body) < bm+4 {
+			return fmt.Errorf("dist: sparse payload %d bytes, want >= %d", len(body), bm+4)
+		}
+		bitmap, rest := body[:bm], body[bm:]
+		nnz := int(binary.LittleEndian.Uint32(rest))
+		vals := rest[4:]
+		if len(vals) != 4*nnz {
+			return fmt.Errorf("dist: sparse payload holds %d value bytes, want %d", len(vals), 4*nnz)
+		}
+		k := 0
+		for i := range dst {
+			if bitmap[i/8]&(1<<(i%8)) != 0 {
+				if k >= nnz {
+					return fmt.Errorf("dist: sparse bitmap population exceeds nnz %d", nnz)
+				}
+				dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(vals[4*k:]))
+				k++
+			} else {
+				dst[i] = 0
+			}
+		}
+		if k != nnz {
+			return fmt.Errorf("dist: sparse bitmap population %d != nnz %d", k, nnz)
+		}
+		return nil
+	default:
+		return fmt.Errorf("dist: unknown float payload mode %d", mode)
+	}
+}

@@ -1,0 +1,185 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skipper/internal/tensor"
+)
+
+func namedSet(t *testing.T, sizes ...int) []tensor.Named {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var out []tensor.Named
+	for i, n := range sizes {
+		tt := tensor.New(n)
+		for j := range tt.Data {
+			tt.Data[j] = float32(rng.NormFloat64())
+		}
+		out = append(out, tensor.Named{Name: string(rune('a' + i)), T: tt})
+	}
+	return out
+}
+
+// Every bucket split must tile the flat range exactly, and
+// copyOut→copyIn/addIn must be exact inverses over tensor boundaries.
+func TestFlatGradsBucketsTileAndRoundTrip(t *testing.T) {
+	grads := namedSet(t, 7, 1, 16, 3)
+	f := newFlatGrads(grads)
+	if f.size() != 27 {
+		t.Fatalf("size = %d, want 27", f.size())
+	}
+	for nb := 1; nb <= 6; nb++ {
+		prev := 0
+		for b := 0; b < nb; b++ {
+			lo, hi := f.bucketRange(b, nb)
+			if lo != prev {
+				t.Fatalf("nb=%d bucket %d starts at %d, want %d", nb, b, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("nb=%d bucket %d empty range [%d,%d)", nb, b, lo, hi)
+			}
+			prev = hi
+		}
+		if prev != f.size() {
+			t.Fatalf("nb=%d buckets cover %d of %d", nb, prev, f.size())
+		}
+	}
+
+	// Round trip through a snapshot: copyOut, zero, copyIn restores bits.
+	want := make([]float32, f.size())
+	f.copyOut(0, f.size(), want)
+	for b := 0; b < 5; b++ {
+		lo, hi := f.bucketRange(b, 5)
+		buf := make([]float32, hi-lo)
+		f.copyOut(lo, hi, buf)
+		zero := make([]float32, hi-lo)
+		f.copyIn(lo, hi, zero)
+		f.copyIn(lo, hi, buf)
+	}
+	got := make([]float32, f.size())
+	f.copyOut(0, f.size(), got)
+	for i := range want {
+		if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+			t.Fatalf("flat[%d] changed: % x -> % x", i, want[i], got[i])
+		}
+	}
+
+	// addIn performs data[i] += src[i].
+	lo, hi := f.bucketRange(1, 3)
+	ones := make([]float32, hi-lo)
+	for i := range ones {
+		ones[i] = 1
+	}
+	f.addIn(lo, hi, ones)
+	after := make([]float32, f.size())
+	f.copyOut(0, f.size(), after)
+	for i := range after {
+		exp := want[i]
+		if i >= lo && i < hi {
+			exp = want[i] + 1
+		}
+		if after[i] != exp {
+			t.Fatalf("addIn flat[%d] = %v, want %v", i, after[i], exp)
+		}
+	}
+}
+
+func TestParamSigDetectsShapeAndOrder(t *testing.T) {
+	a := namedSet(t, 4, 6)
+	b := namedSet(t, 4, 6)
+	if paramSig(a) != paramSig(b) {
+		t.Fatal("identical layouts produced different signatures")
+	}
+	c := namedSet(t, 6, 4)
+	if paramSig(a) == paramSig(c) {
+		t.Fatal("different shapes produced the same signature")
+	}
+	swapped := []tensor.Named{a[1], a[0]}
+	if paramSig(a) == paramSig(swapped) {
+		t.Fatal("reordered params produced the same signature")
+	}
+}
+
+// The codec must round-trip every bit pattern exactly — including −0.0,
+// denormals, and NaN — for all-zero, sparse, and dense inputs, and the
+// sparse layout must actually be chosen (and smaller) for near-zero data.
+func TestFloatCodecExactRoundTrip(t *testing.T) {
+	nan := math.Float32frombits(0x7fc00001)
+	cases := []struct {
+		name   string
+		vals   []float32
+		sparse bool
+		mode   byte
+	}{
+		{"all_zero_sparse", make([]float32, 1000), true, wireSparse},
+		{"all_zero_dense", make([]float32, 1000), false, wireDense},
+		{"dense_random", nil, true, wireDense}, // filled below; stays dense
+		{"mostly_zero", func() []float32 {
+			v := make([]float32, 997)
+			v[3] = 1.5
+			v[500] = float32(math.Copysign(0, -1)) // −0.0 is a nonzero bit pattern
+			v[996] = nan
+			return v
+		}(), true, wireSparse},
+		{"empty", nil, true, wireDense},
+		{"single", []float32{3.25}, true, wireDense},
+	}
+	rng := rand.New(rand.NewSource(7))
+	dense := make([]float32, 512)
+	for i := range dense {
+		dense[i] = float32(rng.NormFloat64())
+	}
+	cases[2].vals = dense
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := encodeFloats(tc.vals, tc.sparse)
+			if buf[0] != tc.mode {
+				t.Fatalf("mode = %d, want %d", buf[0], tc.mode)
+			}
+			out := make([]float32, len(tc.vals))
+			for i := range out {
+				out[i] = 99 // decode must overwrite every slot
+			}
+			if err := decodeFloats(buf, out); err != nil {
+				t.Fatal(err)
+			}
+			for i := range tc.vals {
+				if math.Float32bits(out[i]) != math.Float32bits(tc.vals[i]) {
+					t.Fatalf("bit %d: %08x != %08x", i, math.Float32bits(out[i]), math.Float32bits(tc.vals[i]))
+				}
+			}
+			if tc.mode == wireSparse && len(buf) >= 5+4*len(tc.vals) {
+				t.Fatalf("sparse layout not smaller: %d vs dense %d", len(buf), 5+4*len(tc.vals))
+			}
+		})
+	}
+}
+
+// Truncated or corrupted payloads must fail loudly, never mis-decode.
+func TestFloatCodecRejectsMalformed(t *testing.T) {
+	vals := make([]float32, 64)
+	vals[7] = 2.5
+	for _, sparse := range []bool{true, false} {
+		buf := encodeFloats(vals, sparse)
+		for cut := 0; cut < len(buf); cut++ {
+			if err := decodeFloats(buf[:cut], make([]float32, 64)); err == nil {
+				t.Fatalf("sparse=%v: accepted truncation to %d of %d bytes", sparse, cut, len(buf))
+			}
+		}
+		if err := decodeFloats(buf, make([]float32, 63)); err == nil {
+			t.Fatalf("sparse=%v: accepted wrong destination length", sparse)
+		}
+	}
+	if err := decodeFloats([]byte{9, 0, 0, 0, 0}, nil); err == nil {
+		t.Fatal("accepted unknown mode byte")
+	}
+	// A bitmap lying about its population must be caught both ways.
+	buf := encodeFloats(vals, true)
+	buf[5] |= 0x02 // set an extra bitmap bit without adding a value
+	if err := decodeFloats(buf, make([]float32, 64)); err == nil {
+		t.Fatal("accepted bitmap population > nnz")
+	}
+}

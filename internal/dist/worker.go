@@ -8,8 +8,8 @@ import (
 
 	"skipper/internal/core"
 	"skipper/internal/dataset"
+	"skipper/internal/frame"
 	"skipper/internal/runstate"
-	"skipper/internal/tensor"
 	"skipper/internal/trace"
 )
 
@@ -18,6 +18,13 @@ type WorkerConfig struct {
 	// Dial opens a connection to the coordinator. Seam for tests (net.Pipe)
 	// and fault injection (faults.Conn); production passes net.Dial.
 	Dial func() (net.Conn, error)
+	// Options must match the coordinator's exchange options; the handshake
+	// rejects mismatches permanently.
+	Options Options
+	// RingDial opens a ring-data connection to a successor's listener
+	// (TopologyRing only). Seam for fault injection; default is a plain
+	// net.Dial with IOTimeout.
+	RingDial func(addr string) (net.Conn, error)
 	// MaxReconnects bounds consecutive failed connection attempts/sessions
 	// before the worker gives up with a CoordinatorLostError. Any completed
 	// handshake resets the count. Default 5.
@@ -49,6 +56,13 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 10 * time.Minute
 	}
+	c.Options = c.Options.withDefaults()
+	if c.RingDial == nil {
+		timeout := c.IOTimeout
+		c.RingDial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
 	return c
 }
 
@@ -76,6 +90,18 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
+// workerState is the per-process state shared across a worker's sessions:
+// the flat gradient view and, for ring topology, the ring-data endpoint and
+// the latest announced membership.
+type workerState struct {
+	flat *flatGrads
+	sig  string
+	ring *ringEnd
+	// Latest ring membership announcement.
+	ringAddrs   []string
+	ringVersion int
+}
+
 // RunWorker joins tr to a coordinator and participates in rounds until the
 // coordinator sends done (returns nil), a permanent error occurs, or the
 // reconnect budget runs out (returns *CoordinatorLostError).
@@ -87,7 +113,20 @@ func RunWorker(tr *core.Trainer, cfg WorkerConfig) error {
 	if cfg.Dial == nil {
 		return fmt.Errorf("dist: worker needs a Dial function")
 	}
+	if err := cfg.Options.Validate(); err != nil {
+		return err
+	}
 	cfg = cfg.withDefaults()
+	grads := tr.GradTensors()
+	ws := &workerState{flat: newFlatGrads(grads), sig: paramSig(grads)}
+	if cfg.Options.Topology == TopologyRing {
+		end, err := newRingEnd(cfg.Options.RingListen, cfg.RingDial, cfg.IOTimeout)
+		if err != nil {
+			return err
+		}
+		ws.ring = end
+		defer end.close()
+	}
 	fails := 0
 	round := 0
 	for {
@@ -95,7 +134,7 @@ func RunWorker(tr *core.Trainer, cfg WorkerConfig) error {
 		if err == nil {
 			var r int
 			var progressed bool
-			r, progressed, err = workerSession(tr, conn, cfg)
+			r, progressed, err = workerSession(tr, conn, ws, cfg)
 			conn.Close()
 			if r > round {
 				round = r
@@ -127,9 +166,9 @@ func RunWorker(tr *core.Trainer, cfg WorkerConfig) error {
 // assign/upload/commit loop. It reports the first uncommitted round and
 // whether the session made progress (completed the handshake), which resets
 // the caller's reconnect budget.
-func workerSession(tr *core.Trainer, conn net.Conn, cfg WorkerConfig) (round int, progressed bool, err error) {
+func workerSession(tr *core.Trainer, conn net.Conn, ws *workerState, cfg WorkerConfig) (round int, progressed bool, err error) {
 	conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
-	hb, err := encodeJSON(helloMsg{
+	hello := helloMsg{
 		Proto:     protoVersion,
 		Strategy:  tr.Strat.Name(),
 		Optimizer: tr.Opt.Name(),
@@ -137,14 +176,22 @@ func workerSession(tr *core.Trainer, conn net.Conn, cfg WorkerConfig) (round int
 		T:         tr.Cfg.T,
 		LR:        float64(tr.Cfg.LR),
 		GradClip:  float64(tr.Cfg.GradClip),
-	})
+		ParamSig:  ws.sig,
+		Topology:  cfg.Options.Topology,
+		Compress:  cfg.Options.Compress,
+		Overlap:   cfg.Options.Overlap,
+	}
+	if ws.ring != nil {
+		hello.RingAddr = ws.ring.addr()
+	}
+	hb, err := encodeJSON(hello)
 	if err != nil {
 		return 0, false, &permanentError{err}
 	}
-	if err := writeFrame(conn, msgHello, hb); err != nil {
+	if err := frame.Write(conn, msgHello, hb); err != nil {
 		return 0, false, err
 	}
-	typ, payload, err := readFrame(conn)
+	typ, payload, err := frame.Read(conn)
 	if err != nil {
 		return 0, false, err
 	}
@@ -158,7 +205,7 @@ func workerSession(tr *core.Trainer, conn net.Conn, cfg WorkerConfig) (round int
 	if err := decodeJSON(payload, &welcome); err != nil {
 		return 0, false, err
 	}
-	typ, payload, err = readFrame(conn)
+	typ, payload, err = frame.Read(conn)
 	if err != nil {
 		return welcome.Round, false, err
 	}
@@ -181,12 +228,19 @@ func workerSession(tr *core.Trainer, conn net.Conn, cfg WorkerConfig) (round int
 	lastEpoch := -1
 	for {
 		conn.SetDeadline(time.Now().Add(cfg.IdleTimeout))
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := frame.Read(conn)
 		if err != nil {
 			return round, true, err
 		}
 		conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
 		switch typ {
+		case msgRing:
+			var rm ringMsg
+			if err := decodeJSON(payload, &rm); err != nil {
+				return round, true, err
+			}
+			ws.ringAddrs = rm.Addrs
+			ws.ringVersion = rm.Version
 		case msgAssign:
 			var a assignMsg
 			if err := decodeJSON(payload, &a); err != nil {
@@ -198,48 +252,45 @@ func workerSession(tr *core.Trainer, conn net.Conn, cfg WorkerConfig) (round int
 				}
 				lastEpoch = a.Epoch
 			}
-			computeStart := time.Now()
-			st, elapsed, err := tr.ShardGrads(dataset.Split(a.Split), a.Indices, a.Iteration, a.GlobalN)
-			_ = computeStart
+			if cfg.Options.Topology == TopologyRing {
+				err = workerRingRound(tr, conn, a, rank, welcome.World, ws, cfg)
+			} else {
+				err = workerStarRound(tr, conn, a, rank, ws, cfg)
+			}
 			if err != nil {
-				// Local compute failure: tell the coordinator (so the round
-				// aborts promptly instead of timing out) and stop.
-				if eb, encErr := encodeJSON(errorMsg{Message: err.Error()}); encErr == nil {
-					writeFrame(conn, msgError, eb)
-				}
-				return round, true, &permanentError{err}
-			}
-			var ts []tensor.Named
-			if len(a.Indices) > 0 {
-				ts = tr.GradTensors()
-			}
-			gb, err := encodeTensors(gradsMeta{
-				Round: a.Round, Attempt: a.Attempt, Rank: rank, Count: len(a.Indices),
-				Loss: st.Loss, Correct: st.Correct, N: st.N,
-				ComputeSeconds: elapsed.Seconds(),
-			}, ts)
-			if err != nil {
-				return round, true, &permanentError{err}
-			}
-			if err := writeFrame(conn, msgGrads, gb); err != nil {
 				return round, true, err
 			}
 			round = a.Round
 		case msgReduced:
 			var meta reducedMeta
-			ts, err := decodeTensors(payload, &meta)
+			fb, err := decodeFlat(payload, &meta)
 			if err != nil {
 				return round, true, err
 			}
 			if meta.Round != round {
 				return round, true, fmt.Errorf("dist: reduced gradients for round %d, expected %d", meta.Round, round)
 			}
-			if err := tr.SetGradTensors(ts); err != nil {
-				return round, true, &permanentError{err}
+			vals := make([]float32, ws.flat.size())
+			if err := decodeFloats(fb, vals); err != nil {
+				return round, true, err
 			}
+			ws.flat.copyIn(0, ws.flat.size(), vals)
 			tr.ApplyReduced()
 			round = meta.Round + 1
 			cfg.Tracer.Event(trace.TrackDist, "round_committed", trace.Attr{Key: "round", Val: int64(meta.Round)})
+		case msgCommit:
+			// Ring topology: the distribution trip already installed the
+			// reduced gradient locally, so commit is the go-ahead to step.
+			var cm commitMsg
+			if err := decodeJSON(payload, &cm); err != nil {
+				return round, true, err
+			}
+			if cm.Round != round {
+				return round, true, fmt.Errorf("dist: commit for round %d, expected %d", cm.Round, round)
+			}
+			tr.ApplyReduced()
+			round = cm.Round + 1
+			cfg.Tracer.Event(trace.TrackDist, "round_committed", trace.Attr{Key: "round", Val: int64(cm.Round)})
 		case msgAbort:
 			var ab abortMsg
 			if err := decodeJSON(payload, &ab); err != nil {
@@ -255,6 +306,87 @@ func workerSession(tr *core.Trainer, conn net.Conn, cfg WorkerConfig) (round int
 			return round, true, fmt.Errorf("dist: unexpected message type %d", typ)
 		}
 	}
+}
+
+// workerStarRound computes the assigned shard and uploads its gradient
+// buckets to the coordinator. Buckets stream from the segment hook while
+// later segments still recompute, so upload wire time hides under compute;
+// the final bucket (carrying the stats) flushes when the batch completes.
+func workerStarRound(tr *core.Trainer, conn net.Conn, a assignMsg, rank int, ws *workerState, cfg WorkerConfig) error {
+	nb := a.NBuckets
+	if nb <= 0 {
+		nb = 1
+	}
+	contrib := len(a.Indices) > 0
+	var stats gradsMeta // final-bucket stats; written before feed.finish
+
+	feed := newBucketFeed(ws.flat, nb)
+	upErr := make(chan error, 1)
+	go func() {
+		for ob := range feed.ch {
+			meta := gradsMeta{
+				Round: a.Round, Attempt: a.Attempt, Rank: rank, Count: len(a.Indices),
+				Bucket: ob.b, NBucket: nb,
+			}
+			if ob.b == nb-1 {
+				meta.Loss, meta.Correct, meta.N = stats.Loss, stats.Correct, stats.N
+				meta.ComputeSeconds = stats.ComputeSeconds
+			}
+			pb, err := encodeFlat(meta, ob.vals, cfg.Options.sparseWire())
+			if err != nil {
+				upErr <- err
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+			if err := frame.Write(conn, msgGrads, pb); err != nil {
+				upErr <- err
+				return
+			}
+		}
+		upErr <- nil
+	}()
+
+	if contrib && nb > 1 {
+		tr.SetSegmentHook(feed.hook)
+	}
+	st, elapsed, err := tr.ShardGrads(dataset.Split(a.Split), a.Indices, a.Iteration, a.GlobalN)
+	if contrib && nb > 1 {
+		tr.SetSegmentHook(nil)
+	}
+	if err != nil {
+		feed.close()
+		<-upErr
+		// Local compute failure: tell the coordinator (so the round aborts
+		// promptly instead of timing out) and stop.
+		if eb, encErr := encodeJSON(errorMsg{Message: err.Error()}); encErr == nil {
+			conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+			frame.Write(conn, msgError, eb)
+		}
+		return &permanentError{err}
+	}
+	stats = gradsMeta{Loss: st.Loss, Correct: st.Correct, N: st.N, ComputeSeconds: elapsed.Seconds()}
+	feed.finish(contrib)
+	if err := <-upErr; err != nil {
+		return err
+	}
+	if !contrib {
+		// Sat the round out: a single meta-only frame reports the (empty)
+		// stats so the coordinator's gather completes.
+		meta := gradsMeta{
+			Round: a.Round, Attempt: a.Attempt, Rank: rank, Count: 0,
+			Bucket: 0, NBucket: nb,
+			ComputeSeconds: elapsed.Seconds(),
+		}
+		pb, err := encodeFlat(meta, nil, false)
+		if err != nil {
+			return &permanentError{err}
+		}
+		conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+		if err := frame.Write(conn, msgGrads, pb); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // decodeWorkerError turns a coordinator errorMsg into a worker-side error,

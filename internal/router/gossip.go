@@ -3,9 +3,8 @@ package router
 import (
 	"encoding/json"
 	"fmt"
+	"skipper/internal/frame"
 	"time"
-
-	"skipper/internal/dist"
 )
 
 // peerState is the full replicated state one router shares with a peer on
@@ -133,11 +132,11 @@ func (rt *Router) syncPeer(link *peerLink) error {
 		return err
 	}
 	conn.SetDeadline(time.Now().Add(rt.syncTimeout()))
-	if err := dist.WriteFrame(conn, peerSyncFrame, payload); err != nil {
+	if err := frame.Write(conn, peerSyncFrame, payload); err != nil {
 		link.drop()
 		return err
 	}
-	typ, resp, err := dist.ReadFrame(conn)
+	typ, resp, err := frame.Read(conn)
 	if err != nil {
 		link.drop()
 		return err

@@ -3,16 +3,16 @@ package router
 import (
 	"encoding/json"
 	"net"
+	"skipper/internal/frame"
 	"sync"
 	"time"
 
-	"skipper/internal/dist"
 	"skipper/internal/serve"
 	"skipper/internal/trace"
 )
 
 // The router peer channel: every router listens on Config.PeerListener for
-// CRC-framed connections (dist.WriteFrame/ReadFrame, the same envelope the
+// CRC-framed connections (frame.Write/frame.Read, the same envelope the
 // fleet data path rides) carrying two protocols:
 //
 //   - peerSyncFrame/peerSyncAckFrame — router↔router state sync. Both
@@ -181,7 +181,7 @@ func (rt *Router) servePeerConn(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		typ, payload, err := dist.ReadFrame(conn)
+		typ, payload, err := frame.Read(conn)
 		if err != nil {
 			return // EOF, torn connection, or bad frame: the dialer owns retry
 		}
@@ -197,7 +197,7 @@ func (rt *Router) servePeerConn(conn net.Conn) {
 				return
 			}
 			conn.SetWriteDeadline(time.Now().Add(rt.syncTimeout()))
-			if err := dist.WriteFrame(conn, peerSyncAckFrame, buf); err != nil {
+			if err := frame.Write(conn, peerSyncAckFrame, buf); err != nil {
 				return
 			}
 			conn.SetWriteDeadline(time.Time{})
@@ -208,7 +208,7 @@ func (rt *Router) servePeerConn(conn net.Conn) {
 			}
 			rt.handleDrainAnnounce(ann.URL)
 			conn.SetWriteDeadline(time.Now().Add(rt.syncTimeout()))
-			if err := dist.WriteFrame(conn, serve.FleetDrainAck, nil); err != nil {
+			if err := frame.Write(conn, serve.FleetDrainAck, nil); err != nil {
 				return
 			}
 			conn.SetWriteDeadline(time.Time{})

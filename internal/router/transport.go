@@ -7,11 +7,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"skipper/internal/frame"
 	"strconv"
 	"sync"
 	"time"
 
-	"skipper/internal/dist"
 	"skipper/internal/serve"
 )
 
@@ -102,11 +102,11 @@ func (tr *transport) exchange(addr string, typ byte, payload []byte, wantTyp byt
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(tr.timeout))
-	if err := dist.WriteFrame(conn, typ, payload); err != nil {
+	if err := frame.Write(conn, typ, payload); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	gotTyp, resp, err := dist.ReadFrame(conn)
+	gotTyp, resp, err := frame.Read(conn)
 	if err != nil {
 		conn.Close()
 		return nil, err

@@ -83,6 +83,8 @@ type DistMeta struct {
 	Rank int `json:"rank"`
 	// Round is the last globally committed training round.
 	Round int `json:"round"`
+	// Topology is the gradient-exchange wiring ("star" or "ring").
+	Topology string `json:"topology,omitempty"`
 }
 
 // Manifest is one durable snapshot of a training run.

@@ -6,16 +6,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"skipper/internal/frame"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"skipper/internal/dist"
 )
 
 // The fleet data path: the router speaks to replicas over persistent TCP
 // connections carrying the same CRC-framed envelope internal/dist hardened
-// for gradient exchange (dist.WriteFrame/ReadFrame), with JSON payloads that
+// for gradient exchange (frame.Write/frame.Read), with JSON payloads that
 // mirror the HTTP bodies. One connection processes one request at a time —
 // the router holds a small pool per backend instead of multiplexing — which
 // keeps the protocol free of correlation ids and makes a torn connection
@@ -78,10 +77,10 @@ func AnnounceDrain(routerAddrs []string, selfURL string, timeout time.Duration) 
 			}
 			defer conn.Close()
 			conn.SetDeadline(time.Now().Add(timeout))
-			if err := dist.WriteFrame(conn, FleetDrainAnnounce, payload); err != nil {
+			if err := frame.Write(conn, FleetDrainAnnounce, payload); err != nil {
 				return
 			}
-			if typ, _, err := dist.ReadFrame(conn); err == nil && typ == FleetDrainAck {
+			if typ, _, err := frame.Read(conn); err == nil && typ == FleetDrainAck {
 				acked.Add(1)
 			}
 		}(addr)
@@ -177,7 +176,7 @@ func (s *Server) serveFleetConn(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		typ, payload, err := dist.ReadFrame(conn)
+		typ, payload, err := frame.Read(conn)
 		if err != nil {
 			return // EOF, torn connection, or bad frame: the dialer owns retry
 		}
@@ -201,7 +200,7 @@ func (s *Server) serveFleetConn(conn net.Conn) {
 			}
 			s.metrics.observeRequest(out.Code, time.Since(start).Seconds())
 			buf, _ := json.Marshal(out)
-			if err := dist.WriteFrame(conn, FleetResult, buf); err != nil {
+			if err := frame.Write(conn, FleetResult, buf); err != nil {
 				return
 			}
 		default:
@@ -224,5 +223,5 @@ func (s *Server) writeFleetStatus(w io.Writer) error {
 		ModelVersion: snap.Version,
 		ModelPath:    snap.Path,
 	})
-	return dist.WriteFrame(w, FleetPong, buf)
+	return frame.Write(w, FleetPong, buf)
 }

@@ -5,10 +5,9 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"skipper/internal/frame"
 	"testing"
 	"time"
-
-	"skipper/internal/dist"
 )
 
 // dialFleet connects to a fleet listener and returns the conn plus helpers.
@@ -24,10 +23,10 @@ func dialFleet(t *testing.T, addr string) net.Conn {
 
 func fleetPing(t *testing.T, conn net.Conn) FleetStatus {
 	t.Helper()
-	if err := dist.WriteFrame(conn, FleetPing, nil); err != nil {
+	if err := frame.Write(conn, FleetPing, nil); err != nil {
 		t.Fatalf("writing ping: %v", err)
 	}
-	typ, payload, err := dist.ReadFrame(conn)
+	typ, payload, err := frame.Read(conn)
 	if err != nil || typ != FleetPong {
 		t.Fatalf("pong: typ=%d err=%v", typ, err)
 	}
@@ -41,10 +40,10 @@ func fleetPing(t *testing.T, conn net.Conn) FleetStatus {
 func fleetInfer(t *testing.T, conn net.Conn, req InferRequest) FleetResponse {
 	t.Helper()
 	body, _ := json.Marshal(req)
-	if err := dist.WriteFrame(conn, FleetInfer, body); err != nil {
+	if err := frame.Write(conn, FleetInfer, body); err != nil {
 		t.Fatalf("writing infer frame: %v", err)
 	}
-	typ, payload, err := dist.ReadFrame(conn)
+	typ, payload, err := frame.Read(conn)
 	if err != nil || typ != FleetResult {
 		t.Fatalf("result: typ=%d err=%v", typ, err)
 	}
