@@ -25,6 +25,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		threads = flag.Int("threads", 0, "compute-pool width for parallel-runtime experiments (0 = all cores)")
 		require = flag.Bool("require-speedup", false, "fail bench_kernels/bench_trace timing gates when not met (enforced only on ≥2 cores)")
+		pack    = flag.Bool("spike-pack", false, "run workload measurements with bit-packed spike compute (bit-identical results)")
 		list    = flag.Bool("list", false, "list available experiments")
 		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address while experiments run")
 	)
@@ -53,7 +54,7 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	cfg := bench.RunConfig{Scale: sc, Seed: *seed, Threads: *threads, RequireSpeedup: *require}
+	cfg := bench.RunConfig{Scale: sc, Seed: *seed, Threads: *threads, RequireSpeedup: *require, SpikePack: *pack}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"skipper/internal/core"
+	"skipper/internal/dataset"
+	"skipper/internal/mem"
+	"skipper/internal/models"
+	"skipper/internal/parallel"
+	"skipper/internal/tensor"
+)
+
+// spikePackKernelRow compares one spike-side kernel dense vs bit-packed at a
+// given spike density: wall clock, effective GFLOP/s (nominal dense flops
+// over measured time, so the speedup is the time ratio), operand bytes, and
+// the bit-identity the packed path promises.
+type spikePackKernelRow struct {
+	Name         string  `json:"name"`
+	Shape        string  `json:"shape"`
+	Density      float64 `json:"density"`
+	DenseMS      float64 `json:"dense_ms"`
+	PackedMS     float64 `json:"packed_ms"`
+	DenseGFLOPS  float64 `json:"dense_gflop_s"`
+	PackedGFLOPS float64 `json:"packed_gflop_s"`
+	Speedup      float64 `json:"speedup"`
+	DenseBytes   int64   `json:"dense_bytes"`
+	PackedBytes  int64   `json:"packed_bytes"`
+	BytesRatio   float64 `json:"bytes_ratio"`
+	// WordSkipFrac is the fraction of 64-spike words the packed kernel
+	// skipped as all-zero (the event-driven fast path).
+	WordSkipFrac float64 `json:"word_skip_frac"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// spikePackEpochRow is the end-to-end comparison: identical training runs
+// with SpikePack off vs on must produce bit-identical weights and
+// predictions; only the clock may differ.
+type spikePackEpochRow struct {
+	Model            string  `json:"model"`
+	T                int     `json:"t"`
+	Batch            int     `json:"batch"`
+	Batches          int     `json:"batches"`
+	DenseS           float64 `json:"dense_s"`
+	PackedS          float64 `json:"packed_s"`
+	Speedup          float64 `json:"speedup"`
+	WeightsIdentical bool    `json:"weights_bit_identical"`
+	PredsIdentical   bool    `json:"preds_bit_identical"`
+}
+
+// spikePackReport is what bench_spikepack writes to BENCH_spikepack.json.
+type spikePackReport struct {
+	Threads int                  `json:"threads"`
+	Scale   string               `json:"scale"`
+	Kernels []spikePackKernelRow `json:"kernels"`
+	// PoolWidthsIdentical is the determinism contract at the packed-kernel
+	// level: outputs at pool widths 1/2/4 are bit-equal.
+	PoolWidthsIdentical bool              `json:"pool_widths_bit_identical"`
+	Epoch               spikePackEpochRow `json:"epoch"`
+}
+
+// benchSpikePackOutput is where bench_spikepack writes its JSON report; the
+// package tests point it into a temp directory.
+var benchSpikePackOutput = "BENCH_spikepack.json"
+
+// fillSpikes fills d with a deterministic 0/1 pattern at roughly the given
+// density of ones.
+func fillSpikes(d []float32, density float64, seed uint64) {
+	buf := make([]float32, len(d))
+	fillDet(buf, seed)
+	for i, v := range buf {
+		if float64(v+1)/2 < density {
+			d[i] = 1
+		} else {
+			d[i] = 0
+		}
+	}
+}
+
+// measureSpikeKernel times the dense and packed variants, collecting the
+// packed kernels' word-occupancy counters across the timed reps.
+func measureSpikeKernel(name, shape string, density, flop float64, reps int,
+	dense, packed func(), outD, outP *tensor.Tensor, denseBytes, packedBytes int64) spikePackKernelRow {
+	dDur := timeReps(reps, dense)
+	tensor.ResetPackedKernelStats()
+	pDur := timeReps(reps, packed)
+	scanned, skipped := tensor.PackedKernelStats()
+	dMS := dDur.Seconds() * 1e3 / float64(reps)
+	pMS := pDur.Seconds() * 1e3 / float64(reps)
+	var skipFrac float64
+	if scanned > 0 {
+		skipFrac = float64(skipped) / float64(scanned)
+	}
+	return spikePackKernelRow{
+		Name:         name,
+		Shape:        shape,
+		Density:      density,
+		DenseMS:      dMS,
+		PackedMS:     pMS,
+		DenseGFLOPS:  flop / 1e9 / (dMS / 1e3),
+		PackedGFLOPS: flop / 1e9 / (pMS / 1e3),
+		Speedup:      dMS / pMS,
+		DenseBytes:   denseBytes,
+		PackedBytes:  packedBytes,
+		BytesRatio:   float64(denseBytes) / float64(packedBytes),
+		WordSkipFrac: skipFrac,
+		BitIdentical: bitEqual(outD, outP),
+	}
+}
+
+// measureSpikeMatMul benches the linear-layer forward current u = s·Wᵀ with
+// the spike operand dense vs packed.
+func measureSpikeMatMul(pool *parallel.Pool, mm, reps int, density float64) spikePackKernelRow {
+	b := 64
+	s := tensor.New(b, mm)
+	w := tensor.New(mm, mm)
+	outD := tensor.New(b, mm)
+	outP := tensor.New(b, mm)
+	fillSpikes(s.Data, density, 101)
+	fillDet(w.Data, 113)
+	sp, ok := tensor.PackSpikes(s)
+	if !ok {
+		panic("bench: spike fill not binary")
+	}
+	flop := 2 * float64(b) * float64(mm) * float64(mm)
+	return measureSpikeKernel("matmul_transb", fmt.Sprintf("%dx%dx%d", b, mm, mm), density, flop, reps,
+		func() { tensor.MatMulTransB(pool, outD, s, w) },
+		func() { tensor.MatMulTransBPacked(pool, outP, sp, w) },
+		outD, outP, s.Bytes(), sp.Bytes())
+}
+
+// measureSpikeConv benches the conv forward with the input spike plane dense
+// vs packed (packed im2col).
+func measureSpikeConv(pool *parallel.Pool, sc Scale, reps int, density float64) spikePackKernelRow {
+	n, c, h, w := 8, 8, 16, 16
+	if sc == Full {
+		n, c, h, w = 16, 16, 32, 32
+	}
+	spec := tensor.ConvSpec{InChannels: c, OutChannels: 2 * c, KernelH: 3, KernelW: 3, Stride: 1, Pad: 1}
+	oh, ow := spec.OutSize(h, w)
+	x := tensor.New(n, c, h, w)
+	weight := tensor.New(spec.OutChannels, c, 3, 3)
+	bias := tensor.New(spec.OutChannels)
+	outD := tensor.New(n, spec.OutChannels, oh, ow)
+	outP := tensor.New(n, spec.OutChannels, oh, ow)
+	fillSpikes(x.Data, density, 127)
+	fillDet(weight.Data, 131)
+	fillDet(bias.Data, 139)
+	xp, ok := tensor.PackSpikes(x)
+	if !ok {
+		panic("bench: spike fill not binary")
+	}
+	scrD, scrP := tensor.NewScratch(), tensor.NewScratch()
+	flop := 2 * float64(n) * float64(spec.OutChannels) * float64(oh*ow) * float64(c*9)
+	return measureSpikeKernel("conv2d", fmt.Sprintf("N%d C%d->%d %dx%d k3", n, c, spec.OutChannels, h, w), density, flop, reps,
+		func() { tensor.Conv2D(pool, outD, x, weight, bias, spec, scrD) },
+		func() { tensor.Conv2DPacked(pool, outP, xp, weight, bias, spec, scrP) },
+		outD, outP, x.Bytes(), xp.Bytes())
+}
+
+// packedPoolWidthsIdentical checks the packed matmul's determinism contract:
+// bit-equal output at every pool width.
+func packedPoolWidthsIdentical(mm int) bool {
+	b := 64
+	s := tensor.New(b, mm)
+	w := tensor.New(mm, mm)
+	fillSpikes(s.Data, 0.1, 149)
+	fillDet(w.Data, 151)
+	sp, ok := tensor.PackSpikes(s)
+	if !ok {
+		return false
+	}
+	ref := tensor.New(b, mm)
+	tensor.MatMulTransBPacked(nil, ref, sp, w)
+	for _, lanes := range []int{2, 4} {
+		pool := parallel.NewPool(lanes)
+		out := tensor.New(b, mm)
+		tensor.MatMulTransBPacked(pool, out, sp, w)
+		pool.Close()
+		if !bitEqual(ref, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// measureSpikePackTraining trains the same seeded workload with SpikePack
+// off and on and verifies the end-to-end bit-identity gate.
+func measureSpikePackTraining(cfg RunConfig, out io.Writer) (spikePackEpochRow, error) {
+	T, batch, nBatches := 32, 4, 2
+	if cfg.Scale == Tiny {
+		T, batch, nBatches = 12, 2, 1
+	}
+	train := func(pack bool) (float64, []*tensor.Tensor, core.InferResult, error) {
+		net, err := models.Build("customnet", models.Options{Width: 0.5, Classes: 10, InShape: []int{3, 16, 16}})
+		if err != nil {
+			return 0, nil, core.InferResult{}, err
+		}
+		data, err := dataset.Open("cifar10", cfg.seed())
+		if err != nil {
+			return 0, nil, core.InferResult{}, err
+		}
+		tr, err := core.NewTrainer(net, data, core.Checkpoint{C: 2}, core.Config{
+			T: T, Batch: batch, Seed: cfg.seed(),
+			Device:             mem.NewDevice(mem.Config{}),
+			MaxBatchesPerEpoch: nBatches,
+			CompressSpikes:     true,
+			SpikePack:          pack,
+		})
+		if err != nil {
+			return 0, nil, core.InferResult{}, err
+		}
+		defer tr.Close()
+		start := time.Now()
+		if _, err := tr.TrainEpoch(); err != nil {
+			return 0, nil, core.InferResult{}, err
+		}
+		secs := time.Since(start).Seconds()
+		var ws []*tensor.Tensor
+		for _, p := range net.Params() {
+			ws = append(ws, p.W.Clone())
+		}
+		input, _ := data.SpikeBatch(dataset.Test, []int{0, 1, 2, 3}, T)
+		res := core.Infer(net, input, core.InferOptions{})
+		return secs, ws, res, nil
+	}
+	denseS, denseW, denseInf, err := train(false)
+	if err != nil {
+		return spikePackEpochRow{}, err
+	}
+	packS, packW, packInf, err := train(true)
+	if err != nil {
+		return spikePackEpochRow{}, err
+	}
+	weightsOK := true
+	for i := range denseW {
+		if !bitEqual(denseW[i], packW[i]) {
+			weightsOK = false
+			break
+		}
+	}
+	predsOK := bitEqual(denseInf.Logits, packInf.Logits)
+	for i, p := range denseInf.Preds {
+		if packInf.Preds[i] != p {
+			predsOK = false
+		}
+	}
+	row := spikePackEpochRow{
+		Model: "customnet", T: T, Batch: batch, Batches: nBatches,
+		DenseS: denseS, PackedS: packS, Speedup: denseS / packS,
+		WeightsIdentical: weightsOK, PredsIdentical: predsOK,
+	}
+	fmt.Fprintf(out, "%14s %22s %8.2fs  %9.2fs  %7.2fx  weights=%v preds=%v\n",
+		"train+infer", fmt.Sprintf("customnet T=%d B=%d x%d", T, batch, nBatches),
+		denseS, packS, row.Speedup, weightsOK, predsOK)
+	return row, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "bench_spikepack",
+		Title: "Bit-packed spike compute: AND+popcount kernels vs dense float, bytes and bit-identity",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			pool := parallel.NewPool(cfg.Threads)
+			defer pool.Close()
+			threads := pool.Lanes()
+			mm, reps, _ := kernelSizes(cfg.Scale)
+
+			fmt.Fprintf(out, "== bench_spikepack: bit-packed spike kernels vs dense float ==\n")
+			fmt.Fprintf(out, "   threads=%d scale=%s\n", threads, cfg.Scale)
+
+			densities := []float64{0.5, 0.1, 0.02}
+			var kernels []spikePackKernelRow
+			for _, d := range densities {
+				kernels = append(kernels, measureSpikeMatMul(pool, mm, reps, d))
+				kernels = append(kernels, measureSpikeConv(pool, cfg.Scale, reps, d))
+			}
+
+			fmt.Fprintf(out, "%14s %22s %8s %9s %9s %8s %7s %6s\n",
+				"kernel", "shape", "density", "dense", "packed", "bytes", "skip", "bits")
+			for _, k := range kernels {
+				bits := "OK"
+				if !k.BitIdentical {
+					bits = "DIFF"
+				}
+				fmt.Fprintf(out, "%14s %22s %8.2f %7.2fms %7.2fms %7.1fx %6.1f%% %6s\n",
+					k.Name, k.Shape, k.Density, k.DenseMS, k.PackedMS,
+					k.BytesRatio, 100*k.WordSkipFrac, bits)
+			}
+
+			poolsOK := packedPoolWidthsIdentical(mm)
+			fmt.Fprintf(out, "   packed output bit-identical across pool widths 1/2/4: %v\n", poolsOK)
+
+			epoch, err := measureSpikePackTraining(cfg, out)
+			if err != nil {
+				return err
+			}
+
+			rep := spikePackReport{
+				Threads:             threads,
+				Scale:               cfg.Scale.String(),
+				Kernels:             kernels,
+				PoolWidthsIdentical: poolsOK,
+				Epoch:               epoch,
+			}
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchSpikePackOutput, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "   report written to %s\n", benchSpikePackOutput)
+
+			// Hard gates: the packed path must be exact everywhere and the
+			// spike operand at least 8x smaller (the codec promises 32x on
+			// the bits alone; 8x leaves headroom for shape metadata).
+			for _, k := range kernels {
+				if !k.BitIdentical {
+					return fmt.Errorf("bench_spikepack: %s at density %.2f is not bit-identical to dense", k.Name, k.Density)
+				}
+				if k.BytesRatio < 8 {
+					return fmt.Errorf("bench_spikepack: %s byte reduction %.1fx below the 8x gate", k.Name, k.BytesRatio)
+				}
+			}
+			if !poolsOK {
+				return fmt.Errorf("bench_spikepack: packed kernel output varies with pool width")
+			}
+			if !epoch.WeightsIdentical || !epoch.PredsIdentical {
+				return fmt.Errorf("bench_spikepack: end-to-end spike-pack training diverged from dense (weights=%v preds=%v)",
+					epoch.WeightsIdentical, epoch.PredsIdentical)
+			}
+			return nil
+		},
+	})
+}

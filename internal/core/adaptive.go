@@ -130,7 +130,7 @@ func EqualActivityBounds(profile []float64, C, minLen int) []int {
 func (a *AdaptiveSkipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
 	T := tr.Cfg.T
 	st := StepStats{N: len(labels)}
-	rs := newRecordStore(tr.Dev)
+	rs := tr.newRecordStore()
 	defer rs.dropAll()
 
 	bounds := a.placements(T)

@@ -29,7 +29,7 @@ func (BPTT) Validate(cfg Config, net *layers.Network) error {
 func (BPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
 	T := tr.Cfg.T
 	st := StepStats{N: len(labels)}
-	rs := newRecordStore(tr.Dev)
+	rs := tr.newRecordStore()
 	defer rs.dropAll()
 
 	la := newLossAccumulator(tr.Cfg, tr.lossDenom, labels)

@@ -40,7 +40,7 @@ func (c Checkpoint) Validate(cfg Config, net *layers.Network) error {
 // TrainBatch implements Strategy.
 func (c Checkpoint) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
 	st := StepStats{N: len(labels)}
-	rs := newRecordStore(tr.Dev)
+	rs := tr.newRecordStore()
 	defer rs.dropAll()
 
 	// Step 1: forward in time, storing records only at checkpoint times.

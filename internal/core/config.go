@@ -67,6 +67,14 @@ type Config struct {
 	// Lossless — gradient exactness is preserved. Applies to the
 	// Checkpoint, Skipper, and AdaptiveSkipper strategies.
 	CompressSpikes bool
+	// SpikePack routes spike activations through the bit-packed compute
+	// kernels (AND+popcount gathers in internal/tensor): spiking layers
+	// publish packed activation views, the forward/backward steps consume
+	// them directly, and checkpoint boundary records stay packed until a
+	// consumer actually needs floats. Bit-identical to the dense float path
+	// at any pool width, so it composes with checkpoint/skip determinism.
+	// Combine with CompressSpikes to also store boundary records packed.
+	SpikePack bool
 	// Metrics, when non-nil, receives one JSON line per epoch (loss,
 	// accuracy, step counts, durations, peak memory) — machine-readable
 	// training telemetry for dashboards and regression tracking.

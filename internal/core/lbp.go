@@ -100,7 +100,7 @@ func (lb *TBPTTLBP) Close() {
 func (lb *TBPTTLBP) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
 	T := tr.Cfg.T
 	st := StepStats{N: len(labels)}
-	rs := newRecordStore(tr.Dev)
+	rs := tr.newRecordStore()
 	defer rs.dropAll()
 
 	scratch, err := tr.deltaScratch(len(labels))

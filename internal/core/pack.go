@@ -24,7 +24,12 @@ func packState(st *layers.LayerState) *packedState {
 		return nil
 	}
 	ps := &packedState{u: st.U}
-	if st.O != nil {
+	switch {
+	case st.OPacked != nil:
+		// Spike-pack mode already carries the packed view — reuse it and
+		// skip the binary scan and re-pack entirely.
+		ps.oPacked = st.OPacked
+	case st.O != nil:
 		if p, ok := tensor.PackSpikes(st.O); ok {
 			ps.oPacked = p
 		} else {
@@ -90,6 +95,36 @@ func unpackStates(ps []*packedState) []*layers.LayerState {
 	out := make([]*layers.LayerState, len(ps))
 	for i, p := range ps {
 		out[i] = p.unpack()
+	}
+	return out
+}
+
+// unpackLazy rebuilds the record without expanding spike bits: packed spike
+// planes travel as LayerState.OPacked and the packed-aware layer kernels
+// consume them directly. Non-binary outputs (readout membranes) were never
+// packed and come back dense. LayerState.DenseO materialises on demand for
+// any consumer that still needs floats.
+func (ps *packedState) unpackLazy() *layers.LayerState {
+	if ps == nil {
+		return nil
+	}
+	st := &layers.LayerState{U: ps.u}
+	if ps.oPacked != nil {
+		st.OPacked = ps.oPacked
+	} else {
+		st.O = ps.oRaw
+	}
+	for _, sub := range ps.sub {
+		st.Sub = append(st.Sub, sub.unpackLazy())
+	}
+	return st
+}
+
+// unpackStatesLazy reconstructs the record set keeping spikes packed.
+func unpackStatesLazy(ps []*packedState) []*layers.LayerState {
+	out := make([]*layers.LayerState, len(ps))
+	for i, p := range ps {
+		out[i] = p.unpackLazy()
 	}
 	return out
 }

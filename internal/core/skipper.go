@@ -58,7 +58,7 @@ func (s Skipper) metric() SAMMetric {
 func (s Skipper) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
 	T := tr.Cfg.T
 	st := StepStats{N: len(labels)}
-	rs := newRecordStore(tr.Dev)
+	rs := tr.newRecordStore()
 	defer rs.dropAll()
 
 	// Step 1: checkpointed forward with SAM tracing.

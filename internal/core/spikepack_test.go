@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"skipper/internal/dataset"
+	"skipper/internal/layers"
+	"skipper/internal/models"
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+// spikePackSetup builds a named model plus one deterministic batch. The
+// "tinyres" pseudo-model is a hand-assembled stack exercising both residual
+// shortcut variants (identity and strided projection) with an L_n small
+// enough for short unrolls.
+func spikePackSetup(t *testing.T, model string, T int) (*layers.Network, dataset.Source, []*tensor.Tensor, []int) {
+	t.Helper()
+	var net *layers.Network
+	if model == "tinyres" {
+		n, s := snn.DefaultParams(), snn.Triangle{}
+		net = layers.NewNetwork("tinyres", []int{3, 16, 16},
+			layers.NewSpikingConv2D("conv1", 8, 3, 1, 1, n, s),
+			layers.NewResidualBlock("res1", 8, 1, n, s),
+			layers.NewResidualBlock("res2", 16, 2, n, s),
+			layers.NewGlobalAvgPool("gap"),
+			layers.NewReadout("out", 10, n),
+		)
+		if err := net.Build(tensor.NewRNG(11)); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		var err error
+		net, err = models.Build(model, models.Options{Width: 0.5, InShape: []int{3, 16, 16}, Classes: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := dataset.Open("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, labels := data.SpikeBatch(dataset.Train, []int{0, 1}, T)
+	return net, data, input, labels
+}
+
+// The spike-pack contract: routing spike activations through the bit-packed
+// AND+popcount kernels reproduces the dense float gradients bit-for-bit —
+// for every strategy, including lazy packed checkpoint boundary records
+// (SpikePack + CompressSpikes). tinyres covers the residual block's packed
+// shortcut and two-stage paths; customnet covers conv/pool/linear stacks.
+func TestSpikePackGradientsExactlyMatchDense(t *testing.T) {
+	strategies := []struct {
+		name  string
+		strat Strategy
+		cfg   Config
+	}{
+		{"bptt", BPTT{}, Config{Batch: 2}},
+		{"checkpoint", Checkpoint{C: 2}, Config{Batch: 2}},
+		{"checkpoint-compressed", Checkpoint{C: 2}, Config{Batch: 2, CompressSpikes: true}},
+		{"skipper-compressed", Skipper{C: 2, P: 25}, Config{Batch: 2, CompressSpikes: true}},
+	}
+	for _, model := range []string{"customnet", "tinyres"} {
+		// tinyres has L_n = 6, so segments of T/C = 8 satisfy the paper's
+		// T/C > L_n constraint.
+		T := 12
+		if model == "tinyres" {
+			T = 16
+		}
+		for _, tc := range strategies {
+			t.Run(fmt.Sprintf("%s/%s", model, tc.name), func(t *testing.T) {
+				grads := func(pack bool) []*tensor.Tensor {
+					net, data, input, labels := spikePackSetup(t, model, T)
+					cfg := tc.cfg
+					cfg.T = T
+					cfg.SpikePack = pack
+					tr := newTestTrainer(t, net, data, tc.strat, cfg)
+					net.ZeroGrads()
+					if _, err := tc.strat.TrainBatch(tr, input, labels); err != nil {
+						t.Fatal(err)
+					}
+					return gradsOf(net)
+				}
+				dense := grads(false)
+				tensor.ResetPackedKernelStats()
+				packed := grads(true)
+				if scanned, _ := tensor.PackedKernelStats(); scanned == 0 {
+					t.Fatal("packed kernels never engaged with SpikePack on")
+				}
+				if d := maxGradDiff(dense, packed); d != 0 {
+					t.Fatalf("spike-pack gradients diverge from dense: max |Δ| = %v", d)
+				}
+			})
+		}
+	}
+}
+
+// Event-driven skip is observable: sparse spike planes leave all-zero words,
+// and the kernels must actually skip them (the counters feed the trace).
+func TestSpikePackSkipsZeroWords(t *testing.T) {
+	const T = 12
+	net, data, input, labels := spikePackSetup(t, "customnet", T)
+	tr := newTestTrainer(t, net, data, Checkpoint{C: 2},
+		Config{T: T, Batch: 2, CompressSpikes: true, SpikePack: true})
+	net.ZeroGrads()
+	tensor.ResetPackedKernelStats()
+	if _, err := (Checkpoint{C: 2}).TrainBatch(tr, input, labels); err != nil {
+		t.Fatal(err)
+	}
+	scanned, skipped := tensor.PackedKernelStats()
+	if scanned == 0 || skipped == 0 {
+		t.Fatalf("expected zero-word skips on sparse spikes: scanned=%d skipped=%d", scanned, skipped)
+	}
+	if skipped > scanned {
+		t.Fatalf("skipped %d exceeds scanned %d", skipped, scanned)
+	}
+}
+
+// Full training-step determinism: identical loss and post-step weights with
+// spike-pack on vs off (the optimizer consumes bit-identical gradients).
+func TestSpikePackTrainingStepBitIdentical(t *testing.T) {
+	const T = 12
+	run := func(pack bool) (float64, []*tensor.Tensor) {
+		net, data, _, _ := spikePackSetup(t, "customnet", T)
+		strat := Skipper{C: 2, P: 25}
+		tr := newTestTrainer(t, net, data, strat,
+			Config{T: T, Batch: 2, Seed: 7, CompressSpikes: true, SpikePack: pack})
+		res, err := tr.TrainBatchIndices(dataset.Train, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ws []*tensor.Tensor
+		for _, p := range net.Params() {
+			ws = append(ws, p.W.Clone())
+		}
+		return res.Loss, ws
+	}
+	lossA, wsA := run(false)
+	lossB, wsB := run(true)
+	if lossA != lossB {
+		t.Fatalf("loss differs: dense %v vs packed %v", lossA, lossB)
+	}
+	if d := maxGradDiff(wsA, wsB); d != 0 {
+		t.Fatalf("post-step weights diverge: max |Δ| = %v", d)
+	}
+}

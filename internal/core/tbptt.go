@@ -41,7 +41,7 @@ func (tb TBPTT) Validate(cfg Config, net *layers.Network) error {
 func (tb TBPTT) TrainBatch(tr *Trainer, input []*tensor.Tensor, labels []int) (StepStats, error) {
 	T := tr.Cfg.T
 	st := StepStats{N: len(labels)}
-	rs := newRecordStore(tr.Dev)
+	rs := tr.newRecordStore()
 	defer rs.dropAll()
 
 	scratch, err := tr.deltaScratch(len(labels))

@@ -120,6 +120,10 @@ type Trainer struct {
 	// checkpoint segment's backward pass completes (see SetSegmentHook).
 	segmentHook func(done, total int)
 
+	// packScanned/packSkipped are the last-seen packed-kernel word counters
+	// (process-global), used to emit per-batch deltas into the trace.
+	packScanned, packSkipped int64
+
 	// lrScale is the divergence guard's cumulative learning-rate reduction
 	// (1 = untouched); it survives checkpoint/resume via the manifest.
 	lrScale float32
@@ -150,6 +154,9 @@ func NewTrainer(net *layers.Network, data dataset.Source, strat Strategy, cfg Co
 	// Pool size never changes results (see internal/parallel), so this does
 	// not interact with seeding or resume determinism.
 	net.SetPool(cfg.Runtime.Pool())
+	// Bit-packed spike compute is bit-identical to the dense path, so this
+	// flag also never interacts with seeding or resume determinism.
+	net.SetSpikePack(cfg.SpikePack)
 	// The device reports reserved-memory high-water marks into the runtime's
 	// tracer (a no-op when tracing is off).
 	tr.Dev.SetTracer(cfg.Runtime.Tracer())
@@ -341,6 +348,14 @@ func (tr *Trainer) TrainBatchIndices(split dataset.Split, indices []int) (StepSt
 	total.GradNorm = float64(opt.GradClip(tr.Net.Params(), tr.Cfg.GradClip))
 	tr.Opt.Step()
 	tr.tracer().SpanAt(trace.TrackTrain, "opt_step", stepStart, time.Since(stepStart))
+	if tr.Cfg.SpikePack {
+		// Event-driven skip visibility: per-batch deltas of the packed
+		// kernels' word-occupancy counters, next to the pool-lane series.
+		scanned, skipped := tensor.PackedKernelStats()
+		tr.tracer().Counter(trace.TrackPool, "spike_words_scanned", scanned-tr.packScanned)
+		tr.tracer().Counter(trace.TrackPool, "spike_words_skipped", skipped-tr.packSkipped)
+		tr.packScanned, tr.packSkipped = scanned, skipped
+	}
 	return total, nil
 }
 
@@ -567,6 +582,11 @@ type recordStore struct {
 	states map[int][]*layers.LayerState
 	packed map[int][]*packedState
 	blocks map[int]*mem.Block
+	// lazy keeps packed records' spike planes bit-packed on get: the
+	// materialised LayerStates carry OPacked instead of dense O, and the
+	// packed-aware layer kernels recompute/backprop straight from the bits
+	// (DenseO expands on demand for anything else). Set in spike-pack mode.
+	lazy bool
 }
 
 func newRecordStore(dev *mem.Device) *recordStore {
@@ -576,6 +596,15 @@ func newRecordStore(dev *mem.Device) *recordStore {
 		packed: map[int][]*packedState{},
 		blocks: map[int]*mem.Block{},
 	}
+}
+
+// newRecordStore returns the trainer's record store, lazy when spike-pack
+// mode is on so checkpoint boundary records skip the unpack-to-dense round
+// trip.
+func (tr *Trainer) newRecordStore() *recordStore {
+	rs := newRecordStore(tr.Dev)
+	rs.lazy = tr.Cfg.SpikePack
+	return rs
 }
 
 // put charges and retains the record for timestep t.
@@ -608,7 +637,12 @@ func (rs *recordStore) get(t int) []*layers.LayerState {
 		return st
 	}
 	if ps := rs.packed[t]; ps != nil {
-		st := unpackStates(ps)
+		var st []*layers.LayerState
+		if rs.lazy {
+			st = unpackStatesLazy(ps)
+		} else {
+			st = unpackStates(ps)
+		}
 		rs.states[t] = st
 		return st
 	}

@@ -21,11 +21,12 @@ type SpikingConv2D struct {
 	weight, bias *tensor.Tensor
 	gradW, gradB *tensor.Tensor
 
-	inShape  []int // [C,H,W]
-	outShape []int // [Cout,OH,OW]
-	pool     *parallel.Pool
-	scratch  *tensor.Scratch
-	colLen   int
+	inShape   []int // [C,H,W]
+	outShape  []int // [Cout,OH,OW]
+	pool      *parallel.Pool
+	scratch   *tensor.Scratch
+	colLen    int
+	spikePack bool
 }
 
 // NewSpikingConv2D returns an unbuilt spiking conv layer. kernel/stride/pad
@@ -73,6 +74,9 @@ func (l *SpikingConv2D) Build(inShape []int, rng *tensor.RNG) ([]int, error) {
 // SetPool implements PoolAware.
 func (l *SpikingConv2D) SetPool(p *parallel.Pool) { l.pool = p }
 
+// SetSpikePack implements SpikePackAware.
+func (l *SpikingConv2D) SetSpikePack(on bool) { l.spikePack = on }
+
 // Params implements Layer.
 func (l *SpikingConv2D) Params() []Param {
 	return []Param{
@@ -88,16 +92,30 @@ func (l *SpikingConv2D) OutShape() []int { return l.outShape }
 func (l *SpikingConv2D) Forward(x *tensor.Tensor, prev *LayerState) *LayerState {
 	b := x.Dim(0)
 	u := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
-	o := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
 	// Compute the synaptic current directly into u, then fold in the
 	// leak/reset recurrence.
 	tensor.Conv2D(l.pool, u, x, l.weight, l.bias, l.Spec, l.scratch)
-	if prev == nil {
-		snn.StepLIF(l.pool, u, o, nil, nil, u, l.Neuron)
-	} else {
-		snn.StepLIF(l.pool, u, o, prev.U, prev.O, u, l.Neuron)
+	return l.fire(u, prev, b)
+}
+
+// ForwardPacked implements PackedForward: the convolution runs on a packed
+// im2col of the input spike bits (bit-identical to the dense Conv2D).
+func (l *SpikingConv2D) ForwardPacked(_ *tensor.Tensor, xp *tensor.PackedSpikes, prev *LayerState) *LayerState {
+	b := xp.Shape()[0]
+	u := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
+	tensor.Conv2DPacked(l.pool, u, xp, l.weight, l.bias, l.Spec, l.scratch)
+	return l.fire(u, prev, b)
+}
+
+// fire folds in the leak/reset recurrence and packages the state record.
+func (l *SpikingConv2D) fire(u *tensor.Tensor, prev *LayerState, b int) *LayerState {
+	o := tensor.New(b, l.outShape[0], l.outShape[1], l.outShape[2])
+	stepLIFPrev(l.pool, u, o, prev, l.Neuron)
+	st := &LayerState{U: u, O: o}
+	if l.spikePack {
+		packOutput(st, o)
 	}
-	return &LayerState{U: u, O: o}
+	return st
 }
 
 // Backward implements Layer. It computes
@@ -117,6 +135,22 @@ func (l *SpikingConv2D) Backward(x *tensor.Tensor, st *LayerState, gradOut *tens
 	gradIn := tensor.New(x.Shape()...)
 	tensor.Conv2DGradInput(l.pool, gradIn, delta, l.weight, l.Spec, l.scratch)
 	tensor.Conv2DGradWeight(l.pool, l.gradW, l.gradB, delta, x, l.Spec, l.scratch)
+	return gradIn, &Delta{D: delta}
+}
+
+// BackwardPacked implements PackedBackward: the input spikes feed only the
+// weight gradient, which the packed gather kernel accumulates bit-identically
+// without expanding a lazy checkpoint record.
+func (l *SpikingConv2D) BackwardPacked(xp *tensor.PackedSpikes, st *LayerState, gradOut *tensor.Tensor, deltaIn *Delta) (*tensor.Tensor, *Delta) {
+	delta := tensor.New(st.U.Shape()...)
+	var next *tensor.Tensor
+	if deltaIn != nil {
+		next = deltaIn.D
+	}
+	snn.SurrogateDelta(l.pool, delta, st.U, gradOut, next, l.Neuron.Threshold, l.Neuron.Leak, l.Surrogate)
+	gradIn := tensor.New(xp.Shape()...)
+	tensor.Conv2DGradInput(l.pool, gradIn, delta, l.weight, l.Spec, l.scratch)
+	tensor.Conv2DGradWeightPacked(l.pool, l.gradW, l.gradB, delta, xp, l.Spec, l.scratch)
 	return gradIn, &Delta{D: delta}
 }
 

@@ -28,10 +28,14 @@ type SpikingLinear struct {
 	inShape      []int
 	inFeatures   int
 	pool         *parallel.Pool
+	spikePack    bool
 }
 
 // SetPool implements PoolAware.
 func (l *SpikingLinear) SetPool(p *parallel.Pool) { l.pool = p }
+
+// SetSpikePack implements SpikePackAware.
+func (l *SpikingLinear) SetSpikePack(on bool) { l.spikePack = on }
 
 // NewSpikingLinear returns an unbuilt spiking fully-connected layer.
 func NewSpikingLinear(label string, out int, neuron snn.Params, surr snn.Surrogate) *SpikingLinear {
@@ -90,6 +94,21 @@ func (l *SpikingLinear) Forward(x *tensor.Tensor, prev *LayerState) *LayerState 
 	u := tensor.New(b, l.Out)
 	tensor.MatMulTransB(l.pool, u, xf, l.weight) // current = x·Wᵀ
 	tensor.AddRowBias(u, l.bias)
+	return l.fire(u, prev, b)
+}
+
+// ForwardPacked implements PackedForward: the synaptic current is gathered
+// straight from the input spike bits (bit-identical to the dense matmul).
+func (l *SpikingLinear) ForwardPacked(_ *tensor.Tensor, xp *tensor.PackedSpikes, prev *LayerState) *LayerState {
+	b := xp.Shape()[0]
+	u := tensor.New(b, l.Out)
+	tensor.MatMulTransBPacked(l.pool, u, xp, l.weight) // current = x·Wᵀ over set bits
+	tensor.AddRowBias(u, l.bias)
+	return l.fire(u, prev, b)
+}
+
+// fire folds in the leak/reset recurrence and packages the state record.
+func (l *SpikingLinear) fire(u *tensor.Tensor, prev *LayerState, b int) *LayerState {
 	if l.Readout {
 		// Pure integrator: U_t = λ·U_{t−1} + I_t, no spike, no reset.
 		if prev != nil {
@@ -98,12 +117,12 @@ func (l *SpikingLinear) Forward(x *tensor.Tensor, prev *LayerState) *LayerState 
 		return &LayerState{U: u, O: u.Clone()}
 	}
 	o := tensor.New(b, l.Out)
-	if prev == nil {
-		snn.StepLIF(l.pool, u, o, nil, nil, u, l.Neuron)
-	} else {
-		snn.StepLIF(l.pool, u, o, prev.U, prev.O, u, l.Neuron)
+	stepLIFPrev(l.pool, u, o, prev, l.Neuron)
+	st := &LayerState{U: u, O: o}
+	if l.spikePack {
+		packOutput(st, o)
 	}
-	return &LayerState{U: u, O: o}
+	return st
 }
 
 // Backward implements Layer; see SpikingConv2D.Backward for the recursion.
@@ -130,6 +149,31 @@ func (l *SpikingLinear) Backward(x *tensor.Tensor, st *LayerState, gradOut *tens
 	tensor.SumPerColumn(l.gradB, delta)                // ∂b += Σ_batch δ
 	gradIn := gradFlat.Reshape(x.Shape()...)           // restore caller's view
 	return gradIn, &Delta{D: delta}
+}
+
+// BackwardPacked implements PackedBackward: the input spikes enter the
+// weight gradient only, and the packed accumulate kernel is bit-identical to
+// the dense one, so a lazy checkpoint record never needs expanding here.
+func (l *SpikingLinear) BackwardPacked(xp *tensor.PackedSpikes, st *LayerState, gradOut *tensor.Tensor, deltaIn *Delta) (*tensor.Tensor, *Delta) {
+	b := xp.Shape()[0]
+	delta := tensor.New(b, l.Out)
+	var next *tensor.Tensor
+	if deltaIn != nil {
+		next = deltaIn.D
+	}
+	if l.Readout {
+		copy(delta.Data, gradOut.Data)
+		if next != nil {
+			tensor.AXPY(delta, l.Neuron.Leak, next)
+		}
+	} else {
+		snn.SurrogateDelta(l.pool, delta, st.U, gradOut, next, l.Neuron.Threshold, l.Neuron.Leak, l.Surrogate)
+	}
+	gradFlat := tensor.New(b, l.inFeatures)
+	tensor.MatMul(l.pool, gradFlat, delta, l.weight)         // ∂L/∂x = δ·W
+	tensor.MatMulTransAPackedAcc(l.pool, l.gradW, delta, xp) // ∂W += δᵀ·x over set bits
+	tensor.SumPerColumn(l.gradB, delta)                      // ∂b += Σ_batch δ
+	return gradFlat.Reshape(xp.Shape()...), &Delta{D: delta}
 }
 
 // StateBytes implements Layer: U and O per stored timestep.

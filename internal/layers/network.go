@@ -16,9 +16,10 @@ type Network struct {
 	InShape []int // per-sample input shape [C,H,W]
 	Layers  []Layer
 
-	outShape []int
-	built    bool
-	pool     *parallel.Pool
+	outShape  []int
+	built     bool
+	pool      *parallel.Pool
+	spikePack bool
 }
 
 // PoolAware is implemented by layers whose kernels run on the parallel
@@ -43,6 +44,23 @@ func (n *Network) SetPool(p *parallel.Pool) {
 
 // Pool returns the compute pool the network's layers run on (nil = serial).
 func (n *Network) Pool() *parallel.Pool { return n.pool }
+
+// SetSpikePack turns bit-packed spike compute on or off for the whole stack,
+// fanning the flag out to every SpikePackAware layer (mirroring SetPool).
+// With it on, spiking layers publish packed activation views and the
+// forward/backward steps route through the AND+popcount gather kernels —
+// bit-identical to the dense float path at any pool width.
+func (n *Network) SetSpikePack(on bool) {
+	n.spikePack = on
+	for _, l := range n.Layers {
+		if sa, ok := l.(SpikePackAware); ok {
+			sa.SetSpikePack(on)
+		}
+	}
+}
+
+// SpikePack reports whether bit-packed spike compute is on.
+func (n *Network) SpikePack() bool { return n.spikePack }
 
 // NewNetwork assembles an unbuilt network from layers.
 func NewNetwork(name string, inShape []int, ls ...Layer) *Network {
@@ -188,14 +206,27 @@ func (n *Network) ForwardStep(x *tensor.Tensor, prev []*LayerState) []*LayerStat
 	n.mustBuilt()
 	states := make([]*LayerState, len(n.Layers))
 	cur := x
+	var curP *tensor.PackedSpikes
+	if n.spikePack {
+		// Pack the network input too when it is binary (rate/latency-coded
+		// spikes); a non-binary input simply leaves the first layer dense.
+		curP, _ = tensor.PackSpikes(x)
+	}
 	for i, l := range n.Layers {
 		var p *LayerState
 		if prev != nil {
 			p = prev[i]
 		}
-		st := l.Forward(cur, p)
+		var st *LayerState
+		if pf, ok := l.(PackedForward); ok && curP != nil {
+			st = pf.ForwardPacked(cur, curP, p)
+		} else {
+			st = l.Forward(cur, p)
+		}
 		states[i] = st
-		cur = st.O
+		// The packed chain flows only through layers publishing packed
+		// outputs; anything else (pools, dropout, norm) drops back to dense.
+		cur, curP = st.O, st.OPacked
 	}
 	return states
 }
@@ -203,7 +234,7 @@ func (n *Network) ForwardStep(x *tensor.Tensor, prev []*LayerState) []*LayerStat
 // Logits returns the readout output of the final layer for a timestep's
 // states.
 func (n *Network) Logits(states []*LayerState) *tensor.Tensor {
-	return states[len(states)-1].O
+	return states[len(states)-1].DenseO()
 }
 
 // SpikeSum returns s_t = Σ_l sum(o_t^l) over all layers for one timestep's
@@ -244,17 +275,29 @@ func (n *Network) BackwardStep(x *tensor.Tensor, states []*LayerState, gradsAt m
 			}
 		}
 		if gradOut == nil {
-			gradOut = tensor.New(states[i].O.Shape()...)
-		}
-		input := x
-		if i > 0 {
-			input = states[i-1].O
+			gradOut = tensor.New(states[i].OutShape()...)
 		}
 		var din *Delta
 		if deltas != nil {
 			din = deltas[i]
 		}
-		gradIn, dout := l.Backward(input, states[i], gradOut, din)
+		var prevPacked *tensor.PackedSpikes
+		if i > 0 {
+			prevPacked = states[i-1].OPacked
+		}
+		var gradIn *tensor.Tensor
+		var dout *Delta
+		if pb, ok := l.(PackedBackward); ok && prevPacked != nil {
+			// The input spikes stay packed; a lazily materialised boundary
+			// record is consumed without ever expanding to dense.
+			gradIn, dout = pb.BackwardPacked(prevPacked, states[i], gradOut, din)
+		} else {
+			input := x
+			if i > 0 {
+				input = states[i-1].DenseO()
+			}
+			gradIn, dout = l.Backward(input, states[i], gradOut, din)
+		}
 		newDeltas[i] = dout
 		gradFlow = gradIn
 	}

@@ -112,6 +112,10 @@ type Config struct {
 	// FlapWindow is how soon after a previous death the next one counts as
 	// a flap (default 2×ReadmitBackoffMax).
 	FlapWindow time.Duration
+	// JitterSeed seeds the heartbeat/readmit jitter RNG. 0 (the default)
+	// seeds from the wall clock as before; tests set it non-zero to make
+	// probe scheduling deterministic.
+	JitterSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -173,7 +177,7 @@ func New(cfg Config) (*Router, error) {
 		susp:      newSuspicion(1+len(cfg.Peers), cfg.SuspicionStale, nil),
 		ring:      NewRing(cfg.VNodes),
 		backends:  map[string]*backend{},
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:       rand.New(rand.NewSource(jitterSeed(cfg.JitterSeed))),
 		stop:      make(chan struct{}),
 	}
 	rt.admission.selfID = cfg.PeerID
@@ -432,6 +436,15 @@ func (rt *Router) setDrainingLocked(b *backend) {
 		rt.metrics.observeRemap()
 		rt.tracer.Event(trace.TrackRouter, "backend_draining")
 	}
+}
+
+// jitterSeed resolves the configured seed: explicit for reproducible probe
+// schedules, wall clock otherwise so independent routers decorrelate.
+func jitterSeed(cfg int64) int64 {
+	if cfg != 0 {
+		return cfg
+	}
+	return time.Now().UnixNano()
 }
 
 // jitteredIntervalLocked returns the heartbeat interval spread by the

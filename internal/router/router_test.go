@@ -458,3 +458,43 @@ func waitRingSize(t *testing.T, rt *Router, want int, timeout time.Duration) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// A non-zero JitterSeed makes the heartbeat-jitter schedule reproducible:
+// two routers configured identically draw identical probe intervals, and a
+// different seed draws a different schedule. (With the old wall-clock-only
+// seeding this was untestable.)
+func TestJitterSeedDeterministic(t *testing.T) {
+	f := newFakeReplica(t, "/ckpt/a")
+	sequence := func(seed int64) []time.Duration {
+		rt, _ := newTestRouter(t, Config{
+			Backends:          []BackendSpec{{URL: f.url()}},
+			HeartbeatInterval: time.Hour, // keep the background loop quiet
+			HeartbeatJitter:   0.3,
+			JitterSeed:        seed,
+		})
+		out := make([]time.Duration, 16)
+		rt.mu.Lock()
+		for i := range out {
+			out[i] = rt.jitteredIntervalLocked()
+		}
+		rt.mu.Unlock()
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := sequence(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical jitter schedule")
+	}
+}

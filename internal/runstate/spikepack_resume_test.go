@@ -1,0 +1,71 @@
+package runstate
+
+import (
+	"errors"
+	"testing"
+
+	"skipper/internal/core"
+)
+
+// Spike-pack mode composes with crash-safe resume: a run killed mid-epoch
+// and resumed from the manifest matches the uninterrupted sequence exactly —
+// and because the packed kernels are bit-identical to the dense float path,
+// the reference run here trains with SpikePack OFF while the victim and
+// survivor train with it ON. Same weights at the end is the strongest form
+// of both contracts at once.
+func TestSpikePackResumeMatchesDenseUninterrupted(t *testing.T) {
+	// Checkpoint segments need T/C > L_n (= 4 for customnet+BN), and packed
+	// boundary records only exist under CompressSpikes.
+	cfg := testCfg()
+	cfg.T = 12
+	cfg.SnapshotEvery = 1
+	cfg.CompressSpikes = true
+	mk := func() core.Strategy { return core.Checkpoint{C: 2} }
+
+	dense := cfg
+	ref := testTrainer(t, mk(), dense)
+	var refStats []core.EpochStats
+	for e := 1; e <= 2; e++ {
+		ep, err := ref.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refStats = append(refStats, ep)
+	}
+
+	packed := cfg
+	packed.SpikePack = true
+	store, err := Open(t.TempDir(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	victim := testTrainer(t, crashStrategy{inner: mk(), calls: &calls, at: 6}, packed)
+	Attach(victim, store)
+	ep1, err := victim.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalize(ep1) != normalize(refStats[0]) {
+		t.Fatalf("packed pre-crash epoch 1 differs from dense:\n  packed: %+v\n  dense:  %+v",
+			normalize(ep1), normalize(refStats[0]))
+	}
+	if _, err := victim.TrainEpoch(); !errors.Is(err, errCrash) {
+		t.Fatalf("victim should have crashed, got: %v", err)
+	}
+
+	survivor := testTrainer(t, mk(), packed)
+	cur, partial, err := Resume(survivor, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := survivor.ResumeEpoch(cur.NextBatch, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalize(ep2) != normalize(refStats[1]) {
+		t.Fatalf("packed resumed epoch 2 differs from dense:\n  packed: %+v\n  dense:  %+v",
+			normalize(ep2), normalize(refStats[1]))
+	}
+	requireSameWeights(t, ref, survivor, "packed resume vs dense uninterrupted")
+}

@@ -1,0 +1,92 @@
+package snn
+
+import (
+	"fmt"
+
+	"skipper/internal/parallel"
+	"skipper/internal/tensor"
+)
+
+// StepLIFPacked is StepLIF with the previous spike plane o_{t-1} in
+// bit-packed form, so a lazily materialised checkpoint record can drive the
+// recurrence without ever expanding its spikes back to float32.
+//
+// Results are bit-identical to StepLIF on the unpacked spikes: where a word
+// holds a mix of spikes the update evaluates the exact dense expression with
+// the bit expanded to 0.0/1.0, and where a 64-neuron word is all zero the
+// reset term vanishes as an IEEE-754 identity (x − θ·0 = x and x·(1−0) = x
+// for every float x including signed zeros), so the whole word takes the
+// spike-free fast path after a single integer compare.
+func StepLIFPacked(pool *parallel.Pool, u, o, uPrev *tensor.Tensor, oPrev *tensor.PackedSpikes, current *tensor.Tensor, p Params) {
+	n := u.Len()
+	if o.Len() != n || current.Len() != n {
+		panic(fmt.Sprintf("snn: StepLIFPacked size mismatch u=%d o=%d current=%d", n, o.Len(), current.Len()))
+	}
+	if uPrev == nil {
+		StepLIF(pool, u, o, nil, nil, current, p)
+		return
+	}
+	if uPrev.Len() != n || oPrev == nil || oPrev.Len() != n {
+		panic("snn: StepLIFPacked previous-state size mismatch")
+	}
+	ud, od, cd := u.Data, o.Data, current.Data
+	upd := uPrev.Data
+	theta, lam := p.Threshold, p.Leak
+	resetZero := p.Reset == ResetZero
+	words := oPrev.Words()
+	nw := (n + 63) >> 6
+	// Partition whole words so the zero-word fast path never straddles a
+	// lane boundary; every element's update is self-contained, so the
+	// partition cannot change results.
+	pool.RunGrain(nw, elemGrain>>6, func(_, wlo, whi int) {
+		for wi := wlo; wi < whi; wi++ {
+			w := words[wi]
+			lo := wi << 6
+			hi := lo + 64
+			if hi > n {
+				hi = n
+			}
+			if w == 0 {
+				for i := lo; i < hi; i++ {
+					v := lam*upd[i] + cd[i]
+					ud[i] = v
+					if v > theta {
+						od[i] = 1
+					} else {
+						od[i] = 0
+					}
+				}
+				continue
+			}
+			if resetZero {
+				for i := lo; i < hi; i++ {
+					var ov float32
+					if w&(1<<uint(i&63)) != 0 {
+						ov = 1
+					}
+					v := lam*upd[i]*(1-ov) + cd[i]
+					ud[i] = v
+					if v > theta {
+						od[i] = 1
+					} else {
+						od[i] = 0
+					}
+				}
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				var ov float32
+				if w&(1<<uint(i&63)) != 0 {
+					ov = 1
+				}
+				v := lam*upd[i] + cd[i] - theta*ov
+				ud[i] = v
+				if v > theta {
+					od[i] = 1
+				} else {
+					od[i] = 0
+				}
+			}
+		}
+	})
+}

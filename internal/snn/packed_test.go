@@ -1,0 +1,77 @@
+package snn
+
+import (
+	"fmt"
+	"testing"
+
+	"skipper/internal/parallel"
+	"skipper/internal/tensor"
+)
+
+// spikeFill writes a deterministic 0/1 pattern at roughly the given density.
+func spikeFill(d []float32, seed uint64, density float64) {
+	s := seed*0x9E3779B97F4A7C15 + 1
+	thr := uint64(density * float64(1<<32))
+	for i := range d {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if s&0xFFFFFFFF < thr {
+			d[i] = 1
+		} else {
+			d[i] = 0
+		}
+	}
+}
+
+// StepLIFPacked must be bit-identical to StepLIF on the unpacked previous
+// spikes — for both reset modes, at every pool width, across sparsity
+// regimes including all-zero words (the fast path) and all-one tensors.
+func TestStepLIFPackedBitIdentical(t *testing.T) {
+	sizes := []int{1, 63, 64, 65, 100, elemGrain + 3}
+	densities := []float64{0, 0.02, 0.5, 1}
+	pools := []*parallel.Pool{nil, parallel.NewPool(2), parallel.NewPool(4)}
+	defer pools[1].Close()
+	defer pools[2].Close()
+	for _, n := range sizes {
+		cur := tensor.New(n)
+		uPrev := tensor.New(n)
+		oPrev := tensor.New(n)
+		equivFill(cur.Data, 3)
+		equivFill(uPrev.Data, 5)
+		for di, density := range densities {
+			spikeFill(oPrev.Data, uint64(di+9), density)
+			packed, ok := tensor.PackSpikes(oPrev)
+			if !ok {
+				t.Fatal("binary spike tensor must pack")
+			}
+			for _, reset := range []ResetMode{ResetSubtract, ResetZero} {
+				p := DefaultParams()
+				p.Reset = reset
+				uD, oD := tensor.New(n), tensor.New(n)
+				StepLIF(nil, uD, oD, uPrev, oPrev, cur, p)
+				for pi, pool := range pools {
+					label := fmt.Sprintf("[n=%d d=%v reset=%d pool=%d]", n, density, reset, pi)
+					uP, oP := tensor.New(n), tensor.New(n)
+					StepLIFPacked(pool, uP, oP, uPrev, packed, cur, p)
+					requireBitEqual(t, "StepLIFPacked u"+label, uD, uP)
+					requireBitEqual(t, "StepLIFPacked o"+label, oD, oP)
+				}
+			}
+		}
+	}
+}
+
+// The nil-previous-state delegate must match StepLIF's t=0 path.
+func TestStepLIFPackedInitialStep(t *testing.T) {
+	const n = 130
+	cur := tensor.New(n)
+	equivFill(cur.Data, 17)
+	p := DefaultParams()
+	uD, oD := tensor.New(n), tensor.New(n)
+	StepLIF(nil, uD, oD, nil, nil, cur, p)
+	uP, oP := tensor.New(n), tensor.New(n)
+	StepLIFPacked(nil, uP, oP, nil, nil, cur, p)
+	requireBitEqual(t, "StepLIFPacked(t=0) u", uD, uP)
+	requireBitEqual(t, "StepLIFPacked(t=0) o", oD, oP)
+}

@@ -1,12 +1,24 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PackedSpikes is a bit-packed binary tensor: exactly-0/1 float32 data
 // stored one bit per element. Spike tensors dominate a stored SNN timestep
 // record, and packing them shrinks that share 32×, which makes long-lived
 // checkpoint records far cheaper to hold (an optimisation beyond the paper;
 // see core.Config.CompressSpikes).
+//
+// Packed tensors are also a first-class compute dtype: the spike-side
+// matmul and convolution kernels in this package (MatMulPacked,
+// MatMulTransBPacked, MatMulTransAPackedAcc, Conv2DPacked,
+// Conv2DGradWeightPacked) consume the packed words directly — spikes are
+// exactly 0/1, so a weight·spike product is a gather of weight values at
+// set-bit positions, and whole all-zero 64-spike words are skipped without
+// touching a float. A PackedSpikes is immutable after construction, so it
+// may be read concurrently from any number of pool lanes.
 type PackedSpikes struct {
 	shape []int
 	n     int
@@ -15,18 +27,33 @@ type PackedSpikes struct {
 
 // PackSpikes bit-packs t when every element is exactly 0 or 1; ok reports
 // whether packing applied (non-binary tensors — membranes, pooled rates —
-// are left to their float representation).
+// are left to their float representation). The binarity scan runs before
+// any allocation, so rejected tensors cost no garbage: every checkpoint
+// record probes its membrane tensors through here, and those probes must
+// stay allocation-free.
 func PackSpikes(t *Tensor) (*PackedSpikes, bool) {
-	n := t.Len()
-	bits := make([]uint64, (n+63)/64)
-	for i, v := range t.Data {
-		switch v {
-		case 0:
-		case 1:
-			bits[i/64] |= 1 << (i % 64)
-		default:
+	for _, v := range t.Data {
+		if v != 0 && v != 1 {
 			return nil, false
 		}
+	}
+	n := t.Len()
+	bits := make([]uint64, (n+63)/64)
+	// Word-at-a-time build: each output word gathers its 64 source floats,
+	// so the per-element work is one compare and one shift-or.
+	for wi := range bits {
+		base := wi * 64
+		end := base + 64
+		if end > n {
+			end = n
+		}
+		var w uint64
+		for i, v := range t.Data[base:end] {
+			if v != 0 {
+				w |= 1 << uint(i)
+			}
+		}
+		bits[wi] = w
 	}
 	return &PackedSpikes{shape: append([]int(nil), t.Shape()...), n: n, bits: bits}, true
 }
@@ -34,12 +61,33 @@ func PackSpikes(t *Tensor) (*PackedSpikes, bool) {
 // Unpack reconstructs the original float32 tensor.
 func (p *PackedSpikes) Unpack() *Tensor {
 	t := New(p.shape...)
-	for i := 0; i < p.n; i++ {
-		if p.bits[i/64]&(1<<(i%64)) != 0 {
-			t.Data[i] = 1
+	p.UnpackInto(t)
+	return t
+}
+
+// UnpackInto expands the packed bits into dst, which must have p.Len()
+// elements (its shape is not checked). dst is fully overwritten. The
+// expansion walks whole words and skips empty ones — in the sparse
+// late-timestep regime most words are zero, so the common cost is one
+// word-compare per 64 elements on an already-zeroed tensor.
+func (p *PackedSpikes) UnpackInto(dst *Tensor) {
+	if dst.Len() != p.n {
+		panic(fmt.Sprintf("tensor: UnpackInto length %d, packed holds %d", dst.Len(), p.n))
+	}
+	d := dst.Data
+	for i := range d {
+		d[i] = 0
+	}
+	for wi, w := range p.bits {
+		if w == 0 {
+			continue
+		}
+		base := wi * 64
+		for w != 0 {
+			d[base+bits.TrailingZeros64(w)] = 1
+			w &= w - 1
 		}
 	}
-	return t
 }
 
 // Bytes returns the packed payload size.
@@ -51,22 +99,27 @@ func (p *PackedSpikes) Len() int { return p.n }
 // Shape returns the original shape. The returned slice must not be mutated.
 func (p *PackedSpikes) Shape() []int { return p.shape }
 
-// Count returns the number of set bits (spikes).
+// Bit reports whether element i of the original tensor was 1.
+func (p *PackedSpikes) Bit(i int) bool {
+	return p.bits[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Words exposes the backing bit words (element i lives at bit i&63 of word
+// i>>6; trailing bits of the last word are zero). The slice is the live
+// storage and must be treated as read-only — it exists so packed-aware
+// kernels outside this package (the LIF step) can walk words and skip empty
+// ones without copying.
+func (p *PackedSpikes) Words() []uint64 { return p.bits }
+
+// Count returns the number of set bits (spikes). For a binary tensor this
+// equals the float spike-sum exactly (integer counts are exact in float64
+// far beyond any tensor size we hold).
 func (p *PackedSpikes) Count() int {
 	c := 0
 	for _, w := range p.bits {
-		c += popcount(w)
+		c += bits.OnesCount64(w)
 	}
 	return c
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }
 
 // String renders a compact description.

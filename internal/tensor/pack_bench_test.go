@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// Reference implementations the pack hot path used before the packed-compute
+// refactor, kept here so the benchmarks document the delta: a hand-rolled
+// Kernighan popcount loop and a per-element div/mod Unpack.
+
+func kernighanPopcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func (p *PackedSpikes) unpackPerElement() *Tensor {
+	t := New(p.shape...)
+	for i := 0; i < p.n; i++ {
+		if p.bits[i/64]&(1<<(i%64)) != 0 {
+			t.Data[i] = 1
+		}
+	}
+	return t
+}
+
+func benchPacked(b *testing.B, density float64) *PackedSpikes {
+	b.Helper()
+	x := New(1 << 20)
+	fillSpikes(x.Data, 1, density)
+	p, ok := PackSpikes(x)
+	if !ok {
+		b.Fatal("must pack")
+	}
+	return p
+}
+
+func BenchmarkCountOnesCount64(b *testing.B) {
+	p := benchPacked(b, 0.5)
+	b.SetBytes(p.Bytes())
+	for i := 0; i < b.N; i++ {
+		if p.Count() == -1 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkCountKernighan(b *testing.B) {
+	p := benchPacked(b, 0.5)
+	b.SetBytes(p.Bytes())
+	for i := 0; i < b.N; i++ {
+		c := 0
+		for _, w := range p.bits {
+			c += kernighanPopcount(w)
+		}
+		if c == -1 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func benchmarkUnpack(b *testing.B, density float64, perElement bool) {
+	p := benchPacked(b, density)
+	dst := New(p.shape...)
+	b.SetBytes(int64(p.Len()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if perElement {
+			_ = p.unpackPerElement()
+		} else {
+			p.UnpackInto(dst)
+		}
+	}
+}
+
+func BenchmarkUnpackWordAtATimeSparse(b *testing.B) { benchmarkUnpack(b, 0.02, false) }
+func BenchmarkUnpackWordAtATimeDense(b *testing.B)  { benchmarkUnpack(b, 0.5, false) }
+func BenchmarkUnpackPerElementSparse(b *testing.B)  { benchmarkUnpack(b, 0.02, true) }
+func BenchmarkUnpackPerElementDense(b *testing.B)   { benchmarkUnpack(b, 0.5, true) }
+
+func BenchmarkPackSpikes(b *testing.B) {
+	x := New(1 << 20)
+	fillSpikes(x.Data, 1, 0.1)
+	b.SetBytes(x.Bytes())
+	for i := 0; i < b.N; i++ {
+		if _, ok := PackSpikes(x); !ok {
+			b.Fatal("must pack")
+		}
+	}
+}
+
+// Guard: the test-local Kernighan reference must agree with the stdlib
+// popcount the hot path now uses.
+func TestKernighanReferenceAgrees(t *testing.T) {
+	for _, w := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0x8000000000000001, 0xDEADBEEF} {
+		if kernighanPopcount(w) != bits.OnesCount64(w) {
+			t.Fatalf("popcount mismatch on %#x", w)
+		}
+	}
+}

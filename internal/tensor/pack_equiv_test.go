@@ -1,0 +1,246 @@
+package tensor
+
+import (
+	"testing"
+
+	"skipper/internal/parallel"
+)
+
+// fillSpikes fills d with a deterministic 0/1 pattern at roughly the given
+// spike density (xorshift, no time or math/rand dependency).
+func fillSpikes(d []float32, seed uint64, density float64) {
+	s := seed*0x9E3779B97F4A7C15 + 1
+	thr := uint64(density * float64(1<<32))
+	for i := range d {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if s&0xFFFFFFFF < thr {
+			d[i] = 1
+		} else {
+			d[i] = 0
+		}
+	}
+}
+
+func fillFloats(d []float32, seed uint64) {
+	s := seed*0x9E3779B97F4A7C15 + 1
+	for i := range d {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		d[i] = float32(s%2048)/1024 - 1
+	}
+}
+
+func mustPack(t *testing.T, x *Tensor) *PackedSpikes {
+	t.Helper()
+	p, ok := PackSpikes(x)
+	if !ok {
+		t.Fatal("binary tensor must pack")
+	}
+	return p
+}
+
+// densities covers the regimes the event-driven skip must be exact in:
+// empty, sparse late-timestep, mid, dense, and all-one tensors.
+var densities = []float64{0, 0.02, 0.1, 0.5, 1}
+
+// withPools runs fn under serial and 2/4-lane pools; combined with -race in
+// verify.sh this is the packed kernels' determinism property test.
+func withPools(t *testing.T, fn func(t *testing.T, p *parallel.Pool)) {
+	t.Helper()
+	fn(t, nil)
+	for _, lanes := range []int{2, 4} {
+		p := parallel.NewPool(lanes)
+		fn(t, p)
+		p.Close()
+	}
+}
+
+func TestMatMulPackedBitIdentical(t *testing.T) {
+	const m, k, n = 17, 131, 23
+	for di, density := range densities {
+		a := New(m, k)
+		b := New(k, n)
+		fillSpikes(a.Data, uint64(di+1), density)
+		fillFloats(b.Data, uint64(di+100))
+		ap := mustPack(t, a)
+		want := New(m, n)
+		MatMul(nil, want, a, b)
+		withPools(t, func(t *testing.T, p *parallel.Pool) {
+			got := New(m, n)
+			got.Fill(42) // packed kernel must fully overwrite
+			MatMulPacked(p, got, ap, b)
+			requireBitEqual(t, "MatMulPacked", want, got)
+		})
+	}
+}
+
+func TestMatMulTransBPackedBitIdentical(t *testing.T) {
+	const m, k, n = 9, 187, 31
+	for di, density := range densities {
+		a := New(m, k)
+		b := New(n, k)
+		fillSpikes(a.Data, uint64(di+3), density)
+		fillFloats(b.Data, uint64(di+200))
+		ap := mustPack(t, a)
+		want := New(m, n)
+		MatMulTransB(nil, want, a, b)
+		withPools(t, func(t *testing.T, p *parallel.Pool) {
+			got := New(m, n)
+			got.Fill(-7)
+			MatMulTransBPacked(p, got, ap, b)
+			requireBitEqual(t, "MatMulTransBPacked", want, got)
+		})
+	}
+}
+
+func TestMatMulTransAPackedBitIdentical(t *testing.T) {
+	const k, m, n = 13, 21, 149
+	for di, density := range densities {
+		a := New(k, m)
+		b := New(k, n)
+		fillFloats(a.Data, uint64(di+300))
+		fillSpikes(b.Data, uint64(di+7), density)
+		bp := mustPack(t, b)
+		// Accumulate on top of a shared nonzero base, as the gradient path
+		// does across micro-batches.
+		base := New(m, n)
+		fillFloats(base.Data, uint64(di+400))
+		want := base.Clone()
+		MatMulTransAAcc(nil, want, a, b)
+		withPools(t, func(t *testing.T, p *parallel.Pool) {
+			got := base.Clone()
+			MatMulTransAPackedAcc(p, got, a, bp)
+			requireBitEqual(t, "MatMulTransAPackedAcc", want, got)
+		})
+	}
+}
+
+func TestConv2DPackedBitIdentical(t *testing.T) {
+	const nImg, c, h, w = 5, 3, 11, 9
+	spec := ConvSpec{InChannels: c, OutChannels: 7, KernelH: 3, KernelW: 3, Stride: 1, Pad: 1}
+	oh, ow := spec.OutSize(h, w)
+	for di, density := range densities {
+		x := New(nImg, c, h, w)
+		fillSpikes(x.Data, uint64(di+11), density)
+		xp := mustPack(t, x)
+		weight := New(spec.OutChannels, c, 3, 3)
+		bias := New(spec.OutChannels)
+		fillFloats(weight.Data, uint64(di+500))
+		fillFloats(bias.Data, uint64(di+600))
+		want := New(nImg, spec.OutChannels, oh, ow)
+		Conv2D(nil, want, x, weight, bias, spec, nil)
+		withPools(t, func(t *testing.T, p *parallel.Pool) {
+			got := New(nImg, spec.OutChannels, oh, ow)
+			got.Fill(3)
+			Conv2DPacked(p, got, xp, weight, bias, spec, NewScratch())
+			requireBitEqual(t, "Conv2DPacked", want, got)
+		})
+	}
+}
+
+func TestConv2DPackedStride2NoPad(t *testing.T) {
+	const nImg, c, h, w = 3, 2, 12, 10
+	spec := ConvSpec{InChannels: c, OutChannels: 4, KernelH: 3, KernelW: 3, Stride: 2, Pad: 0}
+	oh, ow := spec.OutSize(h, w)
+	x := New(nImg, c, h, w)
+	fillSpikes(x.Data, 77, 0.3)
+	xp := mustPack(t, x)
+	weight := New(spec.OutChannels, c, 3, 3)
+	fillFloats(weight.Data, 88)
+	want := New(nImg, spec.OutChannels, oh, ow)
+	Conv2D(nil, want, x, weight, nil, spec, nil)
+	withPools(t, func(t *testing.T, p *parallel.Pool) {
+		got := New(nImg, spec.OutChannels, oh, ow)
+		Conv2DPacked(p, got, xp, weight, nil, spec, NewScratch())
+		requireBitEqual(t, "Conv2DPacked/stride2", want, got)
+	})
+}
+
+func TestConv2DGradWeightPackedBitIdentical(t *testing.T) {
+	const nImg, c, h, w = 4, 3, 8, 8
+	spec := ConvSpec{InChannels: c, OutChannels: 6, KernelH: 3, KernelW: 3, Stride: 1, Pad: 1}
+	oh, ow := spec.OutSize(h, w)
+	for di, density := range densities {
+		x := New(nImg, c, h, w)
+		fillSpikes(x.Data, uint64(di+13), density)
+		xp := mustPack(t, x)
+		dout := New(nImg, spec.OutChannels, oh, ow)
+		fillFloats(dout.Data, uint64(di+700))
+		baseW := New(spec.OutChannels, c, 3, 3)
+		baseB := New(spec.OutChannels)
+		fillFloats(baseW.Data, uint64(di+800))
+		fillFloats(baseB.Data, uint64(di+900))
+		wantW, wantB := baseW.Clone(), baseB.Clone()
+		Conv2DGradWeight(nil, wantW, wantB, dout, x, spec, nil)
+		withPools(t, func(t *testing.T, p *parallel.Pool) {
+			gotW, gotB := baseW.Clone(), baseB.Clone()
+			Conv2DGradWeightPacked(p, gotW, gotB, dout, xp, spec, NewScratch())
+			requireBitEqual(t, "Conv2DGradWeightPacked/dw", wantW, gotW)
+			requireBitEqual(t, "Conv2DGradWeightPacked/dbias", wantB, gotB)
+		})
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for di, density := range densities {
+		x := New(3, 67) // 201 elements: exercises the partial trailing word
+		fillSpikes(x.Data, uint64(di+17), density)
+		p := mustPack(t, x)
+		back := p.Unpack()
+		requireBitEqual(t, "Unpack", x, back)
+		count := 0
+		for i, v := range x.Data {
+			if p.Bit(i) != (v == 1) {
+				t.Fatalf("Bit(%d) = %v, element is %v", i, p.Bit(i), v)
+			}
+			if v == 1 {
+				count++
+			}
+		}
+		if p.Count() != count {
+			t.Fatalf("Count = %d, want %d", p.Count(), count)
+		}
+		if want := int64((x.Len() + 63) / 64 * 8); p.Bytes() != want {
+			t.Fatalf("Bytes = %d, want %d", p.Bytes(), want)
+		}
+	}
+}
+
+// The binarity probe runs on every checkpoint record's membrane tensors; a
+// rejected tensor must not cost an allocation (it used to allocate the full
+// bit buffer before scanning).
+func TestPackSpikesRejectionAllocFree(t *testing.T) {
+	x := New(4096)
+	fillFloats(x.Data, 9)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := PackSpikes(x); ok {
+			t.Fatal("unexpected pack")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("rejecting PackSpikes allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestPackedKernelStatsCountSkips(t *testing.T) {
+	ResetPackedKernelStats()
+	const m, k, n = 4, 256, 8
+	a := New(m, k) // all zero: every word skipped
+	ap := mustPack(t, a)
+	b := New(k, n)
+	fillFloats(b.Data, 3)
+	dst := New(m, n)
+	MatMulPacked(nil, dst, ap, b)
+	scanned, skipped := PackedKernelStats()
+	if want := int64(m * k / 64); scanned != want || skipped != want {
+		t.Fatalf("stats = (%d scanned, %d skipped), want (%d, %d)", scanned, skipped, want, want)
+	}
+	for _, v := range dst.Data {
+		if v != 0 {
+			t.Fatal("all-zero spikes must produce a zero product")
+		}
+	}
+}

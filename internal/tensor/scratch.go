@@ -11,17 +11,22 @@ package tensor
 // the call allocate a throwaway workspace.
 type Scratch struct {
 	lanes [][]float32
+	words [][]uint64
 }
 
 // NewScratch returns an empty per-lane workspace.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// reserve grows the lane table to at least n slots. It must run on the
-// submitting goroutine before lanes are dispatched: the table itself is only
-// ever resized here, so concurrent lane() calls touch disjoint elements.
+// reserve grows the lane tables to at least n slots. It must run on the
+// submitting goroutine before lanes are dispatched: the tables themselves
+// are only ever resized here, so concurrent lane() calls touch disjoint
+// elements.
 func (s *Scratch) reserve(n int) {
 	for len(s.lanes) < n {
 		s.lanes = append(s.lanes, nil)
+	}
+	for len(s.words) < n {
+		s.words = append(s.words, nil)
 	}
 }
 
@@ -32,6 +37,17 @@ func (s *Scratch) lane(lane, n int) []float32 {
 	if len(buf) < n {
 		buf = make([]float32, n)
 		s.lanes[lane] = buf
+	}
+	return buf[:n]
+}
+
+// laneWords is lane for uint64 workspace — the packed im2col columns of the
+// bit-packed convolution kernels.
+func (s *Scratch) laneWords(lane, n int) []uint64 {
+	buf := s.words[lane]
+	if len(buf) < n {
+		buf = make([]uint64, n)
+		s.words[lane] = buf
 	}
 	return buf[:n]
 }

@@ -3,8 +3,9 @@
 #   build, vet, race-test the concurrency-sensitive subsystems, full test
 #   suite, the SIGKILL+resume, distributed-training, and serving-fleet smoke
 #   tests, then the serving, kernel, trace-overhead, distributed, and
-#   fleet-routing benchmarks (write BENCH_serve.json, BENCH_kernels.json,
-#   BENCH_trace.json, BENCH_dist.json, BENCH_router.json).
+#   fleet-routing, and spike-pack benchmarks (write BENCH_serve.json,
+#   BENCH_kernels.json, BENCH_trace.json, BENCH_dist.json, BENCH_router.json,
+#   BENCH_spikepack.json).
 set -eux
 
 cd "$(dirname "$0")"
@@ -37,6 +38,12 @@ go run ./cmd/skipper-bench -exp bench_serve -scale tiny
 # matmul is not faster than serial (a 1-core box has nothing to win, so the
 # flag is a no-op there).
 go run ./cmd/skipper-bench -exp bench_kernels -scale tiny -require-speedup
+
+# Spike-pack smoke: bit-packed AND+popcount kernels vs dense float. Hard
+# gates (always enforced): bit-identity at every density and pool width,
+# end-to-end packed training bit-identical to dense, and >= 8x byte
+# reduction on the spike operand.
+go run ./cmd/skipper-bench -exp bench_spikepack -scale tiny
 
 # Trace-overhead smoke: the nil-tracer path must stay free (always a hard
 # gate) and the traced capped epoch within 2% of plain (a timing gate, so —
