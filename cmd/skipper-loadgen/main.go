@@ -28,10 +28,12 @@ import (
 	"encoding/json"
 	"flag"
 	"os"
+	"strings"
 	"time"
 
 	"skipper/internal/cli"
 	"skipper/internal/serve"
+	"skipper/internal/stream"
 )
 
 func main() {
@@ -51,8 +53,21 @@ func main() {
 		sessions = flag.Int("sessions", 0, "distinct session keys to cycle (0 = send none; the router hashes these)")
 		class    = flag.String("class", "", "admission class to send with each request")
 		allowErr = flag.Bool("allow-shed", false, "exit 0 even when some requests were shed (expected under open-loop overload)")
+
+		streaming  = flag.Bool("stream", false, "streaming mode: long-lived framed sessions with event windows instead of one-shot inference")
+		fleetAddr  = flag.String("fleet-addr", "", "stream directly to this replica fleet address, bypassing router placement")
+		windows    = flag.Int("windows", 50, "stream: windows per session")
+		winSteps   = flag.Int("window-steps", 8, "stream: timesteps per window")
+		quietFrac  = flag.Float64("quiet-frac", 0.5, "stream: fraction of windows generated with zero events")
+		eventsPerW = flag.Int("events-per-window", 16, "stream: event count of a busy window")
+		winIvl     = flag.Duration("window-interval", 0, "stream: pacing gap between windows per session (0 = as fast as the server answers)")
 	)
 	flag.Parse()
+
+	if *streaming {
+		runStream(*url, *fleetAddr, *sessions, *windows, *winSteps, *quietFrac, *eventsPerW, *winIvl, *seed, *out)
+		return
+	}
 
 	rep, err := serve.RunLoadGen(*url, serve.LoadGenOptions{
 		Requests:    *n,
@@ -88,5 +103,57 @@ func main() {
 	answered := rep.Requests - rep.DroppedByHarness
 	if rep.OK < answered && !*allowErr {
 		cli.Fatalf("%d of %d requests failed (%v)", answered-rep.OK, answered, rep.StatusCodes)
+	}
+}
+
+// runStream drives the streaming-session load generator: sessions place
+// through the routers (-url, comma-separated) or pin to one replica
+// (-fleet-addr), feed deterministic event windows, and survive replica
+// failures by re-placing and resuming. A session that loses membrane state
+// (resets) or fails outright exits non-zero — the smoke scripts gate on it.
+func runStream(urls, fleetAddr string, sessions, windows, winSteps int, quietFrac float64, eventsPerW int, interval time.Duration, seed uint64, out string) {
+	var routers []string
+	if fleetAddr == "" {
+		for _, u := range strings.Split(urls, ",") {
+			if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+				routers = append(routers, u)
+			}
+		}
+	}
+	if sessions <= 0 {
+		sessions = 4
+	}
+	rep, err := stream.RunStreamGen(stream.GenOptions{
+		Routers:         routers,
+		Addr:            fleetAddr,
+		Sessions:        sessions,
+		Windows:         windows,
+		WindowSteps:     winSteps,
+		QuietFrac:       quietFrac,
+		EventsPerWindow: eventsPerW,
+		Interval:        interval,
+		Seed:            seed,
+		Timeout:         30 * time.Second,
+	})
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if eerr := enc.Encode(rep); eerr != nil {
+		cli.Fatal(eerr)
+	}
+	if out != "" {
+		data, merr := json.MarshalIndent(rep, "", "  ")
+		if merr != nil {
+			cli.Fatal(merr)
+		}
+		if werr := os.WriteFile(out, append(data, '\n'), 0o644); werr != nil {
+			cli.Fatal(werr)
+		}
+	}
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if rep.Resets > 0 || rep.Failures > 0 {
+		cli.Fatalf("stream run lost state: %d resets, %d failures", rep.Resets, rep.Failures)
 	}
 }

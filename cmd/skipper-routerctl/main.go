@@ -73,13 +73,20 @@ func main() {
 	}
 }
 
-// do tries the request against each router in order, failing over on
-// connection errors. An HTTP error status is an answer, not a failure — a 409
-// from a live router must not get retried against its peers (a rollback is
-// not idempotent from the operator's point of view).
+// lastHealthy is the index of the router that answered most recently: the
+// next request starts its walk there instead of re-dialing a dead
+// head-of-list first, and failing routers are demoted behind it.
+var lastHealthy int
+
+// do tries the request against each router starting from the last healthy
+// one, failing over on connection errors. An HTTP error status is an answer,
+// not a failure — a 409 from a live router must not get retried against its
+// peers (a rollback is not idempotent from the operator's point of view).
 func do(client *http.Client, routers []string, path, method string, body any) {
 	var lastErr error
-	for i, base := range routers {
+	for off := 0; off < len(routers); off++ {
+		i := (lastHealthy + off) % len(routers)
+		base := routers[i]
 		var resp *http.Response
 		var err error
 		switch method {
@@ -94,11 +101,12 @@ func do(client *http.Client, routers []string, path, method string, body any) {
 		}
 		if err != nil {
 			lastErr = err
-			if i < len(routers)-1 {
+			if off < len(routers)-1 {
 				fmt.Fprintf(os.Stderr, "# %s unreachable (%v), trying next router\n", base, err)
 			}
 			continue
 		}
+		lastHealthy = i
 		if len(routers) > 1 {
 			fmt.Fprintf(os.Stderr, "# answered by %s\n", base)
 		}

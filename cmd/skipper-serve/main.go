@@ -61,6 +61,11 @@ func main() {
 		advertise = flag.String("advertise-url", "", "this replica's base URL as the routers know it (default: http://127.0.0.1<addr> when -addr is :port)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON profile on shutdown to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/spans on this address (e.g. localhost:6060)")
+
+		sessionDir  = flag.String("session-dir", "", "directory for durable streaming-session snapshots (empty = sessions are memory-only)")
+		sessionTTL  = flag.Duration("session-ttl", 5*time.Minute, "evict a streaming session idle longer than this")
+		sessionSnap = flag.Int("session-snapshot-every", 8, "snapshot a durable session every N windows (<0 disables periodic snapshots)")
+		streamSkip  = flag.Int("stream-skip-threshold", 0, "skip windows with at most this many events via leak-only decay (0 = only empty windows, lossless; <0 disables)")
 	)
 	flag.Parse()
 
@@ -106,6 +111,11 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		EncodeSeed:     *seed,
+
+		SessionDir:           *sessionDir,
+		SessionTTL:           *sessionTTL,
+		SessionSnapshotEvery: *sessionSnap,
+		StreamSkipThreshold:  *streamSkip,
 	}, *weights)
 	if err != nil {
 		cli.Fatal(err)
@@ -153,6 +163,7 @@ func main() {
 			// Backend-initiated drain handoff: tell the router tier first, so
 			// it vacates this replica's ring arcs with zero missed-heartbeat
 			// window, then stop accepting and drain what is in flight.
+			announced := 0
 			if addrs := splitAddrs(*routers); len(addrs) > 0 {
 				selfURL := *advertise
 				if selfURL == "" && strings.HasPrefix(*addr, ":") {
@@ -161,9 +172,24 @@ func main() {
 				if selfURL == "" {
 					fmt.Fprintln(os.Stderr, "skipping drain announcement: -advertise-url required when -addr is not :port")
 				} else {
-					acked := serve.AnnounceDrain(addrs, selfURL, 2*time.Second)
-					fmt.Printf("drain announced to %d/%d routers\n", acked, len(addrs))
+					announced = serve.AnnounceDrain(addrs, selfURL, 2*time.Second)
+					fmt.Printf("drain announced to %d/%d routers\n", announced, len(addrs))
 				}
+			}
+			// Migration grace: an announced router pulls this replica's live
+			// streaming sessions over the fleet channel, so the listener must
+			// stay open until the registry empties (bounded — stragglers are
+			// snapshotted to the session dir by Drain instead).
+			if n := s.Streams().Count(); n > 0 && announced > 0 {
+				grace := *drainWait / 3
+				fmt.Printf("waiting for %d streaming sessions to migrate (up to %v)...\n", n, grace)
+				mctx, mcancel := context.WithTimeout(context.Background(), grace)
+				if s.Streams().WaitEmpty(mctx) {
+					fmt.Println("all sessions migrated")
+				} else {
+					fmt.Printf("%d sessions still here; snapshotting at drain\n", s.Streams().Count())
+				}
+				mcancel()
 			}
 			if fleetLN != nil {
 				fleetLN.Close()

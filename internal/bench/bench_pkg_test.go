@@ -32,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig14", "fig15", "table2", "fig16",
 		"ablate-sam", "ablate-p", "ablate-surrogate", "ablate-placement", "ablate-compress",
 		"bench_serve", "bench_kernels", "bench_trace", "bench_dist", "bench_router",
-		"bench_spikepack",
+		"bench_spikepack", "bench_stream",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -114,6 +114,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 	benchDistOutput = filepath.Join(t.TempDir(), "BENCH_dist.json")
 	benchRouterOutput = filepath.Join(t.TempDir(), "BENCH_router.json")
 	benchSpikePackOutput = filepath.Join(t.TempDir(), "BENCH_spikepack.json")
+	benchStreamOutput = filepath.Join(t.TempDir(), "BENCH_stream.json")
 	cfg := RunConfig{Scale: Tiny, Seed: 1}
 	for _, id := range IDs() {
 		id := id

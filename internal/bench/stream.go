@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"skipper/internal/layers"
+	"skipper/internal/models"
+	"skipper/internal/stream"
+)
+
+// streamBenchReport is what bench_stream writes to BENCH_stream.json: the
+// streaming session path's latency and skipped-window fraction at two event
+// densities, the bitwise skip-vs-full equivalence check, and the
+// client-visible pause of an export/import session migration.
+type streamBenchReport struct {
+	Scale       string `json:"scale"`
+	Model       string `json:"model"`
+	WindowSteps int    `json:"window_steps"`
+
+	// Quiet and Busy are open sessions fed event windows at low and high
+	// density through the framed fleet channel.
+	Quiet streamDensityRow `json:"quiet"`
+	Busy  streamDensityRow `json:"busy"`
+
+	// LosslessWindows is how many windows were compared bitwise between a
+	// skip-enabled and a skip-disabled session on identical streams.
+	LosslessWindows int `json:"lossless_windows_compared"`
+
+	// Migration is one session exported from its replica mid-stream and
+	// imported at another, with the predictions required bitwise identical
+	// to an uninterrupted run.
+	Migration streamMigrationRow `json:"migration"`
+}
+
+type streamDensityRow struct {
+	QuietFrac       float64          `json:"quiet_frac"`
+	SkippedFraction float64          `json:"skipped_fraction"`
+	Report          stream.GenReport `json:"report"`
+}
+
+type streamMigrationRow struct {
+	WindowsBefore int `json:"windows_before"`
+	WindowsAfter  int `json:"windows_after"`
+	// PauseMS is the wall time of export + import + resume — the gap a
+	// client rides out during a drain handoff.
+	PauseMS       float64 `json:"pause_ms"`
+	ByteIdentical bool    `json:"byte_identical"`
+}
+
+// benchStreamOutput is where bench_stream writes its JSON report; the package
+// tests point it into a temp directory.
+var benchStreamOutput = "BENCH_stream.json"
+
+func init() {
+	register(Experiment{
+		ID:    "bench_stream",
+		Title: "Streaming sessions: online time-skipping density sweep, lossless gate, migration pause",
+		Run: func(cfg RunConfig, out io.Writer) error {
+			sessions := map[Scale]int{Tiny: 2, Small: 4, Full: 8}[cfg.Scale]
+			windows := map[Scale]int{Tiny: 8, Small: 24, Full: 64}[cfg.Scale]
+			const model, steps = "customnet", 6
+			const inputLen = 2 * 8 * 8
+			build := func() (*layers.Network, error) {
+				return models.Build(model, models.Options{
+					Width: 0.25, Classes: 4, InShape: []int{2, 8, 8},
+				})
+			}
+			fmt.Fprintf(out, "== bench_stream: stateful streaming sessions with online time-skipping ==\n")
+			fmt.Fprintf(out, "   workload: %s  sessions=%d windows=%d steps/window=%d\n",
+				model, sessions, windows, steps)
+
+			rep := streamBenchReport{Scale: cfg.Scale.String(), Model: model, WindowSteps: steps}
+
+			// 1. Density sweep: a mostly-quiet workload (sensor idling) and a
+			// saturated one, both through a real replica's framed listener.
+			// The acceptance bar is a non-zero skipped fraction on the quiet
+			// run with zero state loss on either.
+			fmt.Fprintf(out, "%10s %10s %10s %10s %8s\n", "density", "p50", "p99", "skipped", "resets")
+			for _, d := range []struct {
+				name      string
+				quietFrac float64
+				row       *streamDensityRow
+			}{
+				{"quiet", 0.8, &rep.Quiet},
+				{"busy", 0.0, &rep.Busy},
+			} {
+				r, err := startFleetReplica(build, steps, 64, 1, 4, 0, "", cfg.seed())
+				if err != nil {
+					return err
+				}
+				gr, genErr := stream.RunStreamGen(stream.GenOptions{
+					Addr:            r.fleetLN.Addr().String(),
+					Sessions:        sessions,
+					Windows:         windows,
+					WindowSteps:     steps,
+					QuietFrac:       d.quietFrac,
+					EventsPerWindow: 12,
+					InputLen:        inputLen,
+					Seed:            cfg.seed(),
+					SessionPrefix:   "bench-" + d.name,
+				})
+				r.stop()
+				if genErr != nil {
+					return fmt.Errorf("bench_stream: %s run: %w", d.name, genErr)
+				}
+				fmt.Fprintf(out, "%10s %9.2fms %9.2fms %9.1f%% %8d\n",
+					d.name, gr.P50MS, gr.P99MS, 100*gr.SkippedFraction(), gr.Resets)
+				if gr.Resets > 0 || gr.Failures > 0 {
+					return fmt.Errorf("bench_stream: %s run lost state: %d resets, %d failures", d.name, gr.Resets, gr.Failures)
+				}
+				*d.row = streamDensityRow{QuietFrac: d.quietFrac, SkippedFraction: gr.SkippedFraction(), Report: gr}
+			}
+			if rep.Quiet.SkippedFraction <= 0 {
+				return fmt.Errorf("bench_stream: quiet workload skipped no windows (report %+v)", rep.Quiet.Report)
+			}
+			if rep.Quiet.SkippedFraction < rep.Busy.SkippedFraction {
+				return fmt.Errorf("bench_stream: quiet workload skipped less than busy (%.3f < %.3f)",
+					rep.Quiet.SkippedFraction, rep.Busy.SkippedFraction)
+			}
+
+			// 2. Lossless gate: the same deterministic stream fed to two
+			// sessions on one replica — leak-only fast-forward on, then off.
+			// Every logit must match bitwise; anything else means the quiet
+			// path diverged from the real kernels.
+			r, err := startFleetReplica(build, steps, 64, 1, 4, 0, "", cfg.seed())
+			if err != nil {
+				return err
+			}
+			defer r.stop()
+			gen := stream.GenOptions{
+				Seed: cfg.seed(), WindowSteps: steps,
+				EventsPerWindow: 12, QuietFrac: 0.8,
+			}
+			skipOn, skipOff := 0, -1
+			for _, s := range []struct {
+				id        string
+				threshold *int
+			}{{"lossless-on", &skipOn}, {"lossless-off", &skipOff}} {
+				if _, oerr := r.server.Streams().Open(stream.OpenRequest{Session: s.id, SkipThreshold: s.threshold}); oerr != nil {
+					return fmt.Errorf("bench_stream: open %s: %v", s.id, oerr)
+				}
+			}
+			skippedOn := 0
+			for w := 0; w < windows; w++ {
+				events := stream.GenWindow(gen, 0, w, inputLen)
+				on, oerr := r.server.Streams().Window(stream.WindowRequest{Session: "lossless-on", Seq: w, Steps: steps, Events: events})
+				if oerr != nil {
+					return fmt.Errorf("bench_stream: lossless-on window %d: %v", w, oerr)
+				}
+				off, ferr := r.server.Streams().Window(stream.WindowRequest{Session: "lossless-off", Seq: w, Steps: steps, Events: events})
+				if ferr != nil {
+					return fmt.Errorf("bench_stream: lossless-off window %d: %v", w, ferr)
+				}
+				if on.Skipped {
+					skippedOn++
+				}
+				for i := range off.Logits {
+					if math.Float32bits(on.Logits[i]) != math.Float32bits(off.Logits[i]) {
+						return fmt.Errorf("bench_stream: window %d logit %d differs with skipping on: %v vs %v",
+							w, i, on.Logits[i], off.Logits[i])
+					}
+				}
+			}
+			if skippedOn == 0 {
+				return fmt.Errorf("bench_stream: lossless gate exercised no skipped windows over %d windows", windows)
+			}
+			rep.LosslessWindows = windows
+			fmt.Fprintf(out, "   lossless: %d windows bitwise identical (%d took the leak-only path)\n", windows, skippedOn)
+
+			// 3. Migration pause: run a session to the midpoint, export it
+			// over the fleet channel, import at a second replica, and resume.
+			// The pause is the client-visible gap; the predictions across the
+			// move must match an uninterrupted reference session bitwise.
+			r2, err := startFleetReplica(build, steps, 64, 1, 4, 0, "", cfg.seed())
+			if err != nil {
+				return err
+			}
+			defer r2.stop()
+			mid := windows / 2
+			if _, oerr := r.server.Streams().Open(stream.OpenRequest{Session: "mig"}); oerr != nil {
+				return fmt.Errorf("bench_stream: open mig: %v", oerr)
+			}
+			if _, oerr := r.server.Streams().Open(stream.OpenRequest{Session: "ref"}); oerr != nil {
+				return fmt.Errorf("bench_stream: open ref: %v", oerr)
+			}
+			feed := func(mgr *stream.Manager, id string, from, to int) ([][]float32, error) {
+				var logits [][]float32
+				for w := from; w < to; w++ {
+					wr, werr := mgr.Window(stream.WindowRequest{
+						Session: id, Seq: w, Steps: steps,
+						Events: stream.GenWindow(gen, 1, w, inputLen),
+					})
+					if werr != nil {
+						return nil, fmt.Errorf("%s window %d: %w", id, w, werr)
+					}
+					logits = append(logits, wr.Logits)
+				}
+				return logits, nil
+			}
+			want, err := feed(r.server.Streams(), "ref", 0, windows)
+			if err != nil {
+				return fmt.Errorf("bench_stream: %w", err)
+			}
+			got, err := feed(r.server.Streams(), "mig", 0, mid)
+			if err != nil {
+				return fmt.Errorf("bench_stream: %w", err)
+			}
+
+			ca, err := stream.Dial(r.fleetLN.Addr().String(), 5*time.Second)
+			if err != nil {
+				return err
+			}
+			defer ca.Close()
+			cb, err := stream.Dial(r2.fleetLN.Addr().String(), 5*time.Second)
+			if err != nil {
+				return err
+			}
+			defer cb.Close()
+			pauseStart := time.Now()
+			raw, err := ca.Export("mig")
+			if err != nil {
+				return fmt.Errorf("bench_stream: export: %w", err)
+			}
+			if _, err := cb.Import(raw); err != nil {
+				return fmt.Errorf("bench_stream: import: %w", err)
+			}
+			open, err := cb.Open(stream.OpenRequest{Session: "mig", RequireResume: true})
+			if err != nil {
+				return fmt.Errorf("bench_stream: resume after import: %w", err)
+			}
+			pause := time.Since(pauseStart)
+			if !open.Resumed || open.Window != mid {
+				return fmt.Errorf("bench_stream: resume landed at window %d (resumed=%v), want %d", open.Window, open.Resumed, mid)
+			}
+			rest, err := feed(r2.server.Streams(), "mig", mid, windows)
+			if err != nil {
+				return fmt.Errorf("bench_stream: %w", err)
+			}
+			got = append(got, rest...)
+			identical := len(got) == len(want)
+			for w := 0; identical && w < len(want); w++ {
+				for i := range want[w] {
+					if math.Float32bits(got[w][i]) != math.Float32bits(want[w][i]) {
+						identical = false
+						break
+					}
+				}
+			}
+			if !identical {
+				return fmt.Errorf("bench_stream: predictions diverged across the migration")
+			}
+			rep.Migration = streamMigrationRow{
+				WindowsBefore: mid,
+				WindowsAfter:  windows - mid,
+				PauseMS:       float64(pause.Microseconds()) / 1000,
+				ByteIdentical: true,
+			}
+			fmt.Fprintf(out, "   migration: %d+%d windows, pause %.2fms, bitwise identical\n",
+				mid, windows-mid, rep.Migration.PauseMS)
+
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchStreamOutput, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "   report written to %s\n", benchStreamOutput)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,32 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Correlation envelope for multiplexing several in-flight request/response
+// exchanges over one framed connection: the outer frame's payload is
+//
+//	corr u64 (little-endian) | inner type byte | inner payload
+//
+// so a reader goroutine can match replies to waiters by correlation id
+// while writers interleave requests behind a single write lock.
+
+// EncodeCorr wraps an inner frame in the multiplexing envelope.
+func EncodeCorr(corr uint64, typ byte, payload []byte) []byte {
+	buf := make([]byte, 9+len(payload))
+	binary.LittleEndian.PutUint64(buf[:8], corr)
+	buf[8] = typ
+	copy(buf[9:], payload)
+	return buf
+}
+
+// DecodeCorr unwraps the multiplexing envelope. The inner payload aliases
+// buf. A malformed envelope is ErrBad (permanent, like a framing error).
+func DecodeCorr(buf []byte) (corr uint64, typ byte, payload []byte, err error) {
+	if len(buf) < 9 {
+		return 0, 0, nil, fmt.Errorf("%w: mux envelope of %d bytes", ErrBad, len(buf))
+	}
+	return binary.LittleEndian.Uint64(buf[:8]), buf[8], buf[9:], nil
+}

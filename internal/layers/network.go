@@ -347,6 +347,8 @@ func layerOutShape(l Layer, in []int) []int {
 		return []int{v.Out}
 	case *AvgPool2D:
 		return v.outShape
+	case *MaxPool2D:
+		return v.outShape
 	case *GlobalAvgPool:
 		return []int{v.inShape[0]}
 	case *ResidualBlock:

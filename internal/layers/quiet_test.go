@@ -1,0 +1,155 @@
+package layers
+
+import (
+	"testing"
+
+	"skipper/internal/snn"
+	"skipper/internal/tensor"
+)
+
+func quietTestNet(t *testing.T) *Network {
+	t.Helper()
+	nrn := snn.Params{Leak: 0.9, Threshold: 1}
+	net := NewNetwork("quiettest", []int{2, 8, 8},
+		NewSpikingConv2D("c1", 4, 3, 1, 1, nrn, snn.Triangle{}),
+		NewMaxPool2D("mp", 2),
+		NewSpikingConv2D("c2", 6, 3, 1, 1, nrn, snn.Triangle{}),
+		NewAvgPool2D("ap", 2),
+		NewDropout("do", 0.2),
+		NewSpikingLinear("fc", 12, nrn, snn.Triangle{}),
+		NewReadout("out", 4, snn.Params{Leak: 0.8, Threshold: 1}),
+	)
+	if err := net.Build(tensor.NewRNG(7)); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return net
+}
+
+// nudgeBiases makes the zero-input currents non-trivial so the quiet chain
+// has to handle bias-driven spikes deeper in the stack.
+func nudgeBiases(net *Network, scale float32) {
+	for _, p := range net.Params() {
+		if len(p.W.Shape()) == 1 { // bias vectors
+			for i := range p.W.Data {
+				p.W.Data[i] = scale * float32(i%5)
+			}
+		}
+	}
+}
+
+func statesEqual(t *testing.T, step int, want, got []*LayerState) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("step %d: state count %d vs %d", step, len(got), len(want))
+	}
+	for i := range want {
+		cmp := func(kind string, a, b *tensor.Tensor) {
+			if (a == nil) != (b == nil) {
+				t.Fatalf("step %d layer %d: %s nil mismatch", step, i, kind)
+			}
+			if a == nil {
+				return
+			}
+			if len(a.Data) != len(b.Data) {
+				t.Fatalf("step %d layer %d: %s len %d vs %d", step, i, kind, len(b.Data), len(a.Data))
+			}
+			for j := range a.Data {
+				if a.Data[j] != b.Data[j] {
+					t.Fatalf("step %d layer %d: %s[%d] = %v, want %v", step, i, kind, j, b.Data[j], a.Data[j])
+				}
+			}
+		}
+		cmp("U", want[i].U, got[i].U)
+		cmp("O", want[i].O, got[i].O)
+	}
+}
+
+// TestQuietStepBitIdentical is the contract the streaming skip path rests
+// on: a QuietState step must be bitwise identical to a full ForwardStep on
+// an all-zero input, from any reachable state, including states where bias
+// pressure makes deep layers fire during the quiet run.
+func TestQuietStepBitIdentical(t *testing.T) {
+	for _, biasScale := range []float32{0, 0.4} {
+		netA := quietTestNet(t)
+		netB := quietTestNet(t)
+		nudgeBiases(netA, biasScale)
+		nudgeBiases(netB, biasScale)
+
+		const batch = 2
+		q := NewQuietState(netA, batch)
+		if !q.Supported() {
+			t.Fatalf("quiet path should support the test stack")
+		}
+		zero := tensor.New(batch, 2, 8, 8)
+		rng := tensor.NewRNG(99)
+		busy := tensor.New(batch, 2, 8, 8)
+		for i := range busy.Data {
+			if rng.Float32() < 0.3 {
+				busy.Data[i] = 1
+			}
+		}
+
+		var sa, sb []*LayerState
+		// Mix busy and quiet steps so the quiet path is exercised from
+		// fresh, charged, and refractory membrane states.
+		for step := 0; step < 12; step++ {
+			if step%3 == 0 {
+				sa = netA.ForwardStep(busy, sa)
+				sb = netB.ForwardStep(busy, sb)
+				statesEqual(t, step, sb, sa)
+				continue
+			}
+			var ok bool
+			sa, ok = q.Step(sa)
+			if !ok {
+				t.Fatalf("step %d: quiet step refused", step)
+			}
+			sb = netB.ForwardStep(zero, sb)
+			statesEqual(t, step, sb, sa)
+		}
+	}
+}
+
+// TestQuietStepUnsupported: stacks with layers outside the quiet model must
+// refuse rather than approximate.
+func TestQuietStepUnsupported(t *testing.T) {
+	nrn := snn.Params{Leak: 0.9, Threshold: 1}
+	net := NewNetwork("resnet", []int{4, 8, 8},
+		NewSpikingConv2D("stem", 4, 3, 1, 1, nrn, snn.Triangle{}),
+		NewResidualBlock("rb", 4, 1, nrn, snn.Triangle{}),
+		NewReadout("out", 4, nrn),
+	)
+	if err := net.Build(tensor.NewRNG(3)); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	q := NewQuietState(net, 1)
+	if q.Supported() {
+		t.Fatalf("residual stack must be unsupported")
+	}
+	if _, ok := q.Step(nil); ok {
+		t.Fatalf("Step must refuse on unsupported stacks")
+	}
+}
+
+// TestQuietStepInvalidate: weight changes must be picked up after
+// Invalidate.
+func TestQuietStepInvalidate(t *testing.T) {
+	net := quietTestNet(t)
+	ref := quietTestNet(t)
+	q := NewQuietState(net, 1)
+	st, ok := q.Step(nil)
+	if !ok {
+		t.Fatal("quiet step refused")
+	}
+	_ = st
+	nudgeBiases(net, 0.5)
+	nudgeBiases(ref, 0.5)
+	q.Invalidate()
+	got, ok := q.Step(nil)
+	if !ok {
+		t.Fatal("quiet step refused after invalidate")
+	}
+	zero := tensor.New(1, 2, 8, 8)
+	want := ref.ForwardStep(zero, nil)
+	statesEqual(t, 0, want, got)
+}

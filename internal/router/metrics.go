@@ -29,6 +29,9 @@ type Metrics struct {
 	peerSyncFailures int64 // gossip rounds that failed (dial, frame, or decode)
 	drainAnnounces   int64 // replica drain announcements accepted on the peer channel
 
+	sessionsMigrated  int64 // streaming sessions pulled off draining replicas
+	migrationFailures int64 // sessions the drain migration could not move
+
 	// gauges, read at render time
 	backendStates func() map[string]int // state name -> count
 	ringSize      func() int
@@ -113,6 +116,23 @@ func (m *Metrics) observeDrainAnnounce() {
 	m.drainAnnounces++
 }
 
+func (m *Metrics) observeMigration(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.sessionsMigrated++
+	} else {
+		m.migrationFailures++
+	}
+}
+
+// SessionsMigrated returns the migrated-session counter (tests, smoke).
+func (m *Metrics) SessionsMigrated() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessionsMigrated
+}
+
 // RequestCount returns the counted requests for one status code (tests).
 func (m *Metrics) RequestCount(code int) int64 {
 	m.mu.Lock()
@@ -192,6 +212,8 @@ func (m *Metrics) Render(w io.Writer) {
 	counter(w, "skipper_router_peer_syncs_total", "Completed gossip round trips with peer routers.", m.peerSyncs)
 	counter(w, "skipper_router_peer_sync_failures_total", "Failed gossip rounds (dial, frame, or decode error).", m.peerSyncFailures)
 	counter(w, "skipper_router_drain_announces_total", "Replica drain announcements accepted on the peer channel.", m.drainAnnounces)
+	counter(w, "skipper_router_sessions_migrated_total", "Streaming sessions pulled off draining replicas.", m.sessionsMigrated)
+	counter(w, "skipper_router_session_migration_failures_total", "Sessions a drain migration failed to move.", m.migrationFailures)
 
 	if m.backendStates != nil {
 		states := m.backendStates()

@@ -1,0 +1,152 @@
+package router
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"skipper/internal/frame"
+	"skipper/internal/serve"
+)
+
+// muxConn is one long-lived multiplexed fleet connection: every in-flight
+// exchange to the backend rides it under a FleetMux correlation envelope. A
+// reader goroutine matches replies to waiters by correlation id; any framing
+// error fails every pending exchange and drops the connection (the protocol
+// has no re-synchronization), and the next exchange redials.
+type muxConn struct {
+	addr    string
+	timeout time.Duration
+
+	mu      sync.Mutex // guards conn identity, pending, next; also serialises writes
+	conn    net.Conn
+	pending map[uint64]chan muxReply
+	next    uint64
+}
+
+type muxReply struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+func newMuxConn(addr string, timeout time.Duration) *muxConn {
+	return &muxConn{addr: addr, timeout: timeout}
+}
+
+// exchange runs one correlated request/response round-trip, dialing on first
+// use or after a failure. The per-exchange deadline is enforced by the
+// waiter, not a connection deadline — other exchanges share the socket.
+func (m *muxConn) exchange(typ byte, payload []byte) (byte, []byte, error) {
+	m.mu.Lock()
+	if m.conn == nil {
+		conn, err := net.DialTimeout("tcp", m.addr, m.timeout)
+		if err != nil {
+			m.mu.Unlock()
+			return 0, nil, err
+		}
+		m.conn = conn
+		m.pending = map[uint64]chan muxReply{}
+		go m.readLoop(conn)
+	}
+	conn := m.conn
+	m.next++
+	corr := m.next
+	ch := make(chan muxReply, 1)
+	m.pending[corr] = ch
+	// Write under mu: frames from concurrent exchanges must not interleave.
+	err := frame.Write(conn, serve.FleetMux, frame.EncodeCorr(corr, typ, payload))
+	m.mu.Unlock()
+	if err != nil {
+		m.fail(conn, err)
+		return 0, nil, err
+	}
+
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	select {
+	case rep := <-ch:
+		return rep.typ, rep.payload, rep.err
+	case <-timer.C:
+		// Closing unblocks the read loop, which fails the other waiters —
+		// a stalled connection cannot be trusted for them either.
+		m.fail(conn, nil)
+		return 0, nil, fmt.Errorf("router: fleet mux exchange to %s timed out after %v", m.addr, m.timeout)
+	}
+}
+
+// readLoop delivers replies until the connection dies.
+func (m *muxConn) readLoop(conn net.Conn) {
+	for {
+		typ, payload, err := frame.Read(conn)
+		if err != nil {
+			m.fail(conn, err)
+			return
+		}
+		if typ != serve.FleetMux {
+			m.fail(conn, fmt.Errorf("router: unexpected bare frame type %d on mux connection", typ))
+			return
+		}
+		corr, ityp, inner, err := frame.DecodeCorr(payload)
+		if err != nil {
+			m.fail(conn, err)
+			return
+		}
+		body := append([]byte(nil), inner...) // inner aliases the read buffer
+		m.mu.Lock()
+		ch, ok := m.pending[corr]
+		delete(m.pending, corr)
+		m.mu.Unlock()
+		if ok {
+			ch <- muxReply{typ: ityp, payload: body}
+		}
+	}
+}
+
+// fail tears down conn (if it is still the live connection) and errors every
+// pending exchange.
+func (m *muxConn) fail(conn net.Conn, err error) {
+	if err == nil {
+		err = fmt.Errorf("router: fleet mux connection to %s closed", m.addr)
+	}
+	conn.Close()
+	m.mu.Lock()
+	if m.conn != conn {
+		m.mu.Unlock()
+		return
+	}
+	pending := m.pending
+	m.conn, m.pending = nil, nil
+	m.mu.Unlock()
+	for _, ch := range pending {
+		ch <- muxReply{err: err}
+	}
+}
+
+func (m *muxConn) close() {
+	m.mu.Lock()
+	conn := m.conn
+	m.mu.Unlock()
+	if conn != nil {
+		m.fail(conn, fmt.Errorf("router: fleet mux connection to %s shut down", m.addr))
+	}
+}
+
+// mux returns the backend's multiplexed connection handle, creating it on
+// first use.
+func (tr *transport) mux(addr string) *muxConn {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	mc, ok := tr.muxes[addr]
+	if !ok {
+		mc = newMuxConn(addr, tr.timeout)
+		tr.muxes[addr] = mc
+	}
+	return mc
+}
+
+// mexchange runs one multiplexed exchange against a fleet address.
+func (tr *transport) mexchange(addr string, typ byte, payload []byte) (byte, []byte, error) {
+	return tr.mux(addr).exchange(typ, payload)
+}

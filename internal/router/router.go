@@ -424,10 +424,12 @@ func (rt *Router) killBackendLocked(b *backend, now time.Time) {
 	}
 }
 
-// setDrainingLocked moves a backend to the draining state and vacates its
-// arcs. Callers hold rt.mu.
+// setDrainingLocked moves a backend to the draining state, vacates its
+// arcs, and — on the transition, for fleet-capable backends — starts pulling
+// its streaming sessions to their ring successors. Callers hold rt.mu.
 func (rt *Router) setDrainingLocked(b *backend) {
-	if b.State() != StateDraining {
+	first := b.State() != StateDraining
+	if first {
 		b.setState(StateDraining)
 		b.misses = 0
 	}
@@ -435,6 +437,10 @@ func (rt *Router) setDrainingLocked(b *backend) {
 		rt.ring.Remove(b.id)
 		rt.metrics.observeRemap()
 		rt.tracer.Event(trace.TrackRouter, "backend_draining")
+	}
+	if first && b.spec.FleetAddr != "" {
+		rt.wg.Add(1)
+		go rt.migrateSessions(b)
 	}
 }
 
@@ -902,6 +908,7 @@ func (rt *Router) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, rt.fleetInfo())
 	})
 	mux.HandleFunc("/v1/config", rt.handleConfigProxy)
+	mux.HandleFunc("/v1/stream/place", rt.handleStreamPlace)
 	mux.HandleFunc("/v1/canary", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST required")

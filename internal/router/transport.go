@@ -19,22 +19,29 @@ import (
 // backends. The preferred data path is the framed-TCP protocol serve.Fleet*
 // defines over dist's CRC envelope — persistent connections, no HTTP
 // parsing per request; when a backend has no fleet listener, or a framed
-// exchange fails mid-flight, the same request falls back to HTTP. One framed
-// connection carries one request at a time, so the pool holds a few
-// connections per backend instead of multiplexing.
+// exchange fails mid-flight, the same request falls back to HTTP. Data-plane
+// exchanges (infer, stream migration) multiplex over one muxConn per backend
+// under FleetMux correlation envelopes; heartbeats keep a small pool of
+// one-at-a-time connections so a probe measures a clean round-trip.
 type transport struct {
 	client  *http.Client
 	timeout time.Duration // dial + per-exchange deadline
 
 	mu    sync.Mutex
 	pools map[string]*connPool // by fleet addr
+	muxes map[string]*muxConn  // by fleet addr
 }
 
 func newTransport(client *http.Client, timeout time.Duration) *transport {
 	if client == nil {
 		client = &http.Client{Timeout: timeout}
 	}
-	return &transport{client: client, timeout: timeout, pools: map[string]*connPool{}}
+	return &transport{
+		client:  client,
+		timeout: timeout,
+		pools:   map[string]*connPool{},
+		muxes:   map[string]*muxConn{},
+	}
 }
 
 // connPool is a tiny free-list of framed connections to one backend.
@@ -78,7 +85,7 @@ func (p *connPool) put(c net.Conn) {
 	c.Close()
 }
 
-// closeAll drops every pooled connection (shutdown).
+// closeAll drops every pooled and multiplexed connection (shutdown).
 func (tr *transport) closeAll() {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
@@ -89,6 +96,9 @@ func (tr *transport) closeAll() {
 		}
 		p.idle = nil
 		p.mu.Unlock()
+	}
+	for _, mc := range tr.muxes {
+		mc.close()
 	}
 }
 
@@ -178,7 +188,10 @@ func (tr *transport) pingHTTP(b *backend) (serve.FleetStatus, error) {
 // after a framed failure (the metrics count those).
 func (tr *transport) infer(b *backend, body []byte) (serve.FleetResponse, bool, error) {
 	if b.spec.FleetAddr != "" {
-		resp, err := tr.exchange(b.spec.FleetAddr, serve.FleetInfer, body, serve.FleetResult)
+		rtyp, resp, err := tr.mexchange(b.spec.FleetAddr, serve.FleetInfer, body)
+		if err == nil && rtyp != serve.FleetResult {
+			err = fmt.Errorf("router: fleet frame type %d, want %d", rtyp, serve.FleetResult)
+		}
 		if err == nil {
 			var out serve.FleetResponse
 			if jerr := json.Unmarshal(resp, &out); jerr != nil {

@@ -4,21 +4,23 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net"
-	"skipper/internal/frame"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"skipper/internal/frame"
+	"skipper/internal/stream"
 )
 
 // The fleet data path: the router speaks to replicas over persistent TCP
 // connections carrying the same CRC-framed envelope internal/dist hardened
 // for gradient exchange (frame.Write/frame.Read), with JSON payloads that
-// mirror the HTTP bodies. One connection processes one request at a time —
-// the router holds a small pool per backend instead of multiplexing — which
-// keeps the protocol free of correlation ids and makes a torn connection
-// abort exactly one request.
+// mirror the HTTP bodies. A connection either processes one request at a
+// time (the bare frame types below) or multiplexes concurrent exchanges
+// under FleetMux correlation envelopes — the router's transport uses the
+// latter so a single connection per backend carries every in-flight infer
+// and stream-migration exchange.
 //
 // Message types (the envelope's typ byte). The type byte namespace is private
 // to this protocol; dist's own messages never share a connection with it.
@@ -42,6 +44,13 @@ const (
 	FleetDrainAnnounce
 	// FleetDrainAck acknowledges a drain announcement; empty payload.
 	FleetDrainAck
+	// FleetMux multiplexes several in-flight exchanges over one connection:
+	// the payload is a frame.EncodeCorr envelope (corr id | inner type |
+	// inner payload) and the reply comes back as another FleetMux frame
+	// with the same correlation id. Streaming made this mandatory (a
+	// session's windows and a migration pull share the replica's conns);
+	// batch infer benefits too.
+	FleetMux
 )
 
 // DrainAnnouncement is the FleetDrainAnnounce payload. URL is the replica's
@@ -175,41 +184,81 @@ func (s *Server) serveFleetConn(conn net.Conn) {
 		s.fleet.remove(conn)
 		conn.Close()
 	}()
+	// wmu serialises reply writes: multiplexed requests answer from their
+	// own goroutines and must never interleave frame bytes.
+	var wmu sync.Mutex
 	for {
 		typ, payload, err := frame.Read(conn)
 		if err != nil {
 			return // EOF, torn connection, or bad frame: the dialer owns retry
 		}
-		switch typ {
-		case FleetPing:
-			if err := s.writeFleetStatus(conn); err != nil {
-				return
+		if typ == FleetMux {
+			corr, ityp, inner, err := frame.DecodeCorr(payload)
+			if err != nil {
+				return // unsynchronizable, like any bad frame
 			}
-		case FleetInfer:
-			start := time.Now()
-			var req InferRequest
-			var out FleetResponse
-			if err := json.Unmarshal(payload, &req); err != nil {
-				out.Code = 400
-				out.Body, _ = json.Marshal(errorResponse{fmt.Sprintf("decoding request: %v", err)})
-			} else {
-				code, body, retryAfter := s.execute(context.Background(), req)
-				out.Code = code
-				out.RetryAfter = retryAfter
-				out.Body, _ = json.Marshal(body)
-			}
-			s.metrics.observeRequest(out.Code, time.Since(start).Seconds())
-			buf, _ := json.Marshal(out)
-			if err := frame.Write(conn, FleetResult, buf); err != nil {
-				return
-			}
-		default:
+			// Copy: the inner payload aliases the read buffer, which the
+			// next frame.Read would clobber under the handler goroutine.
+			body := append([]byte(nil), inner...)
+			go func() {
+				rtyp, resp, ok := s.handleFleetFrame(ityp, body)
+				if !ok {
+					conn.Close() // protocol violation inside the envelope
+					return
+				}
+				wmu.Lock()
+				werr := frame.Write(conn, FleetMux, frame.EncodeCorr(corr, rtyp, resp))
+				wmu.Unlock()
+				if werr != nil {
+					conn.Close()
+				}
+			}()
+			continue
+		}
+		rtyp, resp, ok := s.handleFleetFrame(typ, payload)
+		if !ok {
 			return // unknown type: protocol violation, drop the connection
+		}
+		wmu.Lock()
+		err = frame.Write(conn, rtyp, resp)
+		wmu.Unlock()
+		if err != nil {
+			return
 		}
 	}
 }
 
-func (s *Server) writeFleetStatus(w io.Writer) error {
+// handleFleetFrame executes one framed request and returns its reply frame.
+// Shared by the sequential loop and the FleetMux fan-out.
+func (s *Server) handleFleetFrame(typ byte, payload []byte) (byte, []byte, bool) {
+	switch {
+	case typ == FleetPing:
+		return FleetPong, s.fleetStatusPayload(), true
+	case typ == FleetInfer:
+		start := time.Now()
+		var req InferRequest
+		var out FleetResponse
+		if err := json.Unmarshal(payload, &req); err != nil {
+			out.Code = 400
+			out.Body, _ = json.Marshal(errorResponse{fmt.Sprintf("decoding request: %v", err)})
+		} else {
+			code, body, retryAfter := s.execute(context.Background(), req)
+			out.Code = code
+			out.RetryAfter = retryAfter
+			out.Body, _ = json.Marshal(body)
+		}
+		s.metrics.observeRequest(out.Code, time.Since(start).Seconds())
+		buf, _ := json.Marshal(out)
+		return FleetResult, buf, true
+	case stream.IsStreamType(typ):
+		rtyp, resp := s.streams.HandleFrame(typ, payload)
+		return rtyp, resp, true
+	default:
+		return 0, nil, false
+	}
+}
+
+func (s *Server) fleetStatusPayload() []byte {
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
@@ -223,5 +272,5 @@ func (s *Server) writeFleetStatus(w io.Writer) error {
 		ModelVersion: snap.Version,
 		ModelPath:    snap.Path,
 	})
-	return frame.Write(w, FleetPong, buf)
+	return buf
 }

@@ -148,15 +148,21 @@ func RunLoadGen(baseURL string, opts LoadGenOptions) (LoadGenReport, error) {
 	return rep, err
 }
 
-// targetPool spreads a loadgen run over one or more target base URLs with
-// client-side failover: all goroutines follow a shared cursor, and a
-// transport error advances it (CAS, so a burst of concurrent failures counts
-// as one failover) to the next target.
+// targetPool spreads a loadgen run over one or more target base URLs,
+// load-aware on the client side: all goroutines remember the shared
+// last-healthy cursor, a transport error demotes the failing target behind
+// it for a cooldown (so a dead router is not re-probed on every request),
+// and a success on a non-cursor target promotes it to the new cursor.
 type targetPool struct {
 	urls      []string
 	cur       atomic.Int64
 	failovers atomic.Int64
+	bad       []atomic.Int64 // unix nanos until which each target stays demoted
 }
+
+// targetCooldown is how long a demoted target waits before it is tried
+// again (matching the streaming generator's router cooldown).
+const targetCooldown = 2 * time.Second
 
 func newTargetPool(baseURL string) (*targetPool, error) {
 	var urls []string
@@ -168,26 +174,58 @@ func newTargetPool(baseURL string) (*targetPool, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("serve: loadgen needs at least one target URL")
 	}
-	return &targetPool{urls: urls}, nil
+	return &targetPool{urls: urls, bad: make([]atomic.Int64, len(urls))}, nil
 }
 
-func (p *targetPool) target(cursor int64) string {
-	return p.urls[int(cursor%int64(len(p.urls)))]
+// pick returns the target index to try: the last-healthy cursor, walking
+// past targets still in demotion cooldown. When every target is cooling the
+// cursor's own target is the final resort.
+func (p *targetPool) pick() int {
+	n := len(p.urls)
+	start := int(p.cur.Load() % int64(n))
+	now := time.Now().UnixNano()
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if p.bad[i].Load() <= now {
+			return i
+		}
+	}
+	return start
+}
+
+// demote pushes a failing target into cooldown and advances the shared
+// cursor past it (CAS, so a burst of concurrent failures counts as one
+// failover).
+func (p *targetPool) demote(i int) {
+	p.bad[i].Store(time.Now().Add(targetCooldown).UnixNano())
+	cur := p.cur.Load()
+	if int(cur%int64(len(p.urls))) == i && p.cur.CompareAndSwap(cur, cur+1) {
+		p.failovers.Add(1)
+	}
+}
+
+// promote clears a target's cooldown and makes it the remembered cursor.
+func (p *targetPool) promote(i int) {
+	p.bad[i].Store(0)
+	cur := p.cur.Load()
+	if at := int(cur % int64(len(p.urls))); at != i {
+		delta := int64((i - at + len(p.urls)) % len(p.urls))
+		p.cur.CompareAndSwap(cur, cur+delta)
+	}
 }
 
 // postInfer sends one request, trying each target at most once.
 func (p *targetPool) postInfer(client *http.Client, req any) (int, InferResponse, error) {
 	var lastErr error
 	for try := 0; try < len(p.urls); try++ {
-		cursor := p.cur.Load()
-		code, out, err := postInfer(client, p.target(cursor), req)
+		i := p.pick()
+		code, out, err := postInfer(client, p.urls[i], req)
 		if err == nil {
+			p.promote(i)
 			return code, out, nil
 		}
 		lastErr = err
-		if p.cur.CompareAndSwap(cursor, cursor+1) {
-			p.failovers.Add(1)
-		}
+		p.demote(i)
 	}
 	return 0, InferResponse{}, lastErr
 }
@@ -196,15 +234,14 @@ func (p *targetPool) postInfer(client *http.Client, req any) (int, InferResponse
 func (p *targetPool) fetchConfig(client *http.Client) (ConfigResponse, error) {
 	var lastErr error
 	for try := 0; try < len(p.urls); try++ {
-		cursor := p.cur.Load()
-		cfg, err := fetchConfig(client, p.target(cursor))
+		i := p.pick()
+		cfg, err := fetchConfig(client, p.urls[i])
 		if err == nil {
+			p.promote(i)
 			return cfg, nil
 		}
 		lastErr = err
-		if p.cur.CompareAndSwap(cursor, cursor+1) {
-			p.failovers.Add(1)
-		}
+		p.demote(i)
 	}
 	return ConfigResponse{}, lastErr
 }

@@ -79,6 +79,22 @@ type Config struct {
 	// just before the batch runs. Used by tests and available as a
 	// lightweight observability hook.
 	OnBatch func(size int)
+
+	// SessionDir, when non-empty, makes streaming sessions durable: the
+	// stream manager snapshots them here (one atomic .skps file per
+	// session) and resumes them across a restart bit-identically.
+	SessionDir string
+	// SessionTTL evicts a streaming session idle longer than this
+	// (snapshotting it first when durable). Zero means 5 minutes.
+	SessionTTL time.Duration
+	// SessionSnapshotEvery snapshots a durable session every N completed
+	// windows. Zero means 8; negative disables periodic snapshots.
+	SessionSnapshotEvery int
+	// StreamSkipThreshold is the default activity gate for streaming
+	// sessions: a window with at most this many events advances by
+	// leak-only decay instead of the full forward. 0 (the default) skips
+	// only empty windows — lossless; negative disables skipping.
+	StreamSkipThreshold int
 }
 
 func (c Config) withDefaults() Config {

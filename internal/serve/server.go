@@ -12,7 +12,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skipper/internal/layers"
 	"skipper/internal/parallel"
+	"skipper/internal/runstate"
+	"skipper/internal/stream"
 	"skipper/internal/tensor"
 	"skipper/internal/trace"
 )
@@ -39,6 +42,10 @@ type Server struct {
 	// fleet tracks framed-transport connections (ServeFleet) so Drain can
 	// unblock their reads once the drain completes.
 	fleet fleetConns
+
+	// streams is the streaming-session registry; stream frames on the
+	// fleet listener dispatch into it.
+	streams *stream.Manager
 
 	// reqSeq round-robins traced requests across the request track lanes so
 	// overlapping request spans land on different trace rows instead of
@@ -145,6 +152,31 @@ func NewServer(cfg Config, modelPath string) (*Server, error) {
 		func() uint64 { return s.model.Current().Version },
 		func() parallel.PoolStats { return cfg.Runtime.Pool().Stats() })
 	model.OnRetry = func(int, error) { s.metrics.observeReloadRetry() }
+	var store *runstate.SessionStore
+	if cfg.SessionDir != "" {
+		store, err = runstate.OpenSessions(cfg.SessionDir, nil, nil)
+		if err != nil {
+			close(s.stop)
+			return nil, err
+		}
+	}
+	s.streams, err = stream.NewManager(stream.Config{
+		Build: cfg.Build,
+		Source: func() (*layers.Network, uint64) {
+			snap := s.model.Current()
+			return snap.Net, snap.Version
+		},
+		Pool:          cfg.Runtime.Pool(),
+		Store:         store,
+		TTL:           cfg.SessionTTL,
+		SnapshotEvery: cfg.SessionSnapshotEvery,
+		SkipThreshold: cfg.StreamSkipThreshold,
+		Tracer:        s.tracer,
+	})
+	if err != nil {
+		close(s.stop)
+		return nil, err
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		r, err := newReplica(cfg.Build, cfg.Runtime.Pool())
 		if err != nil {
@@ -159,6 +191,9 @@ func NewServer(cfg Config, modelPath string) (*Server, error) {
 
 // Model returns the hot-reload handle (for SIGHUP wiring and tests).
 func (s *Server) Model() *Model { return s.model }
+
+// Streams returns the streaming-session registry.
+func (s *Server) Streams() *stream.Manager { return s.streams }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -215,12 +250,16 @@ func (s *Server) Drain(ctx context.Context) error {
 				s.metrics.observeDrainDropped(dropped)
 				s.tracer.Event(trace.TrackTrain, "drain_dropped",
 					trace.Attr{Key: "jobs", Val: int64(dropped)})
+				s.streams.Shutdown()
 				s.fleet.closeAll()
 				return err
 			}
 		}
 	}
 	s.workerWG.Wait()
+	// Snapshot any streaming sessions that did not migrate before the
+	// drain, then unblock the fleet conns they were served on.
+	s.streams.Shutdown()
 	s.fleet.closeAll()
 	return err
 }
@@ -409,6 +448,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.Render(w)
+	s.streams.RenderMetrics(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"skipper/internal/serialize"
+	"skipper/internal/stream"
+	"skipper/internal/tensor"
+)
+
+// streamGen is the deterministic event stream shared by the reload tests.
+var streamGen = stream.GenOptions{
+	Seed:            7,
+	WindowSteps:     6,
+	EventsPerWindow: 12,
+	QuietFrac:       0.3,
+}
+
+func feedStream(t *testing.T, m *stream.Manager, id string, from, to int) [][]float32 {
+	t.Helper()
+	var out [][]float32
+	for w := from; w < to; w++ {
+		rep, serr := m.Window(stream.WindowRequest{
+			Session: id,
+			Seq:     w,
+			Steps:   streamGen.WindowSteps,
+			Events:  stream.GenWindow(streamGen, 0, w, 2*8*8),
+		})
+		if serr != nil {
+			t.Fatalf("window %d: %v", w, serr)
+		}
+		out = append(out, rep.Logits)
+	}
+	return out
+}
+
+// TestStreamSessionSurvivesHotReload is the regression test for the
+// reload-vs-session hazard: a checkpoint hot-swap mid-session must not
+// rewrite a live session's membrane semantics. Sessions pin their weights at
+// open time (each owns a private replica copied from the published
+// snapshot), so the stream stays bitwise identical to an undisturbed run;
+// before that fix, the reload perturbed in-flight predictions.
+func TestStreamSessionSurvivesHotReload(t *testing.T) {
+	const cut, total = 5, 12
+
+	// A same-topology checkpoint with visibly perturbed weights.
+	ckpt := filepath.Join(t.TempDir(), "next.skpw")
+	{
+		net, err := testBuild()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := tensor.NewRNG(99)
+		for _, p := range net.Params() {
+			for i := range p.W.Data {
+				p.W.Data[i] += 0.3 * (rng.Float32() - 0.5)
+			}
+		}
+		if err := serialize.SaveFile(ckpt, net); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: the same stream on a server that never reloads.
+	ref, _ := newTestServer(t, Config{})
+	if _, serr := ref.Streams().Open(stream.OpenRequest{Session: "s"}); serr != nil {
+		t.Fatalf("open ref: %v", serr)
+	}
+	want := feedStream(t, ref.Streams(), "s", 0, total)
+
+	// Under test: identical stream, checkpoint hot-swap mid-session.
+	srv, _ := newTestServer(t, Config{})
+	if _, serr := srv.Streams().Open(stream.OpenRequest{Session: "s"}); serr != nil {
+		t.Fatalf("open: %v", serr)
+	}
+	got := feedStream(t, srv.Streams(), "s", 0, cut)
+	snap, err := srv.Reload(ckpt)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if snap.Version < 2 {
+		t.Fatalf("reload did not advance the model generation: %d", snap.Version)
+	}
+	got = append(got, feedStream(t, srv.Streams(), "s", cut, total)...)
+
+	for w := range want {
+		for i := range want[w] {
+			if math.Float32bits(got[w][i]) != math.Float32bits(want[w][i]) {
+				t.Fatalf("window %d logit %d changed across the reload: %v vs %v (session weights not pinned)",
+					w, i, got[w][i], want[w][i])
+			}
+		}
+	}
+
+	// A session opened after the swap must serve the new generation.
+	fresh, serr := srv.Streams().Open(stream.OpenRequest{Session: "post"})
+	if serr != nil {
+		t.Fatalf("open post-reload: %v", serr)
+	}
+	if fresh.ModelVersion != snap.Version {
+		t.Fatalf("post-reload session pinned generation %d, want %d", fresh.ModelVersion, snap.Version)
+	}
+	post := feedStream(t, srv.Streams(), "post", 0, total)
+	same := true
+	for w := range want {
+		for i := range want[w] {
+			if math.Float32bits(post[w][i]) != math.Float32bits(want[w][i]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatalf("post-reload session produced the old generation's logits — new weights not picked up")
+	}
+}

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"skipper/internal/frame"
+)
+
+// Client is a streaming-session client over one framed TCP connection to a
+// replica's fleet listener. It is not safe for concurrent use; a session's
+// windows are ordered, so one goroutine per stream is the natural shape.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// Dial connects to a replica's fleet address.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, timeout: timeout}, nil
+}
+
+// Close drops the connection (the server-side session lives on until TTL,
+// snapshot, or migration).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request frame and decodes the reply, surfacing
+// TypeError replies as *Error.
+func (c *Client) roundTrip(typ byte, payload []byte, want byte) ([]byte, error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	if err := frame.Write(c.conn, typ, payload); err != nil {
+		return nil, err
+	}
+	rtyp, rp, err := frame.Read(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp == TypeError {
+		var er ErrorReply
+		if err := json.Unmarshal(rp, &er); err != nil {
+			return nil, fmt.Errorf("stream: undecodable error reply: %w", err)
+		}
+		return nil, &Error{Code: er.Code, Msg: er.Error, Window: er.Window}
+	}
+	if rtyp != want {
+		return nil, fmt.Errorf("stream: unexpected reply frame 0x%02x (want 0x%02x)", rtyp, want)
+	}
+	return rp, nil
+}
+
+func (c *Client) jsonCall(typ byte, req any, want byte, rep any) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	rp, err := c.roundTrip(typ, buf, want)
+	if err != nil {
+		return err
+	}
+	if rep == nil {
+		return nil
+	}
+	return json.Unmarshal(rp, rep)
+}
+
+// Open opens or resumes a session.
+func (c *Client) Open(req OpenRequest) (OpenReply, error) {
+	var rep OpenReply
+	err := c.jsonCall(TypeOpen, req, TypeOpened, &rep)
+	return rep, err
+}
+
+// Window feeds one event window and returns its prediction.
+func (c *Client) Window(req WindowRequest) (WindowReply, error) {
+	var rep WindowReply
+	err := c.jsonCall(TypeWindow, req, TypePred, &rep)
+	return rep, err
+}
+
+// CloseSession ends the session server-side.
+func (c *Client) CloseSession(id string, snapshot bool) (ClosedReply, error) {
+	var rep ClosedReply
+	err := c.jsonCall(TypeClose, CloseRequest{Session: id, Snapshot: snapshot}, TypeClosed, &rep)
+	return rep, err
+}
+
+// Export seals the session and returns its encoded state record.
+func (c *Client) Export(id string) ([]byte, error) {
+	buf, err := json.Marshal(ExportRequest{Session: id})
+	if err != nil {
+		return nil, err
+	}
+	return c.roundTrip(TypeExport, buf, TypeState)
+}
+
+// Import installs an exported record on this replica.
+func (c *Client) Import(raw []byte) (ImportedReply, error) {
+	var rep ImportedReply
+	rp, err := c.roundTrip(TypeImport, raw, TypeImported)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(rp, &rep)
+}
+
+// ListSessions returns the replica's live session ids.
+func (c *Client) ListSessions() ([]string, error) {
+	rp, err := c.roundTrip(TypeList, nil, TypeListing)
+	if err != nil {
+		return nil, err
+	}
+	var rep ListingReply
+	if err := json.Unmarshal(rp, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Sessions, nil
+}

@@ -47,6 +47,9 @@ const (
 	// TrackRouter carries the serving-fleet router's spans (route,
 	// backend_rtt, failover) and fleet-membership events.
 	TrackRouter = 7
+	// TrackStream carries streaming-session lifecycle and window-skip
+	// events (open/resume/export/import, window skipped/full).
+	TrackStream = 8
 	// TrackDevice carries mem.Device high-water counters.
 	TrackDevice = 90
 	// TrackPool carries parallel.Pool lane-utilization counters.

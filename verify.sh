@@ -1,18 +1,18 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate:
 #   build, vet, race-test the concurrency-sensitive subsystems, full test
-#   suite, the SIGKILL+resume, distributed-training, and serving-fleet smoke
-#   tests, then the serving, kernel, trace-overhead, distributed, and
-#   fleet-routing, and spike-pack benchmarks (write BENCH_serve.json,
-#   BENCH_kernels.json, BENCH_trace.json, BENCH_dist.json, BENCH_router.json,
-#   BENCH_spikepack.json).
+#   suite, the SIGKILL+resume, distributed-training, serving-fleet, and
+#   streaming-session smoke tests, then the serving, kernel, trace-overhead,
+#   distributed, fleet-routing, spike-pack, and streaming benchmarks (write
+#   BENCH_serve.json, BENCH_kernels.json, BENCH_trace.json, BENCH_dist.json,
+#   BENCH_router.json, BENCH_spikepack.json, BENCH_stream.json).
 set -eux
 
 cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/... ./internal/trace/... ./internal/dist/... ./internal/router/...
+go test -race ./internal/parallel/... ./internal/tensor/... ./internal/serve/... ./internal/runstate/... ./internal/faults/... ./internal/trace/... ./internal/dist/... ./internal/router/... ./internal/stream/...
 go test ./...
 
 sh ./scripts/kill_resume_smoke.sh
@@ -30,6 +30,12 @@ sh ./scripts/router_smoke.sh
 # router and SIGTERM (drain handoff) one replica mid-soak — zero failed
 # requests, clean drain, survivors converge on one fleet view within 2s.
 sh ./scripts/router_ha_smoke.sh
+
+# Streaming-session smoke: 2 replicas with durable session dirs behind a
+# router, paced event streams through placement, SIGTERM one replica
+# mid-stream — every session resumes on the survivor with zero membrane
+# resets and the quiet windows take the leak-only skip path.
+sh ./scripts/stream_smoke.sh
 
 go run ./cmd/skipper-bench -exp bench_serve -scale tiny
 
@@ -60,3 +66,8 @@ go run ./cmd/skipper-bench -exp bench_dist -scale tiny
 # a replica kill and across a canary promote (both with zero failures), and
 # shed-tier behavior at overload; writes BENCH_router.json.
 go run ./cmd/skipper-bench -exp bench_router -scale tiny
+
+# Streaming smoke: session latency and skipped-window fraction at quiet and
+# busy event densities, skip-on vs skip-off bitwise identity, and the
+# export/import migration pause; writes BENCH_stream.json.
+go run ./cmd/skipper-bench -exp bench_stream -scale tiny
